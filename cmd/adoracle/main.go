@@ -1,0 +1,57 @@
+// Command adoracle runs the classification phase (§3.2) over a corpus file
+// produced by adcrawl: it rebuilds the same simulated universe (the seed
+// must match the crawl), re-executes every advertisement in the honeyclient,
+// checks domains against the blacklists, scans downloads with the AV
+// engines, and prints the resulting Table 1 and analysis.
+//
+// Usage:
+//
+//	adoracle -i corpus.jsonl [-seed N] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"madave"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("adoracle: ")
+
+	var (
+		in      = flag.String("i", "corpus.jsonl", "input corpus file (JSON lines)")
+		seed    = flag.Uint64("seed", 1, "simulation seed (must match the crawl)")
+		workers = flag.Int("workers", 8, "oracle parallelism")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corp, err := madave.LoadCorpus(f)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loaded %d advertisements from %s\n", corp.Len(), *in)
+
+	cfg := madave.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.OracleParallelism = *workers
+	study, err := madave.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	verdicts := study.Classify(corp)
+	fmt.Printf("%d incidents among %d ads — %.2f%% malicious\n\n",
+		verdicts.MaliciousCount(), verdicts.Scanned, 100*verdicts.MaliciousRate())
+
+	report := study.Analyze(corp, verdicts, nil)
+	fmt.Println(report.RenderText())
+}

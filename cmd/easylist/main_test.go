@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"madave/internal/easylist"
+)
+
+func TestParseType(t *testing.T) {
+	cases := map[string]easylist.ResourceType{
+		"document":    easylist.TypeDocument,
+		"subdocument": easylist.TypeSubdocument,
+		"script":      easylist.TypeScript,
+		"image":       easylist.TypeImage,
+		"other":       easylist.TypeOther,
+		"bogus":       easylist.TypeOther,
+	}
+	for in, want := range cases {
+		if got := parseType(in); got != want {
+			t.Errorf("parseType(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestBuildListFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rules.txt")
+	if err := os.WriteFile(path, []byte("||ads.example.com^\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	list, err := buildList(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !list.MatchURL("http://ads.example.com/x") {
+		t.Fatal("file rule not applied")
+	}
+	if _, err := buildList(filepath.Join(t.TempDir(), "missing.txt"), 1); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestBuildListSynthetic(t *testing.T) {
+	list, err := buildList("", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Len() == 0 {
+		t.Fatal("synthetic list empty")
+	}
+	// The widget CDN exception must be present.
+	if list.MatchURL("http://cdn.widgetworks.com/embed?site=x") {
+		t.Fatal("widget should be exempt")
+	}
+}

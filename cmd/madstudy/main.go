@@ -1,0 +1,198 @@
+// Command madstudy runs the complete malvertising measurement study —
+// ecosystem generation, crawl, oracle classification, analysis — and prints
+// the reproduced paper results (Table 1, Figures 1-5, cluster shares, the
+// sandbox census), optionally followed by the §5 countermeasure
+// evaluations.
+//
+// Usage:
+//
+//	madstudy [-seed N] [-sites N] [-days N] [-refreshes N] [-workers N]
+//	         [-defenses] [-corpus out.jsonl] [-csv dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"madave"
+	"madave/internal/analysis"
+	"madave/internal/netcap"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("madstudy: ")
+
+	var (
+		seed      = flag.Uint64("seed", 1, "simulation seed (same seed, same study)")
+		sites     = flag.Int("sites", 800, "crawl-set sample size (0 = full paper-style set)")
+		days      = flag.Int("days", 1, "crawl days (paper: ~90)")
+		refreshes = flag.Int("refreshes", 5, "page refreshes per visit (paper: 5)")
+		workers   = flag.Int("workers", 8, "crawl and oracle parallelism")
+		defenses  = flag.Bool("defenses", false, "also evaluate the §5 countermeasures")
+		figures   = flag.Bool("figures", false, "render Figures 1-5 as ASCII charts")
+		project   = flag.Bool("project", false, "project Table 1 to the paper's 673,596-ad corpus")
+		validate  = flag.Bool("validate", false, "compare the oracle against simulation ground truth")
+		corpusOut = flag.String("corpus", "", "write the ad corpus (JSON lines) to this file")
+		csvDir    = flag.String("csv", "", "write figure CSVs into this directory")
+		mdOut     = flag.String("md", "", "write the full Markdown report to this file")
+		traceOut  = flag.String("trace", "", "capture all crawl HTTP traffic and write it (JSON lines) to this file")
+	)
+	flag.Parse()
+
+	cfg := madave.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.CrawlSites = *sites
+	cfg.Crawl.Days = *days
+	cfg.Crawl.Refreshes = *refreshes
+	cfg.Crawl.Parallelism = *workers
+	cfg.OracleParallelism = *workers
+
+	start := time.Now()
+	study, err := madave.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ecosystem: %d sites, %d ad networks, %d campaigns (built in %v)\n",
+		len(study.Web.Sites), len(study.Eco.Networks), len(study.Eco.Campaigns),
+		time.Since(start).Round(time.Millisecond))
+
+	crawlStart := time.Now()
+	var corp *madave.Corpus
+	var stats *madave.CrawlStats
+	if *traceOut != "" {
+		var trace *netcap.Capture
+		corp, stats, trace = study.CrawlTraced()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := trace.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		f.Close()
+		sum := trace.Summarize()
+		fmt.Printf("traffic trace: %d transactions over %d hosts (%d redirects) -> %s\n",
+			sum.Transactions, sum.Hosts, sum.Redirects, *traceOut)
+	} else {
+		corp, stats = study.Crawl()
+	}
+	fmt.Printf("crawl: %d pages, %d ad frames, %d unique ads (%v)\n",
+		stats.PagesVisited, stats.AdFrames, corp.Len(),
+		time.Since(crawlStart).Round(time.Millisecond))
+
+	oracleStart := time.Now()
+	verdicts := study.Classify(corp)
+	fmt.Printf("oracle: %d incidents among %d ads — %.2f%% malicious (%v)\n\n",
+		verdicts.MaliciousCount(), verdicts.Scanned, 100*verdicts.MaliciousRate(),
+		time.Since(oracleStart).Round(time.Millisecond))
+
+	report := study.Analyze(corp, verdicts, stats)
+	fmt.Println(report.RenderText())
+
+	conc := madave.Concentrate(report)
+	fmt.Printf("Malvertising concentration: Gini %.2f, worst network holds %.1f%%, top 3 hold %.1f%%\n",
+		conc.GiniIncidents, 100*conc.TopShare, 100*conc.Top3Share)
+	if *days > 1 {
+		fmt.Println("\nTimeline (per crawl day)")
+		for _, p := range madave.Timeline(corp, verdicts) {
+			fmt.Printf("  day %2d: %6d ads, %4d malicious (%.2f%%)\n",
+				p.Day, p.Ads, p.Malicious, 100*p.Rate())
+		}
+	}
+
+	if *project {
+		fmt.Println()
+		fmt.Print(report.ProjectTo(analysis.PaperCorpusSize).CompareToPaper())
+	}
+	if *figures {
+		fmt.Println()
+		fmt.Println(report.RenderFigures())
+	}
+	if *validate {
+		v, err := study.Validate(corp, verdicts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(v.String())
+	}
+
+	if *corpusOut != "" {
+		f, err := os.Create(*corpusOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := corp.Save(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("corpus written to %s\n", *corpusOut)
+	}
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		writes := map[string]string{
+			"table1.csv":             report.Table1CSV(),
+			"figure1_networks.csv":   report.NetworksCSV(),
+			"figure3_categories.csv": report.CategoriesCSV(),
+			"figure4_tlds.csv":       report.TLDsCSV(),
+			"figure5_chains.csv":     report.ChainSeriesCSV(),
+			"clusters.csv":           report.ClustersCSV(),
+		}
+		for name, content := range writes {
+			path := filepath.Join(*csvDir, name)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+
+	results := &madave.Results{Corpus: corp, CrawlStats: stats, Oracle: verdicts, Report: report}
+	var cmps []madave.Comparison
+	if *defenses {
+		fmt.Println("\nCountermeasures (§5)")
+		var err error
+		cmps, err = madave.EvaluateDefenses(study, results)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range cmps {
+			fmt.Println("  " + c.String())
+		}
+	}
+
+	if *mdOut != "" {
+		var v *madave.Validation
+		if *validate {
+			v, _ = study.Validate(corp, verdicts)
+		}
+		md := madave.MarkdownReport("Malvertising study report", study, results, v, cmps)
+		if err := os.WriteFile(*mdOut, []byte(md), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nMarkdown report written to %s\n", *mdOut)
+	}
+
+	checks := madave.PaperChecks(report)
+	passed := 0
+	for _, c := range checks {
+		if c.Pass {
+			passed++
+		}
+	}
+	fmt.Printf("\nFidelity vs the paper: %d/%d checks pass\n", passed, len(checks))
+	for _, c := range checks {
+		if !c.Pass {
+			fmt.Printf("  DEVIATION: %s (paper %s, measured %s)\n", c.Claim, c.Paper, c.Measured)
+		}
+	}
+}

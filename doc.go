@@ -1,0 +1,40 @@
+// Package madave is a from-scratch reproduction of "The Dark Alleys of
+// Madison Avenue: Understanding Malicious Advertisements" (Zarras,
+// Kapravelos, Stringhini, Holz, Kruegel, Vigna — IMC 2014): the first
+// large-scale measurement study of malvertising.
+//
+// The paper crawled 673,596 real-world advertisements and classified them
+// with an oracle built from the Wepawet honeyclient, 49 public blacklists,
+// and VirusTotal. Its live dependencies (the Web, ad exchanges, Selenium +
+// Firefox, the detection services) are reproduced here as complete,
+// deterministic substrates:
+//
+//   - a synthetic web of ranked publisher sites (internal/webgen) and an ad
+//     market with exchanges, campaigns, auctions, and ad arbitration
+//     (internal/adnet), served over HTTP (internal/adserver, internal/memnet);
+//   - an emulated browser with its own HTML parser (internal/htmlparse) and
+//     JavaScript-subset interpreter (internal/minijs), full traffic capture
+//     (internal/netcap), and EasyList ad identification (internal/easylist);
+//   - the oracle: a honeyclient (internal/honeyclient), a 49-list blacklist
+//     tracker (internal/blacklist), and a 51-engine AV scanner
+//     (internal/avscan), combined by internal/oracle;
+//   - the analysis stage (internal/analysis) reproducing Table 1 and
+//     Figures 1-5, and the §5 countermeasures (internal/defense).
+//
+// The one-call entry point:
+//
+//	results, err := madave.Run(madave.DefaultConfig())
+//	if err != nil { ... }
+//	fmt.Println(results.Report.RenderText())
+//
+// For phase-by-phase control (crawl, classify, analyze separately), build a
+// Study:
+//
+//	study, err := madave.NewStudy(cfg)
+//	corp, stats := study.Crawl()
+//	verdicts := study.Classify(corp)
+//	report := study.Analyze(corp, verdicts, stats)
+//
+// Everything is deterministic in Config.Seed: the same seed reproduces the
+// same web, the same ads, the same incidents, and the same report.
+package madave

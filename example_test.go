@@ -1,0 +1,56 @@
+package madave_test
+
+import (
+	"fmt"
+	"log"
+
+	"madave"
+)
+
+// Example runs a miniature study end-to-end and grades it against the
+// paper's headline claims. Results are deterministic in the seed.
+func Example() {
+	cfg := madave.DefaultConfig()
+	cfg.Seed = 2014
+	cfg.CrawlSites = 300
+
+	results, err := madave.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	checks := madave.PaperChecks(results.Report)
+	passed := 0
+	for _, c := range checks {
+		if c.Pass {
+			passed++
+		}
+	}
+	fmt.Printf("ads collected: %d\n", results.Corpus.Len())
+	fmt.Printf("fidelity checks: %d/%d\n", passed, len(checks))
+	// Output:
+	// ads collected: 3615
+	// fidelity checks: 16/16
+}
+
+// ExampleStudy_Classify shows phase-by-phase control: crawl first, classify
+// separately, then analyze.
+func ExampleStudy_Classify() {
+	cfg := madave.DefaultConfig()
+	cfg.Seed = 2014
+	cfg.CrawlSites = 150
+	cfg.Crawl.Refreshes = 2
+
+	study, err := madave.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	corp, stats := study.Crawl()
+	verdicts := study.Classify(corp)
+	report := study.Analyze(corp, verdicts, stats)
+
+	fmt.Printf("pages: %d, sandboxed ad iframes: %d\n",
+		stats.PagesVisited, report.Sandbox.SandboxedAds)
+	// Output:
+	// pages: 300, sandboxed ad iframes: 0
+}

@@ -1,0 +1,78 @@
+// Malvertising study, phase by phase: the workload the paper's evaluation
+// is built on, with a validation pass that compares the oracle's verdicts
+// against the simulation's ground truth (something the paper's authors
+// could not do — their ground truth was the live Internet).
+//
+//	go run ./examples/malvertising-study
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"madave"
+)
+
+func main() {
+	cfg := madave.DefaultConfig()
+	cfg.Seed = 7
+	cfg.CrawlSites = 800
+	cfg.Crawl.Refreshes = 5 // the paper's refresh count
+
+	study, err := madave.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("== ecosystem ==\n%d ranked sites, %d ad networks, %d campaigns\n\n",
+		len(study.Web.Sites), len(study.Eco.Networks), len(study.Eco.Campaigns))
+
+	// Phase 1: crawl (§3.1).
+	t0 := time.Now()
+	corp, stats := study.Crawl()
+	fmt.Printf("== crawl (§3.1) ==\n")
+	fmt.Printf("pages visited:      %d\n", stats.PagesVisited)
+	fmt.Printf("iframes seen:       %d (%d ads, %d other)\n",
+		stats.FramesSeen, stats.AdFrames, stats.NonAdFrames)
+	fmt.Printf("unique ads:         %d (%d duplicates)\n", corp.Len(), stats.Duplicates)
+	fmt.Printf("sandboxed ad frames: %d (paper: none)\n", stats.SandboxedAds)
+	fmt.Printf("elapsed:            %v\n\n", time.Since(t0).Round(time.Millisecond))
+
+	// Phase 2: oracle (§3.2).
+	t1 := time.Now()
+	verdicts := study.Classify(corp)
+	fmt.Printf("== oracle (§3.2) ==\n")
+	fmt.Printf("incidents: %d of %d ads (%.2f%%; paper: ~1%%)\n",
+		verdicts.MaliciousCount(), verdicts.Scanned, 100*verdicts.MaliciousRate())
+	fmt.Printf("elapsed:   %v\n\n", time.Since(t1).Round(time.Millisecond))
+
+	// Validation: oracle vs ground truth.
+	truthMal := 0
+	agree := 0
+	for _, ad := range corp.All() {
+		c, ok := study.GroundTruth(ad)
+		if !ok {
+			continue
+		}
+		if c.IsMalicious() {
+			truthMal++
+		}
+	}
+	flagged := map[string]bool{}
+	for _, inc := range verdicts.Incidents {
+		flagged[inc.AdHash] = true
+	}
+	for _, ad := range corp.All() {
+		c, _ := study.GroundTruth(ad)
+		if c != nil && c.IsMalicious() == flagged[ad.Hash] {
+			agree++
+		}
+	}
+	fmt.Printf("== validation (simulation-only luxury) ==\n")
+	fmt.Printf("ground-truth malicious ads: %d, oracle incidents: %d\n", truthMal, verdicts.MaliciousCount())
+	fmt.Printf("per-ad agreement: %.2f%%\n\n", 100*float64(agree)/float64(corp.Len()))
+
+	// Phase 3: analysis (§4).
+	report := study.Analyze(corp, verdicts, stats)
+	fmt.Println(report.RenderText())
+}

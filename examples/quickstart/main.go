@@ -1,0 +1,29 @@
+// Quickstart: run a small malvertising study end-to-end and print the
+// reproduced paper results.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"madave"
+)
+
+func main() {
+	cfg := madave.DefaultConfig()
+	cfg.Seed = 42
+	cfg.CrawlSites = 300 // small and fast; raise toward the paper's scale
+
+	results, err := madave.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("collected %d unique advertisements from %d pages\n",
+		results.Corpus.Len(), results.CrawlStats.PagesVisited)
+	fmt.Printf("oracle flagged %d (%.2f%%) as malicious\n\n",
+		results.Oracle.MaliciousCount(), 100*results.Oracle.MaliciousRate())
+	fmt.Println(results.Report.RenderText())
+}

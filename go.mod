@@ -1,0 +1,3 @@
+module madave
+
+go 1.22

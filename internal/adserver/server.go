@@ -1,0 +1,240 @@
+package adserver
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"madave/internal/adnet"
+	"madave/internal/memnet"
+	"madave/internal/stats"
+	"madave/internal/webgen"
+)
+
+// Server wires a generated web and ad ecosystem into a memnet universe.
+type Server struct {
+	Eco *adnet.Ecosystem
+	Web *webgen.Web
+	// Seed decorrelates serving randomness from generation randomness.
+	Seed uint64
+}
+
+// New returns a Server for the given ecosystem and web.
+func New(eco *adnet.Ecosystem, web *webgen.Web, seed uint64) *Server {
+	return &Server{Eco: eco, Web: web, Seed: seed}
+}
+
+// WidgetHost serves the benign (non-advertising) embedded widgets that
+// publisher pages include; the EasyList step must NOT classify its iframes
+// as ads.
+const WidgetHost = "cdn.widgetworks.com"
+
+// SearchHosts are the benign search engines cloaking campaigns redirect
+// analysis environments to (Wepawet's "redirects to benign websites like
+// Google and Bing" heuristic).
+var SearchHosts = []string{"www.google.com", "www.bing.com"}
+
+// Install registers every simulated host with the universe: publishers, ad
+// networks, creative/landing/payload hosts, the widget CDN, and the benign
+// search engines.
+func (s *Server) Install(u *memnet.Universe) {
+	for _, site := range s.Web.Sites {
+		u.Handle(site.Host, s.publisherHandler(site))
+	}
+	for _, n := range s.Eco.Networks {
+		u.Handle(n.Domain, s.networkHandler(n))
+	}
+	for _, c := range s.Eco.Campaigns {
+		u.Handle(c.CreativeHost, s.creativeHostHandler(c))
+		u.Handle(c.LandingHost, s.landingHandler(c))
+		if c.PayloadHost != "" {
+			u.Handle(c.PayloadHost, s.payloadHandler(c))
+		}
+	}
+	u.Handle(WidgetHost, http.HandlerFunc(widgetHandler))
+	for _, h := range SearchHosts {
+		u.Handle(h, http.HandlerFunc(searchHandler))
+	}
+}
+
+// publisherHandler renders a publisher's page: body content plus one iframe
+// per ad slot pointing at the publisher's primary ad network, plus a benign
+// widget iframe. Crucially, no iframe carries the HTML5 sandbox attribute —
+// the paper found that none of the crawled websites used it (§4.4).
+func (s *Server) publisherHandler(site *webgen.Site) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		nonce := r.URL.Query().Get("v")
+		primary := s.Eco.Networks[site.PrimaryNetwork%len(s.Eco.Networks)]
+
+		var b strings.Builder
+		fmt.Fprintf(&b, "<html><head><title>%s - %s</title></head><body>", site.Domain, site.Category)
+		fmt.Fprintf(&b, "<h1>%s</h1>", site.Domain)
+		fmt.Fprintf(&b, "<p>Welcome to %s, your %s destination.</p>", site.Domain, site.Category)
+		// A non-advertising iframe: EasyList must tell these apart from ads.
+		fmt.Fprintf(&b, `<iframe src="http://%s/embed?site=%s" width="400" height="120"></iframe>`,
+			WidgetHost, site.Domain)
+		for slot := 0; slot < site.AdSlots; slot++ {
+			imp := ImpressionID(s.Seed, site.Host, slot, nonce)
+			fmt.Fprintf(&b,
+				`<iframe src="http://%s/serve?pub=%s&slot=%d&imp=%s&hop=0" width="300" height="250"></iframe>`,
+				primary.Domain, site.Host, slot, imp)
+		}
+		fmt.Fprintf(&b, "<p>Contact us at info@%s.</p>", site.Domain)
+		b.WriteString("</body></html>")
+
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, b.String())
+	})
+}
+
+// ImpressionID derives the deterministic impression identifier for a page
+// load. Different refresh nonces yield different impressions — that is why
+// the paper's crawler refreshed each page five times.
+func ImpressionID(seed uint64, pubHost string, slot int, nonce string) string {
+	rng := stats.NewRNGFromString(fmt.Sprintf("imp:%d:%s:%d:%s", seed, pubHost, slot, nonce))
+	return rng.RandHex(16)
+}
+
+// networkHandler implements an ad network's /serve endpoint. Every hop of
+// the arbitration chain is an HTTP 302 from one exchange to the next, so
+// the crawler's traffic capture sees the full chain (Figure 5's data).
+func (s *Server) networkHandler(n *adnet.Network) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/serve" {
+			http.NotFound(w, r)
+			return
+		}
+		q := r.URL.Query()
+		pub := q.Get("pub")
+		imp := q.Get("imp")
+		hop, err := strconv.Atoi(q.Get("hop"))
+		if err != nil || hop < 0 || hop >= adnet.MaxChain || pub == "" || imp == "" {
+			http.Error(w, "bad ad request", http.StatusBadRequest)
+			return
+		}
+		slot, _ := strconv.Atoi(q.Get("slot"))
+
+		d, ok := s.decide(pub, imp)
+		if !ok {
+			http.Error(w, "unknown publisher", http.StatusBadRequest)
+			return
+		}
+		if hop < len(d.Chain)-1 {
+			next := s.Eco.Networks[d.Chain[hop+1]]
+			target := fmt.Sprintf("http://%s/serve?pub=%s&slot=%d&imp=%s&hop=%d",
+				next.Domain, pub, slot, imp, hop+1)
+			http.Redirect(w, r, target, http.StatusFound)
+			return
+		}
+
+		// Terminal hop: serve the creative document.
+		variant := int(stats.NewRNGFromString("variant:"+imp).Uint64() % 4)
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, CreativeHTML(d.Campaign, imp, variant))
+	})
+}
+
+// decide recomputes the (deterministic) arbitration decision for an
+// impression. Every hop handler re-derives the same decision from the
+// impression ID, so the network endpoints stay stateless like real
+// exchanges whose redirect URLs carry the auction state.
+func (s *Server) decide(pubHost, imp string) (adnet.Decision, bool) {
+	site := s.Web.ByHost(pubHost)
+	if site == nil {
+		return adnet.Decision{}, false
+	}
+	rng := stats.NewRNGFromString(fmt.Sprintf("decide:%d:%s", s.Seed, imp))
+	return s.Eco.Serve(rng, site.PrimaryNetwork%len(s.Eco.Networks)), true
+}
+
+// Decide exposes the decision derivation for analysis tooling: given a
+// publisher host and impression ID it returns the ground-truth decision.
+func (s *Server) Decide(pubHost, imp string) (adnet.Decision, bool) {
+	return s.decide(pubHost, imp)
+}
+
+// creativeHostHandler serves a campaign's static assets (banner images and
+// helper scripts).
+func (s *Server) creativeHostHandler(c *adnet.Campaign) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case strings.HasPrefix(r.URL.Path, "/banners/"):
+			w.Header().Set("Content-Type", "image/png")
+			// A tiny deterministic PNG-ish blob; content doesn't matter,
+			// traffic does.
+			fmt.Fprintf(w, "\x89PNG\r\n%s:%s", c.ID, r.URL.Path)
+		case r.URL.Path == "/ad.js":
+			w.Header().Set("Content-Type", "application/javascript")
+			fmt.Fprintf(w, "// ad helper for %s\n", c.ID)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+}
+
+// landingHandler serves a campaign's landing page (where clicks and
+// hijacks lead).
+func (s *Server) landingHandler(c *adnet.Campaign) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, "<html><head><title>%s</title></head><body><h1>%s</h1><p>Offer %s.</p></body></html>",
+			c.LandingHost, c.LandingHost, c.ID)
+	})
+}
+
+// payloadHandler serves a campaign's binary payloads: the exploit page,
+// the executable, or the Flash movie.
+func (s *Server) payloadHandler(c *adnet.Campaign) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch {
+		case r.URL.Path == "/exploit":
+			// The exploit landing: script that fires the actual download,
+			// the final step of a drive-by (§2.1).
+			w.Header().Set("Content-Type", "text/html")
+			fmt.Fprintf(w,
+				`<html><body><script>window.location = "http://%s/payload.exe?imp=%s";</script></body></html>`,
+				c.PayloadHost, r.URL.Query().Get("imp"))
+		case strings.HasSuffix(r.URL.Path, ".exe"):
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(payloadEXE(c))
+		case strings.HasSuffix(r.URL.Path, ".swf"):
+			w.Header().Set("Content-Type", "application/x-shockwave-flash")
+			w.Write(payloadSWF(c))
+		default:
+			http.NotFound(w, r)
+		}
+	})
+}
+
+// widgetHandler serves the benign embedded widget all publishers use.
+func widgetHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprintf(w,
+		"<html><body><div class=\"widget\">Trending on %s</div></body></html>",
+		r.URL.Query().Get("site"))
+}
+
+// searchHandler serves the benign search-engine stand-ins.
+func searchHandler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html")
+	fmt.Fprint(w, "<html><head><title>Search</title></head><body><h1>Search</h1></body></html>")
+}
+
+// BuildEasyList produces the synthetic EasyList covering the simulated ad
+// infrastructure: one domain-anchored rule per ad network plus generic
+// creative patterns — and an exception keeping the widget CDN unblocked.
+// The crawler uses it to tell ad iframes from other iframes exactly as the
+// paper used the real EasyList.
+func (s *Server) BuildEasyList() string {
+	var b strings.Builder
+	b.WriteString("[Adblock Plus 2.0]\n! Synthetic EasyList for the simulated ad ecosystem\n")
+	for _, n := range s.Eco.Networks {
+		fmt.Fprintf(&b, "||%s^\n", n.Domain)
+	}
+	// Creative hosts follow recognizable ad-serving URL shapes.
+	b.WriteString("/banners/*\n")
+	b.WriteString("/ad.js\n")
+	fmt.Fprintf(&b, "@@||%s^\n", WidgetHost)
+	return b.String()
+}

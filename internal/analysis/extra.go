@@ -1,0 +1,226 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"madave/internal/corpus"
+	"madave/internal/oracle"
+)
+
+// DayPoint is one crawl day's measurements.
+type DayPoint struct {
+	Day       int
+	Ads       int
+	Malicious int
+}
+
+// Rate returns the day's malicious fraction.
+func (d DayPoint) Rate() float64 {
+	if d.Ads == 0 {
+		return 0
+	}
+	return float64(d.Malicious) / float64(d.Ads)
+}
+
+// Timeline computes the per-day ad volume and malicious rate over the
+// crawl — the temporal view of the paper's three-month collection.
+func Timeline(c *corpus.Corpus, res *oracle.Result) []DayPoint {
+	malicious := map[string]bool{}
+	for _, inc := range res.Incidents {
+		malicious[inc.AdHash] = true
+	}
+	byDay := map[int]*DayPoint{}
+	for _, ad := range c.All() {
+		p := byDay[ad.Day]
+		if p == nil {
+			p = &DayPoint{Day: ad.Day}
+			byDay[ad.Day] = p
+		}
+		p.Ads++
+		if malicious[ad.Hash] {
+			p.Malicious++
+		}
+	}
+	out := make([]DayPoint, 0, len(byDay))
+	for _, p := range byDay {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Day < out[j].Day })
+	return out
+}
+
+// Gini computes the Gini coefficient of a non-negative value vector — 0 for
+// perfect equality, approaching 1 when one entry holds everything. The
+// reproduction uses it to quantify how concentrated malvertising is among
+// networks (Figure 2's qualitative point, as a number).
+func Gini(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 0
+	}
+	sorted := append([]float64{}, values...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	for _, v := range sorted {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	// Gini = 1 - 2 * sum_i ( (n-i-0.5)/n * v_i/total )  over sorted values;
+	// use the standard "area under Lorenz curve" formulation.
+	var lorenzArea float64
+	for _, v := range sorted {
+		prev := cum
+		cum += v / total
+		lorenzArea += (prev + cum) / 2
+	}
+	lorenzArea /= float64(n)
+	return 1 - 2*lorenzArea
+}
+
+// Concentration summarizes how malvertising concentrates among serving
+// networks.
+type Concentration struct {
+	// GiniIncidents is the Gini coefficient of per-network incident counts
+	// (offending networks only).
+	GiniIncidents float64
+	// TopShare is the share of all incidents served by the single worst
+	// network.
+	TopShare float64
+	// Top3Share is the share served by the three worst networks.
+	Top3Share float64
+}
+
+// Concentrate computes the Concentration from a report's Figure 1 rows.
+func Concentrate(rep *Report) Concentration {
+	var counts []float64
+	total := 0
+	for _, row := range rep.Figure1 {
+		counts = append(counts, float64(row.Malicious))
+		total += row.Malicious
+	}
+	out := Concentration{GiniIncidents: Gini(counts)}
+	if total == 0 {
+		return out
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(counts)))
+	out.TopShare = counts[0] / float64(total)
+	for i := 0; i < 3 && i < len(counts); i++ {
+		out.Top3Share += counts[i] / float64(total)
+	}
+	return out
+}
+
+// RenderFigures renders Figures 1-4 as ASCII bar charts, the terminal
+// analogue of the paper's plots.
+func (r *Report) RenderFigures() string {
+	var b strings.Builder
+
+	b.WriteString("Figure 1: malvertising ratio per network\n")
+	for i, row := range r.Figure1 {
+		if i >= 12 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-34s %6.3f %s\n", row.Network, row.Ratio, hbar(row.Ratio, 1.0, 40))
+	}
+
+	b.WriteString("\nFigure 2: volume share per offending network\n")
+	for i, row := range r.Figure2 {
+		if i >= 12 {
+			break
+		}
+		fmt.Fprintf(&b, "  %-34s %6.3f %s\n", row.Network, row.TotalShare, hbar(row.TotalShare, 0.05, 40))
+	}
+
+	b.WriteString("\nFigure 3: site categories of malvertising\n")
+	for _, row := range r.Figure3 {
+		fmt.Fprintf(&b, "  %-15s %5.1f%% %s\n", row.Category, 100*row.Share, hbar(row.Share, 0.25, 40))
+	}
+
+	b.WriteString("\nFigure 4: TLDs of malvertising sites\n")
+	for _, row := range r.Figure4 {
+		fmt.Fprintf(&b, "  %-8s %5.1f%% %s\n", "."+row.TLD, 100*row.Share, hbar(row.Share, 0.6, 40))
+	}
+
+	b.WriteString("\nFigure 5: chain lengths (m = malicious, b = benign)\n")
+	maxLen := r.Figure5.Benign.Max()
+	if m := r.Figure5.Malicious.Max(); m > maxLen {
+		maxLen = m
+	}
+	bTot, mTot := r.Figure5.Benign.Total(), r.Figure5.Malicious.Total()
+	for v := 1; v <= maxLen; v++ {
+		bc, mc := r.Figure5.Benign.Get(v), r.Figure5.Malicious.Get(v)
+		if bc == 0 && mc == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %2d b%s\n     m%s\n", v,
+			hbar(frac(bc, bTot), 1, 50), hbar(frac(mc, mTot), 1, 50))
+	}
+	return b.String()
+}
+
+func frac(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(n) / float64(total)
+}
+
+// hbar renders value as a bar scaled so that scale fills width.
+func hbar(value, scale float64, width int) string {
+	if scale <= 0 {
+		return ""
+	}
+	n := int(value / scale * float64(width))
+	if n > width {
+		n = width
+	}
+	if n < 1 && value > 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+// Table1CSV renders Table 1 as CSV.
+func (r *Report) Table1CSV() string {
+	var b strings.Builder
+	b.WriteString("category,incidents\n")
+	for _, cat := range oracle.Categories() {
+		fmt.Fprintf(&b, "%s,%d\n", cat, r.Table1.Counts[cat])
+	}
+	fmt.Fprintf(&b, "total,%d\nscanned,%d\n", r.Table1.Total, r.Table1.Scanned)
+	return b.String()
+}
+
+// CategoriesCSV renders Figure 3 as CSV.
+func (r *Report) CategoriesCSV() string {
+	var b strings.Builder
+	b.WriteString("category,count,share\n")
+	for _, row := range r.Figure3 {
+		fmt.Fprintf(&b, "%s,%d,%.6f\n", row.Category, row.Count, row.Share)
+	}
+	return b.String()
+}
+
+// TLDsCSV renders Figure 4 as CSV.
+func (r *Report) TLDsCSV() string {
+	var b strings.Builder
+	b.WriteString("tld,generic,count,share\n")
+	for _, row := range r.Figure4 {
+		fmt.Fprintf(&b, "%s,%t,%d,%.6f\n", row.TLD, row.Generic, row.Count, row.Share)
+	}
+	return b.String()
+}
+
+// ClustersCSV renders the §4.2 shares as CSV.
+func (r *Report) ClustersCSV() string {
+	var b strings.Builder
+	b.WriteString("cluster,mal_share,ad_share\n")
+	for _, cl := range []string{ClusterTop, ClusterBottom, ClusterOther} {
+		fmt.Fprintf(&b, "%s,%.6f,%.6f\n", cl, r.Clusters.MalShare[cl], r.Clusters.AdShare[cl])
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"madave/internal/corpus"
+	"madave/internal/oracle"
+)
+
+func TestTimeline(t *testing.T) {
+	c := corpus.New()
+	res := &oracle.Result{ByCategory: map[oracle.Category]int{}}
+	add := func(day int, mal bool) {
+		ad := &corpus.Ad{HTML: strings.Repeat("x", day) + boolStr(mal) + string(rune(c.Len())), Day: day}
+		c.Add(ad)
+		if mal {
+			res.Incidents = append(res.Incidents, oracle.Incident{AdHash: ad.Hash, Category: oracle.CatBlacklists})
+		}
+	}
+	for i := 0; i < 10; i++ {
+		add(1, i == 0)
+	}
+	for i := 0; i < 5; i++ {
+		add(2, false)
+	}
+	add(3, true)
+
+	tl := Timeline(c, res)
+	if len(tl) != 3 {
+		t.Fatalf("timeline = %+v", tl)
+	}
+	if tl[0].Day != 1 || tl[0].Ads != 10 || tl[0].Malicious != 1 {
+		t.Fatalf("day1 = %+v", tl[0])
+	}
+	if tl[1].Rate() != 0 {
+		t.Fatalf("day2 rate = %f", tl[1].Rate())
+	}
+	if tl[2].Rate() != 1 {
+		t.Fatalf("day3 rate = %f", tl[2].Rate())
+	}
+}
+
+func boolStr(b bool) string {
+	if b {
+		return "m"
+	}
+	return "b"
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini(nil); g != 0 {
+		t.Fatalf("empty gini = %f", g)
+	}
+	if g := Gini([]float64{5, 5, 5, 5}); math.Abs(g) > 0.01 {
+		t.Fatalf("equal gini = %f, want ~0", g)
+	}
+	// One entry holds everything: Gini approaches 1-1/n.
+	g := Gini([]float64{0, 0, 0, 100})
+	if math.Abs(g-0.75) > 0.01 {
+		t.Fatalf("concentrated gini = %f, want ~0.75", g)
+	}
+	// More unequal beats less unequal.
+	if Gini([]float64{1, 1, 10}) <= Gini([]float64{3, 4, 5}) {
+		t.Fatal("gini ordering violated")
+	}
+	if Gini([]float64{0, 0}) != 0 {
+		t.Fatal("all-zero gini should be 0")
+	}
+}
+
+func TestConcentrate(t *testing.T) {
+	rep := &Report{
+		Figure1: []NetworkRow{
+			{Network: "a", Malicious: 70},
+			{Network: "b", Malicious: 20},
+			{Network: "c", Malicious: 10},
+		},
+	}
+	c := Concentrate(rep)
+	if math.Abs(c.TopShare-0.7) > 1e-9 {
+		t.Fatalf("top share = %f", c.TopShare)
+	}
+	if math.Abs(c.Top3Share-1.0) > 1e-9 {
+		t.Fatalf("top3 share = %f", c.Top3Share)
+	}
+	if c.GiniIncidents <= 0 {
+		t.Fatalf("gini = %f", c.GiniIncidents)
+	}
+	empty := Concentrate(&Report{})
+	if empty.TopShare != 0 || empty.GiniIncidents != 0 {
+		t.Fatalf("empty concentration = %+v", empty)
+	}
+}
+
+func TestRenderFigures(t *testing.T) {
+	rep := Analyze(buildInput())
+	out := rep.RenderFigures()
+	for _, want := range []string{"Figure 1", "Figure 2", "Figure 3", "Figure 4", "Figure 5", "█"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figures missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExtraCSVs(t *testing.T) {
+	rep := Analyze(buildInput())
+	if !strings.Contains(rep.Table1CSV(), "blacklists,2") {
+		t.Fatalf("table1 csv:\n%s", rep.Table1CSV())
+	}
+	if !strings.Contains(rep.CategoriesCSV(), "news,2,") {
+		t.Fatalf("categories csv:\n%s", rep.CategoriesCSV())
+	}
+	if !strings.Contains(rep.TLDsCSV(), "com,true,2,") {
+		t.Fatalf("tlds csv:\n%s", rep.TLDsCSV())
+	}
+	if !strings.Contains(rep.ClustersCSV(), "top10k,") {
+		t.Fatalf("clusters csv:\n%s", rep.ClustersCSV())
+	}
+}
+
+func TestHbar(t *testing.T) {
+	if hbar(0.5, 1, 10) != "█████" {
+		t.Fatalf("hbar = %q", hbar(0.5, 1, 10))
+	}
+	if hbar(2, 1, 10) != strings.Repeat("█", 10) {
+		t.Fatal("hbar should clamp")
+	}
+	if hbar(0.001, 1, 10) != "█" {
+		t.Fatal("tiny positive values should show one cell")
+	}
+	if hbar(0, 1, 10) != "" {
+		t.Fatal("zero should be empty")
+	}
+}
+
+func TestProjection(t *testing.T) {
+	rep := Analyze(buildInput())
+	p := rep.ProjectTo(PaperCorpusSize)
+	// 3 incidents in 150 ads -> 2% -> ~13472 projected incidents.
+	if p.Total < 13000 || p.Total > 14000 {
+		t.Fatalf("projected total = %d", p.Total)
+	}
+	// 2:1 ratio preserved up to per-row rounding.
+	diff := p.Counts[oracle.CatBlacklists] - 2*p.Counts[oracle.CatSuspRedirect]
+	if diff < -2 || diff > 2 {
+		t.Fatalf("projection did not preserve proportions: %+v", p.Counts)
+	}
+	out := p.CompareToPaper()
+	if !strings.Contains(out, "4794") || !strings.Contains(out, "673596") {
+		t.Fatalf("comparison rendering:\n%s", out)
+	}
+	empty := (&Report{}).ProjectTo(1000)
+	if empty.Total != 0 {
+		t.Fatal("empty report should project to zero")
+	}
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"madave/internal/netcap"
+	"madave/internal/urlx"
+)
+
+// HostGraph is the host-level redirection/inclusion graph mined from a
+// crawl's HTTP trace — the "further investigation" the paper ran over its
+// captured traffic, in the spirit of the Shady Paths line of work it cites:
+// nodes are hosts, and an edge A→B means A redirected to B (HTTP 3xx) or a
+// document on A caused a request to B (via Referer).
+type HostGraph struct {
+	// Edges maps source host -> destination host -> transition count.
+	Edges map[string]map[string]int
+	// nodes is the set of all hosts seen.
+	nodes map[string]bool
+}
+
+// BuildHostGraph mines a transaction log into a host graph.
+func BuildHostGraph(txs []netcap.Transaction) *HostGraph {
+	g := &HostGraph{
+		Edges: map[string]map[string]int{},
+		nodes: map[string]bool{},
+	}
+	for i := range txs {
+		tx := &txs[i]
+		if tx.Host != "" {
+			g.nodes[tx.Host] = true
+		}
+		// Redirect edge.
+		if tx.IsRedirect() {
+			dst := urlx.Host(urlx.Resolve(tx.URL, tx.Location))
+			g.addEdge(tx.Host, dst)
+		}
+		// Inclusion edge from the referring document.
+		if ref := urlx.Host(tx.Referer); ref != "" && ref != tx.Host {
+			g.addEdge(ref, tx.Host)
+		}
+	}
+	return g
+}
+
+func (g *HostGraph) addEdge(src, dst string) {
+	if src == "" || dst == "" || src == dst {
+		return
+	}
+	if g.Edges[src] == nil {
+		g.Edges[src] = map[string]int{}
+	}
+	g.Edges[src][dst]++
+	g.nodes[src] = true
+	g.nodes[dst] = true
+}
+
+// NumHosts returns the number of distinct hosts.
+func (g *HostGraph) NumHosts() int { return len(g.nodes) }
+
+// NumEdges returns the number of distinct directed edges.
+func (g *HostGraph) NumEdges() int {
+	n := 0
+	for _, dsts := range g.Edges {
+		n += len(dsts)
+	}
+	return n
+}
+
+// OutDegree returns how many distinct hosts src leads to.
+func (g *HostGraph) OutDegree(src string) int { return len(g.Edges[src]) }
+
+// HubRow is one host with its transition volume.
+type HubRow struct {
+	Host string
+	// Out is the total outgoing transition count (not distinct edges).
+	Out int
+	// Fanout is the number of distinct destination hosts.
+	Fanout int
+}
+
+// Hubs returns hosts sorted by outgoing transition volume — in an ad crawl
+// these are the exchanges that route slots onward (arbitration hubs).
+func (g *HostGraph) Hubs() []HubRow {
+	rows := make([]HubRow, 0, len(g.Edges))
+	for src, dsts := range g.Edges {
+		out := 0
+		for _, n := range dsts {
+			out += n
+		}
+		rows = append(rows, HubRow{Host: src, Out: out, Fanout: len(dsts)})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Out != rows[j].Out {
+			return rows[i].Out > rows[j].Out
+		}
+		return rows[i].Host < rows[j].Host
+	})
+	return rows
+}
+
+// ReachableFrom returns all hosts reachable from src (excluding src),
+// following edges breadth-first.
+func (g *HostGraph) ReachableFrom(src string) []string {
+	seen := map[string]bool{src: true}
+	queue := []string{src}
+	var out []string
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		dsts := make([]string, 0, len(g.Edges[cur]))
+		for d := range g.Edges[cur] {
+			dsts = append(dsts, d)
+		}
+		sort.Strings(dsts)
+		for _, d := range dsts {
+			if !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+				queue = append(queue, d)
+			}
+		}
+	}
+	return out
+}
+
+// ShortestPath returns one shortest host path from src to dst (inclusive),
+// or nil when dst is unreachable. In the malvertising setting this is the
+// ad path from a publisher to an exploit server.
+func (g *HostGraph) ShortestPath(src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	prev := map[string]string{}
+	seen := map[string]bool{src: true}
+	queue := []string{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		dsts := make([]string, 0, len(g.Edges[cur]))
+		for d := range g.Edges[cur] {
+			dsts = append(dsts, d)
+		}
+		sort.Strings(dsts)
+		for _, d := range dsts {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			prev[d] = cur
+			if d == dst {
+				// Reconstruct.
+				path := []string{dst}
+				for at := dst; at != src; {
+					at = prev[at]
+					path = append([]string{at}, path...)
+				}
+				return path
+			}
+			queue = append(queue, d)
+		}
+	}
+	return nil
+}
+
+// RenderTop renders the graph's top hubs as text.
+func (g *HostGraph) RenderTop(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "host graph: %d hosts, %d edges\n", g.NumHosts(), g.NumEdges())
+	for i, hub := range g.Hubs() {
+		if i >= n {
+			break
+		}
+		fmt.Fprintf(&b, "  %-40s out %6d  fanout %4d\n", hub.Host, hub.Out, hub.Fanout)
+	}
+	return b.String()
+}

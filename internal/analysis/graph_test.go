@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"testing"
+
+	"madave/internal/netcap"
+)
+
+func tx(url, host, referer string, status int, location string) netcap.Transaction {
+	return netcap.Transaction{URL: url, Host: host, Referer: referer, Status: status, Location: location}
+}
+
+func TestBuildHostGraphEdges(t *testing.T) {
+	txs := []netcap.Transaction{
+		// pub page -> frame via referer
+		tx("http://www.pub.com/", "www.pub.com", "", 200, ""),
+		tx("http://adserv.a.com/serve", "adserv.a.com", "http://www.pub.com/", 302, "http://adserv.b.com/serve"),
+		tx("http://adserv.b.com/serve", "adserv.b.com", "http://adserv.a.com/serve", 200, ""),
+		tx("http://cdn.camp.com/banner.png", "cdn.camp.com", "http://adserv.b.com/serve", 200, ""),
+	}
+	g := BuildHostGraph(txs)
+	if g.NumHosts() != 4 {
+		t.Fatalf("hosts = %d", g.NumHosts())
+	}
+	// Expected edges: pub->a (referer), a->b (redirect + referer), b->cdn.
+	if g.Edges["www.pub.com"]["adserv.a.com"] != 1 {
+		t.Fatalf("pub->a edge: %+v", g.Edges["www.pub.com"])
+	}
+	if g.Edges["adserv.a.com"]["adserv.b.com"] != 2 {
+		t.Fatalf("a->b edge count = %d (redirect + referer)", g.Edges["adserv.a.com"]["adserv.b.com"])
+	}
+	if g.Edges["adserv.b.com"]["cdn.camp.com"] != 1 {
+		t.Fatal("b->cdn edge missing")
+	}
+	if g.OutDegree("adserv.a.com") != 1 {
+		t.Fatalf("fanout = %d", g.OutDegree("adserv.a.com"))
+	}
+}
+
+func TestGraphReachabilityAndPaths(t *testing.T) {
+	txs := []netcap.Transaction{
+		tx("http://a.com/", "a.com", "", 302, "http://b.com/"),
+		tx("http://b.com/", "b.com", "", 302, "http://c.com/"),
+		tx("http://c.com/", "c.com", "", 200, ""),
+		tx("http://x.com/", "x.com", "", 302, "http://c.com/"),
+	}
+	g := BuildHostGraph(txs)
+	reach := g.ReachableFrom("a.com")
+	if len(reach) != 2 || reach[0] != "b.com" || reach[1] != "c.com" {
+		t.Fatalf("reach = %v", reach)
+	}
+	path := g.ShortestPath("a.com", "c.com")
+	if len(path) != 3 || path[0] != "a.com" || path[2] != "c.com" {
+		t.Fatalf("path = %v", path)
+	}
+	if g.ShortestPath("c.com", "a.com") != nil {
+		t.Fatal("reverse path should not exist")
+	}
+	if p := g.ShortestPath("a.com", "a.com"); len(p) != 1 {
+		t.Fatalf("self path = %v", p)
+	}
+}
+
+func TestGraphSelfAndEmptyEdgesIgnored(t *testing.T) {
+	txs := []netcap.Transaction{
+		tx("http://a.com/x", "a.com", "http://a.com/", 200, ""), // self referer
+		tx("http://b.com/", "b.com", "", 302, ""),               // no location
+	}
+	g := BuildHostGraph(txs)
+	if g.NumEdges() != 0 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"madave/internal/oracle"
+)
+
+// PaperCorpusSize is the paper's corpus: 673,596 unique advertisements.
+const PaperCorpusSize = 673_596
+
+// PaperTable1 holds the paper's Table 1 incident counts.
+var PaperTable1 = map[oracle.Category]int{
+	oracle.CatBlacklists:   4794,
+	oracle.CatSuspRedirect: 1396,
+	oracle.CatHeuristics:   309,
+	oracle.CatMaliciousExe: 68,
+	oracle.CatMaliciousSWF: 31,
+	oracle.CatModel:        3,
+}
+
+// PaperTable1Total is the paper's 6,601 total incidents.
+const PaperTable1Total = 6601
+
+// Projection scales a measured Table 1 to a target corpus size, so runs at
+// laptop scale can be compared row-by-row against the paper's absolute
+// counts.
+type Projection struct {
+	// TargetCorpus is the corpus size projected to.
+	TargetCorpus int
+	// Counts are the projected incident counts per category.
+	Counts map[oracle.Category]int
+	// Total is the projected incident total.
+	Total int
+}
+
+// ProjectTo scales the report's Table 1 proportions to a corpus of n ads.
+func (r *Report) ProjectTo(n int) Projection {
+	p := Projection{TargetCorpus: n, Counts: map[oracle.Category]int{}}
+	if r.Table1.Scanned == 0 {
+		return p
+	}
+	scale := float64(n) / float64(r.Table1.Scanned)
+	for cat, c := range r.Table1.Counts {
+		v := int(math.Round(float64(c) * scale))
+		p.Counts[cat] = v
+		p.Total += v
+	}
+	return p
+}
+
+// CompareToPaper renders the projection next to the paper's Table 1.
+func (p Projection) CompareToPaper() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1 projected to the paper's corpus (%d ads)\n", p.TargetCorpus)
+	fmt.Fprintf(&b, "  %-26s %10s %10s\n", "category", "projected", "paper")
+	for _, cat := range oracle.Categories() {
+		fmt.Fprintf(&b, "  %-26s %10d %10d\n", categoryLabels[cat], p.Counts[cat], PaperTable1[cat])
+	}
+	fmt.Fprintf(&b, "  %-26s %10d %10d\n", "TOTAL", p.Total, PaperTable1Total)
+	return b.String()
+}

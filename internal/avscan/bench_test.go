@@ -1,0 +1,30 @@
+package avscan
+
+import (
+	"strings"
+	"testing"
+)
+
+func BenchmarkScanMalicious(b *testing.B) {
+	s := New(1)
+	payload := []byte("MZ\x90\x00\x03EVIL:cmp-00042:drive-by;" + strings.Repeat("fill", 1024))
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		r := s.Scan(payload)
+		if !r.Malicious(s.Threshold) {
+			b.Fatal("missed")
+		}
+	}
+}
+
+func BenchmarkScanClean(b *testing.B) {
+	s := New(1)
+	payload := []byte("MZ\x90\x00\x03CLEANINSTALLER:flash;" + strings.Repeat("fill", 1024))
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		r := s.Scan(payload)
+		if r.Malicious(s.Threshold) {
+			b.Fatal("false positive")
+		}
+	}
+}

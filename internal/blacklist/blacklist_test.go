@@ -1,0 +1,193 @@
+package blacklist
+
+import (
+	"testing"
+
+	"madave/internal/adnet"
+)
+
+func TestAddAndThreshold(t *testing.T) {
+	tr := New()
+	host := "ads.freeprizes.com"
+	for i := 0; i < 5; i++ {
+		tr.Add(host, tr.listNames[i], CatSpam)
+	}
+	if tr.Listings(host) != 5 {
+		t.Fatalf("listings = %d", tr.Listings(host))
+	}
+	if tr.IsMalicious(host) {
+		t.Fatal("exactly 5 lists must NOT be malicious (threshold is exclusive)")
+	}
+	tr.Add(host, tr.listNames[5], CatSpam)
+	if !tr.IsMalicious(host) {
+		t.Fatal("6 lists must be malicious")
+	}
+}
+
+func TestDuplicateListIgnored(t *testing.T) {
+	tr := New()
+	tr.Add("x.example.com", "bl-00", CatMalware)
+	tr.Add("x.example.com", "bl-00", CatSpam)
+	if tr.Listings("x.example.com") != 1 {
+		t.Fatalf("listings = %d", tr.Listings("x.example.com"))
+	}
+}
+
+func TestRegisteredDomainAggregation(t *testing.T) {
+	tr := New()
+	tr.Add("ads.evil.example.com", "bl-00", CatMalware)
+	tr.Add("www.evil.example.com", "bl-01", CatMalware)
+	// Both subdomains share the registered domain example.com... actually
+	// evil.example.com's registered domain is example.com. All listings
+	// aggregate there.
+	if tr.Listings("other.example.com") != 2 {
+		t.Fatalf("listings = %d, want aggregation by registered domain", tr.Listings("other.example.com"))
+	}
+}
+
+func TestAnyMalicious(t *testing.T) {
+	tr := New()
+	for i := 0; i < 7; i++ {
+		tr.Add("bad.evil.net", tr.listNames[i], CatPhishing)
+	}
+	offender, ok := tr.AnyMalicious([]string{"clean.example.com", "www.evil.net", "other.org"})
+	if !ok || offender != "www.evil.net" {
+		t.Fatalf("offender = %q ok=%v", offender, ok)
+	}
+	if _, ok := tr.AnyMalicious([]string{"clean.example.com"}); ok {
+		t.Fatal("clean hosts flagged")
+	}
+}
+
+func TestCategories(t *testing.T) {
+	tr := New()
+	tr.Add("multi.example.com", "bl-00", CatMalware)
+	tr.Add("multi.example.com", "bl-01", CatPhishing)
+	tr.Add("multi.example.com", "bl-02", CatMalware)
+	cats := tr.Categories("multi.example.com")
+	if len(cats) != 2 || cats[0] != CatMalware || cats[1] != CatPhishing {
+		t.Fatalf("categories = %v", cats)
+	}
+}
+
+func TestBuildFromEcosystem(t *testing.T) {
+	eco, err := adnet.Generate(adnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Build(eco, 42)
+	if tr.Size() == 0 {
+		t.Fatal("tracker empty")
+	}
+
+	blacklistedDetected, blacklistedTotal := 0, 0
+	for _, c := range eco.Campaigns {
+		switch c.Kind {
+		case adnet.KindBlacklisted:
+			blacklistedTotal++
+			if tr.IsMalicious(c.CreativeHost) || tr.IsMalicious(c.LandingHost) {
+				blacklistedDetected++
+			}
+		case adnet.KindBenign:
+			if tr.IsMalicious(c.CreativeHost) {
+				t.Fatalf("benign campaign %s crosses the >5 threshold (ListedOn=%d)", c.ID, c.ListedOn)
+			}
+		case adnet.KindDriveBy, adnet.KindDeceptive:
+			if tr.IsMalicious(c.PayloadHost) {
+				t.Fatalf("payload campaign %s should stay under the blacklist radar", c.ID)
+			}
+		}
+	}
+	if blacklistedDetected < blacklistedTotal*9/10 {
+		t.Fatalf("only %d/%d blacklisted campaigns detected", blacklistedDetected, blacklistedTotal)
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	eco, _ := adnet.Generate(adnet.DefaultConfig())
+	a := Build(eco, 7)
+	b := Build(eco, 7)
+	for _, c := range eco.Campaigns {
+		if a.Listings(c.CreativeHost) != b.Listings(c.CreativeHost) {
+			t.Fatalf("listings differ for %s", c.CreativeHost)
+		}
+	}
+}
+
+func TestUnparsableHostFallback(t *testing.T) {
+	tr := New()
+	tr.Add("localhost", "bl-00", CatSpam)
+	if tr.Listings("localhost") != 1 {
+		t.Fatal("single-label hosts should still be trackable")
+	}
+}
+
+func TestTemporalListings(t *testing.T) {
+	tr := New()
+	for i := 0; i < 8; i++ {
+		tr.AddOn("late.evil.net", tr.listNames[i], CatMalware, i) // one list per day
+	}
+	if tr.IsMaliciousAsOf("www.evil.net", 3) {
+		t.Fatal("only 4 listings known by day 3")
+	}
+	if !tr.IsMaliciousAsOf("www.evil.net", 6) {
+		t.Fatal("7 listings known by day 6 should cross >5")
+	}
+	if !tr.IsMalicious("www.evil.net") {
+		t.Fatal("steady-state view should see all 8")
+	}
+	if tr.ListingsAsOf("www.evil.net", 0) != 1 {
+		t.Fatalf("day-0 listings = %d", tr.ListingsAsOf("www.evil.net", 0))
+	}
+}
+
+func TestBuildTemporalLag(t *testing.T) {
+	eco, err := adnet.Generate(adnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const lag = 30
+	tr := BuildTemporal(eco, 42, lag)
+
+	day0, dayEnd := 0, 0
+	for _, c := range eco.Campaigns {
+		if c.Kind != adnet.KindBlacklisted {
+			continue
+		}
+		if tr.IsMaliciousAsOf(c.CreativeHost, 0) {
+			day0++
+		}
+		if tr.IsMaliciousAsOf(c.CreativeHost, lag) {
+			dayEnd++
+		}
+	}
+	if dayEnd == 0 {
+		t.Fatal("no detections even at the end of the lag window")
+	}
+	// With listings spread over 30 days, day 0 must see meaningfully fewer
+	// threshold crossings than day 30.
+	if day0 >= dayEnd {
+		t.Fatalf("no lag effect: day0=%d dayEnd=%d", day0, dayEnd)
+	}
+	// Zero lag reduces to the static build.
+	static := Build(eco, 42)
+	for _, c := range eco.Campaigns {
+		if c.Kind == adnet.KindBlacklisted && !static.IsMaliciousAsOf(c.CreativeHost, 0) && static.IsMalicious(c.CreativeHost) {
+			t.Fatal("static build should know everything on day 0")
+		}
+	}
+}
+
+func TestAnyMaliciousAsOf(t *testing.T) {
+	tr := New()
+	for i := 0; i < 7; i++ {
+		tr.AddOn("slow.bad.org", tr.listNames[i], CatSpam, 5)
+	}
+	if _, hit := tr.AnyMaliciousAsOf([]string{"clean.example.com", "x.bad.org"}, 2); hit {
+		t.Fatal("nothing known by day 2")
+	}
+	offender, hit := tr.AnyMaliciousAsOf([]string{"clean.example.com", "x.bad.org"}, 5)
+	if !hit || offender != "x.bad.org" {
+		t.Fatalf("offender = %q hit=%v", offender, hit)
+	}
+}

@@ -1,0 +1,418 @@
+package browser
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"madave/internal/memnet"
+)
+
+func TestDocumentWriteScriptChain(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("chain.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		// A script that writes a script that writes a marker: the round
+		// loop must execute newly written scripts.
+		io.WriteString(w, `<html><body><script>
+			document.write('<script>document.write("<p id=deep>level2</p>");<\/script>');
+		</script></body></html>`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://chain.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page.HTML(), "level2") {
+		t.Fatalf("written script did not execute: %s", page.HTML())
+	}
+}
+
+func TestWriteLoopBounded(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("writeloop.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		// Each executed script writes another script, forever. The round
+		// cap must stop this.
+		io.WriteString(w, `<html><body><script>
+			var s = '<script>document.write("X" + "");<\/script>';
+			document.write(s + s + s);
+		</script></body></html>`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	if _, err := b.Load("http://writeloop.example.com/", ""); err != nil {
+		t.Fatal(err)
+	}
+	// Reaching here without hanging is the assertion.
+}
+
+func TestFrameDepthLimit(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("russian.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprintf(w, `<html><body><p>doll</p><iframe src="http://russian.example.com/deeper"></iframe></body></html>`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	b.MaxFrameDepth = 3
+	page, err := b.Load("http://russian.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth := 0
+	for p := page; len(p.Frames) > 0; p = p.Frames[0] {
+		depth++
+		if depth > 10 {
+			t.Fatal("depth limit not applied")
+		}
+	}
+	if depth != 3 {
+		t.Fatalf("frame depth = %d, want 3", depth)
+	}
+}
+
+func TestNavigationFollowLimit(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("navspam.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body><script>
+			var i;
+			for (i = 0; i < 10; i++) {
+				window.location = "http://target.example.com/p" + i;
+			}
+		</script></body></html>`)
+	})
+	var hits int
+	u.HandleFunc("target.example.com", func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		io.WriteString(w, "ok")
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://navspam.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Navigations) != 10 {
+		t.Fatalf("navigations recorded = %d, want all 10", len(page.Navigations))
+	}
+	if hits > maxFollowedNavigations {
+		t.Fatalf("followed %d navigations, cap is %d", hits, maxFollowedNavigations)
+	}
+}
+
+func TestIframeWithoutSrcSkipped(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("nosrc.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body><iframe name="placeholder"></iframe></body></html>`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://nosrc.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Frames) != 0 {
+		t.Fatal("src-less iframe should not load")
+	}
+	if len(page.FrameElems) != 1 {
+		t.Fatal("iframe element should still be counted")
+	}
+}
+
+func TestRelativeIframeSrcResolved(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("rel.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		switch r.URL.Path {
+		case "/section/page":
+			io.WriteString(w, `<html><body><iframe src="../widgets/frame"></iframe></body></html>`)
+		case "/widgets/frame":
+			io.WriteString(w, `<html><body><p>resolved</p></body></html>`)
+		default:
+			http.NotFound(w, r)
+		}
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://rel.example.com/section/page", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Frames) != 1 || !strings.Contains(page.Frames[0].HTML(), "resolved") {
+		t.Fatalf("relative iframe not resolved: %+v", page.Frames)
+	}
+}
+
+func TestSelfAliasAndInnerDimensions(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("alias.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body><script>
+			document.write("<p>" + self.innerWidth + "x" + window.innerHeight + "</p>");
+		</script></body></html>`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://alias.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page.HTML(), "1920x1080") {
+		t.Fatalf("window aliases wrong: %s", page.HTML())
+	}
+}
+
+func TestGetElementByIdAndInnerHTML(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("dom.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body><div id="slot">old</div><script>
+			var el = document.getElementById("slot");
+			el.innerHTML = "<b>new content</b>";
+		</script></body></html>`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://dom.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page.HTML(), "new content") || strings.Contains(page.HTML(), "old") {
+		t.Fatalf("innerHTML mutation failed: %s", page.HTML())
+	}
+	if page.Doc.FindFirst("b") == nil {
+		t.Fatal("written fragment not parsed into DOM")
+	}
+}
+
+func TestLocationHrefRead(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("whoami.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body><script>
+			document.write("<p>" + location.href + "|" + location.host + "</p>");
+		</script></body></html>`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://whoami.example.com/page?x=1", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page.HTML(), "http://whoami.example.com/page?x=1|whoami.example.com") {
+		t.Fatalf("location introspection wrong: %s", page.HTML())
+	}
+}
+
+func TestDownloadAsTopDocument(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("direct.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		io.WriteString(w, "MZ binary")
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://direct.example.com/file.exe", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Downloads) != 1 || page.Doc != nil {
+		t.Fatalf("direct download mishandled: %+v", page)
+	}
+}
+
+func TestCookieJar(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("cookies.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body><script>
+			document.cookie = "freq=1; path=/";
+			document.cookie = "seg=sports";
+			document.write("<p>" + document.cookie + "</p>");
+		</script></body></html>`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://cookies.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page.HTML(), "freq=1; seg=sports") {
+		t.Fatalf("cookie readback wrong: %s", page.HTML())
+	}
+	if v, ok := b.Cookie("cookies.example.com", "freq"); !ok || v != "1" {
+		t.Fatalf("Cookie() = %q, %v", v, ok)
+	}
+	if _, ok := b.Cookie("other.example.net", "freq"); ok {
+		t.Fatal("cookies must be scoped to the registered domain")
+	}
+}
+
+func TestCookiePersistsAcrossVisits(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("capped.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		// Frequency capping: show the big ad only on the first visit.
+		io.WriteString(w, `<html><body><script>
+			if (document.cookie.indexOf("shown=1") < 0) {
+				document.cookie = "shown=1";
+				document.write("<p id=big>BIG AD</p>");
+			} else {
+				document.write("<p id=small>small ad</p>");
+			}
+		</script></body></html>`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	first, err := b.Load("http://capped.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.Load("http://capped.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.HTML(), "BIG AD") {
+		t.Fatalf("first visit: %s", first.HTML())
+	}
+	if !strings.Contains(second.HTML(), "small ad") {
+		t.Fatalf("second visit: %s", second.HTML())
+	}
+}
+
+func TestDateBindings(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("clock.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body><script>
+			var d = new Date();
+			document.write("<p>" + Date.now() + "|" + d.getTime() + "|" + d.getHours() + "|" + d.getDay() + "</p>");
+		</script></body></html>`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	b.ClockMillis = 1_394_548_200_000 // 2014-03-11 14:30 UTC, a Tuesday
+	page, err := b.Load("http://clock.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page.HTML(), "1394548200000|1394548200000|14|2") {
+		t.Fatalf("date output: %s", page.HTML())
+	}
+}
+
+func TestTimeOfDayCloaking(t *testing.T) {
+	// A campaign that only misbehaves at night: the honeyclient's fixed
+	// daytime clock sees the benign branch; an analyst can rewind the clock
+	// to expose the attack.
+	u := memnet.NewUniverse()
+	u.HandleFunc("nightowl.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body><script>
+			if (new Date().getHours() >= 22 || new Date().getHours() < 6) {
+				top.location = "http://night-scam.example.net/";
+			} else {
+				document.write("<p>daytime ad</p>");
+			}
+		</script></body></html>`)
+	})
+	day, _ := newBrowser(u, UserProfile())
+	day.ClockMillis = 1_394_548_200_000 // 14:30
+	dp, err := day.Load("http://nightowl.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dp.Navigations) != 0 || !strings.Contains(dp.HTML(), "daytime ad") {
+		t.Fatalf("daytime render wrong: navs=%v", dp.Navigations)
+	}
+	night, _ := newBrowser(u, UserProfile())
+	night.ClockMillis = 1_394_580_600_000 // 23:30 same day
+	np, err := night.Load("http://nightowl.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(np.Navigations) != 1 || np.Navigations[0].Kind != NavTop {
+		t.Fatalf("night hijack missed: %+v", np.Navigations)
+	}
+}
+
+func TestCreateElementAppendChild(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("loader.example.com", func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/":
+			w.Header().Set("Content-Type", "text/html")
+			io.WriteString(w, `<html><body><script>
+				var img = document.createElement("img");
+				img.src = "http://assets.example.com/px.gif";
+				img.width = 1; img.height = 1;
+				document.body.appendChild(img);
+
+				var fr = document.createElement("iframe");
+				fr.src = "http://child.example.com/";
+				document.body.appendChild(fr);
+			</script></body></html>`)
+		}
+	})
+	u.HandleFunc("assets.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "image/gif")
+		io.WriteString(w, "GIF89a")
+	})
+	u.HandleFunc("child.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, "<html><body><p>child frame</p></body></html>")
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://loader.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The appended image was fetched.
+	foundImg := false
+	for _, r := range page.Resources {
+		if strings.Contains(r.URL, "px.gif") && r.Status == 200 {
+			foundImg = true
+		}
+	}
+	if !foundImg {
+		t.Fatalf("appended image not fetched: %+v", page.Resources)
+	}
+	// The appended iframe was loaded.
+	if len(page.Frames) != 1 || !strings.Contains(page.Frames[0].HTML(), "child frame") {
+		t.Fatalf("appended iframe not loaded: %+v", page.Frames)
+	}
+}
+
+func TestAsyncScriptLoaderExecutes(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("asyncad.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body><script>
+			var s = document.createElement("script");
+			s.src = "http://tag.example.com/ad.js";
+			document.body.appendChild(s);
+		</script></body></html>`)
+	})
+	u.HandleFunc("tag.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/javascript")
+		io.WriteString(w, `document.write("<p id=loaded>async ad loaded</p>");`)
+	})
+	b, _ := newBrowser(u, UserProfile())
+	page, err := b.Load("http://asyncad.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(page.HTML(), "async ad loaded") {
+		t.Fatalf("external script did not run: %s", page.HTML())
+	}
+	// An async hijack through the loaded tag is still observable.
+	u.HandleFunc("tag.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/javascript")
+		io.WriteString(w, `top.location = "http://landing.example.com/";`)
+	})
+	u.HandleFunc("landing.example.com", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "landed")
+	})
+	b2, _ := newBrowser(u, UserProfile())
+	page2, err := b2.Load("http://asyncad.example.com/", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	navs := page2.AllNavigations()
+	if len(navs) != 1 || navs[0].Kind != NavTop {
+		t.Fatalf("async hijack missed: %+v", navs)
+	}
+}

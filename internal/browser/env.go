@@ -1,0 +1,492 @@
+package browser
+
+import (
+	"strings"
+
+	"madave/internal/htmlparse"
+	"madave/internal/minijs"
+	"madave/internal/urlx"
+)
+
+// runScripts executes every inline <script> in the page's DOM, in document
+// order, inside a shared execution context. document.write output is parsed
+// and appended to the document after each script, and any scripts it
+// produced are executed too (bounded). setTimeout callbacks run after the
+// synchronous pass, ordered by delay — the browser's logical event loop.
+func (b *Browser) runScripts(page *Page, sandboxed bool) {
+	ctx := &scriptCtx{b: b, page: page, sandboxed: sandboxed}
+	interp := minijs.New()
+	interp.Budget = b.ScriptBudget
+	ctx.install(interp)
+
+	executed := map[*htmlparse.Node]bool{}
+	// Rounds: each round executes scripts not yet run (including ones that
+	// document.write introduced in the previous round).
+	for round := 0; round < 5; round++ {
+		scripts := page.Doc.Find("script")
+		ran := false
+		for _, s := range scripts {
+			if executed[s] {
+				continue
+			}
+			executed[s] = true
+			if _, external := s.Attr("src"); external {
+				continue // external scripts are fetched as resources, not executed
+			}
+			src := s.InnerText()
+			if strings.TrimSpace(src) == "" {
+				continue
+			}
+			ran = true
+			page.Scripts = append(page.Scripts, src)
+			if _, err := interp.Run(src); err != nil {
+				page.Errors = append(page.Errors, "script: "+err.Error())
+			}
+			ctx.flushWrites()
+		}
+		if !ran {
+			break
+		}
+	}
+
+	// Drain timers (setTimeout callbacks may queue more timers and writes).
+	for pass := 0; pass < 5 && len(ctx.timers) > 0; pass++ {
+		timers := ctx.timers
+		ctx.timers = nil
+		sortTimers(timers)
+		for _, t := range timers {
+			if _, err := interp.CallFunction(t.fn, minijs.Undefined{}, nil); err != nil {
+				page.Errors = append(page.Errors, "timer: "+err.Error())
+			}
+			ctx.flushWrites()
+		}
+	}
+}
+
+// scriptCtx carries the per-document state the host bindings mutate.
+type scriptCtx struct {
+	b         *Browser
+	page      *Page
+	sandboxed bool
+	writeBuf  strings.Builder
+	timers    []timerEntry
+	timerSeq  int
+	navCount  int
+	// elements maps wrapped element objects back to their DOM nodes
+	// (createElement / getElementById results).
+	elements map[*minijs.Object]*htmlparse.Node
+	// externalRan guards against re-running the same external script URL.
+	externalRan map[string]bool
+}
+
+// nodeOf resolves a wrapped element object to its DOM node.
+func (ctx *scriptCtx) nodeOf(el *minijs.Object) *htmlparse.Node {
+	return ctx.elements[el]
+}
+
+// runExternalScript fetches a script URL and executes its body in the
+// document's context (the appendChild ad-loader path).
+func (ctx *scriptCtx) runExternalScript(in *minijs.Interp, src string) {
+	abs := urlx.Resolve(ctx.page.FinalURL, src)
+	if abs == "" {
+		return
+	}
+	if ctx.externalRan == nil {
+		ctx.externalRan = map[string]bool{}
+	}
+	if ctx.externalRan[abs] {
+		return
+	}
+	ctx.externalRan[abs] = true
+
+	res := Resource{URL: abs, Tag: "script"}
+	resp, err := ctx.b.get(abs, ctx.page.FinalURL)
+	if err != nil {
+		res.Err = err.Error()
+		ctx.page.Resources = append(ctx.page.Resources, res)
+		return
+	}
+	body := readCapped(resp)
+	resp.Body.Close()
+	res.Status = resp.StatusCode
+	res.ContentType = mediaType(resp.Header.Get("Content-Type"))
+	ctx.page.Resources = append(ctx.page.Resources, res)
+	if resp.StatusCode != 200 {
+		return
+	}
+	src2 := string(body)
+	ctx.page.Scripts = append(ctx.page.Scripts, src2)
+	if _, err := in.Run(src2); err != nil {
+		ctx.page.Errors = append(ctx.page.Errors, "external script: "+err.Error())
+	}
+	ctx.flushWrites()
+}
+
+// maxFollowedNavigations bounds how many script navigations the browser
+// chases per document.
+const maxFollowedNavigations = 3
+
+// install defines the host objects: document, window, top, navigator,
+// screen, location, setTimeout — and overrides Math.random with the
+// browser's deterministic stream.
+func (ctx *scriptCtx) install(in *minijs.Interp) {
+	g := in.Global
+
+	// document ----------------------------------------------------------
+	doc := minijs.NewObject()
+	doc.Name = "document"
+	doc.Props["URL"] = ctx.page.FinalURL
+	doc.Props["referrer"] = ""
+	docHost := urlx.Host(ctx.page.FinalURL)
+	doc.GetTrap = func(name string) (minijs.Value, bool) {
+		if name == "cookie" {
+			return ctx.b.cookieHeader(docHost), true
+		}
+		return nil, false
+	}
+	doc.SetTrap = func(name string, v minijs.Value) bool {
+		if name == "cookie" {
+			ctx.b.setCookie(docHost, minijs.ToString(v))
+			return true
+		}
+		return false
+	}
+	doc.Props["write"] = minijs.NewNative("write", func(_ *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		for _, a := range args {
+			ctx.writeBuf.WriteString(minijs.ToString(a))
+		}
+		return minijs.Undefined{}, nil
+	})
+	doc.Props["writeln"] = doc.Props["write"]
+	// createElement / appendChild: the asynchronous ad-loader pattern
+	// (`var s = document.createElement("script"); s.src = ...;
+	// document.body.appendChild(s);`). Appended images and iframes land in
+	// the DOM and are fetched by the post-script resource/frame passes;
+	// appended external scripts are fetched and executed immediately.
+	doc.Props["createElement"] = minijs.NewNative("createElement", func(_ *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		tag := strings.ToLower(minijs.ToString(argOr(args, 0)))
+		node := &htmlparse.Node{Type: htmlparse.ElementNode, Tag: tag}
+		return ctx.wrapElement(node), nil
+	})
+	body := minijs.NewObject()
+	body.Name = "document.body"
+	body.Props["appendChild"] = minijs.NewNative("appendChild", func(in *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		el, ok := argOr(args, 0).(*minijs.Object)
+		if !ok {
+			return minijs.Undefined{}, nil
+		}
+		node := ctx.nodeOf(el)
+		if node == nil {
+			return argOr(args, 0), nil
+		}
+		target := ctx.page.Doc.FindFirst("body")
+		if target == nil {
+			target = ctx.page.Doc
+		}
+		node.Parent = target
+		target.Children = append(target.Children, node)
+		// Script elements with a src execute on insertion.
+		if node.Tag == "script" {
+			if src, has := node.Attr("src"); has && src != "" {
+				ctx.runExternalScript(in, src)
+			}
+		}
+		return argOr(args, 0), nil
+	})
+	doc.Props["body"] = body
+	doc.Props["getElementById"] = minijs.NewNative("getElementById", func(_ *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		id := minijs.ToString(argOr(args, 0))
+		var found *htmlparse.Node
+		ctx.page.Doc.Walk(func(n *htmlparse.Node) bool {
+			if found == nil && n.Type == htmlparse.ElementNode && n.AttrOr("id", "") == id {
+				found = n
+				return false
+			}
+			return found == nil
+		})
+		if found == nil {
+			return minijs.Null{}, nil
+		}
+		return ctx.wrapElement(found), nil
+	})
+	g.Define("document", doc)
+
+	// navigator ----------------------------------------------------------
+	nav := minijs.NewObject()
+	nav.Name = "navigator"
+	nav.Props["userAgent"] = ctx.b.Profile.UserAgent
+	plugins := minijs.NewArray()
+	for _, p := range ctx.b.Profile.Plugins {
+		po := minijs.NewObject()
+		po.Props["name"] = p.Name
+		po.Props["version"] = p.Version
+		plugins.Elems = append(plugins.Elems, po)
+	}
+	nav.Props["plugins"] = plugins
+	g.Define("navigator", nav)
+
+	// screen --------------------------------------------------------------
+	screen := minijs.NewObject()
+	screen.Name = "screen"
+	screen.Props["width"] = float64(ctx.b.Profile.ScreenW)
+	screen.Props["height"] = float64(ctx.b.Profile.ScreenH)
+	g.Define("screen", screen)
+
+	// location -------------------------------------------------------------
+	loc := minijs.NewObject()
+	loc.Name = "location"
+	loc.GetTrap = func(name string) (minijs.Value, bool) {
+		switch name {
+		case "href":
+			return ctx.page.FinalURL, true
+		case "host":
+			return urlx.Host(ctx.page.FinalURL), true
+		case "protocol":
+			return "http:", true
+		}
+		return nil, false
+	}
+	loc.SetTrap = func(name string, v minijs.Value) bool {
+		if name == "href" {
+			ctx.navigate(NavLocation, minijs.ToString(v))
+			return true
+		}
+		return false
+	}
+	loc.Props["replace"] = minijs.NewNative("replace", func(_ *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		ctx.navigate(NavLocation, minijs.ToString(argOr(args, 0)))
+		return minijs.Undefined{}, nil
+	})
+	loc.Props["toString"] = minijs.NewNative("toString", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		return ctx.page.FinalURL, nil
+	})
+	g.Define("location", loc)
+
+	// top ------------------------------------------------------------------
+	top := minijs.NewObject()
+	top.Name = "top"
+	topLoc := minijs.NewObject()
+	topLoc.Name = "top.location"
+	topLoc.SetTrap = func(name string, v minijs.Value) bool {
+		if name == "href" {
+			ctx.navigate(NavTop, minijs.ToString(v))
+			return true
+		}
+		return false
+	}
+	top.Props["location"] = topLoc
+	top.SetTrap = func(name string, v minijs.Value) bool {
+		if name == "location" {
+			ctx.navigate(NavTop, minijs.ToString(v))
+			return true
+		}
+		return false
+	}
+	g.Define("top", top)
+	g.Define("parent", top)
+
+	// window ----------------------------------------------------------------
+	win := minijs.NewObject()
+	win.Name = "window"
+	win.Props["document"] = doc
+	win.Props["navigator"] = nav
+	win.Props["screen"] = screen
+	win.Props["top"] = top
+	win.Props["innerWidth"] = float64(ctx.b.Profile.ScreenW)
+	win.Props["innerHeight"] = float64(ctx.b.Profile.ScreenH)
+	win.GetTrap = func(name string) (minijs.Value, bool) {
+		if name == "location" {
+			return loc, true
+		}
+		return nil, false
+	}
+	win.SetTrap = func(name string, v minijs.Value) bool {
+		if name == "location" {
+			ctx.navigate(NavLocation, minijs.ToString(v))
+			return true
+		}
+		return false
+	}
+	g.Define("window", win)
+	g.Define("self", win)
+
+	// setTimeout --------------------------------------------------------------
+	setTimeout := minijs.NewNative("setTimeout", func(_ *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		if len(args) == 0 {
+			return float64(0), nil
+		}
+		delay := 0.0
+		if len(args) > 1 {
+			delay = minijs.ToNumber(args[1])
+		}
+		ctx.timerSeq++
+		ctx.timers = append(ctx.timers, timerEntry{delay: delay, seq: ctx.timerSeq, fn: args[0]})
+		return float64(ctx.timerSeq), nil
+	})
+	g.Define("setTimeout", setTimeout)
+	win.Props["setTimeout"] = setTimeout
+	g.Define("clearTimeout", minijs.NewNative("clearTimeout", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		return minijs.Undefined{}, nil
+	}))
+
+	// Date: a logical, fixed clock so runs reproduce. Supports the idioms
+	// ad scripts use: Date.now(), new Date().getTime(), getHours(),
+	// getDay().
+	clock := ctx.b.ClockMillis
+	dateCtor := minijs.NewNative("Date", func(_ *minijs.Interp, this minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		obj, ok := this.(*minijs.Object)
+		if !ok {
+			return float64(clock), nil // Date() called as a function
+		}
+		obj.Props["getTime"] = minijs.NewNative("getTime", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+			return float64(clock), nil
+		})
+		obj.Props["getHours"] = minijs.NewNative("getHours", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+			return float64(clock / 3_600_000 % 24), nil
+		})
+		obj.Props["getDay"] = minijs.NewNative("getDay", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+			// Day 0 (1970-01-01) was a Thursday = weekday 4.
+			return float64((clock/86_400_000 + 4) % 7), nil
+		})
+		obj.Props["getMinutes"] = minijs.NewNative("getMinutes", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+			return float64(clock / 60_000 % 60), nil
+		})
+		return minijs.Undefined{}, nil
+	})
+	dateCtor.Props["now"] = minijs.NewNative("now", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		return float64(clock), nil
+	})
+	g.Define("Date", dateCtor)
+
+	// Deterministic Math.random from the browser's RNG stream.
+	if mathV, ok := g.Lookup("Math"); ok {
+		if mathObj, ok := mathV.(*minijs.Object); ok {
+			rng := ctx.b.RNG.Fork("mathrandom:" + ctx.page.FinalURL)
+			mathObj.Props["random"] = minijs.NewNative("random", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+				return rng.Float64(), nil
+			})
+		}
+	}
+}
+
+// elementAttrs are the element properties scripts read and write that map
+// straight onto HTML attributes.
+var elementAttrs = map[string]bool{
+	"src": true, "href": true, "id": true, "width": true, "height": true,
+	"name": true, "type": true, "class": true,
+}
+
+// wrapElement exposes a DOM node to scripts: innerHTML, attribute-backed
+// properties (src, href, width, ...), and identity for appendChild.
+func (ctx *scriptCtx) wrapElement(n *htmlparse.Node) *minijs.Object {
+	o := minijs.NewObject()
+	o.Name = "element:" + n.Tag
+	o.Props["tagName"] = strings.ToUpper(n.Tag)
+	o.GetTrap = func(name string) (minijs.Value, bool) {
+		if name == "innerHTML" {
+			inner := ""
+			for _, c := range n.Children {
+				inner += c.Render()
+			}
+			return inner, true
+		}
+		if elementAttrs[name] {
+			return n.AttrOr(name, ""), true
+		}
+		return nil, false
+	}
+	o.SetTrap = func(name string, v minijs.Value) bool {
+		if name == "innerHTML" {
+			frag := htmlparse.Parse(minijs.ToString(v))
+			n.Children = frag.Children
+			return true
+		}
+		if elementAttrs[name] {
+			n.SetAttr(name, minijs.ToString(v))
+			return true
+		}
+		return false
+	}
+	if ctx.elements == nil {
+		ctx.elements = map[*minijs.Object]*htmlparse.Node{}
+	}
+	ctx.elements[o] = n
+	return o
+}
+
+// navigate records (and, within limits, follows) a script navigation.
+func (ctx *scriptCtx) navigate(kind NavigationKind, target string) {
+	abs := urlx.Resolve(ctx.page.FinalURL, target)
+	if abs == "" {
+		abs = target
+	}
+	nav := Navigation{Kind: kind, Target: abs}
+
+	// Sandbox policy: a sandboxed frame may not navigate the top page
+	// unless allow-top-navigation was granted — the §4.4 countermeasure.
+	if kind == NavTop && ctx.sandboxed && !ctx.b.sandboxAllows(ctx.page, "allow-top-navigation") {
+		nav.Blocked = true
+		ctx.page.Navigations = append(ctx.page.Navigations, nav)
+		return
+	}
+
+	if ctx.b.FollowNavigations && ctx.navCount < maxFollowedNavigations {
+		ctx.navCount++
+		resp, err := ctx.b.get(abs, ctx.page.FinalURL)
+		if err != nil {
+			nav.NXDomain = IsNXDomain(err)
+		} else {
+			nav.Status = resp.StatusCode
+			nav.ContentType = mediaType(resp.Header.Get("Content-Type"))
+			body := readCapped(resp)
+			resp.Body.Close()
+			if isDownloadType(nav.ContentType) {
+				ctx.page.Downloads = append(ctx.page.Downloads, Download{
+					URL: abs, ContentType: nav.ContentType, Body: body,
+				})
+			}
+			// Follow one level of redirect so exe-behind-302 is observed.
+			if resp.StatusCode >= 300 && resp.StatusCode < 400 {
+				if loc := resp.Header.Get("Location"); loc != "" {
+					next := urlx.Resolve(abs, loc)
+					if resp2, err2 := ctx.b.get(next, abs); err2 == nil {
+						ct2 := mediaType(resp2.Header.Get("Content-Type"))
+						body2 := readCapped(resp2)
+						resp2.Body.Close()
+						if isDownloadType(ct2) {
+							ctx.page.Downloads = append(ctx.page.Downloads, Download{
+								URL: next, ContentType: ct2, Body: body2,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	ctx.page.Navigations = append(ctx.page.Navigations, nav)
+}
+
+// flushWrites parses accumulated document.write output and appends it to
+// the document body (or root).
+func (ctx *scriptCtx) flushWrites() {
+	if ctx.writeBuf.Len() == 0 {
+		return
+	}
+	frag := htmlparse.Parse(ctx.writeBuf.String())
+	ctx.writeBuf.Reset()
+	target := ctx.page.Doc.FindFirst("body")
+	if target == nil {
+		target = ctx.page.Doc
+	}
+	for _, c := range frag.Children {
+		target.Children = append(target.Children, c)
+		c.Parent = target
+	}
+}
+
+func argOr(args []minijs.Value, i int) minijs.Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return minijs.Undefined{}
+}

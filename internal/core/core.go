@@ -1,0 +1,197 @@
+// Package core is the study engine: it assembles the full simulation (the
+// synthetic web, the ad ecosystem, the HTTP universe), runs the paper's
+// two-phase methodology — crawl (§3.1) then oracle classification (§3.2) —
+// and produces the analysis report reproducing §4's tables and figures.
+//
+// The root package madave wraps this engine with the public API.
+package core
+
+import (
+	"fmt"
+
+	"madave/internal/adnet"
+	"madave/internal/adserver"
+	"madave/internal/analysis"
+	"madave/internal/avscan"
+	"madave/internal/blacklist"
+	"madave/internal/corpus"
+	"madave/internal/crawler"
+	"madave/internal/easylist"
+	"madave/internal/honeyclient"
+	"madave/internal/memnet"
+	"madave/internal/netcap"
+	"madave/internal/oracle"
+	"madave/internal/webgen"
+)
+
+// Config parameterizes a study run.
+type Config struct {
+	// Seed drives all randomness: generation, serving, crawling.
+	Seed uint64
+	// Web and Ads configure the synthetic populations.
+	Web webgen.Config
+	Ads adnet.Config
+	// Crawl configures the collection phase.
+	Crawl crawler.Config
+	// CrawlSites caps how many sites of the paper-style crawl set are
+	// visited (0 = all of them). Scaling down samples the set uniformly so
+	// cluster proportions are preserved.
+	CrawlSites int
+	// RandomSites is the size of the random middle sample in the crawl set
+	// (the paper used 20,000 over a 1M population).
+	RandomSites int
+	// OracleParallelism bounds concurrent oracle classifications.
+	OracleParallelism int
+}
+
+// DefaultConfig returns a laptop-scale study that finishes in seconds while
+// preserving every distributional property the paper measures. Scale
+// CrawlSites / Crawl.Days up toward the paper's three-month crawl as budget
+// allows.
+func DefaultConfig() Config {
+	return Config{
+		Seed:              1,
+		Web:               webgen.DefaultConfig(),
+		Ads:               adnet.DefaultConfig(),
+		Crawl:             crawler.Config{Days: 1, Refreshes: 5, Parallelism: 8},
+		CrawlSites:        800,
+		RandomSites:       3000,
+		OracleParallelism: 8,
+	}
+}
+
+// Study is an assembled simulation ready to run.
+type Study struct {
+	Cfg      Config
+	Web      *webgen.Web
+	Eco      *adnet.Ecosystem
+	Server   *adserver.Server
+	Universe *memnet.Universe
+	List     *easylist.List
+	Oracle   *oracle.Oracle
+}
+
+// NewStudy builds the full simulation.
+func NewStudy(cfg Config) (*Study, error) {
+	if cfg.Seed != 0 {
+		cfg.Web.Seed = cfg.Seed
+		cfg.Ads.Seed = cfg.Seed
+		cfg.Crawl.Seed = cfg.Seed
+	}
+	web, err := webgen.Generate(cfg.Web)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating web: %w", err)
+	}
+	eco, err := adnet.Generate(cfg.Ads)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating ad ecosystem: %w", err)
+	}
+	srv := adserver.New(eco, web, cfg.Seed)
+	u := memnet.NewUniverse()
+	srv.Install(u)
+
+	list, err := easylist.ParseString(srv.BuildEasyList())
+	if err != nil {
+		return nil, fmt.Errorf("core: building easylist: %w", err)
+	}
+
+	ora := oracle.New(
+		honeyclient.New(u, cfg.Seed),
+		blacklist.Build(eco, cfg.Seed),
+		avscan.New(cfg.Seed),
+	)
+	if cfg.OracleParallelism > 0 {
+		ora.Parallelism = cfg.OracleParallelism
+	}
+	return &Study{
+		Cfg:      cfg,
+		Web:      web,
+		Eco:      eco,
+		Server:   srv,
+		Universe: u,
+		List:     list,
+		Oracle:   ora,
+	}, nil
+}
+
+// CrawlSites returns the sites the crawl will visit: the paper's crawl set
+// (top 10k + bottom 10k + random middle + AV feed), optionally subsampled
+// uniformly to Cfg.CrawlSites.
+func (s *Study) CrawlSites() []*webgen.Site {
+	full := s.Web.CrawlSet(s.Cfg.RandomSites)
+	n := s.Cfg.CrawlSites
+	if n <= 0 || n >= len(full) {
+		return full
+	}
+	// Uniform stride sampling preserves the rank mix (and therefore the
+	// §4.2 cluster proportions).
+	out := make([]*webgen.Site, 0, n)
+	stride := float64(len(full)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, full[int(float64(i)*stride)])
+	}
+	return out
+}
+
+// Crawl runs the collection phase over the configured crawl set.
+func (s *Study) Crawl() (*corpus.Corpus, *crawler.Stats) {
+	return s.CrawlSubset(s.CrawlSites())
+}
+
+// CrawlSubset runs the collection phase over an explicit site list.
+func (s *Study) CrawlSubset(sites []*webgen.Site) (*corpus.Corpus, *crawler.Stats) {
+	cr := crawler.New(s.Universe, s.List, s.Web, s.Cfg.Crawl)
+	return cr.Run(sites)
+}
+
+// CrawlTraced is Crawl with full HTTP traffic capture (§3.1: the paper
+// captured all traffic during crawling). The trace can be saved with
+// netcap's Save.
+func (s *Study) CrawlTraced() (*corpus.Corpus, *crawler.Stats, *netcap.Capture) {
+	cr := crawler.New(s.Universe, s.List, s.Web, s.Cfg.Crawl)
+	cr.KeepTraffic = true
+	corp, st := cr.Run(s.CrawlSites())
+	return corp, st, cr.Traffic()
+}
+
+// Classify runs the oracle over a corpus.
+func (s *Study) Classify(corp *corpus.Corpus) *oracle.Result {
+	return s.Oracle.ClassifyCorpus(corp)
+}
+
+// Analyze computes the paper's tables and figures from the measured data.
+func (s *Study) Analyze(corp *corpus.Corpus, res *oracle.Result, st *crawler.Stats) *analysis.Report {
+	return analysis.Analyze(analysis.Input{
+		Corpus:     corp,
+		Result:     res,
+		TotalSites: len(s.Web.Sites),
+		CrawlStats: st,
+	})
+}
+
+// GroundTruth resolves an advertisement's true campaign. It exists for
+// validation and the EXPERIMENTS.md cross-checks; the measurement pipeline
+// itself never consults it.
+func (s *Study) GroundTruth(ad *corpus.Ad) (*adnet.Campaign, bool) {
+	d, ok := s.Server.Decide(ad.PubHost, ad.Impression)
+	if !ok {
+		return nil, false
+	}
+	return d.Campaign, true
+}
+
+// Results bundles a full study run.
+type Results struct {
+	Corpus     *corpus.Corpus
+	CrawlStats *crawler.Stats
+	Oracle     *oracle.Result
+	Report     *analysis.Report
+}
+
+// Run executes crawl → classify → analyze.
+func (s *Study) Run() *Results {
+	corp, st := s.Crawl()
+	res := s.Classify(corp)
+	rep := s.Analyze(corp, res, st)
+	return &Results{Corpus: corp, CrawlStats: st, Oracle: res, Report: rep}
+}

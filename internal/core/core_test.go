@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"madave/internal/oracle"
+)
+
+var (
+	onceRun sync.Once
+	fixS    *Study
+	fixR    *Results
+)
+
+// runStudy executes one full default-scale study shared by the integration
+// tests below. It is the repository's canonical end-to-end exercise.
+func runStudy(t *testing.T) (*Study, *Results) {
+	t.Helper()
+	onceRun.Do(func() {
+		s, err := NewStudy(DefaultConfig())
+		if err != nil {
+			panic(err)
+		}
+		fixS = s
+		fixR = s.Run()
+	})
+	return fixS, fixR
+}
+
+func TestStudyProducesCorpus(t *testing.T) {
+	_, r := runStudy(t)
+	if r.Corpus.Len() < 5000 {
+		t.Fatalf("corpus too small: %d", r.Corpus.Len())
+	}
+	if r.CrawlStats.PageErrors != 0 {
+		t.Fatalf("page errors: %d", r.CrawlStats.PageErrors)
+	}
+}
+
+func TestMaliciousRateAboutOnePercent(t *testing.T) {
+	_, r := runStudy(t)
+	rate := r.Oracle.MaliciousRate()
+	// Paper: "about 1% of all the collected advertisements show a
+	// malicious behavior".
+	if rate < 0.004 || rate > 0.025 {
+		t.Fatalf("malicious rate = %.4f, want ~0.01", rate)
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	_, r := runStudy(t)
+	tbl := r.Report.Table1
+	if tbl.Total < 30 {
+		t.Fatalf("too few incidents (%d) to check Table 1 shape", tbl.Total)
+	}
+	blShare := float64(tbl.Counts[oracle.CatBlacklists]) / float64(tbl.Total)
+	if blShare < 0.55 || blShare > 0.90 {
+		t.Fatalf("blacklists share = %.3f, paper has 72.6%%", blShare)
+	}
+	srShare := float64(tbl.Counts[oracle.CatSuspRedirect]) / float64(tbl.Total)
+	if srShare < 0.08 || srShare > 0.40 {
+		t.Fatalf("suspicious redirections share = %.3f, paper has 21.1%%", srShare)
+	}
+	// Ordering of the two big rows must match the paper.
+	if tbl.Counts[oracle.CatBlacklists] <= tbl.Counts[oracle.CatSuspRedirect] {
+		t.Fatal("blacklists must dominate suspicious redirections")
+	}
+	// Payload categories are rare.
+	exeShare := float64(tbl.Counts[oracle.CatMaliciousExe]) / float64(tbl.Total)
+	if exeShare > 0.08 {
+		t.Fatalf("executables share = %.3f, paper has ~1%%", exeShare)
+	}
+}
+
+func TestOracleMatchesGroundTruth(t *testing.T) {
+	s, r := runStudy(t)
+	truthMal := 0
+	for _, ad := range r.Corpus.All() {
+		c, ok := s.GroundTruth(ad)
+		if !ok {
+			t.Fatalf("no ground truth for %s", ad.Impression)
+		}
+		if c.IsMalicious() {
+			truthMal++
+		}
+	}
+	got := r.Oracle.MaliciousCount()
+	// Precision/recall within 10%.
+	if got < truthMal*9/10 || got > truthMal*11/10+2 {
+		t.Fatalf("oracle found %d, ground truth %d", got, truthMal)
+	}
+}
+
+func TestClusterSharesMatchPaper(t *testing.T) {
+	_, r := runStudy(t)
+	cl := r.Report.Clusters
+	// Paper: all ads 76.6 / 11.6 / 11.8; malvertisements 82.3 / 6.2 / 11.5.
+	if got := cl.AdShare["top10k"]; got < 0.65 || got > 0.88 {
+		t.Fatalf("top ad share = %.3f, paper 0.766", got)
+	}
+	if got := cl.AdShare["bottom10k"]; got > 0.20 {
+		t.Fatalf("bottom ad share = %.3f, paper 0.116", got)
+	}
+	if got := cl.MalShare["top10k"]; got < 0.60 || got > 0.95 {
+		t.Fatalf("top malvertising share = %.3f, paper 0.823", got)
+	}
+	if cl.MalShare["top10k"] <= cl.MalShare["bottom10k"] {
+		t.Fatal("top cluster must dominate malvertising")
+	}
+}
+
+func TestFigure4GenericTLDs(t *testing.T) {
+	_, r := runStudy(t)
+	if len(r.Report.Figure4) == 0 {
+		t.Fatal("no TLD rows")
+	}
+	// .com is the top TLD among malvertising sites.
+	if r.Report.Figure4[0].TLD != "com" {
+		t.Fatalf("top TLD = %q, paper: .com majority", r.Report.Figure4[0].TLD)
+	}
+	// Generic TLDs carry more than 66%.
+	if r.Report.GenericTLDMalShare < 0.60 {
+		t.Fatalf("generic TLD share = %.3f, paper > 0.66", r.Report.GenericTLDMalShare)
+	}
+}
+
+func TestFigure5ChainShapes(t *testing.T) {
+	_, r := runStudy(t)
+	f5 := r.Report.Figure5
+	if f5.Benign.Total() == 0 || f5.Malicious.Total() == 0 {
+		t.Fatal("empty chain histograms")
+	}
+	// Benign chains bounded near 15, malicious reaching further.
+	if f5.Benign.Quantile(0.999) > 15 {
+		t.Fatalf("benign p99.9 = %d", f5.Benign.Quantile(0.999))
+	}
+	if f5.Malicious.Max() <= f5.Benign.Quantile(0.999) {
+		t.Fatalf("malicious max %d should exceed benign bulk %d",
+			f5.Malicious.Max(), f5.Benign.Quantile(0.999))
+	}
+	if f5.Malicious.Mean() <= f5.Benign.Mean() {
+		t.Fatal("malicious chains should be longer on average")
+	}
+}
+
+func TestSandboxNeverUsed(t *testing.T) {
+	_, r := runStudy(t)
+	if r.Report.Sandbox.AdFrames == 0 {
+		t.Fatal("no ad frames counted")
+	}
+	if r.Report.Sandbox.SandboxedAds != 0 {
+		t.Fatalf("sandboxed ads = %d, paper found none", r.Report.Sandbox.SandboxedAds)
+	}
+}
+
+func TestFigure1HasOffenders(t *testing.T) {
+	_, r := runStudy(t)
+	if len(r.Report.Figure1) < 5 {
+		t.Fatalf("only %d offending networks", len(r.Report.Figure1))
+	}
+	// Sorted by ratio.
+	for i := 1; i < len(r.Report.Figure1); i++ {
+		if r.Report.Figure1[i].Ratio > r.Report.Figure1[i-1].Ratio {
+			t.Fatal("figure1 not sorted")
+		}
+	}
+}
+
+func TestCrawlSitesSampling(t *testing.T) {
+	s, _ := runStudy(t)
+	sites := s.CrawlSites()
+	if len(sites) != s.Cfg.CrawlSites {
+		t.Fatalf("crawl sites = %d, want %d", len(sites), s.Cfg.CrawlSites)
+	}
+	// The sample must span all clusters.
+	top, bottom, other := 0, 0, 0
+	n := len(s.Web.Sites)
+	for _, site := range sites {
+		switch {
+		case site.Rank <= 10_000:
+			top++
+		case site.Rank > n-10_000:
+			bottom++
+		default:
+			other++
+		}
+	}
+	if top == 0 || bottom == 0 || other == 0 {
+		t.Fatalf("sample misses clusters: top=%d bottom=%d other=%d", top, bottom, other)
+	}
+
+	// CrawlSites(0) returns the full set.
+	s2 := *s
+	s2.Cfg.CrawlSites = 0
+	if len(s2.CrawlSites()) <= len(sites) {
+		t.Fatal("full crawl set should be larger")
+	}
+}
+
+func TestNewStudyValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Web.NumSites = 100 // too small
+	cfg.Seed = 0           // keep sub-config seeds
+	if _, err := NewStudy(cfg); err == nil {
+		t.Fatal("invalid web config should fail")
+	}
+	cfg = DefaultConfig()
+	cfg.Ads.NumNetworks = 2
+	if _, err := NewStudy(cfg); err == nil {
+		t.Fatal("invalid ads config should fail")
+	}
+}
+
+func TestSeedPropagation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 77
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg.Web.Seed != 77 || s.Cfg.Ads.Seed != 77 || s.Cfg.Crawl.Seed != 77 {
+		t.Fatalf("seed not propagated: %+v", s.Cfg)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"madave/internal/adnet"
+	"madave/internal/corpus"
+	"madave/internal/oracle"
+)
+
+// Validation compares the oracle's verdicts against the simulation's ground
+// truth — the luxury a simulated reproduction has over the original study,
+// whose ground truth was the live Internet. The measurement pipeline never
+// reads ground truth; this exists to quantify oracle quality.
+type Validation struct {
+	// Confusion counts at the malicious/benign level.
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+	TrueNegatives  int
+	// PerKind maps ground-truth campaign kinds to how their ads were
+	// classified.
+	PerKind map[adnet.Kind]*KindOutcome
+}
+
+// KindOutcome is the oracle's handling of one ground-truth kind.
+type KindOutcome struct {
+	Total int
+	// Detected counts ads flagged malicious (any category).
+	Detected int
+	// ByCategory counts the oracle categories assigned.
+	ByCategory map[oracle.Category]int
+}
+
+// Precision returns TP / (TP + FP).
+func (v *Validation) Precision() float64 {
+	d := v.TruePositives + v.FalsePositives
+	if d == 0 {
+		return 0
+	}
+	return float64(v.TruePositives) / float64(d)
+}
+
+// Recall returns TP / (TP + FN).
+func (v *Validation) Recall() float64 {
+	d := v.TruePositives + v.FalseNegatives
+	if d == 0 {
+		return 0
+	}
+	return float64(v.TruePositives) / float64(d)
+}
+
+// Validate computes the validation for a classified corpus.
+func (s *Study) Validate(corp *corpus.Corpus, res *oracle.Result) (*Validation, error) {
+	byHash := map[string]oracle.Category{}
+	for _, inc := range res.Incidents {
+		byHash[inc.AdHash] = inc.Category
+	}
+	v := &Validation{PerKind: map[adnet.Kind]*KindOutcome{}}
+	for _, ad := range corp.All() {
+		c, ok := s.GroundTruth(ad)
+		if !ok {
+			return nil, fmt.Errorf("core: no ground truth for impression %q", ad.Impression)
+		}
+		cat, flagged := byHash[ad.Hash]
+		ko := v.PerKind[c.Kind]
+		if ko == nil {
+			ko = &KindOutcome{ByCategory: map[oracle.Category]int{}}
+			v.PerKind[c.Kind] = ko
+		}
+		ko.Total++
+		if flagged {
+			ko.Detected++
+			ko.ByCategory[cat]++
+		}
+		switch {
+		case c.IsMalicious() && flagged:
+			v.TruePositives++
+		case c.IsMalicious() && !flagged:
+			v.FalseNegatives++
+		case !c.IsMalicious() && flagged:
+			v.FalsePositives++
+		default:
+			v.TrueNegatives++
+		}
+	}
+	return v, nil
+}
+
+// String renders the validation as a small report.
+func (v *Validation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle validation: precision %.3f, recall %.3f (TP=%d FP=%d FN=%d TN=%d)\n",
+		v.Precision(), v.Recall(),
+		v.TruePositives, v.FalsePositives, v.FalseNegatives, v.TrueNegatives)
+	kinds := make([]adnet.Kind, 0, len(v.PerKind))
+	for k := range v.PerKind {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		ko := v.PerKind[k]
+		fmt.Fprintf(&b, "  %-20s %6d ads, %6d detected", k, ko.Total, ko.Detected)
+		if len(ko.ByCategory) > 0 {
+			cats := make([]string, 0, len(ko.ByCategory))
+			for cat, n := range ko.ByCategory {
+				cats = append(cats, fmt.Sprintf("%s:%d", cat, n))
+			}
+			sort.Strings(cats)
+			fmt.Fprintf(&b, "  (%s)", strings.Join(cats, " "))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

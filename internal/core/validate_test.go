@@ -1,0 +1,83 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"madave/internal/adnet"
+	"madave/internal/analysis"
+	"madave/internal/blacklist"
+	"madave/internal/oracle"
+)
+
+func TestValidateOracle(t *testing.T) {
+	s, r := runStudy(t)
+	v, err := s.Validate(r.Corpus, r.Oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := v.TruePositives + v.FalsePositives + v.FalseNegatives + v.TrueNegatives
+	if total != r.Corpus.Len() {
+		t.Fatalf("confusion total %d != corpus %d", total, r.Corpus.Len())
+	}
+	if v.Precision() < 0.95 {
+		t.Fatalf("precision = %.3f, oracle should rarely flag benign ads", v.Precision())
+	}
+	if v.Recall() < 0.90 {
+		t.Fatalf("recall = %.3f, oracle should catch most malicious ads", v.Recall())
+	}
+	// Benign ads dominate the corpus.
+	if ko := v.PerKind[adnet.KindBenign]; ko == nil || ko.Total < r.Corpus.Len()*9/10 {
+		t.Fatalf("benign outcome = %+v", v.PerKind[adnet.KindBenign])
+	}
+	// Blacklisted-kind ads are attributed to the blacklist category.
+	if ko := v.PerKind[adnet.KindBlacklisted]; ko != nil && ko.Detected > 0 {
+		if ko.ByCategory[oracle.CatBlacklists] == 0 {
+			t.Fatalf("blacklisted kind classified as %+v", ko.ByCategory)
+		}
+	}
+	// Hijack ads are attributed to suspicious redirections.
+	if ko := v.PerKind[adnet.KindLinkHijack]; ko != nil && ko.Detected > 0 {
+		if ko.ByCategory[oracle.CatSuspRedirect] == 0 {
+			t.Fatalf("hijack kind classified as %+v", ko.ByCategory)
+		}
+	}
+	out := v.String()
+	if !strings.Contains(out, "precision") || !strings.Contains(out, "benign") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+}
+
+// TestTemporalBlacklistDynamics runs a multi-day crawl against an oracle
+// whose blacklists discover domains over time: early crawl days must show a
+// lower detection rate than late ones — the provider-lag dynamic that makes
+// longitudinal crawls worthwhile.
+func TestTemporalBlacklistDynamics(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 61
+	cfg.CrawlSites = 250
+	cfg.Crawl.Days = 6
+	cfg.Crawl.Refreshes = 2
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap in a lagged tracker: listings appear across the crawl window.
+	s.Oracle.Lists = blacklist.BuildTemporal(s.Eco, cfg.Seed, cfg.Crawl.Days)
+	s.Oracle.TemporalBlacklists = true
+
+	corp, _ := s.Crawl()
+	res := s.Classify(corp)
+	tl := analysis.Timeline(corp, res)
+	if len(tl) != cfg.Crawl.Days {
+		t.Fatalf("timeline days = %d", len(tl))
+	}
+	first, last := tl[0], tl[len(tl)-1]
+	if last.Malicious == 0 {
+		t.Skip("no late-day incidents in this sample")
+	}
+	if first.Rate() >= last.Rate() {
+		t.Fatalf("no lag dynamic: day1 rate %.4f vs day%d rate %.4f",
+			first.Rate(), last.Day, last.Rate())
+	}
+}

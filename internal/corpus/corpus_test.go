@@ -1,0 +1,181 @@
+package corpus
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func sampleAd(n int) *Ad {
+	return &Ad{
+		HTML:       fmt.Sprintf("<html><body>ad %d</body></html>", n),
+		FrameURL:   fmt.Sprintf("http://adserv.net%d.com/serve?imp=%d", n%5, n),
+		FinalURL:   fmt.Sprintf("http://adserv.net%d.com/serve?imp=%d&hop=2", n%5, n),
+		Impression: fmt.Sprintf("imp%08d", n),
+		PubHost:    fmt.Sprintf("www.site%d.com", n%100),
+		PubRank:    n%100 + 1,
+		Category:   "news",
+		TLD:        "com",
+		Chain:      []string{"adserv.a.com", "adserv.b.com"},
+		Hosts:      []string{"adserv.a.com", "cdn.x.com"},
+		Day:        1,
+		Refresh:    n % 5,
+	}
+}
+
+func TestAddAndDedup(t *testing.T) {
+	c := New()
+	if !c.Add(sampleAd(1)) {
+		t.Fatal("first add should be new")
+	}
+	if c.Add(sampleAd(1)) {
+		t.Fatal("identical HTML should dedup")
+	}
+	if !c.Add(sampleAd(2)) {
+		t.Fatal("different HTML should be new")
+	}
+	if c.Len() != 2 || c.Duplicates() != 1 {
+		t.Fatalf("len=%d dups=%d", c.Len(), c.Duplicates())
+	}
+}
+
+func TestHashStable(t *testing.T) {
+	h1 := HashHTML("<html>x</html>")
+	h2 := HashHTML("<html>x</html>")
+	if h1 != h2 || len(h1) != 64 {
+		t.Fatalf("hashes: %q %q", h1, h2)
+	}
+	if HashHTML("<html>y</html>") == h1 {
+		t.Fatal("different content same hash")
+	}
+}
+
+func TestGetAndAll(t *testing.T) {
+	c := New()
+	ads := []*Ad{sampleAd(1), sampleAd(2), sampleAd(3)}
+	for _, a := range ads {
+		c.Add(a)
+	}
+	all := c.All()
+	if len(all) != 3 {
+		t.Fatalf("all = %d", len(all))
+	}
+	for i, a := range all {
+		if a.Impression != ads[i].Impression {
+			t.Fatal("insertion order violated")
+		}
+		if got := c.Get(a.Hash); got != a {
+			t.Fatal("Get by hash failed")
+		}
+	}
+	if c.Get("nope") != nil {
+		t.Fatal("Get unknown should be nil")
+	}
+}
+
+func TestEachEarlyStop(t *testing.T) {
+	c := New()
+	for i := 0; i < 10; i++ {
+		c.Add(sampleAd(i))
+	}
+	n := 0
+	c.Each(func(*Ad) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	c := New()
+	for i := 0; i < 50; i++ {
+		c.Add(sampleAd(i))
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != c.Len() {
+		t.Fatalf("loaded %d, want %d", loaded.Len(), c.Len())
+	}
+	for _, a := range c.All() {
+		got := loaded.Get(a.Hash)
+		if got == nil {
+			t.Fatalf("ad %s lost", a.Hash)
+		}
+		if got.FrameURL != a.FrameURL || got.PubHost != a.PubHost ||
+			len(got.Chain) != len(a.Chain) || got.Day != a.Day {
+			t.Fatalf("ad fields lost: %+v vs %+v", got, a)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("this is not json\n")); err == nil {
+		t.Fatal("garbage should fail to load")
+	}
+}
+
+func TestLoadSkipsBlankLines(t *testing.T) {
+	c := New()
+	c.Add(sampleAd(1))
+	var buf bytes.Buffer
+	c.Save(&buf)
+	buf.WriteString("\n\n")
+	loaded, err := Load(&buf)
+	if err != nil || loaded.Len() != 1 {
+		t.Fatalf("load: %v len=%d", err, loaded.Len())
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				c.Add(sampleAd(i)) // heavy duplication across workers
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() != 200 {
+		t.Fatalf("len = %d, want 200 unique", c.Len())
+	}
+	if c.Len()+c.Duplicates() != 8*200 {
+		t.Fatalf("len+dups = %d", c.Len()+c.Duplicates())
+	}
+}
+
+// Property: Save/Load preserves every hash for arbitrary HTML payloads.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(payloads []string) bool {
+		c := New()
+		for i, p := range payloads {
+			c.Add(&Ad{HTML: p, Impression: fmt.Sprint(i)})
+		}
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			return false
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			return false
+		}
+		return loaded.Len() == c.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+// Package crawler orchestrates the data-collection phase of the study
+// (§3.1): it visits every target site once per "day", refreshes each page
+// five times, renders pages in the emulated browser, identifies
+// advertisement iframes with EasyList, and snapshots each rendered ad into
+// the corpus.
+//
+// Visits fan out over a worker pool; each worker owns its own browser and
+// HTTP capture, so crawls scale with cores while staying deterministic in
+// what they collect (the served content depends only on impression IDs).
+package crawler
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sync"
+	"sync/atomic"
+
+	"madave/internal/browser"
+	"madave/internal/corpus"
+	"madave/internal/easylist"
+	"madave/internal/memnet"
+	"madave/internal/netcap"
+	"madave/internal/stats"
+	"madave/internal/urlx"
+	"madave/internal/webgen"
+)
+
+// Config parameterizes a crawl.
+type Config struct {
+	// Days is how many daily visits to make (the paper crawled for three
+	// months; the default scales that down).
+	Days int
+	// Refreshes is how many times each page is reloaded per visit (the
+	// paper used five).
+	Refreshes int
+	// Parallelism is the worker count (0 = 4).
+	Parallelism int
+	// Seed drives per-worker browser randomness.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the paper's five refreshes with a scaled-down
+// duration.
+func DefaultConfig() Config {
+	return Config{Days: 2, Refreshes: 5, Parallelism: 4, Seed: 1}
+}
+
+// Stats aggregates crawl-wide observations.
+type Stats struct {
+	PagesVisited   int64
+	PageErrors     int64
+	FramesSeen     int64 // all iframes on crawled pages
+	AdFrames       int64 // iframes EasyList classified as advertisements
+	NonAdFrames    int64
+	SandboxedAds   int64 // ad iframes carrying the sandbox attribute (§4.4)
+	SnapshotsTaken int64
+	Duplicates     int64
+}
+
+// Crawler runs crawls against a universe.
+type Crawler struct {
+	Universe *memnet.Universe
+	List     *easylist.List
+	Web      *webgen.Web
+	Config   Config
+	// Transport, when non-nil, supplies the HTTP transport each worker's
+	// browser uses instead of the default in-memory one — e.g. a TCP
+	// loopback transport from memnet.Server, so the whole crawl runs over
+	// real sockets.
+	Transport func() http.RoundTripper
+	// KeepTraffic retains the full HTTP transaction log of the crawl
+	// (§3.1: "we captured all the HTTP traffic during crawling for further
+	// investigation"). After Run, the merged trace is available via
+	// Traffic(). Off by default: a large crawl's trace is big.
+	KeepTraffic bool
+
+	mu      sync.Mutex
+	traffic []*netcap.Capture
+}
+
+// Traffic merges the per-worker captures of the last Run into one log.
+// It returns nil unless KeepTraffic was set.
+func (c *Crawler) Traffic() *netcap.Capture {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.traffic) == 0 {
+		return nil
+	}
+	merged := netcap.New(nil)
+	for _, cap := range c.traffic {
+		for _, tx := range cap.All() {
+			merged.Record(tx)
+		}
+	}
+	return merged
+}
+
+// New returns a Crawler.
+func New(u *memnet.Universe, list *easylist.List, web *webgen.Web, cfg Config) *Crawler {
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 4
+	}
+	if cfg.Days <= 0 {
+		cfg.Days = 1
+	}
+	if cfg.Refreshes <= 0 {
+		cfg.Refreshes = 1
+	}
+	return &Crawler{Universe: u, List: list, Web: web, Config: cfg}
+}
+
+// visit is one unit of crawl work: a (site, day, refresh) triple.
+type visit struct {
+	site    *webgen.Site
+	day     int
+	refresh int
+}
+
+// Run crawls the given sites and returns the deduplicated ad corpus plus
+// crawl statistics.
+func (c *Crawler) Run(sites []*webgen.Site) (*corpus.Corpus, *Stats) {
+	corp := corpus.New()
+	st := &Stats{}
+	c.mu.Lock()
+	c.traffic = nil
+	c.mu.Unlock()
+
+	work := make(chan visit, 256)
+	var wg sync.WaitGroup
+	for w := 0; w < c.Config.Parallelism; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			b := c.newWorkerBrowser(worker)
+			for v := range work {
+				c.crawlPage(b, v, corp, st)
+			}
+		}(w)
+	}
+	for day := 1; day <= c.Config.Days; day++ {
+		for _, s := range sites {
+			for r := 0; r < c.Config.Refreshes; r++ {
+				work <- visit{site: s, day: day, refresh: r}
+			}
+		}
+	}
+	close(work)
+	wg.Wait()
+	st.Duplicates = int64(corp.Duplicates())
+	return corp, st
+}
+
+// newWorkerBrowser builds a per-worker browser with its own capture. The
+// crawler browses like a real user's Firefox (the paper drove the real
+// browser with Selenium).
+func (c *Crawler) newWorkerBrowser(worker int) *browser.Browser {
+	var rt http.RoundTripper = &memnet.Transport{U: c.Universe}
+	if c.Transport != nil {
+		rt = c.Transport()
+	}
+	cap := netcap.New(rt)
+	if c.KeepTraffic {
+		c.mu.Lock()
+		c.traffic = append(c.traffic, cap)
+		c.mu.Unlock()
+	}
+	client := &http.Client{
+		Transport: cap,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	b := browser.New(client, browser.UserProfile())
+	b.Capture = cap
+	b.RNG = stats.NewRNG(c.Config.Seed).Fork(fmt.Sprintf("crawler-worker-%d", worker))
+	return b
+}
+
+// crawlPage loads one page visit and snapshots its ad iframes.
+func (c *Crawler) crawlPage(b *browser.Browser, v visit, corp *corpus.Corpus, st *Stats) {
+	pageURL := fmt.Sprintf("http://%s/?v=d%dr%d", v.site.Host, v.day, v.refresh)
+	page, err := b.Load(pageURL, "")
+	atomic.AddInt64(&st.PagesVisited, 1)
+	if err != nil {
+		atomic.AddInt64(&st.PageErrors, 1)
+		return
+	}
+
+	for _, frame := range page.Frames {
+		atomic.AddInt64(&st.FramesSeen, 1)
+		if !c.isAdFrame(frame.URL, v.site.Host) {
+			atomic.AddInt64(&st.NonAdFrames, 1)
+			continue
+		}
+		atomic.AddInt64(&st.AdFrames, 1)
+		if frame.Sandboxed {
+			atomic.AddInt64(&st.SandboxedAds, 1)
+		}
+		ad := c.snapshot(frame, v)
+		atomic.AddInt64(&st.SnapshotsTaken, 1)
+		corp.Add(ad)
+	}
+}
+
+// isAdFrame applies EasyList the way the paper did: the iframe src is
+// matched as a subdocument request from the publisher's page.
+func (c *Crawler) isAdFrame(frameURL, docHost string) bool {
+	blocked, _ := c.List.Match(easylist.Request{
+		URL:     frameURL,
+		Type:    easylist.TypeSubdocument,
+		DocHost: docHost,
+	})
+	return blocked
+}
+
+// snapshot converts a rendered ad frame into a corpus record.
+func (c *Crawler) snapshot(frame *browser.Page, v visit) *corpus.Ad {
+	ad := &corpus.Ad{
+		HTML:       frame.HTML(),
+		FrameURL:   frame.URL,
+		FinalURL:   frame.FinalURL,
+		Impression: impressionFromURL(frame.URL),
+		PubHost:    v.site.Host,
+		PubRank:    v.site.Rank,
+		Category:   string(v.site.Category),
+		TLD:        v.site.TLD,
+		Day:        v.day,
+		Refresh:    v.refresh,
+	}
+	// The arbitration chain is the redirect chain's hosts, repeats
+	// preserved (§4.3: the same networks buy and sell the same slot).
+	for _, hop := range frame.RedirectHops {
+		if h := urlx.Host(hop); h != "" {
+			ad.Chain = append(ad.Chain, h)
+		}
+	}
+	// Deduplicate the contacted-hosts list but keep order.
+	seen := map[string]bool{}
+	addHost := func(raw string) {
+		h := urlx.Host(raw)
+		if h != "" && !seen[h] {
+			seen[h] = true
+			ad.Hosts = append(ad.Hosts, h)
+		}
+	}
+	for _, hop := range frame.RedirectHops {
+		addHost(hop)
+	}
+	for _, r := range frame.AllResources() {
+		addHost(r.URL)
+	}
+	for _, d := range frame.AllDownloads() {
+		addHost(d.URL)
+	}
+	for _, n := range frame.AllNavigations() {
+		addHost(n.Target)
+	}
+	return ad
+}
+
+// impressionFromURL extracts the imp query parameter from a serve URL.
+func impressionFromURL(raw string) string {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return ""
+	}
+	return u.Query().Get("imp")
+}

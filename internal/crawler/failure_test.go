@@ -1,0 +1,129 @@
+package crawler
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"madave/internal/easylist"
+	"madave/internal/memnet"
+	"madave/internal/webgen"
+)
+
+// hostileWorld overlays failure modes onto the shared fixture universe:
+// publishers that 500, serve garbage, redirect forever, or hang their ad
+// chains on dead hosts. The crawler must degrade gracefully — count errors,
+// keep collecting from healthy sites — exactly what a three-month crawl of
+// the real Web demands.
+func hostileWorld(t *testing.T) (*memnet.Universe, *webgen.Web, *easylist.List, []*webgen.Site) {
+	_, web, list := fixture(t)
+	// A private universe: sabotaging the shared fixture would poison the
+	// other tests in this package.
+	u := memnet.NewUniverse()
+	fixSrv.Install(u)
+
+	sites := append([]*webgen.Site{}, web.TopSlice(12)...)
+	// Sabotage the first few sites' hosts with failure modes.
+	u.HandleFunc(sites[0].Host, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "internal error", http.StatusInternalServerError)
+	})
+	u.HandleFunc(sites[1].Host, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, "<<<%%% this is not even close to html &&&&")
+	})
+	u.HandleFunc(sites[2].Host, func(w http.ResponseWriter, r *http.Request) {
+		// Two-state redirect loop that never converges.
+		next := "/loopA"
+		if r.URL.Path == "/loopA" {
+			next = "/loopB"
+		}
+		http.Redirect(w, r, "http://"+sites[2].Host+next, http.StatusFound)
+	})
+	u.HandleFunc(sites[3].Host, func(w http.ResponseWriter, r *http.Request) {
+		// Ad iframe pointing at a dead (NX) ad host.
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body>
+			<iframe src="http://adserv.deadexchange99.com/serve?pub=x&slot=0&imp=a&hop=0"></iframe>
+		</body></html>`)
+	})
+	u.HandleFunc(sites[4].Host, func(w http.ResponseWriter, r *http.Request) {
+		// Enormous body: the browser must cap what it reads.
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, "<html><body>")
+		filler := strings.Repeat("<p>"+strings.Repeat("x", 1000)+"</p>", 3000) // ~3MB
+		io.WriteString(w, filler)
+		io.WriteString(w, "</body></html>")
+	})
+	return u, web, list, sites
+}
+
+func TestCrawlSurvivesHostileSites(t *testing.T) {
+	u, web, list, sites := hostileWorld(t)
+	// The dead exchange must match the ad filter so the crawler tries it.
+	extra, err := easylist.ParseRule("||adserv.deadexchange99.com^")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list.Add(extra)
+
+	c := New(u, list, web, Config{Days: 1, Refreshes: 1, Parallelism: 4, Seed: 17})
+	corp, st := c.Run(sites)
+
+	if st.PagesVisited != int64(len(sites)) {
+		t.Fatalf("visited %d of %d", st.PagesVisited, len(sites))
+	}
+	// The redirect-loop page errors; the others degrade without erroring.
+	if st.PageErrors == 0 {
+		t.Fatal("expected at least one page error (redirect loop)")
+	}
+	if st.PageErrors > 3 {
+		t.Fatalf("too many page errors: %d", st.PageErrors)
+	}
+	// Healthy sites still produced ads.
+	if corp.Len() == 0 {
+		t.Fatal("hostile sites starved the whole crawl")
+	}
+	healthy := 0
+	for _, ad := range corp.All() {
+		for _, s := range sites[5:] {
+			if ad.PubHost == s.Host {
+				healthy++
+				break
+			}
+		}
+	}
+	if healthy == 0 {
+		t.Fatal("no ads from healthy sites")
+	}
+}
+
+func TestDeadAdExchangeRecorded(t *testing.T) {
+	u, web, list, sites := hostileWorld(t)
+	c := New(u, list, web, Config{Days: 1, Refreshes: 1, Parallelism: 1, Seed: 18})
+	corp, st := c.Run(sites[3:4]) // only the dead-exchange page
+
+	// The page itself loads fine; the ad frame fails to resolve. The
+	// crawler records the frame as an ad but snapshots nothing useful.
+	if st.PageErrors != 0 {
+		t.Fatalf("page errors = %d", st.PageErrors)
+	}
+	if st.FramesSeen != 1 {
+		t.Fatalf("frames = %d", st.FramesSeen)
+	}
+	_ = corp
+}
+
+func TestOversizedPageCapped(t *testing.T) {
+	u, web, list, sites := hostileWorld(t)
+	c := New(u, list, web, Config{Days: 1, Refreshes: 1, Parallelism: 1, Seed: 19})
+	corp, st := c.Run(sites[4:5])
+	if st.PageErrors != 0 {
+		t.Fatalf("oversized page should not error: %d", st.PageErrors)
+	}
+	// No ad iframes on the giant page (the 1MB cap truncates before any
+	// iframes could appear, and it had none anyway).
+	if corp.Len() != 0 {
+		t.Fatalf("corpus = %d", corp.Len())
+	}
+}

@@ -1,0 +1,375 @@
+// Package defense implements and evaluates the paper's §5 countermeasures:
+//
+// Proactive (ad-network side, §5.1):
+//   - SharedBlacklist — a common submission blacklist: a malicious campaign
+//     rejected by one network can no longer be placed with any other.
+//   - PenalizeNetworks — networks caught delivering malvertisements are
+//     banned from participating in arbitration auctions.
+//
+// Reactive (user side, §5.2):
+//   - AdPathGuard — the Li et al. style browser protection that blocks the
+//     browser from following ad paths through known-malicious networks or
+//     absurdly long arbitration chains.
+//   - SandboxPolicy — publishers adding the HTML5 iframe sandbox attribute,
+//     which neutralizes link hijacking (§4.4).
+//   - AdBlock — full ad blocking with EasyList (the "domino effect" option).
+//
+// Each evaluation returns a Comparison: the malvertising exposure without
+// and with the countermeasure.
+package defense
+
+import (
+	"fmt"
+	"net/http"
+
+	"madave/internal/adnet"
+	"madave/internal/browser"
+	"madave/internal/corpus"
+	"madave/internal/easylist"
+	"madave/internal/memnet"
+	"madave/internal/netcap"
+	"madave/internal/oracle"
+	"madave/internal/stats"
+	"madave/internal/urlx"
+)
+
+// Comparison is a before/after measurement.
+type Comparison struct {
+	Name string
+	// Baseline and Protected are malicious-exposure rates (fractions).
+	Baseline  float64
+	Protected float64
+	// Notes carries measurement context (sample sizes etc.).
+	Notes string
+}
+
+// Reduction returns the relative reduction achieved (0..1).
+func (c Comparison) Reduction() float64 {
+	if c.Baseline == 0 {
+		return 0
+	}
+	r := 1 - c.Protected/c.Baseline
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%-22s baseline %.4f -> protected %.4f (-%.1f%%) %s",
+		c.Name, c.Baseline, c.Protected, 100*c.Reduction(), c.Notes)
+}
+
+// maliciousRate measures the malicious impression rate of an ecosystem by
+// simulation: n impressions with publishers drawn by market share.
+func maliciousRate(eco *adnet.Ecosystem, n int, seed uint64, policy *adnet.ServePolicy) float64 {
+	rng := stats.NewRNG(seed).Fork("defense-sim")
+	shares := make([]float64, len(eco.Networks))
+	for i, net := range eco.Networks {
+		shares[i] = net.Share
+	}
+	dist := stats.NewWeighted(shares)
+	mal := 0
+	for i := 0; i < n; i++ {
+		d := eco.ServeWithPolicy(rng, dist.Sample(rng), policy)
+		if d.Campaign.IsMalicious() {
+			mal++
+		}
+	}
+	return float64(mal) / float64(n)
+}
+
+// SharedBlacklist evaluates the common submission blacklist: the same
+// ecosystem is generated with and without rejection sharing, and the
+// malicious impression rate is compared.
+func SharedBlacklist(cfg adnet.Config, impressions int, seed uint64) (Comparison, error) {
+	base, err := adnet.Generate(cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	shared := cfg
+	shared.SharedSubmissionFilter = true
+	prot, err := adnet.Generate(shared)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{
+		Name:      "shared-blacklist",
+		Baseline:  maliciousRate(base, impressions, seed, nil),
+		Protected: maliciousRate(prot, impressions, seed, nil),
+		Notes:     fmt.Sprintf("(%d impressions)", impressions),
+	}, nil
+}
+
+// PenalizeNetworks evaluates arbitration bans: first a measurement pass
+// estimates each network's malvertising ratio, then networks whose ratio
+// exceeds ratioThreshold are banned from buying impressions in arbitration,
+// and exposure is re-measured.
+func PenalizeNetworks(eco *adnet.Ecosystem, impressions int, ratioThreshold float64, seed uint64) Comparison {
+	// Measurement pass.
+	rng := stats.NewRNG(seed).Fork("penalty-measure")
+	shares := make([]float64, len(eco.Networks))
+	for i, net := range eco.Networks {
+		shares[i] = net.Share
+	}
+	dist := stats.NewWeighted(shares)
+	tot := make([]int, len(eco.Networks))
+	mal := make([]int, len(eco.Networks))
+	for i := 0; i < impressions; i++ {
+		d := eco.Serve(rng, dist.Sample(rng))
+		s := d.ServingNetwork()
+		tot[s]++
+		if d.Campaign.IsMalicious() {
+			mal[s]++
+		}
+	}
+	policy := &adnet.ServePolicy{BannedFromResale: map[int]bool{}}
+	banned := 0
+	for i := range eco.Networks {
+		if tot[i] >= 50 && float64(mal[i])/float64(tot[i]) > ratioThreshold {
+			policy.BannedFromResale[i] = true
+			banned++
+		}
+	}
+	return Comparison{
+		Name:      "penalize-networks",
+		Baseline:  maliciousRate(eco, impressions, seed+1, nil),
+		Protected: maliciousRate(eco, impressions, seed+1, policy),
+		Notes:     fmt.Sprintf("(%d networks banned from arbitration)", banned),
+	}
+}
+
+// AdPathGuard is the reactive browser-side protection of Li et al. [18]:
+// it learns which ad networks appeared in known-malicious ad paths and
+// which chain depths are suspicious, then decides per ad whether the
+// browser should have refused to follow its path.
+type AdPathGuard struct {
+	// FlaggedNetworks are serving hosts seen in training incidents.
+	FlaggedNetworks map[string]bool
+	// MaxChain is the longest ad path the guard tolerates.
+	MaxChain int
+}
+
+// TrainAdPathGuard builds a guard from training incidents (ads already
+// known to be malicious, e.g. yesterday's oracle output).
+func TrainAdPathGuard(training []*corpus.Ad, maxChain int) *AdPathGuard {
+	g := &AdPathGuard{FlaggedNetworks: map[string]bool{}, MaxChain: maxChain}
+	for _, ad := range training {
+		if len(ad.Chain) > 0 {
+			g.FlaggedNetworks[ad.Chain[len(ad.Chain)-1]] = true
+		}
+	}
+	return g
+}
+
+// Blocks reports whether the guard would have stopped the ad's path.
+func (g *AdPathGuard) Blocks(ad *corpus.Ad) bool {
+	if len(ad.Chain) > g.MaxChain {
+		return true
+	}
+	for _, host := range ad.Chain {
+		if g.FlaggedNetworks[host] {
+			return true
+		}
+	}
+	return false
+}
+
+// EvaluateAdPathGuard trains on the first half of the incidents and
+// evaluates protection and collateral blocking on the remaining corpus.
+func EvaluateAdPathGuard(corp *corpus.Corpus, res *oracle.Result, maxChain int) Comparison {
+	malicious := map[string]bool{}
+	for _, inc := range res.Incidents {
+		malicious[inc.AdHash] = true
+	}
+	// Chronological split: train on the first half of malicious ads.
+	var malAds []*corpus.Ad
+	for _, ad := range corp.All() {
+		if malicious[ad.Hash] {
+			malAds = append(malAds, ad)
+		}
+	}
+	if len(malAds) < 4 {
+		return Comparison{Name: "ad-path-guard", Notes: "(too few incidents to evaluate)"}
+	}
+	train := malAds[:len(malAds)/2]
+	guard := TrainAdPathGuard(train, maxChain)
+
+	trainSet := map[string]bool{}
+	for _, ad := range train {
+		trainSet[ad.Hash] = true
+	}
+	evalMal, blockedMal := 0, 0
+	evalBenign, blockedBenign := 0, 0
+	for _, ad := range corp.All() {
+		if trainSet[ad.Hash] {
+			continue
+		}
+		if malicious[ad.Hash] {
+			evalMal++
+			if guard.Blocks(ad) {
+				blockedMal++
+			}
+		} else {
+			evalBenign++
+			if guard.Blocks(ad) {
+				blockedBenign++
+			}
+		}
+	}
+	cmp := Comparison{
+		Name: "ad-path-guard",
+		Notes: fmt.Sprintf("(trained on %d incidents; collateral block rate %.4f)",
+			len(train), ratio(blockedBenign, evalBenign)),
+	}
+	if evalMal > 0 {
+		cmp.Baseline = 1
+		cmp.Protected = 1 - ratio(blockedMal, evalMal)
+	}
+	return cmp
+}
+
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// EvaluateSandbox re-renders advertisements inside a publisher page whose
+// iframes carry sandbox="allow-scripts" — the §4.4 recommendation — and
+// measures how many forced top-level navigations are neutralized.
+func EvaluateSandbox(u *memnet.Universe, ads []*corpus.Ad, seed uint64) Comparison {
+	baselineHijacks, sandboxedHijacks, blocked := 0, 0, 0
+	for _, ad := range ads {
+		// Baseline: plain iframe (what publishers actually do).
+		plain := renderWrapped(u, ad.FrameURL, "", seed)
+		for _, nav := range plain.AllNavigations() {
+			if nav.Kind == browser.NavTop && !nav.Blocked {
+				baselineHijacks++
+			}
+		}
+		// Protected: sandboxed iframe.
+		sandboxed := renderWrapped(u, ad.FrameURL, ` sandbox="allow-scripts"`, seed)
+		for _, nav := range sandboxed.AllNavigations() {
+			if nav.Kind == browser.NavTop {
+				if nav.Blocked {
+					blocked++
+				} else {
+					sandboxedHijacks++
+				}
+			}
+		}
+	}
+	return Comparison{
+		Name:      "iframe-sandbox",
+		Baseline:  float64(baselineHijacks),
+		Protected: float64(sandboxedHijacks),
+		Notes:     fmt.Sprintf("(%d ads re-rendered, %d hijacks blocked)", len(ads), blocked),
+	}
+}
+
+// renderWrapped loads a synthetic publisher page embedding the ad frame.
+func renderWrapped(u *memnet.Universe, frameURL, sandboxAttr string, seed uint64) *browser.Page {
+	b := newDefenseBrowser(u, seed)
+	html := fmt.Sprintf(`<html><body><iframe src="%s"%s width="300" height="250"></iframe></body></html>`,
+		frameURL, sandboxAttr)
+	return b.LoadHTML(html, "http://publisher.defense.test/")
+}
+
+// EvaluateAdBlock measures the §5.2 nuclear option: a browser with the
+// EasyList blocker loads publisher pages and we count how many ad frames
+// (and with them, malvertisements) never reach the user.
+func EvaluateAdBlock(u *memnet.Universe, list *easylist.List, pageURLs []string, seed uint64) Comparison {
+	loaded, blocked := 0, 0
+	for _, url := range pageURLs {
+		b := newDefenseBrowser(u, seed)
+		b.Blocker = list
+		page, err := b.Load(url, "")
+		if err != nil || page == nil {
+			continue
+		}
+		loaded += len(page.Frames)
+		blocked += len(page.Blocked)
+	}
+	total := loaded + blocked
+	cmp := Comparison{
+		Name:  "adblock",
+		Notes: fmt.Sprintf("(%d pages, %d frames blocked)", len(pageURLs), blocked),
+	}
+	if total > 0 {
+		cmp.Baseline = 1
+		cmp.Protected = float64(loaded) / float64(total)
+	}
+	return cmp
+}
+
+func newDefenseBrowser(u *memnet.Universe, seed uint64) *browser.Browser {
+	cap := netcap.New(&memnet.Transport{U: u})
+	client := &http.Client{
+		Transport: cap,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	b := browser.New(client, browser.UserProfile())
+	b.Capture = cap
+	b.RNG = stats.NewRNG(seed).Fork("defense")
+	return b
+}
+
+// Stacked evaluates the proactive countermeasures combined: the shared
+// submission blacklist AND arbitration penalties at once. The paper
+// proposes both (§5.1); stacking shows how far network-side measures alone
+// can push exposure down.
+func Stacked(cfg adnet.Config, impressions int, ratioThreshold float64, seed uint64) (Comparison, error) {
+	base, err := adnet.Generate(cfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+	sharedCfg := cfg
+	sharedCfg.SharedSubmissionFilter = true
+	prot, err := adnet.Generate(sharedCfg)
+	if err != nil {
+		return Comparison{}, err
+	}
+
+	// Penalty measurement pass on the protected ecosystem.
+	rng := stats.NewRNG(seed).Fork("stacked-measure")
+	shares := make([]float64, len(prot.Networks))
+	for i, n := range prot.Networks {
+		shares[i] = n.Share
+	}
+	dist := stats.NewWeighted(shares)
+	tot := make([]int, len(prot.Networks))
+	mal := make([]int, len(prot.Networks))
+	for i := 0; i < impressions; i++ {
+		d := prot.Serve(rng, dist.Sample(rng))
+		s := d.ServingNetwork()
+		tot[s]++
+		if d.Campaign.IsMalicious() {
+			mal[s]++
+		}
+	}
+	policy := &adnet.ServePolicy{BannedFromResale: map[int]bool{}}
+	banned := 0
+	for i := range prot.Networks {
+		if tot[i] >= 50 && float64(mal[i])/float64(tot[i]) > ratioThreshold {
+			policy.BannedFromResale[i] = true
+			banned++
+		}
+	}
+	return Comparison{
+		Name:      "stacked-proactive",
+		Baseline:  maliciousRate(base, impressions, seed+1, nil),
+		Protected: maliciousRate(prot, impressions, seed+1, policy),
+		Notes:     fmt.Sprintf("(shared blacklist + %d arbitration bans)", banned),
+	}, nil
+}
+
+// HostOf is a small helper exposed for report rendering: the registered
+// domain of a URL.
+func HostOf(rawURL string) string {
+	return urlx.RegisteredDomain(urlx.Host(rawURL))
+}

@@ -1,0 +1,194 @@
+package defense
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"madave/internal/adnet"
+	"madave/internal/browser"
+	"madave/internal/core"
+	"madave/internal/corpus"
+)
+
+var (
+	onceFix sync.Once
+	fixS    *core.Study
+	fixR    *core.Results
+)
+
+func fixture(t *testing.T) (*core.Study, *core.Results) {
+	t.Helper()
+	onceFix.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 21
+		cfg.CrawlSites = 500
+		s, err := core.NewStudy(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fixS = s
+		fixR = s.Run()
+	})
+	return fixS, fixR
+}
+
+func TestSharedBlacklistReducesExposure(t *testing.T) {
+	cmp, err := SharedBlacklist(adnet.DefaultConfig(), 200_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Baseline <= 0 {
+		t.Fatalf("baseline rate = %f", cmp.Baseline)
+	}
+	if cmp.Protected >= cmp.Baseline {
+		t.Fatalf("shared blacklist did not help: %s", cmp)
+	}
+	// Sharing rejections should cut exposure substantially: every campaign
+	// that any decent filter catches becomes unplaceable everywhere.
+	if cmp.Reduction() < 0.3 {
+		t.Fatalf("reduction only %.2f: %s", cmp.Reduction(), cmp)
+	}
+}
+
+func TestPenalizeNetworks(t *testing.T) {
+	eco, err := adnet.Generate(adnet.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := PenalizeNetworks(eco, 200_000, 0.10, 2)
+	if cmp.Baseline <= 0 {
+		t.Fatal("no baseline exposure")
+	}
+	if !strings.Contains(cmp.Notes, "banned") {
+		t.Fatalf("notes = %q", cmp.Notes)
+	}
+	if cmp.Protected >= cmp.Baseline {
+		t.Fatalf("penalties did not help: %s", cmp)
+	}
+}
+
+func TestAdPathGuard(t *testing.T) {
+	_, r := fixture(t)
+	cmp := EvaluateAdPathGuard(r.Corpus, r.Oracle, adnet.MaxChain/2)
+	if cmp.Baseline == 0 {
+		t.Skip("too few incidents in fixture")
+	}
+	// The guard should stop a meaningful share of future malvertisements
+	// (the serving networks repeat across incidents).
+	if cmp.Reduction() < 0.3 {
+		t.Fatalf("guard reduction only %.2f: %s", cmp.Reduction(), cmp)
+	}
+	if !strings.Contains(cmp.Notes, "collateral") {
+		t.Fatalf("notes = %q", cmp.Notes)
+	}
+}
+
+func TestAdPathGuardBlocks(t *testing.T) {
+	g := TrainAdPathGuard([]*corpus.Ad{
+		{Chain: []string{"adserv.a.com", "adserv.evil.com"}},
+	}, 10)
+	if !g.Blocks(&corpus.Ad{Chain: []string{"adserv.evil.com"}}) {
+		t.Fatal("flagged network not blocked")
+	}
+	if !g.Blocks(&corpus.Ad{Chain: make([]string, 11)}) {
+		t.Fatal("overlong chain not blocked")
+	}
+	if g.Blocks(&corpus.Ad{Chain: []string{"adserv.clean.com"}}) {
+		t.Fatal("clean short chain blocked")
+	}
+}
+
+func TestSandboxNeutralizesHijacks(t *testing.T) {
+	s, r := fixture(t)
+	// Collect hijacking ads via ground truth (we want a targeted sample).
+	var hijacks []*corpus.Ad
+	for _, ad := range r.Corpus.All() {
+		if c, ok := s.GroundTruth(ad); ok && c.Kind == adnet.KindLinkHijack {
+			hijacks = append(hijacks, ad)
+			if len(hijacks) >= 10 {
+				break
+			}
+		}
+	}
+	if len(hijacks) == 0 {
+		t.Skip("no hijack ads in fixture sample")
+	}
+	cmp := EvaluateSandbox(s.Universe, hijacks, 3)
+	if cmp.Baseline == 0 {
+		t.Fatalf("baseline saw no hijacks across %d hijack ads", len(hijacks))
+	}
+	if cmp.Protected != 0 {
+		t.Fatalf("sandbox leaked hijacks: %s", cmp)
+	}
+	if cmp.Reduction() != 1 {
+		t.Fatalf("reduction = %f", cmp.Reduction())
+	}
+}
+
+func TestAdBlockBlocksEverything(t *testing.T) {
+	s, _ := fixture(t)
+	var urls []string
+	for _, site := range s.Web.TopSlice(20) {
+		urls = append(urls, fmt.Sprintf("http://%s/?v=defense", site.Host))
+	}
+	cmp := EvaluateAdBlock(s.Universe, s.List, urls, 4)
+	if cmp.Baseline != 1 {
+		t.Fatalf("baseline = %f", cmp.Baseline)
+	}
+	// The widget iframes still load; all ad frames are blocked. Top sites
+	// carry 5-7 ads and 1 widget, so the protected share is small.
+	if cmp.Protected > 0.35 {
+		t.Fatalf("adblock left %.2f of frames: %s", cmp.Protected, cmp)
+	}
+	if cmp.Protected == 0 {
+		t.Fatal("widget frames should survive ad blocking")
+	}
+}
+
+func TestComparisonHelpers(t *testing.T) {
+	c := Comparison{Name: "x", Baseline: 0.02, Protected: 0.005}
+	if r := c.Reduction(); r < 0.74 || r > 0.76 {
+		t.Fatalf("reduction = %f", r)
+	}
+	if (Comparison{}).Reduction() != 0 {
+		t.Fatal("zero baseline should reduce 0")
+	}
+	worse := Comparison{Baseline: 0.01, Protected: 0.02}
+	if worse.Reduction() != 0 {
+		t.Fatal("negative reduction should clamp to 0")
+	}
+	if !strings.Contains(c.String(), "x") {
+		t.Fatal("String missing name")
+	}
+}
+
+func TestHostOf(t *testing.T) {
+	if HostOf("http://ads.tracker.example.com/x") != "example.com" {
+		t.Fatal("HostOf wrong")
+	}
+}
+
+var _ = browser.NavTop // document the dependency used via EvaluateSandbox
+
+func TestStackedDefenses(t *testing.T) {
+	cmp, err := Stacked(adnet.DefaultConfig(), 200_000, 0.10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Baseline <= 0 || cmp.Protected >= cmp.Baseline {
+		t.Fatalf("stacked defenses ineffective: %s", cmp)
+	}
+	// Stacking must beat the shared blacklist alone.
+	solo, err := SharedBlacklist(adnet.DefaultConfig(), 200_000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Reduction() < solo.Reduction() {
+		t.Fatalf("stacked %.3f should be >= shared-only %.3f", cmp.Reduction(), solo.Reduction())
+	}
+	if !strings.Contains(cmp.Notes, "shared blacklist +") {
+		t.Fatalf("notes = %q", cmp.Notes)
+	}
+}

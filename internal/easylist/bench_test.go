@@ -1,0 +1,64 @@
+package easylist
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchList approximates the synthetic EasyList: 60 host-anchored network
+// rules plus generic patterns and an exception.
+var benchList = func() *List {
+	var b strings.Builder
+	for i := 0; i < 60; i++ {
+		fmt.Fprintf(&b, "||adserv.network%02d.com^\n", i)
+	}
+	b.WriteString("/banners/*\n/ad.js\n@@||cdn.widgetworks.com^\n")
+	l, err := ParseString(b.String())
+	if err != nil {
+		panic(err)
+	}
+	return l
+}()
+
+func BenchmarkMatchAdURL(b *testing.B) {
+	req := Request{
+		URL:     "http://adserv.network42.com/serve?pub=www.site.com&slot=1&imp=abc&hop=0",
+		Type:    TypeSubdocument,
+		DocHost: "www.site.com",
+	}
+	for i := 0; i < b.N; i++ {
+		if ok, _ := benchList.Match(req); !ok {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkMatchContentURL(b *testing.B) {
+	// The common case: a non-ad URL that must be checked against every rule.
+	req := Request{
+		URL:     "http://www.streamflicks.com/article/2014/01/long-path-segment",
+		Type:    TypeSubdocument,
+		DocHost: "www.streamflicks.com",
+	}
+	for i := 0; i < b.N; i++ {
+		if ok, _ := benchList.Match(req); ok {
+			b.Fatal("should not match")
+		}
+	}
+}
+
+func BenchmarkParseList(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "||host%03d.example.com^$third-party\n", i)
+	}
+	src := sb.String()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseString(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,495 @@
+// Package easylist implements the Adblock Plus filter-list syntax used by
+// EasyList. The paper's crawler used EasyList to decide which iframes on a
+// crawled page are advertisements; this package plays the same role for the
+// emulated crawler, and the Section-5 "last line of defense" evaluation uses
+// it as the ad blocker.
+//
+// Supported syntax (the subset EasyList itself predominantly uses):
+//
+//	! comment lines and [Adblock Plus ...] headers
+//	||host^path     domain-anchored rules
+//	|http://...     start-anchored rules, trailing | end-anchor
+//	plain*wild^card patterns with * wildcards and ^ separators
+//	@@rule          exception rules
+//	$options        script, image, subdocument, document, third-party with ~
+//	                negation, and domain=a.com|~b.com restrictions
+//
+// Element-hiding rules (##) are recognized and skipped: they hide elements
+// cosmetically and never classify URLs.
+package easylist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"madave/internal/urlx"
+)
+
+// ResourceType describes what kind of resource a URL request loads,
+// mirroring Adblock Plus request types.
+type ResourceType int
+
+// Resource types used by the crawler.
+const (
+	TypeOther ResourceType = iota
+	TypeDocument
+	TypeSubdocument // iframes — the type the ad-extraction step cares about
+	TypeScript
+	TypeImage
+)
+
+// String returns the ABP option name of the type.
+func (rt ResourceType) String() string {
+	switch rt {
+	case TypeDocument:
+		return "document"
+	case TypeSubdocument:
+		return "subdocument"
+	case TypeScript:
+		return "script"
+	case TypeImage:
+		return "image"
+	default:
+		return "other"
+	}
+}
+
+// Request is a URL request to classify.
+type Request struct {
+	URL     string
+	Type    ResourceType
+	DocHost string // host of the document making the request
+}
+
+// Rule is one parsed filter rule.
+type Rule struct {
+	// Raw is the original filter text.
+	Raw string
+	// Exception is true for @@ rules.
+	Exception bool
+
+	pattern     string // pattern with anchors stripped
+	anchorHost  bool   // || prefix
+	anchorStart bool   // | prefix
+	anchorEnd   bool   // | suffix
+
+	// option constraints; nil maps mean unconstrained.
+	typeInclude map[ResourceType]bool
+	typeExclude map[ResourceType]bool
+	thirdParty  *bool // nil = either; true = only third-party; false = only first-party
+	domainsInc  []string
+	domainsExc  []string
+}
+
+// List is a parsed filter list.
+type List struct {
+	blocking   []*Rule
+	exceptions []*Rule
+	skipped    int // unsupported lines (element hiding etc.)
+}
+
+// ParseError reports a malformed filter line.
+type ParseError struct {
+	Line int
+	Text string
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("easylist: line %d (%q): %s", e.Line, e.Text, e.Msg)
+}
+
+// Parse reads a filter list. Unsupported-but-valid lines (element hiding,
+// empty) are skipped; syntactically broken option lists are errors.
+func Parse(r io.Reader) (*List, error) {
+	l := &List{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "!") || strings.HasPrefix(line, "[") {
+			continue
+		}
+		// Element hiding (## or #@#) and extended selectors are cosmetic.
+		if strings.Contains(line, "##") || strings.Contains(line, "#@#") || strings.Contains(line, "#?#") {
+			l.skipped++
+			continue
+		}
+		rule, err := ParseRule(line)
+		if err != nil {
+			return nil, &ParseError{Line: lineNo, Text: line, Msg: err.Error()}
+		}
+		l.Add(rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// ParseString parses a list from a string.
+func ParseString(s string) (*List, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// Add appends a rule to the list.
+func (l *List) Add(r *Rule) {
+	if r.Exception {
+		l.exceptions = append(l.exceptions, r)
+	} else {
+		l.blocking = append(l.blocking, r)
+	}
+}
+
+// Len returns the number of active (non-skipped) rules.
+func (l *List) Len() int { return len(l.blocking) + len(l.exceptions) }
+
+// Skipped returns the number of unsupported lines ignored during parsing.
+func (l *List) Skipped() int { return l.skipped }
+
+// Match classifies a request. It returns whether the request is blocked
+// (i.e. the URL is ad-related) and the rule that decided: a blocking rule
+// when blocked, an exception rule when an exception rescued the request,
+// or nil when nothing matched.
+func (l *List) Match(req Request) (bool, *Rule) {
+	var hit *Rule
+	for _, r := range l.blocking {
+		if r.Matches(req) {
+			hit = r
+			break
+		}
+	}
+	if hit == nil {
+		return false, nil
+	}
+	for _, r := range l.exceptions {
+		if r.Matches(req) {
+			return false, r
+		}
+	}
+	return true, hit
+}
+
+// MatchURL is a convenience for classifying a bare URL with no document
+// context as any resource type.
+func (l *List) MatchURL(rawURL string) bool {
+	ok, _ := l.Match(Request{URL: rawURL, Type: TypeOther, DocHost: ""})
+	return ok
+}
+
+// ParseRule parses a single filter line (which must not be a comment or
+// element-hiding rule).
+func ParseRule(line string) (*Rule, error) {
+	r := &Rule{Raw: line}
+	text := line
+	if strings.HasPrefix(text, "@@") {
+		r.Exception = true
+		text = text[2:]
+	}
+
+	// Split off options at the last '$' that introduces a plausible option
+	// list. EasyList never uses '$' inside URL patterns except for options.
+	if i := strings.LastIndexByte(text, '$'); i >= 0 && i < len(text)-1 && isOptionList(text[i+1:]) {
+		if err := r.parseOptions(text[i+1:]); err != nil {
+			return nil, err
+		}
+		text = text[:i]
+	}
+
+	if strings.HasPrefix(text, "||") {
+		r.anchorHost = true
+		text = text[2:]
+	} else if strings.HasPrefix(text, "|") {
+		r.anchorStart = true
+		text = text[1:]
+	}
+	if strings.HasSuffix(text, "|") {
+		r.anchorEnd = true
+		text = text[:len(text)-1]
+	}
+	if text == "" && !r.anchorHost && !r.anchorStart {
+		return nil, fmt.Errorf("empty pattern")
+	}
+	r.pattern = text
+	return r, nil
+}
+
+// isOptionList reports whether s looks like a comma-separated ABP option
+// list rather than part of a URL.
+func isOptionList(s string) bool {
+	for _, opt := range strings.Split(s, ",") {
+		opt = strings.TrimPrefix(strings.TrimSpace(opt), "~")
+		if opt == "" {
+			return false
+		}
+		name := opt
+		if i := strings.IndexByte(opt, '='); i >= 0 {
+			name = opt[:i]
+		}
+		switch name {
+		case "script", "image", "subdocument", "document", "third-party",
+			"object", "stylesheet", "xmlhttprequest", "popup", "domain",
+			"other", "match-case", "collapse":
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func (r *Rule) parseOptions(s string) error {
+	for _, opt := range strings.Split(s, ",") {
+		opt = strings.TrimSpace(opt)
+		neg := strings.HasPrefix(opt, "~")
+		if neg {
+			opt = opt[1:]
+		}
+		switch {
+		case opt == "third-party":
+			v := !neg
+			r.thirdParty = &v
+		case strings.HasPrefix(opt, "domain="):
+			for _, d := range strings.Split(opt[len("domain="):], "|") {
+				d = strings.ToLower(strings.TrimSpace(d))
+				if d == "" {
+					continue
+				}
+				if strings.HasPrefix(d, "~") {
+					r.domainsExc = append(r.domainsExc, d[1:])
+				} else {
+					r.domainsInc = append(r.domainsInc, d)
+				}
+			}
+		case opt == "script" || opt == "image" || opt == "subdocument" || opt == "document" || opt == "other":
+			rt := typeFromName(opt)
+			if neg {
+				if r.typeExclude == nil {
+					r.typeExclude = map[ResourceType]bool{}
+				}
+				r.typeExclude[rt] = true
+			} else {
+				if r.typeInclude == nil {
+					r.typeInclude = map[ResourceType]bool{}
+				}
+				r.typeInclude[rt] = true
+			}
+		case opt == "object" || opt == "stylesheet" || opt == "xmlhttprequest" ||
+			opt == "popup" || opt == "match-case" || opt == "collapse":
+			// Recognized but not modeled; such rules simply don't constrain.
+		default:
+			return fmt.Errorf("unknown option %q", opt)
+		}
+	}
+	return nil
+}
+
+func typeFromName(name string) ResourceType {
+	switch name {
+	case "document":
+		return TypeDocument
+	case "subdocument":
+		return TypeSubdocument
+	case "script":
+		return TypeScript
+	case "image":
+		return TypeImage
+	default:
+		return TypeOther
+	}
+}
+
+// Matches reports whether the rule matches the request, considering pattern,
+// anchors, and options.
+func (r *Rule) Matches(req Request) bool {
+	if !r.optionsAllow(req) {
+		return false
+	}
+	u := req.URL
+	switch {
+	case r.anchorHost:
+		return r.matchHostAnchor(u)
+	case r.anchorStart:
+		return r.matchAt(u, 0, true)
+	default:
+		// Unanchored: try every start offset.
+		for i := 0; i <= len(u); i++ {
+			if r.matchAt(u, i, false) {
+				return true
+			}
+			// Cheap prune: jump to next occurrence of the first literal byte.
+			if first, ok := r.firstLiteralByte(); ok {
+				j := strings.IndexByte(u[i:], first)
+				if j < 0 {
+					return false
+				}
+				if j > 0 {
+					i += j - 1
+				}
+			}
+		}
+		return false
+	}
+}
+
+// firstLiteralByte returns the first concrete byte of the pattern, if any.
+func (r *Rule) firstLiteralByte() (byte, bool) {
+	for i := 0; i < len(r.pattern); i++ {
+		c := r.pattern[i]
+		if c != '*' && c != '^' {
+			return c, true
+		}
+		if c == '^' {
+			return 0, false // separator can match several bytes
+		}
+	}
+	return 0, false
+}
+
+// matchHostAnchor implements the || anchor: the pattern must match starting
+// at the URL's host, or at any subdomain-label boundary within the host.
+func (r *Rule) matchHostAnchor(u string) bool {
+	hostStart := strings.Index(u, "://")
+	if hostStart < 0 {
+		return false
+	}
+	hostStart += 3
+	hostEnd := hostStart
+	for hostEnd < len(u) && u[hostEnd] != '/' && u[hostEnd] != '?' && u[hostEnd] != '#' {
+		hostEnd++
+	}
+	// Candidate positions: start of host and each position after a dot.
+	for i := hostStart; i < hostEnd; i++ {
+		if i == hostStart || u[i-1] == '.' {
+			if r.matchAt(u, i, true) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchAt matches the rule pattern against u starting exactly at offset.
+// anchoredStart pins the first segment to the offset.
+func (r *Rule) matchAt(u string, offset int, anchoredStart bool) bool {
+	return matchPattern(r.pattern, u, offset, anchoredStart, r.anchorEnd)
+}
+
+// matchPattern is a backtracking matcher over the ABP pattern alphabet:
+// literal bytes, '*' (any run, including empty), and '^' (exactly one
+// separator byte, or end-of-input).
+func matchPattern(pat, s string, start int, anchoredStart, anchorEnd bool) bool {
+	var match func(pi, si int) bool
+	match = func(pi, si int) bool {
+		for pi < len(pat) {
+			switch pat[pi] {
+			case '*':
+				// Collapse consecutive stars.
+				for pi < len(pat) && pat[pi] == '*' {
+					pi++
+				}
+				if pi == len(pat) {
+					if anchorEnd {
+						return !anchorEnd || si <= len(s) // '*' absorbs to end
+					}
+					return true
+				}
+				for k := si; k <= len(s); k++ {
+					if match(pi, k) {
+						return true
+					}
+				}
+				return false
+			case '^':
+				if si == len(s) {
+					// Separator at end of pattern may match end of URL.
+					return pi == len(pat)-1
+				}
+				if !isSeparator(s[si]) {
+					return false
+				}
+				pi++
+				si++
+			default:
+				if si >= len(s) || !eqFold(s[si], pat[pi]) {
+					return false
+				}
+				pi++
+				si++
+			}
+		}
+		if anchorEnd {
+			return si == len(s)
+		}
+		return true
+	}
+	if anchoredStart {
+		return match(0, start)
+	}
+	return match(0, start)
+}
+
+// isSeparator implements the ABP separator class: anything that is not a
+// letter, digit, or one of "_-.%".
+func isSeparator(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return false
+	case c == '_' || c == '-' || c == '.' || c == '%':
+		return false
+	}
+	return true
+}
+
+// eqFold compares two bytes ASCII case-insensitively: ABP matching is
+// case-insensitive by default.
+func eqFold(a, b byte) bool {
+	if 'A' <= a && a <= 'Z' {
+		a += 'a' - 'A'
+	}
+	if 'A' <= b && b <= 'Z' {
+		b += 'a' - 'A'
+	}
+	return a == b
+}
+
+// optionsAllow checks the rule's option constraints against the request.
+func (r *Rule) optionsAllow(req Request) bool {
+	if r.typeInclude != nil && !r.typeInclude[req.Type] {
+		return false
+	}
+	if r.typeExclude != nil && r.typeExclude[req.Type] {
+		return false
+	}
+	if r.thirdParty != nil {
+		reqHost := urlx.Host(req.URL)
+		third := !urlx.SameRegisteredDomain(reqHost, req.DocHost)
+		if req.DocHost == "" {
+			third = true
+		}
+		if *r.thirdParty != third {
+			return false
+		}
+	}
+	if len(r.domainsInc) > 0 {
+		ok := false
+		for _, d := range r.domainsInc {
+			if urlx.IsSubdomainOf(req.DocHost, d) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, d := range r.domainsExc {
+		if urlx.IsSubdomainOf(req.DocHost, d) {
+			return false
+		}
+	}
+	return true
+}

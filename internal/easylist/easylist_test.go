@@ -1,0 +1,322 @@
+package easylist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, list string) *List {
+	t.Helper()
+	l, err := ParseString(list)
+	if err != nil {
+		t.Fatalf("ParseString: %v", err)
+	}
+	return l
+}
+
+func TestHostAnchor(t *testing.T) {
+	l := mustParse(t, "||ads.example.com^")
+	cases := map[string]bool{
+		"http://ads.example.com/banner.js":        true,
+		"https://ads.example.com/x?y=1":           true,
+		"http://sub.ads.example.com/z":            true,
+		"http://ads.example.com.evil.net/":        false, // ^ requires separator after
+		"http://notads.example.com/":              false,
+		"http://example.com/ads.example.com/":     false, // host anchor matches host only
+		"http://other.net/?r=ads.example.com%2Fx": false,
+	}
+	for u, want := range cases {
+		if got := l.MatchURL(u); got != want {
+			t.Errorf("MatchURL(%q) = %v, want %v", u, got, want)
+		}
+	}
+}
+
+func TestHostAnchorWithPath(t *testing.T) {
+	l := mustParse(t, "||example.com/adserver/")
+	if !l.MatchURL("http://example.com/adserver/show") {
+		t.Error("path under anchor should match")
+	}
+	if l.MatchURL("http://example.com/other/adserver2") {
+		t.Error("different path should not match")
+	}
+}
+
+func TestStartAndEndAnchors(t *testing.T) {
+	l := mustParse(t, "|http://banner.")
+	if !l.MatchURL("http://banner.example.com/x") {
+		t.Error("start anchor should match")
+	}
+	if l.MatchURL("http://example.com/http://banner.") {
+		t.Error("start anchor must pin to position 0")
+	}
+
+	l2 := mustParse(t, "swf|")
+	if !l2.MatchURL("http://example.com/movie.swf") {
+		t.Error("end anchor should match")
+	}
+	if l2.MatchURL("http://example.com/movie.swf?x=1") {
+		t.Error("end anchor must pin to end")
+	}
+}
+
+func TestWildcards(t *testing.T) {
+	l := mustParse(t, "/banner/*/img^")
+	if !l.MatchURL("http://example.com/banner/foo/img?x") {
+		t.Error("wildcard should match")
+	}
+	if !l.MatchURL("http://example.com/banner/a/b/img") {
+		t.Error("wildcard spanning slashes should match, separator at end-of-url")
+	}
+	if l.MatchURL("http://example.com/banner/foo/imgraph") {
+		t.Error("^ must not match a letter")
+	}
+	if l.MatchURL("http://example.com/banner/img") {
+		t.Error("missing middle segment should not match")
+	}
+}
+
+func TestSeparatorClass(t *testing.T) {
+	l := mustParse(t, "||example.com^ad^")
+	if !l.MatchURL("http://example.com/ad/") {
+		t.Error("'/' is a separator")
+	}
+	if !l.MatchURL("http://example.com/ad?") {
+		t.Error("'?' is a separator")
+	}
+	l3 := mustParse(t, "||example.com^8000^")
+	if !l3.MatchURL("http://example.com:8000/") {
+		t.Error("':' is a separator")
+	}
+	if l.MatchURL("http://example.com-ad-") {
+		t.Error("'-' is not a separator")
+	}
+}
+
+func TestCaseInsensitive(t *testing.T) {
+	l := mustParse(t, "/AdBanner.")
+	if !l.MatchURL("http://example.com/adbanner.gif") {
+		t.Error("matching should be case-insensitive")
+	}
+}
+
+func TestExceptionRules(t *testing.T) {
+	l := mustParse(t, `
+||ads.example.com^
+@@||ads.example.com/acceptable/
+`)
+	blocked, rule := l.Match(Request{URL: "http://ads.example.com/banner"})
+	if !blocked || rule == nil || rule.Exception {
+		t.Fatalf("banner should be blocked, got %v %+v", blocked, rule)
+	}
+	blocked, rule = l.Match(Request{URL: "http://ads.example.com/acceptable/one"})
+	if blocked {
+		t.Fatal("exception should rescue the request")
+	}
+	if rule == nil || !rule.Exception {
+		t.Fatal("exception rule should be reported")
+	}
+}
+
+func TestTypeOptions(t *testing.T) {
+	l := mustParse(t, "||tracker.example.net^$script,subdocument")
+	req := Request{URL: "http://tracker.example.net/t.js"}
+
+	req.Type = TypeScript
+	if ok, _ := l.Match(req); !ok {
+		t.Error("script should match")
+	}
+	req.Type = TypeSubdocument
+	if ok, _ := l.Match(req); !ok {
+		t.Error("subdocument should match")
+	}
+	req.Type = TypeImage
+	if ok, _ := l.Match(req); ok {
+		t.Error("image should not match")
+	}
+}
+
+func TestNegatedTypeOption(t *testing.T) {
+	l := mustParse(t, "||cdn.example.net^$~image")
+	if ok, _ := l.Match(Request{URL: "http://cdn.example.net/x", Type: TypeImage}); ok {
+		t.Error("negated type must exclude")
+	}
+	if ok, _ := l.Match(Request{URL: "http://cdn.example.net/x", Type: TypeScript}); !ok {
+		t.Error("other types must match")
+	}
+}
+
+func TestThirdPartyOption(t *testing.T) {
+	l := mustParse(t, "||widgets.example.com^$third-party")
+	third := Request{URL: "http://widgets.example.com/w.js", DocHost: "www.news.net", Type: TypeScript}
+	if ok, _ := l.Match(third); !ok {
+		t.Error("third-party request should match")
+	}
+	first := Request{URL: "http://widgets.example.com/w.js", DocHost: "www.example.com", Type: TypeScript}
+	if ok, _ := l.Match(first); ok {
+		t.Error("first-party request should not match")
+	}
+}
+
+func TestDomainOption(t *testing.T) {
+	l := mustParse(t, "/promo.$domain=shop.example|~safe.shop.example")
+	if ok, _ := l.Match(Request{URL: "http://x.net/promo.gif", DocHost: "www.shop.example"}); !ok {
+		t.Error("included domain should match")
+	}
+	if ok, _ := l.Match(Request{URL: "http://x.net/promo.gif", DocHost: "safe.shop.example"}); ok {
+		t.Error("excluded subdomain should not match")
+	}
+	if ok, _ := l.Match(Request{URL: "http://x.net/promo.gif", DocHost: "other.example"}); ok {
+		t.Error("non-included domain should not match")
+	}
+}
+
+func TestCommentsAndHeaders(t *testing.T) {
+	l := mustParse(t, `
+[Adblock Plus 2.0]
+! Title: test list
+! comment
+||real.example.com^
+`)
+	if l.Len() != 1 {
+		t.Fatalf("rule count = %d, want 1", l.Len())
+	}
+}
+
+func TestElementHidingSkipped(t *testing.T) {
+	l := mustParse(t, `
+example.com###ad-banner
+##.sponsored
+||kept.example.com^
+`)
+	if l.Len() != 1 {
+		t.Fatalf("rule count = %d, want 1", l.Len())
+	}
+	if l.Skipped() != 2 {
+		t.Fatalf("skipped = %d, want 2", l.Skipped())
+	}
+}
+
+func TestUnknownOptionTreatedAsLiteral(t *testing.T) {
+	// A '$' suffix that is not a valid option list is part of the pattern,
+	// so the rule only matches URLs containing it literally.
+	l := mustParse(t, "||x.com^$script,bogusoption")
+	if l.MatchURL("http://x.com/ad.js") {
+		t.Fatal("rule with literal $ tail must not match plain URL")
+	}
+	if !l.MatchURL("http://x.com/$script,bogusoption") {
+		t.Fatal("rule should match URL containing the literal tail")
+	}
+}
+
+func TestDollarInPath(t *testing.T) {
+	// A '$' that does not introduce a valid option list is part of the URL.
+	l := mustParse(t, "/path$with$dollars")
+	if !l.MatchURL("http://example.com/path$with$dollars") {
+		t.Error("dollar in path should be literal")
+	}
+}
+
+func TestPlainSubstring(t *testing.T) {
+	l := mustParse(t, "/ad_iframe/")
+	if !l.MatchURL("http://anything.example.com/x/ad_iframe/y") {
+		t.Error("plain substring should match anywhere")
+	}
+	if l.MatchURL("http://anything.example.com/x/ad-iframe/y") {
+		t.Error("literal must match exactly")
+	}
+}
+
+func TestMatchURLEmptyList(t *testing.T) {
+	l := mustParse(t, "")
+	if l.MatchURL("http://example.com/") {
+		t.Error("empty list blocks nothing")
+	}
+}
+
+func TestEmptyPatternError(t *testing.T) {
+	if _, err := ParseRule("@@"); err == nil {
+		t.Fatal("empty exception should fail")
+	}
+}
+
+// Property: a host-anchored rule for a host never matches URLs on an
+// unrelated registered domain.
+func TestHostAnchorProperty(t *testing.T) {
+	l := mustParse(t, "||adserv.example.com^")
+	f := func(a, b uint8) bool {
+		host := word(a) + "." + word(b) + ".org"
+		return !l.MatchURL("http://" + host + "/page")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parsing arbitrary non-comment lines never panics.
+func TestParseFuzzProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		s := strings.ReplaceAll(string(raw), "\x00", "")
+		ParseString(s) // error or not, must not panic
+		ParseRule(s)   // same
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: matching arbitrary URLs against a fixed realistic list
+// terminates and never panics.
+func TestMatchFuzzProperty(t *testing.T) {
+	l := mustParse(t, `
+||ads.example.com^
+||track*.example.net^$third-party
+/banner/*/img^
+|http://promo.
+.swf|
+@@||ads.example.com/ok/
+`)
+	f := func(raw []byte) bool {
+		l.MatchURL(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func word(x uint8) string {
+	const alpha = "abcdefghij"
+	n := int(x%4) + 2
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alpha[(int(x)+i*3)%len(alpha)])
+	}
+	return b.String()
+}
+
+func TestWildcardInHostAnchor(t *testing.T) {
+	l := mustParse(t, "||track*.example.net^")
+	if !l.MatchURL("http://tracker01.example.net/p") {
+		t.Error("wildcard in host should match")
+	}
+	if !l.MatchURL("http://track.example.net/p") {
+		t.Error("empty wildcard should match")
+	}
+	if l.MatchURL("http://rack.example.net/p") {
+		t.Error("prefix must still be required")
+	}
+}
+
+func TestResourceTypeString(t *testing.T) {
+	for rt, want := range map[ResourceType]string{
+		TypeOther: "other", TypeDocument: "document", TypeSubdocument: "subdocument",
+		TypeScript: "script", TypeImage: "image",
+	} {
+		if rt.String() != want {
+			t.Errorf("%d.String() = %q", rt, rt.String())
+		}
+	}
+}

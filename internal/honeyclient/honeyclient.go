@@ -1,0 +1,243 @@
+// Package honeyclient is the reproduction's Wepawet (§3.2.1): an
+// instrumented emulated browser that re-executes an advertisement, captures
+// everything it does, and applies detection logic:
+//
+//   - heuristics — redirections to NX domains or to benign websites such as
+//     Google and Bing, the signature of cloaking;
+//   - suspicious redirections — top.location rewrites (link hijacking) and
+//     other forced navigations;
+//   - payload capture — executables and Flash the ad downloads, handed to
+//     the AV-scanning stage;
+//   - behavioural models — a feature vector over the ad's behaviour scored
+//     against a model of known-malicious patterns.
+package honeyclient
+
+import (
+	"net/http"
+	"strings"
+
+	"madave/internal/browser"
+	"madave/internal/memnet"
+	"madave/internal/netcap"
+	"madave/internal/stats"
+	"madave/internal/urlx"
+)
+
+// benignRedirectHosts are the "benign websites like Google and Bing" whose
+// appearance as a forced navigation target signals cloaking.
+var benignRedirectHosts = map[string]bool{
+	"www.google.com": true,
+	"google.com":     true,
+	"www.bing.com":   true,
+	"bing.com":       true,
+}
+
+// Report is the honeyclient's analysis of one advertisement.
+type Report struct {
+	URL string
+	// RenderErrors records load failures (informational).
+	RenderErrors []string
+
+	// Heuristic flags (cloaking indicators).
+	NXRedirect     bool
+	BenignRedirect bool
+	// Hijack is true when a script rewrote top.location.
+	Hijack bool
+	// ForcedNavigations counts script-initiated navigations of any kind.
+	ForcedNavigations int
+
+	// Downloads are the binary payloads observed (executables, Flash).
+	Downloads []browser.Download
+
+	// Hosts is every host the ad contacted during instrumented execution.
+	Hosts []string
+
+	// Features is the behavioural feature vector; ModelScore its score.
+	Features Features
+	// ModelHit is true when the behavioural model flagged the ad.
+	ModelHit bool
+}
+
+// Features is the behavioural feature vector the model scores (the
+// "machine learning models" component of Wepawet's classification).
+type Features struct {
+	// ObfuscationLayers counts eval(unescape(...)) wrappers encountered.
+	ObfuscationLayers int
+	// TrackingPixels counts 1x1 images planted by scripts.
+	TrackingPixels int
+	// ThirdPartyBeaconDomains counts distinct registered domains receiving
+	// tracking pixels, excluding the ad's own domain.
+	ThirdPartyBeaconDomains int
+	// PluginEnumeration is true when scripts iterate navigator.plugins.
+	PluginEnumeration bool
+	// WritesScripts is true when document.write introduced new script or
+	// iframe elements.
+	WritesScripts bool
+}
+
+// Score computes the model score. The weights favor the combination that
+// distinguishes malicious infrastructure — obfuscation plus fingerprint
+// exfiltration to several unrelated collectors — over any single benign
+// behaviour.
+func (f Features) Score() float64 {
+	score := 0.0
+	score += 2.0 * float64(min(f.ObfuscationLayers, 3))
+	beacons := f.ThirdPartyBeaconDomains
+	if beacons > 5 {
+		beacons = 5
+	}
+	score += 2.0 * float64(beacons)
+	if f.PluginEnumeration && f.ObfuscationLayers > 0 {
+		score += 1.5
+	}
+	if f.WritesScripts {
+		score += 0.5
+	}
+	return score
+}
+
+// DefaultModelThreshold is the score at which the model flags an ad.
+const DefaultModelThreshold = 7.5
+
+// Honeyclient analyzes advertisements against a universe.
+type Honeyclient struct {
+	Universe *memnet.Universe
+	// ModelThreshold gates ModelHit.
+	ModelThreshold float64
+	// ScriptBudget bounds per-ad script execution.
+	ScriptBudget int
+	// Seed derives the instrumented browser's randomness.
+	Seed uint64
+
+	// Detector toggles for the DESIGN.md ablations: disabling a component
+	// shows its contribution to Table 1.
+	DisableRedirectHeuristics bool // NX/benign-redirect (cloaking) detection
+	DisableHijackDetection    bool // top.location rewrites
+	DisableModel              bool // behavioural model
+}
+
+// New returns a honeyclient over the universe.
+func New(u *memnet.Universe, seed uint64) *Honeyclient {
+	return &Honeyclient{
+		Universe:       u,
+		ModelThreshold: DefaultModelThreshold,
+		ScriptBudget:   500_000,
+		Seed:           seed,
+	}
+}
+
+// newBrowser builds the instrumented browser: honeyclient profile (sparse
+// plugins, vulnerable Flash) over a fresh capture.
+func (h *Honeyclient) newBrowser() (*browser.Browser, *netcap.Capture) {
+	cap := netcap.New(&memnet.Transport{U: h.Universe})
+	client := &http.Client{
+		Transport: cap,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	b := browser.New(client, browser.HoneyclientProfile())
+	b.Capture = cap
+	b.ScriptBudget = h.ScriptBudget
+	b.RNG = stats.NewRNG(h.Seed).Fork("honeyclient")
+	return b, cap
+}
+
+// Analyze fetches and executes the advertisement at frameURL (the ad
+// iframe's entry URL), like Wepawet receiving "the initial request for
+// advertisements from a publisher's website".
+func (h *Honeyclient) Analyze(frameURL string) *Report {
+	b, cap := h.newBrowser()
+	page, err := b.Load(frameURL, "")
+	rep := h.buildReport(frameURL, page, cap)
+	if err != nil {
+		rep.RenderErrors = append(rep.RenderErrors, err.Error())
+	}
+	return rep
+}
+
+// AnalyzeHTML executes an already-captured ad snapshot (corpus HTML). Live
+// subresources are still fetched from the universe, so blacklisted hosts
+// and payloads remain observable.
+func (h *Honeyclient) AnalyzeHTML(html, baseURL string) *Report {
+	b, cap := h.newBrowser()
+	page := b.LoadHTML(html, baseURL)
+	return h.buildReport(baseURL, page, cap)
+}
+
+func (h *Honeyclient) buildReport(url string, page *browser.Page, cap *netcap.Capture) *Report {
+	rep := &Report{URL: url}
+	if page == nil {
+		return rep
+	}
+	rep.RenderErrors = append(rep.RenderErrors, page.Errors...)
+
+	adDomain := urlx.RegisteredDomain(urlx.Host(page.FinalURL))
+
+	for _, nav := range page.AllNavigations() {
+		rep.ForcedNavigations++
+		if nav.Kind == browser.NavTop && !nav.Blocked && !h.DisableHijackDetection {
+			rep.Hijack = true
+		}
+		if h.DisableRedirectHeuristics {
+			continue
+		}
+		if nav.NXDomain {
+			rep.NXRedirect = true
+		}
+		if benignRedirectHosts[urlx.Host(nav.Target)] {
+			rep.BenignRedirect = true
+		}
+	}
+
+	rep.Downloads = page.AllDownloads()
+
+	// Hosts contacted: from the capture, which saw every request.
+	rep.Hosts = cap.Hosts()
+
+	// Behavioural features.
+	rep.Features = extractFeatures(page, adDomain)
+	rep.ModelHit = !h.DisableModel && rep.Features.Score() >= h.ModelThreshold
+	return rep
+}
+
+// extractFeatures mines the rendered page (and its frames) for the model's
+// feature vector.
+func extractFeatures(page *browser.Page, adDomain string) Features {
+	var f Features
+	collect(page, adDomain, &f, map[string]bool{})
+	return f
+}
+
+func collect(p *browser.Page, adDomain string, f *Features, beaconDomains map[string]bool) {
+	for _, src := range p.Scripts {
+		f.ObfuscationLayers += strings.Count(src, "eval(unescape(")
+		if strings.Contains(src, "navigator.plugins") {
+			f.PluginEnumeration = true
+		}
+	}
+	if p.Doc != nil {
+		for _, img := range p.Doc.Find("img") {
+			if img.AttrOr("width", "") == "1" && img.AttrOr("height", "") == "1" {
+				f.TrackingPixels++
+				src, _ := img.Attr("src")
+				d := urlx.RegisteredDomain(urlx.Host(urlx.Resolve(p.FinalURL, src)))
+				if d != "" && d != adDomain && !beaconDomains[d] {
+					beaconDomains[d] = true
+					f.ThirdPartyBeaconDomains++
+				}
+			}
+		}
+		// document.write-introduced script/iframe elements appear in the
+		// DOM with no server-side counterpart in the original document; a
+		// good-enough proxy is dynamic iframes of size 1x1.
+		for _, fr := range p.Doc.Find("iframe") {
+			if fr.AttrOr("width", "") == "1" {
+				f.WritesScripts = true
+			}
+		}
+	}
+	for _, child := range p.Frames {
+		collect(child, adDomain, f, beaconDomains)
+	}
+}

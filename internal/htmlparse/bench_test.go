@@ -1,0 +1,51 @@
+package htmlparse
+
+import (
+	"strings"
+	"testing"
+)
+
+// benchPage resembles a publisher page with ad iframes and inline scripts.
+var benchPage = func() string {
+	var b strings.Builder
+	b.WriteString("<!DOCTYPE html><html><head><title>bench</title></head><body>")
+	for i := 0; i < 30; i++ {
+		b.WriteString(`<div class="row"><p>Some article text with <a href="/x">links</a> and <b>markup</b>.</p>`)
+		b.WriteString(`<iframe src="http://adserv.example.com/serve?slot=` + string(rune('0'+i%10)) + `" width="300" height="250"></iframe>`)
+		b.WriteString(`<script>var x = 1 < 2 && 3 > 2; document.write("<span>` + "`" + `</span>");</script></div>`)
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}()
+
+func BenchmarkTokenize(b *testing.B) {
+	b.SetBytes(int64(len(benchPage)))
+	for i := 0; i < b.N; i++ {
+		z := NewTokenizer(benchPage)
+		for {
+			if tok := z.Next(); tok.Type == ErrorToken {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkParseDOM(b *testing.B) {
+	b.SetBytes(int64(len(benchPage)))
+	for i := 0; i < b.N; i++ {
+		doc := Parse(benchPage)
+		if len(doc.Find("iframe")) != 30 {
+			b.Fatal("parse lost iframes")
+		}
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	doc := Parse(benchPage)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if doc.Render() == "" {
+			b.Fatal("empty render")
+		}
+	}
+}

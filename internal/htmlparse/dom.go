@@ -1,0 +1,231 @@
+package htmlparse
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeType identifies the kind of a DOM Node.
+type NodeType int
+
+// Node types.
+const (
+	DocumentNode NodeType = iota
+	ElementNode
+	TextNode
+	CommentNode
+)
+
+// Node is a node in the parsed DOM tree.
+type Node struct {
+	Type     NodeType
+	Tag      string // element tag name, lowercase
+	Attrs    []Attr
+	Text     string // text or comment content
+	Parent   *Node
+	Children []*Node
+}
+
+// voidTags are HTML elements that never have children or end tags.
+var voidTags = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// Parse builds a DOM tree from HTML source. It never fails: malformed
+// markup degrades gracefully the way browsers degrade (unmatched end tags
+// are dropped, unclosed elements are closed at end of input).
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode}
+	stack := []*Node{doc}
+	z := NewTokenizer(src)
+	for {
+		tok := z.Next()
+		if tok.Type == ErrorToken {
+			break
+		}
+		top := stack[len(stack)-1]
+		switch tok.Type {
+		case TextToken:
+			// Skip whitespace-only text nodes between elements: they carry
+			// no meaning for the crawler and bloat trees.
+			if strings.TrimSpace(tok.Text) == "" {
+				continue
+			}
+			top.appendChild(&Node{Type: TextNode, Text: tok.Text})
+		case CommentToken:
+			top.appendChild(&Node{Type: CommentNode, Text: tok.Text})
+		case DoctypeToken:
+			// Doctypes are ignored in the tree.
+		case SelfClosingTagToken:
+			top.appendChild(&Node{Type: ElementNode, Tag: tok.Tag, Attrs: tok.Attrs})
+		case StartTagToken:
+			n := &Node{Type: ElementNode, Tag: tok.Tag, Attrs: tok.Attrs}
+			top.appendChild(n)
+			if !voidTags[tok.Tag] {
+				stack = append(stack, n)
+			}
+		case EndTagToken:
+			// Pop to the matching open element if one exists; otherwise
+			// ignore the stray end tag.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Tag == tok.Tag {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+	return doc
+}
+
+func (n *Node) appendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// AttrOr returns the named attribute's value or def when absent.
+func (n *Node) AttrOr(name, def string) string {
+	if v, ok := n.Attr(name); ok {
+		return v
+	}
+	return def
+}
+
+// HasAttr reports whether the named attribute is present (even if empty,
+// as with the boolean iframe sandbox attribute the paper's §4.4 looks for).
+func (n *Node) HasAttr(name string) bool {
+	_, ok := n.Attr(name)
+	return ok
+}
+
+// SetAttr sets (or replaces) the named attribute.
+func (n *Node) SetAttr(name, value string) {
+	for i, a := range n.Attrs {
+		if a.Name == name {
+			n.Attrs[i].Value = value
+			return
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{Name: name, Value: value})
+}
+
+// Find returns all descendant elements (depth-first, document order) with
+// the given tag name. Tag is matched case-insensitively.
+func (n *Node) Find(tag string) []*Node {
+	tag = strings.ToLower(tag)
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && c.Tag == tag {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// FindFirst returns the first descendant element with the tag, or nil.
+func (n *Node) FindFirst(tag string) *Node {
+	tag = strings.ToLower(tag)
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if found == nil && c.Type == ElementNode && c.Tag == tag {
+			found = c
+			return false
+		}
+		return found == nil
+	})
+	return found
+}
+
+// Walk visits every node in the subtree rooted at n (excluding n itself) in
+// document order. The visitor returns false to prune a subtree.
+func (n *Node) Walk(visit func(*Node) bool) {
+	for _, c := range n.Children {
+		if visit(c) {
+			c.Walk(visit)
+		}
+	}
+}
+
+// InnerText concatenates all descendant text nodes.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.Walk(func(c *Node) bool {
+		if c.Type == TextNode {
+			b.WriteString(c.Text)
+		}
+		return true
+	})
+	if n.Type == TextNode {
+		b.WriteString(n.Text)
+	}
+	return b.String()
+}
+
+// Render serializes the subtree back to HTML. Attribute values are quoted
+// and escaped; raw-text element contents are emitted verbatim.
+func (n *Node) Render() string {
+	var b strings.Builder
+	n.render(&b)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder) {
+	switch n.Type {
+	case DocumentNode:
+		for _, c := range n.Children {
+			c.render(b)
+		}
+	case TextNode:
+		if n.Parent != nil && rawTextTags[n.Parent.Tag] {
+			b.WriteString(n.Text)
+		} else {
+			b.WriteString(escapeText(n.Text))
+		}
+	case CommentNode:
+		fmt.Fprintf(b, "<!--%s-->", n.Text)
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, a := range n.Attrs {
+			b.WriteByte(' ')
+			b.WriteString(a.Name)
+			b.WriteString(`="`)
+			b.WriteString(escapeAttr(a.Value))
+			b.WriteByte('"')
+		}
+		b.WriteByte('>')
+		if voidTags[n.Tag] {
+			return
+		}
+		for _, c := range n.Children {
+			c.render(b)
+		}
+		b.WriteString("</")
+		b.WriteString(n.Tag)
+		b.WriteByte('>')
+	}
+}
+
+func escapeText(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	return strings.ReplaceAll(s, ">", "&gt;")
+}
+
+func escapeAttr(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	return strings.ReplaceAll(s, `"`, "&quot;")
+}

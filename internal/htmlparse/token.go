@@ -1,0 +1,433 @@
+// Package htmlparse implements the HTML tokenizer and DOM tree builder used
+// by the emulated browser. The paper's crawler rendered pages with a real
+// browser (Firefox via Selenium); this package is the parsing half of our
+// from-scratch substitute.
+//
+// It is not a full HTML5 parser — it does not implement the spec's
+// adoption-agency insanity — but it correctly handles what web pages in the
+// simulation (and most real ad markup) contain: nested elements, void
+// elements, quoted/unquoted attributes, comments, doctypes, and raw-text
+// elements such as <script> whose contents must not be tokenized as markup.
+package htmlparse
+
+import (
+	"strings"
+)
+
+// TokenType identifies the kind of a Token.
+type TokenType int
+
+// Token types produced by the Tokenizer.
+const (
+	ErrorToken TokenType = iota // end of input
+	TextToken
+	StartTagToken
+	EndTagToken
+	SelfClosingTagToken
+	CommentToken
+	DoctypeToken
+)
+
+// String returns a human-readable name for the token type.
+func (t TokenType) String() string {
+	switch t {
+	case ErrorToken:
+		return "Error"
+	case TextToken:
+		return "Text"
+	case StartTagToken:
+		return "StartTag"
+	case EndTagToken:
+		return "EndTag"
+	case SelfClosingTagToken:
+		return "SelfClosingTag"
+	case CommentToken:
+		return "Comment"
+	case DoctypeToken:
+		return "Doctype"
+	}
+	return "Unknown"
+}
+
+// Attr is a single name="value" attribute on a tag. Names are lowercased by
+// the tokenizer; values keep their original case.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Token is one lexical unit of an HTML document.
+type Token struct {
+	Type  TokenType
+	Tag   string // lowercased tag name for tag tokens
+	Text  string // text for TextToken, comment body for CommentToken
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute and whether it is present.
+func (t *Token) Attr(name string) (string, bool) {
+	for _, a := range t.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// rawTextTags are elements whose content is raw text up to the matching
+// closing tag: markup inside them must not be tokenized.
+var rawTextTags = map[string]bool{
+	"script":   true,
+	"style":    true,
+	"textarea": true,
+	"title":    true,
+}
+
+// Tokenizer turns HTML source into a stream of Tokens.
+type Tokenizer struct {
+	src string
+	pos int
+	// rawTag, when non-empty, means the tokenizer is inside a raw-text
+	// element and must scan for its closing tag only.
+	rawTag string
+}
+
+// NewTokenizer returns a Tokenizer over src.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// Next returns the next token. After the input is exhausted it returns
+// a token with Type == ErrorToken forever.
+func (z *Tokenizer) Next() Token {
+	if z.pos >= len(z.src) {
+		return Token{Type: ErrorToken}
+	}
+	if z.rawTag != "" {
+		return z.nextRawText()
+	}
+	if z.src[z.pos] == '<' {
+		return z.nextTag()
+	}
+	return z.nextText()
+}
+
+// nextText scans a text run up to the next '<' or end of input.
+func (z *Tokenizer) nextText() Token {
+	start := z.pos
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+	return Token{Type: TextToken, Text: unescape(z.src[start:z.pos])}
+}
+
+// nextRawText scans the contents of a raw-text element (e.g. script) up to
+// its closing tag, returning the content as a TextToken. The closing tag is
+// emitted by a subsequent call.
+func (z *Tokenizer) nextRawText() Token {
+	closing := "</" + z.rawTag
+	idx := indexFold(z.src[z.pos:], closing)
+	if idx < 0 {
+		// Unterminated raw text: consume the rest of the input.
+		text := z.src[z.pos:]
+		z.pos = len(z.src)
+		z.rawTag = ""
+		return Token{Type: TextToken, Text: text}
+	}
+	if idx == 0 {
+		// At the closing tag now: emit it.
+		z.rawTag = ""
+		return z.nextTag()
+	}
+	text := z.src[z.pos : z.pos+idx]
+	z.pos += idx
+	z.rawTag = ""
+	return Token{Type: TextToken, Text: text}
+}
+
+// nextTag scans a tag, comment, or doctype beginning at '<'.
+func (z *Tokenizer) nextTag() Token {
+	// Invariants: z.src[z.pos] == '<'.
+	if strings.HasPrefix(z.src[z.pos:], "<!--") {
+		return z.nextComment()
+	}
+	if len(z.src) > z.pos+1 && (z.src[z.pos+1] == '!' || z.src[z.pos+1] == '?') {
+		return z.nextDeclaration()
+	}
+	end := false
+	p := z.pos + 1
+	if p < len(z.src) && z.src[p] == '/' {
+		end = true
+		p++
+	}
+	nameStart := p
+	for p < len(z.src) && isTagNameByte(z.src[p]) {
+		p++
+	}
+	if p == nameStart {
+		// "<" not followed by a tag name: treat the '<' as literal text.
+		z.pos++
+		return Token{Type: TextToken, Text: "<"}
+	}
+	tag := strings.ToLower(z.src[nameStart:p])
+
+	tok := Token{Tag: tag}
+	if end {
+		tok.Type = EndTagToken
+		// Skip to '>'.
+		for p < len(z.src) && z.src[p] != '>' {
+			p++
+		}
+		if p < len(z.src) {
+			p++
+		}
+		z.pos = p
+		return tok
+	}
+
+	tok.Type = StartTagToken
+	// Parse attributes.
+	for {
+		p = skipSpace(z.src, p)
+		if p >= len(z.src) {
+			break
+		}
+		if z.src[p] == '>' {
+			p++
+			break
+		}
+		if z.src[p] == '/' {
+			p++
+			p = skipSpace(z.src, p)
+			if p < len(z.src) && z.src[p] == '>' {
+				p++
+				tok.Type = SelfClosingTagToken
+			}
+			break
+		}
+		var attr Attr
+		attr, p = parseAttr(z.src, p)
+		if attr.Name != "" {
+			tok.Attrs = append(tok.Attrs, attr)
+		} else {
+			// Could not make progress on a malformed byte; skip it so the
+			// tokenizer always terminates.
+			p++
+		}
+	}
+	z.pos = p
+	if tok.Type == StartTagToken && rawTextTags[tag] {
+		z.rawTag = tag
+	}
+	return tok
+}
+
+// nextComment scans "<!-- ... -->".
+func (z *Tokenizer) nextComment() Token {
+	start := z.pos + 4
+	idx := strings.Index(z.src[start:], "-->")
+	if idx < 0 {
+		text := z.src[start:]
+		z.pos = len(z.src)
+		return Token{Type: CommentToken, Text: text}
+	}
+	text := z.src[start : start+idx]
+	z.pos = start + idx + 3
+	return Token{Type: CommentToken, Text: text}
+}
+
+// nextDeclaration scans "<!DOCTYPE ...>" and similar "<!...>" or "<?...>".
+func (z *Tokenizer) nextDeclaration() Token {
+	end := strings.IndexByte(z.src[z.pos:], '>')
+	var body string
+	if end < 0 {
+		body = z.src[z.pos:]
+		z.pos = len(z.src)
+	} else {
+		body = z.src[z.pos : z.pos+end+1]
+		z.pos += end + 1
+	}
+	return Token{Type: DoctypeToken, Text: body}
+}
+
+// parseAttr parses one attribute starting at p, returning it and the
+// position after it. On malformed input it returns a zero Attr and p
+// unchanged.
+func parseAttr(src string, p int) (Attr, int) {
+	nameStart := p
+	for p < len(src) && isAttrNameByte(src[p]) {
+		p++
+	}
+	if p == nameStart {
+		return Attr{}, p
+	}
+	name := strings.ToLower(src[nameStart:p])
+	p = skipSpace(src, p)
+	if p >= len(src) || src[p] != '=' {
+		return Attr{Name: name}, p // boolean attribute, e.g. <iframe sandbox>
+	}
+	p++ // consume '='
+	p = skipSpace(src, p)
+	if p >= len(src) {
+		return Attr{Name: name}, p
+	}
+	var value string
+	switch src[p] {
+	case '"', '\'':
+		quote := src[p]
+		p++
+		valStart := p
+		for p < len(src) && src[p] != quote {
+			p++
+		}
+		value = src[valStart:p]
+		if p < len(src) {
+			p++ // closing quote
+		}
+	default:
+		valStart := p
+		for p < len(src) && !isSpaceByte(src[p]) && src[p] != '>' && src[p] != '/' {
+			p++
+		}
+		value = src[valStart:p]
+	}
+	return Attr{Name: name, Value: unescape(value)}, p
+}
+
+func isTagNameByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '-'
+}
+
+func isAttrNameByte(c byte) bool {
+	return !isSpaceByte(c) && c != '=' && c != '>' && c != '/' && c != '"' && c != '\''
+}
+
+func isSpaceByte(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func skipSpace(src string, p int) int {
+	for p < len(src) && isSpaceByte(src[p]) {
+		p++
+	}
+	return p
+}
+
+// indexFold is a case-insensitive strings.Index limited to ASCII, which is
+// all HTML tag names can contain.
+func indexFold(s, substr string) int {
+	n := len(substr)
+	if n == 0 {
+		return 0
+	}
+	for i := 0; i+n <= len(s); i++ {
+		if equalFoldASCII(s[i:i+n], substr) {
+			return i
+		}
+	}
+	return -1
+}
+
+func equalFoldASCII(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// entity replacements handled by unescape. Ad markup in the wild uses only a
+// handful of named entities; numeric references are also supported.
+var entities = map[string]string{
+	"amp":  "&",
+	"lt":   "<",
+	"gt":   ">",
+	"quot": `"`,
+	"apos": "'",
+	"nbsp": " ",
+}
+
+// unescape resolves HTML character references in s. Unknown or malformed
+// references are left intact, matching browser leniency.
+func unescape(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		ref := s[i+1 : i+semi]
+		if rep, ok := entities[ref]; ok {
+			b.WriteString(rep)
+			i += semi + 1
+			continue
+		}
+		if strings.HasPrefix(ref, "#") {
+			if r, ok := parseNumericRef(ref[1:]); ok {
+				b.WriteRune(r)
+				i += semi + 1
+				continue
+			}
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String()
+}
+
+func parseNumericRef(s string) (rune, bool) {
+	if s == "" {
+		return 0, false
+	}
+	base := 10
+	if s[0] == 'x' || s[0] == 'X' {
+		base = 16
+		s = s[1:]
+		if s == "" {
+			return 0, false
+		}
+	}
+	var n int64
+	for i := 0; i < len(s); i++ {
+		var d int64
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			d = int64(c - '0')
+		case base == 16 && c >= 'a' && c <= 'f':
+			d = int64(c-'a') + 10
+		case base == 16 && c >= 'A' && c <= 'F':
+			d = int64(c-'A') + 10
+		default:
+			return 0, false
+		}
+		n = n*int64(base) + d
+		if n > 0x10FFFF {
+			return 0, false
+		}
+	}
+	return rune(n), true
+}

@@ -1,0 +1,213 @@
+package htmlparse
+
+import (
+	"testing"
+)
+
+func collect(src string) []Token {
+	z := NewTokenizer(src)
+	var toks []Token
+	for {
+		tok := z.Next()
+		if tok.Type == ErrorToken {
+			return toks
+		}
+		toks = append(toks, tok)
+	}
+}
+
+func TestTokenizeSimple(t *testing.T) {
+	toks := collect(`<p class="x">hi</p>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[0].Type != StartTagToken || toks[0].Tag != "p" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if v, ok := toks[0].Attr("class"); !ok || v != "x" {
+		t.Fatalf("class attr = %q, %v", v, ok)
+	}
+	if toks[1].Type != TextToken || toks[1].Text != "hi" {
+		t.Fatalf("tok1 = %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Tag != "p" {
+		t.Fatalf("tok2 = %+v", toks[2])
+	}
+}
+
+func TestTokenizeAttributes(t *testing.T) {
+	toks := collect(`<iframe src='http://a.com/x' width=300 sandbox allowfullscreen>`)
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	tok := toks[0]
+	cases := map[string]string{
+		"src":             "http://a.com/x",
+		"width":           "300",
+		"sandbox":         "",
+		"allowfullscreen": "",
+	}
+	for name, want := range cases {
+		got, ok := tok.Attr(name)
+		if !ok {
+			t.Errorf("attribute %q missing", name)
+		} else if got != want {
+			t.Errorf("attribute %q = %q, want %q", name, got, want)
+		}
+	}
+}
+
+func TestTokenizeSelfClosing(t *testing.T) {
+	toks := collect(`<br/><img src="a.png" />`)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[0].Type != SelfClosingTagToken || toks[0].Tag != "br" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Type != SelfClosingTagToken || toks[1].Tag != "img" {
+		t.Fatalf("tok1 = %+v", toks[1])
+	}
+}
+
+func TestTokenizeScriptRawText(t *testing.T) {
+	src := `<script>if (a < b) { document.write("<div>x</div>"); }</script>after`
+	toks := collect(src)
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[0].Tag != "script" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	want := `if (a < b) { document.write("<div>x</div>"); }`
+	if toks[1].Type != TextToken || toks[1].Text != want {
+		t.Fatalf("script body = %q", toks[1].Text)
+	}
+	if toks[2].Type != EndTagToken || toks[2].Tag != "script" {
+		t.Fatalf("tok2 = %+v", toks[2])
+	}
+	if toks[3].Text != "after" {
+		t.Fatalf("tok3 = %+v", toks[3])
+	}
+}
+
+func TestTokenizeEmptyScript(t *testing.T) {
+	toks := collect(`<script src="x.js"></script>`)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[1].Type != EndTagToken {
+		t.Fatalf("tok1 = %+v", toks[1])
+	}
+}
+
+func TestTokenizeUnterminatedScript(t *testing.T) {
+	toks := collect(`<script>var x = 1;`)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[1].Text != "var x = 1;" {
+		t.Fatalf("body = %q", toks[1].Text)
+	}
+}
+
+func TestTokenizeComment(t *testing.T) {
+	toks := collect(`a<!-- hidden <b> -->z`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[1].Type != CommentToken || toks[1].Text != " hidden <b> " {
+		t.Fatalf("comment = %+v", toks[1])
+	}
+}
+
+func TestTokenizeDoctype(t *testing.T) {
+	toks := collect(`<!DOCTYPE html><html></html>`)
+	if toks[0].Type != DoctypeToken {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+}
+
+func TestTokenizeCaseInsensitiveTags(t *testing.T) {
+	toks := collect(`<DIV CLASS="Big">x</DIV>`)
+	if toks[0].Tag != "div" {
+		t.Fatalf("tag = %q", toks[0].Tag)
+	}
+	if v, _ := toks[0].Attr("class"); v != "Big" {
+		t.Fatalf("attr value should keep case, got %q", v)
+	}
+}
+
+func TestTokenizeEntities(t *testing.T) {
+	toks := collect(`a &amp; b &lt;tag&gt; &#65; &#x42; &unknown; &`)
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	want := "a & b <tag> A B &unknown; &"
+	if toks[0].Text != want {
+		t.Fatalf("text = %q, want %q", toks[0].Text, want)
+	}
+}
+
+func TestTokenizeStrayLessThan(t *testing.T) {
+	toks := collect(`1 < 2 and <b>bold</b>`)
+	// "1 " text, "<" text, " 2 and " text, <b>, "bold", </b>
+	var types []TokenType
+	for _, tok := range toks {
+		types = append(types, tok.Type)
+	}
+	if len(toks) != 6 {
+		t.Fatalf("got %d tokens (%v): %v", len(toks), types, toks)
+	}
+	if toks[1].Type != TextToken || toks[1].Text != "<" {
+		t.Fatalf("stray < not literal: %+v", toks[1])
+	}
+	if toks[3].Type != StartTagToken || toks[3].Tag != "b" {
+		t.Fatalf("b tag missing: %+v", toks[3])
+	}
+}
+
+func TestTokenizeMalformedAttrsTerminates(t *testing.T) {
+	// Must not loop forever on garbage.
+	srcs := []string{
+		`<div ="x">`, `<a href=>`, `<p "">`, `<img src="unterminated`,
+		`<`, `</`, `<>`, `<div`, `<!--unterminated`, `<!doctype`,
+	}
+	for _, src := range srcs {
+		done := make(chan struct{})
+		go func(s string) {
+			collect(s)
+			close(done)
+		}(src)
+		select {
+		case <-done:
+		default:
+			// collect is synchronous; if goroutine hasn't finished give it a
+			// moment via a trivial re-check below.
+		}
+		<-done
+	}
+}
+
+func TestTokenTypeString(t *testing.T) {
+	names := map[TokenType]string{
+		ErrorToken: "Error", TextToken: "Text", StartTagToken: "StartTag",
+		EndTagToken: "EndTag", SelfClosingTagToken: "SelfClosingTag",
+		CommentToken: "Comment", DoctypeToken: "Doctype", TokenType(99): "Unknown",
+	}
+	for tt, want := range names {
+		if tt.String() != want {
+			t.Errorf("%d.String() = %q, want %q", tt, tt.String(), want)
+		}
+	}
+}
+
+func TestRawTextCaseInsensitiveClose(t *testing.T) {
+	toks := collect(`<script>x</SCRIPT>done`)
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[2].Type != EndTagToken || toks[2].Tag != "script" {
+		t.Fatalf("tok2 = %+v", toks[2])
+	}
+}

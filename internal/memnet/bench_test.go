@@ -1,0 +1,46 @@
+package memnet
+
+import (
+	"io"
+	"net/http"
+	"testing"
+)
+
+func benchUniverse() *Universe {
+	u := NewUniverse()
+	u.HandleFunc("bench.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, "<html><body>bench page</body></html>")
+	})
+	return u
+}
+
+func BenchmarkInMemoryRoundTrip(b *testing.B) {
+	client := Client(benchUniverse())
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get("http://bench.example.com/")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}
+
+func BenchmarkTCPRoundTrip(b *testing.B) {
+	srv, err := StartServer(benchUniverse())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	client := srv.TCPClient()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Get("http://bench.example.com/")
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,255 @@
+// Package memnet provides the network substrate of the simulation: a
+// virtual-host HTTP universe in which every simulated domain (publishers,
+// ad networks, exploit servers) registers an http.Handler, plus two ways to
+// reach it:
+//
+//   - Transport: an http.RoundTripper that dispatches requests in memory.
+//     This is the default for crawls — deterministic and allocation-cheap.
+//   - Server: a real net/http server on a loopback TCP listener with a
+//     name-resolving client transport, so the same universe can be exercised
+//     over actual sockets (integration tests and the cmd tools use it).
+//
+// Both paths run the same handler code, mirroring how the paper's crawler
+// spoke real HTTP to real ad infrastructure.
+package memnet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Universe is the registry of simulated hosts. It implements http.Handler
+// by dispatching on the request's Host header, so it can be served directly
+// by net/http.
+type Universe struct {
+	mu       sync.RWMutex
+	hosts    map[string]http.Handler
+	fallback http.Handler
+}
+
+// NewUniverse returns an empty universe. Unknown hosts respond like a DNS
+// failure: the in-memory transport returns an error ("no such host"), and
+// the TCP server responds 502.
+func NewUniverse() *Universe {
+	return &Universe{hosts: make(map[string]http.Handler)}
+}
+
+// Handle registers a handler for an exact host name (no port). Registering
+// the same host twice replaces the handler.
+func (u *Universe) Handle(host string, h http.Handler) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.hosts[strings.ToLower(host)] = h
+}
+
+// HandleFunc registers a handler function for a host.
+func (u *Universe) HandleFunc(host string, f func(http.ResponseWriter, *http.Request)) {
+	u.Handle(host, http.HandlerFunc(f))
+}
+
+// SetFallback installs a handler for hosts with no registration, replacing
+// the default NXDOMAIN behaviour. The simulation uses it to model wildcard
+// parking pages.
+func (u *Universe) SetFallback(h http.Handler) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.fallback = h
+}
+
+// Lookup returns the handler for host, or nil when the host does not
+// resolve.
+func (u *Universe) Lookup(host string) http.Handler {
+	host = strings.ToLower(stripPort(host))
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	if h, ok := u.hosts[host]; ok {
+		return h
+	}
+	return u.fallback
+}
+
+// Hosts returns all registered host names (unordered).
+func (u *Universe) Hosts() []string {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	out := make([]string, 0, len(u.hosts))
+	for h := range u.hosts {
+		out = append(out, h)
+	}
+	return out
+}
+
+// ServeHTTP dispatches by Host header.
+func (u *Universe) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h := u.Lookup(r.Host)
+	if h == nil {
+		http.Error(w, "memnet: no such host: "+r.Host, http.StatusBadGateway)
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
+// NXDomainError is returned by the in-memory transport for unregistered
+// hosts. The honeyclient's cloaking heuristics (redirects to NX domains)
+// depend on being able to distinguish this from an HTTP error.
+type NXDomainError struct{ Host string }
+
+func (e *NXDomainError) Error() string {
+	return fmt.Sprintf("memnet: lookup %s: no such host", e.Host)
+}
+
+// Transport is an http.RoundTripper that serves requests directly from a
+// Universe without sockets.
+type Transport struct {
+	U *Universe
+}
+
+// RoundTrip executes the request against the universe.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Hostname()
+	if host == "" {
+		host = stripPort(req.Host)
+	}
+	h := t.U.Lookup(host)
+	if h == nil {
+		return nil, &NXDomainError{Host: host}
+	}
+
+	// Clone the request the way a server would see it.
+	inner := req.Clone(req.Context())
+	inner.Host = req.URL.Host
+	inner.RequestURI = req.URL.RequestURI()
+	if inner.Body == nil {
+		inner.Body = http.NoBody
+	}
+
+	rec := newRecorder()
+	h.ServeHTTP(rec, inner)
+	return rec.response(req), nil
+}
+
+// recorder is a minimal in-memory http.ResponseWriter.
+type recorder struct {
+	status int
+	header http.Header
+	body   bytes.Buffer
+	wrote  bool
+}
+
+func newRecorder() *recorder {
+	return &recorder{header: make(http.Header)}
+}
+
+func (r *recorder) Header() http.Header { return r.header }
+
+func (r *recorder) WriteHeader(status int) {
+	if r.wrote {
+		return
+	}
+	r.status = status
+	r.wrote = true
+}
+
+func (r *recorder) Write(p []byte) (int, error) {
+	if !r.wrote {
+		r.WriteHeader(http.StatusOK)
+	}
+	return r.body.Write(p)
+}
+
+func (r *recorder) response(req *http.Request) *http.Response {
+	if !r.wrote {
+		r.status = http.StatusOK
+	}
+	return &http.Response{
+		Status:        fmt.Sprintf("%d %s", r.status, http.StatusText(r.status)),
+		StatusCode:    r.status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        r.header,
+		Body:          io.NopCloser(bytes.NewReader(r.body.Bytes())),
+		ContentLength: int64(r.body.Len()),
+		Request:       req,
+	}
+}
+
+// Client returns an *http.Client backed by the in-memory transport that
+// does not follow redirects automatically: the emulated browser implements
+// redirect-following itself so every hop is observable, exactly like the
+// paper's full traffic capture.
+func Client(u *Universe) *http.Client {
+	return &http.Client{
+		Transport: &Transport{U: u},
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+// Server runs a Universe on a real TCP loopback listener.
+type Server struct {
+	U        *Universe
+	listener net.Listener
+	server   *http.Server
+}
+
+// StartServer listens on 127.0.0.1 on an ephemeral port and serves the
+// universe over real HTTP.
+func StartServer(u *Universe) (*Server, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		U:        u,
+		listener: ln,
+		server:   &http.Server{Handler: u},
+	}
+	go s.server.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return s, nil
+}
+
+// Addr returns the listener's address, e.g. "127.0.0.1:40123".
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	return s.server.Close()
+}
+
+// TCPClient returns an *http.Client whose transport dials the server's
+// loopback address for every host name, so URLs of simulated domains
+// resolve to the real listener. Redirects are not followed automatically,
+// matching Client.
+func (s *Server) TCPClient() *http.Client {
+	addr := s.Addr()
+	dialer := &net.Dialer{}
+	transport := &http.Transport{
+		DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+			return dialer.DialContext(ctx, network, addr)
+		},
+		// Simulated hosts are plentiful; keep connections bounded.
+		MaxIdleConns:        32,
+		MaxIdleConnsPerHost: 4,
+	}
+	return &http.Client{
+		Transport: transport,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+}
+
+func stripPort(host string) string {
+	if i := strings.LastIndexByte(host, ':'); i >= 0 && !strings.Contains(host[i:], "]") {
+		return host[:i]
+	}
+	return host
+}

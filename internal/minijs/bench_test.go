@@ -1,0 +1,85 @@
+package minijs
+
+import "testing"
+
+const benchAdScript = `
+var land = "http://www.example.com/offer?c=cmp-00042&imp=deadbeef";
+document = { write: function(s) { return s.length; } };
+var parts = [];
+for (var i = 0; i < 20; i++) {
+	parts.push('<a href="' + land + '&i=' + i + '">ad</a>');
+}
+var html = parts.join("");
+var total = 0;
+for (var j = 0; j < parts.length; j++) {
+	total += parts[j].length;
+}
+total
+`
+
+func BenchmarkLex(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Lex(benchAdScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(benchAdScript); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunAdScript(b *testing.B) {
+	prog, err := Parse(benchAdScript)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		in := New()
+		if _, err := in.RunProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunObfuscated(b *testing.B) {
+	// The classic malvertising layer: eval(unescape("...")).
+	src := `eval(unescape("%76%61%72%20%78%20%3d%20%31%3b%20%76%61%72%20%79%20%3d%20%78%20%2a%20%34%32%3b%20%79"))`
+	for i := 0; i < b.N; i++ {
+		in := New()
+		v, err := in.Run(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v != float64(42) {
+			b.Fatalf("v = %v", v)
+		}
+	}
+}
+
+func BenchmarkClosureCalls(b *testing.B) {
+	in := New()
+	v, err := in.Run(`
+		function adder(x) { return function(y) { return x + y; }; }
+		adder(10)
+	`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	args := []Value{float64(32)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.Budget = DefaultBudget
+		out, err := in.CallFunction(v, Undefined{}, args)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out != float64(42) {
+			b.Fatal("wrong result")
+		}
+	}
+}

@@ -1,0 +1,469 @@
+package minijs
+
+import (
+	"math"
+	"net/url"
+	"strings"
+)
+
+// installBuiltins defines the standard global bindings every execution
+// context gets: Math, String, parseInt/parseFloat, isNaN, escape/unescape,
+// URI coders, eval, and the Array/Function tag objects used by instanceof.
+//
+// Math.random is deterministic (a fixed-seed LCG) so that crawls are
+// reproducible; the embedding browser replaces it with a stream derived from
+// the simulation seed.
+func installBuiltins(in *Interp) {
+	g := in.Global
+
+	g.Define("NaN", math.NaN())
+	g.Define("Infinity", math.Inf(1))
+
+	// Math -------------------------------------------------------------
+	mathObj := NewObject()
+	mathObj.Name = "Math"
+	mathObj.Props["PI"] = math.Pi
+	mathObj.Props["E"] = math.E
+	rngState := uint64(0x9e3779b97f4a7c15)
+	mathObj.Props["random"] = NewNative("random", func(_ *Interp, _ Value, _ []Value) (Value, error) {
+		rngState = rngState*6364136223846793005 + 1442695040888963407
+		return float64(rngState>>11) / (1 << 53), nil
+	})
+	unary := func(name string, f func(float64) float64) {
+		mathObj.Props[name] = NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			return f(ToNumber(arg(args, 0))), nil
+		})
+	}
+	unary("floor", math.Floor)
+	unary("ceil", math.Ceil)
+	unary("round", func(f float64) float64 { return math.Floor(f + 0.5) })
+	unary("abs", math.Abs)
+	unary("sqrt", math.Sqrt)
+	unary("log", math.Log)
+	unary("exp", math.Exp)
+	unary("sin", math.Sin)
+	unary("cos", math.Cos)
+	mathObj.Props["pow"] = NewNative("pow", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		return math.Pow(ToNumber(arg(args, 0)), ToNumber(arg(args, 1))), nil
+	})
+	mathObj.Props["max"] = NewNative("max", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		out := math.Inf(-1)
+		for _, a := range args {
+			out = math.Max(out, ToNumber(a))
+		}
+		return out, nil
+	})
+	mathObj.Props["min"] = NewNative("min", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		out := math.Inf(1)
+		for _, a := range args {
+			out = math.Min(out, ToNumber(a))
+		}
+		return out, nil
+	})
+	g.Define("Math", mathObj)
+
+	// String -----------------------------------------------------------
+	stringObj := NewNative("String", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		return ToString(arg(args, 0)), nil
+	})
+	stringObj.Props["fromCharCode"] = NewNative("fromCharCode", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		var b strings.Builder
+		for _, a := range args {
+			b.WriteRune(rune(int(ToNumber(a))))
+		}
+		return b.String(), nil
+	})
+	g.Define("String", stringObj)
+
+	// Number, Boolean, Array, Object, Function constructors -------------
+	g.Define("Number", NewNative("Number", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		return ToNumber(arg(args, 0)), nil
+	}))
+	g.Define("Boolean", NewNative("Boolean", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		return Truthy(arg(args, 0)), nil
+	}))
+	arrayCtor := NewNative("Array", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		if len(args) == 1 {
+			if n, ok := args[0].(float64); ok && n == math.Trunc(n) && n >= 0 {
+				elems := make([]Value, int(n))
+				for i := range elems {
+					elems[i] = Undefined{}
+				}
+				return NewArray(elems...), nil
+			}
+		}
+		return NewArray(args...), nil
+	})
+	g.Define("Array", arrayCtor)
+	g.Define("Object", NewNative("Object", func(_ *Interp, _ Value, _ []Value) (Value, error) {
+		return NewObject(), nil
+	}))
+	g.Define("Function", NewNative("Function", func(_ *Interp, _ Value, _ []Value) (Value, error) {
+		return nil, &ThrowError{Value: "TypeError: Function constructor is disabled"}
+	}))
+
+	// Global functions ---------------------------------------------------
+	g.Define("parseInt", NewNative("parseInt", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		radix := 0
+		if len(args) > 1 {
+			radix = int(ToNumber(args[1]))
+		}
+		return parseIntValue(ToString(arg(args, 0)), radix), nil
+	}))
+	g.Define("parseFloat", NewNative("parseFloat", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		return ToNumber(ToString(arg(args, 0))), nil
+	}))
+	g.Define("isNaN", NewNative("isNaN", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		return math.IsNaN(ToNumber(arg(args, 0))), nil
+	}))
+	g.Define("escape", NewNative("escape", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		return url.QueryEscape(ToString(arg(args, 0))), nil
+	}))
+	g.Define("unescape", NewNative("unescape", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		s := ToString(arg(args, 0))
+		if out, err := url.QueryUnescape(s); err == nil {
+			return out, nil
+		}
+		return s, nil
+	}))
+	g.Define("encodeURIComponent", NewNative("encodeURIComponent", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		return url.QueryEscape(ToString(arg(args, 0))), nil
+	}))
+	g.Define("decodeURIComponent", NewNative("decodeURIComponent", func(_ *Interp, _ Value, args []Value) (Value, error) {
+		s := ToString(arg(args, 0))
+		if out, err := url.QueryUnescape(s); err == nil {
+			return out, nil
+		}
+		return s, nil
+	}))
+
+	// eval executes in the global scope (the only scope the dialect's eval
+	// supports). Obfuscated malvertising payloads decode a string and eval
+	// it; the honeyclient sees through this because the decoded program runs
+	// in the same instrumented interpreter.
+	g.Define("eval", NewNative("eval", func(in *Interp, _ Value, args []Value) (Value, error) {
+		src, ok := arg(args, 0).(string)
+		if !ok {
+			return arg(args, 0), nil
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			return nil, &ThrowError{Value: "SyntaxError: " + err.Error()}
+		}
+		return in.RunProgram(prog)
+	}))
+}
+
+// arg returns args[i] or Undefined.
+func arg(args []Value, i int) Value {
+	if i < len(args) {
+		return args[i]
+	}
+	return Undefined{}
+}
+
+// stringMember resolves properties and methods on string primitives.
+func stringMember(s, name string) Value {
+	switch name {
+	case "length":
+		return float64(len(s))
+	case "charAt":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			i := int(ToNumber(arg(args, 0)))
+			if i < 0 || i >= len(s) {
+				return "", nil
+			}
+			return string(s[i]), nil
+		})
+	case "charCodeAt":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			i := int(ToNumber(arg(args, 0)))
+			if i < 0 || i >= len(s) {
+				return math.NaN(), nil
+			}
+			return float64(s[i]), nil
+		})
+	case "indexOf":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			return float64(strings.Index(s, ToString(arg(args, 0)))), nil
+		})
+	case "lastIndexOf":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			return float64(strings.LastIndex(s, ToString(arg(args, 0)))), nil
+		})
+	case "substring":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			start, end := sliceBounds(len(s), args)
+			return s[start:end], nil
+		})
+	case "substr":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			start := clampIndex(int(ToNumber(arg(args, 0))), len(s))
+			length := len(s) - start
+			if len(args) > 1 {
+				length = int(ToNumber(args[1]))
+			}
+			if length < 0 {
+				length = 0
+			}
+			if start+length > len(s) {
+				length = len(s) - start
+			}
+			return s[start : start+length], nil
+		})
+	case "slice":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			start, end := negSliceBounds(len(s), args)
+			if start > end {
+				return "", nil
+			}
+			return s[start:end], nil
+		})
+	case "toUpperCase":
+		return NewNative(name, func(_ *Interp, _ Value, _ []Value) (Value, error) {
+			return strings.ToUpper(s), nil
+		})
+	case "toLowerCase":
+		return NewNative(name, func(_ *Interp, _ Value, _ []Value) (Value, error) {
+			return strings.ToLower(s), nil
+		})
+	case "split":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			if len(args) == 0 {
+				return NewArray(s), nil
+			}
+			sep := ToString(args[0])
+			var parts []string
+			if sep == "" {
+				for i := 0; i < len(s); i++ {
+					parts = append(parts, string(s[i]))
+				}
+			} else {
+				parts = strings.Split(s, sep)
+			}
+			elems := make([]Value, len(parts))
+			for i, p := range parts {
+				elems[i] = p
+			}
+			return NewArray(elems...), nil
+		})
+	case "replace":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			// String patterns only (no regex); replaces the first match
+			// like JavaScript's string-pattern replace.
+			old := ToString(arg(args, 0))
+			repl := ToString(arg(args, 1))
+			return strings.Replace(s, old, repl, 1), nil
+		})
+	case "concat":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			out := s
+			for _, a := range args {
+				out += ToString(a)
+			}
+			return out, nil
+		})
+	case "trim":
+		return NewNative(name, func(_ *Interp, _ Value, _ []Value) (Value, error) {
+			return strings.TrimSpace(s), nil
+		})
+	case "toString":
+		return NewNative(name, func(_ *Interp, _ Value, _ []Value) (Value, error) {
+			return s, nil
+		})
+	}
+	return Undefined{}
+}
+
+// numberMember resolves methods on number primitives.
+func numberMember(n float64, name string) Value {
+	switch name {
+	case "toString":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			if len(args) > 0 {
+				radix := int(ToNumber(args[0]))
+				if radix >= 2 && radix <= 36 && n == math.Trunc(n) {
+					return formatIntRadix(int64(n), radix), nil
+				}
+			}
+			return formatNumber(n), nil
+		})
+	case "toFixed":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			digits := int(ToNumber(arg(args, 0)))
+			if digits < 0 || digits > 20 {
+				digits = 0
+			}
+			pow := math.Pow(10, float64(digits))
+			rounded := math.Floor(n*pow+0.5) / pow
+			s := formatNumber(rounded)
+			if digits > 0 && !strings.Contains(s, ".") {
+				s += "." + strings.Repeat("0", digits)
+			}
+			return s, nil
+		})
+	}
+	return Undefined{}
+}
+
+func formatIntRadix(n int64, radix int) string {
+	const digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{digits[n%int64(radix)]}, b...)
+		n /= int64(radix)
+	}
+	if neg {
+		return "-" + string(b)
+	}
+	return string(b)
+}
+
+// arrayMember resolves array methods; returns nil when name is not an array
+// method so the caller can fall back to plain property lookup.
+func arrayMember(a *Object, name string) Value {
+	switch name {
+	case "push":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			a.Elems = append(a.Elems, args...)
+			return float64(len(a.Elems)), nil
+		})
+	case "pop":
+		return NewNative(name, func(_ *Interp, _ Value, _ []Value) (Value, error) {
+			if len(a.Elems) == 0 {
+				return Undefined{}, nil
+			}
+			v := a.Elems[len(a.Elems)-1]
+			a.Elems = a.Elems[:len(a.Elems)-1]
+			return v, nil
+		})
+	case "shift":
+		return NewNative(name, func(_ *Interp, _ Value, _ []Value) (Value, error) {
+			if len(a.Elems) == 0 {
+				return Undefined{}, nil
+			}
+			v := a.Elems[0]
+			a.Elems = a.Elems[1:]
+			return v, nil
+		})
+	case "unshift":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			a.Elems = append(append([]Value{}, args...), a.Elems...)
+			return float64(len(a.Elems)), nil
+		})
+	case "join":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			sep := ","
+			if len(args) > 0 {
+				sep = ToString(args[0])
+			}
+			parts := make([]string, len(a.Elems))
+			for i, e := range a.Elems {
+				if isNullish(e) {
+					parts[i] = ""
+				} else {
+					parts[i] = ToString(e)
+				}
+			}
+			return strings.Join(parts, sep), nil
+		})
+	case "reverse":
+		return NewNative(name, func(_ *Interp, _ Value, _ []Value) (Value, error) {
+			for i, j := 0, len(a.Elems)-1; i < j; i, j = i+1, j-1 {
+				a.Elems[i], a.Elems[j] = a.Elems[j], a.Elems[i]
+			}
+			return a, nil
+		})
+	case "slice":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			start, end := negSliceBounds(len(a.Elems), args)
+			if start > end {
+				return NewArray(), nil
+			}
+			out := make([]Value, end-start)
+			copy(out, a.Elems[start:end])
+			return NewArray(out...), nil
+		})
+	case "concat":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			out := append([]Value{}, a.Elems...)
+			for _, v := range args {
+				if arr, ok := v.(*Object); ok && arr.IsArray {
+					out = append(out, arr.Elems...)
+				} else {
+					out = append(out, v)
+				}
+			}
+			return NewArray(out...), nil
+		})
+	case "indexOf":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			for i, e := range a.Elems {
+				if StrictEquals(e, arg(args, 0)) {
+					return float64(i), nil
+				}
+			}
+			return float64(-1), nil
+		})
+	case "toString":
+		return NewNative(name, func(_ *Interp, _ Value, _ []Value) (Value, error) {
+			return ToString(a), nil
+		})
+	}
+	return nil
+}
+
+// sliceBounds implements substring-style clamping (negative -> 0, swap if
+// start > end).
+func sliceBounds(n int, args []Value) (int, int) {
+	start := clampIndex(int(ToNumber(arg(args, 0))), n)
+	end := n
+	if len(args) > 1 {
+		if _, und := args[1].(Undefined); !und {
+			end = clampIndex(int(ToNumber(args[1])), n)
+		}
+	}
+	if start > end {
+		start, end = end, start
+	}
+	return start, end
+}
+
+// negSliceBounds implements slice-style bounds where negative indices count
+// from the end.
+func negSliceBounds(n int, args []Value) (int, int) {
+	start := 0
+	if len(args) > 0 {
+		start = int(ToNumber(args[0]))
+	}
+	end := n
+	if len(args) > 1 {
+		if _, und := args[1].(Undefined); !und {
+			end = int(ToNumber(args[1]))
+		}
+	}
+	if start < 0 {
+		start += n
+	}
+	if end < 0 {
+		end += n
+	}
+	return clampIndex(start, n), clampIndex(end, n)
+}
+
+func clampIndex(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i > n {
+		return n
+	}
+	return i
+}

@@ -1,0 +1,1067 @@
+package minijs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// ErrBudget is returned when a script exceeds its step budget. The crawler
+// treats a budget hit as "script did not terminate" — exactly how a real
+// honeyclient bounds adversarial ads.
+var ErrBudget = errors.New("minijs: step budget exhausted")
+
+// ThrowError wraps a value thrown by script code (throw statement or a
+// runtime TypeError the interpreter raises).
+type ThrowError struct {
+	Value Value
+	Line  int
+}
+
+func (e *ThrowError) Error() string {
+	return fmt.Sprintf("minijs: uncaught exception at line %d: %s", e.Line, ToString(e.Value))
+}
+
+// Env is a lexical scope: a map of bindings with a pointer to the enclosing
+// scope.
+type Env struct {
+	vars   map[string]Value
+	parent *Env
+}
+
+// NewEnv returns a scope nested in parent (parent may be nil for globals).
+func NewEnv(parent *Env) *Env {
+	return &Env{vars: map[string]Value{}, parent: parent}
+}
+
+// Lookup finds name in this scope chain.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for s := e; s != nil; s = s.parent {
+		if v, ok := s.vars[name]; ok {
+			return v, true
+		}
+	}
+	return Undefined{}, false
+}
+
+// Define creates or overwrites name in this exact scope.
+func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+
+// Assign sets name in the nearest scope that defines it; if none does, the
+// value lands in the global (outermost) scope — JavaScript's implicit-global
+// behaviour, which obfuscated ad scripts rely on.
+func (e *Env) Assign(name string, v Value) {
+	for s := e; s != nil; s = s.parent {
+		if _, ok := s.vars[name]; ok {
+			s.vars[name] = v
+			return
+		}
+		if s.parent == nil {
+			s.vars[name] = v
+			return
+		}
+	}
+}
+
+// Interp executes parsed programs. One Interp corresponds to one page's
+// script execution context in the emulated browser.
+type Interp struct {
+	// Global is the global scope. Host bindings (document, window, ...) are
+	// Defined here by the embedder before Run.
+	Global *Env
+	// Budget is the remaining statement/expression step allowance.
+	Budget int
+	// MaxDepth bounds recursion (call depth).
+	MaxDepth int
+	depth    int
+}
+
+// DefaultBudget is the per-execution step allowance. Ads in the simulation
+// run well under this; runaway loops hit it quickly.
+const DefaultBudget = 2_000_000
+
+// New returns an interpreter with a fresh global scope, the default budget,
+// and standard builtins (Math, String, parseInt, ...) installed.
+func New() *Interp {
+	in := &Interp{Global: NewEnv(nil), Budget: DefaultBudget, MaxDepth: 200}
+	installBuiltins(in)
+	return in
+}
+
+// Run parses and executes src in the global scope.
+func (in *Interp) Run(src string) (Value, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return Undefined{}, err
+	}
+	return in.RunProgram(prog)
+}
+
+// RunProgram executes an already-parsed program in the global scope.
+func (in *Interp) RunProgram(prog *Program) (Value, error) {
+	var last Value = Undefined{}
+	// Hoist function declarations, as JS does.
+	for _, s := range prog.Body {
+		if fd, ok := s.(*FuncDecl); ok {
+			in.Global.Define(fd.Name, in.makeFunction(fd.Fn, in.Global))
+		}
+	}
+	for _, s := range prog.Body {
+		v, ctl, err := in.execStmt(s, in.Global)
+		if err != nil {
+			return Undefined{}, err
+		}
+		if ctl != ctlNone {
+			// return/break/continue at top level: stop quietly.
+			return last, nil
+		}
+		if v != nil {
+			last = v
+		}
+	}
+	return last, nil
+}
+
+// CallFunction invokes a script function value from Go, e.g. the browser
+// firing a setTimeout callback or an onclick handler.
+func (in *Interp) CallFunction(fn Value, this Value, args []Value) (Value, error) {
+	obj, ok := fn.(*Object)
+	if !ok || !obj.IsFunction() {
+		return Undefined{}, &ThrowError{Value: "TypeError: not a function"}
+	}
+	return in.callObject(obj, this, args, 0)
+}
+
+// control-flow signals threaded through statement execution.
+type ctl int
+
+const (
+	ctlNone ctl = iota
+	ctlReturn
+	ctlBreak
+	ctlContinue
+)
+
+func (in *Interp) step(line int) error {
+	in.Budget--
+	if in.Budget < 0 {
+		return ErrBudget
+	}
+	_ = line
+	return nil
+}
+
+// execStmt executes a statement. The Value return is the statement's
+// completion value (used for return statements and top-level expressions).
+func (in *Interp) execStmt(s Stmt, env *Env) (Value, ctl, error) {
+	if err := in.step(s.nodeLine()); err != nil {
+		return nil, ctlNone, err
+	}
+	switch st := s.(type) {
+	case *EmptyStmt:
+		return nil, ctlNone, nil
+
+	case *VarDecl:
+		for i, name := range st.Names {
+			var v Value = Undefined{}
+			if st.Inits[i] != nil {
+				var err error
+				v, err = in.eval(st.Inits[i], env)
+				if err != nil {
+					return nil, ctlNone, err
+				}
+			}
+			env.Define(name, v)
+		}
+		return nil, ctlNone, nil
+
+	case *FuncDecl:
+		env.Define(st.Name, in.makeFunction(st.Fn, env))
+		return nil, ctlNone, nil
+
+	case *ExprStmt:
+		v, err := in.eval(st.X, env)
+		return v, ctlNone, err
+
+	case *BlockStmt:
+		return in.execBlock(st, env)
+
+	case *IfStmt:
+		cond, err := in.eval(st.Cond, env)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		if Truthy(cond) {
+			return in.execStmt(st.Then, env)
+		}
+		if st.Else != nil {
+			return in.execStmt(st.Else, env)
+		}
+		return nil, ctlNone, nil
+
+	case *WhileStmt:
+		for {
+			cond, err := in.eval(st.Cond, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if !Truthy(cond) {
+				return nil, ctlNone, nil
+			}
+			v, c, err := in.execStmt(st.Body, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			switch c {
+			case ctlBreak:
+				return nil, ctlNone, nil
+			case ctlReturn:
+				return v, ctlReturn, nil
+			}
+		}
+
+	case *DoWhileStmt:
+		for {
+			v, c, err := in.execStmt(st.Body, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			switch c {
+			case ctlBreak:
+				return nil, ctlNone, nil
+			case ctlReturn:
+				return v, ctlReturn, nil
+			}
+			cond, err := in.eval(st.Cond, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if !Truthy(cond) {
+				return nil, ctlNone, nil
+			}
+		}
+
+	case *ForStmt:
+		loopEnv := NewEnv(env)
+		if st.Init != nil {
+			if _, _, err := in.execStmt(st.Init, loopEnv); err != nil {
+				return nil, ctlNone, err
+			}
+		}
+		for {
+			if st.Cond != nil {
+				cond, err := in.eval(st.Cond, loopEnv)
+				if err != nil {
+					return nil, ctlNone, err
+				}
+				if !Truthy(cond) {
+					return nil, ctlNone, nil
+				}
+			}
+			v, c, err := in.execStmt(st.Body, loopEnv)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if c == ctlBreak {
+				return nil, ctlNone, nil
+			}
+			if c == ctlReturn {
+				return v, ctlReturn, nil
+			}
+			if st.Post != nil {
+				if _, err := in.eval(st.Post, loopEnv); err != nil {
+					return nil, ctlNone, err
+				}
+			}
+		}
+
+	case *ForInStmt:
+		objV, err := in.eval(st.Obj, env)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		obj, ok := objV.(*Object)
+		if !ok {
+			return nil, ctlNone, nil // for-in over non-object iterates nothing
+		}
+		loopEnv := NewEnv(env)
+		if st.Decl {
+			loopEnv.Define(st.VarName, Undefined{})
+		}
+		for _, key := range obj.Keys() {
+			if st.Decl {
+				loopEnv.Define(st.VarName, key)
+			} else {
+				loopEnv.Assign(st.VarName, key)
+			}
+			v, c, err := in.execStmt(st.Body, loopEnv)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if c == ctlBreak {
+				return nil, ctlNone, nil
+			}
+			if c == ctlReturn {
+				return v, ctlReturn, nil
+			}
+		}
+		return nil, ctlNone, nil
+
+	case *ReturnStmt:
+		var v Value = Undefined{}
+		if st.Value != nil {
+			var err error
+			v, err = in.eval(st.Value, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+		}
+		return v, ctlReturn, nil
+
+	case *BreakStmt:
+		return nil, ctlBreak, nil
+
+	case *ContinueStmt:
+		return nil, ctlContinue, nil
+
+	case *ThrowStmt:
+		v, err := in.eval(st.Value, env)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		return nil, ctlNone, &ThrowError{Value: v, Line: st.nodeLine()}
+
+	case *SwitchStmt:
+		tag, err := in.eval(st.Tag, env)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		// Find the matching clause (or default), then execute from there,
+		// falling through until a break.
+		start := -1
+		defaultIdx := -1
+		for i, c := range st.Cases {
+			if c.Test == nil {
+				defaultIdx = i
+				continue
+			}
+			tv, err := in.eval(c.Test, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if StrictEquals(tag, tv) {
+				start = i
+				break
+			}
+		}
+		if start < 0 {
+			start = defaultIdx
+		}
+		if start < 0 {
+			return nil, ctlNone, nil
+		}
+		switchEnv := NewEnv(env)
+		for i := start; i < len(st.Cases); i++ {
+			for _, s2 := range st.Cases[i].Body {
+				v, c, err := in.execStmt(s2, switchEnv)
+				if err != nil {
+					return nil, ctlNone, err
+				}
+				switch c {
+				case ctlBreak:
+					return nil, ctlNone, nil
+				case ctlReturn, ctlContinue:
+					return v, c, nil
+				}
+			}
+		}
+		return nil, ctlNone, nil
+
+	case *TryStmt:
+		v, c, err := in.execBlock(st.Body, env)
+		var throwErr *ThrowError
+		if err != nil && errors.As(err, &throwErr) && st.Catch != nil {
+			catchEnv := NewEnv(env)
+			catchEnv.Define(st.CatchName, throwErr.Value)
+			v, c, err = in.execBlock(st.Catch, catchEnv)
+		}
+		if st.Finally != nil {
+			fv, fc, ferr := in.execBlock(st.Finally, env)
+			if ferr != nil {
+				return nil, ctlNone, ferr
+			}
+			if fc != ctlNone {
+				return fv, fc, nil
+			}
+		}
+		return v, c, err
+	}
+	return nil, ctlNone, fmt.Errorf("minijs: unknown statement %T", s)
+}
+
+func (in *Interp) execBlock(b *BlockStmt, env *Env) (Value, ctl, error) {
+	blockEnv := NewEnv(env)
+	// Hoist function declarations within the block.
+	for _, s := range b.Body {
+		if fd, ok := s.(*FuncDecl); ok {
+			blockEnv.Define(fd.Name, in.makeFunction(fd.Fn, blockEnv))
+		}
+	}
+	for _, s := range b.Body {
+		v, c, err := in.execStmt(s, blockEnv)
+		if err != nil {
+			return nil, ctlNone, err
+		}
+		if c != ctlNone {
+			return v, c, nil
+		}
+	}
+	return nil, ctlNone, nil
+}
+
+func (in *Interp) makeFunction(fn *FuncLit, env *Env) *Object {
+	return &Object{Props: map[string]Value{}, Fn: fn, Env: env, Name: fn.Name}
+}
+
+// eval evaluates an expression.
+func (in *Interp) eval(e Expr, env *Env) (Value, error) {
+	if err := in.step(e.nodeLine()); err != nil {
+		return nil, err
+	}
+	switch x := e.(type) {
+	case *NumberLit:
+		return x.Value, nil
+	case *StringLit:
+		return x.Value, nil
+	case *BoolLit:
+		return x.Value, nil
+	case *NullLit:
+		return Null{}, nil
+	case *UndefinedLit:
+		return Undefined{}, nil
+	case *ThisExpr:
+		if v, ok := env.Lookup("this"); ok {
+			return v, nil
+		}
+		return Undefined{}, nil
+	case *Ident:
+		if v, ok := env.Lookup(x.Name); ok {
+			return v, nil
+		}
+		return nil, &ThrowError{Value: "ReferenceError: " + x.Name + " is not defined", Line: x.nodeLine()}
+
+	case *ArrayLit:
+		arr := NewArray()
+		for _, el := range x.Elems {
+			v, err := in.eval(el, env)
+			if err != nil {
+				return nil, err
+			}
+			arr.Elems = append(arr.Elems, v)
+		}
+		return arr, nil
+
+	case *ObjectLit:
+		obj := NewObject()
+		for i, k := range x.Keys {
+			v, err := in.eval(x.Values[i], env)
+			if err != nil {
+				return nil, err
+			}
+			obj.Props[k] = v
+		}
+		return obj, nil
+
+	case *FuncLit:
+		return in.makeFunction(x, env), nil
+
+	case *UnaryExpr:
+		return in.evalUnary(x, env)
+
+	case *UpdateExpr:
+		return in.evalUpdate(x, env)
+
+	case *BinaryExpr:
+		return in.evalBinary(x, env)
+
+	case *LogicalExpr:
+		left, err := in.eval(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "&&" {
+			if !Truthy(left) {
+				return left, nil
+			}
+			return in.eval(x.Y, env)
+		}
+		if Truthy(left) {
+			return left, nil
+		}
+		return in.eval(x.Y, env)
+
+	case *CondExpr:
+		cond, err := in.eval(x.Cond, env)
+		if err != nil {
+			return nil, err
+		}
+		if Truthy(cond) {
+			return in.eval(x.Then, env)
+		}
+		return in.eval(x.Else, env)
+
+	case *AssignExpr:
+		return in.evalAssign(x, env)
+
+	case *CallExpr:
+		return in.evalCall(x, env)
+
+	case *NewExpr:
+		return in.evalNew(x, env)
+
+	case *MemberExpr:
+		obj, err := in.eval(x.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.getMember(obj, x.Name, x.nodeLine())
+
+	case *IndexExpr:
+		obj, err := in.eval(x.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		idx, err := in.eval(x.Index, env)
+		if err != nil {
+			return nil, err
+		}
+		return in.getIndex(obj, idx, x.nodeLine())
+	}
+	return nil, fmt.Errorf("minijs: unknown expression %T", e)
+}
+
+func (in *Interp) evalUnary(x *UnaryExpr, env *Env) (Value, error) {
+	if x.Op == "typeof" {
+		// typeof tolerates undefined identifiers.
+		if id, ok := x.X.(*Ident); ok {
+			if v, found := env.Lookup(id.Name); found {
+				return TypeOf(v), nil
+			}
+			return "undefined", nil
+		}
+	}
+	if x.Op == "delete" {
+		if m, ok := x.X.(*MemberExpr); ok {
+			objV, err := in.eval(m.Obj, env)
+			if err != nil {
+				return nil, err
+			}
+			if obj, ok := objV.(*Object); ok && obj.Props != nil {
+				delete(obj.Props, m.Name)
+			}
+			return true, nil
+		}
+		return true, nil
+	}
+	v, err := in.eval(x.X, env)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "-":
+		return -ToNumber(v), nil
+	case "+":
+		return ToNumber(v), nil
+	case "!":
+		return !Truthy(v), nil
+	case "~":
+		return float64(^toInt32(v)), nil
+	case "typeof":
+		return TypeOf(v), nil
+	}
+	return nil, fmt.Errorf("minijs: unknown unary op %q", x.Op)
+}
+
+func (in *Interp) evalUpdate(x *UpdateExpr, env *Env) (Value, error) {
+	old, err := in.eval(x.X, env)
+	if err != nil {
+		return nil, err
+	}
+	n := ToNumber(old)
+	var next float64
+	if x.Op == "++" {
+		next = n + 1
+	} else {
+		next = n - 1
+	}
+	if err := in.assignTo(x.X, next, env); err != nil {
+		return nil, err
+	}
+	if x.Prefix {
+		return next, nil
+	}
+	return n, nil
+}
+
+func (in *Interp) evalBinary(x *BinaryExpr, env *Env) (Value, error) {
+	a, err := in.eval(x.X, env)
+	if err != nil {
+		return nil, err
+	}
+	b, err := in.eval(x.Y, env)
+	if err != nil {
+		return nil, err
+	}
+	return applyBinary(x.Op, a, b, x.nodeLine())
+}
+
+func applyBinary(op string, a, b Value, line int) (Value, error) {
+	switch op {
+	case "+":
+		// String concatenation if either side is a string or a non-array
+		// object (which stringifies).
+		if isStringy(a) || isStringy(b) {
+			return ToString(a) + ToString(b), nil
+		}
+		return ToNumber(a) + ToNumber(b), nil
+	case "-":
+		return ToNumber(a) - ToNumber(b), nil
+	case "*":
+		return ToNumber(a) * ToNumber(b), nil
+	case "/":
+		return ToNumber(a) / ToNumber(b), nil
+	case "%":
+		return math.Mod(ToNumber(a), ToNumber(b)), nil
+	case "==":
+		return LooseEquals(a, b), nil
+	case "!=":
+		return !LooseEquals(a, b), nil
+	case "===":
+		return StrictEquals(a, b), nil
+	case "!==":
+		return !StrictEquals(a, b), nil
+	case "<", ">", "<=", ">=":
+		return compare(op, a, b), nil
+	case "&":
+		return float64(toInt32(a) & toInt32(b)), nil
+	case "|":
+		return float64(toInt32(a) | toInt32(b)), nil
+	case "^":
+		return float64(toInt32(a) ^ toInt32(b)), nil
+	case "<<":
+		return float64(toInt32(a) << (toUint32(b) & 31)), nil
+	case ">>":
+		return float64(toInt32(a) >> (toUint32(b) & 31)), nil
+	case ">>>":
+		return float64(toUint32(a) >> (toUint32(b) & 31)), nil
+	case "in":
+		obj, ok := b.(*Object)
+		if !ok {
+			return nil, &ThrowError{Value: "TypeError: 'in' on non-object", Line: line}
+		}
+		_, found := obj.Get(ToString(a))
+		return found, nil
+	case "instanceof":
+		// The dialect has no prototype chains; instanceof is a pragmatic
+		// check: array instanceof Array, function instanceof Function.
+		obj, ok := a.(*Object)
+		if !ok {
+			return false, nil
+		}
+		name := ""
+		if fb, ok := b.(*Object); ok {
+			name = fb.Name
+		}
+		switch name {
+		case "Array":
+			return obj.IsArray, nil
+		case "Function":
+			return obj.IsFunction(), nil
+		}
+		return false, nil
+	}
+	return nil, fmt.Errorf("minijs: unknown binary op %q", op)
+}
+
+func isStringy(v Value) bool {
+	switch x := v.(type) {
+	case string:
+		return true
+	case *Object:
+		return !x.IsFunction() // objects and arrays concatenate as strings with +
+	}
+	return false
+}
+
+func compare(op string, a, b Value) bool {
+	as, aIsStr := a.(string)
+	bs, bIsStr := b.(string)
+	if aIsStr && bIsStr {
+		switch op {
+		case "<":
+			return as < bs
+		case ">":
+			return as > bs
+		case "<=":
+			return as <= bs
+		case ">=":
+			return as >= bs
+		}
+	}
+	an, bn := ToNumber(a), ToNumber(b)
+	if math.IsNaN(an) || math.IsNaN(bn) {
+		return false
+	}
+	switch op {
+	case "<":
+		return an < bn
+	case ">":
+		return an > bn
+	case "<=":
+		return an <= bn
+	case ">=":
+		return an >= bn
+	}
+	return false
+}
+
+func toInt32(v Value) int32 {
+	n := ToNumber(v)
+	if math.IsNaN(n) || math.IsInf(n, 0) {
+		return 0
+	}
+	return int32(int64(n))
+}
+
+func toUint32(v Value) uint32 {
+	n := ToNumber(v)
+	if math.IsNaN(n) || math.IsInf(n, 0) {
+		return 0
+	}
+	return uint32(int64(n))
+}
+
+func (in *Interp) evalAssign(x *AssignExpr, env *Env) (Value, error) {
+	val, err := in.eval(x.Value, env)
+	if err != nil {
+		return nil, err
+	}
+	if x.Op != "=" {
+		old, err := in.eval(x.Target, env)
+		if err != nil {
+			return nil, err
+		}
+		binOp := x.Op[:len(x.Op)-1] // "+=" -> "+"
+		val, err = applyBinary(binOp, old, val, x.nodeLine())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := in.assignTo(x.Target, val, env); err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+func (in *Interp) assignTo(target Expr, val Value, env *Env) error {
+	switch t := target.(type) {
+	case *Ident:
+		env.Assign(t.Name, val)
+		return nil
+	case *MemberExpr:
+		objV, err := in.eval(t.Obj, env)
+		if err != nil {
+			return err
+		}
+		obj, ok := objV.(*Object)
+		if !ok {
+			return &ThrowError{Value: "TypeError: cannot set property " + t.Name + " of non-object", Line: t.nodeLine()}
+		}
+		obj.Set(t.Name, val)
+		return nil
+	case *IndexExpr:
+		objV, err := in.eval(t.Obj, env)
+		if err != nil {
+			return err
+		}
+		idxV, err := in.eval(t.Index, env)
+		if err != nil {
+			return err
+		}
+		obj, ok := objV.(*Object)
+		if !ok {
+			return &ThrowError{Value: "TypeError: cannot index non-object", Line: t.nodeLine()}
+		}
+		if obj.IsArray {
+			if idx, ok := arrayIndex(idxV); ok && idx >= 0 {
+				for len(obj.Elems) <= idx {
+					obj.Elems = append(obj.Elems, Undefined{})
+				}
+				obj.Elems[idx] = val
+				return nil
+			}
+		}
+		obj.Set(ToString(idxV), val)
+		return nil
+	}
+	return fmt.Errorf("minijs: invalid assignment target %T", target)
+}
+
+func (in *Interp) evalCall(x *CallExpr, env *Env) (Value, error) {
+	var this Value = Undefined{}
+	var fnV Value
+	var err error
+
+	switch callee := x.Callee.(type) {
+	case *MemberExpr:
+		this, err = in.eval(callee.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		fnV, err = in.getMember(this, callee.Name, callee.nodeLine())
+		if err != nil {
+			return nil, err
+		}
+	case *IndexExpr:
+		this, err = in.eval(callee.Obj, env)
+		if err != nil {
+			return nil, err
+		}
+		idx, err2 := in.eval(callee.Index, env)
+		if err2 != nil {
+			return nil, err2
+		}
+		fnV, err = in.getIndex(this, idx, callee.nodeLine())
+		if err != nil {
+			return nil, err
+		}
+	default:
+		fnV, err = in.eval(x.Callee, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		args[i], err = in.eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	fn, ok := fnV.(*Object)
+	if !ok || !fn.IsFunction() {
+		return nil, &ThrowError{Value: "TypeError: " + calleeName(x.Callee) + " is not a function", Line: x.nodeLine()}
+	}
+	return in.callObject(fn, this, args, x.nodeLine())
+}
+
+func calleeName(e Expr) string {
+	switch c := e.(type) {
+	case *Ident:
+		return c.Name
+	case *MemberExpr:
+		return calleeName(c.Obj) + "." + c.Name
+	default:
+		return "expression"
+	}
+}
+
+func (in *Interp) callObject(fn *Object, this Value, args []Value, line int) (Value, error) {
+	if in.depth >= in.MaxDepth {
+		return nil, &ThrowError{Value: "RangeError: maximum call depth exceeded", Line: line}
+	}
+	in.depth++
+	defer func() { in.depth-- }()
+
+	if fn.Native != nil {
+		return fn.Native(in, this, args)
+	}
+	callEnv := NewEnv(fn.Env)
+	callEnv.Define("this", this)
+	argsArr := NewArray(args...)
+	callEnv.Define("arguments", argsArr)
+	for i, p := range fn.Fn.Params {
+		if i < len(args) {
+			callEnv.Define(p, args[i])
+		} else {
+			callEnv.Define(p, Undefined{})
+		}
+	}
+	v, c, err := in.execBlock(fn.Fn.Body, callEnv)
+	if err != nil {
+		return nil, err
+	}
+	if c == ctlReturn {
+		return v, nil
+	}
+	return Undefined{}, nil
+}
+
+func (in *Interp) evalNew(x *NewExpr, env *Env) (Value, error) {
+	fnV, err := in.eval(x.Callee, env)
+	if err != nil {
+		return nil, err
+	}
+	fn, ok := fnV.(*Object)
+	if !ok || !fn.IsFunction() {
+		return nil, &ThrowError{Value: "TypeError: not a constructor", Line: x.nodeLine()}
+	}
+	args := make([]Value, len(x.Args))
+	for i, a := range x.Args {
+		args[i], err = in.eval(a, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+	this := NewObject()
+	ret, err := in.callObject(fn, this, args, x.nodeLine())
+	if err != nil {
+		return nil, err
+	}
+	// If the constructor returned an object, that wins; otherwise `this`.
+	if obj, ok := ret.(*Object); ok {
+		return obj, nil
+	}
+	return this, nil
+}
+
+// getMember resolves obj.name including primitive methods on strings,
+// numbers, and arrays.
+func (in *Interp) getMember(objV Value, name string, line int) (Value, error) {
+	switch o := objV.(type) {
+	case string:
+		return stringMember(o, name), nil
+	case float64:
+		return numberMember(o, name), nil
+	case *Object:
+		if o.IsArray {
+			if m := arrayMember(o, name); m != nil {
+				return m, nil
+			}
+		}
+		v, _ := o.Get(name)
+		return v, nil
+	case nil, Undefined, Null:
+		return nil, &ThrowError{Value: "TypeError: cannot read property '" + name + "' of " + ToString(objV), Line: line}
+	}
+	return Undefined{}, nil
+}
+
+func (in *Interp) getIndex(objV Value, idx Value, line int) (Value, error) {
+	switch o := objV.(type) {
+	case string:
+		if i, ok := idx.(float64); ok {
+			n := int(i)
+			if n >= 0 && n < len(o) {
+				return string(o[n]), nil
+			}
+			return Undefined{}, nil
+		}
+		return stringMember(o, ToString(idx)), nil
+	case *Object:
+		if o.IsArray {
+			if n, ok := arrayIndex(idx); ok {
+				if n >= 0 && n < len(o.Elems) {
+					return o.Elems[n], nil
+				}
+				return Undefined{}, nil
+			}
+			if m := arrayMember(o, ToString(idx)); m != nil {
+				return m, nil
+			}
+		}
+		return in.getMember(objV, ToString(idx), line)
+	case nil, Undefined, Null:
+		return nil, &ThrowError{Value: "TypeError: cannot index " + ToString(objV), Line: line}
+	}
+	return Undefined{}, nil
+}
+
+// arrayIndex interprets v as an integer array index. Numeric strings count,
+// because for-in yields string keys ("0", "1", ...) that scripts use to
+// index back into the array.
+func arrayIndex(v Value) (int, bool) {
+	switch x := v.(type) {
+	case float64:
+		if x == math.Trunc(x) && !math.IsInf(x, 0) {
+			return int(x), true
+		}
+	case string:
+		if x == "" {
+			return 0, false
+		}
+		n := 0
+		for i := 0; i < len(x); i++ {
+			if x[i] < '0' || x[i] > '9' {
+				return 0, false
+			}
+			n = n*10 + int(x[i]-'0')
+			if n > 1<<30 {
+				return 0, false
+			}
+		}
+		return n, true
+	}
+	return 0, false
+}
+
+// parseIntValue implements parseInt semantics for builtins.go.
+func parseIntValue(s string, radix int) float64 {
+	s = trimLeadingSpace(s)
+	sign := 1.0
+	if len(s) > 0 && (s[0] == '+' || s[0] == '-') {
+		if s[0] == '-' {
+			sign = -1
+		}
+		s = s[1:]
+	}
+	if radix == 0 {
+		if len(s) > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+			radix = 16
+			s = s[2:]
+		} else {
+			radix = 10
+		}
+	} else if radix == 16 && len(s) > 1 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X') {
+		s = s[2:]
+	}
+	end := 0
+	for end < len(s) && digitVal(s[end]) >= 0 && digitVal(s[end]) < radix {
+		end++
+	}
+	if end == 0 {
+		return math.NaN()
+	}
+	n, err := strconv.ParseInt(s[:end], radix, 64)
+	if err != nil {
+		// Overflow: fall back to float accumulation.
+		f := 0.0
+		for i := 0; i < end; i++ {
+			f = f*float64(radix) + float64(digitVal(s[i]))
+		}
+		return sign * f
+	}
+	return sign * float64(n)
+}
+
+func digitVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'z':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'Z':
+		return int(c-'A') + 10
+	}
+	return -1
+}
+
+func trimLeadingSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t' || s[0] == '\n' || s[0] == '\r') {
+		s = s[1:]
+	}
+	return s
+}

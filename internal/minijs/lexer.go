@@ -1,0 +1,382 @@
+// Package minijs implements a lexer, parser, and tree-walking interpreter
+// for a JavaScript subset. It is the scripting engine of the emulated
+// browser: ad creatives in the simulated web carry scripts in this dialect,
+// and the honeyclient (the Wepawet substitute) re-executes them in an
+// instrumented environment exactly like the paper's oracle executed real ad
+// JavaScript.
+//
+// The subset covers what ad scripts (benign and malicious) actually use:
+// variables, functions and closures, objects and arrays, property access and
+// assignment (including host-object traps so `top.location = ...` can be
+// observed), control flow, string/array/Math builtins, eval for obfuscated
+// payloads, and setTimeout. Execution is metered by a step budget so that
+// adversarial scripts cannot hang the crawler.
+package minijs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind classifies lexical tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokPunct // operators and punctuation
+)
+
+// Token is one lexical token with its source position (for error messages).
+type Token struct {
+	Kind TokKind
+	Text string
+	Num  float64 // valid when Kind == TokNumber
+	Str  string  // decoded value when Kind == TokString
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("string %q", t.Str)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"var": true, "function": true, "return": true, "if": true, "else": true,
+	"for": true, "while": true, "do": true, "break": true, "continue": true,
+	"true": true, "false": true, "null": true, "undefined": true,
+	"new": true, "typeof": true, "delete": true, "in": true, "this": true,
+	"throw": true, "try": true, "catch": true, "finally": true, "instanceof": true,
+	"switch": true, "case": true, "default": true,
+}
+
+// multi-character punctuators, longest first so maximal munch works.
+var puncts = []string{
+	"===", "!==", ">>>", "<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<", ">>",
+	"+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "?", ":",
+	"(", ")", "{", "}", "[", "]", ";", ",", ".", "&", "|", "^",
+}
+
+// SyntaxError reports a lexing or parsing failure with position information.
+type SyntaxError struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("minijs: syntax error at %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+// Lex tokenizes src completely, returning the tokens (terminated by a TokEOF
+// token) or a *SyntaxError.
+func Lex(src string) ([]Token, error) {
+	lx := newLexer(src)
+	var toks []Token
+	for {
+		tok, err := lx.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, tok)
+		if tok.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *lexer) errf(format string, args ...any) error {
+	return &SyntaxError{Line: lx.line, Col: lx.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *lexer) advance(n int) {
+	for i := 0; i < n && lx.pos < len(lx.src); i++ {
+		if lx.src[lx.pos] == '\n' {
+			lx.line++
+			lx.col = 1
+		} else {
+			lx.col++
+		}
+		lx.pos++
+	}
+}
+
+func (lx *lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v':
+			lx.advance(1)
+		case strings.HasPrefix(lx.src[lx.pos:], "//"):
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.advance(1)
+			}
+		case strings.HasPrefix(lx.src[lx.pos:], "/*"):
+			end := strings.Index(lx.src[lx.pos+2:], "*/")
+			if end < 0 {
+				return lx.errf("unterminated block comment")
+			}
+			lx.advance(end + 4)
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func (lx *lexer) next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: TokEOF, Line: lx.line, Col: lx.col}, nil
+	}
+	line, col := lx.line, lx.col
+	c := lx.src[lx.pos]
+
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.src[lx.pos]) {
+			lx.advance(1)
+		}
+		text := lx.src[start:lx.pos]
+		kind := TokIdent
+		if keywords[text] {
+			kind = TokKeyword
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+
+	case c >= '0' && c <= '9' || c == '.' && lx.pos+1 < len(lx.src) && isDigit(lx.src[lx.pos+1]):
+		return lx.lexNumber(line, col)
+
+	case c == '"' || c == '\'':
+		return lx.lexString(line, col)
+	}
+
+	for _, p := range puncts {
+		if strings.HasPrefix(lx.src[lx.pos:], p) {
+			lx.advance(len(p))
+			return Token{Kind: TokPunct, Text: p, Line: line, Col: col}, nil
+		}
+	}
+	return Token{}, lx.errf("unexpected character %q", c)
+}
+
+func (lx *lexer) lexNumber(line, col int) (Token, error) {
+	start := lx.pos
+	// Hex literal.
+	if strings.HasPrefix(lx.src[lx.pos:], "0x") || strings.HasPrefix(lx.src[lx.pos:], "0X") {
+		lx.advance(2)
+		digStart := lx.pos
+		for lx.pos < len(lx.src) && isHexDigit(lx.src[lx.pos]) {
+			lx.advance(1)
+		}
+		if lx.pos == digStart {
+			return Token{}, lx.errf("malformed hex literal")
+		}
+		var n float64
+		for _, d := range lx.src[digStart:lx.pos] {
+			n = n*16 + float64(hexVal(byte(d)))
+		}
+		return Token{Kind: TokNumber, Text: lx.src[start:lx.pos], Num: n, Line: line, Col: col}, nil
+	}
+	for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+		lx.advance(1)
+	}
+	if lx.pos < len(lx.src) && lx.src[lx.pos] == '.' {
+		lx.advance(1)
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.advance(1)
+		}
+	}
+	if lx.pos < len(lx.src) && (lx.src[lx.pos] == 'e' || lx.src[lx.pos] == 'E') {
+		lx.advance(1)
+		if lx.pos < len(lx.src) && (lx.src[lx.pos] == '+' || lx.src[lx.pos] == '-') {
+			lx.advance(1)
+		}
+		expStart := lx.pos
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.advance(1)
+		}
+		if lx.pos == expStart {
+			return Token{}, lx.errf("malformed exponent")
+		}
+	}
+	text := lx.src[start:lx.pos]
+	n, err := parseFloat(text)
+	if err != nil {
+		return Token{}, lx.errf("malformed number %q", text)
+	}
+	return Token{Kind: TokNumber, Text: text, Num: n, Line: line, Col: col}, nil
+}
+
+func (lx *lexer) lexString(line, col int) (Token, error) {
+	quote := lx.src[lx.pos]
+	lx.advance(1)
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, lx.errf("unterminated string")
+		}
+		c := lx.src[lx.pos]
+		if c == quote {
+			lx.advance(1)
+			return Token{Kind: TokString, Text: b.String(), Str: b.String(), Line: line, Col: col}, nil
+		}
+		if c == '\n' {
+			return Token{}, lx.errf("newline in string literal")
+		}
+		if c != '\\' {
+			b.WriteByte(c)
+			lx.advance(1)
+			continue
+		}
+		// Escape sequence.
+		lx.advance(1)
+		if lx.pos >= len(lx.src) {
+			return Token{}, lx.errf("unterminated escape")
+		}
+		e := lx.src[lx.pos]
+		switch e {
+		case 'n':
+			b.WriteByte('\n')
+			lx.advance(1)
+		case 't':
+			b.WriteByte('\t')
+			lx.advance(1)
+		case 'r':
+			b.WriteByte('\r')
+			lx.advance(1)
+		case '0':
+			b.WriteByte(0)
+			lx.advance(1)
+		case 'b':
+			b.WriteByte('\b')
+			lx.advance(1)
+		case 'f':
+			b.WriteByte('\f')
+			lx.advance(1)
+		case 'v':
+			b.WriteByte('\v')
+			lx.advance(1)
+		case 'x':
+			if lx.pos+2 >= len(lx.src) || !isHexDigit(lx.src[lx.pos+1]) || !isHexDigit(lx.src[lx.pos+2]) {
+				return Token{}, lx.errf("malformed \\x escape")
+			}
+			b.WriteByte(byte(hexVal(lx.src[lx.pos+1])<<4 | hexVal(lx.src[lx.pos+2])))
+			lx.advance(3)
+		case 'u':
+			if lx.pos+4 >= len(lx.src) {
+				return Token{}, lx.errf("malformed \\u escape")
+			}
+			v := 0
+			for i := 1; i <= 4; i++ {
+				d := lx.src[lx.pos+i]
+				if !isHexDigit(d) {
+					return Token{}, lx.errf("malformed \\u escape")
+				}
+				v = v<<4 | hexVal(d)
+			}
+			b.WriteRune(rune(v))
+			lx.advance(5)
+		default:
+			// Unknown escapes pass the character through, like JS.
+			b.WriteByte(e)
+			lx.advance(1)
+		}
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == '$'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+// parseFloat is a minimal decimal float parser sufficient for JS number
+// literals (digits, fraction, exponent). It avoids strconv's extra
+// allocation in the hot lexing path and keeps behaviour explicit.
+func parseFloat(s string) (float64, error) {
+	var mant float64
+	i := 0
+	for i < len(s) && isDigit(s[i]) {
+		mant = mant*10 + float64(s[i]-'0')
+		i++
+	}
+	if i < len(s) && s[i] == '.' {
+		i++
+		frac := 0.1
+		for i < len(s) && isDigit(s[i]) {
+			mant += float64(s[i]-'0') * frac
+			frac /= 10
+			i++
+		}
+	}
+	if i < len(s) && (s[i] == 'e' || s[i] == 'E') {
+		i++
+		sign := 1
+		if i < len(s) && (s[i] == '+' || s[i] == '-') {
+			if s[i] == '-' {
+				sign = -1
+			}
+			i++
+		}
+		exp := 0
+		for i < len(s) && isDigit(s[i]) {
+			exp = exp*10 + int(s[i]-'0')
+			i++
+		}
+		for e := 0; e < exp; e++ {
+			if sign > 0 {
+				mant *= 10
+			} else {
+				mant /= 10
+			}
+		}
+	}
+	if i != len(s) {
+		return 0, fmt.Errorf("trailing characters in number")
+	}
+	return mant, nil
+}

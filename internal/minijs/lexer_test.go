@@ -1,0 +1,159 @@
+package minijs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func lexKinds(t *testing.T, src string) []Token {
+	t.Helper()
+	toks, err := Lex(src)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return toks[:len(toks)-1] // drop EOF
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, `var x = 42;`)
+	if len(toks) != 5 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[0].Kind != TokKeyword || toks[0].Text != "var" {
+		t.Fatalf("tok0 = %+v", toks[0])
+	}
+	if toks[1].Kind != TokIdent || toks[1].Text != "x" {
+		t.Fatalf("tok1 = %+v", toks[1])
+	}
+	if toks[3].Kind != TokNumber || toks[3].Num != 42 {
+		t.Fatalf("tok3 = %+v", toks[3])
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]float64{
+		"0":      0,
+		"3.25":   3.25,
+		"1e3":    1000,
+		"2.5e-2": 0.025,
+		"0xff":   255,
+		"0X10":   16,
+		".5":     0.5,
+	}
+	for src, want := range cases {
+		toks := lexKinds(t, src)
+		if len(toks) != 1 || toks[0].Kind != TokNumber {
+			t.Fatalf("Lex(%q) = %v", src, toks)
+		}
+		if toks[0].Num != want {
+			t.Errorf("Lex(%q).Num = %v, want %v", src, toks[0].Num, want)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	cases := map[string]string{
+		`"hello"`:       "hello",
+		`'single'`:      "single",
+		`"a\nb"`:        "a\nb",
+		`"tab\there"`:   "tab\there",
+		`"\x41\x42"`:    "AB",
+		"\"\\u0041\"":   "A",
+		`'it\'s'`:       "it's",
+		`"back\\slash"`: `back\slash`,
+		`"\q"`:          "q", // unknown escape passes through
+	}
+	for src, want := range cases {
+		toks := lexKinds(t, src)
+		if len(toks) != 1 || toks[0].Kind != TokString {
+			t.Fatalf("Lex(%q) = %v", src, toks)
+		}
+		if toks[0].Str != want {
+			t.Errorf("Lex(%q).Str = %q, want %q", src, toks[0].Str, want)
+		}
+	}
+}
+
+func TestLexStringErrors(t *testing.T) {
+	for _, src := range []string{`"unterminated`, `"newline
+"`, `"\x4"`, `"\u00g1"`} {
+		if _, err := Lex(src); err == nil {
+			t.Errorf("Lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, `
+		// line comment
+		a /* block
+		comment */ b
+	`)
+	if len(toks) != 2 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("tokens: %v", toks)
+	}
+	if _, err := Lex("/* unterminated"); err == nil {
+		t.Error("unterminated block comment should fail")
+	}
+}
+
+func TestLexMaximalMunch(t *testing.T) {
+	toks := lexKinds(t, `a===b!==c>>>d++ --e <= >=`)
+	var ops []string
+	for _, tok := range toks {
+		if tok.Kind == TokPunct {
+			ops = append(ops, tok.Text)
+		}
+	}
+	want := []string{"===", "!==", ">>>", "++", "--", "<=", ">="}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("ops[%d] = %q, want %q", i, ops[i], want[i])
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks, err := Lex("a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Fatalf("a at %d:%d", toks[0].Line, toks[0].Col)
+	}
+	if toks[1].Line != 2 || toks[1].Col != 3 {
+		t.Fatalf("b at %d:%d", toks[1].Line, toks[1].Col)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	if _, err := Lex("a # b"); err == nil {
+		t.Fatal("expected error for '#'")
+	}
+}
+
+// Property: lexing never panics on arbitrary input and always terminates.
+func TestLexFuzzProperty(t *testing.T) {
+	f := func(raw []byte) bool {
+		Lex(string(raw)) // may error, must not panic or hang
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFloatHelper(t *testing.T) {
+	for src, want := range map[string]float64{"1": 1, "1.5": 1.5, "2e2": 200, "5e-1": 0.5} {
+		got, err := parseFloat(src)
+		if err != nil || got != want {
+			t.Errorf("parseFloat(%q) = %v, %v", src, got, err)
+		}
+	}
+	if _, err := parseFloat("1.2.3"); err == nil {
+		t.Error("parseFloat(1.2.3) should fail")
+	}
+}

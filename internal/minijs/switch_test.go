@@ -1,0 +1,128 @@
+package minijs
+
+import "testing"
+
+func TestSwitchBasics(t *testing.T) {
+	expectStr(t, `
+		var out = "";
+		switch (2) {
+		case 1: out = "one"; break;
+		case 2: out = "two"; break;
+		case 3: out = "three"; break;
+		}
+		out
+	`, "two")
+}
+
+func TestSwitchDefault(t *testing.T) {
+	expectStr(t, `
+		var out = "";
+		switch ("zz") {
+		case "a": out = "a"; break;
+		default: out = "dflt"; break;
+		}
+		out
+	`, "dflt")
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	expectStr(t, `
+		var out = "";
+		switch (1) {
+		case 1: out += "1";
+		case 2: out += "2";
+		case 3: out += "3"; break;
+		case 4: out += "4";
+		}
+		out
+	`, "123")
+}
+
+func TestSwitchStrictEquality(t *testing.T) {
+	// switch uses ===, so "1" does not match 1.
+	expectStr(t, `
+		var out = "none";
+		switch ("1") {
+		case 1: out = "number"; break;
+		case "1": out = "string"; break;
+		}
+		out
+	`, "string")
+}
+
+func TestSwitchNoMatchNoDefault(t *testing.T) {
+	expectNum(t, `
+		var n = 0;
+		switch (9) {
+		case 1: n = 1; break;
+		}
+		n
+	`, 0)
+}
+
+func TestSwitchDefaultInMiddle(t *testing.T) {
+	// Default placed before matching cases is only taken when nothing
+	// matches; fallthrough from it continues to later cases.
+	expectStr(t, `
+		var out = "";
+		switch (99) {
+		case 1: out += "1"; break;
+		default: out += "D";
+		case 2: out += "2"; break;
+		}
+		out
+	`, "D2")
+}
+
+func TestSwitchReturnInsideFunction(t *testing.T) {
+	expectStr(t, `
+		function pick(k) {
+			switch (k) {
+			case "hijack": return "top.location";
+			case "cloak": return "redirect";
+			default: return "benign";
+			}
+		}
+		pick("cloak") + "|" + pick("x")
+	`, "redirect|benign")
+}
+
+func TestSwitchInsideLoop(t *testing.T) {
+	expectNum(t, `
+		var s = 0;
+		for (var i = 0; i < 5; i++) {
+			switch (i % 2) {
+			case 0: s += 10; break;
+			case 1: s += 1; break;
+			}
+		}
+		s
+	`, 32)
+}
+
+func TestSwitchContinuePropagates(t *testing.T) {
+	expectNum(t, `
+		var s = 0;
+		for (var i = 0; i < 4; i++) {
+			switch (i) {
+			case 1: continue;
+			}
+			s += i;
+		}
+		s
+	`, 5) // 0 + 2 + 3
+}
+
+func TestSwitchSyntaxErrors(t *testing.T) {
+	for _, src := range []string{
+		`switch (1) { garbage: 1; }`,
+		`switch (1) { case 1: break;`,
+		`switch (1) { default: 1; default: 2; }`,
+		`switch 1 { case 1: break; }`,
+	} {
+		in := New()
+		if _, err := in.Run(src); err == nil {
+			t.Errorf("Run(%q) should fail", src)
+		}
+	}
+}

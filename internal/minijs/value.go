@@ -1,0 +1,329 @@
+package minijs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Value is a runtime value of the interpreter. The concrete types are:
+//
+//	Undefined  — the undefined value
+//	Null       — the null value
+//	bool       — booleans
+//	float64    — numbers
+//	string     — strings
+//	*Object    — objects, arrays, and functions (native or user-defined)
+type Value any
+
+// Undefined is the runtime undefined value.
+type Undefined struct{}
+
+// Null is the runtime null value.
+type Null struct{}
+
+// NativeFunc is a Go function exposed to scripts. this is the receiver for
+// method calls (Undefined{} for plain calls).
+type NativeFunc func(interp *Interp, this Value, args []Value) (Value, error)
+
+// Object is the heap object type: plain objects, arrays, and functions.
+type Object struct {
+	// Props holds named properties.
+	Props map[string]Value
+	// Elems holds array elements when IsArray is true.
+	Elems   []Value
+	IsArray bool
+
+	// Fn is set for user-defined functions.
+	Fn *FuncLit
+	// Env is the closure environment for user-defined functions.
+	Env *Env
+	// Native is set for Go-implemented functions.
+	Native NativeFunc
+	// Name is a diagnostic name for functions and host objects.
+	Name string
+
+	// GetTrap, if non-nil, intercepts property reads before Props is
+	// consulted. Host objects use it (e.g. location.href reflecting
+	// navigation state).
+	GetTrap func(name string) (Value, bool)
+	// SetTrap, if non-nil, intercepts property writes. Returning true means
+	// the write was handled; false stores into Props normally. This is how
+	// the browser observes `top.location = url` — the link-hijacking channel
+	// from the paper's §2.3.
+	SetTrap func(name string, v Value) bool
+}
+
+// NewObject returns an empty plain object.
+func NewObject() *Object {
+	return &Object{Props: map[string]Value{}}
+}
+
+// NewArray returns an array object with the given elements.
+func NewArray(elems ...Value) *Object {
+	return &Object{Props: map[string]Value{}, Elems: elems, IsArray: true}
+}
+
+// NewNative wraps a Go function as a callable object.
+func NewNative(name string, fn NativeFunc) *Object {
+	return &Object{Props: map[string]Value{}, Native: fn, Name: name}
+}
+
+// IsFunction reports whether the object is callable.
+func (o *Object) IsFunction() bool { return o.Fn != nil || o.Native != nil }
+
+// Get reads a property, honoring the GetTrap and array length.
+func (o *Object) Get(name string) (Value, bool) {
+	if o.GetTrap != nil {
+		if v, ok := o.GetTrap(name); ok {
+			return v, true
+		}
+	}
+	if o.IsArray && name == "length" {
+		return float64(len(o.Elems)), true
+	}
+	if o.Props != nil {
+		if v, ok := o.Props[name]; ok {
+			return v, true
+		}
+	}
+	return Undefined{}, false
+}
+
+// Set writes a property, honoring the SetTrap.
+func (o *Object) Set(name string, v Value) {
+	if o.SetTrap != nil && o.SetTrap(name, v) {
+		return
+	}
+	if o.Props == nil {
+		o.Props = map[string]Value{}
+	}
+	o.Props[name] = v
+}
+
+// Keys returns property names in sorted order (plus array indices in order),
+// used by for-in. Sorting keeps iteration deterministic.
+func (o *Object) Keys() []string {
+	var keys []string
+	if o.IsArray {
+		for i := range o.Elems {
+			keys = append(keys, strconv.Itoa(i))
+		}
+	}
+	named := make([]string, 0, len(o.Props))
+	for k := range o.Props {
+		named = append(named, k)
+	}
+	sort.Strings(named)
+	return append(keys, named...)
+}
+
+// ---- Conversions ----
+
+// Truthy implements JavaScript ToBoolean.
+func Truthy(v Value) bool {
+	switch x := v.(type) {
+	case nil, Undefined, Null:
+		return false
+	case bool:
+		return x
+	case float64:
+		return x != 0 && !math.IsNaN(x)
+	case string:
+		return x != ""
+	case *Object:
+		return true
+	}
+	return true
+}
+
+// ToNumber implements JavaScript ToNumber (with NaN for non-numeric input).
+func ToNumber(v Value) float64 {
+	switch x := v.(type) {
+	case nil, Undefined:
+		return math.NaN()
+	case Null:
+		return 0
+	case bool:
+		if x {
+			return 1
+		}
+		return 0
+	case float64:
+		return x
+	case string:
+		s := strings.TrimSpace(x)
+		if s == "" {
+			return 0
+		}
+		if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+			n, err := strconv.ParseInt(s[2:], 16, 64)
+			if err != nil {
+				return math.NaN()
+			}
+			return float64(n)
+		}
+		n, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return math.NaN()
+		}
+		return n
+	case *Object:
+		if x.IsArray && len(x.Elems) == 1 {
+			return ToNumber(x.Elems[0])
+		}
+		if x.IsArray && len(x.Elems) == 0 {
+			return 0
+		}
+		return math.NaN()
+	}
+	return math.NaN()
+}
+
+// ToString implements JavaScript ToString.
+func ToString(v Value) string {
+	switch x := v.(type) {
+	case nil, Undefined:
+		return "undefined"
+	case Null:
+		return "null"
+	case bool:
+		if x {
+			return "true"
+		}
+		return "false"
+	case float64:
+		return formatNumber(x)
+	case string:
+		return x
+	case *Object:
+		if x.IsFunction() {
+			if x.Name != "" {
+				return "function " + x.Name + "() { [code] }"
+			}
+			return "function () { [code] }"
+		}
+		if x.IsArray {
+			parts := make([]string, len(x.Elems))
+			for i, e := range x.Elems {
+				if _, und := e.(Undefined); und || e == nil {
+					parts[i] = ""
+				} else if _, isNull := e.(Null); isNull {
+					parts[i] = ""
+				} else {
+					parts[i] = ToString(e)
+				}
+			}
+			return strings.Join(parts, ",")
+		}
+		return "[object Object]"
+	}
+	return fmt.Sprintf("%v", v)
+}
+
+// formatNumber renders a float64 the way JavaScript does for the common
+// cases: integers without a decimal point, NaN/Infinity by name.
+func formatNumber(f float64) string {
+	switch {
+	case math.IsNaN(f):
+		return "NaN"
+	case math.IsInf(f, 1):
+		return "Infinity"
+	case math.IsInf(f, -1):
+		return "-Infinity"
+	case f == math.Trunc(f) && math.Abs(f) < 1e21:
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	default:
+		return strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// TypeOf implements the typeof operator.
+func TypeOf(v Value) string {
+	switch x := v.(type) {
+	case nil, Undefined:
+		return "undefined"
+	case Null:
+		return "object"
+	case bool:
+		return "boolean"
+	case float64:
+		return "number"
+	case string:
+		return "string"
+	case *Object:
+		if x.IsFunction() {
+			return "function"
+		}
+		return "object"
+	}
+	return "object"
+}
+
+// StrictEquals implements ===.
+func StrictEquals(a, b Value) bool {
+	switch x := a.(type) {
+	case nil, Undefined:
+		_, u1 := b.(Undefined)
+		return u1 || b == nil
+	case Null:
+		_, n1 := b.(Null)
+		return n1
+	case bool:
+		y, ok := b.(bool)
+		return ok && x == y
+	case float64:
+		y, ok := b.(float64)
+		return ok && x == y
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case *Object:
+		y, ok := b.(*Object)
+		return ok && x == y
+	}
+	return false
+}
+
+// LooseEquals implements == with the subset of coercions scripts rely on.
+func LooseEquals(a, b Value) bool {
+	if StrictEquals(a, b) {
+		return true
+	}
+	aU := isNullish(a)
+	bU := isNullish(b)
+	if aU || bU {
+		return aU && bU
+	}
+	// number/string/bool cross comparisons go through ToNumber, except
+	// object-to-primitive which goes through ToString first for strings.
+	switch a.(type) {
+	case float64, bool:
+		return ToNumber(a) == ToNumber(b)
+	case string:
+		switch b.(type) {
+		case float64, bool:
+			return ToNumber(a) == ToNumber(b)
+		case *Object:
+			return ToString(a) == ToString(b)
+		}
+	case *Object:
+		switch b.(type) {
+		case string:
+			return ToString(a) == ToString(b)
+		case float64, bool:
+			return ToNumber(a) == ToNumber(b)
+		}
+	}
+	return false
+}
+
+func isNullish(v Value) bool {
+	switch v.(type) {
+	case nil, Undefined, Null:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+// Package netcap captures HTTP traffic. The paper's methodology "captured
+// all the HTTP traffic during crawling for further investigation"; this
+// package is that capture layer: an http.RoundTripper middleware that logs
+// every transaction (request URL, status, content type, redirect target,
+// referer) into an ordered, queryable trace.
+//
+// Both the crawler and the honeyclient wrap their clients with a Capture;
+// the analysis stage later mines the traces for redirect chains and
+// arbitration hops.
+package netcap
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"madave/internal/urlx"
+)
+
+// Transaction is one captured HTTP request/response pair.
+type Transaction struct {
+	// Seq is the 0-based capture order within the Capture.
+	Seq int
+	// Time is the wall-clock capture time (informational only; the
+	// simulation's logic never branches on it).
+	Time   time.Time
+	Method string
+	URL    string
+	Host   string
+	// Referer is the request's Referer header, which encodes the redirect/
+	// inclusion chain the analysis reconstructs.
+	Referer string
+	Status  int
+	// ContentType is the response Content-Type without parameters.
+	ContentType string
+	// Location is the response Location header for redirects.
+	Location string
+	// BodySize is the response body length as reported by the transport.
+	BodySize int64
+	// Err is the transport error string when the request failed (e.g. an
+	// NXDOMAIN from memnet); empty on success.
+	Err string
+	// Tag is a free-form label the initiator attaches (e.g. "iframe",
+	// "script", "adchain") so analyses can filter by cause.
+	Tag string
+}
+
+// IsRedirect reports whether the transaction is an HTTP redirect.
+func (t *Transaction) IsRedirect() bool {
+	return t.Status >= 300 && t.Status < 400 && t.Location != ""
+}
+
+// Capture is a thread-safe HTTP transaction log that wraps a RoundTripper.
+type Capture struct {
+	mu   sync.Mutex
+	log  []Transaction
+	next http.RoundTripper
+	// tag applied to transactions issued through this capture's transport.
+	tag string
+}
+
+// New wraps next with a fresh capture. A nil next uses
+// http.DefaultTransport.
+func New(next http.RoundTripper) *Capture {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	return &Capture{next: next}
+}
+
+// WithTag returns a RoundTripper view of c that tags every transaction it
+// captures. Multiple tagged views share one log.
+func (c *Capture) WithTag(tag string) http.RoundTripper {
+	return &taggedTripper{c: c, tag: tag}
+}
+
+type taggedTripper struct {
+	c   *Capture
+	tag string
+}
+
+func (t *taggedTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	return t.c.roundTrip(req, t.tag)
+}
+
+// RoundTrip implements http.RoundTripper with the capture's default tag.
+func (c *Capture) RoundTrip(req *http.Request) (*http.Response, error) {
+	return c.roundTrip(req, c.tag)
+}
+
+func (c *Capture) roundTrip(req *http.Request, tag string) (*http.Response, error) {
+	tx := Transaction{
+		Time:    time.Now(),
+		Method:  req.Method,
+		URL:     req.URL.String(),
+		Host:    urlx.Host(req.URL.String()),
+		Referer: req.Header.Get("Referer"),
+		Tag:     tag,
+	}
+	resp, err := c.next.RoundTrip(req)
+	if err != nil {
+		tx.Err = err.Error()
+		c.append(tx)
+		return nil, err
+	}
+	tx.Status = resp.StatusCode
+	tx.ContentType = mediaType(resp.Header.Get("Content-Type"))
+	tx.Location = resp.Header.Get("Location")
+	tx.BodySize = resp.ContentLength
+	c.append(tx)
+	return resp, nil
+}
+
+func (c *Capture) append(tx Transaction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tx.Seq = len(c.log)
+	c.log = append(c.log, tx)
+}
+
+// Record appends a synthetic transaction that did not pass through the
+// RoundTripper (e.g. a navigation the browser suppressed). Seq is assigned
+// by the capture.
+func (c *Capture) Record(tx Transaction) {
+	if tx.Host == "" {
+		tx.Host = urlx.Host(tx.URL)
+	}
+	c.append(tx)
+}
+
+// Len returns the number of captured transactions.
+func (c *Capture) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.log)
+}
+
+// All returns a copy of the capture log in order.
+func (c *Capture) All() []Transaction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Transaction, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// Reset clears the log.
+func (c *Capture) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.log = c.log[:0]
+}
+
+// Filter returns transactions for which keep returns true, in order.
+func (c *Capture) Filter(keep func(*Transaction) bool) []Transaction {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Transaction
+	for i := range c.log {
+		if keep(&c.log[i]) {
+			out = append(out, c.log[i])
+		}
+	}
+	return out
+}
+
+// Hosts returns the distinct hosts contacted, in first-seen order.
+func (c *Capture) Hosts() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for i := range c.log {
+		h := c.log[i].Host
+		if h != "" && !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// RedirectChainFrom reconstructs the redirect chain starting at the
+// transaction with the given URL: it follows Location targets through the
+// log in sequence order. It returns the URLs visited, starting with start.
+func (c *Capture) RedirectChainFrom(start string) []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	chain := []string{start}
+	cur := start
+	for i := 0; i < len(c.log); i++ {
+		tx := &c.log[i]
+		if tx.URL != cur {
+			continue
+		}
+		if !tx.IsRedirect() {
+			break
+		}
+		next := urlx.Resolve(tx.URL, tx.Location)
+		if next == "" || next == cur {
+			break
+		}
+		chain = append(chain, next)
+		cur = next
+		if len(chain) > 128 {
+			break // defensive bound against pathological logs
+		}
+	}
+	return chain
+}
+
+// mediaType strips parameters from a Content-Type value.
+func mediaType(ct string) string {
+	for i := 0; i < len(ct); i++ {
+		if ct[i] == ';' {
+			return trimSpace(ct[:i])
+		}
+	}
+	return trimSpace(ct)
+}
+
+func trimSpace(s string) string {
+	start := 0
+	for start < len(s) && s[start] == ' ' {
+		start++
+	}
+	end := len(s)
+	for end > start && s[end-1] == ' ' {
+		end--
+	}
+	return s[start:end]
+}

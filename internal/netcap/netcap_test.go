@@ -1,0 +1,265 @@
+package netcap
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"madave/internal/memnet"
+)
+
+func newCapturedClient() (*Capture, *http.Client) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("a.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		io.WriteString(w, "<html>A</html>")
+	})
+	u.HandleFunc("hop1.example.com", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "http://hop2.example.com/", http.StatusFound)
+	})
+	u.HandleFunc("hop2.example.com", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "http://final.example.com/land", http.StatusMovedPermanently)
+	})
+	u.HandleFunc("final.example.com", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "landed")
+	})
+	cap := New(&memnet.Transport{U: u})
+	client := &http.Client{
+		Transport: cap,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	return cap, client
+}
+
+func get(t *testing.T, client *http.Client, url string) *http.Response {
+	t.Helper()
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+func TestCaptureBasics(t *testing.T) {
+	cap, client := newCapturedClient()
+	get(t, client, "http://a.example.com/page")
+
+	txs := cap.All()
+	if len(txs) != 1 {
+		t.Fatalf("captured %d transactions", len(txs))
+	}
+	tx := txs[0]
+	if tx.URL != "http://a.example.com/page" || tx.Host != "a.example.com" {
+		t.Fatalf("tx = %+v", tx)
+	}
+	if tx.Status != 200 || tx.ContentType != "text/html" {
+		t.Fatalf("tx = %+v", tx)
+	}
+	if tx.Seq != 0 {
+		t.Fatalf("seq = %d", tx.Seq)
+	}
+}
+
+func TestCaptureRedirectFields(t *testing.T) {
+	cap, client := newCapturedClient()
+	get(t, client, "http://hop1.example.com/")
+	tx := cap.All()[0]
+	if !tx.IsRedirect() {
+		t.Fatalf("tx should be redirect: %+v", tx)
+	}
+	if tx.Location != "http://hop2.example.com/" {
+		t.Fatalf("location = %q", tx.Location)
+	}
+}
+
+func TestCaptureError(t *testing.T) {
+	cap, client := newCapturedClient()
+	_, err := client.Get("http://missing.example.org/")
+	if err == nil {
+		t.Fatal("expected NXDOMAIN")
+	}
+	txs := cap.All()
+	if len(txs) != 1 || txs[0].Err == "" {
+		t.Fatalf("error transaction not captured: %+v", txs)
+	}
+}
+
+func TestRedirectChainReconstruction(t *testing.T) {
+	cap, client := newCapturedClient()
+	// Manually walk the chain like the browser does.
+	url := "http://hop1.example.com/"
+	for i := 0; i < 5; i++ {
+		resp := get(t, client, url)
+		loc := resp.Header.Get("Location")
+		if loc == "" {
+			break
+		}
+		url = loc
+	}
+	chain := cap.RedirectChainFrom("http://hop1.example.com/")
+	want := []string{
+		"http://hop1.example.com/",
+		"http://hop2.example.com/",
+		"http://final.example.com/land",
+	}
+	if len(chain) != len(want) {
+		t.Fatalf("chain = %v", chain)
+	}
+	for i := range want {
+		if chain[i] != want[i] {
+			t.Fatalf("chain[%d] = %q, want %q", i, chain[i], want[i])
+		}
+	}
+}
+
+func TestTaggedViews(t *testing.T) {
+	cap, _ := newCapturedClient()
+	u := memnet.NewUniverse()
+	u.HandleFunc("x.example.com", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	})
+	base := &memnet.Transport{U: u}
+	cap2 := New(base)
+	frameClient := &http.Client{Transport: cap2.WithTag("iframe")}
+	scriptClient := &http.Client{Transport: cap2.WithTag("script")}
+
+	get(t, frameClient, "http://x.example.com/f")
+	get(t, scriptClient, "http://x.example.com/s")
+
+	iframe := cap2.Filter(func(tx *Transaction) bool { return tx.Tag == "iframe" })
+	script := cap2.Filter(func(tx *Transaction) bool { return tx.Tag == "script" })
+	if len(iframe) != 1 || len(script) != 1 {
+		t.Fatalf("iframe=%d script=%d", len(iframe), len(script))
+	}
+	_ = cap
+}
+
+func TestHostsFirstSeenOrder(t *testing.T) {
+	cap, client := newCapturedClient()
+	get(t, client, "http://a.example.com/1")
+	get(t, client, "http://final.example.com/")
+	get(t, client, "http://a.example.com/2")
+	hosts := cap.Hosts()
+	if len(hosts) != 2 || hosts[0] != "a.example.com" || hosts[1] != "final.example.com" {
+		t.Fatalf("hosts = %v", hosts)
+	}
+}
+
+func TestRecordSynthetic(t *testing.T) {
+	cap := New(nil)
+	cap.Record(Transaction{URL: "http://blocked.example.com/x", Tag: "nav-suppressed"})
+	txs := cap.All()
+	if len(txs) != 1 || txs[0].Host != "blocked.example.com" || txs[0].Seq != 0 {
+		t.Fatalf("txs = %+v", txs)
+	}
+}
+
+func TestResetAndLen(t *testing.T) {
+	cap, client := newCapturedClient()
+	get(t, client, "http://a.example.com/")
+	if cap.Len() != 1 {
+		t.Fatalf("len = %d", cap.Len())
+	}
+	cap.Reset()
+	if cap.Len() != 0 {
+		t.Fatalf("len after reset = %d", cap.Len())
+	}
+}
+
+func TestConcurrentCapture(t *testing.T) {
+	cap, client := newCapturedClient()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			resp, err := client.Get(fmt.Sprintf("http://a.example.com/p%d", n))
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if cap.Len() != 16 {
+		t.Fatalf("captured %d, want 16", cap.Len())
+	}
+	// Seq numbers must be unique and dense.
+	seen := map[int]bool{}
+	for _, tx := range cap.All() {
+		if seen[tx.Seq] {
+			t.Fatalf("duplicate seq %d", tx.Seq)
+		}
+		seen[tx.Seq] = true
+	}
+}
+
+func TestMediaType(t *testing.T) {
+	for in, want := range map[string]string{
+		"text/html; charset=utf-8": "text/html",
+		"application/json":         "application/json",
+		"  text/plain  ":           "text/plain",
+		"":                         "",
+	} {
+		if got := mediaType(in); got != want {
+			t.Errorf("mediaType(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestTraceSaveLoad(t *testing.T) {
+	cap, client := newCapturedClient()
+	get(t, client, "http://a.example.com/1")
+	get(t, client, "http://hop1.example.com/")
+	client.Get("http://missing.example.org/") //nolint:errcheck // error expected
+
+	var buf bytes.Buffer
+	if err := cap.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != cap.Len() {
+		t.Fatalf("loaded %d != %d", loaded.Len(), cap.Len())
+	}
+	a, b := cap.All(), loaded.All()
+	for i := range a {
+		if a[i].URL != b[i].URL || a[i].Status != b[i].Status || a[i].Err != b[i].Err {
+			t.Fatalf("tx %d mismatch: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestLoadTraceRejectsGarbage(t *testing.T) {
+	if _, err := LoadTrace(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	cap, client := newCapturedClient()
+	get(t, client, "http://a.example.com/x")
+	get(t, client, "http://hop1.example.com/")
+	client.Get("http://missing.example.org/") //nolint:errcheck // error expected
+
+	s := cap.Summarize()
+	if s.Transactions != 3 || s.Redirects != 1 || s.Errors != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.Hosts != 3 {
+		t.Fatalf("hosts = %d", s.Hosts)
+	}
+	if s.BytesTotal <= 0 {
+		t.Fatalf("bytes = %d", s.BytesTotal)
+	}
+}

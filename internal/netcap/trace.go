@@ -1,0 +1,76 @@
+package netcap
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Save writes the capture as JSON lines (one transaction per line) — the
+// repository's lightweight analogue of the paper's "captured all the HTTP
+// traffic during crawling for further investigation".
+func (c *Capture) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, tx := range c.All() {
+		if err := enc.Encode(tx); err != nil {
+			return fmt.Errorf("netcap: encode seq %d: %w", tx.Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadTrace reads a JSON-lines trace written by Save. Sequence numbers are
+// reassigned in file order.
+func LoadTrace(r io.Reader) (*Capture, error) {
+	c := New(nil)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 256*1024), 8*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var tx Transaction
+		if err := json.Unmarshal(sc.Bytes(), &tx); err != nil {
+			return nil, fmt.Errorf("netcap: line %d: %w", line, err)
+		}
+		c.append(tx)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Summary aggregates a capture for quick inspection.
+type TraceSummary struct {
+	Transactions int
+	Hosts        int
+	Redirects    int
+	Errors       int
+	BytesTotal   int64
+}
+
+// Summarize computes a TraceSummary.
+func (c *Capture) Summarize() TraceSummary {
+	s := TraceSummary{}
+	hosts := map[string]bool{}
+	for _, tx := range c.All() {
+		s.Transactions++
+		hosts[tx.Host] = true
+		if tx.IsRedirect() {
+			s.Redirects++
+		}
+		if tx.Err != "" {
+			s.Errors++
+		}
+		if tx.BodySize > 0 {
+			s.BytesTotal += tx.BodySize
+		}
+	}
+	s.Hosts = len(hosts)
+	return s
+}

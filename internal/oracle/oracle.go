@@ -1,0 +1,248 @@
+// Package oracle combines the three detection components of §3.2 —
+// the honeyclient (Wepawet), the 49-list blacklist tracker, and the
+// 51-engine AV scanner (VirusTotal) — into the classifier that turns an
+// advertisement into a Table-1 incident (or a clean verdict).
+//
+// An advertisement can trigger several detectors at once; like the paper's
+// Table 1, each ad is attributed to exactly one category, in the table's
+// order of precedence.
+package oracle
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"madave/internal/avscan"
+	"madave/internal/blacklist"
+	"madave/internal/corpus"
+	"madave/internal/honeyclient"
+)
+
+// Category is a Table-1 classification bucket.
+type Category string
+
+// Categories, in Table 1 order (which is also attribution precedence).
+const (
+	CatBlacklists   Category = "blacklists"
+	CatSuspRedirect Category = "suspicious-redirections"
+	CatHeuristics   Category = "heuristics"
+	CatMaliciousExe Category = "malicious-executables"
+	CatMaliciousSWF Category = "malicious-flash"
+	CatModel        Category = "model-detection"
+	CatClean        Category = "clean"
+)
+
+// Categories returns the malicious categories in Table 1 order.
+func Categories() []Category {
+	return []Category{
+		CatBlacklists, CatSuspRedirect, CatHeuristics,
+		CatMaliciousExe, CatMaliciousSWF, CatModel,
+	}
+}
+
+// Incident is the oracle's verdict for one advertisement.
+type Incident struct {
+	AdHash   string
+	Category Category
+	// Evidence is a short human-readable justification.
+	Evidence string
+	// Report is the honeyclient analysis backing the verdict.
+	Report *honeyclient.Report
+}
+
+// Malicious reports whether the verdict is an incident.
+func (i *Incident) Malicious() bool { return i.Category != CatClean }
+
+// Oracle is the combined classifier.
+type Oracle struct {
+	Honey   *honeyclient.Honeyclient
+	Lists   *blacklist.Tracker
+	Scanner *avscan.Scanner
+	// Parallelism bounds concurrent classifications in ClassifyCorpus.
+	Parallelism int
+	// TemporalBlacklists makes the blacklist check honor per-listing
+	// discovery days (blacklist.BuildTemporal): an ad observed on crawl
+	// day D is only matched against listings the providers already knew by
+	// day D. Off by default (the paper's steady-state, post-crawl oracle).
+	TemporalBlacklists bool
+}
+
+// New assembles an oracle.
+func New(h *honeyclient.Honeyclient, t *blacklist.Tracker, s *avscan.Scanner) *Oracle {
+	return &Oracle{Honey: h, Lists: t, Scanner: s, Parallelism: 4}
+}
+
+// Classify analyzes one corpus advertisement: the honeyclient re-executes
+// it (live against the universe, like Wepawet re-requesting the ad), every
+// observed domain is checked against the blacklists, and every downloaded
+// file is scanned.
+func (o *Oracle) Classify(ad *corpus.Ad) Incident {
+	rep := o.Honey.Analyze(ad.FrameURL)
+	return o.classifyReport(ad, rep)
+}
+
+// ClassifySnapshot classifies from the corpus's stored HTML snapshot
+// instead of re-requesting the ad — the paper's fallback when an ad chain
+// had already rotated or died by analysis time. Subresources the snapshot
+// references are still fetched live where possible.
+func (o *Oracle) ClassifySnapshot(ad *corpus.Ad) Incident {
+	rep := o.Honey.AnalyzeHTML(ad.HTML, ad.FinalURL)
+	return o.classifyReport(ad, rep)
+}
+
+// classifyReport applies the Table-1 precedence over the gathered evidence.
+func (o *Oracle) classifyReport(ad *corpus.Ad, rep *honeyclient.Report) Incident {
+	inc := Incident{AdHash: ad.Hash, Category: CatClean, Report: rep}
+
+	// 1. Blacklists: any domain that served (part of) the advertisement on
+	// more than five lists. Both the crawl-time hosts and the
+	// honeyclient-time hosts count — cloaking can hide hosts from one view.
+	hosts := append(append([]string{}, ad.Hosts...), rep.Hosts...)
+	var offender string
+	var listed bool
+	if o.TemporalBlacklists {
+		offender, listed = o.Lists.AnyMaliciousAsOf(hosts, ad.Day)
+	} else {
+		offender, listed = o.Lists.AnyMalicious(hosts)
+	}
+	if listed {
+		inc.Category = CatBlacklists
+		inc.Evidence = "domain " + offender + " on >5 blacklists"
+		return inc
+	}
+
+	// 2. Suspicious redirections: the ad forced the top-level page away
+	// (link hijacking, §2.3).
+	if rep.Hijack {
+		inc.Category = CatSuspRedirect
+		inc.Evidence = "top.location rewrite observed"
+		return inc
+	}
+
+	// 3. Heuristics: cloaking indicators — redirects to NX domains or to
+	// benign search engines.
+	if rep.NXRedirect || rep.BenignRedirect {
+		inc.Category = CatHeuristics
+		if rep.NXRedirect {
+			inc.Evidence = "redirect to nonexistent domain"
+		} else {
+			inc.Evidence = "redirect to benign search engine"
+		}
+		return inc
+	}
+
+	// 4 & 5. Payloads: scan every download; executables before Flash.
+	var exeHit, swfHit bool
+	var exeSig, swfSig string
+	for _, d := range rep.Downloads {
+		r := o.Scanner.Scan(d.Body)
+		if !r.Malicious(o.Scanner.Threshold) {
+			continue
+		}
+		switch r.Kind {
+		case avscan.KindFlash:
+			if !swfHit {
+				swfHit = true
+				swfSig = firstSignature(r)
+			}
+		default:
+			if !exeHit {
+				exeHit = true
+				exeSig = firstSignature(r)
+			}
+		}
+	}
+	if exeHit {
+		inc.Category = CatMaliciousExe
+		inc.Evidence = "download flagged: " + exeSig
+		return inc
+	}
+	if swfHit {
+		inc.Category = CatMaliciousSWF
+		inc.Evidence = "flash flagged: " + swfSig
+		return inc
+	}
+
+	// 6. Behavioural model.
+	if rep.ModelHit {
+		inc.Category = CatModel
+		inc.Evidence = "behavioural model score over threshold"
+		return inc
+	}
+	return inc
+}
+
+func firstSignature(r *avscan.Report) string {
+	for _, v := range r.Verdicts {
+		if v.Malicious && v.Signature != "" {
+			return v.Signature
+		}
+	}
+	return "unknown"
+}
+
+// Result aggregates a corpus classification.
+type Result struct {
+	Incidents []Incident
+	// ByCategory counts incidents per category.
+	ByCategory map[Category]int
+	// Scanned is the number of advertisements classified.
+	Scanned int
+}
+
+// MaliciousCount returns the total number of incidents.
+func (r *Result) MaliciousCount() int {
+	n := 0
+	for _, c := range r.ByCategory {
+		n += c
+	}
+	return n
+}
+
+// MaliciousRate returns incidents / scanned.
+func (r *Result) MaliciousRate() float64 {
+	if r.Scanned == 0 {
+		return 0
+	}
+	return float64(r.MaliciousCount()) / float64(r.Scanned)
+}
+
+// ClassifyCorpus classifies every ad in the corpus with a worker pool and
+// returns the aggregate. Incident order follows corpus order.
+func (o *Oracle) ClassifyCorpus(c *corpus.Corpus) *Result {
+	ads := c.All()
+	incidents := make([]Incident, len(ads))
+	malicious := make([]bool, len(ads))
+
+	par := o.Parallelism
+	if par <= 0 {
+		par = 4
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= len(ads) {
+					return
+				}
+				inc := o.Classify(ads[i])
+				incidents[i] = inc
+				malicious[i] = inc.Malicious()
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := &Result{ByCategory: map[Category]int{}, Scanned: len(ads)}
+	for i, inc := range incidents {
+		if malicious[i] {
+			res.Incidents = append(res.Incidents, inc)
+			res.ByCategory[inc.Category]++
+		}
+	}
+	return res
+}

@@ -1,0 +1,112 @@
+package report
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"madave/internal/adnet"
+	"madave/internal/analysis"
+	"madave/internal/core"
+	"madave/internal/defense"
+	"madave/internal/oracle"
+)
+
+var (
+	onceFix sync.Once
+	fixS    *core.Study
+	fixR    *core.Results
+)
+
+func fixture(t *testing.T) (*core.Study, *core.Results) {
+	t.Helper()
+	onceFix.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.Seed = 8
+		cfg.CrawlSites = 600
+		s, err := core.NewStudy(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fixS = s
+		fixR = s.Run()
+	})
+	return fixS, fixR
+}
+
+func TestPaperChecksAllPass(t *testing.T) {
+	_, r := fixture(t)
+	checks := PaperChecks(r.Report)
+	if len(checks) < 12 {
+		t.Fatalf("only %d checks", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("FAILED claim %q: paper %s, measured %s", c.Claim, c.Paper, c.Measured)
+		}
+	}
+	if Passed(checks) != len(checks) {
+		t.Fatalf("%d/%d checks pass", Passed(checks), len(checks))
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	s, r := fixture(t)
+	v, err := s.Validate(r.Corpus, r.Oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := defense.SharedBlacklist(s.Cfg.Ads, 50_000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := Markdown(Input{
+		Title:      "Test report",
+		Study:      s,
+		Results:    r,
+		Validation: v,
+		Defenses:   []defense.Comparison{cmp},
+	})
+	for _, want := range []string{
+		"# Test report",
+		"## Table 1",
+		"## Projection to the paper's corpus",
+		"4794", // the paper's blacklist count appears in the projection table
+		"## Figures 1 & 2",
+		"## Clusters",
+		"## Figure 5",
+		"## Oracle validation",
+		"## Countermeasures",
+		"shared-blacklist",
+		"## Fidelity vs the paper",
+		"✓",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q", want)
+		}
+	}
+	if strings.Contains(md, "✗") {
+		t.Log(md)
+		t.Fatal("fidelity check failed inside markdown")
+	}
+}
+
+func TestMarkdownWithoutResults(t *testing.T) {
+	md := Markdown(Input{})
+	if !strings.Contains(md, "_No results._") {
+		t.Fatalf("markdown = %q", md)
+	}
+}
+
+func TestPaperChecksEmptyReport(t *testing.T) {
+	// A report with no data must not panic; claims gated on data are
+	// treated as vacuously passing or failing without crashing.
+	checks := PaperChecks(&analysis.Report{
+		Table1:   analysis.Table1{Counts: map[oracle.Category]int{}},
+		Clusters: analysis.ClusterShares{MalShare: map[string]float64{}, AdShare: map[string]float64{}},
+	})
+	if len(checks) == 0 {
+		t.Fatal("no checks produced")
+	}
+	_ = adnet.MaxChain
+}

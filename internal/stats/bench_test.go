@@ -1,0 +1,40 @@
+package stats
+
+import "testing"
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	for i := 0; i < b.N; i++ {
+		r.Uint64()
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(30_000, 1.0)
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample(r)
+	}
+}
+
+func BenchmarkWeightedSample(b *testing.B) {
+	w := make([]float64, 60)
+	for i := range w {
+		w[i] = 1 / float64(i+1)
+	}
+	dist := NewWeighted(w)
+	r := NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dist.Sample(r)
+	}
+}
+
+func BenchmarkCounterAdd(b *testing.B) {
+	keys := []string{"entertainment", "news", "adult", "shopping", "sports"}
+	var c Counter
+	for i := 0; i < b.N; i++ {
+		c.Add(keys[i%len(keys)])
+	}
+}

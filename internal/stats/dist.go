@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks from a Zipf(s) distribution over [0, n). It reproduces
+// the heavy-tailed popularity of websites and ad networks: rank 0 is the most
+// popular item, and popularity falls off as 1/(rank+1)^s.
+//
+// The implementation precomputes the cumulative mass function and samples by
+// binary search, which is fast enough for the corpus sizes this repository
+// simulates and — unlike rejection samplers — is exactly reproducible across
+// runs for a given RNG stream.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s (> 0).
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("stats: NewZipf with non-positive exponent")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws one rank in [0, N()).
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Mass returns the probability of rank i.
+func (z *Zipf) Mass(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// Weighted samples indices in proportion to fixed non-negative weights.
+// It is the simulation's categorical distribution: site categories, TLD
+// shares, ad network market shares, and so on.
+type Weighted struct {
+	cdf   []float64
+	total float64
+}
+
+// NewWeighted builds a sampler over len(weights) outcomes. Negative weights
+// panic; an all-zero weight vector panics because there is nothing to sample.
+func NewWeighted(weights []float64) *Weighted {
+	if len(weights) == 0 {
+		panic("stats: NewWeighted with no weights")
+	}
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("stats: NewWeighted weight %d is invalid (%v)", i, w))
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum == 0 {
+		panic("stats: NewWeighted with all-zero weights")
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Weighted{cdf: cdf, total: sum}
+}
+
+// Sample draws one outcome index.
+func (w *Weighted) Sample(r *RNG) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(w.cdf, u)
+}
+
+// N returns the number of outcomes.
+func (w *Weighted) N() int { return len(w.cdf) }
+
+// Prob returns the normalized probability of outcome i.
+func (w *Weighted) Prob(i int) float64 {
+	if i < 0 || i >= len(w.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return w.cdf[0]
+	}
+	return w.cdf[i] - w.cdf[i-1]
+}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfHeadHeavier(t *testing.T) {
+	z := NewZipf(1000, 1.0)
+	r := NewRNG(1)
+	counts := make([]int, 1000)
+	for i := 0; i < 200000; i++ {
+		counts[z.Sample(r)]++
+	}
+	if counts[0] <= counts[10] || counts[10] <= counts[100] {
+		t.Fatalf("zipf not monotone head-heavy: c0=%d c10=%d c100=%d",
+			counts[0], counts[10], counts[100])
+	}
+}
+
+func TestZipfMassSumsToOne(t *testing.T) {
+	z := NewZipf(200, 1.2)
+	sum := 0.0
+	for i := 0; i < z.N(); i++ {
+		sum += z.Mass(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("zipf masses sum to %f", sum)
+	}
+}
+
+func TestZipfSampleInRange(t *testing.T) {
+	z := NewZipf(50, 0.8)
+	r := NewRNG(2)
+	if err := quick.Check(func(_ uint8) bool {
+		v := z.Sample(r)
+		return v >= 0 && v < 50
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {10, 0}, {10, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %f) did not panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(tc.n, tc.s)
+		}()
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	w := NewWeighted([]float64{1, 2, 7})
+	r := NewRNG(3)
+	counts := make([]int, 3)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[w.Sample(r)]++
+	}
+	for i, want := range []float64{0.1, 0.2, 0.7} {
+		got := float64(counts[i]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("outcome %d share = %f, want %f", i, got, want)
+		}
+	}
+}
+
+func TestWeightedZeroWeightNeverSampled(t *testing.T) {
+	w := NewWeighted([]float64{0, 1, 0, 1})
+	r := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		v := w.Sample(r)
+		if v == 0 || v == 2 {
+			t.Fatalf("sampled zero-weight outcome %d", v)
+		}
+	}
+}
+
+func TestWeightedProbSumsToOne(t *testing.T) {
+	w := NewWeighted([]float64{3, 0.5, 2, 9, 0.01})
+	sum := 0.0
+	for i := 0; i < w.N(); i++ {
+		sum += w.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weighted probs sum to %f", sum)
+	}
+}
+
+func TestWeightedPanics(t *testing.T) {
+	for _, weights := range [][]float64{nil, {}, {0, 0}, {1, -1}, {math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWeighted(%v) did not panic", weights)
+				}
+			}()
+			NewWeighted(weights)
+		}()
+	}
+}
+
+func TestWeightedProbOutOfRange(t *testing.T) {
+	w := NewWeighted([]float64{1, 1})
+	if w.Prob(-1) != 0 || w.Prob(2) != 0 {
+		t.Fatal("out-of-range Prob should be 0")
+	}
+}

@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter counts occurrences of string keys. It is the workhorse behind the
+// paper's categorical breakdowns (ad networks, site categories, TLDs).
+// The zero value is ready to use.
+type Counter struct {
+	counts map[string]int
+	total  int
+}
+
+// Add increments key by one.
+func (c *Counter) Add(key string) { c.AddN(key, 1) }
+
+// AddN increments key by n.
+func (c *Counter) AddN(key string, n int) {
+	if c.counts == nil {
+		c.counts = make(map[string]int)
+	}
+	c.counts[key] += n
+	c.total += n
+}
+
+// Get returns the count for key.
+func (c *Counter) Get(key string) int { return c.counts[key] }
+
+// Total returns the sum of all counts.
+func (c *Counter) Total() int { return c.total }
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return len(c.counts) }
+
+// Share returns key's fraction of the total, or 0 if the counter is empty.
+func (c *Counter) Share(key string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[key]) / float64(c.total)
+}
+
+// KV is a key with its count, used for sorted views of a Counter.
+type KV struct {
+	Key   string
+	Count int
+}
+
+// Sorted returns all entries sorted by descending count, breaking ties by
+// key so that output is deterministic.
+func (c *Counter) Sorted() []KV {
+	kvs := make([]KV, 0, len(c.counts))
+	for k, v := range c.counts {
+		kvs = append(kvs, KV{k, v})
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].Count != kvs[j].Count {
+			return kvs[i].Count > kvs[j].Count
+		}
+		return kvs[i].Key < kvs[j].Key
+	})
+	return kvs
+}
+
+// Keys returns all keys in ascending order.
+func (c *Counter) Keys() []string {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// IntHist is a histogram over small non-negative integers, used for the
+// paper's arbitration chain-length distributions (Figure 5). The zero value
+// is ready to use.
+type IntHist struct {
+	counts map[int]int
+	total  int
+	max    int
+}
+
+// Add records one observation of value v (negative values panic: chain
+// lengths and auction counts are never negative).
+func (h *IntHist) Add(v int) {
+	if v < 0 {
+		panic("stats: IntHist.Add with negative value")
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int)
+	}
+	h.counts[v]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Get returns the count at value v.
+func (h *IntHist) Get(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *IntHist) Total() int { return h.total }
+
+// Max returns the largest observed value (0 for an empty histogram).
+func (h *IntHist) Max() int { return h.max }
+
+// Series returns counts for every value 0..Max() inclusive, suitable for
+// plotting a figure's x-axis without gaps.
+func (h *IntHist) Series() []int {
+	s := make([]int, h.max+1)
+	for v, n := range h.counts {
+		s[v] = n
+	}
+	return s
+}
+
+// TailShare returns the fraction of observations strictly greater than v.
+func (h *IntHist) TailShare(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	n := 0
+	for val, cnt := range h.counts {
+		if val > v {
+			n += cnt
+		}
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Mean returns the arithmetic mean of the observations.
+func (h *IntHist) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	sum := 0
+	for v, n := range h.counts {
+		sum += v * n
+	}
+	return float64(sum) / float64(h.total)
+}
+
+// Quantile returns the smallest value v such that at least q of the mass is
+// at or below v. q is clamped to [0, 1].
+func (h *IntHist) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := int(math.Ceil(q * float64(h.total)))
+	if need == 0 {
+		need = 1
+	}
+	cum := 0
+	for v := 0; v <= h.max; v++ {
+		cum += h.counts[v]
+		if cum >= need {
+			return v
+		}
+	}
+	return h.max
+}
+
+// Summary holds basic descriptive statistics of a float sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary over xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		varSum := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			varSum += d * d
+		}
+		s.StdDev = math.Sqrt(varSum / float64(len(xs)-1))
+	}
+	return s
+}
+
+// FormatTable renders rows of (label, count, share) as a fixed-width text
+// table, the format used by the cmd tools and EXPERIMENTS.md extracts.
+func FormatTable(title string, rows []KV, total int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	width := 0
+	for _, r := range rows {
+		if len(r.Key) > width {
+			width = len(r.Key)
+		}
+	}
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(r.Count) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-*s %10d  %6.2f%%\n", width, r.Key, r.Count, share)
+	}
+	return b.String()
+}

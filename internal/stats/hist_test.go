@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	if c.Total() != 0 || c.Len() != 0 {
+		t.Fatal("zero Counter not empty")
+	}
+	c.Add("a")
+	c.Add("a")
+	c.AddN("b", 3)
+	if c.Get("a") != 2 || c.Get("b") != 3 || c.Get("missing") != 0 {
+		t.Fatalf("counts wrong: a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	if c.Total() != 5 || c.Len() != 2 {
+		t.Fatalf("total=%d len=%d", c.Total(), c.Len())
+	}
+	if got := c.Share("b"); math.Abs(got-0.6) > 1e-12 {
+		t.Fatalf("Share(b) = %f", got)
+	}
+}
+
+func TestCounterSortedDeterministic(t *testing.T) {
+	var c Counter
+	c.AddN("x", 5)
+	c.AddN("a", 5)
+	c.AddN("big", 10)
+	got := c.Sorted()
+	if got[0].Key != "big" || got[1].Key != "a" || got[2].Key != "x" {
+		t.Fatalf("sorted order wrong: %v", got)
+	}
+}
+
+func TestCounterKeysSorted(t *testing.T) {
+	var c Counter
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		c.Add(k)
+	}
+	keys := c.Keys()
+	if len(keys) != 3 || keys[0] != "alpha" || keys[2] != "zeta" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
+
+func TestCounterShareEmpty(t *testing.T) {
+	var c Counter
+	if c.Share("anything") != 0 {
+		t.Fatal("empty counter share should be 0")
+	}
+}
+
+func TestIntHistBasics(t *testing.T) {
+	var h IntHist
+	for _, v := range []int{1, 1, 2, 5, 0} {
+		h.Add(v)
+	}
+	if h.Total() != 5 || h.Max() != 5 {
+		t.Fatalf("total=%d max=%d", h.Total(), h.Max())
+	}
+	series := h.Series()
+	want := []int{1, 2, 1, 0, 0, 1}
+	if len(series) != len(want) {
+		t.Fatalf("series len = %d", len(series))
+	}
+	for i := range want {
+		if series[i] != want[i] {
+			t.Fatalf("series[%d] = %d, want %d", i, series[i], want[i])
+		}
+	}
+}
+
+func TestIntHistNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var h IntHist
+	h.Add(-1)
+}
+
+func TestIntHistTailShare(t *testing.T) {
+	var h IntHist
+	for v := 0; v < 10; v++ {
+		h.Add(v)
+	}
+	if got := h.TailShare(7); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("TailShare(7) = %f", got)
+	}
+	if h.TailShare(100) != 0 {
+		t.Fatal("TailShare beyond max should be 0")
+	}
+}
+
+func TestIntHistMeanQuantile(t *testing.T) {
+	var h IntHist
+	for _, v := range []int{1, 2, 3, 4} {
+		h.Add(v)
+	}
+	if got := h.Mean(); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("Mean = %f", got)
+	}
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("Quantile(0.5) = %d", q)
+	}
+	if q := h.Quantile(1.0); q != 4 {
+		t.Fatalf("Quantile(1.0) = %d", q)
+	}
+	if q := h.Quantile(-1); q != 1 {
+		t.Fatalf("Quantile(-1) = %d", q)
+	}
+}
+
+func TestIntHistQuantileMonotone(t *testing.T) {
+	r := NewRNG(99)
+	var h IntHist
+	for i := 0; i < 500; i++ {
+		h.Add(r.Intn(30))
+	}
+	if err := quick.Check(func(a, b uint8) bool {
+		qa := float64(a%101) / 100
+		qb := float64(b%101) / 100
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntHistSeriesSumsToTotal(t *testing.T) {
+	r := NewRNG(101)
+	if err := quick.Check(func(_ uint8) bool {
+		var h IntHist
+		n := r.Intn(200) + 1
+		for i := 0; i < n; i++ {
+			h.Add(r.Intn(20))
+		}
+		sum := 0
+		for _, c := range h.Series() {
+			sum += c
+		}
+		return sum == h.Total()
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample stddev of that classic dataset is ~2.138.
+	if math.Abs(s.StdDev-2.13809) > 1e-4 {
+		t.Fatalf("stddev = %f", s.StdDev)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty Summarize should be zero")
+	}
+}
+
+func TestFormatTable(t *testing.T) {
+	out := FormatTable("Hdr", []KV{{"aa", 3}, {"b", 1}}, 4)
+	if !strings.Contains(out, "Hdr") || !strings.Contains(out, "75.00%") || !strings.Contains(out, "25.00%") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	// Zero total must not divide by zero.
+	out = FormatTable("Hdr", []KV{{"a", 1}}, 0)
+	if !strings.Contains(out, "0.00%") {
+		t.Fatalf("zero-total table output:\n%s", out)
+	}
+}

@@ -1,0 +1,188 @@
+// Package urlx provides the URL and domain-name utilities the measurement
+// pipeline needs: extracting host names, top-level domains, and registered
+// (effective second-level) domains, and classifying TLDs as generic or
+// country-code — the distinction behind the paper's Figure 4.
+//
+// A full public-suffix list would be overkill for the simulated web; the
+// package embeds the multi-label suffixes that actually occur in the
+// simulation plus the common real-world ones, and falls back to the last
+// label otherwise.
+package urlx
+
+import (
+	"net/url"
+	"strings"
+)
+
+// multiLabelSuffixes lists public suffixes that span more than one DNS label.
+// Single-label suffixes (com, net, de, ...) need no table: they are simply
+// the final label.
+var multiLabelSuffixes = map[string]bool{
+	"co.uk":  true,
+	"org.uk": true,
+	"ac.uk":  true,
+	"gov.uk": true,
+	"com.au": true,
+	"net.au": true,
+	"org.au": true,
+	"co.jp":  true,
+	"ne.jp":  true,
+	"or.jp":  true,
+	"com.br": true,
+	"com.cn": true,
+	"net.cn": true,
+	"org.cn": true,
+	"co.in":  true,
+	"co.kr":  true,
+	"com.mx": true,
+	"com.tr": true,
+	"com.ru": true,
+}
+
+// genericTLDs is the set of generic (non-country-code) top-level domains the
+// simulation uses. The paper's Figure 4 observes that gTLDs — mainly .com and
+// .net — carry more than 66% of malvertising traffic.
+var genericTLDs = map[string]bool{
+	"com":  true,
+	"net":  true,
+	"org":  true,
+	"info": true,
+	"biz":  true,
+	"edu":  true,
+	"gov":  true,
+	"mil":  true,
+	"int":  true,
+	"xxx":  true,
+	"mobi": true,
+	"name": true,
+	"pro":  true,
+	"aero": true,
+	"asia": true,
+	"cat":  true,
+	"coop": true,
+	"jobs": true,
+	"tel":  true,
+}
+
+// Host extracts the lowercase host name (without port) from rawURL.
+// It returns "" if the URL cannot be parsed or has no host.
+func Host(rawURL string) string {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(u.Hostname())
+}
+
+// TLD returns the public suffix of host: "co.uk" for "www.bbc.co.uk",
+// "com" for "ads.example.com". The host may include a port, which is
+// stripped. It returns "" for empty or dotless hosts (e.g. "localhost").
+func TLD(host string) string {
+	host = normalizeHost(host)
+	if host == "" {
+		return ""
+	}
+	labels := strings.Split(host, ".")
+	if len(labels) < 2 {
+		return ""
+	}
+	if len(labels) >= 2 {
+		two := labels[len(labels)-2] + "." + labels[len(labels)-1]
+		if multiLabelSuffixes[two] {
+			return two
+		}
+	}
+	return labels[len(labels)-1]
+}
+
+// RegisteredDomain returns the registrable domain of host — the public
+// suffix plus one label: "bbc.co.uk" for "www.news.bbc.co.uk",
+// "example.com" for "ads.tracker.example.com". It returns "" when host has
+// no registrable domain (bare TLD, single label, empty).
+func RegisteredDomain(host string) string {
+	host = normalizeHost(host)
+	if host == "" {
+		return ""
+	}
+	suffix := TLD(host)
+	if suffix == "" {
+		return ""
+	}
+	if host == suffix {
+		return ""
+	}
+	rest := strings.TrimSuffix(host, "."+suffix)
+	if rest == host {
+		return "" // host did not actually end with ".suffix"
+	}
+	labels := strings.Split(rest, ".")
+	return labels[len(labels)-1] + "." + suffix
+}
+
+// IsGenericTLD reports whether tld (e.g. "com", "co.uk") is a generic TLD.
+// Multi-label country suffixes such as "co.uk" are country-code by
+// definition.
+func IsGenericTLD(tld string) bool {
+	return genericTLDs[strings.ToLower(tld)]
+}
+
+// SameRegisteredDomain reports whether two hosts share a registrable domain.
+// This is the third-party test ad-blocking filters and the same-origin-ish
+// heuristics in the honeyclient rely on.
+func SameRegisteredDomain(hostA, hostB string) bool {
+	a := RegisteredDomain(hostA)
+	b := RegisteredDomain(hostB)
+	return a != "" && a == b
+}
+
+// IsSubdomainOf reports whether host equals domain or ends with "."+domain.
+// Both are normalized to lowercase without ports.
+func IsSubdomainOf(host, domain string) bool {
+	host = normalizeHost(host)
+	domain = normalizeHost(domain)
+	if host == "" || domain == "" {
+		return false
+	}
+	return host == domain || strings.HasSuffix(host, "."+domain)
+}
+
+// normalizeHost lowercases host and strips any port and trailing dot.
+func normalizeHost(host string) string {
+	host = strings.ToLower(strings.TrimSpace(host))
+	// Strip a port if present. IPv6 literals are not used by the simulation
+	// but handle the bracket form defensively.
+	if strings.HasPrefix(host, "[") {
+		if i := strings.Index(host, "]"); i >= 0 {
+			return host[1:i]
+		}
+		return ""
+	}
+	if i := strings.LastIndexByte(host, ':'); i >= 0 {
+		host = host[:i]
+	}
+	return strings.TrimSuffix(host, ".")
+}
+
+// Resolve resolves a possibly relative reference against a base URL and
+// returns the absolute URL string, or "" if either part is unparsable.
+// The emulated browser uses it for iframe src, script src, and redirects.
+func Resolve(base, ref string) string {
+	b, err := url.Parse(base)
+	if err != nil {
+		return ""
+	}
+	r, err := url.Parse(ref)
+	if err != nil {
+		return ""
+	}
+	return b.ResolveReference(r).String()
+}
+
+// IsAbsolute reports whether rawURL is an absolute http or https URL.
+func IsAbsolute(rawURL string) bool {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return false
+	}
+	return (u.Scheme == "http" || u.Scheme == "https") && u.Host != ""
+}

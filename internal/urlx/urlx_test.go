@@ -1,0 +1,193 @@
+package urlx
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHost(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"http://www.Example.COM/page", "www.example.com"},
+		{"https://ads.example.net:8080/x?y=1", "ads.example.net"},
+		{"http://example.org", "example.org"},
+		{"not a url ://", ""},
+		{"/relative/path", ""},
+	}
+	for _, tc := range tests {
+		if got := Host(tc.in); got != tc.want {
+			t.Errorf("Host(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestTLD(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"www.example.com", "com"},
+		{"example.net", "net"},
+		{"news.bbc.co.uk", "co.uk"},
+		{"a.b.c.com.au", "com.au"},
+		{"example.de", "de"},
+		{"example.com:8080", "com"},
+		{"EXAMPLE.COM", "com"},
+		{"localhost", ""},
+		{"", ""},
+		{"example.com.", "com"},
+	}
+	for _, tc := range tests {
+		if got := TLD(tc.in); got != tc.want {
+			t.Errorf("TLD(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestRegisteredDomain(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+	}{
+		{"www.news.bbc.co.uk", "bbc.co.uk"},
+		{"ads.tracker.example.com", "example.com"},
+		{"example.com", "example.com"},
+		{"com", ""},
+		{"co.uk", ""},
+		{"localhost", ""},
+		{"", ""},
+		{"sub.example.de", "example.de"},
+	}
+	for _, tc := range tests {
+		if got := RegisteredDomain(tc.in); got != tc.want {
+			t.Errorf("RegisteredDomain(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestIsGenericTLD(t *testing.T) {
+	for _, g := range []string{"com", "net", "org", "info", "COM"} {
+		if !IsGenericTLD(g) {
+			t.Errorf("IsGenericTLD(%q) = false", g)
+		}
+	}
+	for _, cc := range []string{"de", "uk", "co.uk", "ru", "cn", ""} {
+		if IsGenericTLD(cc) {
+			t.Errorf("IsGenericTLD(%q) = true", cc)
+		}
+	}
+}
+
+func TestSameRegisteredDomain(t *testing.T) {
+	if !SameRegisteredDomain("a.example.com", "b.example.com") {
+		t.Error("subdomains of example.com should match")
+	}
+	if SameRegisteredDomain("a.example.com", "a.example.net") {
+		t.Error("different TLDs should not match")
+	}
+	if SameRegisteredDomain("com", "com") {
+		t.Error("bare TLDs should never match")
+	}
+	if SameRegisteredDomain("", "") {
+		t.Error("empty hosts should never match")
+	}
+}
+
+func TestIsSubdomainOf(t *testing.T) {
+	if !IsSubdomainOf("ads.example.com", "example.com") {
+		t.Error("ads.example.com should be subdomain of example.com")
+	}
+	if !IsSubdomainOf("example.com", "example.com") {
+		t.Error("identical host should count")
+	}
+	if IsSubdomainOf("badexample.com", "example.com") {
+		t.Error("suffix without dot boundary must not match")
+	}
+	if IsSubdomainOf("example.com", "ads.example.com") {
+		t.Error("parent is not subdomain of child")
+	}
+	if IsSubdomainOf("", "example.com") || IsSubdomainOf("example.com", "") {
+		t.Error("empty host/domain must not match")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	tests := []struct {
+		base, ref, want string
+	}{
+		{"http://example.com/a/b", "c", "http://example.com/a/c"},
+		{"http://example.com/a/", "/x", "http://example.com/x"},
+		{"http://example.com/", "http://other.net/y", "http://other.net/y"},
+		{"http://example.com/", "//cdn.example.net/z", "http://cdn.example.net/z"},
+	}
+	for _, tc := range tests {
+		if got := Resolve(tc.base, tc.ref); got != tc.want {
+			t.Errorf("Resolve(%q, %q) = %q, want %q", tc.base, tc.ref, got, tc.want)
+		}
+	}
+}
+
+func TestIsAbsolute(t *testing.T) {
+	if !IsAbsolute("http://example.com/x") || !IsAbsolute("https://a.b/") {
+		t.Error("absolute URLs misclassified")
+	}
+	for _, rel := range []string{"/path", "page.html", "ftp://example.com/x", "", "javascript:void(0)"} {
+		if IsAbsolute(rel) {
+			t.Errorf("IsAbsolute(%q) = true", rel)
+		}
+	}
+}
+
+// Property: RegisteredDomain is idempotent — the registered domain of a
+// registered domain is itself.
+func TestRegisteredDomainIdempotent(t *testing.T) {
+	hosts := []string{
+		"www.news.bbc.co.uk", "ads.tracker.example.com", "x.y.z.example.net",
+		"example.de", "a.example.org", "deep.sub.domain.example.info",
+	}
+	for _, h := range hosts {
+		rd := RegisteredDomain(h)
+		if rd == "" {
+			t.Fatalf("no registered domain for %q", h)
+		}
+		if got := RegisteredDomain(rd); got != rd {
+			t.Errorf("RegisteredDomain not idempotent: %q -> %q -> %q", h, rd, got)
+		}
+	}
+}
+
+// Property: for any generated host of the form word(.word)*.com, the
+// registered domain ends with ".com" and has exactly two labels.
+func TestRegisteredDomainShapeProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		labels := []string{word(a), word(b), word(c), "com"}
+		host := strings.Join(labels, ".")
+		rd := RegisteredDomain(host)
+		if !strings.HasSuffix(rd, ".com") {
+			return false
+		}
+		return strings.Count(rd, ".") == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func word(x uint8) string {
+	const alpha = "abcdefghij"
+	n := int(x%5) + 1
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alpha[(int(x)+i)%len(alpha)])
+	}
+	return b.String()
+}
+
+func TestNormalizeHostBracketedIPv6(t *testing.T) {
+	if got := TLD("[::1]:8080"); got != "" {
+		t.Errorf("TLD of IPv6 literal = %q, want empty", got)
+	}
+}

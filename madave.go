@@ -1,0 +1,192 @@
+package madave
+
+import (
+	"io"
+
+	"madave/internal/adnet"
+	"madave/internal/analysis"
+	"madave/internal/core"
+	"madave/internal/corpus"
+	"madave/internal/crawler"
+	"madave/internal/defense"
+	"madave/internal/netcap"
+	"madave/internal/oracle"
+	"madave/internal/report"
+	"madave/internal/webgen"
+)
+
+// Config parameterizes a study run. See core.Config for field semantics;
+// the zero Seed keeps the sub-configs' own seeds.
+type Config = core.Config
+
+// Study is an assembled simulation: the synthetic web, the ad ecosystem,
+// the HTTP universe, and the oracle, ready to crawl and classify.
+type Study = core.Study
+
+// Results bundles the outcome of a full run: the corpus, crawl statistics,
+// the oracle's incidents, and the analysis report.
+type Results = core.Results
+
+// Report holds the reproduced paper results (Table 1, Figures 1-5, the
+// §4.2 cluster shares, and the §4.4 sandbox census).
+type Report = analysis.Report
+
+// Corpus is the deduplicated advertisement store; Ad is one snapshot.
+type (
+	Corpus = corpus.Corpus
+	Ad     = corpus.Ad
+)
+
+// CrawlStats carries collection-phase counters (pages, frames, sandbox
+// census).
+type CrawlStats = crawler.Stats
+
+// Category is a Table-1 incident category.
+type Category = oracle.Category
+
+// OracleResult aggregates a corpus classification; Incident is one verdict.
+type (
+	OracleResult = oracle.Result
+	Incident     = oracle.Incident
+)
+
+// Incident categories, in Table 1 order.
+const (
+	CatBlacklists   = oracle.CatBlacklists
+	CatSuspRedirect = oracle.CatSuspRedirect
+	CatHeuristics   = oracle.CatHeuristics
+	CatMaliciousExe = oracle.CatMaliciousExe
+	CatMaliciousSWF = oracle.CatMaliciousSWF
+	CatModel        = oracle.CatModel
+	CatClean        = oracle.CatClean
+)
+
+// Categories returns the malicious categories in Table 1 order.
+func Categories() []Category { return oracle.Categories() }
+
+// Site is one synthetic publisher website.
+type Site = webgen.Site
+
+// Campaign is one advertiser campaign (ground truth; the measurement
+// pipeline never consults it).
+type Campaign = adnet.Campaign
+
+// Comparison is a countermeasure before/after measurement (§5).
+type Comparison = defense.Comparison
+
+// DefaultConfig returns a laptop-scale configuration that preserves every
+// distributional property the paper measures. Increase CrawlSites and
+// Crawl.Days to approach the paper's full three-month scale.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewStudy assembles the full simulation for phase-by-phase use.
+func NewStudy(cfg Config) (*Study, error) { return core.NewStudy(cfg) }
+
+// Validation is the oracle-vs-ground-truth comparison (precision, recall,
+// per-kind outcomes). Produced by Study.Validate.
+type Validation = core.Validation
+
+// DayPoint is one crawl day's volume and malicious rate.
+type DayPoint = analysis.DayPoint
+
+// Timeline computes the per-day ad volume and malicious rate over a
+// classified corpus.
+func Timeline(c *Corpus, res *OracleResult) []DayPoint {
+	return analysis.Timeline(c, res)
+}
+
+// Concentration quantifies how malvertising concentrates among networks.
+type Concentration = analysis.Concentration
+
+// Concentrate computes the concentration metrics from a report.
+func Concentrate(rep *Report) Concentration { return analysis.Concentrate(rep) }
+
+// FidelityCheck is one paper claim graded against measured data.
+type FidelityCheck = report.Check
+
+// PaperChecks grades a report against the paper's headline claims — the
+// same shapes the test suite asserts.
+func PaperChecks(rep *Report) []FidelityCheck { return report.PaperChecks(rep) }
+
+// MarkdownReport renders the full study (tables, figures, projection,
+// validation, defenses, fidelity checks) as one Markdown document.
+// validation and defenses may be nil/empty.
+func MarkdownReport(title string, s *Study, r *Results, v *Validation, defenses []Comparison) string {
+	return report.Markdown(report.Input{
+		Title:      title,
+		Study:      s,
+		Results:    r,
+		Validation: v,
+		Defenses:   defenses,
+	})
+}
+
+// HostGraph is the host-level redirection/inclusion graph mined from a
+// traced crawl (Study.CrawlTraced); Traffic is the trace itself.
+type (
+	HostGraph = analysis.HostGraph
+	Traffic   = netcap.Capture
+)
+
+// BuildHostGraph mines a traffic trace into a host graph — arbitration
+// hubs, reachability, and publisher-to-payload ad paths.
+func BuildHostGraph(trace *Traffic) *HostGraph {
+	return analysis.BuildHostGraph(trace.All())
+}
+
+// NewCorpus returns an empty advertisement corpus.
+func NewCorpus() *Corpus { return corpus.New() }
+
+// LoadCorpus reads a JSON-lines corpus previously written with
+// Corpus.Save — the handoff format between the adcrawl and adoracle tools.
+func LoadCorpus(r io.Reader) (*Corpus, error) { return corpus.Load(r) }
+
+// Run executes a complete study: crawl (§3.1), oracle classification
+// (§3.2), and analysis (§4).
+func Run(cfg Config) (*Results, error) {
+	s, err := core.NewStudy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(), nil
+}
+
+// EvaluateDefenses runs the §5 countermeasure suite against a completed
+// study: the shared submission blacklist, arbitration penalties, the
+// ad-path guard, iframe sandboxing, and full ad blocking.
+func EvaluateDefenses(s *Study, r *Results) ([]Comparison, error) {
+	var out []Comparison
+
+	shared, err := defense.SharedBlacklist(s.Cfg.Ads, 200_000, s.Cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, shared)
+	out = append(out, defense.PenalizeNetworks(s.Eco, 200_000, 0.10, s.Cfg.Seed+2))
+	out = append(out, defense.EvaluateAdPathGuard(r.Corpus, r.Oracle, adnet.MaxChain/2))
+
+	// Sandbox: re-render the hijacking incidents.
+	var hijackAds []*Ad
+	for _, inc := range r.Oracle.Incidents {
+		if inc.Category == CatSuspRedirect {
+			if ad := r.Corpus.Get(inc.AdHash); ad != nil {
+				hijackAds = append(hijackAds, ad)
+			}
+			if len(hijackAds) >= 20 {
+				break
+			}
+		}
+	}
+	out = append(out, defense.EvaluateSandbox(s.Universe, hijackAds, s.Cfg.Seed+3))
+
+	// Adblock over a page sample.
+	var urls []string
+	for i, site := range s.CrawlSites() {
+		if i >= 30 {
+			break
+		}
+		urls = append(urls, "http://"+site.Host+"/?v=defense")
+	}
+	out = append(out, defense.EvaluateAdBlock(s.Universe, s.List, urls, s.Cfg.Seed+4))
+	return out, nil
+}

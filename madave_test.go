@@ -1,0 +1,152 @@
+package madave
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	once sync.Once
+	fixS *Study
+	fixR *Results
+)
+
+func runOnce(t *testing.T) (*Study, *Results) {
+	t.Helper()
+	once.Do(func() {
+		cfg := DefaultConfig()
+		cfg.Seed = 33
+		cfg.CrawlSites = 400
+		s, err := NewStudy(cfg)
+		if err != nil {
+			panic(err)
+		}
+		fixS = s
+		fixR = s.Run()
+	})
+	return fixS, fixR
+}
+
+func TestPublicRun(t *testing.T) {
+	_, r := runOnce(t)
+	if r.Corpus.Len() == 0 {
+		t.Fatal("empty corpus")
+	}
+	if r.Oracle.MaliciousCount() == 0 {
+		t.Fatal("no incidents")
+	}
+	text := r.Report.RenderText()
+	if !strings.Contains(text, "Table 1") || !strings.Contains(text, "Figure 5") {
+		t.Fatalf("report:\n%s", text)
+	}
+}
+
+func TestCategoriesExported(t *testing.T) {
+	cats := Categories()
+	if len(cats) != 6 || cats[0] != CatBlacklists {
+		t.Fatalf("categories = %v", cats)
+	}
+}
+
+func TestEvaluateDefenses(t *testing.T) {
+	s, r := runOnce(t)
+	cmps, err := EvaluateDefenses(s, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmps) != 5 {
+		t.Fatalf("defenses = %d", len(cmps))
+	}
+	names := map[string]bool{}
+	for _, c := range cmps {
+		names[c.Name] = true
+		if c.String() == "" {
+			t.Fatal("empty rendering")
+		}
+	}
+	for _, want := range []string{"shared-blacklist", "penalize-networks", "ad-path-guard", "iframe-sandbox", "adblock"} {
+		if !names[want] {
+			t.Fatalf("missing defense %q in %v", want, names)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 55
+	cfg.CrawlSites = 120
+	cfg.Crawl.Refreshes = 2
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Corpus.Len() != b.Corpus.Len() {
+		t.Fatalf("corpus sizes differ: %d vs %d", a.Corpus.Len(), b.Corpus.Len())
+	}
+	if a.Oracle.MaliciousCount() != b.Oracle.MaliciousCount() {
+		t.Fatalf("incident counts differ: %d vs %d",
+			a.Oracle.MaliciousCount(), b.Oracle.MaliciousCount())
+	}
+	for cat, n := range a.Oracle.ByCategory {
+		if b.Oracle.ByCategory[cat] != n {
+			t.Fatalf("category %s differs: %d vs %d", cat, n, b.Oracle.ByCategory[cat])
+		}
+	}
+}
+
+func TestTimelineAndConcentration(t *testing.T) {
+	_, r := runOnce(t)
+	tl := Timeline(r.Corpus, r.Oracle)
+	if len(tl) == 0 {
+		t.Fatal("empty timeline")
+	}
+	totalAds := 0
+	for _, p := range tl {
+		totalAds += p.Ads
+	}
+	if totalAds != r.Corpus.Len() {
+		t.Fatalf("timeline ads %d != corpus %d", totalAds, r.Corpus.Len())
+	}
+	conc := Concentrate(r.Report)
+	if conc.TopShare <= 0 || conc.TopShare > 1 {
+		t.Fatalf("concentration = %+v", conc)
+	}
+	if conc.Top3Share < conc.TopShare {
+		t.Fatal("top3 < top1")
+	}
+}
+
+func TestCorpusSaveLoadViaFacade(t *testing.T) {
+	_, r := runOnce(t)
+	var buf bytes.Buffer
+	if err := r.Corpus.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != r.Corpus.Len() {
+		t.Fatalf("loaded %d != %d", loaded.Len(), r.Corpus.Len())
+	}
+	if NewCorpus().Len() != 0 {
+		t.Fatal("NewCorpus should be empty")
+	}
+}
+
+func TestStudyValidateFacade(t *testing.T) {
+	s, r := runOnce(t)
+	v, err := s.Validate(r.Corpus, r.Oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Precision() < 0.9 || v.Recall() < 0.85 {
+		t.Fatalf("oracle quality: %s", v)
+	}
+}

@@ -1,0 +1,39 @@
+package madave
+
+import "testing"
+
+// TestSoakFidelityAtScale runs a larger study (about a tenth of the full
+// paper-style crawl set, five refreshes) and requires every paper-shape
+// fidelity check to pass plus near-perfect oracle quality. Skipped under
+// -short.
+func TestSoakFidelityAtScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 3030
+	cfg.CrawlSites = 2500
+	cfg.Crawl.Refreshes = 5
+	cfg.Crawl.Parallelism = 8
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Run()
+	if r.Corpus.Len() < 20_000 {
+		t.Fatalf("soak corpus only %d ads", r.Corpus.Len())
+	}
+	checks := PaperChecks(r.Report)
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("FAILED claim %q: paper %s, measured %s", c.Claim, c.Paper, c.Measured)
+		}
+	}
+	v, err := s.Validate(r.Corpus, r.Oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Precision() < 0.98 || v.Recall() < 0.95 {
+		t.Fatalf("oracle quality at scale: %s", v)
+	}
+}
