@@ -258,6 +258,51 @@ func BenchmarkDefenses(b *testing.B) {
 	}
 }
 
+// BenchmarkEasyListCorpusReplay replays every collected ad frame against
+// the study's EasyList through the token-indexed engine — the workload the
+// §5 adblock defense evaluation runs over the whole corpus — and
+// BenchmarkEasyListCorpusReplayLinear is the same replay through the
+// pre-index linear scan, so the speedup over the real corpus is visible
+// alongside the synthetic-list microbenchmarks in internal/easylist.
+func BenchmarkEasyListCorpusReplay(b *testing.B) {
+	s, r := benchWorld(b)
+	ads := r.Corpus.All()
+	if len(ads) == 0 {
+		b.Fatal("empty corpus")
+	}
+	ctx := easylist.NewRequestCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	blocked := 0
+	for i := 0; i < b.N; i++ {
+		ad := ads[i%len(ads)]
+		if ok, _ := s.List.MatchCtx(ctx, easylist.Request{
+			URL: ad.FrameURL, Type: easylist.TypeSubdocument, DocHost: ad.PubHost,
+		}); ok {
+			blocked++
+		}
+	}
+	b.StopTimer()
+	if blocked == 0 {
+		b.Fatal("no ad frames blocked")
+	}
+}
+
+func BenchmarkEasyListCorpusReplayLinear(b *testing.B) {
+	s, r := benchWorld(b)
+	ads := r.Corpus.All()
+	if len(ads) == 0 {
+		b.Fatal("empty corpus")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ad := ads[i%len(ads)]
+		s.List.MatchLinear(easylist.Request{
+			URL: ad.FrameURL, Type: easylist.TypeSubdocument, DocHost: ad.PubHost,
+		})
+	}
+}
+
 // ---- Ablations (DESIGN.md §6) ----
 
 // BenchmarkAblationBlacklistThreshold compares the paper's ">5 lists" rule

@@ -43,8 +43,9 @@ func main() {
 	fmt.Fprintf(os.Stderr, "loaded %d rules (%d unsupported lines skipped)\n", list.Len(), list.Skipped())
 
 	rt := parseType(*reqType)
+	ctx := easylist.NewRequestCtx() // one match context for the whole URL stream
 	check := func(url string) {
-		blocked, rule := list.Match(easylist.Request{URL: url, Type: rt, DocHost: *docHost})
+		blocked, rule := list.MatchCtx(ctx, easylist.Request{URL: url, Type: rt, DocHost: *docHost})
 		switch {
 		case blocked:
 			fmt.Printf("AD      %s  (rule: %s)\n", url, rule.Raw)

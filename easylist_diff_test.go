@@ -1,0 +1,55 @@
+package madave
+
+import (
+	"strings"
+	"testing"
+
+	"madave/internal/easylist"
+)
+
+// TestIndexedMatchEqualsLinearOverCorpus proves the token-indexed EasyList
+// engine returns identical (blocked, rule) verdicts to the pre-index linear
+// scan over the entire seed corpus crawl: every snapshotted ad frame and
+// creative URL, every host contacted while rendering ads, and every
+// publisher page, replayed against the study's own synthetic EasyList with
+// resource-type, document-host, and case variants.
+func TestIndexedMatchEqualsLinearOverCorpus(t *testing.T) {
+	s, r := runOnce(t)
+
+	var reqs []easylist.Request
+	for _, ad := range r.Corpus.All() {
+		reqs = append(reqs,
+			easylist.Request{URL: ad.FrameURL, Type: easylist.TypeSubdocument, DocHost: ad.PubHost},
+			easylist.Request{URL: strings.ToUpper(ad.FrameURL), Type: easylist.TypeSubdocument, DocHost: ad.PubHost},
+			easylist.Request{URL: ad.FinalURL, Type: easylist.TypeDocument, DocHost: ad.PubHost},
+			easylist.Request{URL: ad.FinalURL, Type: easylist.TypeScript, DocHost: ""},
+		)
+		for _, h := range ad.Hosts {
+			reqs = append(reqs, easylist.Request{URL: "http://" + h + "/", Type: easylist.TypeOther, DocHost: ad.PubHost})
+		}
+	}
+	for _, site := range s.Web.Sites {
+		reqs = append(reqs, easylist.Request{URL: "http://" + site.Host + "/?v=diff", Type: easylist.TypeDocument, DocHost: site.Host})
+	}
+	if len(reqs) < 1000 {
+		t.Fatalf("differential corpus too small: %d requests", len(reqs))
+	}
+
+	ctx := easylist.NewRequestCtx()
+	for _, req := range reqs {
+		gotB, gotR := s.List.MatchCtx(ctx, req)
+		wantB, wantR := s.List.MatchLinear(req)
+		if gotB != wantB || gotR != wantR {
+			t.Fatalf("indexed/linear divergence on %+v:\n indexed = %v %v\n linear  = %v %v",
+				req, gotB, rawOf(gotR), wantB, rawOf(wantR))
+		}
+	}
+	t.Logf("indexed ≡ linear over %d corpus-derived requests (%d rules)", len(reqs), s.List.Len())
+}
+
+func rawOf(r *easylist.Rule) string {
+	if r == nil {
+		return "<nil>"
+	}
+	return r.Raw
+}

@@ -216,6 +216,10 @@ type Browser struct {
 	// Blocker, when set, is consulted before every fetch; matching URLs
 	// are not requested (the Adblock Plus countermeasure of §5.2).
 	Blocker *easylist.List
+	// blockCtx is the reusable EasyList match context for this browser's
+	// Blocker calls. A Browser serves one goroutine, so one context
+	// amortizes the per-request scratch across every fetch it checks.
+	blockCtx easylist.RequestCtx
 	// EnforceSandbox honors iframe sandbox attributes. Real browsers do;
 	// the study's finding is that no publisher used them.
 	EnforceSandbox bool
@@ -401,13 +405,20 @@ func (b *Browser) sandboxAllows(page *Page, token string) bool {
 	return strings.Contains(page.sandboxTokens, token)
 }
 
+// blockedBy consults the Blocker, if any, through the browser's reusable
+// match context.
+func (b *Browser) blockedBy(url string, rt easylist.ResourceType, docHost string) bool {
+	if b.Blocker == nil {
+		return false
+	}
+	blocked, _ := b.Blocker.MatchCtx(&b.blockCtx, easylist.Request{URL: url, Type: rt, DocHost: docHost})
+	return blocked
+}
+
 // get issues a single GET with the browser's headers, honoring the blocker.
 func (b *Browser) get(url, referer string) (*http.Response, error) {
-	if b.Blocker != nil {
-		docHost := urlx.Host(referer)
-		if blocked, _ := b.Blocker.Match(easylist.Request{URL: url, Type: easylist.TypeSubdocument, DocHost: docHost}); blocked {
-			return nil, &BlockedError{URL: url}
-		}
+	if b.Blocker != nil && b.blockedBy(url, easylist.TypeSubdocument, urlx.Host(referer)) {
+		return nil, &BlockedError{URL: url}
 	}
 	req, err := http.NewRequest(http.MethodGet, url, nil)
 	if err != nil {
@@ -440,6 +451,10 @@ func IsNXDomain(err error) bool {
 // loadResources fetches images, embeds/objects, and external scripts found
 // in the document.
 func (b *Browser) loadResources(page *Page) {
+	var docHost string
+	if b.Blocker != nil {
+		docHost = urlx.Host(page.FinalURL)
+	}
 	fetch := func(n *htmlparse.Node, attr, tag string, keepBody bool) {
 		src, ok := n.Attr(attr)
 		if !ok || src == "" {
@@ -454,7 +469,7 @@ func (b *Browser) loadResources(page *Page) {
 			if tag == "script" {
 				rt = easylist.TypeScript
 			}
-			if blocked, _ := b.Blocker.Match(easylist.Request{URL: abs, Type: rt, DocHost: urlx.Host(page.FinalURL)}); blocked {
+			if b.blockedBy(abs, rt, docHost) {
 				page.Blocked = append(page.Blocked, abs)
 				return
 			}
@@ -495,6 +510,10 @@ func (b *Browser) loadResources(page *Page) {
 func (b *Browser) loadFrames(page *Page, depth int) {
 	frames := page.Doc.Find("iframe")
 	page.FrameElems = frames
+	var docHost string
+	if b.Blocker != nil {
+		docHost = urlx.Host(page.FinalURL)
+	}
 	for _, f := range frames {
 		src, ok := f.Attr("src")
 		if !ok || src == "" {
@@ -504,11 +523,9 @@ func (b *Browser) loadFrames(page *Page, depth int) {
 		if abs == "" {
 			continue
 		}
-		if b.Blocker != nil {
-			if blocked, _ := b.Blocker.Match(easylist.Request{URL: abs, Type: easylist.TypeSubdocument, DocHost: urlx.Host(page.FinalURL)}); blocked {
-				page.Blocked = append(page.Blocked, abs)
-				continue
-			}
+		if b.Blocker != nil && b.blockedBy(abs, easylist.TypeSubdocument, docHost) {
+			page.Blocked = append(page.Blocked, abs)
+			continue
 		}
 		sandboxed := b.EnforceSandbox && f.HasAttr("sandbox")
 		tokens, _ := f.Attr("sandbox")

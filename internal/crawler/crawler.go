@@ -133,8 +133,11 @@ func (c *Crawler) Run(sites []*webgen.Site) (*corpus.Corpus, *Stats) {
 		go func(worker int) {
 			defer wg.Done()
 			b := c.newWorkerBrowser(worker)
+			// Each worker owns a match context: the EasyList engine reuses
+			// its per-request scratch across the worker's whole crawl.
+			ctx := easylist.NewRequestCtx()
 			for v := range work {
-				c.crawlPage(b, v, corp, st)
+				c.crawlPage(b, ctx, v, corp, st)
 			}
 		}(w)
 	}
@@ -178,7 +181,7 @@ func (c *Crawler) newWorkerBrowser(worker int) *browser.Browser {
 }
 
 // crawlPage loads one page visit and snapshots its ad iframes.
-func (c *Crawler) crawlPage(b *browser.Browser, v visit, corp *corpus.Corpus, st *Stats) {
+func (c *Crawler) crawlPage(b *browser.Browser, ctx *easylist.RequestCtx, v visit, corp *corpus.Corpus, st *Stats) {
 	pageURL := fmt.Sprintf("http://%s/?v=d%dr%d", v.site.Host, v.day, v.refresh)
 	page, err := b.Load(pageURL, "")
 	atomic.AddInt64(&st.PagesVisited, 1)
@@ -189,7 +192,7 @@ func (c *Crawler) crawlPage(b *browser.Browser, v visit, corp *corpus.Corpus, st
 
 	for _, frame := range page.Frames {
 		atomic.AddInt64(&st.FramesSeen, 1)
-		if !c.isAdFrame(frame.URL, v.site.Host) {
+		if !c.isAdFrame(ctx, frame.URL, v.site.Host) {
 			atomic.AddInt64(&st.NonAdFrames, 1)
 			continue
 		}
@@ -205,8 +208,8 @@ func (c *Crawler) crawlPage(b *browser.Browser, v visit, corp *corpus.Corpus, st
 
 // isAdFrame applies EasyList the way the paper did: the iframe src is
 // matched as a subdocument request from the publisher's page.
-func (c *Crawler) isAdFrame(frameURL, docHost string) bool {
-	blocked, _ := c.List.Match(easylist.Request{
+func (c *Crawler) isAdFrame(ctx *easylist.RequestCtx, frameURL, docHost string) bool {
+	blocked, _ := c.List.MatchCtx(ctx, easylist.Request{
 		URL:     frameURL,
 		Type:    easylist.TypeSubdocument,
 		DocHost: docHost,

@@ -305,6 +305,37 @@ func EvaluateAdBlock(u *memnet.Universe, list *easylist.List, pageURLs []string,
 	return cmp
 }
 
+// ReplayAdBlock replays the EasyList engine over an already-collected ad
+// corpus: every snapshotted ad frame is re-matched as a subdocument request
+// from its publisher's page, through a single reusable match context. It
+// measures the §5.2 blocker's coverage of the crawl corpus — the fraction
+// of observed ad impressions the blocker would have suppressed — without
+// re-rendering any pages, so it scales to the full corpus.
+func ReplayAdBlock(list *easylist.List, corp *corpus.Corpus) Comparison {
+	ctx := easylist.NewRequestCtx()
+	total, blocked := 0, 0
+	for _, ad := range corp.All() {
+		total++
+		ok, _ := list.MatchCtx(ctx, easylist.Request{
+			URL:     ad.FrameURL,
+			Type:    easylist.TypeSubdocument,
+			DocHost: ad.PubHost,
+		})
+		if ok {
+			blocked++
+		}
+	}
+	cmp := Comparison{
+		Name:  "adblock-replay",
+		Notes: fmt.Sprintf("(%d corpus ads replayed)", total),
+	}
+	if total > 0 {
+		cmp.Baseline = 1
+		cmp.Protected = float64(total-blocked) / float64(total)
+	}
+	return cmp
+}
+
 func newDefenseBrowser(u *memnet.Universe, seed uint64) *browser.Browser {
 	cap := netcap.New(&memnet.Transport{U: u})
 	client := &http.Client{

@@ -6,54 +6,126 @@ import (
 	"testing"
 )
 
-// benchList approximates the synthetic EasyList: 60 host-anchored network
-// rules plus generic patterns and an exception.
+// benchList is a realistic ~1k-rule list: 900 host-anchored network rules,
+// 80 generic creative-path rules (a quarter with options), a handful of
+// tokenless patterns that land in the fallback bucket, and exceptions —
+// the shape of a real EasyList at a scale where the O(rules) linear scan
+// visibly hurts and the token index has to earn its keep.
 var benchList = func() *List {
-	var b strings.Builder
-	for i := 0; i < 60; i++ {
-		fmt.Fprintf(&b, "||adserv.network%02d.com^\n", i)
-	}
-	b.WriteString("/banners/*\n/ad.js\n@@||cdn.widgetworks.com^\n")
-	l, err := ParseString(b.String())
+	l, err := ParseString(benchRules())
 	if err != nil {
 		panic(err)
 	}
 	return l
 }()
 
-func BenchmarkMatchAdURL(b *testing.B) {
-	req := Request{
-		URL:     "http://adserv.network42.com/serve?pub=www.site.com&slot=1&imp=abc&hop=0",
-		Type:    TypeSubdocument,
-		DocHost: "www.site.com",
+func benchRules() string {
+	var b strings.Builder
+	for i := 0; i < 900; i++ {
+		switch i % 3 {
+		case 0:
+			fmt.Fprintf(&b, "||adserv.network%03d.com^\n", i)
+		case 1:
+			fmt.Fprintf(&b, "||media%03d.adexchange.net^$third-party\n", i)
+		default:
+			fmt.Fprintf(&b, "||track%03d.example.org^$script,subdocument\n", i)
+		}
 	}
+	for i := 0; i < 80; i++ {
+		switch i % 4 {
+		case 0:
+			fmt.Fprintf(&b, "/creative%02d/banners/*\n", i)
+		case 1:
+			fmt.Fprintf(&b, "/pixel%02d.gif|\n", i)
+		case 2:
+			fmt.Fprintf(&b, "|http://promo%02d.\n", i)
+		default:
+			fmt.Fprintf(&b, "/sponsor%02d/*/img^$image\n", i)
+		}
+	}
+	// Tokenless rules: always scanned, like real short generic filters.
+	b.WriteString("/banners/*\n/ad.js\nswf|\n")
+	b.WriteString("@@||cdn.widgetworks.com^\n@@/banners/acceptable/*\n")
+	return b.String()
+}
+
+var benchAdReq = Request{
+	URL:     "http://adserv.network423.com/serve?pub=www.site.com&slot=1&imp=abc&hop=0",
+	Type:    TypeSubdocument,
+	DocHost: "www.site.com",
+}
+
+// The common case: a non-ad URL that used to be checked against every rule.
+var benchContentReq = Request{
+	URL:     "http://www.streamflicks.com/article/2014/01/long-path-segment",
+	Type:    TypeSubdocument,
+	DocHost: "www.streamflicks.com",
+}
+
+func BenchmarkMatchAdURL(b *testing.B) {
+	ctx := NewRequestCtx()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if ok, _ := benchList.Match(req); !ok {
+		if ok, _ := benchList.MatchCtx(ctx, benchAdReq); !ok {
+			b.Fatal("should match")
+		}
+	}
+}
+
+func BenchmarkMatchAdURLLinear(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if ok, _ := benchList.MatchLinear(benchAdReq); !ok {
 			b.Fatal("should match")
 		}
 	}
 }
 
 func BenchmarkMatchContentURL(b *testing.B) {
-	// The common case: a non-ad URL that must be checked against every rule.
-	req := Request{
-		URL:     "http://www.streamflicks.com/article/2014/01/long-path-segment",
-		Type:    TypeSubdocument,
-		DocHost: "www.streamflicks.com",
-	}
+	ctx := NewRequestCtx()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if ok, _ := benchList.Match(req); ok {
+		if ok, _ := benchList.MatchCtx(ctx, benchContentReq); ok {
+			b.Fatal("should not match")
+		}
+	}
+}
+
+func BenchmarkMatchContentURLLinear(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if ok, _ := benchList.MatchLinear(benchContentReq); ok {
+			b.Fatal("should not match")
+		}
+	}
+}
+
+// BenchmarkMatchContentURLFreshCtx measures the convenience Match path
+// (per-call context) so the cost of not reusing a RequestCtx is visible.
+func BenchmarkMatchContentURLFreshCtx(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if ok, _ := benchList.Match(benchContentReq); ok {
+			b.Fatal("should not match")
+		}
+	}
+}
+
+// BenchmarkMatchSeparatorFirstRule exercises the separator-jump prune:
+// a '^'-first pattern against a long URL it never matches.
+func BenchmarkMatchSeparatorFirstRule(b *testing.B) {
+	r, err := ParseRule("^advert^")
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := Request{URL: "http://www.streamflicks.com/article/2014/01/long-path-segment-with-many-words", Type: TypeOther}
+	for i := 0; i < b.N; i++ {
+		if r.Matches(req) {
 			b.Fatal("should not match")
 		}
 	}
 }
 
 func BenchmarkParseList(b *testing.B) {
-	var sb strings.Builder
-	for i := 0; i < 200; i++ {
-		fmt.Fprintf(&sb, "||host%03d.example.com^$third-party\n", i)
-	}
-	src := sb.String()
+	src := benchRules()
 	b.SetBytes(int64(len(src)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -16,6 +16,28 @@
 //
 // Element-hiding rules (##) are recognized and skipped: they hide elements
 // cosmetically and never classify URLs.
+//
+// # Matching architecture
+//
+// Match is the crawl's hottest call — the crawler consults it once per
+// iframe, the emulated browser once per subresource, and the §5 defense
+// evaluation replays it over the whole corpus — so the engine follows the
+// token-index design production blockers use (uBlock Origin's
+// least-frequent-token dispatch, Brave's adblock-rust): at parse time each
+// rule is bucketed under one literal token of its pattern that is
+// guaranteed to appear as a complete alphanumeric run in every URL the
+// rule can match — candidates are its safe tokens of at least four bytes,
+// host-anchored || rules additionally their first host label, and of those
+// the least-populated bucket wins; tokenless rules go to a small
+// always-scanned fallback slice. Match tokenizes the request URL once and
+// probes only the candidate buckets, turning the O(rules) linear scan into
+// O(url-tokens) map lookups; see index.go. The pattern matcher itself is an
+// iterative single-'*'-backtrack loop (match.go), so no pattern can go
+// exponential, and per-request derived state (the request host needed by
+// $third-party, the URL token list) lives in a reusable RequestCtx instead
+// of being recomputed per candidate rule. MatchLinear retains the
+// pre-index full scan as the reference implementation; differential tests
+// hold the two paths identical.
 package easylist
 
 import (
@@ -23,8 +45,6 @@ import (
 	"fmt"
 	"io"
 	"strings"
-
-	"madave/internal/urlx"
 )
 
 // ResourceType describes what kind of resource a URL request loads,
@@ -81,12 +101,24 @@ type Rule struct {
 	thirdParty  *bool // nil = either; true = only third-party; false = only first-party
 	domainsInc  []string
 	domainsExc  []string
+
+	// ord is the rule's position within its class (blocking or exception)
+	// in the owning List; the index uses it to return the same rule a
+	// first-match linear scan would. Set by List.Add.
+	ord int
+
+	// prune describes how the unanchored scan skips ahead between match
+	// attempts; precomputed by ParseRule.
+	pruneKind pruneKind
+	pruneByte byte // lowercase first literal byte, valid when pruneKind == pruneLit
 }
 
 // List is a parsed filter list.
 type List struct {
 	blocking   []*Rule
 	exceptions []*Rule
+	blockIdx   ruleIndex
+	excIdx     ruleIndex
 	skipped    int // unsupported lines (element hiding etc.)
 }
 
@@ -136,12 +168,17 @@ func ParseString(s string) (*List, error) {
 	return Parse(strings.NewReader(s))
 }
 
-// Add appends a rule to the list.
+// Add appends a rule to the list and indexes it. A Rule must belong to at
+// most one List. Add is not safe to call concurrently with Match.
 func (l *List) Add(r *Rule) {
 	if r.Exception {
+		r.ord = len(l.exceptions)
 		l.exceptions = append(l.exceptions, r)
+		l.excIdx.add(r)
 	} else {
+		r.ord = len(l.blocking)
 		l.blocking = append(l.blocking, r)
+		l.blockIdx.add(r)
 	}
 }
 
@@ -150,36 +187,6 @@ func (l *List) Len() int { return len(l.blocking) + len(l.exceptions) }
 
 // Skipped returns the number of unsupported lines ignored during parsing.
 func (l *List) Skipped() int { return l.skipped }
-
-// Match classifies a request. It returns whether the request is blocked
-// (i.e. the URL is ad-related) and the rule that decided: a blocking rule
-// when blocked, an exception rule when an exception rescued the request,
-// or nil when nothing matched.
-func (l *List) Match(req Request) (bool, *Rule) {
-	var hit *Rule
-	for _, r := range l.blocking {
-		if r.Matches(req) {
-			hit = r
-			break
-		}
-	}
-	if hit == nil {
-		return false, nil
-	}
-	for _, r := range l.exceptions {
-		if r.Matches(req) {
-			return false, r
-		}
-	}
-	return true, hit
-}
-
-// MatchURL is a convenience for classifying a bare URL with no document
-// context as any resource type.
-func (l *List) MatchURL(rawURL string) bool {
-	ok, _ := l.Match(Request{URL: rawURL, Type: TypeOther, DocHost: ""})
-	return ok
-}
 
 // ParseRule parses a single filter line (which must not be a comment or
 // element-hiding rule).
@@ -215,6 +222,7 @@ func ParseRule(line string) (*Rule, error) {
 		return nil, fmt.Errorf("empty pattern")
 	}
 	r.pattern = text
+	r.pruneKind, r.pruneByte = prunePlan(text)
 	return r, nil
 }
 
@@ -300,196 +308,4 @@ func typeFromName(name string) ResourceType {
 	default:
 		return TypeOther
 	}
-}
-
-// Matches reports whether the rule matches the request, considering pattern,
-// anchors, and options.
-func (r *Rule) Matches(req Request) bool {
-	if !r.optionsAllow(req) {
-		return false
-	}
-	u := req.URL
-	switch {
-	case r.anchorHost:
-		return r.matchHostAnchor(u)
-	case r.anchorStart:
-		return r.matchAt(u, 0, true)
-	default:
-		// Unanchored: try every start offset.
-		for i := 0; i <= len(u); i++ {
-			if r.matchAt(u, i, false) {
-				return true
-			}
-			// Cheap prune: jump to next occurrence of the first literal byte.
-			if first, ok := r.firstLiteralByte(); ok {
-				j := strings.IndexByte(u[i:], first)
-				if j < 0 {
-					return false
-				}
-				if j > 0 {
-					i += j - 1
-				}
-			}
-		}
-		return false
-	}
-}
-
-// firstLiteralByte returns the first concrete byte of the pattern, if any.
-func (r *Rule) firstLiteralByte() (byte, bool) {
-	for i := 0; i < len(r.pattern); i++ {
-		c := r.pattern[i]
-		if c != '*' && c != '^' {
-			return c, true
-		}
-		if c == '^' {
-			return 0, false // separator can match several bytes
-		}
-	}
-	return 0, false
-}
-
-// matchHostAnchor implements the || anchor: the pattern must match starting
-// at the URL's host, or at any subdomain-label boundary within the host.
-func (r *Rule) matchHostAnchor(u string) bool {
-	hostStart := strings.Index(u, "://")
-	if hostStart < 0 {
-		return false
-	}
-	hostStart += 3
-	hostEnd := hostStart
-	for hostEnd < len(u) && u[hostEnd] != '/' && u[hostEnd] != '?' && u[hostEnd] != '#' {
-		hostEnd++
-	}
-	// Candidate positions: start of host and each position after a dot.
-	for i := hostStart; i < hostEnd; i++ {
-		if i == hostStart || u[i-1] == '.' {
-			if r.matchAt(u, i, true) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-// matchAt matches the rule pattern against u starting exactly at offset.
-// anchoredStart pins the first segment to the offset.
-func (r *Rule) matchAt(u string, offset int, anchoredStart bool) bool {
-	return matchPattern(r.pattern, u, offset, anchoredStart, r.anchorEnd)
-}
-
-// matchPattern is a backtracking matcher over the ABP pattern alphabet:
-// literal bytes, '*' (any run, including empty), and '^' (exactly one
-// separator byte, or end-of-input).
-func matchPattern(pat, s string, start int, anchoredStart, anchorEnd bool) bool {
-	var match func(pi, si int) bool
-	match = func(pi, si int) bool {
-		for pi < len(pat) {
-			switch pat[pi] {
-			case '*':
-				// Collapse consecutive stars.
-				for pi < len(pat) && pat[pi] == '*' {
-					pi++
-				}
-				if pi == len(pat) {
-					if anchorEnd {
-						return !anchorEnd || si <= len(s) // '*' absorbs to end
-					}
-					return true
-				}
-				for k := si; k <= len(s); k++ {
-					if match(pi, k) {
-						return true
-					}
-				}
-				return false
-			case '^':
-				if si == len(s) {
-					// Separator at end of pattern may match end of URL.
-					return pi == len(pat)-1
-				}
-				if !isSeparator(s[si]) {
-					return false
-				}
-				pi++
-				si++
-			default:
-				if si >= len(s) || !eqFold(s[si], pat[pi]) {
-					return false
-				}
-				pi++
-				si++
-			}
-		}
-		if anchorEnd {
-			return si == len(s)
-		}
-		return true
-	}
-	if anchoredStart {
-		return match(0, start)
-	}
-	return match(0, start)
-}
-
-// isSeparator implements the ABP separator class: anything that is not a
-// letter, digit, or one of "_-.%".
-func isSeparator(c byte) bool {
-	switch {
-	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
-		return false
-	case c == '_' || c == '-' || c == '.' || c == '%':
-		return false
-	}
-	return true
-}
-
-// eqFold compares two bytes ASCII case-insensitively: ABP matching is
-// case-insensitive by default.
-func eqFold(a, b byte) bool {
-	if 'A' <= a && a <= 'Z' {
-		a += 'a' - 'A'
-	}
-	if 'A' <= b && b <= 'Z' {
-		b += 'a' - 'A'
-	}
-	return a == b
-}
-
-// optionsAllow checks the rule's option constraints against the request.
-func (r *Rule) optionsAllow(req Request) bool {
-	if r.typeInclude != nil && !r.typeInclude[req.Type] {
-		return false
-	}
-	if r.typeExclude != nil && r.typeExclude[req.Type] {
-		return false
-	}
-	if r.thirdParty != nil {
-		reqHost := urlx.Host(req.URL)
-		third := !urlx.SameRegisteredDomain(reqHost, req.DocHost)
-		if req.DocHost == "" {
-			third = true
-		}
-		if *r.thirdParty != third {
-			return false
-		}
-	}
-	if len(r.domainsInc) > 0 {
-		ok := false
-		for _, d := range r.domainsInc {
-			if urlx.IsSubdomainOf(req.DocHost, d) {
-				ok = true
-				break
-			}
-		}
-		if !ok {
-			return false
-		}
-	}
-	for _, d := range r.domainsExc {
-		if urlx.IsSubdomainOf(req.DocHost, d) {
-			return false
-		}
-	}
-	return true
 }

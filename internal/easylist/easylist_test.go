@@ -310,6 +310,90 @@ func TestWildcardInHostAnchor(t *testing.T) {
 	}
 }
 
+func TestEndAnchorWithWildcard(t *testing.T) {
+	// '*' before the end anchor absorbs the tail, but literals after the
+	// '*' must still land at the very end of the URL.
+	l := mustParse(t, "foo*bar|")
+	if !l.MatchURL("http://x.com/foo/quux-bar") {
+		t.Error("tail literal at end should match")
+	}
+	if l.MatchURL("http://x.com/foobarbaz") {
+		t.Error("end anchor must pin the tail literal to the end")
+	}
+	// A bare trailing '*|' is equivalent to no end anchor at all: the star
+	// absorbs everything up to the end.
+	l2 := mustParse(t, "foo*|")
+	if !l2.MatchURL("http://x.com/fooZZZ") {
+		t.Error("trailing * should absorb to the end")
+	}
+}
+
+func TestSeparatorBeforeTrailingStars(t *testing.T) {
+	// '^' is satisfied by the end of the URL even when only '*'s (or more
+	// '^'s) follow it in the pattern.
+	for _, pat := range []string{"ads^*", "ads^**", "ads^^", "ads^*^"} {
+		l := mustParse(t, pat)
+		if !l.MatchURL("http://x.com/ads") {
+			t.Errorf("%q should match at end of URL", pat)
+		}
+	}
+	l := mustParse(t, "||x.com^*")
+	if !l.MatchURL("http://x.com") {
+		t.Error("host rule with trailing ^* should match bare host")
+	}
+	// But a literal after the end-of-URL '^' can never match.
+	l2 := mustParse(t, "ads^*x")
+	if l2.MatchURL("http://q.com/ads") {
+		t.Error("literal after end-of-URL separator must not match")
+	}
+}
+
+func TestSeparatorFirstPattern(t *testing.T) {
+	// Patterns opening with '^' use the separator-jump prune; semantics
+	// must be unchanged: the '^' consumes exactly one separator byte.
+	l := mustParse(t, "^ad^")
+	if !l.MatchURL("http://x.com/ad/") {
+		t.Error("separator-first pattern should match")
+	}
+	if l.MatchURL("http://x.com/bad/") {
+		t.Error("'^' must not match inside a word")
+	}
+	if l.MatchURL("http://x.com/x-ad.y") {
+		t.Error("'-' and '.' are not separators")
+	}
+	l2 := mustParse(t, "^promo")
+	if !l2.MatchURL("http://x.com/promo") {
+		t.Error("separator then literal at end should match")
+	}
+}
+
+func TestCaseFoldedPrune(t *testing.T) {
+	// The unanchored first-literal prune must be case-insensitive like the
+	// matcher itself: a lowercase pattern still matches an uppercase URL.
+	l := mustParse(t, "adbanner")
+	if !l.MatchURL("http://x.example/ADBANNER.gif") {
+		t.Error("lowercase pattern should match uppercase URL")
+	}
+	l2 := mustParse(t, "ADBANNER")
+	if !l2.MatchURL("http://x.example/adbanner.gif") {
+		t.Error("uppercase pattern should match lowercase URL")
+	}
+}
+
+func TestPathologicalPatternTerminates(t *testing.T) {
+	// The iterative single-star backtrack is O(len(url)·len(pattern));
+	// the recursive matcher it replaced went exponential on inputs like
+	// these and would hang this test.
+	l := mustParse(t, "a*a*a*a*a*a*a*a*a*a*b|")
+	long := "http://x.com/" + strings.Repeat("a", 2000)
+	if l.MatchURL(long) {
+		t.Error("should not match without the trailing b")
+	}
+	if !l.MatchURL(long + "b") {
+		t.Error("should match with the trailing b")
+	}
+}
+
 func TestResourceTypeString(t *testing.T) {
 	for rt, want := range map[ResourceType]string{
 		TypeOther: "other", TypeDocument: "document", TypeSubdocument: "subdocument",

@@ -1,0 +1,201 @@
+package easylist
+
+import "strings"
+
+// This file implements the token-indexed rule dispatch (see the package
+// comment's "Matching architecture"). Each rule is bucketed under a single
+// literal token guaranteed to appear as a complete alphanumeric run in any
+// URL the rule matches; Match tokenizes the request URL once and evaluates
+// only the rules in the probed buckets plus a small tokenless fallback, and
+// returns the earliest-added match so its verdicts are byte-identical to
+// the linear first-match scan (MatchLinear).
+
+// minIndexToken is the shortest literal a non-host-anchored rule may be
+// keyed under. Shorter generic fragments ("ad", "js") are too common to
+// dispatch on and would bloat hot buckets; host labels are exempt because a
+// complete DNS label of any length is already selective.
+const minIndexToken = 4
+
+// ruleIndex buckets one class of rules (blocking or exception) by token.
+type ruleIndex struct {
+	buckets  map[string][]*Rule
+	fallback []*Rule // rules with no safe token: scanned on every request
+}
+
+// add buckets r under the least-populated of its candidate tokens (uBlock
+// Origin's least-frequent-token heuristic, greedy over insertion order), so
+// rule families sharing a common fragment — hundreds of ||adserv.*^ hosts,
+// say — spread across their distinguishing tokens instead of piling into
+// one hot bucket. Ties prefer the longer, more selective token.
+func (ix *ruleIndex) add(r *Rule) {
+	best, bestN := "", -1
+	for _, tok := range candidateTokens(r) {
+		n := len(ix.buckets[tok])
+		if bestN < 0 || n < bestN || (n == bestN && len(tok) > len(best)) {
+			best, bestN = tok, n
+		}
+	}
+	if bestN < 0 {
+		ix.fallback = append(ix.fallback, r)
+		return
+	}
+	if ix.buckets == nil {
+		ix.buckets = make(map[string][]*Rule)
+	}
+	ix.buckets[best] = append(ix.buckets[best], r)
+}
+
+// match returns the earliest-added rule matching the request, or nil —
+// exactly the rule a first-match linear scan over the class would return.
+// Buckets hold rules in insertion order, so each scan can stop at its
+// first hit or as soon as ordinals pass the best match so far.
+func (ix *ruleIndex) match(c *RequestCtx) *Rule {
+	var best *Rule
+	scan := func(rules []*Rule) {
+		for _, r := range rules {
+			if best != nil && r.ord >= best.ord {
+				return
+			}
+			if r.matches(c) {
+				best = r
+				return
+			}
+		}
+	}
+	scan(ix.fallback)
+	for _, tok := range c.tokens {
+		scan(ix.buckets[tok])
+	}
+	return best
+}
+
+// Match classifies a request. It returns whether the request is blocked
+// (i.e. the URL is ad-related) and the rule that decided: a blocking rule
+// when blocked, an exception rule when an exception rescued the request,
+// or nil when nothing matched.
+func (l *List) Match(req Request) (bool, *Rule) {
+	var c RequestCtx
+	return l.MatchCtx(&c, req)
+}
+
+// MatchCtx is Match with a caller-supplied RequestCtx, letting hot loops
+// reuse the context's token scratch buffer across requests. The context is
+// reset for each call; it must not be shared between goroutines.
+func (l *List) MatchCtx(c *RequestCtx, req Request) (bool, *Rule) {
+	c.reset(req)
+	c.tokens = tokenizeURL(req.URL, c.tokens)
+	hit := l.blockIdx.match(c)
+	if hit == nil {
+		return false, nil
+	}
+	if exc := l.excIdx.match(c); exc != nil {
+		return false, exc
+	}
+	return true, hit
+}
+
+// MatchLinear classifies req by scanning every rule in list order — the
+// pre-index reference implementation, retained so tests and benchmarks can
+// prove the indexed path returns identical (blocked, rule) decisions.
+func (l *List) MatchLinear(req Request) (bool, *Rule) {
+	var c RequestCtx
+	c.reset(req)
+	var hit *Rule
+	for _, r := range l.blocking {
+		if r.matches(&c) {
+			hit = r
+			break
+		}
+	}
+	if hit == nil {
+		return false, nil
+	}
+	for _, r := range l.exceptions {
+		if r.matches(&c) {
+			return false, r
+		}
+	}
+	return true, hit
+}
+
+// MatchURL is a convenience for classifying a bare URL with no document
+// context as any resource type.
+func (l *List) MatchURL(rawURL string) bool {
+	ok, _ := l.Match(Request{URL: rawURL, Type: TypeOther, DocHost: ""})
+	return ok
+}
+
+// isTokenByte reports whether c belongs to an index token: tokens are
+// maximal ASCII alphanumeric runs. Everything else — including '.', '-',
+// '_', '%', which the ABP separator class exempts — is a token boundary.
+func isTokenByte(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// candidateTokens returns the tokens r may be bucketed under: every safe
+// literal token of at least minIndexToken bytes, plus — for host-anchored
+// rules — the complete first host label whatever its length (a run at
+// offset 0 not cut short by a '-' or '_' inside the label). An empty
+// result sends the rule to the always-scanned fallback.
+func candidateTokens(r *Rule) []string {
+	pat := r.pattern
+	var out []string
+	for i := 0; i < len(pat); {
+		if !isTokenByte(pat[i]) {
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(pat) && isTokenByte(pat[j]) {
+			j++
+		}
+		if r.tokenSafe(i, j) {
+			firstLabel := i == 0 && r.anchorHost && (j == len(pat) || (pat[j] != '-' && pat[j] != '_'))
+			if firstLabel || j-i >= minIndexToken {
+				out = append(out, strings.ToLower(pat[i:j]))
+			}
+		}
+		i = j
+	}
+	return out
+}
+
+// tokenSafe reports whether pattern[i:j] is guaranteed to appear as a
+// complete alphanumeric run in every URL the rule matches. Each edge of
+// the run must sit on something that forces a token boundary in the URL: a
+// start anchor (| pins the URL start, || a host-label boundary), an end
+// anchor, or an adjacent literal non-token byte. An adjacent '*' disquali-
+// fies — it can glue arbitrary alphanumerics onto the token — while an
+// adjacent '^' qualifies: it only ever matches separators or the URL end.
+func (r *Rule) tokenSafe(i, j int) bool {
+	pat := r.pattern
+	leftOK := (i == 0 && (r.anchorStart || r.anchorHost)) || (i > 0 && pat[i-1] != '*')
+	rightOK := (j == len(pat) && r.anchorEnd) || (j < len(pat) && pat[j] != '*')
+	return leftOK && rightOK
+}
+
+// tokenizeURL appends u's lowercase alphanumeric runs to buf and returns
+// it. Runs that are already lowercase alias u's backing array, so the
+// common all-lowercase URL tokenizes without allocating.
+func tokenizeURL(u string, buf []string) []string {
+	for i := 0; i < len(u); {
+		if !isTokenByte(u[i]) {
+			i++
+			continue
+		}
+		j, upper := i, false
+		for j < len(u) && isTokenByte(u[j]) {
+			if u[j] >= 'A' && u[j] <= 'Z' {
+				upper = true
+			}
+			j++
+		}
+		tok := u[i:j]
+		if upper {
+			tok = strings.ToLower(tok)
+		}
+		buf = append(buf, tok)
+		i = j
+	}
+	return buf
+}

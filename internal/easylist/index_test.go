@@ -1,0 +1,247 @@
+package easylist
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCandidateTokens(t *testing.T) {
+	cases := []struct {
+		rule string
+		want []string // nil means fallback
+	}{
+		{"||ads.example.com^", []string{"ads", "example"}},       // label + long token; "com" too short
+		{"||g.doubleclick.example^", []string{"g", "doubleclick", "example"}}, // short labels still dispatch
+		{"@@||cdn.widgetworks.com^", []string{"cdn", "widgetworks"}},          // exceptions index the same way
+		{"||track*.example.net^", []string{"example"}},           // leading run unsafe ('*' right edge)
+		{"||ad-serv.example.com^", []string{"serv", "example"}},  // "ad" is a label fragment and short
+		{"/banners/*", []string{"banners"}},                      // bounded by literals on both sides
+		{"|http://banner.", []string{"http", "banner"}},          // start anchor makes "http" safe
+		{"/AdBanner.", []string{"adbanner"}},                     // tokens are case-folded
+		{"/banner/*/img^", []string{"banner"}},                   // "img" safe but short
+		{"*/creative01/*", []string{"creative01"}},               // leading '*' doesn't block later tokens
+		{"/ad.js", nil},                                          // all tokens under 4 bytes
+		{"swf|", nil},                                            // unanchored left edge: could glue into a run
+		{"foo*bar", nil},                                         // both edges unsafe
+		{"||adserv", nil},                                        // open right edge: host may continue the run
+		{"^ads^", nil},                                           // safe but only 3 bytes, not host-anchored
+	}
+	for _, c := range cases {
+		r, err := ParseRule(c.rule)
+		if err != nil {
+			t.Fatalf("ParseRule(%q): %v", c.rule, err)
+		}
+		got := candidateTokens(r)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("candidateTokens(%q) = %v, want %v", c.rule, got, c.want)
+		}
+	}
+}
+
+func TestIndexSpreadsSharedTokens(t *testing.T) {
+	// Host rules sharing a first label must spread across their
+	// distinguishing tokens rather than pile into one hot bucket.
+	l := mustParse(t, `
+||adserv.network001.com^
+||adserv.network002.com^
+||adserv.network003.com^
+`)
+	for tok, rules := range l.blockIdx.buckets {
+		if len(rules) != 1 {
+			t.Fatalf("bucket %q holds %d rules, want 1 each", tok, len(rules))
+		}
+	}
+	if len(l.blockIdx.buckets) != 3 {
+		t.Fatalf("buckets = %d, want 3", len(l.blockIdx.buckets))
+	}
+	// A rule with no usable token lands in the fallback slice.
+	l2 := mustParse(t, "/ad.js")
+	if len(l2.blockIdx.fallback) != 1 || len(l2.blockIdx.buckets) != 0 {
+		t.Fatalf("fallback = %d, buckets = %d", len(l2.blockIdx.fallback), len(l2.blockIdx.buckets))
+	}
+}
+
+func TestTokenizeURL(t *testing.T) {
+	got := tokenizeURL("http://Ads.Example.com:8080/a/BannerX?q=1%20x", nil)
+	want := []string{"http", "ads", "example", "com", "8080", "a", "bannerx", "q", "1", "20x"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+}
+
+func TestIndexedMatchKeepsRuleOrder(t *testing.T) {
+	// Two blocking rules in different buckets both match; the indexed path
+	// must return the first-listed one, like the linear scan.
+	l := mustParse(t, `
+/longtoken1/*
+||ads.example.com^
+`)
+	req := Request{URL: "http://ads.example.com/longtoken1/x", Type: TypeSubdocument}
+	_, got := l.Match(req)
+	_, want := l.MatchLinear(req)
+	if got != want || got.Raw != "/longtoken1/*" {
+		t.Fatalf("Match picked %q, linear picked %q", got.Raw, want.Raw)
+	}
+
+	// Same for exceptions: first matching exception is reported.
+	l2 := mustParse(t, `
+||ads.example.com^
+@@/longtoken1/*
+@@||ads.example.com^
+`)
+	blocked, exc := l2.Match(req)
+	_, excLin := l2.MatchLinear(req)
+	if blocked || exc != excLin || exc.Raw != "@@/longtoken1/*" {
+		t.Fatalf("exception pick = %v %q, linear %q", blocked, exc.Raw, excLin.Raw)
+	}
+}
+
+// diffList is a rule set exercising every supported syntax feature; the
+// differential tests hold the indexed engine identical to the linear scan
+// over it.
+const diffList = `
+||ads.example.com^
+||track*.example.net^$third-party
+||g.shortlabel.example^
+||ad-serv.example.com^
+|http://promo.
+/banners/*
+/banner/*/img^
+/ad.js
+/AdBanner.
+swf|
+foo*bar|
+ads^*
+^ad^
+*/creative01/*
+||media.example.org^$script,~image
+/widget.$domain=shop.example|~safe.shop.example
+||first.example.com^$~third-party
+@@||cdn.widgetworks.com^
+@@/banners/acceptable/*
+@@||ads.example.com/ok/$subdocument
+`
+
+// diffCheck asserts indexed and linear verdicts agree exactly.
+func diffCheck(t *testing.T, l *List, ctx *RequestCtx, req Request) {
+	t.Helper()
+	gotB, gotR := l.MatchCtx(ctx, req)
+	wantB, wantR := l.MatchLinear(req)
+	if gotB != wantB || gotR != wantR {
+		t.Fatalf("divergence on %+v:\n indexed = %v %v\n linear  = %v %v",
+			req, gotB, ruleRaw(gotR), wantB, ruleRaw(wantR))
+	}
+}
+
+func ruleRaw(r *Rule) string {
+	if r == nil {
+		return "<nil>"
+	}
+	return r.Raw
+}
+
+// TestDifferentialStructuredURLs drives both match paths with URLs built
+// from the vocabulary of the rules themselves — hosts, paths, and
+// fragments chosen so a large share of requests hit, graze, or narrowly
+// miss rules — across resource types and document hosts.
+func TestDifferentialStructuredURLs(t *testing.T) {
+	l := mustParse(t, diffList)
+	rng := rand.New(rand.NewSource(42))
+
+	hosts := []string{
+		"ads.example.com", "sub.ads.example.com", "notads.example.com",
+		"tracker01.example.net", "track.example.net", "rack.example.net",
+		"g.shortlabel.example", "ad-serv.example.com", "adserv.example.com",
+		"promo.example.org", "media.example.org", "first.example.com",
+		"cdn.widgetworks.com", "www.streamflicks.com", "x.com", "q.co.uk",
+	}
+	paths := []string{
+		"/", "/banners/728x90", "/banners/acceptable/1", "/banner/a/b/img",
+		"/banner/img", "/ad.js", "/ads", "/ads/", "/AdBanner.gif",
+		"/movie.swf", "/movie.swf?x=1", "/fooXbar", "/foo/deep/bar",
+		"/creative01/x", "/widget.js", "/ok/frame", "/article/2014/01/x",
+		"/x/ad/y", "/x/ad_iframe/y", "/path$with$dollars",
+	}
+	docHosts := []string{"", "www.news.net", "www.example.com", "shop.example",
+		"safe.shop.example", "www.shop.example", "example.com"}
+	types := []ResourceType{TypeOther, TypeDocument, TypeSubdocument, TypeScript, TypeImage}
+
+	ctx := NewRequestCtx()
+	for i := 0; i < 20000; i++ {
+		scheme := "http://"
+		if rng.Intn(4) == 0 {
+			scheme = "https://"
+		}
+		u := scheme + hosts[rng.Intn(len(hosts))] + paths[rng.Intn(len(paths))]
+		switch rng.Intn(6) {
+		case 0:
+			u = strings.ToUpper(u)
+		case 1:
+			u += "?imp=" + fmt.Sprint(rng.Intn(1000)) + "&hop=0"
+		case 2:
+			u += "#frag"
+		}
+		req := Request{
+			URL:     u,
+			Type:    types[rng.Intn(len(types))],
+			DocHost: docHosts[rng.Intn(len(docHosts))],
+		}
+		diffCheck(t, l, ctx, req)
+	}
+}
+
+// TestDifferentialRandomBytes feeds both match paths arbitrary byte soup:
+// whatever the URL looks like, verdicts must agree.
+func TestDifferentialRandomBytes(t *testing.T) {
+	l := mustParse(t, diffList)
+	ctx := NewRequestCtx()
+	f := func(raw []byte, ty uint8, doc uint8) bool {
+		req := Request{
+			URL:  string(raw),
+			Type: ResourceType(ty % 5),
+		}
+		if doc%3 == 0 {
+			req.DocHost = "shop.example"
+		}
+		gotB, gotR := l.MatchCtx(ctx, req)
+		wantB, wantR := l.MatchLinear(req)
+		return gotB == wantB && gotR == wantR
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDifferentialSyntheticSeedList mirrors the seed study's generated
+// list shape (one host rule per network, generic creative patterns, a
+// widget exception) at realistic scale and verifies the two paths agree
+// over ad-serving and content URLs alike.
+func TestDifferentialSyntheticSeedList(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "||adserv.network%03d.com^\n", i)
+	}
+	b.WriteString("/banners/*\n/ad.js\n@@||cdn.widgetworks.com^\n")
+	l := mustParse(t, b.String())
+
+	ctx := NewRequestCtx()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		var u string
+		switch rng.Intn(4) {
+		case 0:
+			u = fmt.Sprintf("http://adserv.network%03d.com/serve?pub=www.site.com&slot=%d&imp=i%d&hop=0",
+				rng.Intn(210), rng.Intn(8), i) // includes hosts past the rule set
+		case 1:
+			u = fmt.Sprintf("http://www.site%04d.com/article/%d", rng.Intn(2000), i)
+		case 2:
+			u = fmt.Sprintf("http://cdn.widgetworks.com/embed?site=s%d", i)
+		default:
+			u = fmt.Sprintf("http://static.site%04d.com/banners/%dx%d.png", rng.Intn(2000), 300, 250)
+		}
+		diffCheck(t, l, ctx, Request{URL: u, Type: TypeSubdocument, DocHost: "www.site.com"})
+	}
+}

@@ -1,0 +1,281 @@
+package easylist
+
+import (
+	"strings"
+
+	"madave/internal/urlx"
+)
+
+// RequestCtx memoizes per-request derived state: the request URL's host
+// (needed by every $third-party rule) and the URL token list the index
+// probes with, each computed once per Match instead of once per candidate
+// rule. Hot loops should hold one RequestCtx and pass it to List.MatchCtx
+// so the token scratch buffer is reused across requests. A RequestCtx must
+// not be shared between goroutines.
+type RequestCtx struct {
+	req     Request
+	reqHost string
+	hostOK  bool
+	tokens  []string
+}
+
+// NewRequestCtx returns a reusable match context.
+func NewRequestCtx() *RequestCtx { return &RequestCtx{} }
+
+// reset points the context at a new request, dropping memoized state.
+func (c *RequestCtx) reset(req Request) {
+	c.req = req
+	c.reqHost = ""
+	c.hostOK = false
+	c.tokens = c.tokens[:0]
+}
+
+// requestHost returns urlx.Host(req.URL), computed at most once per request.
+func (c *RequestCtx) requestHost() string {
+	if !c.hostOK {
+		c.reqHost = urlx.Host(c.req.URL)
+		c.hostOK = true
+	}
+	return c.reqHost
+}
+
+// Matches reports whether the rule matches the request, considering pattern,
+// anchors, and options.
+func (r *Rule) Matches(req Request) bool {
+	var c RequestCtx
+	c.reset(req)
+	return r.matches(&c)
+}
+
+// matches is Matches against a prepared context.
+func (r *Rule) matches(c *RequestCtx) bool {
+	if !r.optionsAllow(c) {
+		return false
+	}
+	u := c.req.URL
+	switch {
+	case r.anchorHost:
+		return r.matchHostAnchor(u)
+	case r.anchorStart:
+		return matchPattern(r.pattern, u, 0, r.anchorEnd)
+	default:
+		return r.matchUnanchored(u)
+	}
+}
+
+// pruneKind classifies how the unanchored scan advances between match
+// attempts.
+type pruneKind uint8
+
+const (
+	pruneNone pruneKind = iota // no literal to key on: try every offset
+	pruneLit                   // jump to occurrences of pruneByte (case-folded)
+	pruneSep                   // pattern starts with '^': jump to separator bytes
+)
+
+// prunePlan derives the scan strategy from the pattern's first effective
+// element (leading '*'s are transparent: they only widen where the rest may
+// begin, which the outer scan already does).
+func prunePlan(pat string) (pruneKind, byte) {
+	for i := 0; i < len(pat); i++ {
+		switch c := pat[i]; c {
+		case '*':
+			continue
+		case '^':
+			return pruneSep, 0
+		default:
+			if 'A' <= c && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			return pruneLit, c
+		}
+	}
+	return pruneNone, 0
+}
+
+// matchUnanchored tries the pattern at every viable start offset, using the
+// precomputed prune to skip offsets that cannot begin a match: patterns
+// opening with a literal byte jump between its (case-folded) occurrences,
+// and patterns opening with '^' jump between separator bytes instead of
+// silently re-walking every offset.
+func (r *Rule) matchUnanchored(u string) bool {
+	switch r.pruneKind {
+	case pruneLit:
+		for i := 0; ; i++ {
+			j := indexByteFold(u, i, r.pruneByte)
+			if j < 0 {
+				return false
+			}
+			if matchPattern(r.pattern, u, j, r.anchorEnd) {
+				return true
+			}
+			i = j
+		}
+	case pruneSep:
+		for i := 0; i < len(u); i++ {
+			if isSeparator(u[i]) && matchPattern(r.pattern, u, i, r.anchorEnd) {
+				return true
+			}
+		}
+		// A leading '^' may also be satisfied by the end of the URL.
+		return matchPattern(r.pattern, u, len(u), r.anchorEnd)
+	default:
+		for i := 0; i <= len(u); i++ {
+			if matchPattern(r.pattern, u, i, r.anchorEnd) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// indexByteFold returns the first index >= from of lower or its ASCII
+// uppercase twin in s, or -1. Matching is case-insensitive, so the prune
+// must be too: searching only the pattern's literal case would skip over
+// valid starts in differently-cased URLs.
+func indexByteFold(s string, from int, lower byte) int {
+	if from > len(s) {
+		return -1
+	}
+	j := strings.IndexByte(s[from:], lower)
+	if 'a' <= lower && lower <= 'z' {
+		k := strings.IndexByte(s[from:], lower-'a'+'A')
+		if j < 0 || (k >= 0 && k < j) {
+			j = k
+		}
+	}
+	if j < 0 {
+		return -1
+	}
+	return from + j
+}
+
+// matchHostAnchor implements the || anchor: the pattern must match starting
+// at the URL's host, or at any subdomain-label boundary within the host.
+func (r *Rule) matchHostAnchor(u string) bool {
+	hostStart := strings.Index(u, "://")
+	if hostStart < 0 {
+		return false
+	}
+	hostStart += 3
+	hostEnd := hostStart
+	for hostEnd < len(u) && u[hostEnd] != '/' && u[hostEnd] != '?' && u[hostEnd] != '#' {
+		hostEnd++
+	}
+	// Candidate positions: start of host and each position after a dot.
+	for i := hostStart; i < hostEnd; i++ {
+		if i == hostStart || u[i-1] == '.' {
+			if matchPattern(r.pattern, u, i, r.anchorEnd) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// matchPattern matches the ABP pattern alphabet against s starting exactly
+// at offset start: literal bytes (ASCII case-folded), '*' (any run,
+// possibly empty), and '^' (one separator byte, or the end of the URL).
+// anchorEnd pins the match to the end of s.
+//
+// The loop is an iterative two-pointer glob matcher with a single-'*'
+// backtrack point: on a mismatch it resumes after the most recent '*' with
+// one more byte absorbed. That bounds the worst case at
+// O(len(s)·len(pat)) — the recursive formulation it replaces went
+// exponential on pathological many-star patterns.
+func matchPattern(pat, s string, start int, anchorEnd bool) bool {
+	pi, si := 0, start
+	backPi, backSi := -1, 0
+	for {
+		if pi < len(pat) {
+			c := pat[pi]
+			switch {
+			case c == '*':
+				// Collapse consecutive stars and record the resume point.
+				for pi < len(pat) && pat[pi] == '*' {
+					pi++
+				}
+				backPi, backSi = pi, si
+				continue
+			case si < len(s) && ((c == '^' && isSeparator(s[si])) || (c != '^' && eqFold(s[si], c))):
+				pi++
+				si++
+				continue
+			case si == len(s) && c == '^':
+				// '^' is also satisfied, zero-width, by the end of the URL,
+				// however many pattern bytes ('^' or '*') follow it.
+				pi++
+				continue
+			}
+		} else if !anchorEnd || si == len(s) {
+			return true
+		}
+		// Mismatch: retry from the last '*', absorbing one more byte.
+		if backPi < 0 || backSi >= len(s) {
+			return false
+		}
+		backSi++
+		pi, si = backPi, backSi
+	}
+}
+
+// isSeparator implements the ABP separator class: anything that is not a
+// letter, digit, or one of "_-.%".
+func isSeparator(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return false
+	case c == '_' || c == '-' || c == '.' || c == '%':
+		return false
+	}
+	return true
+}
+
+// eqFold compares two bytes ASCII case-insensitively: ABP matching is
+// case-insensitive by default.
+func eqFold(a, b byte) bool {
+	if 'A' <= a && a <= 'Z' {
+		a += 'a' - 'A'
+	}
+	if 'A' <= b && b <= 'Z' {
+		b += 'a' - 'A'
+	}
+	return a == b
+}
+
+// optionsAllow checks the rule's option constraints against the request.
+func (r *Rule) optionsAllow(c *RequestCtx) bool {
+	if r.typeInclude != nil && !r.typeInclude[c.req.Type] {
+		return false
+	}
+	if r.typeExclude != nil && r.typeExclude[c.req.Type] {
+		return false
+	}
+	if r.thirdParty != nil {
+		third := true
+		if c.req.DocHost != "" {
+			third = !urlx.SameRegisteredDomain(c.requestHost(), c.req.DocHost)
+		}
+		if *r.thirdParty != third {
+			return false
+		}
+	}
+	if len(r.domainsInc) > 0 {
+		ok := false
+		for _, d := range r.domainsInc {
+			if urlx.IsSubdomainOf(c.req.DocHost, d) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	for _, d := range r.domainsExc {
+		if urlx.IsSubdomainOf(c.req.DocHost, d) {
+			return false
+		}
+	}
+	return true
+}

@@ -188,5 +188,9 @@ func EvaluateDefenses(s *Study, r *Results) ([]Comparison, error) {
 		urls = append(urls, "http://"+site.Host+"/?v=defense")
 	}
 	out = append(out, defense.EvaluateAdBlock(s.Universe, s.List, urls, s.Cfg.Seed+4))
+
+	// Adblock replay over the entire collected corpus: same blocker, no
+	// page re-rendering, so it covers every observed impression.
+	out = append(out, defense.ReplayAdBlock(s.List, r.Corpus))
 	return out, nil
 }

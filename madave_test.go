@@ -56,7 +56,7 @@ func TestEvaluateDefenses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cmps) != 5 {
+	if len(cmps) != 6 {
 		t.Fatalf("defenses = %d", len(cmps))
 	}
 	names := map[string]bool{}
@@ -66,7 +66,7 @@ func TestEvaluateDefenses(t *testing.T) {
 			t.Fatal("empty rendering")
 		}
 	}
-	for _, want := range []string{"shared-blacklist", "penalize-networks", "ad-path-guard", "iframe-sandbox", "adblock"} {
+	for _, want := range []string{"shared-blacklist", "penalize-networks", "ad-path-guard", "iframe-sandbox", "adblock", "adblock-replay"} {
 		if !names[want] {
 			t.Fatalf("missing defense %q in %v", want, names)
 		}
