@@ -1,0 +1,115 @@
+package madave
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"madave/internal/memnet"
+	"madave/internal/resilient"
+)
+
+// chaosStudyConfig is the soak configuration: a third of all requests are
+// faulted (latency on top), four racing workers, fast retry policy so the
+// soak finishes in seconds. VisitTimeout is disabled — the per-attempt
+// deadline bounds stalls deterministically. That deadline (250ms) is far
+// above any real in-memory dispatch and far below nothing a stall won't
+// hit, so which attempts time out never depends on machine speed.
+func chaosStudyConfig(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.CrawlSites = 80
+	cfg.Crawl.Days = 1
+	cfg.Crawl.Refreshes = 2
+	cfg.Crawl.Parallelism = 4
+	cfg.Crawl.VisitTimeout = -1
+	cfg.Crawl.Retry = resilient.Policy{
+		MaxAttempts:    3,
+		BaseDelay:      time.Microsecond,
+		MaxDelay:       20 * time.Microsecond,
+		AttemptTimeout: 250 * time.Millisecond,
+	}
+	cfg.AnalysisRetry = cfg.Crawl.Retry
+	cfg.OracleParallelism = 4
+	prof := memnet.UniformProfile(0.35)
+	cfg.Chaos = &prof
+	return cfg
+}
+
+// chaosRun executes crawl + classification under chaos and returns the
+// stats string, the sorted corpus hash digest, and the oracle result.
+func chaosRun(t *testing.T, seed uint64) (string, string, *Results) {
+	t.Helper()
+	s, err := NewStudy(chaosStudyConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corp, st := s.Crawl()
+	res := s.Classify(corp)
+	rep := s.Analyze(corp, res, st)
+
+	hashes := make([]string, 0, corp.Len())
+	for _, ad := range corp.All() {
+		hashes = append(hashes, ad.Hash)
+	}
+	sort.Strings(hashes)
+	return fmt.Sprintf("%+v", *st), strings.Join(hashes, "\n"),
+		&Results{Corpus: corp, CrawlStats: st, Oracle: res, Report: rep}
+}
+
+// TestChaosSoak is the acceptance gate for the fault-injection substrate:
+// with ≥30% of requests faulted, the full pipeline (crawl → oracle) must
+//
+//   - complete without deadlock and leak no goroutines,
+//   - produce a non-empty deduplicated corpus,
+//   - produce byte-identical crawl statistics and the same corpus across
+//     two same-seed runs, and
+//   - classify the corpus, counting degraded verdicts instead of dying.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	before := runtime.NumGoroutine()
+
+	s1, h1, r1 := chaosRun(t, 777)
+	s2, h2, _ := chaosRun(t, 777)
+
+	if s1 != s2 {
+		t.Fatalf("crawl stats diverged across same-seed chaos runs:\n%s\n%s", s1, s2)
+	}
+	if h1 != h2 {
+		t.Fatal("corpus diverged across same-seed chaos runs")
+	}
+	if r1.Corpus.Len() == 0 {
+		t.Fatal("chaos starved the corpus")
+	}
+	st := r1.CrawlStats
+	if st.Retries == 0 {
+		t.Fatalf("no retries under 35%% faults: %+v", st)
+	}
+	if st.PageErrors != st.NXDomainErrors+st.TimeoutErrors+st.HTTPErrors+st.OtherErrors {
+		t.Fatalf("error split does not sum: %+v", st)
+	}
+	if r1.Oracle.Scanned != r1.Corpus.Len() {
+		t.Fatalf("oracle scanned %d of %d", r1.Oracle.Scanned, r1.Corpus.Len())
+	}
+
+	// The pipeline must wind down completely: allow the runtime a moment to
+	// retire worker goroutines, then require we are back near the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	adcrawl -o corpus.jsonl [-seed N] [-sites N] [-days N] [-refreshes N]
+//	        [-chaos RATE]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"madave"
+	"madave/internal/memnet"
 )
 
 func main() {
@@ -28,6 +30,7 @@ func main() {
 		days      = flag.Int("days", 1, "crawl days")
 		refreshes = flag.Int("refreshes", 5, "page refreshes per visit")
 		workers   = flag.Int("workers", 8, "crawl parallelism")
+		chaos     = flag.Float64("chaos", 0, "injected network fault rate in [0,1] (0 = off); faults are seeded, so crawls stay reproducible")
 	)
 	flag.Parse()
 
@@ -37,6 +40,10 @@ func main() {
 	cfg.Crawl.Days = *days
 	cfg.Crawl.Refreshes = *refreshes
 	cfg.Crawl.Parallelism = *workers
+	if *chaos > 0 {
+		prof := memnet.UniformProfile(*chaos)
+		cfg.Chaos = &prof
+	}
 
 	study, err := madave.NewStudy(cfg)
 	if err != nil {
@@ -47,6 +54,14 @@ func main() {
 		stats.PagesVisited, stats.AdFrames, corp.Len(), stats.Duplicates)
 	fmt.Printf("sandbox census: %d/%d ad iframes sandboxed\n",
 		stats.SandboxedAds, stats.AdFrames)
+	if *chaos > 0 {
+		fmt.Printf("resilience: %d retries, %d attempt timeouts, %d truncations, %d circuit opens (%d requests shed), %d degraded pages\n",
+			stats.Retries, stats.Timeouts, stats.Truncations,
+			stats.CircuitOpens, stats.CircuitShortCircuits, stats.DegradedPages)
+		fmt.Printf("page errors: %d (%d nxdomain, %d timeout, %d http, %d other)\n",
+			stats.PageErrors, stats.NXDomainErrors, stats.TimeoutErrors,
+			stats.HTTPErrors, stats.OtherErrors)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -7,7 +7,7 @@
 // Usage:
 //
 //	madstudy [-seed N] [-sites N] [-days N] [-refreshes N] [-workers N]
-//	         [-defenses] [-corpus out.jsonl] [-csv dir]
+//	         [-chaos RATE] [-defenses] [-corpus out.jsonl] [-csv dir]
 package main
 
 import (
@@ -20,6 +20,7 @@ import (
 
 	"madave"
 	"madave/internal/analysis"
+	"madave/internal/memnet"
 	"madave/internal/netcap"
 )
 
@@ -41,6 +42,7 @@ func main() {
 		csvDir    = flag.String("csv", "", "write figure CSVs into this directory")
 		mdOut     = flag.String("md", "", "write the full Markdown report to this file")
 		traceOut  = flag.String("trace", "", "capture all crawl HTTP traffic and write it (JSON lines) to this file")
+		chaos     = flag.Float64("chaos", 0, "injected network fault rate in [0,1] (0 = off); faults are seeded, so the study stays reproducible")
 	)
 	flag.Parse()
 
@@ -51,6 +53,10 @@ func main() {
 	cfg.Crawl.Refreshes = *refreshes
 	cfg.Crawl.Parallelism = *workers
 	cfg.OracleParallelism = *workers
+	if *chaos > 0 {
+		prof := memnet.UniformProfile(*chaos)
+		cfg.Chaos = &prof
+	}
 
 	start := time.Now()
 	study, err := madave.NewStudy(cfg)
@@ -84,12 +90,24 @@ func main() {
 	fmt.Printf("crawl: %d pages, %d ad frames, %d unique ads (%v)\n",
 		stats.PagesVisited, stats.AdFrames, corp.Len(),
 		time.Since(crawlStart).Round(time.Millisecond))
+	if *chaos > 0 {
+		fmt.Printf("resilience: %d retries, %d attempt timeouts, %d truncations, %d circuit opens (%d requests shed), %d degraded pages\n",
+			stats.Retries, stats.Timeouts, stats.Truncations,
+			stats.CircuitOpens, stats.CircuitShortCircuits, stats.DegradedPages)
+		fmt.Printf("page errors: %d (%d nxdomain, %d timeout, %d http, %d other)\n",
+			stats.PageErrors, stats.NXDomainErrors, stats.TimeoutErrors,
+			stats.HTTPErrors, stats.OtherErrors)
+	}
 
 	oracleStart := time.Now()
 	verdicts := study.Classify(corp)
-	fmt.Printf("oracle: %d incidents among %d ads — %.2f%% malicious (%v)\n\n",
+	fmt.Printf("oracle: %d incidents among %d ads — %.2f%% malicious (%v)\n",
 		verdicts.MaliciousCount(), verdicts.Scanned, 100*verdicts.MaliciousRate(),
 		time.Since(oracleStart).Round(time.Millisecond))
+	if verdicts.Degraded > 0 {
+		fmt.Printf("oracle: %d verdicts rest on partial (degraded) evidence\n", verdicts.Degraded)
+	}
+	fmt.Println()
 
 	report := study.Analyze(corp, verdicts, stats)
 	fmt.Println(report.RenderText())

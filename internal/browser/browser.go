@@ -14,6 +14,7 @@
 package browser
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -316,21 +317,42 @@ const maxBodyBytes = 1 << 20
 
 // Load fetches and renders the document at url. referer may be empty.
 func (b *Browser) Load(url, referer string) (*Page, error) {
-	return b.loadFrame(url, referer, 0, false, "")
+	return b.LoadContext(context.Background(), url, referer)
+}
+
+// LoadContext is Load under a caller-supplied context: the deadline (or
+// cancellation) bounds every fetch the page triggers — the document itself,
+// its redirects, subresources, script-driven requests, and child iframes.
+// When the context ends mid-render, the returned page keeps whatever was
+// already loaded (partial pages still count, like the paper's crawler
+// keeping whatever a flaky ad server managed to deliver).
+func (b *Browser) LoadContext(ctx context.Context, url, referer string) (*Page, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return b.loadFrame(ctx, url, referer, 0, false, "")
 }
 
 // LoadHTML renders an HTML document without fetching it — the honeyclient
 // re-analyzes corpus snapshots this way. baseURL provides the resolution
 // context for relative references.
 func (b *Browser) LoadHTML(html, baseURL string) *Page {
+	return b.LoadHTMLContext(context.Background(), html, baseURL)
+}
+
+// LoadHTMLContext is LoadHTML under a caller-supplied context.
+func (b *Browser) LoadHTMLContext(ctx context.Context, html, baseURL string) *Page {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	page := &Page{URL: baseURL, FinalURL: baseURL, Status: 200, RedirectHops: []string{baseURL}}
 	page.Doc = htmlparse.Parse(html)
-	b.processDocument(page, 0, false)
+	b.processDocument(ctx, page, 0, false)
 	return page
 }
 
 // loadFrame fetches one document, following HTTP redirects, then renders it.
-func (b *Browser) loadFrame(url, referer string, depth int, sandboxed bool, sandboxTokens string) (*Page, error) {
+func (b *Browser) loadFrame(ctx context.Context, url, referer string, depth int, sandboxed bool, sandboxTokens string) (*Page, error) {
 	page := &Page{URL: url, Sandboxed: sandboxed, sandboxTokens: sandboxTokens}
 	cur := url
 	hops := []string{url}
@@ -340,7 +362,7 @@ func (b *Browser) loadFrame(url, referer string, depth int, sandboxed bool, sand
 			return page, fmt.Errorf("browser: redirect limit exceeded at %s", cur)
 		}
 		var err error
-		resp, err = b.get(cur, referer)
+		resp, err = b.get(ctx, cur, referer)
 		if err != nil {
 			page.Errors = append(page.Errors, err.Error())
 			page.FinalURL = cur
@@ -381,20 +403,20 @@ func (b *Browser) loadFrame(url, referer string, depth int, sandboxed bool, sand
 		return page, nil
 	}
 	page.Doc = htmlparse.Parse(string(body))
-	b.processDocument(page, depth, sandboxed)
+	b.processDocument(ctx, page, depth, sandboxed)
 	return page, nil
 }
 
 // processDocument runs scripts, loads subresources, and recurses into
 // iframes for an already-parsed page.
-func (b *Browser) processDocument(page *Page, depth int, sandboxed bool) {
+func (b *Browser) processDocument(ctx context.Context, page *Page, depth int, sandboxed bool) {
 	allowScripts := !sandboxed || b.sandboxAllows(page, "allow-scripts")
 	if allowScripts {
-		b.runScripts(page, sandboxed)
+		b.runScripts(ctx, page, sandboxed)
 	}
-	b.loadResources(page)
+	b.loadResources(ctx, page)
 	if depth < b.MaxFrameDepth {
-		b.loadFrames(page, depth)
+		b.loadFrames(ctx, page, depth)
 	}
 }
 
@@ -415,12 +437,13 @@ func (b *Browser) blockedBy(url string, rt easylist.ResourceType, docHost string
 	return blocked
 }
 
-// get issues a single GET with the browser's headers, honoring the blocker.
-func (b *Browser) get(url, referer string) (*http.Response, error) {
+// get issues a single GET with the browser's headers, honoring the blocker
+// and the caller's context.
+func (b *Browser) get(ctx context.Context, url, referer string) (*http.Response, error) {
 	if b.Blocker != nil && b.blockedBy(url, easylist.TypeSubdocument, urlx.Host(referer)) {
 		return nil, &BlockedError{URL: url}
 	}
-	req, err := http.NewRequest(http.MethodGet, url, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -449,8 +472,9 @@ func IsNXDomain(err error) bool {
 }
 
 // loadResources fetches images, embeds/objects, and external scripts found
-// in the document.
-func (b *Browser) loadResources(page *Page) {
+// in the document. A failed subresource is recorded and skipped; the page
+// keeps rendering with what it has.
+func (b *Browser) loadResources(ctx context.Context, page *Page) {
 	var docHost string
 	if b.Blocker != nil {
 		docHost = urlx.Host(page.FinalURL)
@@ -475,7 +499,7 @@ func (b *Browser) loadResources(page *Page) {
 			}
 		}
 		res := Resource{URL: abs, Tag: tag}
-		resp, err := b.get(abs, page.FinalURL)
+		resp, err := b.get(ctx, abs, page.FinalURL)
 		if err != nil {
 			res.Err = err.Error()
 			page.Resources = append(page.Resources, res)
@@ -506,8 +530,11 @@ func (b *Browser) loadResources(page *Page) {
 	}
 }
 
-// loadFrames recursively loads iframe children.
-func (b *Browser) loadFrames(page *Page, depth int) {
+// loadFrames recursively loads iframe children. A child that fails to load
+// is still returned (with its own Errors populated), and the failure is
+// echoed into the parent's Errors — partial pages keep their surviving
+// frames.
+func (b *Browser) loadFrames(ctx context.Context, page *Page, depth int) {
 	frames := page.Doc.Find("iframe")
 	page.FrameElems = frames
 	var docHost string
@@ -529,7 +556,10 @@ func (b *Browser) loadFrames(page *Page, depth int) {
 		}
 		sandboxed := b.EnforceSandbox && f.HasAttr("sandbox")
 		tokens, _ := f.Attr("sandbox")
-		child, _ := b.loadFrame(abs, page.FinalURL, depth+1, sandboxed, tokens)
+		child, err := b.loadFrame(ctx, abs, page.FinalURL, depth+1, sandboxed, tokens)
+		if err != nil {
+			page.Errors = append(page.Errors, fmt.Sprintf("iframe %s: %v", abs, err))
+		}
 		if child != nil {
 			page.Frames = append(page.Frames, child)
 		}

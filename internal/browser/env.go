@@ -1,6 +1,7 @@
 package browser
 
 import (
+	"context"
 	"strings"
 
 	"madave/internal/htmlparse"
@@ -13,8 +14,8 @@ import (
 // and appended to the document after each script, and any scripts it
 // produced are executed too (bounded). setTimeout callbacks run after the
 // synchronous pass, ordered by delay — the browser's logical event loop.
-func (b *Browser) runScripts(page *Page, sandboxed bool) {
-	ctx := &scriptCtx{b: b, page: page, sandboxed: sandboxed}
+func (b *Browser) runScripts(reqCtx context.Context, page *Page, sandboxed bool) {
+	ctx := &scriptCtx{b: b, page: page, sandboxed: sandboxed, reqCtx: reqCtx}
 	interp := minijs.New()
 	interp.Budget = b.ScriptBudget
 	ctx.install(interp)
@@ -68,6 +69,9 @@ type scriptCtx struct {
 	b         *Browser
 	page      *Page
 	sandboxed bool
+	// reqCtx bounds every network fetch a script triggers (navigations,
+	// external script loads) with the page visit's deadline.
+	reqCtx context.Context
 	writeBuf  strings.Builder
 	timers    []timerEntry
 	timerSeq  int
@@ -100,7 +104,7 @@ func (ctx *scriptCtx) runExternalScript(in *minijs.Interp, src string) {
 	ctx.externalRan[abs] = true
 
 	res := Resource{URL: abs, Tag: "script"}
-	resp, err := ctx.b.get(abs, ctx.page.FinalURL)
+	resp, err := ctx.b.get(ctx.reqCtx, abs, ctx.page.FinalURL)
 	if err != nil {
 		res.Err = err.Error()
 		ctx.page.Resources = append(ctx.page.Resources, res)
@@ -432,7 +436,7 @@ func (ctx *scriptCtx) navigate(kind NavigationKind, target string) {
 
 	if ctx.b.FollowNavigations && ctx.navCount < maxFollowedNavigations {
 		ctx.navCount++
-		resp, err := ctx.b.get(abs, ctx.page.FinalURL)
+		resp, err := ctx.b.get(ctx.reqCtx, abs, ctx.page.FinalURL)
 		if err != nil {
 			nav.NXDomain = IsNXDomain(err)
 		} else {
@@ -449,7 +453,7 @@ func (ctx *scriptCtx) navigate(kind NavigationKind, target string) {
 			if resp.StatusCode >= 300 && resp.StatusCode < 400 {
 				if loc := resp.Header.Get("Location"); loc != "" {
 					next := urlx.Resolve(abs, loc)
-					if resp2, err2 := ctx.b.get(next, abs); err2 == nil {
+					if resp2, err2 := ctx.b.get(ctx.reqCtx, next, abs); err2 == nil {
 						ct2 := mediaType(resp2.Header.Get("Content-Type"))
 						body2 := readCapped(resp2)
 						resp2.Body.Close()

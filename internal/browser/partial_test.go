@@ -1,0 +1,138 @@
+package browser
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"madave/internal/memnet"
+)
+
+// partialWorld is a publisher page with three iframes: one healthy, one on
+// a dead (NX) host, and one whose server resets — plus a broken image. The
+// browser must return the surviving frame and record every failure.
+func partialWorld() *memnet.Universe {
+	u := memnet.NewUniverse()
+	u.HandleFunc("pub.partial.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body>
+			<img src="http://deadimg.partial.example.zz/x.png">
+			<iframe src="http://good.partial.example.com/ad"></iframe>
+			<iframe src="http://gone.partial.example.zz/ad"></iframe>
+			<iframe src="http://reset.partial.example.com/ad"></iframe>
+		</body></html>`)
+	})
+	u.HandleFunc("good.partial.example.com", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		io.WriteString(w, `<html><body><p id="ad">surviving ad</p></body></html>`)
+	})
+	return u
+}
+
+func TestPartialPageKeepsSurvivingFrames(t *testing.T) {
+	u := partialWorld()
+	ch := memnet.NewChaos(&memnet.Transport{U: u}, 1, memnet.FaultProfile{})
+	ch.SetHostProfile("reset.partial.example.com", memnet.FaultProfile{ResetRate: 1})
+	client := &http.Client{
+		Transport: ch,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}
+	b := New(client, UserProfile())
+
+	page, err := b.Load("http://pub.partial.example.com/", "")
+	if err != nil {
+		t.Fatalf("top page must load: %v", err)
+	}
+
+	// All three iframes are returned: the survivor rendered, the failed
+	// ones as husks carrying their own error records.
+	if len(page.Frames) != 3 {
+		t.Fatalf("frames = %d, want 3 (failures must not drop frames)", len(page.Frames))
+	}
+	var survivors, failed int
+	for _, f := range page.Frames {
+		if f.Doc != nil && f.Doc.FindFirst("p") != nil {
+			survivors++
+		}
+		if len(f.Errors) > 0 {
+			failed++
+		}
+	}
+	if survivors != 1 {
+		t.Fatalf("surviving frames = %d, want 1", survivors)
+	}
+	if failed != 2 {
+		t.Fatalf("failed frames carrying errors = %d, want 2", failed)
+	}
+
+	// The parent aggregates each child failure and the broken image is in
+	// Resources with its error, not silently dropped.
+	var nxNoted, resetNoted bool
+	for _, e := range page.Errors {
+		if strings.Contains(e, "gone.partial.example.zz") {
+			nxNoted = true
+		}
+		if strings.Contains(e, "reset.partial.example.com") {
+			resetNoted = true
+		}
+	}
+	if !nxNoted || !resetNoted {
+		t.Fatalf("parent Errors missing child failures: %v", page.Errors)
+	}
+	var imgErr bool
+	for _, r := range page.Resources {
+		if strings.Contains(r.URL, "deadimg") && r.Err != "" {
+			imgErr = true
+		}
+	}
+	if !imgErr {
+		t.Fatalf("broken image not recorded: %+v", page.Resources)
+	}
+}
+
+func TestLoadContextDeadlineYieldsPartialPage(t *testing.T) {
+	u := partialWorld()
+	// Stall everything: with a short visit deadline the top page's body
+	// read blocks until the deadline, and Load returns what it has instead
+	// of hanging.
+	ch := memnet.NewChaos(&memnet.Transport{U: u}, 1, memnet.FaultProfile{StallRate: 1})
+	client := &http.Client{Transport: ch}
+	b := New(client, UserProfile())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	page, err := b.LoadContext(ctx, "http://pub.partial.example.com/", "")
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("load did not respect the visit deadline")
+	}
+	// The stalled body truncates the document: the page comes back (maybe
+	// empty, never hung) and the error—if any—is a deadline, not a hang.
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+	if page == nil {
+		t.Fatal("no page returned")
+	}
+}
+
+func TestLoadContextCancelledBeforeStart(t *testing.T) {
+	u := partialWorld()
+	client := memnet.Client(u)
+	b := New(client, UserProfile())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	page, err := b.LoadContext(ctx, "http://pub.partial.example.com/", "")
+	if err == nil {
+		t.Fatal("expected error from cancelled context")
+	}
+	if page == nil || len(page.Errors) == 0 {
+		t.Fatal("cancelled load should still return the page husk with the error recorded")
+	}
+}

@@ -8,6 +8,8 @@ package core
 
 import (
 	"fmt"
+	"net/http"
+	"time"
 
 	"madave/internal/adnet"
 	"madave/internal/adserver"
@@ -21,6 +23,7 @@ import (
 	"madave/internal/memnet"
 	"madave/internal/netcap"
 	"madave/internal/oracle"
+	"madave/internal/resilient"
 	"madave/internal/webgen"
 )
 
@@ -42,6 +45,16 @@ type Config struct {
 	RandomSites int
 	// OracleParallelism bounds concurrent oracle classifications.
 	OracleParallelism int
+	// Chaos, when non-nil, wraps every pipeline transport (crawler workers
+	// and the honeyclient) in the seeded fault-injection layer with this
+	// profile. Faults are a pure function of (Seed, URL, attempt), so a
+	// chaotic study is as reproducible as a calm one.
+	Chaos *memnet.FaultProfile
+	// AnalysisRetry configures the honeyclient's resilience layer (zero
+	// fields take resilient defaults) and AnalysisTimeout bounds each
+	// instrumented execution (0 = none).
+	AnalysisRetry   resilient.Policy
+	AnalysisTimeout time.Duration
 }
 
 // DefaultConfig returns a laptop-scale study that finishes in seconds while
@@ -95,8 +108,14 @@ func NewStudy(cfg Config) (*Study, error) {
 		return nil, fmt.Errorf("core: building easylist: %w", err)
 	}
 
+	hc := honeyclient.New(u, cfg.Seed)
+	hc.Retry = cfg.AnalysisRetry
+	hc.Timeout = cfg.AnalysisTimeout
+	if cfg.Chaos != nil {
+		hc.Transport = chaosTransport(u, cfg.Seed, *cfg.Chaos)
+	}
 	ora := oracle.New(
-		honeyclient.New(u, cfg.Seed),
+		hc,
 		blacklist.Build(eco, cfg.Seed),
 		avscan.New(cfg.Seed),
 	)
@@ -140,18 +159,35 @@ func (s *Study) Crawl() (*corpus.Corpus, *crawler.Stats) {
 
 // CrawlSubset runs the collection phase over an explicit site list.
 func (s *Study) CrawlSubset(sites []*webgen.Site) (*corpus.Corpus, *crawler.Stats) {
-	cr := crawler.New(s.Universe, s.List, s.Web, s.Cfg.Crawl)
-	return cr.Run(sites)
+	return s.newCrawler().Run(sites)
 }
 
 // CrawlTraced is Crawl with full HTTP traffic capture (§3.1: the paper
 // captured all traffic during crawling). The trace can be saved with
 // netcap's Save.
 func (s *Study) CrawlTraced() (*corpus.Corpus, *crawler.Stats, *netcap.Capture) {
-	cr := crawler.New(s.Universe, s.List, s.Web, s.Cfg.Crawl)
+	cr := s.newCrawler()
 	cr.KeepTraffic = true
 	corp, st := cr.Run(s.CrawlSites())
 	return corp, st, cr.Traffic()
+}
+
+// newCrawler assembles the crawl-phase crawler, chaos-wrapped when the
+// study injects faults.
+func (s *Study) newCrawler() *crawler.Crawler {
+	cr := crawler.New(s.Universe, s.List, s.Web, s.Cfg.Crawl)
+	if s.Cfg.Chaos != nil {
+		cr.Transport = chaosTransport(s.Universe, s.Cfg.Seed, *s.Cfg.Chaos)
+	}
+	return cr
+}
+
+// chaosTransport builds a per-worker transport factory that layers the
+// fault injector over the in-memory network.
+func chaosTransport(u *memnet.Universe, seed uint64, prof memnet.FaultProfile) func() http.RoundTripper {
+	return func() http.RoundTripper {
+		return memnet.NewChaos(&memnet.Transport{U: u}, seed, prof)
+	}
 }
 
 // Classify runs the oracle over a corpus.

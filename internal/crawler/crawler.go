@@ -4,27 +4,38 @@
 // advertisement iframes with EasyList, and snapshots each rendered ad into
 // the corpus.
 //
-// Visits fan out over a worker pool; each worker owns its own browser and
-// HTTP capture, so crawls scale with cores while staying deterministic in
-// what they collect (the served content depends only on impression IDs).
+// Visits fan out over a worker pool; each worker owns its own browser,
+// HTTP capture, and resilience state (retry transport + per-host circuit
+// breakers). Work is statically striped across workers — worker w handles
+// every Parallelism-th visit — so each worker sees a deterministic request
+// sequence and crawls are byte-for-byte reproducible per seed even under
+// injected faults.
 package crawler
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"madave/internal/browser"
 	"madave/internal/corpus"
 	"madave/internal/easylist"
 	"madave/internal/memnet"
 	"madave/internal/netcap"
+	"madave/internal/resilient"
 	"madave/internal/stats"
 	"madave/internal/urlx"
 	"madave/internal/webgen"
 )
+
+// DefaultVisitTimeout bounds one page visit (document, subresources,
+// scripts, child frames) when Config.VisitTimeout is zero.
+const DefaultVisitTimeout = 30 * time.Second
 
 // Config parameterizes a crawl.
 type Config struct {
@@ -36,8 +47,21 @@ type Config struct {
 	Refreshes int
 	// Parallelism is the worker count (0 = 4).
 	Parallelism int
-	// Seed drives per-worker browser randomness.
+	// Seed drives per-worker browser randomness and retry jitter.
 	Seed uint64
+	// VisitTimeout is the per-visit deadline (0 = DefaultVisitTimeout,
+	// negative = none). A visit that exceeds it yields a partial page; the
+	// crawler harvests whatever frames survived.
+	VisitTimeout time.Duration
+	// Retry configures the per-request resilience layer. Zero fields take
+	// resilient defaults; Seed is always overridden with Config.Seed so one
+	// knob reproduces a whole crawl.
+	Retry resilient.Policy
+	// BreakerThreshold and BreakerCooldown parameterize each worker's
+	// per-host circuit breakers (0 = resilient defaults: 5 consecutive
+	// failures open a host, 10 requests shed per open period).
+	BreakerThreshold int
+	BreakerCooldown  int
 }
 
 // DefaultConfig mirrors the paper's five refreshes with a scaled-down
@@ -46,16 +70,35 @@ func DefaultConfig() Config {
 	return Config{Days: 2, Refreshes: 5, Parallelism: 4, Seed: 1}
 }
 
-// Stats aggregates crawl-wide observations.
+// Stats aggregates crawl-wide observations. Every field is a sum of
+// per-visit observations that depend only on (seed, URL, attempt), so two
+// same-seed crawls produce identical Stats regardless of scheduling.
 type Stats struct {
-	PagesVisited   int64
+	PagesVisited int64
+	// PageErrors counts top-level visits that failed, split by cause below
+	// (PageErrors = NXDomainErrors + TimeoutErrors + HTTPErrors +
+	// OtherErrors).
 	PageErrors     int64
+	NXDomainErrors int64 // the publisher host did not resolve
+	TimeoutErrors  int64 // the visit deadline (or cancellation) ended the load
+	HTTPErrors     int64 // the page came back with a 4xx/5xx status
+	OtherErrors    int64 // resets, redirect loops, open breakers, the rest
 	FramesSeen     int64 // all iframes on crawled pages
 	AdFrames       int64 // iframes EasyList classified as advertisements
 	NonAdFrames    int64
 	SandboxedAds   int64 // ad iframes carrying the sandbox attribute (§4.4)
 	SnapshotsTaken int64
 	Duplicates     int64
+	// DegradedPages counts visits that reported errors yet still yielded
+	// at least one frame — partial pages the crawler harvested anyway.
+	DegradedPages int64
+
+	// Resilience-layer totals for the whole crawl (see resilient.Counters).
+	Retries              int64
+	Timeouts             int64
+	Truncations          int64
+	CircuitOpens         int64
+	CircuitShortCircuits int64
 }
 
 // Crawler runs crawls against a universe.
@@ -120,49 +163,80 @@ type visit struct {
 // Run crawls the given sites and returns the deduplicated ad corpus plus
 // crawl statistics.
 func (c *Crawler) Run(sites []*webgen.Site) (*corpus.Corpus, *Stats) {
+	return c.RunContext(context.Background(), sites)
+}
+
+// RunContext is Run under a caller-supplied context: cancelling it stops
+// the crawl after the in-flight visits finish. Visits are striped
+// statically — worker w handles visits[i] where i%Parallelism == w — so
+// each worker's request sequence (and hence its browser RNG, cookie jar,
+// and circuit-breaker state) is identical run to run.
+func (c *Crawler) RunContext(ctx context.Context, sites []*webgen.Site) (*corpus.Corpus, *Stats) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	corp := corpus.New()
 	st := &Stats{}
 	c.mu.Lock()
 	c.traffic = nil
 	c.mu.Unlock()
 
-	work := make(chan visit, 256)
+	var visits []visit
+	for day := 1; day <= c.Config.Days; day++ {
+		for _, s := range sites {
+			for r := 0; r < c.Config.Refreshes; r++ {
+				visits = append(visits, visit{site: s, day: day, refresh: r})
+			}
+		}
+	}
+
+	counters := &resilient.Counters{}
 	var wg sync.WaitGroup
 	for w := 0; w < c.Config.Parallelism; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			b := c.newWorkerBrowser(worker)
+			b := c.newWorkerBrowser(worker, counters)
 			// Each worker owns a match context: the EasyList engine reuses
 			// its per-request scratch across the worker's whole crawl.
-			ctx := easylist.NewRequestCtx()
-			for v := range work {
-				c.crawlPage(b, ctx, v, corp, st)
+			mctx := easylist.NewRequestCtx()
+			for i := worker; i < len(visits); i += c.Config.Parallelism {
+				if ctx.Err() != nil {
+					return
+				}
+				c.crawlPage(ctx, b, mctx, visits[i], corp, st)
 			}
 		}(w)
 	}
-	for day := 1; day <= c.Config.Days; day++ {
-		for _, s := range sites {
-			for r := 0; r < c.Config.Refreshes; r++ {
-				work <- visit{site: s, day: day, refresh: r}
-			}
-		}
-	}
-	close(work)
 	wg.Wait()
 	st.Duplicates = int64(corp.Duplicates())
+	snap := counters.Snapshot()
+	st.Retries = snap.Retries
+	st.Timeouts = snap.Timeouts
+	st.Truncations = snap.Truncations
+	st.CircuitOpens = snap.BreakerOpens
+	st.CircuitShortCircuits = snap.BreakerShortCircuits
 	return corp, st
 }
 
-// newWorkerBrowser builds a per-worker browser with its own capture. The
-// crawler browses like a real user's Firefox (the paper drove the real
-// browser with Selenium).
-func (c *Crawler) newWorkerBrowser(worker int) *browser.Browser {
+// newWorkerBrowser builds a per-worker browser with its own capture and
+// resilience stack. The crawler browses like a real user's Firefox (the
+// paper drove the real browser with Selenium). The transport layers, inner
+// to outer: base (memnet or custom, possibly chaos-wrapped) -> resilient
+// retries/breakers -> capture — so the traffic log sees one transaction
+// per logical fetch, with retries invisible to it.
+func (c *Crawler) newWorkerBrowser(worker int, counters *resilient.Counters) *browser.Browser {
 	var rt http.RoundTripper = &memnet.Transport{U: c.Universe}
 	if c.Transport != nil {
 		rt = c.Transport()
 	}
-	cap := netcap.New(rt)
+	pol := c.Config.Retry
+	pol.Seed = c.Config.Seed
+	res := resilient.New(rt, pol, counters)
+	// A breaker set per worker: striped visits give each worker a
+	// deterministic request sequence, so breaker trips reproduce exactly.
+	res.Breakers = resilient.NewBreakerSet(c.Config.BreakerThreshold, c.Config.BreakerCooldown)
+	cap := netcap.New(res)
 	if c.KeepTraffic {
 		c.mu.Lock()
 		c.traffic = append(c.traffic, cap)
@@ -180,19 +254,37 @@ func (c *Crawler) newWorkerBrowser(worker int) *browser.Browser {
 	return b
 }
 
-// crawlPage loads one page visit and snapshots its ad iframes.
-func (c *Crawler) crawlPage(b *browser.Browser, ctx *easylist.RequestCtx, v visit, corp *corpus.Corpus, st *Stats) {
+// crawlPage loads one page visit under the visit deadline and snapshots
+// its ad iframes. A failed or partial load is not discarded: whatever
+// frames survived are still classified and harvested (graceful
+// degradation), with the failure cause tallied.
+func (c *Crawler) crawlPage(ctx context.Context, b *browser.Browser, mctx *easylist.RequestCtx, v visit, corp *corpus.Corpus, st *Stats) {
 	pageURL := fmt.Sprintf("http://%s/?v=d%dr%d", v.site.Host, v.day, v.refresh)
-	page, err := b.Load(pageURL, "")
+	vctx := ctx
+	if t := c.visitTimeout(); t > 0 {
+		var cancel context.CancelFunc
+		vctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	page, err := b.LoadContext(vctx, pageURL, "")
 	atomic.AddInt64(&st.PagesVisited, 1)
 	if err != nil {
 		atomic.AddInt64(&st.PageErrors, 1)
+		classifyPageError(st, err)
+	} else if page != nil && page.Status >= 400 {
+		atomic.AddInt64(&st.PageErrors, 1)
+		atomic.AddInt64(&st.HTTPErrors, 1)
+	}
+	if page == nil {
 		return
+	}
+	if (err != nil || len(page.Errors) > 0) && len(page.Frames) > 0 {
+		atomic.AddInt64(&st.DegradedPages, 1)
 	}
 
 	for _, frame := range page.Frames {
 		atomic.AddInt64(&st.FramesSeen, 1)
-		if !c.isAdFrame(ctx, frame.URL, v.site.Host) {
+		if !c.isAdFrame(mctx, frame.URL, v.site.Host) {
 			atomic.AddInt64(&st.NonAdFrames, 1)
 			continue
 		}
@@ -203,6 +295,31 @@ func (c *Crawler) crawlPage(b *browser.Browser, ctx *easylist.RequestCtx, v visi
 		ad := c.snapshot(frame, v)
 		atomic.AddInt64(&st.SnapshotsTaken, 1)
 		corp.Add(ad)
+	}
+}
+
+// visitTimeout resolves Config.VisitTimeout (0 = default, negative = none).
+func (c *Crawler) visitTimeout() time.Duration {
+	switch {
+	case c.Config.VisitTimeout < 0:
+		return 0
+	case c.Config.VisitTimeout == 0:
+		return DefaultVisitTimeout
+	}
+	return c.Config.VisitTimeout
+}
+
+// classifyPageError tallies a failed top-level visit into the split error
+// counters.
+func classifyPageError(st *Stats, err error) {
+	var nx *memnet.NXDomainError
+	switch {
+	case errors.As(err, &nx):
+		atomic.AddInt64(&st.NXDomainErrors, 1)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		atomic.AddInt64(&st.TimeoutErrors, 1)
+	default:
+		atomic.AddInt64(&st.OtherErrors, 1)
 	}
 }
 

@@ -1,0 +1,59 @@
+package honeyclient
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"madave/internal/adnet"
+	"madave/internal/memnet"
+	"madave/internal/resilient"
+)
+
+// TestAnalyzeDegradedUnderStall stalls every fetch: the analysis must come
+// back bounded by Timeout, marked Degraded, instead of hanging.
+func TestAnalyzeDegradedUnderStall(t *testing.T) {
+	u, srv := fixture(t)
+	pub, imp, _ := findImpression(t, srv, adnet.KindBenign)
+
+	h := New(u, 1)
+	h.Timeout = 60 * time.Millisecond
+	h.Retry = resilient.Policy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond, AttemptTimeout: 20 * time.Millisecond}
+	h.Transport = func() http.RoundTripper {
+		return memnet.NewChaos(&memnet.Transport{U: u}, 1, memnet.FaultProfile{StallRate: 1})
+	}
+
+	start := time.Now()
+	rep := h.Analyze(frameURL(srv, pub, imp))
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("analysis was not bounded")
+	}
+	if rep == nil {
+		t.Fatal("no report")
+	}
+	if !rep.Degraded || len(rep.RenderErrors) == 0 {
+		t.Fatalf("stalled analysis should be degraded: %+v", rep)
+	}
+}
+
+// TestAnalyzeDeterministicUnderChaos: same seed, same ad, same faults —
+// the report (evidence, features, verdict inputs) must be identical.
+func TestAnalyzeDeterministicUnderChaos(t *testing.T) {
+	u, srv := fixture(t)
+	pub, imp, _ := findImpression(t, srv, adnet.KindBenign)
+	url := frameURL(srv, pub, imp)
+
+	run := func() string {
+		h := New(u, 3)
+		h.Retry = resilient.Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond, AttemptTimeout: 250 * time.Millisecond}
+		h.Transport = func() http.RoundTripper {
+			return memnet.NewChaos(&memnet.Transport{U: u}, 3, memnet.UniformProfile(0.4))
+		}
+		return fmt.Sprintf("%+v", *h.Analyze(url))
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("reports diverged under same-seed chaos:\n%s\n%s", a, b)
+	}
+}

@@ -13,12 +13,15 @@
 package honeyclient
 
 import (
+	"context"
 	"net/http"
 	"strings"
+	"time"
 
 	"madave/internal/browser"
 	"madave/internal/memnet"
 	"madave/internal/netcap"
+	"madave/internal/resilient"
 	"madave/internal/stats"
 	"madave/internal/urlx"
 )
@@ -37,6 +40,9 @@ type Report struct {
 	URL string
 	// RenderErrors records load failures (informational).
 	RenderErrors []string
+	// Degraded is true when the analysis ran on a partial execution — some
+	// fetch or script failed — so the verdict rests on surviving evidence.
+	Degraded bool
 
 	// Heuristic flags (cloaking indicators).
 	NXRedirect     bool
@@ -106,8 +112,17 @@ type Honeyclient struct {
 	ModelThreshold float64
 	// ScriptBudget bounds per-ad script execution.
 	ScriptBudget int
-	// Seed derives the instrumented browser's randomness.
+	// Seed derives the instrumented browser's randomness and retry jitter.
 	Seed uint64
+	// Timeout bounds one ad's instrumented execution end to end (0 = no
+	// deadline). A timed-out analysis reports on surviving evidence.
+	Timeout time.Duration
+	// Transport, when non-nil, supplies the base HTTP transport instead of
+	// the default in-memory one (e.g. a chaos-wrapped transport).
+	Transport func() http.RoundTripper
+	// Retry configures the resilience layer between the browser and the
+	// transport (zero fields take resilient defaults; Seed comes from Seed).
+	Retry resilient.Policy
 
 	// Detector toggles for the DESIGN.md ablations: disabling a component
 	// shows its contribution to Table 1.
@@ -127,9 +142,17 @@ func New(u *memnet.Universe, seed uint64) *Honeyclient {
 }
 
 // newBrowser builds the instrumented browser: honeyclient profile (sparse
-// plugins, vulnerable Flash) over a fresh capture.
+// plugins, vulnerable Flash) over a resilient transport and a fresh
+// capture. Retries keep transient faults from eating evidence; the capture
+// sees one transaction per logical fetch.
 func (h *Honeyclient) newBrowser() (*browser.Browser, *netcap.Capture) {
-	cap := netcap.New(&memnet.Transport{U: h.Universe})
+	var rt http.RoundTripper = &memnet.Transport{U: h.Universe}
+	if h.Transport != nil {
+		rt = h.Transport()
+	}
+	pol := h.Retry
+	pol.Seed = h.Seed
+	cap := netcap.New(resilient.New(rt, pol, nil))
 	client := &http.Client{
 		Transport: cap,
 		CheckRedirect: func(req *http.Request, via []*http.Request) error {
@@ -147,12 +170,22 @@ func (h *Honeyclient) newBrowser() (*browser.Browser, *netcap.Capture) {
 // iframe's entry URL), like Wepawet receiving "the initial request for
 // advertisements from a publisher's website".
 func (h *Honeyclient) Analyze(frameURL string) *Report {
+	return h.AnalyzeContext(context.Background(), frameURL)
+}
+
+// AnalyzeContext is Analyze under a caller-supplied context; the deadline
+// (plus Timeout, when set) bounds the whole instrumented execution. A
+// partial execution still yields a report, marked Degraded.
+func (h *Honeyclient) AnalyzeContext(ctx context.Context, frameURL string) *Report {
+	ctx, cancel := h.bound(ctx)
+	defer cancel()
 	b, cap := h.newBrowser()
-	page, err := b.Load(frameURL, "")
+	page, err := b.LoadContext(ctx, frameURL, "")
 	rep := h.buildReport(frameURL, page, cap)
 	if err != nil {
 		rep.RenderErrors = append(rep.RenderErrors, err.Error())
 	}
+	rep.Degraded = len(rep.RenderErrors) > 0
 	return rep
 }
 
@@ -160,9 +193,29 @@ func (h *Honeyclient) Analyze(frameURL string) *Report {
 // subresources are still fetched from the universe, so blacklisted hosts
 // and payloads remain observable.
 func (h *Honeyclient) AnalyzeHTML(html, baseURL string) *Report {
+	return h.AnalyzeHTMLContext(context.Background(), html, baseURL)
+}
+
+// AnalyzeHTMLContext is AnalyzeHTML under a caller-supplied context.
+func (h *Honeyclient) AnalyzeHTMLContext(ctx context.Context, html, baseURL string) *Report {
+	ctx, cancel := h.bound(ctx)
+	defer cancel()
 	b, cap := h.newBrowser()
-	page := b.LoadHTML(html, baseURL)
-	return h.buildReport(baseURL, page, cap)
+	page := b.LoadHTMLContext(ctx, html, baseURL)
+	rep := h.buildReport(baseURL, page, cap)
+	rep.Degraded = len(rep.RenderErrors) > 0
+	return rep
+}
+
+// bound layers the honeyclient's own Timeout onto the caller's context.
+func (h *Honeyclient) bound(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if h.Timeout > 0 {
+		return context.WithTimeout(ctx, h.Timeout)
+	}
+	return ctx, func() {}
 }
 
 func (h *Honeyclient) buildReport(url string, page *browser.Page, cap *netcap.Capture) *Report {

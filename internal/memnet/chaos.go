@@ -1,0 +1,318 @@
+package memnet
+
+// This file is memnet's deterministic fault-injection layer. The paper's
+// crawler spent three months talking to the real, hostile web — slow ad
+// servers, NXDOMAIN flaps, 5xx bursts, truncated responses, stalled reads —
+// and the pipeline's resilience only means something if those conditions
+// are reproducible in tests. Chaos wraps any RoundTripper (normally
+// Transport) and injects faults as a pure function of (seed, URL, attempt),
+// so a crawl under chaos is exactly as repeatable as a crawl without it:
+// the same seed yields the same faults, the same retries, and the same
+// statistics, regardless of worker scheduling or wall-clock speed.
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"madave/internal/stats"
+)
+
+// attemptKey carries the retry attempt number through a request context so
+// fault decisions can differ per attempt (an NXDOMAIN *flap* resolves on
+// retry; a dead host stays dead) while remaining deterministic.
+type attemptKey struct{}
+
+// WithAttempt returns a context tagging the request as the n-th attempt
+// (1-based) of a logical fetch. The resilient retry layer sets it; Chaos
+// reads it.
+func WithAttempt(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, n)
+}
+
+// AttemptFrom extracts the attempt number from a context (1 when unset).
+func AttemptFrom(ctx context.Context) int {
+	if n, ok := ctx.Value(attemptKey{}).(int); ok && n > 0 {
+		return n
+	}
+	return 1
+}
+
+// ResetError models a TCP connection reset by the remote host.
+type ResetError struct{ Host string }
+
+func (e *ResetError) Error() string {
+	return fmt.Sprintf("memnet: read %s: connection reset by peer", e.Host)
+}
+
+// FaultProfile describes the fault mix injected for a host. Every rate is a
+// probability in [0, 1]; the five fault kinds are mutually exclusive per
+// attempt (a single deterministic draw selects at most one), while latency
+// is independent and may accompany any outcome.
+type FaultProfile struct {
+	// LatencyRate is the probability of injected latency; the duration is
+	// drawn uniformly from [LatencyMin, LatencyMax]. Latency must be kept
+	// far below any per-attempt timeout or it stops being an annoyance and
+	// becomes a (nondeterministic) failure.
+	LatencyRate float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+
+	// NXRate injects an NXDomainError — a DNS flap when transient, a dead
+	// host when the per-host profile pins it to 1.
+	NXRate float64
+	// ResetRate injects a ResetError before any response is produced.
+	ResetRate float64
+	// HTTP5xxRate short-circuits the handler with a synthesized 503.
+	HTTP5xxRate float64
+	// TruncateRate serves the real response but cuts the body in half; the
+	// read ends with io.ErrUnexpectedEOF.
+	TruncateRate float64
+	// StallRate serves half the body and then blocks the read until the
+	// request's context is done. Requests without a deadline will block
+	// indefinitely, so stalls require deadline plumbing end to end.
+	StallRate float64
+}
+
+// FaultRate returns the total probability that an attempt is faulted
+// (excluding pure latency).
+func (p FaultProfile) FaultRate() float64 {
+	return p.NXRate + p.ResetRate + p.HTTP5xxRate + p.TruncateRate + p.StallRate
+}
+
+// UniformProfile spreads a total fault rate across all five kinds in fixed
+// proportions (NX 20%, reset 25%, 5xx 25%, truncate 20%, stall 10%), with
+// sub-millisecond latency on 30% of requests. It is the standard profile of
+// the chaos soak.
+func UniformProfile(rate float64) FaultProfile {
+	if rate < 0 {
+		rate = 0
+	}
+	if rate > 1 {
+		rate = 1
+	}
+	return FaultProfile{
+		LatencyRate:  0.30,
+		LatencyMin:   100 * time.Microsecond,
+		LatencyMax:   time.Millisecond,
+		NXRate:       0.20 * rate,
+		ResetRate:    0.25 * rate,
+		HTTP5xxRate:  0.25 * rate,
+		TruncateRate: 0.20 * rate,
+		StallRate:    0.10 * rate,
+	}
+}
+
+// FaultCounts is a snapshot of how many faults a Chaos instance injected,
+// by kind. Counts are totals since construction.
+type FaultCounts struct {
+	Latency   int64
+	NXDomain  int64
+	Reset     int64
+	HTTP5xx   int64
+	Truncated int64
+	Stalled   int64
+}
+
+// Total returns the number of injected faults excluding pure latency.
+func (f FaultCounts) Total() int64 {
+	return f.NXDomain + f.Reset + f.HTTP5xx + f.Truncated + f.Stalled
+}
+
+// Chaos wraps a RoundTripper with deterministic fault injection. The zero
+// profile injects nothing, so a Chaos with only per-host profiles acts as a
+// targeted saboteur.
+type Chaos struct {
+	// Next is the wrapped transport (normally a *Transport).
+	Next http.RoundTripper
+	// Seed namespaces the fault stream; two Chaos layers with different
+	// seeds fault different requests.
+	Seed uint64
+	// Default is the profile applied to hosts without an override.
+	Default FaultProfile
+
+	mu      sync.RWMutex
+	perHost map[string]FaultProfile
+
+	cLatency   atomic.Int64
+	cNXDomain  atomic.Int64
+	cReset     atomic.Int64
+	cHTTP5xx   atomic.Int64
+	cTruncated atomic.Int64
+	cStalled   atomic.Int64
+}
+
+// NewChaos wraps next with the given seed and default profile.
+func NewChaos(next http.RoundTripper, seed uint64, profile FaultProfile) *Chaos {
+	return &Chaos{Next: next, Seed: seed, Default: profile}
+}
+
+// SetHostProfile overrides the fault profile for one host (exact match, no
+// port) — e.g. a permanently dead ad exchange (NXRate 1) or a flaky CDN.
+func (c *Chaos) SetHostProfile(host string, p FaultProfile) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.perHost == nil {
+		c.perHost = make(map[string]FaultProfile)
+	}
+	c.perHost[strings.ToLower(host)] = p
+}
+
+// profileFor returns the effective profile for a host.
+func (c *Chaos) profileFor(host string) FaultProfile {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if p, ok := c.perHost[strings.ToLower(host)]; ok {
+		return p
+	}
+	return c.Default
+}
+
+// Counts returns a snapshot of the injected-fault totals.
+func (c *Chaos) Counts() FaultCounts {
+	return FaultCounts{
+		Latency:   c.cLatency.Load(),
+		NXDomain:  c.cNXDomain.Load(),
+		Reset:     c.cReset.Load(),
+		HTTP5xx:   c.cHTTP5xx.Load(),
+		Truncated: c.cTruncated.Load(),
+		Stalled:   c.cStalled.Load(),
+	}
+}
+
+// RoundTrip injects at most one fault, then (if the fault allows) delegates
+// to the wrapped transport. The fault decision depends only on (seed, URL,
+// attempt), never on time or goroutine interleaving.
+func (c *Chaos) RoundTrip(req *http.Request) (*http.Response, error) {
+	ctx := req.Context()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	host := req.URL.Hostname()
+	if host == "" {
+		host = stripPort(req.Host)
+	}
+	prof := c.profileFor(host)
+	rng := stats.NewRNGFromString(fmt.Sprintf("chaos|%d|%s|%d", c.Seed, req.URL.String(), AttemptFrom(ctx)))
+
+	// Injected latency (independent of the fault draw).
+	if p := prof.LatencyRate; p > 0 && rng.Bool(p) {
+		d := prof.LatencyMin
+		if prof.LatencyMax > prof.LatencyMin {
+			d += time.Duration(rng.Float64() * float64(prof.LatencyMax-prof.LatencyMin))
+		}
+		c.cLatency.Add(1)
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		}
+	}
+
+	// Single draw selects at most one fault kind.
+	u := rng.Float64()
+	switch {
+	case u < prof.NXRate:
+		c.cNXDomain.Add(1)
+		return nil, &NXDomainError{Host: host}
+	case u < prof.NXRate+prof.ResetRate:
+		c.cReset.Add(1)
+		return nil, &ResetError{Host: host}
+	case u < prof.NXRate+prof.ResetRate+prof.HTTP5xxRate:
+		c.cHTTP5xx.Add(1)
+		return synth503(req), nil
+	case u < prof.NXRate+prof.ResetRate+prof.HTTP5xxRate+prof.TruncateRate:
+		resp, err := c.Next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		c.cTruncated.Add(1)
+		return truncateResponse(resp), nil
+	case u < prof.FaultRate():
+		resp, err := c.Next.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		c.cStalled.Add(1)
+		return stallResponse(resp, ctx), nil
+	}
+	return c.Next.RoundTrip(req)
+}
+
+// synth503 fabricates the 503 an overloaded ad server would return.
+func synth503(req *http.Request) *http.Response {
+	body := "chaos: injected 503 service unavailable"
+	h := make(http.Header)
+	h.Set("Content-Type", "text/plain")
+	h.Set("Retry-After", "1")
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        h,
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// truncateResponse cuts the body in half; reading past the cut yields
+// io.ErrUnexpectedEOF, like a connection dropped mid-transfer.
+func truncateResponse(resp *http.Response) *http.Response {
+	full, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	cut := len(full) / 2
+	resp.Body = &truncatedBody{r: bytes.NewReader(full[:cut])}
+	// ContentLength still advertises the full size — exactly the mismatch a
+	// real truncation presents.
+	resp.ContentLength = int64(len(full))
+	return resp
+}
+
+type truncatedBody struct{ r *bytes.Reader }
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return nil }
+
+// stallResponse serves half the body, then blocks every further read until
+// the request context is done — a stalled TCP stream. The caller's deadline
+// is what un-sticks it.
+func stallResponse(resp *http.Response, ctx context.Context) *http.Response {
+	full, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	cut := len(full) / 2
+	resp.Body = &stalledBody{r: bytes.NewReader(full[:cut]), ctx: ctx}
+	return resp
+}
+
+type stalledBody struct {
+	r   *bytes.Reader
+	ctx context.Context
+}
+
+func (b *stalledBody) Read(p []byte) (int, error) {
+	if b.r.Len() > 0 {
+		return b.r.Read(p)
+	}
+	<-b.ctx.Done()
+	return 0, b.ctx.Err()
+}
+
+func (b *stalledBody) Close() error { return nil }

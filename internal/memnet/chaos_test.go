@@ -1,0 +1,217 @@
+package memnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosClient builds a client over the test universe with a chaos layer.
+func chaosClient(u *Universe, seed uint64, p FaultProfile) (*http.Client, *Chaos) {
+	ch := NewChaos(&Transport{U: u}, seed, p)
+	return &http.Client{
+		Transport: ch,
+		CheckRedirect: func(req *http.Request, via []*http.Request) error {
+			return http.ErrUseLastResponse
+		},
+	}, ch
+}
+
+// outcomeOf performs one GET and compresses the result into a comparable
+// string: error class, or status plus body-read result.
+func outcomeOf(ctx context.Context, client *http.Client, url string) string {
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		var nx *NXDomainError
+		var rst *ResetError
+		switch {
+		case errors.As(err, &nx):
+			return "nxdomain"
+		case errors.As(err, &rst):
+			return "reset"
+		default:
+			return "err:" + err.Error()
+		}
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	return fmt.Sprintf("status=%d body=%d readerr=%v", resp.StatusCode, len(body), rerr)
+}
+
+func TestChaosDeterministicPerSeed(t *testing.T) {
+	u := newTestUniverse()
+	p := UniformProfile(0.6)
+	p.StallRate = 0 // stalls need deadlines; exercised separately
+
+	run := func() []string {
+		client, _ := chaosClient(u, 42, p)
+		var out []string
+		for i := 0; i < 200; i++ {
+			out = append(out, outcomeOf(context.Background(), client,
+				fmt.Sprintf("http://www.pub.example.com/p%d", i)))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d outcomes differ: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// With a 60% fault rate over 200 requests, each kind must have fired.
+	client, ch := chaosClient(u, 42, p)
+	for i := 0; i < 200; i++ {
+		outcomeOf(context.Background(), client, fmt.Sprintf("http://www.pub.example.com/p%d", i))
+	}
+	counts := ch.Counts()
+	if counts.NXDomain == 0 || counts.Reset == 0 || counts.HTTP5xx == 0 || counts.Truncated == 0 {
+		t.Fatalf("fault mix incomplete: %+v", counts)
+	}
+}
+
+func TestChaosAttemptChangesOutcome(t *testing.T) {
+	u := newTestUniverse()
+	// Find a URL whose first attempt faults but whose second succeeds —
+	// the NXDOMAIN-flap shape that makes retries worthwhile.
+	client, _ := chaosClient(u, 7, FaultProfile{NXRate: 0.5})
+	flapped := false
+	for i := 0; i < 100 && !flapped; i++ {
+		url := fmt.Sprintf("http://www.pub.example.com/flap%d", i)
+		first := outcomeOf(WithAttempt(context.Background(), 1), client, url)
+		second := outcomeOf(WithAttempt(context.Background(), 2), client, url)
+		if first == "nxdomain" && strings.HasPrefix(second, "status=200") {
+			flapped = true
+		}
+		// Same attempt must always reproduce.
+		if again := outcomeOf(WithAttempt(context.Background(), 1), client, url); again != first {
+			t.Fatalf("attempt 1 of %s not reproducible: %q vs %q", url, first, again)
+		}
+	}
+	if !flapped {
+		t.Fatal("no URL flapped NX->OK across attempts at 50% NX rate")
+	}
+}
+
+func TestChaosTruncatedBody(t *testing.T) {
+	u := newTestUniverse()
+	client, _ := chaosClient(u, 3, FaultProfile{TruncateRate: 1})
+	resp, err := client.Get("http://www.pub.example.com/long")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, rerr := io.ReadAll(resp.Body)
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) {
+		t.Fatalf("read err = %v, want unexpected EOF", rerr)
+	}
+	if int64(len(body)) >= resp.ContentLength {
+		t.Fatalf("body %d bytes not truncated below advertised %d", len(body), resp.ContentLength)
+	}
+}
+
+func TestChaosStallUnblocksAtDeadline(t *testing.T) {
+	u := newTestUniverse()
+	client, _ := chaosClient(u, 5, FaultProfile{StallRate: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://www.pub.example.com/stall", nil)
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	start := time.Now()
+	_, rerr := io.ReadAll(resp.Body)
+	if !errors.Is(rerr, context.DeadlineExceeded) {
+		t.Fatalf("read err = %v, want deadline exceeded", rerr)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stall did not unblock at the deadline")
+	}
+}
+
+func TestChaosPerHostProfile(t *testing.T) {
+	u := newTestUniverse()
+	client, ch := chaosClient(u, 9, FaultProfile{})
+	ch.SetHostProfile("error.example.com", FaultProfile{ResetRate: 1})
+
+	// The overridden host always resets; others are untouched.
+	for i := 0; i < 10; i++ {
+		if got := outcomeOf(context.Background(), client, fmt.Sprintf("http://error.example.com/x%d", i)); got != "reset" {
+			t.Fatalf("override host: %q", got)
+		}
+	}
+	if got := outcomeOf(context.Background(), client, "http://www.pub.example.com/ok"); !strings.HasPrefix(got, "status=200") {
+		t.Fatalf("clean host: %q", got)
+	}
+}
+
+func TestTransportHonorsContext(t *testing.T) {
+	u := newTestUniverse()
+	client := Client(u)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://www.pub.example.com/", nil)
+	if _, err := client.Do(req); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// An already-expired deadline is equally fatal.
+	dctx, dcancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer dcancel()
+	req2, _ := http.NewRequestWithContext(dctx, http.MethodGet, "http://www.pub.example.com/", nil)
+	if _, err := client.Do(req2); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestServerGracefulShutdown(t *testing.T) {
+	u := NewUniverse()
+	release := make(chan struct{})
+	started := make(chan struct{}, 1)
+	u.HandleFunc("slow.example.com", func(w http.ResponseWriter, r *http.Request) {
+		started <- struct{}{}
+		<-release
+		io.WriteString(w, "done")
+	})
+	srv, err := StartServer(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := srv.TCPClient()
+
+	type result struct {
+		body string
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := client.Get("http://slow.example.com/")
+		if err != nil {
+			got <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- result{body: string(b)}
+	}()
+	<-started
+	// Let the in-flight request finish while Close waits.
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(release)
+	}()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("graceful close: %v", err)
+	}
+	r := <-got
+	if r.err != nil || r.body != "done" {
+		t.Fatalf("in-flight request aborted by shutdown: body=%q err=%v", r.body, r.err)
+	}
+}

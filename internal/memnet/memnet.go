@@ -22,6 +22,7 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Universe is the registry of simulated hosts. It implements http.Handler
@@ -110,8 +111,15 @@ type Transport struct {
 	U *Universe
 }
 
-// RoundTrip executes the request against the universe.
+// RoundTrip executes the request against the universe. It honors the
+// request context: a cancelled or expired context fails the request before
+// the handler runs, and again after (a handler cannot be interrupted
+// mid-flight, but its response is discarded — matching a socket transport
+// whose caller stopped listening).
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
 	host := req.URL.Hostname()
 	if host == "" {
 		host = stripPort(req.Host)
@@ -131,6 +139,9 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 
 	rec := newRecorder()
 	h.ServeHTTP(rec, inner)
+	if err := req.Context().Err(); err != nil {
+		return nil, err
+	}
 	return rec.response(req), nil
 }
 
@@ -219,9 +230,21 @@ func StartServer(u *Universe) (*Server, error) {
 // Addr returns the listener's address, e.g. "127.0.0.1:40123".
 func (s *Server) Addr() string { return s.listener.Addr().String() }
 
-// Close shuts the server down.
+// shutdownGrace bounds how long Close waits for in-flight requests.
+const shutdownGrace = 3 * time.Second
+
+// Close shuts the server down gracefully: it stops accepting connections,
+// closes idle ones, and waits (briefly) for in-flight requests to finish
+// instead of resetting them mid-response. Requests still running after the
+// grace period are cut off.
 func (s *Server) Close() error {
-	return s.server.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	if err := s.server.Shutdown(ctx); err != nil {
+		// Stragglers exceeded the grace period: force-close them.
+		return s.server.Close()
+	}
+	return nil
 }
 
 // TCPClient returns an *http.Client whose transport dials the server's

@@ -9,6 +9,7 @@
 package oracle
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
@@ -77,7 +78,15 @@ func New(h *honeyclient.Honeyclient, t *blacklist.Tracker, s *avscan.Scanner) *O
 // observed domain is checked against the blacklists, and every downloaded
 // file is scanned.
 func (o *Oracle) Classify(ad *corpus.Ad) Incident {
-	rep := o.Honey.Analyze(ad.FrameURL)
+	return o.ClassifyContext(context.Background(), ad)
+}
+
+// ClassifyContext is Classify under a caller-supplied context: the
+// honeyclient's instrumented execution is bounded by it, and a partial
+// execution still classifies on the surviving evidence (Report.Degraded
+// records that the verdict is partial).
+func (o *Oracle) ClassifyContext(ctx context.Context, ad *corpus.Ad) Incident {
+	rep := o.Honey.AnalyzeContext(ctx, ad.FrameURL)
 	return o.classifyReport(ad, rep)
 }
 
@@ -188,6 +197,9 @@ type Result struct {
 	ByCategory map[Category]int
 	// Scanned is the number of advertisements classified.
 	Scanned int
+	// Degraded counts classifications that ran on partial evidence (the
+	// honeyclient's execution hit faults or deadlines but still reported).
+	Degraded int
 }
 
 // MaliciousCount returns the total number of incidents.
@@ -210,9 +222,19 @@ func (r *Result) MaliciousRate() float64 {
 // ClassifyCorpus classifies every ad in the corpus with a worker pool and
 // returns the aggregate. Incident order follows corpus order.
 func (o *Oracle) ClassifyCorpus(c *corpus.Corpus) *Result {
+	return o.ClassifyCorpusContext(context.Background(), c)
+}
+
+// ClassifyCorpusContext is ClassifyCorpus under a caller-supplied context:
+// cancelling it stops the pool after in-flight classifications finish, and
+// the partial aggregate covers only the ads actually scanned.
+func (o *Oracle) ClassifyCorpusContext(ctx context.Context, c *corpus.Corpus) *Result {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	ads := c.All()
 	incidents := make([]Incident, len(ads))
-	malicious := make([]bool, len(ads))
+	scanned := make([]bool, len(ads))
 
 	par := o.Parallelism
 	if par <= 0 {
@@ -225,21 +247,30 @@ func (o *Oracle) ClassifyCorpus(c *corpus.Corpus) *Result {
 		go func() {
 			defer wg.Done()
 			for {
+				if ctx.Err() != nil {
+					return
+				}
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= len(ads) {
 					return
 				}
-				inc := o.Classify(ads[i])
-				incidents[i] = inc
-				malicious[i] = inc.Malicious()
+				incidents[i] = o.ClassifyContext(ctx, ads[i])
+				scanned[i] = true
 			}
 		}()
 	}
 	wg.Wait()
 
-	res := &Result{ByCategory: map[Category]int{}, Scanned: len(ads)}
+	res := &Result{ByCategory: map[Category]int{}}
 	for i, inc := range incidents {
-		if malicious[i] {
+		if !scanned[i] {
+			continue
+		}
+		res.Scanned++
+		if inc.Report != nil && inc.Report.Degraded {
+			res.Degraded++
+		}
+		if inc.Malicious() {
 			res.Incidents = append(res.Incidents, inc)
 			res.ByCategory[inc.Category]++
 		}

@@ -1,0 +1,424 @@
+// Package resilient makes the crawl pipeline survive a hostile network.
+// It provides an http.RoundTripper middleware that layers three defenses
+// over any transport (normally memnet's, optionally chaos-wrapped):
+//
+//   - bounded retries with exponential backoff and deterministic jitter for
+//     transient failures (connection resets, NXDOMAIN flaps, 5xx bursts,
+//     truncated bodies, per-attempt timeouts);
+//   - a per-attempt deadline, so a stalled read costs one attempt, not the
+//     whole visit;
+//   - a per-host circuit breaker, so a dead ad server is cut off after a
+//     few consecutive failures instead of stalling every request aimed at
+//     it.
+//
+// Everything is deterministic given a seed: jitter derives from
+// (seed, URL, attempt), and the breaker counts requests, not wall-clock
+// time, so a crawl's resilience statistics are reproducible run to run.
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"madave/internal/memnet"
+	"madave/internal/stats"
+)
+
+// Policy parameterizes the retry layer.
+type Policy struct {
+	// MaxAttempts is the total number of tries per request (minimum 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// attempt up to MaxDelay. The actual wait is jittered uniformly over
+	// [delay/2, delay].
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// AttemptTimeout bounds one attempt including its body read (0 = the
+	// 2s default, negative = no per-attempt deadline). Stalled reads are
+	// broken by this; without it a stall against a deadline-free parent
+	// context would hang forever.
+	AttemptTimeout time.Duration
+	// Seed drives the jitter deterministically.
+	Seed uint64
+}
+
+// DefaultPolicy is tuned for the in-memory universe: fast enough that a
+// fully hostile host costs milliseconds, patient enough that flaps recover.
+func DefaultPolicy() Policy {
+	return Policy{
+		MaxAttempts:    3,
+		BaseDelay:      2 * time.Millisecond,
+		MaxDelay:       50 * time.Millisecond,
+		AttemptTimeout: 2 * time.Second,
+		Seed:           1,
+	}
+}
+
+// withDefaults fills zero fields from DefaultPolicy (Seed 0 is kept: it is
+// a valid seed).
+func (p Policy) withDefaults() Policy {
+	d := DefaultPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.AttemptTimeout == 0 {
+		p.AttemptTimeout = d.AttemptTimeout
+	}
+	return p
+}
+
+// Counters aggregates resilience events across a transport's lifetime. All
+// fields are updated atomically; totals are order-independent, so shared
+// counters stay deterministic under any worker interleaving.
+type Counters struct {
+	Attempts             int64 // individual tries issued
+	Retries              int64 // tries beyond the first
+	Timeouts             int64 // attempts ended by the per-attempt deadline
+	Truncations          int64 // responses with a truncated body
+	BreakerOpens         int64 // closed -> open transitions
+	BreakerShortCircuits int64 // requests rejected by an open breaker
+}
+
+// discardCounters absorbs events for transports built without counters.
+var discardCounters Counters
+
+// Snapshot returns a copy safe to read while workers are still running.
+func (c *Counters) Snapshot() Counters {
+	if c == nil {
+		return Counters{}
+	}
+	return Counters{
+		Attempts:             atomic.LoadInt64(&c.Attempts),
+		Retries:              atomic.LoadInt64(&c.Retries),
+		Timeouts:             atomic.LoadInt64(&c.Timeouts),
+		Truncations:          atomic.LoadInt64(&c.Truncations),
+		BreakerOpens:         atomic.LoadInt64(&c.BreakerOpens),
+		BreakerShortCircuits: atomic.LoadInt64(&c.BreakerShortCircuits),
+	}
+}
+
+// BreakerOpenError reports a request short-circuited by an open breaker.
+type BreakerOpenError struct{ Host string }
+
+func (e *BreakerOpenError) Error() string {
+	return "resilient: circuit open for host " + e.Host
+}
+
+// breaker states.
+const (
+	stateClosed = iota
+	stateOpen
+	stateHalfOpen
+)
+
+// hostBreaker is one host's circuit state.
+type hostBreaker struct {
+	state    int
+	failures int // consecutive failures while closed
+	cooldown int // short-circuits remaining before a probe is allowed
+}
+
+// BreakerSet holds per-host circuit breakers. The breaker is count-based,
+// not clock-based: after Threshold consecutive failures the host is open
+// and the next Cooldown requests are rejected instantly; the request after
+// that is a half-open probe whose outcome closes or re-opens the circuit.
+// Counting requests instead of seconds keeps the breaker deterministic.
+//
+// A BreakerSet is safe for concurrent use, but determinism of *when* it
+// trips requires that each instance see a deterministic request sequence —
+// the crawler gives each worker its own set.
+type BreakerSet struct {
+	// Threshold is the consecutive-failure count that opens a circuit
+	// (minimum 1; default 5).
+	Threshold int
+	// Cooldown is how many requests are short-circuited per open period
+	// before a probe (default 10).
+	Cooldown int
+
+	mu sync.Mutex
+	m  map[string]*hostBreaker
+}
+
+// NewBreakerSet returns a breaker set with the given thresholds (zeros take
+// the defaults).
+func NewBreakerSet(threshold, cooldown int) *BreakerSet {
+	return &BreakerSet{Threshold: threshold, Cooldown: cooldown}
+}
+
+func (s *BreakerSet) thresholds() (int, int) {
+	th, cd := s.Threshold, s.Cooldown
+	if th <= 0 {
+		th = 5
+	}
+	if cd <= 0 {
+		cd = 10
+	}
+	return th, cd
+}
+
+// Allow reports whether a request to host may proceed. While open it
+// consumes one cooldown slot per call; when the cooldown is spent the
+// circuit goes half-open and the call is allowed as a probe.
+func (s *BreakerSet) Allow(host string) bool {
+	if s == nil {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b := s.get(host)
+	switch b.state {
+	case stateOpen:
+		b.cooldown--
+		if b.cooldown > 0 {
+			return false
+		}
+		b.state = stateHalfOpen
+		return true
+	default:
+		return true
+	}
+}
+
+// Report records the outcome of an allowed request. It returns true when
+// this outcome opened the circuit (a closed->open or half-open->open
+// transition), so callers can count distinct opens.
+func (s *BreakerSet) Report(host string, ok bool) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	th, cd := s.thresholds()
+	b := s.get(host)
+	if ok {
+		b.state = stateClosed
+		b.failures = 0
+		return false
+	}
+	switch b.state {
+	case stateHalfOpen:
+		// Probe failed: straight back to open.
+		b.state = stateOpen
+		b.cooldown = cd
+		return true
+	default:
+		b.failures++
+		if b.state == stateClosed && b.failures >= th {
+			b.state = stateOpen
+			b.cooldown = cd
+			return true
+		}
+	}
+	return false
+}
+
+// Open reports whether host's circuit is currently open.
+func (s *BreakerSet) Open(host string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[strings.ToLower(host)]
+	return ok && b.state == stateOpen
+}
+
+func (s *BreakerSet) get(host string) *hostBreaker {
+	if s.m == nil {
+		s.m = make(map[string]*hostBreaker)
+	}
+	host = strings.ToLower(host)
+	b, ok := s.m[host]
+	if !ok {
+		b = &hostBreaker{}
+		s.m[host] = b
+	}
+	return b
+}
+
+// maxBufferedBody bounds how much of a response the retry layer buffers to
+// detect truncation. It exceeds the browser's own 1MB cap, so nothing the
+// pipeline would use is lost.
+const maxBufferedBody = 2 << 20
+
+// Transport is the retrying, breaker-guarded RoundTripper.
+type Transport struct {
+	// Next is the wrapped transport.
+	Next http.RoundTripper
+	// Policy configures retries (zero fields take defaults).
+	Policy Policy
+	// Breakers, when non-nil, guards per-host circuits.
+	Breakers *BreakerSet
+	// Counters, when non-nil, receives resilience event counts.
+	Counters *Counters
+}
+
+// New wraps next with the default policy, a fresh breaker set, and the
+// given counters (which may be nil).
+func New(next http.RoundTripper, policy Policy, counters *Counters) *Transport {
+	return &Transport{
+		Next:     next,
+		Policy:   policy,
+		Breakers: NewBreakerSet(0, 0),
+		Counters: counters,
+	}
+}
+
+// RoundTrip issues the request with retries. The returned response's body
+// is fully buffered in memory; a truncated final attempt yields the partial
+// bytes with no error — graceful degradation over data loss.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	pol := t.Policy.withDefaults()
+	ctx := req.Context()
+	host := req.URL.Hostname()
+	cnt := t.counters()
+
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !t.Breakers.Allow(host) {
+			atomic.AddInt64(&cnt.BreakerShortCircuits, 1)
+			return nil, &BreakerOpenError{Host: host}
+		}
+
+		atomic.AddInt64(&cnt.Attempts, 1)
+		resp, body, err := t.attempt(req, pol, attempt)
+
+		truncated := errors.Is(err, io.ErrUnexpectedEOF)
+		if truncated {
+			atomic.AddInt64(&cnt.Truncations, 1)
+		}
+		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			atomic.AddInt64(&cnt.Timeouts, 1)
+		}
+
+		ok := err == nil && (resp == nil || resp.StatusCode < 500)
+		t.report(host, ok)
+		if ok {
+			return restoreBody(resp, body), nil
+		}
+
+		if attempt >= pol.MaxAttempts || !transient(err, resp) || ctx.Err() != nil {
+			// Out of patience. A truncated body is still a body: hand the
+			// partial bytes over rather than dropping the response, and let
+			// 5xx responses through so callers observe the status.
+			if resp != nil && (err == nil || truncated) {
+				return restoreBody(resp, body), nil
+			}
+			return nil, err
+		}
+		atomic.AddInt64(&cnt.Retries, 1)
+		if !t.backoff(ctx, pol, req.URL.String(), attempt) {
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// attempt issues one try: clone the request with the attempt tag and
+// per-attempt deadline, round-trip it, and buffer the body.
+func (t *Transport) attempt(req *http.Request, pol Policy, attempt int) (*http.Response, []byte, error) {
+	actx := memnet.WithAttempt(req.Context(), attempt)
+	cancel := context.CancelFunc(func() {})
+	if pol.AttemptTimeout > 0 {
+		actx, cancel = context.WithTimeout(actx, pol.AttemptTimeout)
+	}
+	defer cancel()
+
+	resp, err := t.Next.RoundTrip(req.Clone(actx))
+	if err != nil {
+		return nil, nil, err
+	}
+	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBufferedBody))
+	resp.Body.Close()
+	return resp, body, rerr
+}
+
+// counters returns the transport's counter sink, never nil.
+func (t *Transport) counters() *Counters {
+	if t.Counters == nil {
+		return &discardCounters
+	}
+	return t.Counters
+}
+
+// report feeds the breaker and counts circuit opens.
+func (t *Transport) report(host string, ok bool) {
+	if t.Breakers == nil {
+		return
+	}
+	if t.Breakers.Report(host, ok) {
+		atomic.AddInt64(&t.counters().BreakerOpens, 1)
+	}
+}
+
+// restoreBody reattaches a buffered body to a response.
+func restoreBody(resp *http.Response, body []byte) *http.Response {
+	resp.Body = io.NopCloser(strings.NewReader(string(body)))
+	return resp
+}
+
+// transient reports whether a failed attempt is worth retrying: connection
+// resets, NXDOMAIN flaps, truncated bodies, per-attempt timeouts, and 5xx
+// responses. Permanent conditions (4xx, malformed URLs, blocked requests)
+// are not.
+func transient(err error, resp *http.Response) bool {
+	if err != nil {
+		var rst *memnet.ResetError
+		var nx *memnet.NXDomainError
+		switch {
+		case errors.As(err, &rst):
+			return true
+		case errors.As(err, &nx):
+			return true
+		case errors.Is(err, io.ErrUnexpectedEOF):
+			return true
+		case errors.Is(err, context.DeadlineExceeded):
+			// The *attempt* deadline; the caller checks the parent context
+			// before retrying.
+			return true
+		}
+		return false
+	}
+	if resp != nil {
+		switch resp.StatusCode {
+		case http.StatusInternalServerError, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+			return true
+		}
+	}
+	return false
+}
+
+// backoff sleeps the jittered exponential delay before the next attempt.
+// It returns false if the context ended first. The jitter is a pure
+// function of (seed, url, attempt), so retry timing is reproducible.
+func (t *Transport) backoff(ctx context.Context, pol Policy, url string, attempt int) bool {
+	delay := pol.BaseDelay << (attempt - 1)
+	if delay > pol.MaxDelay || delay <= 0 {
+		delay = pol.MaxDelay
+	}
+	rng := stats.NewRNGFromString(fmt.Sprintf("backoff|%d|%s|%d", pol.Seed, url, attempt))
+	jittered := delay/2 + time.Duration(rng.Float64()*float64(delay/2))
+	timer := time.NewTimer(jittered)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

@@ -1,0 +1,347 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"madave/internal/memnet"
+)
+
+// scriptedTripper returns canned outcomes in sequence, then repeats the
+// last one. It records the attempt numbers it saw.
+type scriptedTripper struct {
+	outcomes []func(*http.Request) (*http.Response, error)
+	calls    int32
+	attempts []int
+}
+
+func (s *scriptedTripper) RoundTrip(req *http.Request) (*http.Response, error) {
+	i := int(atomic.AddInt32(&s.calls, 1)) - 1
+	s.attempts = append(s.attempts, memnet.AttemptFrom(req.Context()))
+	if i >= len(s.outcomes) {
+		i = len(s.outcomes) - 1
+	}
+	return s.outcomes[i](req)
+}
+
+func okResp(body string) func(*http.Request) (*http.Response, error) {
+	return func(req *http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: 200,
+			Status:     "200 OK",
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader(body)),
+			Request:    req,
+		}, nil
+	}
+}
+
+func statusResp(code int) func(*http.Request) (*http.Response, error) {
+	return func(req *http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: code,
+			Status:     fmt.Sprintf("%d x", code),
+			Header:     make(http.Header),
+			Body:       io.NopCloser(strings.NewReader("")),
+			Request:    req,
+		}, nil
+	}
+}
+
+func errOut(err error) func(*http.Request) (*http.Response, error) {
+	return func(*http.Request) (*http.Response, error) { return nil, err }
+}
+
+func fastPolicy() Policy {
+	return Policy{MaxAttempts: 3, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond, AttemptTimeout: 100 * time.Millisecond, Seed: 1}
+}
+
+func get(t *testing.T, rt http.RoundTripper, url string) (*http.Response, error) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt.RoundTrip(req)
+}
+
+func TestRetriesResetThenSucceeds(t *testing.T) {
+	s := &scriptedTripper{outcomes: []func(*http.Request) (*http.Response, error){
+		errOut(&memnet.ResetError{Host: "a.example.com"}),
+		errOut(&memnet.ResetError{Host: "a.example.com"}),
+		okResp("hello"),
+	}}
+	var c Counters
+	tr := New(s, fastPolicy(), &c)
+	resp, err := get(t, tr, "http://a.example.com/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "hello" {
+		t.Fatalf("body = %q", body)
+	}
+	if c.Retries != 2 || c.Attempts != 3 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if got := s.attempts; got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("attempt tags = %v", got)
+	}
+}
+
+func TestNoRetryOnPermanentFailure(t *testing.T) {
+	s := &scriptedTripper{outcomes: []func(*http.Request) (*http.Response, error){
+		statusResp(404),
+	}}
+	var c Counters
+	tr := New(s, fastPolicy(), &c)
+	resp, err := get(t, tr, "http://a.example.com/missing")
+	if err != nil || resp.StatusCode != 404 {
+		t.Fatalf("resp=%v err=%v", resp, err)
+	}
+	if c.Retries != 0 || s.calls != 1 {
+		t.Fatalf("retried a 404: %+v calls=%d", c, s.calls)
+	}
+}
+
+func TestRetry5xxThenGiveUpReturnsResponse(t *testing.T) {
+	s := &scriptedTripper{outcomes: []func(*http.Request) (*http.Response, error){
+		statusResp(503),
+	}}
+	var c Counters
+	tr := New(s, fastPolicy(), &c)
+	resp, err := get(t, tr, "http://b.example.com/busy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 503 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if s.calls != 3 || c.Retries != 2 {
+		t.Fatalf("calls=%d counters=%+v", s.calls, c)
+	}
+}
+
+func TestTruncationRetriedThenPartialReturned(t *testing.T) {
+	truncated := func(req *http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: 200,
+			Status:     "200 OK",
+			Header:     make(http.Header),
+			Body:       io.NopCloser(&truncReader{data: "partial-content"}),
+			Request:    req,
+		}, nil
+	}
+	s := &scriptedTripper{outcomes: []func(*http.Request) (*http.Response, error){truncated}}
+	var c Counters
+	tr := New(s, fastPolicy(), &c)
+	resp, err := get(t, tr, "http://c.example.com/cut")
+	if err != nil {
+		t.Fatalf("truncated final attempt should degrade, got err %v", err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	if rerr != nil || string(body) != "partial-content" {
+		t.Fatalf("body=%q err=%v", body, rerr)
+	}
+	if c.Truncations != 3 || c.Retries != 2 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+type truncReader struct {
+	data string
+	off  int
+}
+
+func (r *truncReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	n := copy(p, r.data[r.off:])
+	r.off += n
+	return n, nil
+}
+
+func TestAttemptTimeoutBreaksStall(t *testing.T) {
+	stalled := func(req *http.Request) (*http.Response, error) {
+		return &http.Response{
+			StatusCode: 200,
+			Status:     "200 OK",
+			Header:     make(http.Header),
+			Body:       io.NopCloser(&stallReader{ctx: req.Context()}),
+			Request:    req,
+		}, nil
+	}
+	s := &scriptedTripper{outcomes: []func(*http.Request) (*http.Response, error){
+		stalled, okResp("recovered"),
+	}}
+	var c Counters
+	pol := fastPolicy()
+	pol.AttemptTimeout = 20 * time.Millisecond
+	tr := New(s, pol, &c)
+	start := time.Now()
+	resp, err := get(t, tr, "http://d.example.com/stall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != "recovered" {
+		t.Fatalf("body = %q", body)
+	}
+	if c.Timeouts != 1 || c.Retries != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("stall was not bounded by the attempt timeout")
+	}
+}
+
+type stallReader struct{ ctx context.Context }
+
+func (r *stallReader) Read(p []byte) (int, error) {
+	<-r.ctx.Done()
+	return 0, r.ctx.Err()
+}
+
+func TestParentContextStopsRetries(t *testing.T) {
+	s := &scriptedTripper{outcomes: []func(*http.Request) (*http.Response, error){
+		errOut(&memnet.ResetError{Host: "e.example.com"}),
+	}}
+	var c Counters
+	pol := fastPolicy()
+	pol.MaxAttempts = 10
+	pol.BaseDelay = 50 * time.Millisecond
+	pol.MaxDelay = 50 * time.Millisecond
+	tr := New(s, pol, &c)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, "http://e.example.com/", nil)
+	_, err := tr.RoundTrip(req)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if s.calls >= 10 {
+		t.Fatalf("retries continued past parent deadline: %d calls", s.calls)
+	}
+}
+
+func TestBreakerOpensAndShortCircuits(t *testing.T) {
+	s := &scriptedTripper{outcomes: []func(*http.Request) (*http.Response, error){
+		errOut(&memnet.NXDomainError{Host: "dead.example.com"}),
+	}}
+	var c Counters
+	pol := fastPolicy()
+	pol.MaxAttempts = 1 // isolate breaker behavior from retries
+	tr := New(s, pol, &c)
+	tr.Breakers = NewBreakerSet(3, 5)
+
+	// 3 failures open the circuit.
+	for i := 0; i < 3; i++ {
+		if _, err := get(t, tr, fmt.Sprintf("http://dead.example.com/%d", i)); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if c.BreakerOpens != 1 {
+		t.Fatalf("breaker opens = %d", c.BreakerOpens)
+	}
+	if !tr.Breakers.Open("dead.example.com") {
+		t.Fatal("breaker should be open")
+	}
+	// The next Cooldown-1 requests are shed without touching the transport.
+	calls := s.calls
+	shed := 0
+	for i := 0; i < 4; i++ {
+		_, err := get(t, tr, "http://dead.example.com/shed")
+		var open *BreakerOpenError
+		if errors.As(err, &open) {
+			shed++
+		}
+	}
+	if shed != 4 || s.calls != calls {
+		t.Fatalf("shed=%d transport calls %d -> %d", shed, calls, s.calls)
+	}
+	// Cooldown spent: the next request probes (and fails -> reopen).
+	if _, err := get(t, tr, "http://dead.example.com/probe"); err == nil {
+		t.Fatal("probe should fail")
+	}
+	if s.calls != calls+1 {
+		t.Fatal("probe did not reach the transport")
+	}
+	if c.BreakerOpens != 2 {
+		t.Fatalf("failed probe should reopen: opens = %d", c.BreakerOpens)
+	}
+
+	// Other hosts are unaffected.
+	s.outcomes = append(s.outcomes, okResp("fine"))
+	if tr.Breakers.Open("alive.example.com") {
+		t.Fatal("unrelated host tripped")
+	}
+}
+
+func TestBreakerProbeSuccessCloses(t *testing.T) {
+	var c Counters
+	bs := NewBreakerSet(2, 2)
+	// Two failures -> open.
+	bs.Report("h.example.com", false)
+	if bs.Report("h.example.com", false) != true {
+		t.Fatal("second failure should open")
+	}
+	// Cooldown of 2: one rejected, then probe allowed.
+	if bs.Allow("h.example.com") {
+		t.Fatal("first post-open request should be shed")
+	}
+	if !bs.Allow("h.example.com") {
+		t.Fatal("cooldown spent: probe should be allowed")
+	}
+	if bs.Report("h.example.com", true) {
+		t.Fatal("successful probe is not an open transition")
+	}
+	if bs.Open("h.example.com") || !bs.Allow("h.example.com") {
+		t.Fatal("circuit should be closed after successful probe")
+	}
+	_ = c
+}
+
+func TestNilCountersSafe(t *testing.T) {
+	// Transports built without a counter sink (honeyclient's) must still
+	// retry and trip breakers without panicking.
+	s := &scriptedTripper{outcomes: []func(*http.Request) (*http.Response, error){
+		errOut(&memnet.ResetError{Host: "n.example.com"}),
+		okResp("fine"),
+	}}
+	tr := New(s, fastPolicy(), nil)
+	tr.Breakers = NewBreakerSet(1, 1)
+	resp, err := get(t, tr, "http://n.example.com/")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("resp=%v err=%v", resp, err)
+	}
+	if s.calls != 2 {
+		t.Fatalf("calls = %d", s.calls)
+	}
+}
+
+func TestBackoffDeterministicJitter(t *testing.T) {
+	pol := fastPolicy()
+	tr := New(nil, pol, nil)
+	// The jitter RNG is keyed by (seed, url, attempt): identical inputs
+	// must produce identical waits. We probe via timing-independent state:
+	// two transports with the same policy produce the same jitter stream,
+	// verified indirectly through the deterministic chaos soak; here we
+	// just pin that backoff returns promptly and respects cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if tr.backoff(ctx, pol, "http://x/", 1) {
+		t.Fatal("backoff should report cancellation")
+	}
+	if !tr.backoff(context.Background(), pol, "http://x/", 1) {
+		t.Fatal("backoff should complete")
+	}
+}
