@@ -1,0 +1,145 @@
+package madave
+
+// The pipeline benchmark suite measures the system's throughput rather than
+// the paper's numbers: how fast the crawler turns sites into corpus ads,
+// how fast the EasyList engine classifies a frame, and how fast the
+// honeyclient executes one ad. TestEmitBenchPipeline packages the results
+// as BENCH_pipeline.json (set BENCH_PIPELINE_OUT=path), the artifact the CI
+// bench step uploads so throughput regressions are visible per commit.
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"testing"
+
+	"madave/internal/easylist"
+)
+
+// BenchmarkPipelineCrawl measures the collection phase end to end and
+// reports crawl throughput as pages/sec and ads/sec.
+func BenchmarkPipelineCrawl(b *testing.B) {
+	s, _ := benchWorld(b)
+	sites := s.Web.TopSlice(20)
+	pages, ads := int64(0), 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		corp, st := s.CrawlSubset(sites)
+		if corp.Len() == 0 {
+			b.Fatal("no ads collected")
+		}
+		pages += st.PagesVisited
+		ads += corp.Len()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(pages)/sec, "pages/sec")
+		b.ReportMetric(float64(ads)/sec, "ads/sec")
+	}
+}
+
+// BenchmarkPipelineMatch measures one EasyList classification through the
+// token-indexed engine — ns/op is the headline number.
+func BenchmarkPipelineMatch(b *testing.B) {
+	s, r := benchWorld(b)
+	ads := r.Corpus.All()
+	if len(ads) == 0 {
+		b.Fatal("empty corpus")
+	}
+	ctx := easylist.NewRequestCtx()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ad := ads[i%len(ads)]
+		s.List.MatchCtx(ctx, easylist.Request{
+			URL: ad.FrameURL, Type: easylist.TypeSubdocument, DocHost: ad.PubHost,
+		})
+	}
+}
+
+// BenchmarkPipelineAnalyze measures one full instrumented ad execution (the
+// oracle's unit of work) and reports it as ads/sec alongside ns/op.
+func BenchmarkPipelineAnalyze(b *testing.B) {
+	s, r := benchWorld(b)
+	ads := r.Corpus.All()
+	if len(ads) == 0 {
+		b.Fatal("empty corpus")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := s.Oracle.Honey.Analyze(ads[i%len(ads)].FrameURL)
+		if len(rep.Hosts) == 0 {
+			b.Fatal("no hosts")
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "ads/sec")
+	}
+}
+
+// benchResult is one benchmark's row in BENCH_pipeline.json.
+type benchResult struct {
+	Name    string             `json:"name"`
+	N       int                `json:"n"`
+	NsPerOp int64              `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchReport is the BENCH_pipeline.json document.
+type benchReport struct {
+	GoVersion string        `json:"go_version"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	NumCPU    int           `json:"num_cpu"`
+	Results   []benchResult `json:"results"`
+}
+
+// TestEmitBenchPipeline runs the pipeline benchmarks via testing.Benchmark
+// and writes the JSON artifact. It is opt-in (skipped unless
+// BENCH_PIPELINE_OUT names the output file) so the regular test run stays
+// fast.
+func TestEmitBenchPipeline(t *testing.T) {
+	out := os.Getenv("BENCH_PIPELINE_OUT")
+	if out == "" {
+		t.Skip("set BENCH_PIPELINE_OUT=BENCH_pipeline.json to emit the benchmark artifact")
+	}
+	run := func(name string, fn func(*testing.B)) benchResult {
+		r := testing.Benchmark(fn)
+		if r.N == 0 {
+			t.Fatalf("benchmark %s did not run", name)
+		}
+		res := benchResult{Name: name, N: r.N, NsPerOp: r.NsPerOp()}
+		if len(r.Extra) > 0 {
+			res.Metrics = map[string]float64{}
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		return res
+	}
+	rep := benchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Results: []benchResult{
+			run("PipelineCrawl", BenchmarkPipelineCrawl),
+			run("PipelineMatch", BenchmarkPipelineMatch),
+			run("PipelineAnalyze", BenchmarkPipelineAnalyze),
+		},
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("benchmark artifact written to %s", out)
+}

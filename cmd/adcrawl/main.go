@@ -6,7 +6,8 @@
 // Usage:
 //
 //	adcrawl -o corpus.jsonl [-seed N] [-sites N] [-days N] [-refreshes N]
-//	        [-chaos RATE]
+//	        [-chaos RATE] [-metrics-out metrics.prom] [-spans-out trace.json]
+//	        [-pprof ADDR]
 package main
 
 import (
@@ -14,9 +15,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"madave"
 	"madave/internal/memnet"
+	"madave/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +34,10 @@ func main() {
 		refreshes = flag.Int("refreshes", 5, "page refreshes per visit")
 		workers   = flag.Int("workers", 8, "crawl parallelism")
 		chaos     = flag.Float64("chaos", 0, "injected network fault rate in [0,1] (0 = off); faults are seeded, so crawls stay reproducible")
+
+		metricsOut = flag.String("metrics-out", "", "write end-of-run metrics to this file (.prom = Prometheus text, else JSON)")
+		spansOut   = flag.String("spans-out", "", "record pipeline spans and write them to this file (.jsonl = JSON lines, else Chrome trace_event)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -43,6 +50,20 @@ func main() {
 	if *chaos > 0 {
 		prof := memnet.UniformProfile(*chaos)
 		cfg.Chaos = &prof
+	}
+
+	tel := telemetry.New(*seed)
+	if *spansOut != "" {
+		tel.EnableTracing()
+	}
+	cfg.Telemetry = tel
+	if *pprofAddr != "" {
+		addr, stopPprof, err := telemetry.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopPprof()
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", addr)
 	}
 
 	study, err := madave.NewStudy(cfg)
@@ -72,4 +93,43 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("corpus written to %s\n", *out)
+
+	if table := tel.LatencyTable(); table != "" {
+		fmt.Println("\nPipeline stage latencies")
+		fmt.Print(table)
+	}
+	if *metricsOut != "" {
+		if err := writeFile(*metricsOut, func(w *os.File) error {
+			if strings.HasSuffix(*metricsOut, ".prom") {
+				return tel.Registry.WritePrometheus(w)
+			}
+			return tel.Registry.WriteJSON(w)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if *spansOut != "" {
+		if err := writeFile(*spansOut, func(w *os.File) error {
+			if strings.HasSuffix(*spansOut, ".jsonl") {
+				return tel.Tracer.WriteJSONL(w)
+			}
+			return tel.Tracer.WriteChromeTrace(w)
+		}); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d spans written to %s\n", tel.Tracer.Len(), *spansOut)
+	}
+}
+
+func writeFile(path string, write func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = write(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

@@ -8,6 +8,8 @@
 //
 //	madstudy [-seed N] [-sites N] [-days N] [-refreshes N] [-workers N]
 //	         [-chaos RATE] [-defenses] [-corpus out.jsonl] [-csv dir]
+//	         [-metrics-out metrics.prom] [-spans-out trace.json]
+//	         [-pprof ADDR] [-cpuprofile cpu.pb.gz] [-memprofile heap.pb.gz]
 package main
 
 import (
@@ -16,12 +18,14 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"madave"
 	"madave/internal/analysis"
 	"madave/internal/memnet"
 	"madave/internal/netcap"
+	"madave/internal/telemetry"
 )
 
 func main() {
@@ -43,6 +47,12 @@ func main() {
 		mdOut     = flag.String("md", "", "write the full Markdown report to this file")
 		traceOut  = flag.String("trace", "", "capture all crawl HTTP traffic and write it (JSON lines) to this file")
 		chaos     = flag.Float64("chaos", 0, "injected network fault rate in [0,1] (0 = off); faults are seeded, so the study stays reproducible")
+
+		metricsOut = flag.String("metrics-out", "", "write end-of-run metrics to this file (.prom = Prometheus text, else JSON)")
+		spansOut   = flag.String("spans-out", "", "record pipeline spans and write them to this file (.jsonl = JSON lines, else Chrome trace_event for chrome://tracing / Perfetto)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -56,6 +66,32 @@ func main() {
 	if *chaos > 0 {
 		prof := memnet.UniformProfile(*chaos)
 		cfg.Chaos = &prof
+	}
+
+	tel := telemetry.New(*seed)
+	if *spansOut != "" {
+		tel.EnableTracing()
+	}
+	cfg.Telemetry = tel
+
+	if *pprofAddr != "" {
+		addr, stopPprof, err := telemetry.StartPprof(*pprofAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer stopPprof()
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", addr)
+	}
+	if *cpuProfile != "" || *memProfile != "" {
+		finish, err := telemetry.ProfileStudy(*cpuProfile, *memProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := finish(); err != nil {
+				log.Print(err)
+			}
+		}()
 	}
 
 	start := time.Now()
@@ -82,8 +118,12 @@ func main() {
 		}
 		f.Close()
 		sum := trace.Summarize()
-		fmt.Printf("traffic trace: %d transactions over %d hosts (%d redirects) -> %s\n",
-			sum.Transactions, sum.Hosts, sum.Redirects, *traceOut)
+		fmt.Printf("traffic trace: %d transactions over %d hosts (%d redirects, %d bytes) -> %s\n",
+			sum.Transactions, sum.Hosts, sum.Redirects, sum.BytesTotal, *traceOut)
+		for _, hs := range sum.TopHosts(5) {
+			fmt.Printf("  busiest: %-40s %6d transactions %10d bytes\n",
+				hs.Host, hs.Transactions, hs.Bytes)
+		}
 	} else {
 		corp, stats = study.Crawl()
 	}
@@ -213,4 +253,58 @@ func main() {
 			fmt.Printf("  DEVIATION: %s (paper %s, measured %s)\n", c.Claim, c.Paper, c.Measured)
 		}
 	}
+
+	if table := tel.LatencyTable(); table != "" {
+		fmt.Println("\nPipeline stage latencies")
+		fmt.Print(table)
+	}
+	if *metricsOut != "" {
+		if err := writeMetrics(tel, *metricsOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
+	}
+	if *spansOut != "" {
+		if err := writeSpans(tel, *spansOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%d spans written to %s (%d dropped)\n",
+			tel.Tracer.Len(), *spansOut, tel.Tracer.Dropped())
+	}
+}
+
+// writeMetrics dumps the registry: Prometheus text for .prom files, a JSON
+// snapshot otherwise.
+func writeMetrics(tel *telemetry.Set, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".prom") {
+		err = tel.Registry.WritePrometheus(f)
+	} else {
+		err = tel.Registry.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// writeSpans dumps the recorded spans: JSON lines for .jsonl files, Chrome
+// trace_event (chrome://tracing / Perfetto) otherwise.
+func writeSpans(tel *telemetry.Set, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tel.Tracer.WriteJSONL(f)
+	} else {
+		err = tel.Tracer.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }

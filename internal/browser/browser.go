@@ -28,6 +28,7 @@ import (
 	"madave/internal/minijs"
 	"madave/internal/netcap"
 	"madave/internal/stats"
+	"madave/internal/telemetry"
 	"madave/internal/urlx"
 )
 
@@ -202,6 +203,10 @@ type Browser struct {
 	// Capture, when set, tags and records synthetic events (blocked
 	// navigations) alongside the transport capture.
 	Capture *netcap.Capture
+	// Tel, when non-nil, records a browser.load span per frame (the top
+	// document and each iframe, nested) and stage latency samples.
+	// Observational only: rendering decisions never consult it.
+	Tel     *telemetry.Set
 	Profile Profile
 	// RNG drives Math.random inside scripts.
 	RNG *stats.RNG
@@ -345,6 +350,11 @@ func (b *Browser) LoadHTMLContext(ctx context.Context, html, baseURL string) *Pa
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if b.Tel != nil {
+		var sp *telemetry.Span
+		ctx, sp = b.Tel.StartSpan(ctx, telemetry.StageBrowserLoad, baseURL)
+		defer sp.End()
+	}
 	page := &Page{URL: baseURL, FinalURL: baseURL, Status: 200, RedirectHops: []string{baseURL}}
 	page.Doc = htmlparse.Parse(html)
 	b.processDocument(ctx, page, 0, false)
@@ -353,6 +363,11 @@ func (b *Browser) LoadHTMLContext(ctx context.Context, html, baseURL string) *Pa
 
 // loadFrame fetches one document, following HTTP redirects, then renders it.
 func (b *Browser) loadFrame(ctx context.Context, url, referer string, depth int, sandboxed bool, sandboxTokens string) (*Page, error) {
+	if b.Tel != nil {
+		var sp *telemetry.Span
+		ctx, sp = b.Tel.StartSpan(ctx, telemetry.StageBrowserLoad, url)
+		defer sp.End()
+	}
 	page := &Page{URL: url, Sandboxed: sandboxed, sandboxTokens: sandboxTokens}
 	cur := url
 	hops := []string{url}

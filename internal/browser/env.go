@@ -71,11 +71,11 @@ type scriptCtx struct {
 	sandboxed bool
 	// reqCtx bounds every network fetch a script triggers (navigations,
 	// external script loads) with the page visit's deadline.
-	reqCtx context.Context
-	writeBuf  strings.Builder
-	timers    []timerEntry
-	timerSeq  int
-	navCount  int
+	reqCtx   context.Context
+	writeBuf strings.Builder
+	timers   []timerEntry
+	timerSeq int
+	navCount int
 	// elements maps wrapped element objects back to their DOM nodes
 	// (createElement / getElementById results).
 	elements map[*minijs.Object]*htmlparse.Node

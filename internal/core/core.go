@@ -24,6 +24,7 @@ import (
 	"madave/internal/netcap"
 	"madave/internal/oracle"
 	"madave/internal/resilient"
+	"madave/internal/telemetry"
 	"madave/internal/webgen"
 )
 
@@ -55,6 +56,12 @@ type Config struct {
 	// instrumented execution (0 = none).
 	AnalysisRetry   resilient.Policy
 	AnalysisTimeout time.Duration
+	// Telemetry, when non-nil, instruments the whole pipeline — crawler,
+	// browser, resilience layer, in-memory network, EasyList matcher,
+	// honeyclient, and oracle all record into it. Telemetry is strictly
+	// observational: a study produces byte-identical stats and corpus with
+	// it on or off.
+	Telemetry *telemetry.Set
 }
 
 // DefaultConfig returns a laptop-scale study that finishes in seconds while
@@ -107,18 +114,21 @@ func NewStudy(cfg Config) (*Study, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building easylist: %w", err)
 	}
+	list.Tel = cfg.Telemetry
 
 	hc := honeyclient.New(u, cfg.Seed)
 	hc.Retry = cfg.AnalysisRetry
 	hc.Timeout = cfg.AnalysisTimeout
+	hc.Tel = cfg.Telemetry
 	if cfg.Chaos != nil {
-		hc.Transport = chaosTransport(u, cfg.Seed, *cfg.Chaos)
+		hc.Transport = chaosTransport(u, cfg.Seed, *cfg.Chaos, cfg.Telemetry)
 	}
 	ora := oracle.New(
 		hc,
 		blacklist.Build(eco, cfg.Seed),
 		avscan.New(cfg.Seed),
 	)
+	ora.Tel = cfg.Telemetry
 	if cfg.OracleParallelism > 0 {
 		ora.Parallelism = cfg.OracleParallelism
 	}
@@ -176,17 +186,18 @@ func (s *Study) CrawlTraced() (*corpus.Corpus, *crawler.Stats, *netcap.Capture) 
 // study injects faults.
 func (s *Study) newCrawler() *crawler.Crawler {
 	cr := crawler.New(s.Universe, s.List, s.Web, s.Cfg.Crawl)
+	cr.Telemetry = s.Cfg.Telemetry
 	if s.Cfg.Chaos != nil {
-		cr.Transport = chaosTransport(s.Universe, s.Cfg.Seed, *s.Cfg.Chaos)
+		cr.Transport = chaosTransport(s.Universe, s.Cfg.Seed, *s.Cfg.Chaos, s.Cfg.Telemetry)
 	}
 	return cr
 }
 
 // chaosTransport builds a per-worker transport factory that layers the
 // fault injector over the in-memory network.
-func chaosTransport(u *memnet.Universe, seed uint64, prof memnet.FaultProfile) func() http.RoundTripper {
+func chaosTransport(u *memnet.Universe, seed uint64, prof memnet.FaultProfile, tel *telemetry.Set) func() http.RoundTripper {
 	return func() http.RoundTripper {
-		return memnet.NewChaos(&memnet.Transport{U: u}, seed, prof)
+		return memnet.NewChaos(&memnet.Transport{U: u, Tel: tel}, seed, prof)
 	}
 }
 

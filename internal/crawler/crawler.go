@@ -19,7 +19,6 @@ import (
 	"net/http"
 	"net/url"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"madave/internal/browser"
@@ -29,6 +28,7 @@ import (
 	"madave/internal/netcap"
 	"madave/internal/resilient"
 	"madave/internal/stats"
+	"madave/internal/telemetry"
 	"madave/internal/urlx"
 	"madave/internal/webgen"
 )
@@ -73,6 +73,11 @@ func DefaultConfig() Config {
 // Stats aggregates crawl-wide observations. Every field is a sum of
 // per-visit observations that depend only on (seed, URL, attempt), so two
 // same-seed crawls produce identical Stats regardless of scheduling.
+//
+// Stats is a view: the crawler accumulates these counts in a telemetry
+// registry (the caller's via Crawler.Telemetry, or a private one) and
+// materializes the struct from a registry snapshot when the run ends, so
+// the struct and any exported metrics can never disagree.
 type Stats struct {
 	PagesVisited int64
 	// PageErrors counts top-level visits that failed, split by cause below
@@ -117,6 +122,12 @@ type Crawler struct {
 	// investigation"). After Run, the merged trace is available via
 	// Traffic(). Off by default: a large crawl's trace is big.
 	KeepTraffic bool
+	// Telemetry, when non-nil, receives the crawl's metrics (counters,
+	// stage latency histograms) and — if its tracer is enabled — the span
+	// tree of every visit. When nil the crawler uses a private registry, so
+	// Stats accounting is identical either way and telemetry can never
+	// steer the crawl.
+	Telemetry *telemetry.Set
 
 	mu      sync.Mutex
 	traffic []*netcap.Capture
@@ -160,6 +171,71 @@ type visit struct {
 	refresh int
 }
 
+// key identifies the visit for telemetry (span IDs derive from it).
+func (v visit) key() string {
+	return fmt.Sprintf("%s|d%dr%d", v.site.Host, v.day, v.refresh)
+}
+
+// crawlMetrics holds the registry instruments the crawl hot path bumps.
+// Handles are fetched once per run; each event is one atomic add.
+type crawlMetrics struct {
+	tel        *telemetry.Set
+	pages      *telemetry.Counter
+	pageErrors *telemetry.Counter
+	errNX      *telemetry.Counter
+	errTimeout *telemetry.Counter
+	errHTTP    *telemetry.Counter
+	errOther   *telemetry.Counter
+	adFrames   *telemetry.Counter
+	nonAd      *telemetry.Counter
+	sandboxed  *telemetry.Counter
+	snapshots  *telemetry.Counter
+	degraded   *telemetry.Counter
+}
+
+func newCrawlMetrics(tel *telemetry.Set) *crawlMetrics {
+	cause := func(v string) telemetry.Label { return telemetry.L("cause", v) }
+	kind := func(v string) telemetry.Label { return telemetry.L("kind", v) }
+	return &crawlMetrics{
+		tel:        tel,
+		pages:      tel.Counter("crawl_pages_visited_total"),
+		pageErrors: tel.Counter("crawl_page_errors_total"),
+		errNX:      tel.Counter("crawl_page_error_causes_total", cause("nxdomain")),
+		errTimeout: tel.Counter("crawl_page_error_causes_total", cause("timeout")),
+		errHTTP:    tel.Counter("crawl_page_error_causes_total", cause("http")),
+		errOther:   tel.Counter("crawl_page_error_causes_total", cause("other")),
+		adFrames:   tel.Counter("crawl_frames_total", kind("ad")),
+		nonAd:      tel.Counter("crawl_frames_total", kind("nonad")),
+		sandboxed:  tel.Counter("crawl_sandboxed_ads_total"),
+		snapshots:  tel.Counter("crawl_snapshots_total"),
+		degraded:   tel.Counter("crawl_degraded_pages_total"),
+	}
+}
+
+// stats materializes the Stats view from the registry counters plus the
+// resilience-layer snapshot.
+func (m *crawlMetrics) stats(res resilient.Counters) *Stats {
+	return &Stats{
+		PagesVisited:         m.pages.Value(),
+		PageErrors:           m.pageErrors.Value(),
+		NXDomainErrors:       m.errNX.Value(),
+		TimeoutErrors:        m.errTimeout.Value(),
+		HTTPErrors:           m.errHTTP.Value(),
+		OtherErrors:          m.errOther.Value(),
+		FramesSeen:           m.adFrames.Value() + m.nonAd.Value(),
+		AdFrames:             m.adFrames.Value(),
+		NonAdFrames:          m.nonAd.Value(),
+		SandboxedAds:         m.sandboxed.Value(),
+		SnapshotsTaken:       m.snapshots.Value(),
+		DegradedPages:        m.degraded.Value(),
+		Retries:              res.Retries,
+		Timeouts:             res.Timeouts,
+		Truncations:          res.Truncations,
+		CircuitOpens:         res.BreakerOpens,
+		CircuitShortCircuits: res.BreakerShortCircuits,
+	}
+}
+
 // Run crawls the given sites and returns the deduplicated ad corpus plus
 // crawl statistics.
 func (c *Crawler) Run(sites []*webgen.Site) (*corpus.Corpus, *Stats) {
@@ -176,7 +252,13 @@ func (c *Crawler) RunContext(ctx context.Context, sites []*webgen.Site) (*corpus
 		ctx = context.Background()
 	}
 	corp := corpus.New()
-	st := &Stats{}
+	tel := c.Telemetry
+	if tel == nil {
+		// A private registry keeps the accounting path identical whether or
+		// not the caller wants telemetry out.
+		tel = telemetry.New(c.Config.Seed)
+	}
+	m := newCrawlMetrics(tel)
 	c.mu.Lock()
 	c.traffic = nil
 	c.mu.Unlock()
@@ -189,6 +271,8 @@ func (c *Crawler) RunContext(ctx context.Context, sites []*webgen.Site) (*corpus
 			}
 		}
 	}
+	tel.Gauge("crawl_visits_planned").Set(int64(len(visits)))
+	tel.Gauge("crawl_workers").Set(int64(c.Config.Parallelism))
 
 	counters := &resilient.Counters{}
 	var wg sync.WaitGroup
@@ -204,18 +288,14 @@ func (c *Crawler) RunContext(ctx context.Context, sites []*webgen.Site) (*corpus
 				if ctx.Err() != nil {
 					return
 				}
-				c.crawlPage(ctx, b, mctx, visits[i], corp, st)
+				c.crawlPage(ctx, b, mctx, visits[i], corp, m)
 			}
 		}(w)
 	}
 	wg.Wait()
+	st := m.stats(counters.Snapshot())
 	st.Duplicates = int64(corp.Duplicates())
-	snap := counters.Snapshot()
-	st.Retries = snap.Retries
-	st.Timeouts = snap.Timeouts
-	st.Truncations = snap.Truncations
-	st.CircuitOpens = snap.BreakerOpens
-	st.CircuitShortCircuits = snap.BreakerShortCircuits
+	tel.Counter("crawl_duplicates_total").Add(st.Duplicates)
 	return corp, st
 }
 
@@ -226,13 +306,14 @@ func (c *Crawler) RunContext(ctx context.Context, sites []*webgen.Site) (*corpus
 // retries/breakers -> capture — so the traffic log sees one transaction
 // per logical fetch, with retries invisible to it.
 func (c *Crawler) newWorkerBrowser(worker int, counters *resilient.Counters) *browser.Browser {
-	var rt http.RoundTripper = &memnet.Transport{U: c.Universe}
+	var rt http.RoundTripper = &memnet.Transport{U: c.Universe, Tel: c.Telemetry}
 	if c.Transport != nil {
 		rt = c.Transport()
 	}
 	pol := c.Config.Retry
 	pol.Seed = c.Config.Seed
 	res := resilient.New(rt, pol, counters)
+	res.Tel = c.Telemetry
 	// A breaker set per worker: striped visits give each worker a
 	// deterministic request sequence, so breaker trips reproduce exactly.
 	res.Breakers = resilient.NewBreakerSet(c.Config.BreakerThreshold, c.Config.BreakerCooldown)
@@ -250,6 +331,7 @@ func (c *Crawler) newWorkerBrowser(worker int, counters *resilient.Counters) *br
 	}
 	b := browser.New(client, browser.UserProfile())
 	b.Capture = cap
+	b.Tel = c.Telemetry
 	b.RNG = stats.NewRNG(c.Config.Seed).Fork(fmt.Sprintf("crawler-worker-%d", worker))
 	return b
 }
@@ -258,43 +340,46 @@ func (c *Crawler) newWorkerBrowser(worker int, counters *resilient.Counters) *br
 // its ad iframes. A failed or partial load is not discarded: whatever
 // frames survived are still classified and harvested (graceful
 // degradation), with the failure cause tallied.
-func (c *Crawler) crawlPage(ctx context.Context, b *browser.Browser, mctx *easylist.RequestCtx, v visit, corp *corpus.Corpus, st *Stats) {
+func (c *Crawler) crawlPage(ctx context.Context, b *browser.Browser, mctx *easylist.RequestCtx, v visit, corp *corpus.Corpus, m *crawlMetrics) {
 	pageURL := fmt.Sprintf("http://%s/?v=d%dr%d", v.site.Host, v.day, v.refresh)
-	vctx := ctx
+	vctx, vspan := m.tel.StartSpan(ctx, telemetry.StageCrawlVisit, v.key())
+	defer vspan.End()
 	if t := c.visitTimeout(); t > 0 {
 		var cancel context.CancelFunc
-		vctx, cancel = context.WithTimeout(ctx, t)
+		vctx, cancel = context.WithTimeout(vctx, t)
 		defer cancel()
 	}
 	page, err := b.LoadContext(vctx, pageURL, "")
-	atomic.AddInt64(&st.PagesVisited, 1)
+	m.pages.Inc()
 	if err != nil {
-		atomic.AddInt64(&st.PageErrors, 1)
-		classifyPageError(st, err)
+		m.pageErrors.Inc()
+		classifyPageError(m, err)
 	} else if page != nil && page.Status >= 400 {
-		atomic.AddInt64(&st.PageErrors, 1)
-		atomic.AddInt64(&st.HTTPErrors, 1)
+		m.pageErrors.Inc()
+		m.errHTTP.Inc()
 	}
 	if page == nil {
 		return
 	}
 	if (err != nil || len(page.Errors) > 0) && len(page.Frames) > 0 {
-		atomic.AddInt64(&st.DegradedPages, 1)
+		m.degraded.Inc()
 	}
 
 	for _, frame := range page.Frames {
-		atomic.AddInt64(&st.FramesSeen, 1)
-		if !c.isAdFrame(mctx, frame.URL, v.site.Host) {
-			atomic.AddInt64(&st.NonAdFrames, 1)
+		_, msp := m.tel.StartSpan(vctx, telemetry.StageEasyList, frame.URL)
+		ad := c.isAdFrame(mctx, frame.URL, v.site.Host)
+		msp.End()
+		if !ad {
+			m.nonAd.Inc()
 			continue
 		}
-		atomic.AddInt64(&st.AdFrames, 1)
+		m.adFrames.Inc()
 		if frame.Sandboxed {
-			atomic.AddInt64(&st.SandboxedAds, 1)
+			m.sandboxed.Inc()
 		}
-		ad := c.snapshot(frame, v)
-		atomic.AddInt64(&st.SnapshotsTaken, 1)
-		corp.Add(ad)
+		snap := c.snapshot(frame, v)
+		m.snapshots.Inc()
+		corp.Add(snap)
 	}
 }
 
@@ -311,15 +396,15 @@ func (c *Crawler) visitTimeout() time.Duration {
 
 // classifyPageError tallies a failed top-level visit into the split error
 // counters.
-func classifyPageError(st *Stats, err error) {
+func classifyPageError(m *crawlMetrics, err error) {
 	var nx *memnet.NXDomainError
 	switch {
 	case errors.As(err, &nx):
-		atomic.AddInt64(&st.NXDomainErrors, 1)
+		m.errNX.Inc()
 	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		atomic.AddInt64(&st.TimeoutErrors, 1)
+		m.errTimeout.Inc()
 	default:
-		atomic.AddInt64(&st.OtherErrors, 1)
+		m.errOther.Inc()
 	}
 }
 

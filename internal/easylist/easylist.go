@@ -45,6 +45,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
+
+	"madave/internal/telemetry"
 )
 
 // ResourceType describes what kind of resource a URL request loads,
@@ -120,6 +123,17 @@ type List struct {
 	blockIdx   ruleIndex
 	excIdx     ruleIndex
 	skipped    int // unsupported lines (element hiding etc.)
+
+	// Tel, when non-nil, receives per-match latency samples (the
+	// easylist.match stage histogram) and decision counters
+	// (easylist_matches_total{decision=blocked|passed}). Matching results
+	// never depend on it. Set it before concurrent matching begins.
+	Tel *telemetry.Set
+
+	telOnce   sync.Once
+	matchHist *telemetry.Histogram
+	blockedC  *telemetry.Counter
+	passedC   *telemetry.Counter
 }
 
 // ParseError reports a malformed filter line.

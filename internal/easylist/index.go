@@ -1,6 +1,11 @@
 package easylist
 
-import "strings"
+import (
+	"strings"
+	"time"
+
+	"madave/internal/telemetry"
+)
 
 // This file implements the token-indexed rule dispatch (see the package
 // comment's "Matching architecture"). Each rule is bucketed under a single
@@ -82,6 +87,17 @@ func (l *List) Match(req Request) (bool, *Rule) {
 // reuse the context's token scratch buffer across requests. The context is
 // reset for each call; it must not be shared between goroutines.
 func (l *List) MatchCtx(c *RequestCtx, req Request) (bool, *Rule) {
+	if l.Tel == nil {
+		return l.matchCtx(c, req)
+	}
+	start := time.Now()
+	blocked, rule := l.matchCtx(c, req)
+	l.observe(time.Since(start), blocked)
+	return blocked, rule
+}
+
+// matchCtx is the uninstrumented match path.
+func (l *List) matchCtx(c *RequestCtx, req Request) (bool, *Rule) {
 	c.reset(req)
 	c.tokens = tokenizeURL(req.URL, c.tokens)
 	hit := l.blockIdx.match(c)
@@ -92,6 +108,22 @@ func (l *List) MatchCtx(c *RequestCtx, req Request) (bool, *Rule) {
 		return false, exc
 	}
 	return true, hit
+}
+
+// observe feeds one match outcome into the telemetry registry. Instrument
+// handles are fetched once, so the steady-state cost is two atomic adds.
+func (l *List) observe(d time.Duration, blocked bool) {
+	l.telOnce.Do(func() {
+		l.matchHist = l.Tel.StageHist(telemetry.StageEasyList)
+		l.blockedC = l.Tel.Counter("easylist_matches_total", telemetry.L("decision", "blocked"))
+		l.passedC = l.Tel.Counter("easylist_matches_total", telemetry.L("decision", "passed"))
+	})
+	l.matchHist.ObserveDuration(d)
+	if blocked {
+		l.blockedC.Inc()
+	} else {
+		l.passedC.Inc()
+	}
 }
 
 // MatchLinear classifies req by scanning every rule in list order — the

@@ -13,21 +13,21 @@ func TestCandidateTokens(t *testing.T) {
 		rule string
 		want []string // nil means fallback
 	}{
-		{"||ads.example.com^", []string{"ads", "example"}},       // label + long token; "com" too short
+		{"||ads.example.com^", []string{"ads", "example"}},                    // label + long token; "com" too short
 		{"||g.doubleclick.example^", []string{"g", "doubleclick", "example"}}, // short labels still dispatch
 		{"@@||cdn.widgetworks.com^", []string{"cdn", "widgetworks"}},          // exceptions index the same way
-		{"||track*.example.net^", []string{"example"}},           // leading run unsafe ('*' right edge)
-		{"||ad-serv.example.com^", []string{"serv", "example"}},  // "ad" is a label fragment and short
-		{"/banners/*", []string{"banners"}},                      // bounded by literals on both sides
-		{"|http://banner.", []string{"http", "banner"}},          // start anchor makes "http" safe
-		{"/AdBanner.", []string{"adbanner"}},                     // tokens are case-folded
-		{"/banner/*/img^", []string{"banner"}},                   // "img" safe but short
-		{"*/creative01/*", []string{"creative01"}},               // leading '*' doesn't block later tokens
-		{"/ad.js", nil},                                          // all tokens under 4 bytes
-		{"swf|", nil},                                            // unanchored left edge: could glue into a run
-		{"foo*bar", nil},                                         // both edges unsafe
-		{"||adserv", nil},                                        // open right edge: host may continue the run
-		{"^ads^", nil},                                           // safe but only 3 bytes, not host-anchored
+		{"||track*.example.net^", []string{"example"}},                        // leading run unsafe ('*' right edge)
+		{"||ad-serv.example.com^", []string{"serv", "example"}},               // "ad" is a label fragment and short
+		{"/banners/*", []string{"banners"}},                                   // bounded by literals on both sides
+		{"|http://banner.", []string{"http", "banner"}},                       // start anchor makes "http" safe
+		{"/AdBanner.", []string{"adbanner"}},                                  // tokens are case-folded
+		{"/banner/*/img^", []string{"banner"}},                                // "img" safe but short
+		{"*/creative01/*", []string{"creative01"}},                            // leading '*' doesn't block later tokens
+		{"/ad.js", nil},   // all tokens under 4 bytes
+		{"swf|", nil},     // unanchored left edge: could glue into a run
+		{"foo*bar", nil},  // both edges unsafe
+		{"||adserv", nil}, // open right edge: host may continue the run
+		{"^ads^", nil},    // safe but only 3 bytes, not host-anchored
 	}
 	for _, c := range cases {
 		r, err := ParseRule(c.rule)

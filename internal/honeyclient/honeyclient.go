@@ -23,6 +23,7 @@ import (
 	"madave/internal/netcap"
 	"madave/internal/resilient"
 	"madave/internal/stats"
+	"madave/internal/telemetry"
 	"madave/internal/urlx"
 )
 
@@ -123,6 +124,10 @@ type Honeyclient struct {
 	// Retry configures the resilience layer between the browser and the
 	// transport (zero fields take resilient defaults; Seed comes from Seed).
 	Retry resilient.Policy
+	// Tel, when non-nil, records honeyclient.analyze spans and latency
+	// samples (plus the instrumented browser's and transports' stages).
+	// Analysis verdicts never depend on it.
+	Tel *telemetry.Set
 
 	// Detector toggles for the DESIGN.md ablations: disabling a component
 	// shows its contribution to Table 1.
@@ -146,13 +151,15 @@ func New(u *memnet.Universe, seed uint64) *Honeyclient {
 // capture. Retries keep transient faults from eating evidence; the capture
 // sees one transaction per logical fetch.
 func (h *Honeyclient) newBrowser() (*browser.Browser, *netcap.Capture) {
-	var rt http.RoundTripper = &memnet.Transport{U: h.Universe}
+	var rt http.RoundTripper = &memnet.Transport{U: h.Universe, Tel: h.Tel}
 	if h.Transport != nil {
 		rt = h.Transport()
 	}
 	pol := h.Retry
 	pol.Seed = h.Seed
-	cap := netcap.New(resilient.New(rt, pol, nil))
+	res := resilient.New(rt, pol, nil)
+	res.Tel = h.Tel
+	cap := netcap.New(res)
 	client := &http.Client{
 		Transport: cap,
 		CheckRedirect: func(req *http.Request, via []*http.Request) error {
@@ -161,6 +168,7 @@ func (h *Honeyclient) newBrowser() (*browser.Browser, *netcap.Capture) {
 	}
 	b := browser.New(client, browser.HoneyclientProfile())
 	b.Capture = cap
+	b.Tel = h.Tel
 	b.ScriptBudget = h.ScriptBudget
 	b.RNG = stats.NewRNG(h.Seed).Fork("honeyclient")
 	return b, cap
@@ -179,6 +187,9 @@ func (h *Honeyclient) Analyze(frameURL string) *Report {
 func (h *Honeyclient) AnalyzeContext(ctx context.Context, frameURL string) *Report {
 	ctx, cancel := h.bound(ctx)
 	defer cancel()
+	var sp *telemetry.Span
+	ctx, sp = h.Tel.StartSpan(ctx, telemetry.StageHoneyclient, frameURL)
+	defer sp.End()
 	b, cap := h.newBrowser()
 	page, err := b.LoadContext(ctx, frameURL, "")
 	rep := h.buildReport(frameURL, page, cap)
@@ -200,6 +211,9 @@ func (h *Honeyclient) AnalyzeHTML(html, baseURL string) *Report {
 func (h *Honeyclient) AnalyzeHTMLContext(ctx context.Context, html, baseURL string) *Report {
 	ctx, cancel := h.bound(ctx)
 	defer cancel()
+	var sp *telemetry.Span
+	ctx, sp = h.Tel.StartSpan(ctx, telemetry.StageHoneyclient, baseURL)
+	defer sp.End()
 	b, cap := h.newBrowser()
 	page := b.LoadHTMLContext(ctx, html, baseURL)
 	rep := h.buildReport(baseURL, page, cap)

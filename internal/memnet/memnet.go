@@ -23,6 +23,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"madave/internal/telemetry"
 )
 
 // Universe is the registry of simulated hosts. It implements http.Handler
@@ -109,6 +111,10 @@ func (e *NXDomainError) Error() string {
 // Universe without sockets.
 type Transport struct {
 	U *Universe
+	// Tel, when non-nil, records a memnet.dispatch span and latency sample
+	// per request (parented to the span on the request context). Telemetry
+	// never changes what the transport returns.
+	Tel *telemetry.Set
 }
 
 // RoundTrip executes the request against the universe. It honors the
@@ -117,6 +123,10 @@ type Transport struct {
 // mid-flight, but its response is discarded — matching a socket transport
 // whose caller stopped listening).
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Tel != nil {
+		_, sp := t.Tel.StartSpan(req.Context(), telemetry.StageMemnet, req.URL.String())
+		defer sp.End()
+	}
 	if err := req.Context().Err(); err != nil {
 		return nil, err
 	}

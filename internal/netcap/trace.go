@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Save writes the capture as JSON lines (one transaction per line) — the
@@ -45,6 +46,13 @@ func LoadTrace(r io.Reader) (*Capture, error) {
 	return c, nil
 }
 
+// HostStat aggregates one host's share of a trace.
+type HostStat struct {
+	Host         string
+	Transactions int
+	Bytes        int64
+}
+
 // Summary aggregates a capture for quick inspection.
 type TraceSummary struct {
 	Transactions int
@@ -52,15 +60,35 @@ type TraceSummary struct {
 	Redirects    int
 	Errors       int
 	BytesTotal   int64
+	// PerHost holds every host's transaction count and byte total, sorted
+	// busiest first (ties by host name, so the order is deterministic).
+	PerHost []HostStat
+}
+
+// TopHosts returns the n busiest hosts (all of them when n exceeds the
+// host count).
+func (s TraceSummary) TopHosts(n int) []HostStat {
+	if n > len(s.PerHost) {
+		n = len(s.PerHost)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return s.PerHost[:n]
 }
 
 // Summarize computes a TraceSummary.
 func (c *Capture) Summarize() TraceSummary {
 	s := TraceSummary{}
-	hosts := map[string]bool{}
+	hosts := map[string]*HostStat{}
 	for _, tx := range c.All() {
 		s.Transactions++
-		hosts[tx.Host] = true
+		hs := hosts[tx.Host]
+		if hs == nil {
+			hs = &HostStat{Host: tx.Host}
+			hosts[tx.Host] = hs
+		}
+		hs.Transactions++
 		if tx.IsRedirect() {
 			s.Redirects++
 		}
@@ -69,8 +97,20 @@ func (c *Capture) Summarize() TraceSummary {
 		}
 		if tx.BodySize > 0 {
 			s.BytesTotal += tx.BodySize
+			hs.Bytes += tx.BodySize
 		}
 	}
 	s.Hosts = len(hosts)
+	s.PerHost = make([]HostStat, 0, len(hosts))
+	for _, hs := range hosts {
+		s.PerHost = append(s.PerHost, *hs)
+	}
+	sort.Slice(s.PerHost, func(i, j int) bool {
+		a, b := s.PerHost[i], s.PerHost[j]
+		if a.Transactions != b.Transactions {
+			return a.Transactions > b.Transactions
+		}
+		return a.Host < b.Host
+	})
 	return s
 }

@@ -1,0 +1,95 @@
+package netcap
+
+import (
+	"strings"
+	"testing"
+)
+
+// synth loads a capture with synthetic transactions for summary tests.
+func synth(txs ...Transaction) *Capture {
+	c := New(nil)
+	for _, tx := range txs {
+		c.append(tx)
+	}
+	return c
+}
+
+func TestSummarizePerHost(t *testing.T) {
+	c := synth(
+		Transaction{Host: "ads.example.com", URL: "http://ads.example.com/1", BodySize: 100},
+		Transaction{Host: "ads.example.com", URL: "http://ads.example.com/2", BodySize: 50},
+		Transaction{Host: "pub.example.com", URL: "http://pub.example.com/", BodySize: 400},
+		Transaction{Host: "cdn.example.com", URL: "http://cdn.example.com/", BodySize: 10},
+		Transaction{Host: "cdn.example.com", URL: "http://cdn.example.com/2", BodySize: 10},
+	)
+	s := c.Summarize()
+	if len(s.PerHost) != 3 {
+		t.Fatalf("per-host entries = %d, want 3", len(s.PerHost))
+	}
+	// Busiest first; the two-transaction hosts tie and sort by name.
+	want := []HostStat{
+		{Host: "ads.example.com", Transactions: 2, Bytes: 150},
+		{Host: "cdn.example.com", Transactions: 2, Bytes: 20},
+		{Host: "pub.example.com", Transactions: 1, Bytes: 400},
+	}
+	for i, w := range want {
+		if s.PerHost[i] != w {
+			t.Fatalf("PerHost[%d] = %+v, want %+v", i, s.PerHost[i], w)
+		}
+	}
+	if s.BytesTotal != 570 {
+		t.Fatalf("BytesTotal = %d, want 570", s.BytesTotal)
+	}
+}
+
+func TestTopHosts(t *testing.T) {
+	c := synth(
+		Transaction{Host: "a.example.com"},
+		Transaction{Host: "a.example.com"},
+		Transaction{Host: "b.example.com"},
+	)
+	s := c.Summarize()
+	if top := s.TopHosts(1); len(top) != 1 || top[0].Host != "a.example.com" {
+		t.Fatalf("TopHosts(1) = %+v", top)
+	}
+	if top := s.TopHosts(10); len(top) != 2 {
+		t.Fatalf("TopHosts(10) returned %d hosts, want all 2", len(top))
+	}
+	if top := s.TopHosts(-1); len(top) != 0 {
+		t.Fatalf("TopHosts(-1) = %+v, want empty", top)
+	}
+}
+
+func TestLoadTraceMalformedLine(t *testing.T) {
+	in := `{"Seq":0,"URL":"http://a.example.com/","Host":"a.example.com"}
+{"Seq":"not a number"}
+`
+	_, err := LoadTrace(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("malformed line should fail")
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should name the offending line, got: %v", err)
+	}
+}
+
+func TestLoadTraceOversizedLine(t *testing.T) {
+	// One line beyond the scanner's 8MB ceiling must be a load error, not a
+	// hang or a silent truncation.
+	huge := `{"URL":"http://a.example.com/` + strings.Repeat("x", 9*1024*1024) + `"}`
+	_, err := LoadTrace(strings.NewReader(huge))
+	if err == nil {
+		t.Fatal("oversized line should fail")
+	}
+}
+
+func TestLoadTraceSkipsBlankLines(t *testing.T) {
+	in := "\n" + `{"Seq":5,"URL":"http://a.example.com/","Host":"a.example.com"}` + "\n\n"
+	c, err := LoadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("loaded %d transactions, want 1", c.Len())
+	}
+}

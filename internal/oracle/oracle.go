@@ -17,6 +17,7 @@ import (
 	"madave/internal/blacklist"
 	"madave/internal/corpus"
 	"madave/internal/honeyclient"
+	"madave/internal/telemetry"
 )
 
 // Category is a Table-1 classification bucket.
@@ -66,6 +67,9 @@ type Oracle struct {
 	// day D is only matched against listings the providers already knew by
 	// day D. Off by default (the paper's steady-state, post-crawl oracle).
 	TemporalBlacklists bool
+	// Tel, when non-nil, records an oracle.classify span per advertisement
+	// (rooting the analysis-side span tree). Verdicts never depend on it.
+	Tel *telemetry.Set
 }
 
 // New assembles an oracle.
@@ -86,6 +90,9 @@ func (o *Oracle) Classify(ad *corpus.Ad) Incident {
 // execution still classifies on the surviving evidence (Report.Degraded
 // records that the verdict is partial).
 func (o *Oracle) ClassifyContext(ctx context.Context, ad *corpus.Ad) Incident {
+	var sp *telemetry.Span
+	ctx, sp = o.Tel.StartSpan(ctx, telemetry.StageOracle, ad.Hash)
+	defer sp.End()
 	rep := o.Honey.AnalyzeContext(ctx, ad.FrameURL)
 	return o.classifyReport(ad, rep)
 }
@@ -95,7 +102,9 @@ func (o *Oracle) ClassifyContext(ctx context.Context, ad *corpus.Ad) Incident {
 // had already rotated or died by analysis time. Subresources the snapshot
 // references are still fetched live where possible.
 func (o *Oracle) ClassifySnapshot(ad *corpus.Ad) Incident {
-	rep := o.Honey.AnalyzeHTML(ad.HTML, ad.FinalURL)
+	ctx, sp := o.Tel.StartSpan(context.Background(), telemetry.StageOracle, ad.Hash)
+	defer sp.End()
+	rep := o.Honey.AnalyzeHTMLContext(ctx, ad.HTML, ad.FinalURL)
 	return o.classifyReport(ad, rep)
 }
 

@@ -29,6 +29,7 @@ import (
 
 	"madave/internal/memnet"
 	"madave/internal/stats"
+	"madave/internal/telemetry"
 )
 
 // Policy parameterizes the retry layer.
@@ -264,6 +265,40 @@ type Transport struct {
 	Breakers *BreakerSet
 	// Counters, when non-nil, receives resilience event counts.
 	Counters *Counters
+	// Tel, when non-nil, mirrors the Counters events into the metrics
+	// registry (resilient_events_total{event=…}) and records one
+	// resilient.attempt span per try. Purely observational: retry and
+	// breaker decisions never read telemetry state.
+	Tel *telemetry.Set
+
+	telOnce sync.Once
+	events  map[string]*telemetry.Counter
+}
+
+// event names mirrored into the registry.
+const (
+	evAttempt      = "attempt"
+	evRetry        = "retry"
+	evTimeout      = "timeout"
+	evTruncation   = "truncation"
+	evBreakerOpen  = "breaker_open"
+	evShortCircuit = "breaker_short_circuit"
+)
+
+// count bumps the Counters field via addr and, when telemetry is wired, the
+// matching registry counter.
+func (t *Transport) count(addr *int64, event string) {
+	atomic.AddInt64(addr, 1)
+	if t.Tel == nil {
+		return
+	}
+	t.telOnce.Do(func() {
+		t.events = make(map[string]*telemetry.Counter)
+		for _, ev := range []string{evAttempt, evRetry, evTimeout, evTruncation, evBreakerOpen, evShortCircuit} {
+			t.events[ev] = t.Tel.Counter("resilient_events_total", telemetry.L("event", ev))
+		}
+	})
+	t.events[event].Inc()
 }
 
 // New wraps next with the default policy, a fresh breaker set, and the
@@ -291,19 +326,19 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			return nil, err
 		}
 		if !t.Breakers.Allow(host) {
-			atomic.AddInt64(&cnt.BreakerShortCircuits, 1)
+			t.count(&cnt.BreakerShortCircuits, evShortCircuit)
 			return nil, &BreakerOpenError{Host: host}
 		}
 
-		atomic.AddInt64(&cnt.Attempts, 1)
+		t.count(&cnt.Attempts, evAttempt)
 		resp, body, err := t.attempt(req, pol, attempt)
 
 		truncated := errors.Is(err, io.ErrUnexpectedEOF)
 		if truncated {
-			atomic.AddInt64(&cnt.Truncations, 1)
+			t.count(&cnt.Truncations, evTruncation)
 		}
 		if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
-			atomic.AddInt64(&cnt.Timeouts, 1)
+			t.count(&cnt.Timeouts, evTimeout)
 		}
 
 		ok := err == nil && (resp == nil || resp.StatusCode < 500)
@@ -321,7 +356,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			}
 			return nil, err
 		}
-		atomic.AddInt64(&cnt.Retries, 1)
+		t.count(&cnt.Retries, evRetry)
 		if !t.backoff(ctx, pol, req.URL.String(), attempt) {
 			return nil, ctx.Err()
 		}
@@ -337,6 +372,12 @@ func (t *Transport) attempt(req *http.Request, pol Policy, attempt int) (*http.R
 		actx, cancel = context.WithTimeout(actx, pol.AttemptTimeout)
 	}
 	defer cancel()
+	if t.Tel != nil {
+		var sp *telemetry.Span
+		actx, sp = t.Tel.StartSpan(actx, telemetry.StageResilient,
+			fmt.Sprintf("%s|attempt=%d", req.URL.String(), attempt))
+		defer sp.End()
+	}
 
 	resp, err := t.Next.RoundTrip(req.Clone(actx))
 	if err != nil {
@@ -361,7 +402,7 @@ func (t *Transport) report(host string, ok bool) {
 		return
 	}
 	if t.Breakers.Report(host, ok) {
-		atomic.AddInt64(&t.counters().BreakerOpens, 1)
+		t.count(&t.counters().BreakerOpens, evBreakerOpen)
 	}
 }
 

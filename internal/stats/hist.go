@@ -158,8 +158,11 @@ func (h *IntHist) Quantile(q float64) int {
 	if q > 1 {
 		q = 1
 	}
-	need := int(math.Ceil(q * float64(h.total)))
-	if need == 0 {
+	// The epsilon guards against binary float error pushing an exact rank
+	// over its ceiling: 0.9 * 10 evaluates to 9.000000000000002, whose bare
+	// ceil (10) would skew the quantile one value high.
+	need := int(math.Ceil(q*float64(h.total) - 1e-9))
+	if need <= 0 {
 		need = 1
 	}
 	cum := 0

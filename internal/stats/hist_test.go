@@ -117,6 +117,55 @@ func TestIntHistMeanQuantile(t *testing.T) {
 	}
 }
 
+func TestIntHistQuantileEdges(t *testing.T) {
+	var empty IntHist
+	if q := empty.Quantile(0.5); q != 0 {
+		t.Fatalf("empty Quantile(0.5) = %d, want 0", q)
+	}
+
+	var one IntHist
+	one.Add(7)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := one.Quantile(q); got != 7 {
+			t.Fatalf("single-value Quantile(%g) = %d, want 7", q, got)
+		}
+	}
+
+	var h IntHist
+	for _, v := range []int{3, 1, 4, 1, 5} {
+		h.Add(v)
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("Quantile(0) = %d, want the minimum 1", q)
+	}
+	if q := h.Quantile(1); q != 5 {
+		t.Fatalf("Quantile(1) = %d, want the maximum 5", q)
+	}
+	if q := h.Quantile(2.5); q != 5 {
+		t.Fatalf("Quantile over 1 should clamp, got %d", q)
+	}
+}
+
+// TestIntHistQuantileFloatBoundary is the regression test for the rank
+// rounding bug: 0.9 * 10 evaluates to 9.000000000000002 in binary floating
+// point, so a bare ceil demanded 10 observations and returned the maximum
+// instead of the 9th-ranked value.
+func TestIntHistQuantileFloatBoundary(t *testing.T) {
+	var h IntHist
+	for v := 0; v < 10; v++ {
+		h.Add(v)
+	}
+	if q := h.Quantile(0.9); q != 8 {
+		t.Fatalf("Quantile(0.9) over 0..9 = %d, want 8 (the 9th value)", q)
+	}
+	if q := h.Quantile(0.3); q != 2 {
+		t.Fatalf("Quantile(0.3) over 0..9 = %d, want 2 (the 3rd value)", q)
+	}
+	if q := h.Quantile(0.7); q != 6 {
+		t.Fatalf("Quantile(0.7) over 0..9 = %d, want 6 (the 7th value)", q)
+	}
+}
+
 func TestIntHistQuantileMonotone(t *testing.T) {
 	r := NewRNG(99)
 	var h IntHist
@@ -164,6 +213,23 @@ func TestSummarize(t *testing.T) {
 	}
 	if z := Summarize(nil); z.N != 0 {
 		t.Fatal("empty Summarize should be zero")
+	}
+}
+
+func TestSummarizeEdges(t *testing.T) {
+	if z := Summarize([]float64{}); z != (Summary{}) {
+		t.Fatalf("empty slice should yield zero Summary, got %+v", z)
+	}
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 {
+		t.Fatalf("single-value summary = %+v", s)
+	}
+	if s.StdDev != 0 {
+		t.Fatalf("single-value stddev = %f, want 0 (undefined sample variance)", s.StdDev)
+	}
+	neg := Summarize([]float64{-2, -8, -5})
+	if neg.Min != -8 || neg.Max != -2 || neg.Mean != -5 {
+		t.Fatalf("negative-value summary = %+v", neg)
 	}
 }
 

@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	runtimepprof "runtime/pprof"
+	"time"
+)
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060";
+// ":0" picks a free port). It returns the bound address and a stop
+// function. The handlers live on a private mux, so the process-global
+// http.DefaultServeMux stays clean.
+func StartPprof(addr string) (boundAddr string, stop func() error, err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("telemetry: pprof listen: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// StartCPUProfile begins writing a CPU profile to path and returns a stop
+// function that ends the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := runtimepprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("telemetry: start cpu profile: %w", err)
+	}
+	return func() error {
+		runtimepprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (so the profile reflects live objects)
+// and writes a heap profile to path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := runtimepprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("telemetry: write heap profile: %w", err)
+	}
+	return nil
+}
+
+// ProfileStudy wraps a study run with optional CPU and heap capture: call
+// the returned finish after the run. Empty paths disable the respective
+// capture, so callers can pass flag values straight through.
+func ProfileStudy(cpuPath, heapPath string) (finish func() error, err error) {
+	var stopCPU func() error
+	if cpuPath != "" {
+		stopCPU, err = StartCPUProfile(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return func() error {
+		if stopCPU != nil {
+			if err := stopCPU(); err != nil {
+				return err
+			}
+		}
+		if heapPath != "" {
+			return WriteHeapProfile(heapPath)
+		}
+		return nil
+	}, nil
+}
+
+// fmtDuration renders a nanosecond quantity compactly for the latency table.
+func fmtDuration(ns float64) string {
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}

@@ -1,0 +1,381 @@
+// Package telemetry is the pipeline's observability substrate: a
+// zero-dependency metrics registry (atomic counters, gauges, fixed-bucket
+// latency histograms with label support), lightweight spans that record the
+// crawl→oracle pipeline tree with deterministic IDs, and profiling hooks
+// around net/http/pprof.
+//
+// The cardinal rule is that telemetry never influences control flow: every
+// value it produces is written *out* of the pipeline, never read back in.
+// Counters record the same deterministic event counts the study's Stats
+// structs expose, so a run with telemetry enabled is byte-identical — in
+// study stats and corpus — to one without. Wall-clock durations exist only
+// in telemetry output (histograms, spans), never in study results; the
+// repository's determinism tests assert exactly this.
+//
+// Metric naming follows the Prometheus convention: snake_case names,
+// `_total` suffix on counters, `_ns` suffix on duration histograms, and
+// labels for bounded dimensions (error cause, pipeline stage). All stage
+// durations share one histogram family, pipeline_stage_duration_ns{stage=…},
+// which is what the end-of-run latency table reads.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one metric dimension (key="value").
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { atomic.AddInt64(&c.v, 1) }
+
+// Add adds n (n must be non-negative; counters only go up).
+func (c *Counter) Add(n int64) { atomic.AddInt64(&c.v, n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// Gauge is an atomic value that can go up and down.
+type Gauge struct {
+	v int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(n int64) { atomic.StoreInt64(&g.v, n) }
+
+// Add adjusts the gauge by n (negative allowed).
+func (g *Gauge) Add(n int64) { atomic.AddInt64(&g.v, n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return atomic.LoadInt64(&g.v) }
+
+// Histogram is a fixed-bucket histogram. Bounds are upper bucket bounds in
+// ascending order; an implicit +Inf bucket catches the tail. Observations,
+// the running sum, and the count are all atomic, so concurrent workers can
+// observe without coordination.
+type Histogram struct {
+	bounds []float64
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    int64   // total of observations, rounded to int64
+	count  int64
+}
+
+// DefaultLatencyBuckets covers 1µs to ~67s in doubling steps — wide enough
+// for an in-memory dispatch (ns–µs) and a stalled socket attempt (seconds)
+// on one axis.
+func DefaultLatencyBuckets() []float64 {
+	bounds := make([]float64, 0, 27)
+	for b := float64(1_000); b <= 67e9; b *= 2 { // 1µs .. ~67s in ns
+		bounds = append(bounds, b)
+	}
+	return bounds
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets()
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	atomic.AddInt64(&h.counts[i], 1)
+	atomic.AddInt64(&h.sum, int64(v))
+	atomic.AddInt64(&h.count, 1)
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(float64(d.Nanoseconds())) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.count) }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return float64(atomic.LoadInt64(&h.sum)) }
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the winning bucket. An empty histogram returns 0. The +Inf bucket
+// reports its lower bound (the largest finite bound).
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	need := q * float64(total)
+	if need < 1 {
+		need = 1
+	}
+	cum := int64(0)
+	for i := range h.counts {
+		n := atomic.LoadInt64(&h.counts[i])
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= need-1e-9 {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) { // +Inf bucket: no finite upper edge
+				return lo
+			}
+			hi := h.bounds[i]
+			frac := (need - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// metricKind discriminates snapshot entries.
+type metricKind string
+
+// Metric kinds as they appear in snapshots.
+const (
+	KindCounter   metricKind = "counter"
+	KindGauge     metricKind = "gauge"
+	KindHistogram metricKind = "histogram"
+)
+
+// metric is one registered instrument with its identity.
+type metric struct {
+	name   string
+	labels []Label
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// Registry is a concurrent collection of named, labeled instruments.
+// Get-or-create lookups take a mutex; the returned handles are lock-free,
+// so hot paths should fetch their instruments once and hold them.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// key builds the canonical identity of (name, labels) with labels sorted.
+func key(name string, labels []Label) (string, []Label) {
+	if len(labels) == 0 {
+		return name, nil
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range ls {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String(), ls
+}
+
+// lookup returns the metric for (name, labels), creating it with mk when
+// absent. It panics if the existing metric has a different kind — mixing
+// kinds under one name is a programming error worth failing loudly on.
+func (r *Registry) lookup(name string, labels []Label, kind metricKind, mk func(*metric)) *metric {
+	k, ls := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[k]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, m.kind, kind))
+		}
+		return m
+	}
+	m := &metric{name: name, labels: ls, kind: kind}
+	mk(m)
+	r.metrics[k] = m
+	return m
+}
+
+// Counter returns the counter for (name, labels), creating it if needed.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, labels, KindCounter, func(m *metric) { m.counter = &Counter{} }).counter
+}
+
+// Gauge returns the gauge for (name, labels), creating it if needed.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, labels, KindGauge, func(m *metric) { m.gauge = &Gauge{} }).gauge
+}
+
+// Histogram returns the histogram for (name, labels), creating it with the
+// given bucket bounds if needed (nil bounds = DefaultLatencyBuckets). Bounds
+// are fixed at first registration; later calls reuse the existing buckets.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	return r.lookup(name, labels, KindHistogram, func(m *metric) { m.hist = newHistogram(bounds) }).hist
+}
+
+// MetricPoint is one instrument's state in a Snapshot.
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Kind   string            `json:"kind"`
+	// Value is the counter/gauge value; histograms use the fields below.
+	Value int64 `json:"value,omitempty"`
+	// Histogram state: cumulative-style bucket counts per upper bound
+	// (the last entry is the +Inf bucket, bound omitted).
+	Count   int64     `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// Snapshot returns the state of every instrument, sorted by (name, labels)
+// so output is deterministic for a given set of counts.
+func (r *Registry) Snapshot() []MetricPoint {
+	r.mu.Lock()
+	ms := make([]*metric, 0, len(r.metrics))
+	keys := make([]string, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ms = append(ms, r.metrics[k])
+	}
+	r.mu.Unlock()
+
+	out := make([]MetricPoint, 0, len(ms))
+	for _, m := range ms {
+		p := MetricPoint{Name: m.name, Kind: string(m.kind)}
+		if len(m.labels) > 0 {
+			p.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				p.Labels[l.Key] = l.Value
+			}
+		}
+		switch m.kind {
+		case KindCounter:
+			p.Value = m.counter.Value()
+		case KindGauge:
+			p.Value = m.gauge.Value()
+		case KindHistogram:
+			h := m.hist
+			p.Count = h.Count()
+			p.Sum = h.Sum()
+			p.Bounds = append([]float64(nil), h.bounds...)
+			p.Buckets = make([]int64, len(h.counts))
+			for i := range h.counts {
+				p.Buckets[i] = atomic.LoadInt64(&h.counts[i])
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as one indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text exposition
+// format (histograms as cumulative _bucket/_sum/_count series).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, p := range r.Snapshot() {
+		switch metricKind(p.Kind) {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(bw, "%s%s %d\n", p.Name, promLabels(p.Labels, "", 0), p.Value)
+		case KindHistogram:
+			cum := int64(0)
+			for i, n := range p.Buckets {
+				cum += n
+				le := math.Inf(1)
+				if i < len(p.Bounds) {
+					le = p.Bounds[i]
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, "le", le), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %g\n", p.Name, promLabels(p.Labels, "", 0), p.Sum)
+			fmt.Fprintf(bw, "%s_count%s %d\n", p.Name, promLabels(p.Labels, "", 0), p.Count)
+		}
+	}
+	return bw.Flush()
+}
+
+// promLabels renders a label set (plus an optional le bound) as {k="v",...}.
+func promLabels(labels map[string]string, leKey string, le float64) string {
+	if len(labels) == 0 && leKey == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if leKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		if math.IsInf(le, 1) {
+			fmt.Fprintf(&b, "%s=%q", leKey, "+Inf")
+		} else {
+			fmt.Fprintf(&b, "%s=%q", leKey, fmt.Sprintf("%g", le))
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", L("cause", "nx"))
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	// Same (name, labels) in any label order returns the same instrument.
+	if r.Counter("requests_total", L("cause", "nx")) != c {
+		t.Fatal("counter lookup not idempotent")
+	}
+	g := r.Gauge("workers")
+	g.Set(8)
+	g.Add(-3)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic registering gauge over counter name")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", []float64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // first bucket
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500) // third bucket
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if q := h.Quantile(0.5); q > 10 {
+		t.Fatalf("p50 = %g, want within first bucket (<=10)", q)
+	}
+	if q := h.Quantile(0.99); q < 100 || q > 1000 {
+		t.Fatalf("p99 = %g, want inside (100,1000]", q)
+	}
+	// q=1 stays at the highest populated bucket's upper bound.
+	if q := h.Quantile(1); q > 1000 {
+		t.Fatalf("p100 = %g", q)
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := newHistogram([]float64{10, 100})
+	if q := h.Quantile(0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %g, want 0", q)
+	}
+	h.Observe(1e9) // lands in +Inf bucket
+	if q := h.Quantile(0.5); q != 100 {
+		t.Fatalf("+Inf-bucket quantile = %g, want largest finite bound 100", q)
+	}
+	h2 := newHistogram(nil)
+	h2.ObserveDuration(3 * time.Millisecond)
+	if h2.Count() != 1 {
+		t.Fatal("ObserveDuration did not record")
+	}
+	if q := h2.Quantile(0.5); q < 1e6 || q > 1e7 {
+		t.Fatalf("3ms landed at %g ns", q)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("h", []float64{1, 2, 4})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 5))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d", c.Value(), h.Count())
+	}
+}
+
+func TestSnapshotDeterministicOrderAndExports(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total", L("k", "v")).Inc()
+	r.Gauge("g").Set(7)
+	r.Histogram("h_ns", []float64{10, 100}).Observe(50)
+
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name > snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q > %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+
+	var jsonBuf bytes.Buffer
+	if err := r.WriteJSON(&jsonBuf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []MetricPoint
+	if err := json.Unmarshal(jsonBuf.Bytes(), &decoded); err != nil {
+		t.Fatalf("JSON snapshot not parseable: %v", err)
+	}
+	if len(decoded) != 4 {
+		t.Fatalf("decoded %d metrics, want 4", len(decoded))
+	}
+
+	var promBuf bytes.Buffer
+	if err := r.WritePrometheus(&promBuf); err != nil {
+		t.Fatal(err)
+	}
+	prom := promBuf.String()
+	for _, want := range []string{
+		`a_total{k="v"} 1`,
+		"b_total 2",
+		"g 7",
+		`h_ns_bucket{le="10"} 0`,
+		`h_ns_bucket{le="100"} 1`,
+		`h_ns_bucket{le="+Inf"} 1`,
+		"h_ns_count 1",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prometheus dump missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+func TestNilSetIsNoop(t *testing.T) {
+	var s *Set
+	if s.Counter("x") != nil || s.Gauge("y") != nil || s.StageHist(StageCrawlVisit) != nil {
+		t.Fatal("nil Set returned live instruments")
+	}
+	if got := s.LatencyTable(); got != "" {
+		t.Fatalf("nil Set latency table = %q", got)
+	}
+}

@@ -1,0 +1,369 @@
+package telemetry
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StageHistName is the shared histogram family every pipeline stage's
+// duration is observed into, labeled stage=<stage name>. The latency table
+// and the Perfetto trace both key off the same stage names.
+const StageHistName = "pipeline_stage_duration_ns"
+
+// Pipeline stage names, root to leaf. The span tree of one visit is
+// crawl.visit → browser.load → resilient.attempt → memnet.dispatch, with
+// easylist.match under the visit; the analysis side is oracle.classify →
+// honeyclient.analyze → browser.load → ….
+const (
+	StageCrawlVisit  = "crawl.visit"
+	StageBrowserLoad = "browser.load"
+	StageResilient   = "resilient.attempt"
+	StageMemnet      = "memnet.dispatch"
+	StageEasyList    = "easylist.match"
+	StageHoneyclient = "honeyclient.analyze"
+	StageOracle      = "oracle.classify"
+)
+
+// Stages lists every pipeline stage in pipeline order.
+func Stages() []string {
+	return []string{
+		StageCrawlVisit, StageBrowserLoad, StageResilient, StageMemnet,
+		StageEasyList, StageHoneyclient, StageOracle,
+	}
+}
+
+// Set bundles the run's registry and (optionally) its tracer, plus the seed
+// deterministic span IDs derive from. One Set covers one run; reusing a Set
+// across runs accumulates counts. A nil *Set is a valid no-op everywhere,
+// so instrumented code needs no branches beyond the nil receiver checks the
+// methods already do.
+type Set struct {
+	Registry *Registry
+	// Tracer is nil until EnableTracing; metrics work either way.
+	Tracer *Tracer
+	Seed   uint64
+}
+
+// New returns a Set with a fresh registry and no tracer.
+func New(seed uint64) *Set {
+	return &Set{Registry: NewRegistry(), Seed: seed}
+}
+
+// EnableTracing attaches a span tracer (idempotent).
+func (s *Set) EnableTracing() {
+	if s.Tracer == nil {
+		s.Tracer = NewTracer()
+	}
+}
+
+// Counter is a nil-safe Registry.Counter.
+func (s *Set) Counter(name string, labels ...Label) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Counter(name, labels...)
+}
+
+// Gauge is a nil-safe Registry.Gauge.
+func (s *Set) Gauge(name string, labels ...Label) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Gauge(name, labels...)
+}
+
+// StageHist returns the latency histogram for a pipeline stage.
+func (s *Set) StageHist(stage string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Histogram(StageHistName, nil, L("stage", stage))
+}
+
+// fnv1a folds data into an FNV-1a 64-bit hash.
+func fnv1a(h uint64, data string) uint64 {
+	if h == 0 {
+		h = 14695981039346656037 // FNV offset basis
+	}
+	for i := 0; i < len(data); i++ {
+		h ^= uint64(data[i])
+		h *= 1099511628211 // FNV prime
+	}
+	return h
+}
+
+// RootID derives the deterministic span ID of a pipeline root from
+// (seed, stage, key). Two same-seed runs produce identical IDs for the
+// same work unit, so traces are diffable across runs.
+func RootID(seed uint64, stage, key string) uint64 {
+	h := fnv1a(0, fmt.Sprintf("%016x", seed))
+	h = fnv1a(h, stage)
+	h = fnv1a(h, key)
+	return h
+}
+
+// childID derives a child span's ID from its parent's ID, the stage, the
+// key, and the child's ordinal under that parent. The ordinal is assigned
+// by the parent's goroutine, so it is deterministic run to run.
+func childID(parent uint64, stage, key string, seq int64) uint64 {
+	h := fnv1a(0, fmt.Sprintf("%016x|%d", parent, seq))
+	h = fnv1a(h, stage)
+	h = fnv1a(h, key)
+	return h
+}
+
+// Span is one in-flight pipeline stage. End it exactly once.
+type Span struct {
+	set      *Set
+	id       uint64
+	parentID uint64
+	stage    string
+	key      string
+	start    time.Time
+	hist     *Histogram
+	childSeq int64
+}
+
+// ID returns the span's deterministic ID (0 on a nil span).
+func (sp *Span) ID() uint64 {
+	if sp == nil {
+		return 0
+	}
+	return sp.id
+}
+
+type spanCtxKey struct{}
+
+// SpanFromContext returns the active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return sp
+}
+
+// StartSpan opens a span for stage with the given identity key. If ctx
+// carries a span, the new one is its child (ID derived from the parent);
+// otherwise it is a root (ID derived from the Set's seed). The returned
+// context carries the new span for deeper stages. On a nil Set it returns
+// ctx unchanged and a nil span whose End is a no-op.
+func (s *Set) StartSpan(ctx context.Context, stage, key string) (context.Context, *Span) {
+	if s == nil {
+		return ctx, nil
+	}
+	sp := &Span{set: s, stage: stage, key: key, start: time.Now(), hist: s.StageHist(stage)}
+	if parent := SpanFromContext(ctx); parent != nil {
+		sp.parentID = parent.id
+		seq := atomic.AddInt64(&parent.childSeq, 1)
+		sp.id = childID(parent.id, stage, key, seq)
+	} else {
+		sp.id = RootID(s.Seed, stage, key)
+	}
+	return context.WithValue(ctx, spanCtxKey{}, sp), sp
+}
+
+// End closes the span: its duration lands in the stage histogram and, when
+// tracing is enabled, the span record lands in the tracer.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	dur := time.Since(sp.start)
+	if sp.hist != nil {
+		sp.hist.ObserveDuration(dur)
+	}
+	if tr := sp.set.Tracer; tr != nil {
+		tr.add(SpanRecord{
+			ID:       sp.id,
+			ParentID: sp.parentID,
+			Stage:    sp.stage,
+			Key:      sp.key,
+			StartNS:  sp.start.Sub(tr.epoch).Nanoseconds(),
+			DurNS:    dur.Nanoseconds(),
+		})
+	}
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	ID       uint64
+	ParentID uint64
+	Stage    string
+	Key      string
+	// StartNS is nanoseconds since the tracer's epoch (monotonic).
+	StartNS int64
+	DurNS   int64
+}
+
+// DefaultMaxSpans bounds tracer memory; spans beyond it are counted as
+// dropped rather than growing without limit.
+const DefaultMaxSpans = 1 << 20
+
+// Tracer collects finished spans.
+type Tracer struct {
+	epoch time.Time
+	// MaxSpans caps retained spans (0 = DefaultMaxSpans).
+	MaxSpans int
+
+	mu      sync.Mutex
+	spans   []SpanRecord
+	dropped int64
+}
+
+// NewTracer returns an empty tracer whose epoch is now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+func (t *Tracer) add(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	max := t.MaxSpans
+	if max <= 0 {
+		max = DefaultMaxSpans
+	}
+	if len(t.spans) >= max {
+		t.dropped++
+		return
+	}
+	t.spans = append(t.spans, rec)
+}
+
+// Len returns the number of retained spans.
+func (t *Tracer) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Dropped returns how many spans were discarded over MaxSpans.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Spans returns a copy of the retained spans sorted by start time (ties by
+// ID), a stable presentation order for a given capture.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	out := make([]SpanRecord, len(t.spans))
+	copy(out, t.spans)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// jsonlSpan is the JSON-lines wire form; IDs are hex strings because uint64
+// exceeds JSON's float precision.
+type jsonlSpan struct {
+	ID      string `json:"id"`
+	Parent  string `json:"parent,omitempty"`
+	Stage   string `json:"stage"`
+	Key     string `json:"key,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// WriteJSONL writes the spans as JSON lines, one span per line.
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, sp := range t.Spans() {
+		rec := jsonlSpan{
+			ID:      fmt.Sprintf("%016x", sp.ID),
+			Stage:   sp.Stage,
+			Key:     sp.Key,
+			StartNS: sp.StartNS,
+			DurNS:   sp.DurNS,
+		}
+		if sp.ParentID != 0 {
+			rec.Parent = fmt.Sprintf("%016x", sp.ParentID)
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one trace_event entry ("X" = complete event). ts and dur
+// are microseconds; fractional values keep nanosecond precision.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat"`
+	Ph   string            `json:"ph"`
+	TS   float64           `json:"ts"`
+	Dur  float64           `json:"dur"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the trace_event JSON object format, which loads directly
+// in chrome://tracing and Perfetto.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the spans in Chrome trace_event format. Each
+// pipeline root (a crawl visit or an oracle classification) gets its own
+// track (tid), so a root's subtree nests visually under it; tracks are
+// numbered in root start order.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	byID := make(map[uint64]*SpanRecord, len(spans))
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	// rootOf walks to the topmost ancestor present in the capture.
+	rootOf := func(sp *SpanRecord) uint64 {
+		cur := sp
+		for depth := 0; depth < 64; depth++ {
+			p, ok := byID[cur.ParentID]
+			if cur.ParentID == 0 || !ok {
+				return cur.ID
+			}
+			cur = p
+		}
+		return cur.ID
+	}
+	lanes := make(map[uint64]int)
+	events := make([]chromeEvent, 0, len(spans))
+	for i := range spans {
+		sp := &spans[i]
+		root := rootOf(sp)
+		lane, ok := lanes[root]
+		if !ok {
+			lane = len(lanes) + 1
+			lanes[root] = lane
+		}
+		ev := chromeEvent{
+			Name: sp.Stage,
+			Cat:  "pipeline",
+			Ph:   "X",
+			TS:   float64(sp.StartNS) / 1e3,
+			Dur:  float64(sp.DurNS) / 1e3,
+			PID:  1,
+			TID:  lane,
+			Args: map[string]string{"id": fmt.Sprintf("%016x", sp.ID)},
+		}
+		if sp.Key != "" {
+			ev.Args["key"] = sp.Key
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

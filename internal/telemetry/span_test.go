@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanIDsDeterministic(t *testing.T) {
+	build := func() []uint64 {
+		s := New(42)
+		s.EnableTracing()
+		ctx, root := s.StartSpan(context.Background(), StageCrawlVisit, "site-a|d1r0")
+		_, c1 := s.StartSpan(ctx, StageBrowserLoad, "http://site-a/")
+		c1.End()
+		_, c2 := s.StartSpan(ctx, StageEasyList, "http://ads/frame")
+		c2.End()
+		root.End()
+		return []uint64{root.ID(), c1.ID(), c2.ID()}
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("span %d ID diverged across identical runs: %x vs %x", i, a[i], b[i])
+		}
+	}
+	if a[1] == a[2] || a[0] == a[1] {
+		t.Fatal("span IDs collide within one tree")
+	}
+	if RootID(42, StageCrawlVisit, "k") == RootID(43, StageCrawlVisit, "k") {
+		t.Fatal("root IDs ignore the seed")
+	}
+}
+
+func TestSiblingSpansWithSameKeyGetDistinctIDs(t *testing.T) {
+	s := New(1)
+	ctx, root := s.StartSpan(context.Background(), StageCrawlVisit, "v")
+	_, a := s.StartSpan(ctx, StageBrowserLoad, "http://same/url")
+	_, b := s.StartSpan(ctx, StageBrowserLoad, "http://same/url")
+	a.End()
+	b.End()
+	root.End()
+	if a.ID() == b.ID() {
+		t.Fatal("same-key siblings share an ID")
+	}
+}
+
+func TestSpanEndFeedsStageHistogram(t *testing.T) {
+	s := New(1)
+	_, sp := s.StartSpan(context.Background(), StageMemnet, "http://x/")
+	sp.End()
+	if n := s.StageHist(StageMemnet).Count(); n != 1 {
+		t.Fatalf("stage histogram count = %d, want 1", n)
+	}
+	if s.Tracer != nil {
+		t.Fatal("tracer materialized without EnableTracing")
+	}
+}
+
+func TestNilSpanAndNilSet(t *testing.T) {
+	var s *Set
+	ctx, sp := s.StartSpan(context.Background(), StageOracle, "h")
+	if sp != nil || ctx == nil {
+		t.Fatal("nil Set StartSpan misbehaved")
+	}
+	sp.End() // must not panic
+}
+
+// buildTrace records a two-level tree and returns the tracer.
+func buildTrace(t *testing.T) *Tracer {
+	t.Helper()
+	s := New(7)
+	s.EnableTracing()
+	ctx, root := s.StartSpan(context.Background(), StageOracle, "adhash")
+	hctx, h := s.StartSpan(ctx, StageHoneyclient, "http://ad/")
+	_, l := s.StartSpan(hctx, StageBrowserLoad, "http://ad/")
+	time.Sleep(time.Millisecond)
+	l.End()
+	h.End()
+	root.End()
+	return s.Tracer
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d not JSON: %v", lines, err)
+		}
+		if rec["stage"] == "" || rec["id"] == "" {
+			t.Fatalf("line %d missing fields: %v", lines, rec)
+		}
+	}
+	if lines != 3 {
+		t.Fatalf("wrote %d spans, want 3", lines)
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	tr := buildTrace(t)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			PID  int     `json:"pid"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace not parseable: %v", err)
+	}
+	if len(trace.TraceEvents) != 3 {
+		t.Fatalf("%d events, want 3", len(trace.TraceEvents))
+	}
+	tid := trace.TraceEvents[0].TID
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" || ev.PID != 1 {
+			t.Fatalf("bad event envelope: %+v", ev)
+		}
+		if ev.TID != tid {
+			t.Fatal("one tree split across tracks")
+		}
+	}
+	// The leaf slept ~1ms; its duration must be visible in microseconds.
+	var sawMS bool
+	for _, ev := range trace.TraceEvents {
+		if ev.Dur >= 500 { // 500µs
+			sawMS = true
+		}
+	}
+	if !sawMS {
+		t.Fatal("durations lost in unit conversion")
+	}
+}
+
+func TestTracerMaxSpans(t *testing.T) {
+	s := New(1)
+	s.EnableTracing()
+	s.Tracer.MaxSpans = 2
+	for i := 0; i < 5; i++ {
+		_, sp := s.StartSpan(context.Background(), StageMemnet, "k")
+		sp.End()
+	}
+	if s.Tracer.Len() != 2 || s.Tracer.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d, want 2/3", s.Tracer.Len(), s.Tracer.Dropped())
+	}
+}
+
+func TestLatencyTableRendersObservedStages(t *testing.T) {
+	s := New(1)
+	_, sp := s.StartSpan(context.Background(), StageCrawlVisit, "v")
+	sp.End()
+	tbl := s.LatencyTable()
+	if !strings.Contains(tbl, StageCrawlVisit) || !strings.Contains(tbl, "p99") {
+		t.Fatalf("table missing content:\n%s", tbl)
+	}
+	if strings.Contains(tbl, StageOracle) {
+		t.Fatal("table lists unobserved stage")
+	}
+}
+
+func TestStartPprofServes(t *testing.T) {
+	addr, stop, err := StartPprof("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop() //nolint:errcheck
+	resp, err := http.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}
+
+func TestProfileStudyWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	heap := filepath.Join(dir, "heap.prof")
+	finish, err := ProfileStudy(cpu, heap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to flush.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i % 7
+	}
+	_ = x
+	if err := finish(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, heap} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LatencyTable renders the per-stage latency table (count, p50, p90, p99,
+// mean) from the set's stage histograms, in pipeline order, skipping stages
+// with no observations. It returns "" when nothing was observed — callers
+// can print the result unconditionally.
+func (s *Set) LatencyTable() string {
+	if s == nil {
+		return ""
+	}
+	type row struct {
+		stage               string
+		count               int64
+		p50, p90, p99, mean float64
+	}
+	var rows []row
+	for _, stage := range Stages() {
+		h := s.StageHist(stage)
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		rows = append(rows, row{
+			stage: stage,
+			count: n,
+			p50:   h.Quantile(0.50),
+			p90:   h.Quantile(0.90),
+			p99:   h.Quantile(0.99),
+			mean:  h.Sum() / float64(n),
+		})
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("Per-stage latency (bucketed estimates)\n")
+	fmt.Fprintf(&b, "  %-20s %10s %10s %10s %10s %10s\n",
+		"stage", "count", "p50", "p90", "p99", "mean")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-20s %10d %10s %10s %10s %10s\n",
+			r.stage, r.count,
+			fmtDuration(r.p50), fmtDuration(r.p90), fmtDuration(r.p99), fmtDuration(r.mean))
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+package madave
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"madave/internal/telemetry"
+)
+
+// telemetryStudyConfig is a small study — big enough to exercise every
+// pipeline stage, small enough to run twice in a few seconds.
+func telemetryStudyConfig(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.CrawlSites = 40
+	cfg.Crawl.Days = 1
+	cfg.Crawl.Refreshes = 2
+	cfg.Crawl.Parallelism = 4
+	cfg.OracleParallelism = 4
+	return cfg
+}
+
+// telemetryRun executes crawl + classification with the given telemetry set
+// (nil = uninstrumented) and returns the stats string and the sorted corpus
+// hash digest — the same same-seed fingerprint the chaos soak compares.
+func telemetryRun(t *testing.T, seed uint64, tel *telemetry.Set) (string, string) {
+	t.Helper()
+	cfg := telemetryStudyConfig(seed)
+	cfg.Telemetry = tel
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corp, st := s.Crawl()
+	res := s.Classify(corp)
+	hashes := make([]string, 0, corp.Len())
+	for _, ad := range corp.All() {
+		hashes = append(hashes, ad.Hash)
+	}
+	sort.Strings(hashes)
+	return fmt.Sprintf("%+v|scanned=%d|malicious=%d", *st, res.Scanned, res.MaliciousCount()),
+		strings.Join(hashes, "\n")
+}
+
+// TestTelemetryDeterminism is the acceptance gate for the telemetry layer's
+// core contract: instrumentation is strictly observational. A study with
+// full telemetry (metrics + span tracing) must produce byte-identical crawl
+// statistics, oracle counts, and corpus versus the same seed with telemetry
+// disabled.
+func TestTelemetryDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("telemetry determinism skipped in -short mode")
+	}
+	const seed = 4242
+
+	tel := telemetry.New(seed)
+	tel.EnableTracing()
+	sOn, hOn := telemetryRun(t, seed, tel)
+	sOff, hOff := telemetryRun(t, seed, nil)
+
+	if sOn != sOff {
+		t.Fatalf("stats diverged with telemetry on vs off:\n on: %s\noff: %s", sOn, sOff)
+	}
+	if hOn != hOff {
+		t.Fatal("corpus diverged with telemetry on vs off")
+	}
+
+	// The instrumented run must actually have recorded the whole pipeline:
+	// every stage appears both in the metrics registry and in the span tree.
+	recorded := map[string]bool{}
+	for _, sp := range tel.Tracer.Spans() {
+		recorded[sp.Stage] = true
+	}
+	for _, stage := range telemetry.Stages() {
+		if !recorded[stage] {
+			t.Errorf("no spans recorded for stage %s", stage)
+		}
+		if h := tel.StageHist(stage); h.Count() == 0 {
+			t.Errorf("no latency samples for stage %s", stage)
+		}
+	}
+
+	// The trace must export as valid Chrome trace_event JSON covering every
+	// stage (the file chrome://tracing / Perfetto loads).
+	var buf bytes.Buffer
+	if err := tel.Tracer.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) != tel.Tracer.Len() {
+		t.Fatalf("trace has %d events, tracer holds %d spans",
+			len(trace.TraceEvents), tel.Tracer.Len())
+	}
+	traced := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+		traced[ev.Name] = true
+	}
+	for _, stage := range telemetry.Stages() {
+		if !traced[stage] {
+			t.Errorf("chrome trace missing stage %s", stage)
+		}
+	}
+
+	// Span identity is deterministic: a second same-seed instrumented run
+	// yields the same span IDs for the same work units.
+	tel2 := telemetry.New(seed)
+	tel2.EnableTracing()
+	telemetryRun(t, seed, tel2)
+	ids := func(tr *telemetry.Tracer) string {
+		spans := tr.Spans()
+		keys := make([]string, 0, len(spans))
+		for _, sp := range spans {
+			keys = append(keys, fmt.Sprintf("%016x|%016x|%s|%s", sp.ID, sp.ParentID, sp.Stage, sp.Key))
+		}
+		sort.Strings(keys)
+		return strings.Join(keys, "\n")
+	}
+	if ids(tel.Tracer) != ids(tel2.Tracer) {
+		t.Fatal("span identities diverged across same-seed runs")
+	}
+
+	// And the latency table renders with every stage present.
+	table := tel.LatencyTable()
+	for _, stage := range telemetry.Stages() {
+		if !strings.Contains(table, stage) {
+			t.Errorf("latency table missing stage %s:\n%s", stage, table)
+		}
+	}
+}
