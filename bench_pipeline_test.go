@@ -8,12 +8,15 @@ package madave
 // bench step uploads so throughput regressions are visible per commit.
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"runtime"
 	"testing"
 
 	"madave/internal/easylist"
+	"madave/internal/honeyclient"
+	"madave/internal/stats"
 )
 
 // BenchmarkPipelineCrawl measures the collection phase end to end and
@@ -78,6 +81,64 @@ func BenchmarkPipelineAnalyze(b *testing.B) {
 	}
 }
 
+// benchImpressionStream Zipf-samples the corpus into a duplicate-heavy ad
+// sequence. The corpus itself is content-hash deduplicated — replaying it
+// uniformly never repeats a frame URL — but the live impression stream the
+// oracle actually faces repeats popular creatives constantly (the paper's
+// 673,596 ads deduplicate to far fewer distinct chains). The stream, not
+// the deduplicated corpus, is what memoization accelerates.
+func benchImpressionStream(b *testing.B, ads []*Ad) []*Ad {
+	b.Helper()
+	if len(ads) == 0 {
+		b.Fatal("empty corpus")
+	}
+	rng := stats.NewRNG(2014).Fork("bench-impression-stream")
+	zipf := stats.NewZipf(len(ads), 1.1)
+	stream := make([]*Ad, 4096)
+	for i := range stream {
+		stream[i] = ads[zipf.Sample(rng)]
+	}
+	return stream
+}
+
+// benchAnalyzeStream drives one honeyclient over the impression stream and
+// reports ads/sec; shared by the cache-off and cached variants.
+func benchAnalyzeStream(b *testing.B, h *honeyclient.Honeyclient, stream []*Ad) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ad := stream[i%len(stream)]
+		rep := h.AnalyzeAdContext(context.Background(), ad.FrameURL, ad.Day)
+		if len(rep.Hosts) == 0 {
+			b.Fatal("no hosts")
+		}
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "ads/sec")
+	}
+}
+
+// BenchmarkPipelineAnalyzeCacheOff is the memoization baseline: every
+// impression re-executes in full, duplicates included.
+func BenchmarkPipelineAnalyzeCacheOff(b *testing.B) {
+	s, r := benchWorld(b)
+	stream := benchImpressionStream(b, r.Corpus.All())
+	benchAnalyzeStream(b, honeyclient.New(s.Universe, s.Cfg.Seed), stream)
+}
+
+// BenchmarkPipelineAnalyzeCached is the same stream through the report
+// cache; hit_ratio reports how much of the stream was served from memory.
+func BenchmarkPipelineAnalyzeCached(b *testing.B) {
+	s, r := benchWorld(b)
+	stream := benchImpressionStream(b, r.Corpus.All())
+	h := honeyclient.New(s.Universe, s.Cfg.Seed)
+	h.EnableCache(0)
+	benchAnalyzeStream(b, h, stream)
+	if st, ok := h.CacheStats(); ok && st.Lookups() > 0 {
+		b.ReportMetric(st.HitRatio(), "hit_ratio")
+	}
+}
+
 // benchResult is one benchmark's row in BENCH_pipeline.json.
 type benchResult struct {
 	Name    string             `json:"name"`
@@ -118,6 +179,8 @@ func TestEmitBenchPipeline(t *testing.T) {
 		}
 		return res
 	}
+	cacheOff := run("PipelineAnalyzeCacheOff", BenchmarkPipelineAnalyzeCacheOff)
+	cached := run("PipelineAnalyzeCached", BenchmarkPipelineAnalyzeCached)
 	rep := benchReport{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -127,19 +190,44 @@ func TestEmitBenchPipeline(t *testing.T) {
 			run("PipelineCrawl", BenchmarkPipelineCrawl),
 			run("PipelineMatch", BenchmarkPipelineMatch),
 			run("PipelineAnalyze", BenchmarkPipelineAnalyze),
+			cacheOff,
+			cached,
 		},
 	}
-	f, err := os.Create(out)
-	if err != nil {
-		t.Fatal(err)
+
+	// The memoization gate: on the duplicate-heavy impression stream the
+	// cached analyzer must be strictly faster than the baseline, or the
+	// cache layer has regressed into overhead.
+	offRate, onRate := cacheOff.Metrics["ads/sec"], cached.Metrics["ads/sec"]
+	if offRate <= 0 || onRate <= offRate {
+		t.Errorf("cached PipelineAnalyze not faster: %.0f ads/sec cached vs %.0f cache-off (hit ratio %.2f)",
+			onRate, offRate, cached.Metrics["hit_ratio"])
+	} else {
+		t.Logf("cache speedup: %.1fx (%.0f -> %.0f ads/sec, hit ratio %.2f)",
+			onRate/offRate, offRate, onRate, cached.Metrics["hit_ratio"])
 	}
-	enc := json.NewEncoder(f)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		t.Fatal(err)
+
+	write := func(path string, rep benchReport) {
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("benchmark artifact written to %s", path)
 	}
-	if err := f.Close(); err != nil {
-		t.Fatal(err)
+	write(out, rep)
+	// A second artifact holding only the cache comparison rows, so the CI
+	// job can upload the cache-off and cache-on variants side by side.
+	if cachedOut := os.Getenv("BENCH_PIPELINE_CACHED_OUT"); cachedOut != "" {
+		cmp := rep
+		cmp.Results = []benchResult{cacheOff, cached}
+		write(cachedOut, cmp)
 	}
-	t.Logf("benchmark artifact written to %s", out)
 }

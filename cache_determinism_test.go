@@ -1,0 +1,125 @@
+package madave
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"madave/internal/memnet"
+)
+
+// cacheRun executes crawl + classification for one configuration and
+// returns three fingerprints: the crawl-stats/oracle-count string, the
+// sorted corpus hash digest, and the sorted incident digest (hash, category,
+// evidence per incident). Any divergence between cache-on and cache-off
+// shows up byte-for-byte in at least one of them.
+func cacheRun(t *testing.T, cfg Config) (string, string, string) {
+	t.Helper()
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corp, st := s.Crawl()
+	res := s.Classify(corp)
+
+	hashes := make([]string, 0, corp.Len())
+	for _, ad := range corp.All() {
+		hashes = append(hashes, ad.Hash)
+	}
+	sort.Strings(hashes)
+
+	incidents := make([]string, 0, len(res.Incidents))
+	for _, inc := range res.Incidents {
+		incidents = append(incidents, fmt.Sprintf("%s|%s|%s", inc.AdHash, inc.Category, inc.Evidence))
+	}
+	sort.Strings(incidents)
+
+	return fmt.Sprintf("%+v|scanned=%d|malicious=%d|degraded=%d", *st, res.Scanned, res.MaliciousCount(), res.Degraded),
+		strings.Join(hashes, "\n"),
+		strings.Join(incidents, "\n")
+}
+
+// TestCacheDeterminism is the acceptance gate for the memoization layer's
+// core contract: caches only ever hold values that are pure functions of
+// their keys, so a study with all three caches enabled must be
+// byte-identical — crawl stats, corpus, and every incident — to the same
+// seed with caches off, independent of worker interleaving and (in the
+// chaos variant) fault injection.
+func TestCacheDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache determinism skipped in -short mode")
+	}
+	const seed = 2828
+
+	base := telemetryStudyConfig(seed)
+	// Multi-day crawl: exercises the day component of the honeyclient and
+	// blacklist cache keys.
+	base.Crawl.Days = 2
+
+	off := base
+	on := base
+	on.Cache.Enabled = true
+
+	sOff, hOff, iOff := cacheRun(t, off)
+	sOn, hOn, iOn := cacheRun(t, on)
+	if sOn != sOff {
+		t.Fatalf("stats diverged with caches on vs off:\n on: %s\noff: %s", sOn, sOff)
+	}
+	if hOn != hOff {
+		t.Fatal("corpus diverged with caches on vs off")
+	}
+	if iOn != iOff {
+		t.Fatalf("incidents diverged with caches on vs off:\n on: %s\noff: %s", iOn, iOff)
+	}
+
+	// Worker-interleaving independence: a serial cached run equals the
+	// parallel cached run (cache fill order must not leak into verdicts).
+	serial := on
+	serial.Crawl.Parallelism = 1
+	serial.OracleParallelism = 1
+	sSer, hSer, iSer := cacheRun(t, serial)
+	if sSer != sOn || hSer != hOn || iSer != iOn {
+		t.Fatal("cached study depends on worker interleaving")
+	}
+
+	// Tiny caches: constant eviction pressure must be invisible too —
+	// an evicted-and-recomputed value equals the cached one by purity.
+	tiny := on
+	tiny.Cache.HoneyclientEntries = 8
+	tiny.Cache.BlacklistEntries = 8
+	tiny.Cache.AVScanEntries = 8
+	sTiny, hTiny, iTiny := cacheRun(t, tiny)
+	if sTiny != sOn || hTiny != hOn || iTiny != iOn {
+		t.Fatal("cached study depends on cache capacity (eviction leaked into verdicts)")
+	}
+}
+
+// TestCacheDeterminismUnderChaos repeats the on/off comparison with fault
+// injection: chaos faults are a pure function of (seed, URL, attempt), so
+// even degraded analyses memoize soundly.
+func TestCacheDeterminismUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cache chaos determinism skipped in -short mode")
+	}
+	const seed = 2829
+
+	base := telemetryStudyConfig(seed)
+	prof := memnet.UniformProfile(0.25)
+	base.Chaos = &prof
+
+	on := base
+	on.Cache.Enabled = true
+
+	sOff, hOff, iOff := cacheRun(t, base)
+	sOn, hOn, iOn := cacheRun(t, on)
+	if sOn != sOff {
+		t.Fatalf("chaotic stats diverged with caches on vs off:\n on: %s\noff: %s", sOn, sOff)
+	}
+	if hOn != hOff {
+		t.Fatal("chaotic corpus diverged with caches on vs off")
+	}
+	if iOn != iOff {
+		t.Fatalf("chaotic incidents diverged with caches on vs off:\n on: %s\noff: %s", iOn, iOff)
+	}
+}

@@ -6,8 +6,8 @@
 // Usage:
 //
 //	adcrawl -o corpus.jsonl [-seed N] [-sites N] [-days N] [-refreshes N]
-//	        [-chaos RATE] [-metrics-out metrics.prom] [-spans-out trace.json]
-//	        [-pprof ADDR]
+//	        [-chaos RATE] [-cache] [-metrics-out metrics.prom]
+//	        [-spans-out trace.json] [-pprof ADDR]
 package main
 
 import (
@@ -34,6 +34,7 @@ func main() {
 		refreshes = flag.Int("refreshes", 5, "page refreshes per visit")
 		workers   = flag.Int("workers", 8, "crawl parallelism")
 		chaos     = flag.Float64("chaos", 0, "injected network fault rate in [0,1] (0 = off); faults are seeded, so crawls stay reproducible")
+		cache     = flag.Bool("cache", false, "enable the oracle-side memoization caches in the assembled study (matches madstudy/adoracle -cache)")
 
 		metricsOut = flag.String("metrics-out", "", "write end-of-run metrics to this file (.prom = Prometheus text, else JSON)")
 		spansOut   = flag.String("spans-out", "", "record pipeline spans and write them to this file (.jsonl = JSON lines, else Chrome trace_event)")
@@ -51,6 +52,7 @@ func main() {
 		prof := memnet.UniformProfile(*chaos)
 		cfg.Chaos = &prof
 	}
+	cfg.Cache.Enabled = *cache
 
 	tel := telemetry.New(*seed)
 	if *spansOut != "" {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	adoracle -i corpus.jsonl [-seed N] [-workers N]
+//	adoracle -i corpus.jsonl [-seed N] [-workers N] [-cache]
 package main
 
 import (
@@ -26,6 +26,7 @@ func main() {
 		in      = flag.String("i", "corpus.jsonl", "input corpus file (JSON lines)")
 		seed    = flag.Uint64("seed", 1, "simulation seed (must match the crawl)")
 		workers = flag.Int("workers", 8, "oracle parallelism")
+		cache   = flag.Bool("cache", false, "memoize honeyclient reports, blacklist verdicts, and AV scans (verdicts stay byte-identical)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 	cfg := madave.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.OracleParallelism = *workers
+	cfg.Cache.Enabled = *cache
 	study, err := madave.NewStudy(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -54,4 +56,12 @@ func main() {
 
 	report := study.Analyze(corp, verdicts, nil)
 	fmt.Println(report.RenderText())
+
+	if cs := study.CacheStats(); len(cs) > 0 {
+		fmt.Println("\nPipeline caches")
+		for _, st := range cs {
+			fmt.Printf("  %-12s %d hits / %d lookups (%.1f%% hit, %d coalesced, %d evictions)\n",
+				st.Name, st.Hits, st.Lookups(), 100*st.HitRatio(), st.Coalesced, st.Evictions)
+		}
+	}
 }

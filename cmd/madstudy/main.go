@@ -7,7 +7,7 @@
 // Usage:
 //
 //	madstudy [-seed N] [-sites N] [-days N] [-refreshes N] [-workers N]
-//	         [-chaos RATE] [-defenses] [-corpus out.jsonl] [-csv dir]
+//	         [-chaos RATE] [-cache] [-defenses] [-corpus out.jsonl] [-csv dir]
 //	         [-metrics-out metrics.prom] [-spans-out trace.json]
 //	         [-pprof ADDR] [-cpuprofile cpu.pb.gz] [-memprofile heap.pb.gz]
 package main
@@ -48,6 +48,9 @@ func main() {
 		traceOut  = flag.String("trace", "", "capture all crawl HTTP traffic and write it (JSON lines) to this file")
 		chaos     = flag.Float64("chaos", 0, "injected network fault rate in [0,1] (0 = off); faults are seeded, so the study stays reproducible")
 
+		cache        = flag.Bool("cache", false, "memoize honeyclient reports, blacklist verdicts, and AV scans (results stay byte-identical; repeated artefacts classify once)")
+		cacheEntries = flag.Int("cache-entries", 0, "per-cache capacity override (0 = per-cache defaults)")
+
 		metricsOut = flag.String("metrics-out", "", "write end-of-run metrics to this file (.prom = Prometheus text, else JSON)")
 		spansOut   = flag.String("spans-out", "", "record pipeline spans and write them to this file (.jsonl = JSON lines, else Chrome trace_event for chrome://tracing / Perfetto)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -66,6 +69,14 @@ func main() {
 	if *chaos > 0 {
 		prof := memnet.UniformProfile(*chaos)
 		cfg.Chaos = &prof
+	}
+	if *cache {
+		cfg.Cache = madave.CacheConfig{
+			Enabled:            true,
+			HoneyclientEntries: *cacheEntries,
+			BlacklistEntries:   *cacheEntries,
+			AVScanEntries:      *cacheEntries,
+		}
 	}
 
 	tel := telemetry.New(*seed)
@@ -257,6 +268,16 @@ func main() {
 	if table := tel.LatencyTable(); table != "" {
 		fmt.Println("\nPipeline stage latencies")
 		fmt.Print(table)
+	}
+	if cs := study.CacheStats(); len(cs) > 0 {
+		fmt.Println("\nPipeline caches")
+		fmt.Printf("  %-12s %10s %10s %9s %10s %10s %8s\n",
+			"cache", "hits", "misses", "hit%", "coalesced", "evictions", "size")
+		for _, st := range cs {
+			fmt.Printf("  %-12s %10d %10d %8.1f%% %10d %10d %8d\n",
+				st.Name, st.Hits, st.Misses, 100*st.HitRatio(),
+				st.Coalesced, st.Evictions, st.Size)
+		}
 	}
 	if *metricsOut != "" {
 		if err := writeMetrics(tel, *metricsOut); err != nil {

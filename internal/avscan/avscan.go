@@ -16,7 +16,9 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"madave/internal/cachex"
 	"madave/internal/stats"
+	"madave/internal/telemetry"
 )
 
 // NumEngines is the number of antivirus engines (paper: 51).
@@ -81,6 +83,30 @@ func (r *Report) Malicious(threshold int) bool {
 type Scanner struct {
 	Engines   []Engine
 	Threshold int
+	// cache memoizes reports by content hash: every verdict is a pure
+	// function of (engine set, sample bytes), so a cached report is
+	// byte-identical to a rescan. Nil means scan every submission.
+	cache *cachex.Cache[string, *Report]
+}
+
+// DefaultCacheEntries sizes the report cache; payload bodies are constant
+// per campaign, so distinct hashes number in the hundreds.
+const DefaultCacheEntries = 1 << 12
+
+// EnableCache turns on content-hash memoization of scan reports.
+func (s *Scanner) EnableCache(entries int, tel *telemetry.Set) {
+	if entries <= 0 {
+		entries = DefaultCacheEntries
+	}
+	s.cache = cachex.New[string, *Report](cachex.Config{Capacity: entries, Name: "avscan", Tel: tel})
+}
+
+// CacheStats reports the scan cache counters; ok is false when disabled.
+func (s *Scanner) CacheStats() (st cachex.Stats, ok bool) {
+	if s.cache == nil {
+		return cachex.Stats{}, false
+	}
+	return s.cache.Stats(), true
 }
 
 // New returns a scanner with 51 engines whose detection rates span the
@@ -114,9 +140,21 @@ var (
 	markerSWF = []byte("EVILSWF:")
 )
 
-// Scan runs every engine over the sample.
+// Scan runs every engine over the sample. With the cache enabled,
+// identical payload bodies are scanned once and concurrent submissions of
+// the same body coalesce into a single engine sweep.
 func (s *Scanner) Scan(data []byte) *Report {
 	sum := sha256.Sum256(data)
+	if s.cache == nil {
+		return s.scan(data, sum)
+	}
+	r, _ := s.cache.GetOrLoad(hex.EncodeToString(sum[:]), func() (*Report, error) {
+		return s.scan(data, sum), nil
+	})
+	return r
+}
+
+func (s *Scanner) scan(data []byte, sum [sha256.Size]byte) *Report {
 	r := &Report{
 		SHA256: hex.EncodeToString(sum[:]),
 		Size:   len(data),

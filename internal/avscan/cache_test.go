@@ -1,0 +1,80 @@
+package avscan
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestCachedScanMatchesUncached asserts the cached scanner returns reports
+// deep-equal to a cache-less scanner, and repeated bodies are hits.
+func TestCachedScanMatchesUncached(t *testing.T) {
+	plain := New(7)
+	cached := New(7)
+	cached.EnableCache(0, nil)
+
+	samples := [][]byte{
+		[]byte("MZ EVIL:DriveBy.alpha;payload-bytes"),
+		[]byte("FWS EVILSWF:Flash.beta;swf-bytes"),
+		[]byte("plain clean body"),
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, data := range samples {
+			want := plain.Scan(data)
+			got := cached.Scan(data)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pass %d sample %d: cached report diverged", pass, i)
+			}
+		}
+	}
+	st, ok := cached.CacheStats()
+	if !ok || st.Hits != 3 || st.Misses != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestCachedScanConcurrent hammers one body from many goroutines under
+// -race: all callers share a single scan.
+func TestCachedScanConcurrent(t *testing.T) {
+	s := New(7)
+	s.EnableCache(0, nil)
+	data := []byte("MZ EVIL:Storm.gamma;same-body")
+
+	const workers = 8
+	reports := make([]*Report, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reports[w] = s.Scan(data)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if reports[w] != reports[0] {
+			t.Fatalf("worker %d got a different report pointer", w)
+		}
+	}
+	if st, _ := s.CacheStats(); st.Stores != 1 {
+		t.Fatalf("body scanned %d times", st.Stores)
+	}
+}
+
+// TestCacheDistinguishesBodies guards against hash-key collisions across
+// distinct payloads with equal length.
+func TestCacheDistinguishesBodies(t *testing.T) {
+	s := New(7)
+	s.EnableCache(0, nil)
+	a := s.Scan([]byte("MZ EVIL:One.a;xxxxxxxx"))
+	b := s.Scan([]byte("MZ EVIL:Two.b;yyyyyyyy"))
+	if a.SHA256 == b.SHA256 {
+		t.Fatal("distinct bodies share a report")
+	}
+	if got := fmt.Sprintf("%v", a.Verdicts); got == fmt.Sprintf("%v", b.Verdicts) && a == b {
+		t.Fatal("cache conflated distinct bodies")
+	}
+}

@@ -15,11 +15,14 @@ package blacklist
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
 	"madave/internal/adnet"
+	"madave/internal/cachex"
 	"madave/internal/stats"
+	"madave/internal/telemetry"
 	"madave/internal/urlx"
 )
 
@@ -59,6 +62,39 @@ type Tracker struct {
 	// domain to count as malicious (exclusive: listings must EXCEED it).
 	Threshold int
 	listNames []string
+	// memo caches per-(host, day) listing counts. The count is a pure
+	// function of the tracker's contents, so the memo is purged whenever a
+	// listing is added; day keys the temporal AsOf variant.
+	memo *cachex.Cache[string, int]
+}
+
+// DefaultMemoEntries sizes the (host, day) verdict memo. A study touches a
+// few thousand distinct hosts per day at most.
+const DefaultMemoEntries = 1 << 14
+
+// EnableMemo turns on memoization of per-(host, day) listing counts.
+// Call it after the tracker is populated; any later AddOn purges the memo
+// so verdicts never go stale.
+func (t *Tracker) EnableMemo(entries int, tel *telemetry.Set) {
+	if entries <= 0 {
+		entries = DefaultMemoEntries
+	}
+	memo := cachex.New[string, int](cachex.Config{Capacity: entries, Name: "blacklist", Tel: tel})
+	t.mu.Lock()
+	t.memo = memo
+	t.mu.Unlock()
+}
+
+// MemoStats reports the memo cache counters; ok is false when the memo is
+// disabled.
+func (t *Tracker) MemoStats() (st cachex.Stats, ok bool) {
+	t.mu.RLock()
+	memo := t.memo
+	t.mu.RUnlock()
+	if memo == nil {
+		return cachex.Stats{}, false
+	}
+	return memo.Stats(), true
 }
 
 // New returns an empty tracker with the paper's 49 lists and >5 threshold.
@@ -160,6 +196,11 @@ func (t *Tracker) AddOn(host, list string, cat Category, day int) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if t.memo != nil {
+		// Memoized counts are pure functions of the entries map; adding a
+		// listing invalidates them wholesale.
+		t.memo.Purge()
+	}
 	for _, l := range t.entries[domain] {
 		if l.List == list {
 			return
@@ -174,7 +215,23 @@ func (t *Tracker) Listings(host string) int {
 }
 
 // ListingsAsOf counts listings already discovered by the given crawl day.
+// With the memo enabled, repeated (host, day) lookups — the common case on
+// a repetitive ad stream — skip both the registered-domain parse and the
+// listing walk.
 func (t *Tracker) ListingsAsOf(host string, day int) int {
+	t.mu.RLock()
+	memo := t.memo
+	t.mu.RUnlock()
+	if memo == nil {
+		return t.countAsOf(host, day)
+	}
+	n, _ := memo.GetOrLoad(host+"|"+strconv.Itoa(day), func() (int, error) {
+		return t.countAsOf(host, day), nil
+	})
+	return n
+}
+
+func (t *Tracker) countAsOf(host string, day int) int {
 	domain := urlx.RegisteredDomain(host)
 	if domain == "" {
 		domain = strings.ToLower(host)

@@ -1,0 +1,87 @@
+package blacklist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// populate lists host on n lists, all known from day `day`.
+func populate(t *Tracker, host string, n, day int) {
+	for i := 0; i < n; i++ {
+		t.AddOn(host, fmt.Sprintf("bl-%02d", i), CatMalware, day)
+	}
+}
+
+// TestMemoMatchesDirect asserts the memoized verdict path agrees with a
+// memo-less tracker over hosts, days, and the threshold boundary.
+func TestMemoMatchesDirect(t *testing.T) {
+	plain, memod := New(), New()
+	for _, tr := range []*Tracker{plain, memod} {
+		populate(tr, "www.bad-ads.com", 8, 0)
+		populate(tr, "www.edge-case.com", 6, 2) // crosses >5 only from day 2
+		populate(tr, "www.noisy.com", 3, 0)
+	}
+	memod.EnableMemo(0, nil)
+
+	hosts := []string{"www.bad-ads.com", "www.edge-case.com", "www.noisy.com", "www.clean.com"}
+	for pass := 0; pass < 2; pass++ { // second pass runs fully memoized
+		for _, h := range hosts {
+			for day := 0; day < 4; day++ {
+				if got, want := memod.IsMaliciousAsOf(h, day), plain.IsMaliciousAsOf(h, day); got != want {
+					t.Fatalf("pass %d %s day %d: memo %v, direct %v", pass, h, day, got, want)
+				}
+			}
+			if got, want := memod.IsMalicious(h), plain.IsMalicious(h); got != want {
+				t.Fatalf("pass %d %s: memo %v, direct %v", pass, h, got, want)
+			}
+		}
+	}
+	st, ok := memod.MemoStats()
+	if !ok || st.Hits == 0 {
+		t.Fatalf("memo never hit: %+v", st)
+	}
+}
+
+// TestMemoPurgedOnAdd pins the invalidation contract: adding a listing
+// after lookups must not serve a stale count.
+func TestMemoPurgedOnAdd(t *testing.T) {
+	tr := New()
+	populate(tr, "www.latecomer.com", 5, 0)
+	tr.EnableMemo(0, nil)
+	if tr.IsMalicious("www.latecomer.com") {
+		t.Fatal("5 listings should not cross >5")
+	}
+	tr.AddOn("www.latecomer.com", "bl-40", CatMalware, 0)
+	if !tr.IsMalicious("www.latecomer.com") {
+		t.Fatal("memo served a stale sub-threshold verdict")
+	}
+}
+
+// TestMemoConcurrent storms the memo under -race; every answer must match
+// the pure count for its (host, day).
+func TestMemoConcurrent(t *testing.T) {
+	tr := New()
+	// Distinct registered domains: hostNN.exNN.com, not NN.example.com
+	// (which would all collapse onto example.com's listing set).
+	for i := 0; i < 40; i++ {
+		populate(tr, fmt.Sprintf("host.ex%02d.com", i), i%12, 0)
+	}
+	tr.EnableMemo(64, nil) // smaller than the keyspace: exercises eviction
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := (i*5 + w*11) % 40
+				host := fmt.Sprintf("host.ex%02d.com", n)
+				if got, want := tr.Listings(host), n%12; got != want {
+					t.Errorf("%s: memo %d, truth %d", host, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

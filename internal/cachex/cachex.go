@@ -1,0 +1,435 @@
+// Package cachex is the pipeline's content-addressed memoization layer: a
+// zero-dependency, generic, sharded LRU cache with single-flight loading.
+// The ad ecosystem is massively repetitive — the same creatives, arbitration
+// hosts, and payload bodies recur across placements — and the oracle's three
+// detectors (honeyclient, blacklist tracker, AV scanner) are all pure
+// functions of their inputs, so re-deriving a verdict for an artefact the
+// pipeline has already analyzed is wasted work. cachex removes that work
+// without changing any result.
+//
+// Correctness rests on one rule: a cache may only hold values that are pure
+// functions of their keys. Under that rule a hit is indistinguishable from a
+// recomputation, so a study with caches on is byte-identical — in stats,
+// corpus, and incidents — to one with caches off, independent of worker
+// interleaving, eviction pressure, or which goroutine wins a single-flight
+// race. Hit/miss/eviction counts themselves are NOT deterministic (they
+// depend on scheduling, like wall-clock durations); they are telemetry, and
+// like all telemetry they are written out of the pipeline, never read back.
+//
+// Expiry is by generation, not wall clock: callers advance a logical epoch
+// (e.g. one crawl day) and entries older than TTLGenerations epochs lapse.
+// Deterministic inputs deserve deterministic expiry.
+package cachex
+
+import (
+	"errors"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"madave/internal/telemetry"
+)
+
+// ErrSkipStore is a sentinel a loader returns alongside a value to deliver
+// the value to every waiting caller WITHOUT storing it. Use it for results
+// that are valid for the present callers but not reproducible — e.g. a
+// partial honeyclient report cut short by a cancelled context.
+var ErrSkipStore = errors.New("cachex: do not store")
+
+// DefaultCapacity bounds a cache when Config.Capacity is zero.
+const DefaultCapacity = 1 << 14
+
+// DefaultShards is the shard count when Config.Shards is zero.
+const DefaultShards = 16
+
+// Config parameterizes one cache.
+type Config struct {
+	// Capacity is the maximum number of entries across all shards
+	// (0 = DefaultCapacity). Each shard holds Capacity/Shards entries and
+	// evicts its own least-recently-used entry, an approximate global LRU.
+	Capacity int
+	// Shards is the number of independently locked segments, rounded up to
+	// a power of two (0 = DefaultShards).
+	Shards int
+	// TTLGenerations expires entries stored more than this many Advance()
+	// calls ago (0 = entries never expire).
+	TTLGenerations int
+	// Name labels the cache's telemetry series (cache_hits_total{cache=Name}).
+	Name string
+	// Tel, when non-nil, mirrors the cache's counters into the registry.
+	// Purely observational, like all telemetry.
+	Tel *telemetry.Set
+}
+
+// Stats is a point-in-time snapshot of one cache's counters.
+type Stats struct {
+	Name      string
+	Hits      int64
+	Misses    int64
+	Stores    int64
+	Evictions int64
+	Coalesced int64
+	Expired   int64
+	Size      int
+}
+
+// Lookups returns the total number of Get/GetOrLoad decisions.
+func (s Stats) Lookups() int64 { return s.Hits + s.Misses }
+
+// HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	if n := s.Lookups(); n > 0 {
+		return float64(s.Hits) / float64(n)
+	}
+	return 0
+}
+
+// entry is one cached value on a shard's intrusive LRU list.
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	gen        uint64
+	prev, next *entry[K, V]
+}
+
+// flight is one in-progress load other callers coalesce onto.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// shard is one lock domain: a map, an LRU list (head = most recent), and
+// the in-flight load table.
+type shard[K comparable, V any] struct {
+	mu       sync.Mutex
+	entries  map[K]*entry[K, V]
+	head     *entry[K, V]
+	tail     *entry[K, V]
+	inflight map[K]*flight[V]
+}
+
+// Cache is a sharded concurrent LRU with single-flight loading. The zero
+// value is not usable; construct with New.
+type Cache[K comparable, V any] struct {
+	shards   []shard[K, V]
+	mask     uint64
+	perShard int
+	hash     func(K) uint64
+	ttl      uint64
+	gen      atomic.Uint64
+	name     string
+
+	hits, misses, stores   atomic.Int64
+	evictions, coalesced   atomic.Int64
+	expired                atomic.Int64
+	tHits, tMisses, tEvict *telemetry.Counter
+	tCoalesce, tExpired    *telemetry.Counter
+}
+
+// New builds a cache from cfg. Keys must be strings or fixed-width integers;
+// other key types need NewWithHasher.
+func New[K comparable, V any](cfg Config) *Cache[K, V] {
+	h := defaultHasher[K]()
+	if h == nil {
+		panic("cachex: no default hasher for key type; use NewWithHasher")
+	}
+	return NewWithHasher[K, V](cfg, h)
+}
+
+// NewWithHasher is New with an explicit key-hash function (used only for
+// shard selection, so it needs to be well-spread, not cryptographic).
+func NewWithHasher[K comparable, V any](cfg Config, hash func(K) uint64) *Cache[K, V] {
+	capacity := cfg.Capacity
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > capacity {
+		n = capacity
+	}
+	n = 1 << bits.Len(uint(n-1)) // round up to a power of two
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache[K, V]{
+		shards:   make([]shard[K, V], n),
+		mask:     uint64(n - 1),
+		perShard: per,
+		hash:     hash,
+		name:     cfg.Name,
+	}
+	if cfg.TTLGenerations > 0 {
+		c.ttl = uint64(cfg.TTLGenerations)
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[K]*entry[K, V])
+		c.shards[i].inflight = make(map[K]*flight[V])
+	}
+	if cfg.Tel != nil {
+		l := telemetry.L("cache", cfg.Name)
+		c.tHits = cfg.Tel.Counter("cache_hits_total", l)
+		c.tMisses = cfg.Tel.Counter("cache_misses_total", l)
+		c.tEvict = cfg.Tel.Counter("cache_evictions_total", l)
+		c.tCoalesce = cfg.Tel.Counter("cache_coalesced_total", l)
+		c.tExpired = cfg.Tel.Counter("cache_expired_total", l)
+	}
+	return c
+}
+
+// defaultHasher covers the key types the pipeline uses.
+func defaultHasher[K comparable]() func(K) uint64 {
+	var zero K
+	switch any(zero).(type) {
+	case string:
+		return func(k K) uint64 { return fnv1a(any(k).(string)) }
+	case int:
+		return func(k K) uint64 { return mix(uint64(any(k).(int))) }
+	case int64:
+		return func(k K) uint64 { return mix(uint64(any(k).(int64))) }
+	case uint64:
+		return func(k K) uint64 { return mix(any(k).(uint64)) }
+	case uint32:
+		return func(k K) uint64 { return mix(uint64(any(k).(uint32))) }
+	case int32:
+		return func(k K) uint64 { return mix(uint64(any(k).(int32))) }
+	}
+	return nil
+}
+
+// fnv1a is the 64-bit FNV-1a string hash.
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix is a 64-bit finalizer (splitmix64) for integer keys.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (c *Cache[K, V]) shardFor(k K) *shard[K, V] {
+	return &c.shards[c.hash(k)&c.mask]
+}
+
+// Advance moves the cache one generation forward. Entries stored more than
+// TTLGenerations advances ago lapse on their next lookup.
+func (c *Cache[K, V]) Advance() { c.gen.Add(1) }
+
+// Get returns the cached value for k, refreshing its recency.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	v, ok := c.lookupLocked(s, k)
+	s.mu.Unlock()
+	if ok {
+		c.countHit()
+	} else {
+		c.countMiss()
+	}
+	return v, ok
+}
+
+// lookupLocked finds k in s, handling expiry and LRU promotion. Caller holds
+// s.mu.
+func (c *Cache[K, V]) lookupLocked(s *shard[K, V], k K) (V, bool) {
+	var zero V
+	e, ok := s.entries[k]
+	if !ok {
+		return zero, false
+	}
+	if c.ttl > 0 && c.gen.Load()-e.gen >= c.ttl {
+		s.unlink(e)
+		delete(s.entries, k)
+		c.expired.Add(1)
+		if c.tExpired != nil {
+			c.tExpired.Inc()
+		}
+		return zero, false
+	}
+	s.moveToFront(e)
+	return e.val, true
+}
+
+// Put stores v under k, evicting the shard's LRU entry if it is full.
+func (c *Cache[K, V]) Put(k K, v V) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	c.storeLocked(s, k, v)
+	s.mu.Unlock()
+}
+
+// storeLocked inserts or refreshes an entry. Caller holds s.mu.
+func (c *Cache[K, V]) storeLocked(s *shard[K, V], k K, v V) {
+	if e, ok := s.entries[k]; ok {
+		e.val = v
+		e.gen = c.gen.Load()
+		s.moveToFront(e)
+		return
+	}
+	if len(s.entries) >= c.perShard {
+		if lru := s.tail; lru != nil {
+			s.unlink(lru)
+			delete(s.entries, lru.key)
+			c.evictions.Add(1)
+			if c.tEvict != nil {
+				c.tEvict.Inc()
+			}
+		}
+	}
+	e := &entry[K, V]{key: k, val: v, gen: c.gen.Load()}
+	s.entries[k] = e
+	s.pushFront(e)
+	c.stores.Add(1)
+}
+
+// GetOrLoad returns the cached value for k, or runs load to produce it.
+// Concurrent calls for the same key coalesce: exactly one caller (the
+// leader) runs load while the rest block and share its result. A load that
+// returns a nil error is stored; ErrSkipStore delivers the value to all
+// waiters without storing; any other error is propagated to all waiters and
+// nothing is stored.
+//
+// load runs outside the shard lock, so it may take arbitrarily long and may
+// itself use the cache (with a different key).
+func (c *Cache[K, V]) GetOrLoad(k K, load func() (V, error)) (V, error) {
+	s := c.shardFor(k)
+	s.mu.Lock()
+	if v, ok := c.lookupLocked(s, k); ok {
+		s.mu.Unlock()
+		c.countHit()
+		return v, nil
+	}
+	if f, ok := s.inflight[k]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		if c.tCoalesce != nil {
+			c.tCoalesce.Inc()
+		}
+		c.countHit()
+		<-f.done
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	s.inflight[k] = f
+	s.mu.Unlock()
+	c.countMiss()
+
+	v, err := load()
+	f.val = v
+	f.err = err
+	if errors.Is(err, ErrSkipStore) {
+		f.err = nil
+	}
+
+	s.mu.Lock()
+	delete(s.inflight, k)
+	if err == nil {
+		c.storeLocked(s, k, v)
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.val, f.err
+}
+
+// Purge drops every entry (in-flight loads are unaffected: they complete
+// and store into the emptied cache). Use after mutating the underlying
+// source of truth.
+func (c *Cache[K, V]) Purge() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = make(map[K]*entry[K, V])
+		s.head, s.tail = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Name:      c.name,
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Stores:    c.stores.Load(),
+		Evictions: c.evictions.Load(),
+		Coalesced: c.coalesced.Load(),
+		Expired:   c.expired.Load(),
+		Size:      c.Len(),
+	}
+}
+
+func (c *Cache[K, V]) countHit() {
+	c.hits.Add(1)
+	if c.tHits != nil {
+		c.tHits.Inc()
+	}
+}
+
+func (c *Cache[K, V]) countMiss() {
+	c.misses.Add(1)
+	if c.tMisses != nil {
+		c.tMisses.Inc()
+	}
+}
+
+// ---- intrusive LRU list (head = most recently used) ----
+
+func (s *shard[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *shard[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *shard[K, V]) moveToFront(e *entry[K, V]) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}

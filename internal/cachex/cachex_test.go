@@ -1,0 +1,269 @@
+package cachex
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"madave/internal/telemetry"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[string, int](Config{Capacity: 8, Shards: 1, Name: "t"})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("got %d,%v want 1,true", v, ok)
+	}
+	c.Put("a", 2) // refresh in place
+	if v, _ := c.Get("a"); v != 2 {
+		t.Fatalf("refresh lost: %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Stores != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := st.HitRatio(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit ratio %f", got)
+	}
+}
+
+// TestLRUEvictionOrder pins the eviction policy: least recently USED goes
+// first, and a Get refreshes recency.
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New[string, int](Config{Capacity: 3, Shards: 1})
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a")    // a is now most recent; b is LRU
+	c.Put("d", 4) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived eviction")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s evicted out of order", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d", st.Evictions)
+	}
+	// Continue filling: c is LRU now (a, c, d order after the gets above is
+	// d most recent? no: gets ran a,c,d so a is LRU).
+	c.Put("e", 5)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a should be the second eviction")
+	}
+}
+
+// TestSingleFlight asserts the coalescing contract: N concurrent loads of
+// one key run the loader exactly once and share its value.
+func TestSingleFlight(t *testing.T) {
+	c := New[string, int](Config{Capacity: 8})
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]int, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrLoad("k", func() (int, error) {
+				calls.Add(1)
+				close(started)
+				<-release
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("load error: %v", err)
+			}
+			results[i] = v
+		}(i)
+	}
+	<-started
+	// Give the other goroutines a moment to pile onto the flight.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("loader ran %d times", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("waiter %d got %d", i, v)
+		}
+	}
+	st := c.Stats()
+	if st.Coalesced == 0 {
+		t.Fatal("no coalesced waiters recorded")
+	}
+	if st.Stores != 1 {
+		t.Fatalf("stores = %d", st.Stores)
+	}
+}
+
+// TestGetOrLoadStorm hammers the cache from many goroutines under -race:
+// every returned value must equal the pure function of its key, whatever
+// the interleaving, eviction pressure, or coalescing.
+func TestGetOrLoadStorm(t *testing.T) {
+	c := New[string, int](Config{Capacity: 64, Shards: 4}) // smaller than keyspace: forces eviction
+	f := func(k string) int { return len(k) * 7 }
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprintf("key-%d", (i*7+w*13)%200)
+				v, err := c.GetOrLoad(k, func() (int, error) { return f(k), nil })
+				if err != nil {
+					t.Errorf("load: %v", err)
+					return
+				}
+				if v != f(k) {
+					t.Errorf("key %s: got %d want %d", k, v, f(k))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Lookups() != workers*2000 {
+		t.Fatalf("lookups = %d", st.Lookups())
+	}
+	if st.Evictions == 0 {
+		t.Fatal("storm did not exercise eviction")
+	}
+}
+
+func TestGenerationTTL(t *testing.T) {
+	c := New[string, int](Config{Capacity: 8, Shards: 1, TTLGenerations: 2})
+	c.Put("a", 1)
+	c.Advance()
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("expired one generation early")
+	}
+	c.Advance()
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("survived past TTL")
+	}
+	if st := c.Stats(); st.Expired != 1 {
+		t.Fatalf("expired = %d", st.Expired)
+	}
+	// A fresh store after expiry lives a full TTL again.
+	c.Put("a", 2)
+	c.Advance()
+	if v, ok := c.Get("a"); !ok || v != 2 {
+		t.Fatal("restored entry lapsed early")
+	}
+}
+
+func TestErrSkipStore(t *testing.T) {
+	c := New[string, int](Config{Capacity: 8})
+	var calls int
+	load := func() (int, error) {
+		calls++
+		return 9, ErrSkipStore
+	}
+	v, err := c.GetOrLoad("k", load)
+	if err != nil || v != 9 {
+		t.Fatalf("got %d,%v", v, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("ErrSkipStore value was stored")
+	}
+	// The next call loads again.
+	if _, err := c.GetOrLoad("k", load); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("loader ran %d times", calls)
+	}
+}
+
+func TestLoaderError(t *testing.T) {
+	c := New[string, int](Config{Capacity: 8})
+	boom := errors.New("boom")
+	if _, err := c.GetOrLoad("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("errored load was stored")
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New[string, int](Config{Capacity: 8, Shards: 2})
+	for i := 0; i < 6; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d", c.Len())
+	}
+	if _, ok := c.Get("k0"); ok {
+		t.Fatal("purged entry still visible")
+	}
+}
+
+func TestIntegerKeys(t *testing.T) {
+	c := New[uint64, string](Config{Capacity: 8})
+	c.Put(7, "seven")
+	if v, ok := c.Get(7); !ok || v != "seven" {
+		t.Fatalf("got %q,%v", v, ok)
+	}
+}
+
+// TestTelemetryCounters checks the registry mirrors: the same events land in
+// cache_*_total{cache=name} as in Stats().
+func TestTelemetryCounters(t *testing.T) {
+	tel := telemetry.New(1)
+	c := New[string, int](Config{Capacity: 2, Shards: 1, Name: "unit", Tel: tel})
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Get("a")
+	c.Get("nope")
+	c.Put("c", 3) // evicts b
+
+	l := telemetry.L("cache", "unit")
+	if got := tel.Counter("cache_hits_total", l).Value(); got != 1 {
+		t.Fatalf("hits counter = %d", got)
+	}
+	if got := tel.Counter("cache_misses_total", l).Value(); got != 1 {
+		t.Fatalf("misses counter = %d", got)
+	}
+	if got := tel.Counter("cache_evictions_total", l).Value(); got != 1 {
+		t.Fatalf("evictions counter = %d", got)
+	}
+}
+
+// TestCapacityRounding pins the shard arithmetic: tiny capacities stay
+// usable and never panic.
+func TestCapacityRounding(t *testing.T) {
+	c := New[string, int](Config{Capacity: 1, Shards: 16})
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if c.Len() > 2 { // at most one entry per effective shard
+		t.Fatalf("Len = %d", c.Len())
+	}
+	d := New[string, int](Config{})
+	d.Put("x", 1)
+	if _, ok := d.Get("x"); !ok {
+		t.Fatal("default config lost entry")
+	}
+}

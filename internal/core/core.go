@@ -16,6 +16,7 @@ import (
 	"madave/internal/analysis"
 	"madave/internal/avscan"
 	"madave/internal/blacklist"
+	"madave/internal/cachex"
 	"madave/internal/corpus"
 	"madave/internal/crawler"
 	"madave/internal/easylist"
@@ -62,6 +63,26 @@ type Config struct {
 	// observational: a study produces byte-identical stats and corpus with
 	// it on or off.
 	Telemetry *telemetry.Set
+	// Cache configures the oracle-side memoization layer. Every cached
+	// value is a pure function of its key, so a study with caches on is
+	// byte-identical to one with caches off — they only change how fast
+	// repeated artefacts classify.
+	Cache CacheConfig
+}
+
+// CacheConfig holds the memoization knobs for the three hot oracle layers.
+type CacheConfig struct {
+	// Enabled turns all three caches on with the sizes below.
+	Enabled bool
+	// HoneyclientEntries caps the honeyclient report cache
+	// (0 = honeyclient.DefaultCacheEntries).
+	HoneyclientEntries int
+	// BlacklistEntries caps the per-(host, day) verdict memo
+	// (0 = blacklist.DefaultMemoEntries).
+	BlacklistEntries int
+	// AVScanEntries caps the content-hash scan report cache
+	// (0 = avscan.DefaultCacheEntries).
+	AVScanEntries int
 }
 
 // DefaultConfig returns a laptop-scale study that finishes in seconds while
@@ -131,6 +152,11 @@ func NewStudy(cfg Config) (*Study, error) {
 	ora.Tel = cfg.Telemetry
 	if cfg.OracleParallelism > 0 {
 		ora.Parallelism = cfg.OracleParallelism
+	}
+	if cfg.Cache.Enabled {
+		hc.EnableCache(cfg.Cache.HoneyclientEntries)
+		ora.Lists.EnableMemo(cfg.Cache.BlacklistEntries, cfg.Telemetry)
+		ora.Scanner.EnableCache(cfg.Cache.AVScanEntries, cfg.Telemetry)
 	}
 	return &Study{
 		Cfg:      cfg,
@@ -204,6 +230,23 @@ func chaosTransport(u *memnet.Universe, seed uint64, prof memnet.FaultProfile, t
 // Classify runs the oracle over a corpus.
 func (s *Study) Classify(corp *corpus.Corpus) *oracle.Result {
 	return s.Oracle.ClassifyCorpus(corp)
+}
+
+// CacheStats returns the counters of every enabled pipeline cache, in a
+// stable order (honeyclient, blacklist, avscan). Empty when Cfg.Cache is
+// off.
+func (s *Study) CacheStats() []cachex.Stats {
+	var out []cachex.Stats
+	if st, ok := s.Oracle.Honey.CacheStats(); ok {
+		out = append(out, st)
+	}
+	if st, ok := s.Oracle.Lists.MemoStats(); ok {
+		out = append(out, st)
+	}
+	if st, ok := s.Oracle.Scanner.CacheStats(); ok {
+		out = append(out, st)
+	}
+	return out
 }
 
 // Analyze computes the paper's tables and figures from the measured data.

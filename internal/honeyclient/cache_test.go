@@ -1,0 +1,158 @@
+package honeyclient
+
+import (
+	"context"
+	"net/http"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"madave/internal/adnet"
+	"madave/internal/memnet"
+)
+
+// TestCachedAnalyzeMatchesUncached asserts the cached entrypoint returns a
+// report deep-equal to a fresh analysis, and that the second call is a hit.
+func TestCachedAnalyzeMatchesUncached(t *testing.T) {
+	u, srv := fixture(t)
+	pub, imp, _ := findImpression(t, srv, adnet.KindBenign)
+	url := frameURL(srv, pub, imp)
+
+	plain := New(u, 1)
+	want := plain.Analyze(url)
+
+	h := New(u, 1)
+	h.EnableCache(0)
+	first := h.AnalyzeAdContext(context.Background(), url, 0)
+	second := h.AnalyzeAdContext(context.Background(), url, 0)
+	if !reflect.DeepEqual(first, want) {
+		t.Fatalf("cached analysis diverged from plain:\n got %+v\nwant %+v", first, want)
+	}
+	if second != first {
+		t.Fatal("second call did not return the cached report pointer")
+	}
+	st, ok := h.CacheStats()
+	if !ok || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("cache stats %+v", st)
+	}
+}
+
+// TestCacheKeySeparatesDays pins that the same frame URL analyzed on
+// different crawl days occupies distinct cache entries (blacklist lag and
+// serving rotation make day part of the key's meaning).
+func TestCacheKeySeparatesDays(t *testing.T) {
+	u, srv := fixture(t)
+	pub, imp, _ := findImpression(t, srv, adnet.KindBenign)
+	url := frameURL(srv, pub, imp)
+
+	h := New(u, 1)
+	h.EnableCache(0)
+	h.AnalyzeAdContext(context.Background(), url, 0)
+	h.AnalyzeAdContext(context.Background(), url, 1)
+	if st, _ := h.CacheStats(); st.Misses != 2 || st.Hits != 0 {
+		t.Fatalf("day should partition the key space: %+v", st)
+	}
+}
+
+// TestCachedAnalyzeHTML covers the snapshot path: identical HTML+base is a
+// hit, different base URL is a distinct entry.
+func TestCachedAnalyzeHTML(t *testing.T) {
+	u, _ := fixture(t)
+	h := New(u, 1)
+	h.EnableCache(0)
+	const html = `<html><body>static snapshot</body></html>`
+	a := h.AnalyzeHTMLAdContext(context.Background(), html, "http://snap.test/a", 0)
+	b := h.AnalyzeHTMLAdContext(context.Background(), html, "http://snap.test/a", 0)
+	if a != b {
+		t.Fatal("identical snapshot re-analyzed")
+	}
+	h.AnalyzeHTMLAdContext(context.Background(), html, "http://snap.test/other", 0)
+	if st, _ := h.CacheStats(); st.Misses != 2 || st.Hits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestTruncatedAnalysisNotCached asserts the reproducibility gate: a report
+// cut short by the caller's deadline must never be stored, or a later
+// unconstrained call would inherit the truncated evidence.
+func TestTruncatedAnalysisNotCached(t *testing.T) {
+	u, srv := fixture(t)
+	pub, imp, _ := findImpression(t, srv, adnet.KindBenign)
+	url := frameURL(srv, pub, imp)
+
+	h := New(u, 1)
+	h.EnableCache(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h.AnalyzeAdContext(ctx, url, 0)
+	if st, _ := h.CacheStats(); st.Stores != 0 {
+		t.Fatalf("truncated report was stored: %+v", st)
+	}
+	// The unconstrained retry computes (and stores) the full report.
+	rep := h.AnalyzeAdContext(context.Background(), url, 0)
+	if rep.Degraded {
+		t.Fatal("full reanalysis still degraded")
+	}
+	if st, _ := h.CacheStats(); st.Stores != 1 {
+		t.Fatalf("full report not stored: %+v", st)
+	}
+}
+
+// TestCachedAnalyzeUnderChaos proves memoization stays sound with fault
+// injection: chaos faults are a pure function of (seed, URL, attempt), so a
+// cached chaotic report equals a recomputed one.
+func TestCachedAnalyzeUnderChaos(t *testing.T) {
+	u, srv := fixture(t)
+	pub, imp, _ := findImpression(t, srv, adnet.KindBenign)
+	url := frameURL(srv, pub, imp)
+	prof := memnet.UniformProfile(0.3)
+
+	mk := func() *Honeyclient {
+		h := New(u, 1)
+		h.Transport = func() http.RoundTripper {
+			return memnet.NewChaos(&memnet.Transport{U: u}, 1, prof)
+		}
+		h.Timeout = 5 * time.Second
+		return h
+	}
+	plain := mk()
+	want := plain.Analyze(url)
+
+	h := mk()
+	h.EnableCache(0)
+	for i := 0; i < 3; i++ {
+		if got := h.AnalyzeAdContext(context.Background(), url, 0); !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration %d: chaotic cached report diverged:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+// TestConcurrentCachedAnalyze storms one honeyclient from many goroutines
+// under -race: every returned report must equal the single-flight leader's.
+func TestConcurrentCachedAnalyze(t *testing.T) {
+	u, srv := fixture(t)
+	pub, imp, _ := findImpression(t, srv, adnet.KindBenign)
+	urls := []string{
+		frameURL(srv, pub, imp),
+	}
+	h := New(u, 1)
+	h.EnableCache(0)
+
+	const workers = 8
+	reports := make([]*Report, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			reports[w] = h.AnalyzeAdContext(context.Background(), urls[0], 0)
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if !reflect.DeepEqual(reports[w], reports[0]) {
+			t.Fatalf("worker %d diverged", w)
+		}
+	}
+}

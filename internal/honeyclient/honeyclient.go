@@ -14,11 +14,15 @@ package honeyclient
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"net/http"
 	"strings"
 	"time"
 
 	"madave/internal/browser"
+	"madave/internal/cachex"
 	"madave/internal/memnet"
 	"madave/internal/netcap"
 	"madave/internal/resilient"
@@ -134,6 +138,55 @@ type Honeyclient struct {
 	DisableRedirectHeuristics bool // NX/benign-redirect (cloaking) detection
 	DisableHijackDetection    bool // top.location rewrites
 	DisableModel              bool // behavioural model
+
+	// cache, when enabled, memoizes analysis reports so advertisements
+	// sharing a creative execute once (DESIGN.md §11). Reports are pure
+	// functions of their key, so hits are byte-identical to recomputation.
+	cache *cachex.Cache[string, *Report]
+}
+
+// DefaultCacheEntries bounds the report cache when EnableCache gets 0.
+// Reports carry page-sized evidence, so the default is deliberately smaller
+// than the cheaper verdict caches'.
+const DefaultCacheEntries = 1 << 14
+
+// EnableCache turns on report memoization with the given entry capacity
+// (0 = DefaultCacheEntries). Counters land in h.Tel (when set) under
+// cache_*_total{cache="honeyclient"}. Enable before analysis starts.
+func (h *Honeyclient) EnableCache(entries int) {
+	if entries <= 0 {
+		entries = DefaultCacheEntries
+	}
+	h.cache = cachex.New[string, *Report](cachex.Config{
+		Capacity: entries,
+		Name:     "honeyclient",
+		Tel:      h.Tel,
+	})
+}
+
+// CacheStats snapshots the report cache's counters; ok is false when the
+// cache is disabled.
+func (h *Honeyclient) CacheStats() (st cachex.Stats, ok bool) {
+	if h.cache == nil {
+		return cachex.Stats{}, false
+	}
+	return h.cache.Stats(), true
+}
+
+// cacheKey builds the memoization key for one analysis. The frame URL alone
+// is not enough: chaos faults are a pure function of (chaos seed, URL,
+// attempt) and the instrumented browser's randomness derives from Seed, so
+// the seed and the presence of a custom (chaos-wrapped) transport must pin
+// the key or a cache shared across differently-faulted runs would serve the
+// wrong evidence. The crawl day pins temporal serving — an ad observed on
+// day D must be re-executed as of day D, not as of whenever the cache was
+// warm.
+func (h *Honeyclient) cacheKey(kind string, day int, id string) string {
+	chaos := "-"
+	if h.Transport != nil {
+		chaos = "t"
+	}
+	return fmt.Sprintf("%d|%s|%d|%s|%s", h.Seed, chaos, day, kind, id)
 }
 
 // New returns a honeyclient over the universe.
@@ -185,6 +238,15 @@ func (h *Honeyclient) Analyze(frameURL string) *Report {
 // (plus Timeout, when set) bounds the whole instrumented execution. A
 // partial execution still yields a report, marked Degraded.
 func (h *Honeyclient) AnalyzeContext(ctx context.Context, frameURL string) *Report {
+	rep, _ := h.analyze(ctx, frameURL)
+	return rep
+}
+
+// analyze is the uncached execution. The second return reports whether the
+// result is reproducible (the bounded context survived): a report cut short
+// by a deadline or cancellation reflects how far execution got by wall
+// clock, which is exactly the kind of value the cache must never hold.
+func (h *Honeyclient) analyze(ctx context.Context, frameURL string) (*Report, bool) {
 	ctx, cancel := h.bound(ctx)
 	defer cancel()
 	var sp *telemetry.Span
@@ -197,6 +259,24 @@ func (h *Honeyclient) AnalyzeContext(ctx context.Context, frameURL string) *Repo
 		rep.RenderErrors = append(rep.RenderErrors, err.Error())
 	}
 	rep.Degraded = len(rep.RenderErrors) > 0
+	return rep, ctx.Err() == nil
+}
+
+// AnalyzeAdContext is the oracle's entrypoint: AnalyzeContext through the
+// report cache (when enabled), keyed by (seed, chaos, crawl day, frame URL).
+// Concurrent analyses of the same key coalesce into one instrumented
+// execution. Cached reports are shared; treat them as immutable.
+func (h *Honeyclient) AnalyzeAdContext(ctx context.Context, frameURL string, day int) *Report {
+	if h.cache == nil {
+		return h.AnalyzeContext(ctx, frameURL)
+	}
+	rep, _ := h.cache.GetOrLoad(h.cacheKey("frame", day, frameURL), func() (*Report, error) {
+		rep, reproducible := h.analyze(ctx, frameURL)
+		if !reproducible {
+			return rep, cachex.ErrSkipStore
+		}
+		return rep, nil
+	})
 	return rep
 }
 
@@ -209,6 +289,11 @@ func (h *Honeyclient) AnalyzeHTML(html, baseURL string) *Report {
 
 // AnalyzeHTMLContext is AnalyzeHTML under a caller-supplied context.
 func (h *Honeyclient) AnalyzeHTMLContext(ctx context.Context, html, baseURL string) *Report {
+	rep, _ := h.analyzeHTML(ctx, html, baseURL)
+	return rep
+}
+
+func (h *Honeyclient) analyzeHTML(ctx context.Context, html, baseURL string) (*Report, bool) {
 	ctx, cancel := h.bound(ctx)
 	defer cancel()
 	var sp *telemetry.Span
@@ -218,6 +303,26 @@ func (h *Honeyclient) AnalyzeHTMLContext(ctx context.Context, html, baseURL stri
 	page := b.LoadHTMLContext(ctx, html, baseURL)
 	rep := h.buildReport(baseURL, page, cap)
 	rep.Degraded = len(rep.RenderErrors) > 0
+	return rep, ctx.Err() == nil
+}
+
+// AnalyzeHTMLAdContext is AnalyzeHTMLContext through the report cache,
+// keyed by the snapshot's content hash plus its base URL (the same document
+// re-executes differently under a different base). Day and seed pin the key
+// exactly as in AnalyzeAdContext.
+func (h *Honeyclient) AnalyzeHTMLAdContext(ctx context.Context, html, baseURL string, day int) *Report {
+	if h.cache == nil {
+		return h.AnalyzeHTMLContext(ctx, html, baseURL)
+	}
+	sum := sha256.Sum256([]byte(html))
+	id := hex.EncodeToString(sum[:]) + "|" + baseURL
+	rep, _ := h.cache.GetOrLoad(h.cacheKey("html", day, id), func() (*Report, error) {
+		rep, reproducible := h.analyzeHTML(ctx, html, baseURL)
+		if !reproducible {
+			return rep, cachex.ErrSkipStore
+		}
+		return rep, nil
+	})
 	return rep
 }
 

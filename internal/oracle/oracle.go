@@ -93,7 +93,7 @@ func (o *Oracle) ClassifyContext(ctx context.Context, ad *corpus.Ad) Incident {
 	var sp *telemetry.Span
 	ctx, sp = o.Tel.StartSpan(ctx, telemetry.StageOracle, ad.Hash)
 	defer sp.End()
-	rep := o.Honey.AnalyzeContext(ctx, ad.FrameURL)
+	rep := o.Honey.AnalyzeAdContext(ctx, ad.FrameURL, ad.Day)
 	return o.classifyReport(ad, rep)
 }
 
@@ -104,7 +104,7 @@ func (o *Oracle) ClassifyContext(ctx context.Context, ad *corpus.Ad) Incident {
 func (o *Oracle) ClassifySnapshot(ad *corpus.Ad) Incident {
 	ctx, sp := o.Tel.StartSpan(context.Background(), telemetry.StageOracle, ad.Hash)
 	defer sp.End()
-	rep := o.Honey.AnalyzeHTMLContext(ctx, ad.HTML, ad.FinalURL)
+	rep := o.Honey.AnalyzeHTMLAdContext(ctx, ad.HTML, ad.FinalURL, ad.Day)
 	return o.classifyReport(ad, rep)
 }
 
@@ -115,7 +115,9 @@ func (o *Oracle) classifyReport(ad *corpus.Ad, rep *honeyclient.Report) Incident
 	// 1. Blacklists: any domain that served (part of) the advertisement on
 	// more than five lists. Both the crawl-time hosts and the
 	// honeyclient-time hosts count — cloaking can hide hosts from one view.
-	hosts := append(append([]string{}, ad.Hosts...), rep.Hosts...)
+	hosts := make([]string, 0, len(ad.Hosts)+len(rep.Hosts))
+	hosts = append(hosts, ad.Hosts...)
+	hosts = append(hosts, rep.Hosts...)
 	var offender string
 	var listed bool
 	if o.TemporalBlacklists {
@@ -256,11 +258,16 @@ func (o *Oracle) ClassifyCorpusContext(ctx context.Context, c *corpus.Corpus) *R
 		go func() {
 			defer wg.Done()
 			for {
+				// Check cancellation both before and after claiming an
+				// index: a worker that loses the race (ctx cancelled
+				// between check and claim) abandons its slot instead of
+				// burning an Incident and a scanned entry on a verdict
+				// nobody will trust.
 				if ctx.Err() != nil {
 					return
 				}
 				i := int(atomic.AddInt64(&next, 1))
-				if i >= len(ads) {
+				if i >= len(ads) || ctx.Err() != nil {
 					return
 				}
 				incidents[i] = o.ClassifyContext(ctx, ads[i])

@@ -1,0 +1,80 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"madave/internal/avscan"
+	"madave/internal/blacklist"
+	"madave/internal/corpus"
+	"madave/internal/honeyclient"
+)
+
+// TestClassifyCorpusPreCancelled asserts a cancelled context never burns an
+// Incident slot: zero ads scanned, zero incidents, no degraded verdicts.
+func TestClassifyCorpusPreCancelled(t *testing.T) {
+	ora, _, corp := fixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := ora.ClassifyCorpusContext(ctx, corp)
+	if res.Scanned != 0 {
+		t.Fatalf("pre-cancelled context scanned %d ads", res.Scanned)
+	}
+	if res.MaliciousCount() != 0 || len(res.Incidents) != 0 || res.Degraded != 0 {
+		t.Fatalf("pre-cancelled context produced verdicts: %+v", res)
+	}
+}
+
+// TestCachedOracleMatchesUncached is the per-ad form of the study-level
+// determinism guarantee: an oracle with all three caches enabled returns
+// verdicts identical to the shared uncached fixture, ad for ad, and the
+// repeated pass actually hits the caches.
+func TestCachedOracleMatchesUncached(t *testing.T) {
+	plain, srv, corp := fixture(t)
+
+	hc := honeyclient.New(fixU, 11)
+	hc.EnableCache(0)
+	lists := blacklist.Build(srv.Eco, 11)
+	lists.EnableMemo(0, nil)
+	av := avscan.New(11)
+	av.EnableCache(0, nil)
+	cached := New(hc, lists, av)
+
+	key := func(inc Incident) string {
+		return fmt.Sprintf("%s|%s|%s", inc.AdHash, inc.Category, inc.Evidence)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for i, ad := range corp.All() {
+			if i%7 != 0 { // sample: the fixture corpus is large
+				continue
+			}
+			want := key(plain.Classify(ad))
+			if got := key(cached.Classify(ad)); got != want {
+				t.Fatalf("pass %d: cached verdict diverged:\n  got  %s\n  want %s", pass, got, want)
+			}
+		}
+	}
+	if st, ok := hc.CacheStats(); !ok || st.Hits == 0 {
+		t.Fatalf("honeyclient cache never hit: %+v", st)
+	}
+	if st, ok := lists.MemoStats(); !ok || st.Hits == 0 {
+		t.Fatalf("blacklist memo never hit: %+v", st)
+	}
+}
+
+// BenchmarkClassifyReport measures the per-ad hot path of the Table-1
+// precedence walk; the hosts slice should allocate exactly once.
+func BenchmarkClassifyReport(b *testing.B) {
+	ora := New(nil, blacklist.New(), avscan.New(1))
+	ad := &corpus.Ad{Hash: "bench", Hosts: []string{
+		"pub.example.com", "srv.adnet00.com", "cdn.adnet00.com", "land.example.net",
+	}}
+	rep := &honeyclient.Report{Hosts: []string{
+		"srv.adnet00.com", "cdn.adnet00.com", "land.example.net", "track.example.org",
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ora.classifyReport(ad, rep)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"madave/internal/adnet"
 	"madave/internal/analysis"
+	"madave/internal/cachex"
 	"madave/internal/core"
 	"madave/internal/corpus"
 	"madave/internal/crawler"
@@ -40,6 +41,14 @@ type (
 // CrawlStats carries collection-phase counters (pages, frames, sandbox
 // census).
 type CrawlStats = crawler.Stats
+
+// CacheConfig holds the memoization knobs for the oracle pipeline's three
+// hot layers (honeyclient, blacklist, avscan); CacheStats is one cache's
+// hit/miss/evict/coalesce counters, as returned by Study.CacheStats.
+type (
+	CacheConfig = core.CacheConfig
+	CacheStats  = cachex.Stats
+)
 
 // Category is a Table-1 incident category.
 type Category = oracle.Category
