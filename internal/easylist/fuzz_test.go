@@ -1,0 +1,63 @@
+package easylist
+
+// Differential fuzz target for the filter-matching engine (DESIGN.md §12):
+// the token-indexed Match must return exactly the decision of the
+// first-match linear reference scan, for any rule the parser accepts and any
+// request. This extends the fixed-corpus agreement test in
+// easylist_diff_test.go with coverage the corpus can't reach.
+
+import (
+	"testing"
+
+	"madave/internal/fuzzutil"
+)
+
+var ruleSeeds = []string{
+	"||ads.example.com^",
+	"|http://track.",
+	"/banner/*/img^",
+	"@@||good.example^$script,domain=pub.example",
+	"*ad*",
+	"ad$~third-party",
+	"swf|",
+	"^x^",
+	"||cdn.example.com/path$image,domain=~bad.example",
+	"-advert-",
+}
+
+func FuzzMatch(f *testing.F) {
+	urls := fuzzutil.URLs(0x60, len(ruleSeeds))
+	for i, rule := range ruleSeeds {
+		f.Add(rule, urls[i], "pub.example.com", byte(i))
+	}
+	f.Add("||ads.example.com^", "http://ADS.EXAMPLE.COM/slot", "ads.example.com", byte(TypeSubdocument))
+	f.Add("ad", "", "", byte(0))
+	f.Fuzz(func(t *testing.T, ruleText, rawURL, docHost string, rtype byte) {
+		if len(ruleText) > 512 || len(rawURL) > 4096 || len(docHost) > 256 {
+			t.Skip("oversized input")
+		}
+		list, err := ParseString(ruleText)
+		if err != nil || list == nil || list.Len() == 0 {
+			// Comment, unsupported syntax, or skipped rule: nothing to test.
+			t.Skip("rule not parsed")
+		}
+		req := Request{
+			URL:     rawURL,
+			Type:    ResourceType(int(rtype) % int(TypeImage+1)),
+			DocHost: docHost,
+		}
+		checkAgainstLinear(t, list, req)
+	})
+}
+
+func checkAgainstLinear(t *testing.T, list *List, req Request) {
+	t.Helper()
+	gotB, gotR := list.Match(req)
+	wantB, wantR := list.MatchLinear(req)
+	if gotB != wantB {
+		t.Fatalf("Match(%+v) = %v, MatchLinear = %v", req, gotB, wantB)
+	}
+	if (gotR == nil) != (wantR == nil) || (gotR != nil && gotR.Raw != wantR.Raw) {
+		t.Fatalf("Match(%+v) rule = %v, MatchLinear rule = %v", req, ruleRaw(gotR), ruleRaw(wantR))
+	}
+}

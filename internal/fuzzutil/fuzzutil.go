@@ -1,0 +1,213 @@
+// Package fuzzutil holds the shared helpers behind the repo's fuzzing and
+// invariant-oracle harness (DESIGN.md §12): seeding fuzz corpora, loading
+// checked-in corpus files, and synthesizing deterministic host/URL/HTML/JS
+// corpora for differential tests. It deliberately imports nothing from the
+// rest of the repo so that any package's in-package tests can use it without
+// creating an import cycle.
+package fuzzutil
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// SeedStrings adds each seed string to the fuzz target's seed corpus.
+func SeedStrings(f *testing.F, seeds ...string) {
+	f.Helper()
+	for _, s := range seeds {
+		f.Add(s)
+	}
+}
+
+// LoadCorpus returns the contents of every regular file directly under dir,
+// sorted by file name (ReadDir order). Missing directories are not an error:
+// they return nil so targets can run before a corpus has been committed.
+func LoadCorpus(tb testing.TB, dir string) []string {
+	tb.Helper()
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		tb.Fatalf("fuzzutil: reading corpus dir %s: %v", dir, err)
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.Type().IsRegular() {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			tb.Fatalf("fuzzutil: reading corpus file %s: %v", e.Name(), err)
+		}
+		out = append(out, string(b))
+	}
+	return out
+}
+
+// RNG is a splitmix64 generator: tiny, deterministic, and independent of
+// math/rand so corpus synthesis is byte-stable across Go releases.
+type RNG struct{ state uint64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Next returns the next 64 pseudo-random bits.
+func (r *RNG) Next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int { return int(r.Next() % uint64(n)) }
+
+// Pick returns a uniformly chosen element of list.
+func (r *RNG) Pick(list []string) string { return list[r.Intn(len(list))] }
+
+var hostLabels = []string{
+	"www", "ads", "ad", "cdn", "static", "track", "click", "bid", "x",
+	"news", "mail", "img1", "a-b", "xn--p1ai", "very-long-label-name",
+}
+
+var hostSuffixes = []string{
+	"com", "net", "org", "info", "co.uk", "org.uk", "com.au", "co.jp",
+	"de", "ru", "cn", "tv", "xxx", "uk", "jp",
+}
+
+// hostDecorations are the adversarial shapes the urlx laws must survive:
+// ports, trailing dots, empty labels, case, brackets, spaces.
+var hostDecorations = []string{
+	"", "", "", "", ":80", ":8080", ".", "..", ":", " ",
+}
+
+// Hosts returns n deterministic host names spanning the shapes the
+// measurement pipeline sees, from clean registrable domains to hostile junk.
+func Hosts(seed uint64, n int) []string {
+	rng := NewRNG(seed)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		h := rng.Pick(hostSuffixes)
+		for d := rng.Intn(4); d > 0; d-- {
+			h = rng.Pick(hostLabels) + "." + h
+		}
+		switch rng.Intn(8) {
+		case 0:
+			h = upperASCII(h)
+		case 1:
+			h = "[" + h + "]"
+		case 2:
+			h = h + rng.Pick(hostDecorations)
+		case 3:
+			// Inject an empty label.
+			h = rng.Pick(hostLabels) + ".." + h
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+var urlSchemes = []string{"http://", "https://", "", "//", "ftp://", "javascript:"}
+var urlPaths = []string{
+	"", "/", "/ads/slot1", "/a/b/../c", "/%2e%2e/", "/pay load", "/ad.js",
+	"/redirect?u=http://evil.example/land", "/x?a=1&b=%20c#frag", "/?q=é",
+}
+
+// URLs returns n deterministic URL strings — absolute, scheme-relative,
+// relative, and junk — for the urlx differential tests and fuzz seeds.
+func URLs(seed uint64, n int) []string {
+	rng := NewRNG(seed)
+	hosts := Hosts(seed^0xabcdef, n)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		u := rng.Pick(urlSchemes) + hosts[i] + rng.Pick(urlPaths)
+		if rng.Intn(16) == 0 {
+			u = "%zz" + u // undecodable percent escape
+		}
+		out = append(out, u)
+	}
+	return out
+}
+
+var pageSnippets = []string{
+	`<p class="x">hi</p>`,
+	`<iframe src=http://ads.example.com/slot1 width=300></iframe>`,
+	`<script>var s = "</scripty>" + '<div>';</script>`,
+	`<!-->trailing text`,
+	`<!--->more text`,
+	`<!-- normal comment --><div>after</div>`,
+	`<img src=/banner.png alt='a b'>`,
+	`<a href="/x?a=1&amp;b=2">&lt;link&gt;</a>`,
+	`<br/><div/>text`,
+	`<!DOCTYPE html>`,
+	`<textarea><b>not markup</b></textarea>`,
+	`<em `, `</`, `<`, `<1tag>`, `&#x41;&#66;&bogus;&amp`,
+	`<div data-x = unquoted/value till-gt>`,
+	`<title>t</title`,
+}
+
+// Pages returns n deterministic small HTML documents assembled from
+// tokenizer-corner snippets, for the htmlparse fuzz seed corpus and
+// round-trip tests.
+func Pages(seed uint64, n int) []string {
+	rng := NewRNG(seed)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var page string
+		for k := 1 + rng.Intn(6); k > 0; k-- {
+			page += rng.Pick(pageSnippets)
+		}
+		out = append(out, page)
+	}
+	return out
+}
+
+var scriptSnippets = []string{
+	`var a = 1 + 2 * 3;`,
+	`function f(x) { return x ? f(x - 1) : 0; } f(3);`,
+	`var s = unescape("a+b%20c%41"); s.length;`,
+	`var u = encodeURIComponent(" /?&é");`,
+	`for (var i = 0; i < 4; i++) { var t = i.toString(16); }`,
+	`var o = {k: [1, 2, "x"]}; for (var p in o) { o[p]; }`,
+	`try { null.x; } catch (e) { e + ""; }`,
+	`eval("1+1");`,
+	`var n = parseInt("0x1f") + parseFloat("1e3");`,
+	`"abc".substring(1, 9) + "q".charCodeAt(0);`,
+	`while (true) { break; }`,
+	`switch (2) { case 1: ; break; default: ; }`,
+}
+
+// Scripts returns n deterministic minijs programs for the lexer/parser/eval
+// fuzz seed corpora.
+func Scripts(seed uint64, n int) []string {
+	rng := NewRNG(seed)
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		var src string
+		for k := 1 + rng.Intn(4); k > 0; k-- {
+			src += rng.Pick(scriptSnippets) + "\n"
+		}
+		out = append(out, src)
+	}
+	return out
+}
+
+func upperASCII(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 'a' + 'A'
+		}
+	}
+	return string(b)
+}
+
+// Diff formats a labelled got/want pair for failure messages, keeping the
+// reporting style of the repo's differential tests uniform.
+func Diff(label string, got, want any) string {
+	return fmt.Sprintf("%s divergence:\n  got  = %#v\n  want = %#v", label, got, want)
+}

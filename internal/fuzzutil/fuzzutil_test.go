@@ -1,0 +1,76 @@
+package fuzzutil
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	if got, want := Hosts(7, 50), Hosts(7, 50); !equal(got, want) {
+		t.Fatal("Hosts not deterministic for a fixed seed")
+	}
+	if got, want := URLs(7, 50), URLs(7, 50); !equal(got, want) {
+		t.Fatal("URLs not deterministic for a fixed seed")
+	}
+	if got, want := Pages(7, 50), Pages(7, 50); !equal(got, want) {
+		t.Fatal("Pages not deterministic for a fixed seed")
+	}
+	if got, want := Scripts(7, 50), Scripts(7, 50); !equal(got, want) {
+		t.Fatal("Scripts not deterministic for a fixed seed")
+	}
+	if equal(Hosts(7, 50), Hosts(8, 50)) {
+		t.Fatal("different seeds produced identical host corpora")
+	}
+}
+
+func TestCorpusShapes(t *testing.T) {
+	hosts := Hosts(1, 500)
+	shapes := map[string]bool{}
+	for _, h := range hosts {
+		for _, c := range h {
+			switch c {
+			case ':':
+				shapes["port"] = true
+			case '[':
+				shapes["bracket"] = true
+			case 'A':
+				shapes["upper"] = true
+			}
+		}
+	}
+	for _, want := range []string{"port", "bracket", "upper"} {
+		if !shapes[want] {
+			t.Errorf("host corpus never produced a %s variant", want)
+		}
+	}
+}
+
+func TestLoadCorpus(t *testing.T) {
+	dir := t.TempDir()
+	if got := LoadCorpus(t, filepath.Join(dir, "absent")); got != nil {
+		t.Fatalf("missing dir should load as nil, got %d entries", len(got))
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.txt"), []byte("alpha"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "b.txt"), []byte("beta"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := LoadCorpus(t, dir)
+	if len(got) != 2 || got[0] != "alpha" || got[1] != "beta" {
+		t.Fatalf("LoadCorpus = %q", got)
+	}
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,114 @@
+package htmlparse
+
+// Native fuzz targets for the HTML tokenizer and DOM builder, part of the
+// repo-wide correctness harness (DESIGN.md §12). The oracles are pure
+// invariants — no reference parser needed:
+//
+//   FuzzTokenizer: no panic, guaranteed progress/termination, well-formed
+//   tokens, and ErrorToken is absorbing.
+//
+//   FuzzParse: no panic, parent pointers consistent, and Render∘Parse is a
+//   fixed point — parsing a rendered tree and rendering again reproduces the
+//   same bytes. The raw-text close-tag fix is what makes this oracle hold:
+//   before it, script bodies containing "</scripty" re-parsed differently.
+
+import (
+	"strings"
+	"testing"
+
+	"madave/internal/fuzzutil"
+)
+
+// bugSeeds are the minimized inputs for the parser bugs this harness was
+// built around; they replay as ordinary unit tests on every `go test` run.
+var bugSeeds = []string{
+	`<iframe src=http://ads.example.com/slot1>`,      // unquoted value truncated at '/'
+	`<script>var a = "</scripty>";</script><p>x</p>`, // raw text closed by "</scripty>"
+	`<!-->rest of the page<div>text</div>`,           // short comment swallowed the page
+	`<!--->rest of the page<div>text</div>`,
+	`<!---->ok`,
+}
+
+func addHTMLSeeds(f *testing.F) {
+	fuzzutil.SeedStrings(f, bugSeeds...)
+	fuzzutil.SeedStrings(f,
+		`<html><head><title>ad</title></head><body><iframe src="http://x.com/a" sandbox></iframe></body></html>`,
+		`<a href="/x?a=1&amp;b=2">&lt;link&gt;</a>`,
+		`<em `, `</`, `<`, `<1>`, `&#x41;&bogus;&amp`,
+		`<textarea><b>raw</b></textarea><br/><div/>`,
+	)
+	fuzzutil.SeedStrings(f, fuzzutil.Pages(0x51ee, 24)...)
+}
+
+func FuzzTokenizer(f *testing.F) {
+	addHTMLSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		z := NewTokenizer(src)
+		// Every non-error token consumes at least one byte, so the stream is
+		// bounded by len(src); the slack covers empty-comment tokens.
+		limit := 2*len(src) + 64
+		n := 0
+		for {
+			tok := z.Next()
+			if tok.Type == ErrorToken {
+				break
+			}
+			if n++; n > limit {
+				t.Fatalf("tokenizer made no progress: > %d tokens for %d bytes", limit, len(src))
+			}
+			switch tok.Type {
+			case StartTagToken, EndTagToken, SelfClosingTagToken:
+				if tok.Tag == "" {
+					t.Fatalf("tag token with empty name: %+v", tok)
+				}
+				if tok.Tag != strings.ToLower(tok.Tag) {
+					t.Fatalf("tag name not lowercased: %q", tok.Tag)
+				}
+				for _, a := range tok.Attrs {
+					if a.Name == "" {
+						t.Fatalf("attribute with empty name on <%s>", tok.Tag)
+					}
+					if a.Name != strings.ToLower(a.Name) {
+						t.Fatalf("attribute name not lowercased: %q", a.Name)
+					}
+				}
+			}
+		}
+		// ErrorToken must be absorbing: once the input is exhausted the
+		// tokenizer reports end-of-input forever.
+		for i := 0; i < 3; i++ {
+			if tok := z.Next(); tok.Type != ErrorToken {
+				t.Fatalf("token after ErrorToken: %+v", tok)
+			}
+		}
+	})
+}
+
+func FuzzParse(f *testing.F) {
+	addHTMLSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<16 {
+			t.Skip("oversized input")
+		}
+		doc := Parse(src)
+		checkParents(t, doc)
+		r1 := doc.Render()
+		r2 := Parse(r1).Render()
+		if r1 != r2 {
+			t.Fatalf("Render∘Parse is not a fixed point:\n r1 = %q\n r2 = %q\n src = %q", r1, r2, src)
+		}
+	})
+}
+
+func checkParents(t *testing.T, n *Node) {
+	t.Helper()
+	for _, c := range n.Children {
+		if c.Parent != n {
+			t.Fatalf("child %v has wrong parent", c)
+		}
+		checkParents(t, c)
+	}
+}

@@ -1,0 +1,110 @@
+package htmlparse
+
+// Regression tests for the three tokenizer bugs the fuzzing harness
+// (DESIGN.md §12) was built around. Each table entry fails against the
+// pre-fix tokenizer.
+
+import "testing"
+
+// Pre-fix: unquoted attribute values stopped at '/', truncating
+// src=http://ads.example.com/slot1 to "http:". Per HTML5 §13.2.5.37 an
+// unquoted value ends only at whitespace or '>'.
+func TestUnquotedAttrValueKeepsSlashes(t *testing.T) {
+	cases := []struct {
+		name, src, attr, want string
+		wantType              TokenType
+	}{
+		{"iframe url", `<iframe src=http://ads.example.com/slot1>`, "src", "http://ads.example.com/slot1", StartTagToken},
+		{"rooted path", `<img src=/banner.png>`, "src", "/banner.png", StartTagToken},
+		{"interior slash", `<input value=a/b>`, "value", "a/b", StartTagToken},
+		{"trailing slash eats self-close", `<a href=/>`, "href", "/", StartTagToken},
+		{"space then self-close kept", `<img src=/x.png />`, "src", "/x.png", SelfClosingTagToken},
+		{"next attribute after space", `<iframe src=http://a.com/b width=300>`, "width", "300", StartTagToken},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			toks := collect(tc.src)
+			if len(toks) != 1 {
+				t.Fatalf("got %d tokens: %v", len(toks), toks)
+			}
+			if toks[0].Type != tc.wantType {
+				t.Errorf("token type = %v, want %v", toks[0].Type, tc.wantType)
+			}
+			if v, ok := toks[0].Attr(tc.attr); !ok || v != tc.want {
+				t.Errorf("attr %q = %q (present=%v), want %q", tc.attr, v, ok, tc.want)
+			}
+		})
+	}
+}
+
+// Pre-fix: any extension of the close-tag name terminated a raw-text
+// element, so "</scripty>" inside a <script> ended it mid-content. The close
+// name must be followed by whitespace, '/', '>', or end of input.
+func TestRawTextCloseRequiresBoundary(t *testing.T) {
+	cases := []struct {
+		name, src, wantBody string
+	}{
+		{"scripty", `<script>var a = "</scripty>";</script>`, `var a = "</scripty>";`},
+		{"styleish", `<style>s { } </styleX </style>`, `s { } </styleX `},
+		{"space boundary", "<script>x</script >", "x"},
+		{"slash boundary", "<script>x</script/>", "x"},
+		{"case-folded", `<SCRIPT>y</ScRiPt>`, "y"},
+		{"eof boundary", `<script>z</script`, "z"},
+		{"no real close", `<script>a</scripty>b`, "a</scripty>b"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			toks := collect(tc.src)
+			if len(toks) < 2 || toks[0].Type != StartTagToken {
+				t.Fatalf("tokens = %v", toks)
+			}
+			if toks[1].Type != TextToken || toks[1].Text != tc.wantBody {
+				t.Errorf("raw text body = %q, want %q", toks[1].Text, tc.wantBody)
+			}
+		})
+	}
+}
+
+// Pre-fix: nextComment searched for "-->" starting past the '>' of "<!-->"
+// and "<!--->", swallowing the following page text into the comment body.
+// Both are complete, empty comments per the spec's abrupt-closing rules.
+func TestShortComments(t *testing.T) {
+	cases := []struct {
+		name, src   string
+		wantComment string
+		wantAfter   string
+	}{
+		{"bang-dash-dash-gt", `<!-->after<div>x</div>`, "", "after"},
+		{"bang-dash-dash-dash-gt", `<!--->after<div>x</div>`, "", "after"},
+		{"exactly empty", `<!---->after`, "", "after"},
+		{"dash body", `<!----->after`, "-", "after"},
+		{"normal body", `<!--a--b-->after`, "a--b", "after"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			toks := collect(tc.src)
+			if len(toks) < 2 {
+				t.Fatalf("tokens = %v", toks)
+			}
+			if toks[0].Type != CommentToken || toks[0].Text != tc.wantComment {
+				t.Errorf("comment = %+v, want body %q", toks[0], tc.wantComment)
+			}
+			if toks[1].Type != TextToken || toks[1].Text != tc.wantAfter {
+				t.Errorf("text after comment = %+v, want %q", toks[1], tc.wantAfter)
+			}
+		})
+	}
+}
+
+// The concrete ad-pipeline consequence of the unquoted-value bug: iframe
+// extraction from unquoted ad markup saw src="http:" and dropped the frame.
+func TestParseUnquotedIframeSrc(t *testing.T) {
+	doc := Parse(`<html><body><iframe src=http://ads.example.com/slot1 width=300></iframe></body></html>`)
+	frames := doc.Find("iframe")
+	if len(frames) != 1 {
+		t.Fatalf("found %d iframes", len(frames))
+	}
+	if src := frames[0].AttrOr("src", ""); src != "http://ads.example.com/slot1" {
+		t.Fatalf("iframe src = %q", src)
+	}
+}

@@ -126,7 +126,7 @@ func (z *Tokenizer) nextText() Token {
 // emitted by a subsequent call.
 func (z *Tokenizer) nextRawText() Token {
 	closing := "</" + z.rawTag
-	idx := indexFold(z.src[z.pos:], closing)
+	idx := findRawClose(z.src[z.pos:], closing)
 	if idx < 0 {
 		// Unterminated raw text: consume the rest of the input.
 		text := z.src[z.pos:]
@@ -222,9 +222,43 @@ func (z *Tokenizer) nextTag() Token {
 	return tok
 }
 
+// findRawClose returns the offset in s of the first occurrence of closing
+// ("</tag") that really is a close tag: the matched name must be followed by
+// whitespace, '/', '>', or end of input, so that "</scripty>" inside a
+// script element does not terminate it. Returns -1 if none exists.
+func findRawClose(s, closing string) int {
+	off := 0
+	for {
+		idx := indexFold(s[off:], closing)
+		if idx < 0 {
+			return -1
+		}
+		after := off + idx + len(closing)
+		if after >= len(s) {
+			return off + idx
+		}
+		if c := s[after]; isSpaceByte(c) || c == '/' || c == '>' {
+			return off + idx
+		}
+		off += idx + 1
+	}
+}
+
 // nextComment scans "<!-- ... -->".
 func (z *Tokenizer) nextComment() Token {
 	start := z.pos + 4
+	// "<!-->" and "<!--->" are complete comments with an empty body (the
+	// spec's "abrupt closing of empty comment"); searching past them would
+	// swallow following page text into the comment.
+	rest := z.src[start:]
+	if strings.HasPrefix(rest, ">") {
+		z.pos = start + 1
+		return Token{Type: CommentToken, Text: ""}
+	}
+	if strings.HasPrefix(rest, "->") {
+		z.pos = start + 2
+		return Token{Type: CommentToken, Text: ""}
+	}
 	idx := strings.Index(z.src[start:], "-->")
 	if idx < 0 {
 		text := z.src[start:]
@@ -285,8 +319,11 @@ func parseAttr(src string, p int) (Attr, int) {
 			p++ // closing quote
 		}
 	default:
+		// Unquoted values end only at whitespace or '>' (HTML5 §13.2.5.37);
+		// '/' is an ordinary value byte, so src=http://ads.example.com/slot1
+		// keeps its full URL.
 		valStart := p
-		for p < len(src) && !isSpaceByte(src[p]) && src[p] != '>' && src[p] != '/' {
+		for p < len(src) && !isSpaceByte(src[p]) && src[p] != '>' {
 			p++
 		}
 		value = src[valStart:p]

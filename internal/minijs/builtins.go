@@ -2,7 +2,6 @@ package minijs
 
 import (
 	"math"
-	"net/url"
 	"strings"
 )
 
@@ -85,6 +84,9 @@ func installBuiltins(in *Interp) {
 	arrayCtor := NewNative("Array", func(_ *Interp, _ Value, args []Value) (Value, error) {
 		if len(args) == 1 {
 			if n, ok := args[0].(float64); ok && n == math.Trunc(n) && n >= 0 {
+				if n >= maxArrayLen {
+					return nil, &ThrowError{Value: "RangeError: invalid array length"}
+				}
 				elems := make([]Value, int(n))
 				for i := range elems {
 					elems[i] = Undefined{}
@@ -117,24 +119,16 @@ func installBuiltins(in *Interp) {
 		return math.IsNaN(ToNumber(arg(args, 0))), nil
 	}))
 	g.Define("escape", NewNative("escape", func(_ *Interp, _ Value, args []Value) (Value, error) {
-		return url.QueryEscape(ToString(arg(args, 0))), nil
+		return jsEscape(ToString(arg(args, 0))), nil
 	}))
 	g.Define("unescape", NewNative("unescape", func(_ *Interp, _ Value, args []Value) (Value, error) {
-		s := ToString(arg(args, 0))
-		if out, err := url.QueryUnescape(s); err == nil {
-			return out, nil
-		}
-		return s, nil
+		return jsUnescape(ToString(arg(args, 0))), nil
 	}))
 	g.Define("encodeURIComponent", NewNative("encodeURIComponent", func(_ *Interp, _ Value, args []Value) (Value, error) {
-		return url.QueryEscape(ToString(arg(args, 0))), nil
+		return jsEncodeURIComponent(ToString(arg(args, 0))), nil
 	}))
 	g.Define("decodeURIComponent", NewNative("decodeURIComponent", func(_ *Interp, _ Value, args []Value) (Value, error) {
-		s := ToString(arg(args, 0))
-		if out, err := url.QueryUnescape(s); err == nil {
-			return out, nil
-		}
-		return s, nil
+		return jsDecodeURIComponent(ToString(arg(args, 0))), nil
 	}))
 
 	// eval executes in the global scope (the only scope the dialect's eval
@@ -365,11 +359,16 @@ func arrayMember(a *Object, name string) Value {
 				sep = ToString(args[0])
 			}
 			parts := make([]string, len(a.Elems))
+			total := 0
 			for i, e := range a.Elems {
 				if isNullish(e) {
 					parts[i] = ""
 				} else {
 					parts[i] = ToString(e)
+				}
+				total += len(parts[i]) + len(sep)
+				if total > maxStringLen {
+					return nil, &ThrowError{Value: "RangeError: invalid string length"}
 				}
 			}
 			return strings.Join(parts, sep), nil

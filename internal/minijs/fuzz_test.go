@@ -1,0 +1,114 @@
+package minijs
+
+// Native fuzz targets for the script-engine substrate (DESIGN.md §12). The
+// honeyclient executes hostile ad JavaScript, so the invariants here are the
+// sandbox guarantees the rest of the pipeline assumes:
+//
+//   FuzzLexer:  no panic; token stream is bounded by input length.
+//   FuzzParser: no panic; errors are *SyntaxError values, never crashes
+//               (the nesting-depth guard is what makes "((((..." safe).
+//   FuzzEval:   no panic; execution is step-bounded (terminates under a
+//               small budget) and deterministic — two fresh interpreters
+//               produce byte-identical results and error strings.
+
+import (
+	"testing"
+
+	"madave/internal/fuzzutil"
+)
+
+// jsBugSeeds replay the minimized inputs for the bugs this harness found.
+var jsBugSeeds = []string{
+	`unescape("a+b%20c");`,                         // '+' must survive unescape
+	`encodeURIComponent(" ");`,                     // must be "%20", not "+"
+	`escape("a b/c@d");`,                           // legacy escape set
+	`decodeURIComponent("a+b%2Bc");`,               // '+' stays literal
+	`var n = 1e999999999;`,                         // exponent clamp
+	`((((((((((1))))))))));`,                       // parser depth (benign)
+	`var a = []; a.push(a); "" + a;`,               // cyclic array ToString
+	`var a = []; a.push(a); +a;`,                   // cyclic array ToNumber
+	`var a = []; a[1000000000] = 1;`,               // dense-growth cap
+	`Array(4294967295);`,                           // ctor allocation cap
+	`var s = "x"; while (true) { s = s + s; }`,     // doubling-concat cap
+	`var a = Array(1000); a.join("aaaaaaaaaaaa");`, // join cap path
+}
+
+func addScriptSeeds(f *testing.F) {
+	fuzzutil.SeedStrings(f, jsBugSeeds...)
+	fuzzutil.SeedStrings(f, fuzzutil.Scripts(0x15, 24)...)
+}
+
+func FuzzLexer(f *testing.F) {
+	addScriptSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		toks, err := Lex(src)
+		if err != nil {
+			if _, ok := err.(*SyntaxError); !ok {
+				t.Fatalf("lexer error is %T, want *SyntaxError: %v", err, err)
+			}
+			return
+		}
+		if len(toks) == 0 || toks[len(toks)-1].Kind != TokEOF {
+			t.Fatalf("token stream not EOF-terminated (%d tokens)", len(toks))
+		}
+		if len(toks) > len(src)+1 {
+			t.Fatalf("%d tokens from %d bytes: tokens must consume input", len(toks), len(src))
+		}
+	})
+}
+
+func FuzzParser(f *testing.F) {
+	addScriptSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		prog, err := Parse(src)
+		if err != nil {
+			if _, ok := err.(*SyntaxError); !ok {
+				t.Fatalf("parser error is %T, want *SyntaxError: %v", err, err)
+			}
+			return
+		}
+		if prog == nil {
+			t.Fatal("nil program with nil error")
+		}
+	})
+}
+
+// fuzzEvalBudget keeps each exec fast; the oracle is that execution always
+// returns (normally, with a throw, or with ErrBudget) — never hangs or
+// panics — and is a pure function of the source.
+const fuzzEvalBudget = 30_000
+
+func runOnceForFuzz(src string) (result string, errStr string) {
+	in := New()
+	in.Budget = fuzzEvalBudget
+	in.MaxDepth = 64
+	v, err := in.Run(src)
+	if err != nil {
+		return "", err.Error()
+	}
+	out := ToString(v)
+	if len(out) > 1<<12 {
+		out = out[:1<<12] // compare a bounded prefix; determinism still holds
+	}
+	return out, ""
+}
+
+func FuzzEval(f *testing.F) {
+	addScriptSeeds(f)
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		r1, e1 := runOnceForFuzz(src)
+		r2, e2 := runOnceForFuzz(src)
+		if r1 != r2 || e1 != e2 {
+			t.Fatalf("eval nondeterminism:\n run1 = (%q, %q)\n run2 = (%q, %q)", r1, e1, r2, e2)
+		}
+	})
+}

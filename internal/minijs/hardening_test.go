@@ -1,0 +1,82 @@
+package minijs
+
+// Regression tests for the sandbox-hardening fixes the fuzz harness forced
+// (DESIGN.md §12). Each test crashes, hangs, or exhausts memory against the
+// pre-fix interpreter; here they all complete quickly with a clean error (or
+// a value) instead.
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// Pre-fix: the recursive-descent parser had no depth guard, so deeply nested
+// expressions or blocks exhausted the goroutine stack (fatal, unrecoverable).
+func TestParserDepthGuard(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"parens", strings.Repeat("(", 100_000) + "1" + strings.Repeat(")", 100_000)},
+		{"unary", strings.Repeat("!", 100_000) + "1"},
+		{"blocks", strings.Repeat("{", 100_000)},
+		{"ternary", strings.Repeat("1?", 100_000) + "1" + strings.Repeat(":1", 100_000)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatal("deeply nested input parsed without error")
+			}
+			se, ok := err.(*SyntaxError)
+			if !ok {
+				t.Fatalf("err = %T (%v), want *SyntaxError", err, err)
+			}
+			if !strings.Contains(se.Msg, "nest") {
+				t.Fatalf("err = %v, want nesting-depth message", se)
+			}
+		})
+	}
+	// Realistic nesting depths still parse.
+	if _, err := Parse(strings.Repeat("(", 100) + "1" + strings.Repeat(")", 100)); err != nil {
+		t.Fatalf("depth-100 nesting rejected: %v", err)
+	}
+}
+
+// Pre-fix: parseFloat looped once per exponent digit-value, so "1e999999999"
+// spun for seconds (and overflowed int). The clamp saturates at ±800, past
+// which the result is already ±Inf or 0.
+func TestExponentClamp(t *testing.T) {
+	expectNum(t, `1e999999999`, math.Inf(1))
+	expectNum(t, `1e-999999999`, 0)
+	expectNum(t, `1e22`, 1e22)
+	expectNum(t, `1.5e2`, 150)
+}
+
+// Pre-fix: ToString/ToNumber recursed forever on self-referential arrays
+// (var a = []; a.push(a)). A revisited array contributes "" to the join,
+// matching real Array.prototype.join cycle handling.
+func TestCyclicArrayConversion(t *testing.T) {
+	expectStr(t, `var a = []; a.push(a); "" + a`, "")
+	expectStr(t, `var a = [1, 2]; a.push(a); "" + a`, "1,2,")
+	expectNum(t, `var a = []; a.push(a); +a`, 0)
+	expectStr(t, `var a = []; var b = [a]; a.push(b); "x" + a`, "x")
+}
+
+// Pre-fix: Array(1e9), a[1e9] = 1, and s = s + s in a loop allocated without
+// bound. Each now throws a catchable RangeError long before the step budget
+// would notice.
+func TestAllocationCaps(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"array ctor", `var r = "no throw"; try { Array(4294967295); } catch (e) { r = "" + e; } r`, "RangeError: invalid array length"},
+		{"sparse index", `var a = []; var r = "no throw"; try { a[1000000000] = 1; } catch (e) { r = "" + e; } r`, "RangeError: invalid array length"},
+		{"concat doubling", `var s = "x"; var r = "no throw"; try { while (true) { s = s + s; } } catch (e) { r = "" + e; } r`, "RangeError: invalid string length"},
+		{"join", `var a = Array(1000000); var r = "no throw"; try { a.join("aaaaaaaaaaaaaaaaaaaa"); } catch (e) { r = "" + e; } r`, "RangeError: invalid string length"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			expectStr(t, tc.src, tc.want)
+		})
+	}
+	// Legitimate sizes still work.
+	expectNum(t, `var a = Array(1000); a.length`, 1000)
+	expectNum(t, `var a = []; a[4095] = 1; a.length`, 4096)
+}

@@ -12,6 +12,18 @@ import (
 // honeyclient bounds adversarial ads.
 var ErrBudget = errors.New("minijs: step budget exhausted")
 
+// maxArrayLen bounds dense array growth and Array(n) allocation. The step
+// budget bounds how many statements run, but a single a[1e9] = 1 would
+// allocate gigabytes in one step; past this bound the interpreter throws a
+// catchable RangeError instead.
+const maxArrayLen = 1 << 20
+
+// maxStringLen bounds string concatenation results. Repeated s = s + s
+// doubles per iteration, so a handful of budget steps could otherwise
+// allocate an arbitrarily large string (real engines throw RangeError
+// "Invalid string length" the same way, just at a higher bound).
+const maxStringLen = 1 << 24
+
 // ThrowError wraps a value thrown by script code (throw statement or a
 // runtime TypeError the interpreter raises).
 type ThrowError struct {
@@ -622,7 +634,11 @@ func applyBinary(op string, a, b Value, line int) (Value, error) {
 		// String concatenation if either side is a string or a non-array
 		// object (which stringifies).
 		if isStringy(a) || isStringy(b) {
-			return ToString(a) + ToString(b), nil
+			sa, sb := ToString(a), ToString(b)
+			if len(sa)+len(sb) > maxStringLen {
+				return nil, &ThrowError{Value: "RangeError: invalid string length", Line: line}
+			}
+			return sa + sb, nil
 		}
 		return ToNumber(a) + ToNumber(b), nil
 	case "-":
@@ -795,6 +811,9 @@ func (in *Interp) assignTo(target Expr, val Value, env *Env) error {
 		}
 		if obj.IsArray {
 			if idx, ok := arrayIndex(idxV); ok && idx >= 0 {
+				if idx >= maxArrayLen {
+					return &ThrowError{Value: "RangeError: invalid array length", Line: t.nodeLine()}
+				}
 				for len(obj.Elems) <= idx {
 					obj.Elems = append(obj.Elems, Undefined{})
 				}

@@ -365,6 +365,13 @@ func parseFloat(s string) (float64, error) {
 		exp := 0
 		for i < len(s) && isDigit(s[i]) {
 			exp = exp*10 + int(s[i]-'0')
+			// Beyond ±800 every float64 has saturated to Inf, 0, or stays
+			// there; clamping also keeps a literal like 1e999999999 from
+			// spinning the scaling loop for seconds (and exp from
+			// overflowing int).
+			if exp > 800 {
+				exp = 800
+			}
 			i++
 		}
 		for e := 0; e < exp; e++ {

@@ -21,9 +21,26 @@ func Parse(src string) (*Program, error) {
 }
 
 type parser struct {
-	toks []Token
-	i    int
+	toks  []Token
+	i     int
+	depth int
 }
+
+// maxParseDepth bounds statement/expression nesting. Real ad scripts nest a
+// few dozen levels; without a bound, input like "((((((..." recurses once
+// per byte and can exhaust the goroutine stack, which is an unrecoverable
+// crash rather than a catchable syntax error.
+const maxParseDepth = 1000
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return p.errf("nesting exceeds %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) cur() Token  { return p.toks[p.i] }
 func (p *parser) atEOF() bool { return p.cur().Kind == TokEOF }
@@ -81,6 +98,10 @@ func (p *parser) eatSemi() {
 }
 
 func (p *parser) parseStmt() (Stmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	switch {
 	case p.isPunct(";"):
@@ -502,6 +523,10 @@ func (p *parser) parseSwitch() (Stmt, error) {
 func (p *parser) parseExpr() (Expr, error) { return p.parseAssign() }
 
 func (p *parser) parseAssign() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	left, err := p.parseConditional()
 	if err != nil {
 		return nil, err
@@ -629,6 +654,10 @@ func (p *parser) parseBinary(level int) (Expr, error) {
 }
 
 func (p *parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.cur()
 	if t.Kind == TokPunct {
 		switch t.Text {

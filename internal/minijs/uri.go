@@ -1,0 +1,154 @@
+package minijs
+
+// JavaScript's escape/unescape and encodeURIComponent/decodeURIComponent,
+// implemented to spec instead of on top of url.QueryEscape/QueryUnescape.
+// The query-string helpers encode ' ' as '+' and decode '+' as ' ', which is
+// form-encoding, not JS semantics: encodeURIComponent(" ") must be "%20" and
+// unescape("a+b") must keep the '+'. Ad landing pages build redirect URLs
+// with these functions, so the form-encoding divergence corrupted the URLs
+// the honeyclient follows.
+
+import (
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+const hexUpper = "0123456789ABCDEF"
+
+// escapeUnreserved is the set escape() leaves intact: ASCII alphanumerics
+// plus @*_+-./ (ECMA-262 B.2.1).
+func escapeUnreserved(c uint16) bool {
+	switch {
+	case c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		return true
+	case c == '@' || c == '*' || c == '_' || c == '+' || c == '-' || c == '.' || c == '/':
+		return true
+	}
+	return false
+}
+
+// jsEscape implements the legacy global escape(): code units < 256 that are
+// not unreserved become %XX, all other code units become %uXXXX.
+func jsEscape(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, u := range utf16.Encode(runesLatin1Fallback(s)) {
+		switch {
+		case escapeUnreserved(u):
+			b.WriteByte(byte(u))
+		case u < 0x100:
+			b.WriteByte('%')
+			b.WriteByte(hexUpper[u>>4])
+			b.WriteByte(hexUpper[u&0xf])
+		default:
+			b.WriteString("%u")
+			b.WriteByte(hexUpper[u>>12&0xf])
+			b.WriteByte(hexUpper[u>>8&0xf])
+			b.WriteByte(hexUpper[u>>4&0xf])
+			b.WriteByte(hexUpper[u&0xf])
+		}
+	}
+	return b.String()
+}
+
+// runesLatin1Fallback decodes s as UTF-8, mapping each invalid byte to its
+// Latin-1 code point instead of U+FFFD. escape and unescape share this so
+// byte-mangled payloads round-trip: unescape(escape(s)) == s code-unit-wise.
+func runesLatin1Fallback(s string) []rune {
+	runes := make([]rune, 0, len(s))
+	for i := 0; i < len(s); {
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			r = rune(s[i])
+		}
+		runes = append(runes, r)
+		i += size
+	}
+	return runes
+}
+
+// jsUnescape implements the legacy global unescape(): %uXXXX yields the code
+// unit XXXX, %XX yields the code unit XX, and every other character —
+// including '+' — passes through untouched. Malformed escapes are left
+// literal, as in browsers.
+func jsUnescape(s string) string {
+	var units []uint16
+	for i := 0; i < len(s); {
+		if s[i] == '%' {
+			if i+5 < len(s) && (s[i+1] == 'u' || s[i+1] == 'U') &&
+				isHexDigit(s[i+2]) && isHexDigit(s[i+3]) && isHexDigit(s[i+4]) && isHexDigit(s[i+5]) {
+				v := hexVal(s[i+2])<<12 | hexVal(s[i+3])<<8 | hexVal(s[i+4])<<4 | hexVal(s[i+5])
+				units = append(units, uint16(v))
+				i += 6
+				continue
+			}
+			if i+2 < len(s) && isHexDigit(s[i+1]) && isHexDigit(s[i+2]) {
+				units = append(units, uint16(hexVal(s[i+1])<<4|hexVal(s[i+2])))
+				i += 3
+				continue
+			}
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			// Invalid UTF-8 byte: treat as a Latin-1 code unit so
+			// byte-mangled payloads round-trip through unescape(escape(s)).
+			r = rune(s[i])
+		}
+		units = append(units, utf16.Encode([]rune{r})...)
+		i += size
+	}
+	return string(utf16.Decode(units))
+}
+
+// uriComponentUnreserved is the set encodeURIComponent leaves intact:
+// ASCII alphanumerics plus -_.!~*'() (ECMA-262 22.2.3.4 / RFC 2396 mark).
+func uriComponentUnreserved(c byte) bool {
+	switch {
+	case c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z', c >= '0' && c <= '9':
+		return true
+	case c == '-' || c == '_' || c == '.' || c == '!' || c == '~' || c == '*' || c == '\'' || c == '(' || c == ')':
+		return true
+	}
+	return false
+}
+
+// jsEncodeURIComponent percent-encodes every byte of the UTF-8 encoding of s
+// outside the unreserved set. Space encodes to %20, never '+'.
+func jsEncodeURIComponent(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if uriComponentUnreserved(c) {
+			b.WriteByte(c)
+		} else {
+			b.WriteByte('%')
+			b.WriteByte(hexUpper[c>>4])
+			b.WriteByte(hexUpper[c&0xf])
+		}
+	}
+	return b.String()
+}
+
+// jsDecodeURIComponent decodes %XX sequences as UTF-8 bytes and leaves every
+// other character — including '+' — untouched. Where real JS throws URIError
+// on malformed input, this keeps the malformed bytes literal, matching the
+// leniency the rest of the parsing substrate applies to hostile input.
+func jsDecodeURIComponent(s string) string {
+	if !strings.ContainsRune(s, '%') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] == '%' && i+2 < len(s) && isHexDigit(s[i+1]) && isHexDigit(s[i+2]) {
+			b.WriteByte(byte(hexVal(s[i+1])<<4 | hexVal(s[i+2])))
+			i += 3
+			continue
+		}
+		b.WriteByte(s[i])
+		i++
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package minijs
+
+// Regression tests for the URI-function semantics fix. The previous
+// implementation delegated to url.QueryEscape/QueryUnescape, which apply
+// form-encoding: '+' for space on encode, space for '+' on decode. Every
+// entry here that mentions '+' or "%20" fails against that implementation.
+
+import "testing"
+
+func TestJSEscape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc123", "abc123"},
+		{"a b", "a%20b"},       // space is %20, never '+'
+		{"@*_+-./", "@*_+-./"}, // legacy unreserved set kept
+		{"a=b&c", "a%3Db%26c"},
+		{"100%", "100%25"},
+		{"é", "%E9"},    // U+00E9 < 256 → %XX form
+		{"€", "%u20AC"}, // code unit ≥ 256 → %uXXXX
+		{"漢", "%u6F22"},
+		{"𝄞", "%uD834%uDD1E"}, // astral → surrogate pair
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := jsEscape(tc.in); got != tc.want {
+			t.Errorf("jsEscape(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestJSUnescape(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a+b", "a+b"}, // QueryUnescape turned this into "a b"
+		{"a%20b", "a b"},
+		{"%41%42", "AB"},
+		{"%u20AC", "€"},
+		{"%u6f22", "漢"}, // lowercase hex accepted
+		{"%uD834%uDD1E", "𝄞"},
+		{"%", "%"}, // malformed escapes stay literal
+		{"%2", "%2"},
+		{"%zz", "%zz"},
+		{"%u12", "%u12"},
+		{"100%25", "100%"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := jsUnescape(tc.in); got != tc.want {
+			t.Errorf("jsUnescape(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestEscapeUnescapeRoundTrip(t *testing.T) {
+	inputs := []string{
+		"plain", "a b+c/d@e", "é€漢𝄞", "100% && more",
+		"http://ads.example.com/click?u=a+b&v= c",
+		string([]byte{0xff, 0xfe, 'a'}), // invalid UTF-8 → Latin-1 code units
+	}
+	for _, in := range inputs {
+		if got := jsUnescape(jsEscape(in)); got != in {
+			// The invalid-UTF-8 case round-trips by code unit, not by byte.
+			if in == string([]byte{0xff, 0xfe, 'a'}) {
+				if got != "ÿþa" {
+					t.Errorf("unescape(escape(%q)) = %q", in, got)
+				}
+				continue
+			}
+			t.Errorf("unescape(escape(%q)) = %q", in, got)
+		}
+	}
+}
+
+func TestJSEncodeURIComponent(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"abc", "abc"},
+		{" ", "%20"},                       // QueryEscape produced "+"
+		{"-_.!~*'()", "-_.!~*'()"},         // mark set kept
+		{"a/b?c&d=e", "a%2Fb%3Fc%26d%3De"}, // reserved chars encoded
+		{"+", "%2B"},
+		{"é", "%C3%A9"}, // UTF-8 bytes, not code units
+		{"€", "%E2%82%AC"},
+		{"𝄞", "%F0%9D%84%9E"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := jsEncodeURIComponent(tc.in); got != tc.want {
+			t.Errorf("jsEncodeURIComponent(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestJSDecodeURIComponent(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a+b", "a+b"}, // '+' stays literal, unlike QueryUnescape
+		{"a%20b", "a b"},
+		{"%C3%A9", "é"},
+		{"%E2%82%AC", "€"},
+		{"%2B", "+"},
+		{"%", "%"}, // malformed kept literal (lenient; real JS throws)
+		{"%zz", "%zz"},
+		{"", ""},
+	}
+	for _, tc := range cases {
+		if got := jsDecodeURIComponent(tc.in); got != tc.want {
+			t.Errorf("jsDecodeURIComponent(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// The builtin wiring: ad landing scripts build redirect URLs with these
+// globals, so the interpreter-level result is what the honeyclient follows.
+func TestURIBuiltins(t *testing.T) {
+	expectStr(t, `encodeURIComponent(" ")`, "%20")
+	expectStr(t, `encodeURIComponent("a+b c")`, "a%2Bb%20c")
+	expectStr(t, `decodeURIComponent("a+b%20c")`, "a+b c")
+	expectStr(t, `escape("a b+c")`, "a%20b+c")
+	expectStr(t, `unescape("a+b%20c")`, "a+b c")
+	expectStr(t, `unescape(escape("p a y+l/o.ad"))`, "p a y+l/o.ad")
+	expectStr(t,
+		`"http://t.example/r?u=" + encodeURIComponent("http://land.example/p?a=1&b= 2")`,
+		"http://t.example/r?u=http%3A%2F%2Fland.example%2Fp%3Fa%3D1%26b%3D%202")
+}

@@ -171,11 +171,11 @@ func ToNumber(v Value) float64 {
 		}
 		return n
 	case *Object:
-		if x.IsArray && len(x.Elems) == 1 {
-			return ToNumber(x.Elems[0])
-		}
-		if x.IsArray && len(x.Elems) == 0 {
-			return 0
+		if x.IsArray {
+			// ToPrimitive on an array is its join; converting the joined
+			// string keeps [x] ≡ x numerically and stays finite on cyclic
+			// arrays (which a direct element recursion would not).
+			return ToNumber(ToString(x))
 		}
 		return math.NaN()
 	}
@@ -183,7 +183,12 @@ func ToNumber(v Value) float64 {
 }
 
 // ToString implements JavaScript ToString.
-func ToString(v Value) string {
+func ToString(v Value) string { return toStringVisiting(v, nil) }
+
+// toStringVisiting is ToString with cycle detection: an array reached again
+// while it is being stringified yields "" (the same result Array join gives
+// for cyclic references in JS engines) instead of recursing forever.
+func toStringVisiting(v Value, visiting map[*Object]bool) string {
 	switch x := v.(type) {
 	case nil, Undefined:
 		return "undefined"
@@ -206,17 +211,31 @@ func ToString(v Value) string {
 			return "function () { [code] }"
 		}
 		if x.IsArray {
-			parts := make([]string, len(x.Elems))
-			for i, e := range x.Elems {
-				if _, und := e.(Undefined); und || e == nil {
-					parts[i] = ""
-				} else if _, isNull := e.(Null); isNull {
-					parts[i] = ""
-				} else {
-					parts[i] = ToString(e)
-				}
+			if visiting[x] {
+				return ""
 			}
-			return strings.Join(parts, ",")
+			if visiting == nil {
+				visiting = map[*Object]bool{}
+			}
+			visiting[x] = true
+			var b strings.Builder
+			for i, e := range x.Elems {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				// Bound the join: many references to one large string would
+				// otherwise multiply into an OOM within a few budget steps.
+				// Deterministic truncation keeps conversion total.
+				if b.Len() > maxStringLen {
+					break
+				}
+				if isNullish(e) {
+					continue
+				}
+				b.WriteString(toStringVisiting(e, visiting))
+			}
+			delete(visiting, x)
+			return b.String()
 		}
 		return "[object Object]"
 	}

@@ -1,0 +1,92 @@
+package urlx
+
+// Differential tests against net/url over the deterministic fuzzutil corpus,
+// plus the regression for the empty-label RegisteredDomain bug. These run on
+// every `go test` — the fuzz targets explore beyond the corpus, these pin the
+// corpus behaviour down.
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+
+	"madave/internal/fuzzutil"
+)
+
+func TestHostDifferential(t *testing.T) {
+	for _, raw := range fuzzutil.URLs(0xd1f, 300) {
+		got := Host(raw)
+		u, err := url.Parse(raw)
+		if err != nil {
+			if got != "" {
+				t.Errorf("Host(%q) = %q, want \"\" for unparsable input", raw, got)
+			}
+			continue
+		}
+		if want := strings.ToLower(u.Hostname()); got != want {
+			t.Error(fuzzutil.Diff("Host("+raw+")", got, want))
+		}
+	}
+}
+
+func TestResolveDifferential(t *testing.T) {
+	bases := fuzzutil.URLs(0xd20, 100)
+	refs := fuzzutil.URLs(0xd21, 100)
+	for i := range bases {
+		got := Resolve(bases[i], refs[i])
+		b, errB := url.Parse(bases[i])
+		r, errR := url.Parse(refs[i])
+		if errB != nil || errR != nil {
+			if got != "" {
+				t.Errorf("Resolve(%q, %q) = %q, want \"\" for unparsable parts", bases[i], refs[i], got)
+			}
+			continue
+		}
+		if want := b.ResolveReference(r).String(); got != want {
+			t.Error(fuzzutil.Diff("Resolve("+bases[i]+", "+refs[i]+")", got, want))
+		}
+	}
+}
+
+func TestDomainLawsOverCorpus(t *testing.T) {
+	for _, h := range fuzzutil.Hosts(0xd22, 500) {
+		checkRegisteredDomainLaws(t, h)
+	}
+}
+
+// Pre-fix: RegisteredDomain("a..com") returned ".com", so every host with an
+// empty label before its suffix shared a "registered domain" with every
+// other — collapsing unrelated hosts in the third-party attribution.
+func TestRegisteredDomainEmptyLabel(t *testing.T) {
+	for _, h := range []string{"a..com", "b..com", "..com", "x...co.uk"} {
+		if rd := RegisteredDomain(h); rd != "" {
+			t.Errorf("RegisteredDomain(%q) = %q, want \"\"", h, rd)
+		}
+	}
+	if SameRegisteredDomain("a..com", "b..com") {
+		t.Error(`SameRegisteredDomain("a..com", "b..com") = true, want false`)
+	}
+	// Hosts with empty labels elsewhere still resolve normally.
+	if rd := RegisteredDomain("a..b.example.com"); rd != "example.com" {
+		t.Errorf(`RegisteredDomain("a..b.example.com") = %q, want "example.com"`, rd)
+	}
+}
+
+// Harness-found (FuzzRegisteredDomain crasher ". .00"): a space inside a
+// label survived normalizeHost, so RegisteredDomain(". .00") = " .00" but
+// RegisteredDomain(" .00") = "" — idempotence broken. Whitespace inside a
+// host now normalizes the whole host to invalid.
+func TestHostInteriorWhitespace(t *testing.T) {
+	for _, h := range []string{". .00", "a b.com", "a\tb.com", "www.ex ample.com"} {
+		if rd := RegisteredDomain(h); rd != "" {
+			t.Errorf("RegisteredDomain(%q) = %q, want \"\"", h, rd)
+		}
+		if tld := TLD(h); tld != "" {
+			t.Errorf("TLD(%q) = %q, want \"\"", h, tld)
+		}
+	}
+	// Leading/trailing whitespace is still trimmed, not rejected.
+	if rd := RegisteredDomain("  www.example.com  "); rd != "example.com" {
+		t.Errorf(`RegisteredDomain("  www.example.com  ") = %q, want "example.com"`, rd)
+	}
+}

@@ -1,0 +1,168 @@
+package urlx
+
+// Native fuzz targets for the URL/domain utilities (DESIGN.md §12). The
+// oracles are differential (net/url is the reference for parsing) and
+// algebraic: the domain functions obey suffix/idempotence/symmetry laws no
+// matter how hostile the host string is. Attribution in the paper's
+// measurements — which registered domain served an ad, whether a request is
+// third-party — rides on these laws.
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+
+	"madave/internal/fuzzutil"
+)
+
+var hostBugSeeds = []string{
+	"a..com",           // empty label before the suffix: must have no registered domain
+	"b..com",           // pre-fix, a..com and b..com were "same registered domain"
+	".com",             // bare dotted TLD
+	"..",               //
+	". .00",            // interior space: broke RegisteredDomain idempotence
+	"www.EXAMPLE.com.", // case + trailing dot
+	"bbc.co.uk:8080",
+	"[2001:db8::1]:443",
+	"xn--p1ai.org.uk",
+}
+
+func addHostSeeds(f *testing.F) {
+	fuzzutil.SeedStrings(f, hostBugSeeds...)
+	fuzzutil.SeedStrings(f, fuzzutil.Hosts(0x40, 24)...)
+}
+
+func FuzzHost(f *testing.F) {
+	fuzzutil.SeedStrings(f, fuzzutil.URLs(0x41, 24)...)
+	fuzzutil.SeedStrings(f, "http://ADS.Example.COM:8080/x", "//cdn.example.net/a.js", "%zz", "javascript:alert(1)")
+	f.Fuzz(func(t *testing.T, rawURL string) {
+		if len(rawURL) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		h := Host(rawURL)
+		if h != strings.ToLower(h) {
+			t.Fatalf("Host(%q) = %q: not lowercase", rawURL, h)
+		}
+		u, err := url.Parse(rawURL)
+		if err != nil {
+			if h != "" {
+				t.Fatalf("Host(%q) = %q but net/url rejects the input: %v", rawURL, h, err)
+			}
+			return
+		}
+		if want := strings.ToLower(u.Hostname()); h != want {
+			t.Fatal(fuzzutil.Diff("Host vs net/url Hostname", h, want))
+		}
+	})
+}
+
+func FuzzTLD(f *testing.F) {
+	addHostSeeds(f)
+	f.Fuzz(func(t *testing.T, host string) {
+		if len(host) > 1<<10 {
+			t.Skip("oversized input")
+		}
+		tld := TLD(host)
+		if tld == "" {
+			return
+		}
+		if tld != strings.ToLower(tld) {
+			t.Fatalf("TLD(%q) = %q: not lowercase", host, tld)
+		}
+		norm := normalizeHost(host)
+		if norm != tld && !strings.HasSuffix(norm, "."+tld) {
+			t.Fatalf("TLD(%q) = %q is not a label-boundary suffix of %q", host, tld, norm)
+		}
+	})
+}
+
+func FuzzRegisteredDomain(f *testing.F) {
+	rng := fuzzutil.NewRNG(0x42)
+	hosts := fuzzutil.Hosts(0x43, 24)
+	for i := 0; i < 12; i++ {
+		f.Add(rng.Pick(hosts), rng.Pick(hosts))
+	}
+	f.Add("a..com", "b..com")
+	f.Add("www.example.com", "ads.example.com")
+	f.Add("news.bbc.co.uk", "bbc.co.uk")
+	f.Fuzz(func(t *testing.T, hostA, hostB string) {
+		if len(hostA) > 1<<10 || len(hostB) > 1<<10 {
+			t.Skip("oversized input")
+		}
+		checkRegisteredDomainLaws(t, hostA)
+		checkRegisteredDomainLaws(t, hostB)
+		// SameRegisteredDomain must be symmetric and must equal the
+		// definitional form.
+		ab, ba := SameRegisteredDomain(hostA, hostB), SameRegisteredDomain(hostB, hostA)
+		if ab != ba {
+			t.Fatalf("SameRegisteredDomain(%q, %q) = %v but reversed = %v", hostA, hostB, ab, ba)
+		}
+		rdA, rdB := RegisteredDomain(hostA), RegisteredDomain(hostB)
+		if want := rdA != "" && rdA == rdB; ab != want {
+			t.Fatalf("SameRegisteredDomain(%q, %q) = %v, want %v (rd %q vs %q)", hostA, hostB, ab, want, rdA, rdB)
+		}
+	})
+}
+
+func checkRegisteredDomainLaws(t *testing.T, host string) {
+	t.Helper()
+	rd := RegisteredDomain(host)
+	if rd == "" {
+		return
+	}
+	norm := normalizeHost(host)
+	if rd != norm && !strings.HasSuffix(norm, "."+rd) {
+		t.Fatalf("RegisteredDomain(%q) = %q is not a label-boundary suffix of %q", host, rd, norm)
+	}
+	for _, label := range strings.Split(rd, ".") {
+		if label == "" {
+			t.Fatalf("RegisteredDomain(%q) = %q contains an empty label", host, rd)
+		}
+	}
+	if got := TLD(rd); got != TLD(host) {
+		t.Fatalf("TLD(RegisteredDomain(%q)) = %q, want TLD(host) = %q", host, got, TLD(host))
+	}
+	if got := RegisteredDomain(rd); got != rd {
+		t.Fatalf("RegisteredDomain not idempotent on %q: %q -> %q", host, rd, got)
+	}
+	if !IsSubdomainOf(host, rd) {
+		t.Fatalf("IsSubdomainOf(%q, RegisteredDomain=%q) = false", host, rd)
+	}
+}
+
+func FuzzResolve(f *testing.F) {
+	bases := fuzzutil.URLs(0x44, 12)
+	refs := fuzzutil.URLs(0x45, 12)
+	for i := range bases {
+		f.Add(bases[i], refs[i])
+	}
+	f.Add("http://pub.example/page", "/ads/slot1")
+	f.Add("http://pub.example/a/b", "../c?d=1#f")
+	f.Add("http://pub.example/", "//cdn.example/x.js")
+	f.Fuzz(func(t *testing.T, base, ref string) {
+		if len(base) > 1<<12 || len(ref) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		got := Resolve(base, ref)
+		b, errB := url.Parse(base)
+		r, errR := url.Parse(ref)
+		if errB != nil || errR != nil {
+			if got != "" {
+				t.Fatalf("Resolve(%q, %q) = %q but a part is unparsable", base, ref, got)
+			}
+			return
+		}
+		if want := b.ResolveReference(r).String(); got != want {
+			t.Fatal(fuzzutil.Diff("Resolve vs net/url ResolveReference", got, want))
+		}
+		if got == "" {
+			return
+		}
+		if _, err := url.Parse(got); err != nil {
+			t.Fatalf("Resolve(%q, %q) = %q is unparsable: %v", base, ref, got, err)
+		}
+		if IsAbsolute(ref) && Host(got) != Host(ref) {
+			t.Fatalf("Resolve(%q, %q) = %q changed the absolute ref's host %q -> %q", base, ref, got, Host(ref), Host(got))
+		}
+	})
+}

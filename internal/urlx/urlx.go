@@ -116,6 +116,12 @@ func RegisteredDomain(host string) string {
 		return "" // host did not actually end with ".suffix"
 	}
 	labels := strings.Split(rest, ".")
+	if labels[len(labels)-1] == "" {
+		// Empty label just before the suffix ("a..com"): not a registrable
+		// domain. Without this, every such host mapped to ".com" and
+		// SameRegisteredDomain lumped them all together.
+		return ""
+	}
 	return labels[len(labels)-1] + "." + suffix
 }
 
@@ -146,9 +152,15 @@ func IsSubdomainOf(host, domain string) bool {
 	return host == domain || strings.HasSuffix(host, "."+domain)
 }
 
-// normalizeHost lowercases host and strips any port and trailing dot.
+// normalizeHost lowercases host and strips any port and trailing dot. Hosts
+// containing interior whitespace are invalid and normalize to "": letting a
+// space survive inside a label broke RegisteredDomain's idempotence, because
+// re-normalizing the result trimmed the space and shifted label boundaries.
 func normalizeHost(host string) string {
 	host = strings.ToLower(strings.TrimSpace(host))
+	if strings.ContainsAny(host, " \t\r\n\f\v") {
+		return ""
+	}
 	// Strip a port if present. IPv6 literals are not used by the simulation
 	// but handle the bracket form defensively.
 	if strings.HasPrefix(host, "[") {
