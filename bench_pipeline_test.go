@@ -181,6 +181,9 @@ func TestEmitBenchPipeline(t *testing.T) {
 	}
 	cacheOff := run("PipelineAnalyzeCacheOff", BenchmarkPipelineAnalyzeCacheOff)
 	cached := run("PipelineAnalyzeCached", BenchmarkPipelineAnalyzeCached)
+	jsCold := run("MinijsCompiledCold", BenchmarkMinijsCompiledCold)
+	jsWarm := run("MinijsCompiledWarm", BenchmarkMinijsCompiledWarm)
+	jsTree := run("MinijsTreeWalk", BenchmarkMinijsTreeWalk)
 	rep := benchReport{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -192,6 +195,9 @@ func TestEmitBenchPipeline(t *testing.T) {
 			run("PipelineAnalyze", BenchmarkPipelineAnalyze),
 			cacheOff,
 			cached,
+			jsCold,
+			jsWarm,
+			jsTree,
 		},
 	}
 
@@ -205,6 +211,18 @@ func TestEmitBenchPipeline(t *testing.T) {
 	} else {
 		t.Logf("cache speedup: %.1fx (%.0f -> %.0f ads/sec, hit ratio %.2f)",
 			onRate/offRate, offRate, onRate, cached.Metrics["hit_ratio"])
+	}
+
+	// The compiler gate: warm compiled execution (code-cache hit + bytecode
+	// VM) must be strictly faster than the seed engine's re-parse +
+	// tree-walk on the same creative corpus, or the compile pipeline has
+	// regressed into overhead.
+	if jsWarm.NsPerOp <= 0 || jsWarm.NsPerOp >= jsTree.NsPerOp {
+		t.Errorf("warm compiled minijs not faster than tree-walk: %d ns/op compiled vs %d ns/op tree-walk (cold %d)",
+			jsWarm.NsPerOp, jsTree.NsPerOp, jsCold.NsPerOp)
+	} else {
+		t.Logf("minijs compile speedup: %.1fx (tree-walk %d -> warm %d ns/op, cold %d)",
+			float64(jsTree.NsPerOp)/float64(jsWarm.NsPerOp), jsTree.NsPerOp, jsWarm.NsPerOp, jsCold.NsPerOp)
 	}
 
 	write := func(path string, rep benchReport) {

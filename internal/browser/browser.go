@@ -216,6 +216,17 @@ type Browser struct {
 	MaxRedirects  int
 	// ScriptBudget is the minijs step allowance per document.
 	ScriptBudget int
+	// CodeCache, when set, shares parsed+compiled scripts across documents
+	// keyed by source hash. Ad corpora repeat the same creatives, so this
+	// removes most parse/compile work from every visit after the first.
+	CodeCache *minijs.CodeCache
+	// TolerantJS parses scripts with error recovery: broken creatives run
+	// to a deterministic partial result instead of failing outright, and
+	// their syntax diagnostics land in Page.Errors.
+	TolerantJS bool
+	// TreeWalkJS disables the bytecode VM and executes ASTs directly —
+	// the escape hatch behind the -minijs-interp flag.
+	TreeWalkJS bool
 	// FollowNavigations controls whether script navigations are fetched
 	// (one GET, no rendering) to observe their outcome.
 	FollowNavigations bool

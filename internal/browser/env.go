@@ -18,6 +18,7 @@ func (b *Browser) runScripts(reqCtx context.Context, page *Page, sandboxed bool)
 	ctx := &scriptCtx{b: b, page: page, sandboxed: sandboxed, reqCtx: reqCtx}
 	interp := minijs.New()
 	interp.Budget = b.ScriptBudget
+	interp.UseVM = !b.TreeWalkJS
 	ctx.install(interp)
 
 	executed := map[*htmlparse.Node]bool{}
@@ -40,9 +41,7 @@ func (b *Browser) runScripts(reqCtx context.Context, page *Page, sandboxed bool)
 			}
 			ran = true
 			page.Scripts = append(page.Scripts, src)
-			if _, err := interp.Run(src); err != nil {
-				page.Errors = append(page.Errors, "script: "+err.Error())
-			}
+			ctx.runScript(interp, src, "script: ")
 			ctx.flushWrites()
 		}
 		if !ran {
@@ -120,10 +119,40 @@ func (ctx *scriptCtx) runExternalScript(in *minijs.Interp, src string) {
 	}
 	src2 := string(body)
 	ctx.page.Scripts = append(ctx.page.Scripts, src2)
-	if _, err := in.Run(src2); err != nil {
-		ctx.page.Errors = append(ctx.page.Errors, "external script: "+err.Error())
-	}
+	ctx.runScript(in, src2, "external script: ")
 	ctx.flushWrites()
+}
+
+// runScript parses (through the shared code cache when one is configured)
+// and executes one script body, recording parse diagnostics and runtime
+// errors under the given prefix. With and without a cache the same source
+// yields the same Page.Errors, which is what the cache determinism gate
+// checks.
+func (ctx *scriptCtx) runScript(in *minijs.Interp, src, label string) {
+	b := ctx.b
+	var prog *minijs.Program
+	var perrs []*minijs.SyntaxError
+	var err error
+	switch {
+	case b.CodeCache != nil:
+		prog, perrs, err = b.CodeCache.Load(ctx.reqCtx, src, b.TolerantJS)
+	case b.TolerantJS:
+		prog, perrs = minijs.ParseTolerant(src)
+	default:
+		prog, err = minijs.Parse(src)
+	}
+	if err != nil {
+		ctx.page.Errors = append(ctx.page.Errors, label+err.Error())
+		return
+	}
+	// Tolerant-mode recovery diagnostics are observations, not failures:
+	// they land in Page.Errors and the recovered program still runs.
+	for _, pe := range perrs {
+		ctx.page.Errors = append(ctx.page.Errors, label+pe.Error())
+	}
+	if _, rerr := in.RunProgram(prog); rerr != nil {
+		ctx.page.Errors = append(ctx.page.Errors, label+rerr.Error())
+	}
 }
 
 // maxFollowedNavigations bounds how many script navigations the browser

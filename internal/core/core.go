@@ -68,6 +68,10 @@ type Config struct {
 	// byte-identical to one with caches off — they only change how fast
 	// repeated artefacts classify.
 	Cache CacheConfig
+	// MinijsInterp forces the honeyclient's script engine back to the
+	// tree-walking interpreter (the -minijs-interp escape hatch); the
+	// default is the bytecode VM. Verdicts are identical either way.
+	MinijsInterp bool
 }
 
 // CacheConfig holds the memoization knobs for the three hot oracle layers.
@@ -141,6 +145,7 @@ func NewStudy(cfg Config) (*Study, error) {
 	hc.Retry = cfg.AnalysisRetry
 	hc.Timeout = cfg.AnalysisTimeout
 	hc.Tel = cfg.Telemetry
+	hc.MinijsInterp = cfg.MinijsInterp
 	if cfg.Chaos != nil {
 		hc.Transport = chaosTransport(u, cfg.Seed, *cfg.Chaos, cfg.Telemetry)
 	}

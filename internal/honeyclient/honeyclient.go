@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"madave/internal/browser"
 	"madave/internal/cachex"
 	"madave/internal/memnet"
+	"madave/internal/minijs"
 	"madave/internal/netcap"
 	"madave/internal/resilient"
 	"madave/internal/stats"
@@ -139,6 +141,27 @@ type Honeyclient struct {
 	DisableHijackDetection    bool // top.location rewrites
 	DisableModel              bool // behavioural model
 
+	// MinijsInterp forces the tree-walking script engine instead of the
+	// bytecode VM — the -minijs-interp escape hatch. Verdicts are
+	// engine-independent (the differential fuzzer enforces it), so this
+	// only trades speed.
+	MinijsInterp bool
+	// TolerantJS runs page scripts through the error-recovering parser so
+	// broken creatives execute to a partial result instead of erroring
+	// out. New() enables it: real ad corpora are full of malformed
+	// JavaScript, and the scripts most likely to carry drive-by behavior
+	// are exactly the broken ones. Well-formed scripts parse identically
+	// either way (FuzzParseRecover's superset law), so verdicts on clean
+	// corpora are unaffected.
+	TolerantJS bool
+
+	// code shares parsed+compiled scripts across every browser this
+	// honeyclient builds, keyed by source hash. Unlike the report cache it
+	// is always on: compilation is a pure function of the source, so
+	// sharing it cannot perturb verdicts.
+	codeOnce sync.Once
+	code     *minijs.CodeCache
+
 	// cache, when enabled, memoizes analysis reports so advertisements
 	// sharing a creative execute once (DESIGN.md §11). Reports are pure
 	// functions of their key, so hits are byte-identical to recomputation.
@@ -196,6 +219,7 @@ func New(u *memnet.Universe, seed uint64) *Honeyclient {
 		ModelThreshold: DefaultModelThreshold,
 		ScriptBudget:   500_000,
 		Seed:           seed,
+		TolerantJS:     true,
 	}
 }
 
@@ -224,6 +248,10 @@ func (h *Honeyclient) newBrowser() (*browser.Browser, *netcap.Capture) {
 	b.Tel = h.Tel
 	b.ScriptBudget = h.ScriptBudget
 	b.RNG = stats.NewRNG(h.Seed).Fork("honeyclient")
+	h.codeOnce.Do(func() { h.code = minijs.NewCodeCache(0, h.Tel) })
+	b.CodeCache = h.code
+	b.TolerantJS = h.TolerantJS
+	b.TreeWalkJS = h.MinijsInterp
 	return b, cap
 }
 

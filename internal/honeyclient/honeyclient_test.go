@@ -1,7 +1,10 @@
 package honeyclient
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
 	"strings"
 	"sync"
 	"testing"
@@ -257,5 +260,68 @@ func TestDetectorToggles(t *testing.T) {
 	}
 	if rep3.Features.Score() < DefaultModelThreshold {
 		t.Fatal("features should still be extracted")
+	}
+}
+
+// TestBrokenCreativePartialExecution is the error-tolerance acceptance
+// gate: a deliberately-broken creative (unterminated string, stray tokens,
+// unbalanced parens after the interesting part) must still execute its
+// intact prefix — here a §2.3 top.location hijack — instead of dying with a
+// SyntaxError, and the recovered behavior must be deterministic per seed.
+// The strict engine (TolerantJS=false) proves the hijack is only observable
+// because of recovery.
+func TestBrokenCreativePartialExecution(t *testing.T) {
+	u := memnet.NewUniverse()
+	u.HandleFunc("broken-ad.example.com", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `<html><body><script>
+document.write('<img src="http://beacon.example.com/px.gif" width="1" height="1">');
+top.location = "http://hijack-lp.example.com/win";
+var s = "unterminated
+%%%% stray tokens ((((
+</script></body></html>`)
+	})
+	u.HandleFunc("beacon.example.com", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "gif")
+	})
+	u.HandleFunc("hijack-lp.example.com", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "<html>win</html>")
+	})
+
+	analyze := func(tolerant bool) *Report {
+		h := New(u, 7)
+		h.TolerantJS = tolerant
+		return h.Analyze("http://broken-ad.example.com/")
+	}
+
+	rep := analyze(true)
+	if !rep.Hijack {
+		t.Fatalf("broken creative did not execute its intact prefix: %+v", rep)
+	}
+	beaconSeen := false
+	for _, host := range rep.Hosts {
+		if host == "beacon.example.com" {
+			beaconSeen = true
+		}
+	}
+	if !beaconSeen {
+		t.Fatalf("document.write before the breakage left no beacon contact; hosts: %v", rep.Hosts)
+	}
+
+	// Deterministic per seed: independent honeyclients agree byte-for-byte.
+	j1, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := json.Marshal(analyze(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Fatalf("recovered execution not deterministic:\n%s\nvs\n%s", j1, j2)
+	}
+
+	// Without recovery the same creative is inert: nothing executes.
+	if strict := analyze(false); strict.Hijack {
+		t.Fatal("strict parse should not have executed the broken creative")
 	}
 }

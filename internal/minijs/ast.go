@@ -18,6 +18,10 @@ func (p pos) nodeLine() int { return p.Line }
 type Program struct {
 	pos
 	Body []Stmt
+	// code is the compiled bytecode chunk, set by Compile. It is written
+	// once before the program is published (cached/shared) and read-only
+	// afterwards, so concurrent executions need no locking.
+	code *chunk
 }
 
 // Stmt is implemented by statement nodes.
@@ -192,6 +196,19 @@ type FuncLit struct {
 	Name   string // optional, for named function expressions
 	Params []string
 	Body   *BlockStmt
+	// code is the function body compiled to bytecode (see Program.code for
+	// the publication discipline). Nil when the program was never compiled;
+	// the tree-walker then executes Body directly.
+	code *chunk
+}
+
+// RegexLit is a regular-expression literal: /pattern/flags. The Go regexp
+// translation is compiled lazily, once per AST node (see compileRegex).
+type RegexLit struct {
+	pos
+	Pattern string
+	Flags   string
+	rx      *compiledRegex
 }
 
 // UnaryExpr is op x, e.g. -x, !x, typeof x. Prefix ++/-- are represented as

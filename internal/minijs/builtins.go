@@ -243,11 +243,67 @@ func stringMember(s, name string) Value {
 		})
 	case "replace":
 		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
-			// String patterns only (no regex); replaces the first match
-			// like JavaScript's string-pattern replace.
-			old := ToString(arg(args, 0))
 			repl := ToString(arg(args, 1))
+			// Regex patterns honor the g flag; string patterns replace the
+			// first match like JavaScript's string-pattern replace.
+			if rr, ok := regexArg(arg(args, 0)); ok {
+				return regexReplace(s, rr, repl), nil
+			}
+			old := ToString(arg(args, 0))
 			return strings.Replace(s, old, repl, 1), nil
+		})
+	case "match":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			rr, ok := regexArg(arg(args, 0))
+			if !ok {
+				return Null{}, nil
+			}
+			re, ok := rr.re()
+			if !ok {
+				return Null{}, nil
+			}
+			if rr.global {
+				ms := re.FindAllString(s, -1)
+				if ms == nil {
+					return Null{}, nil
+				}
+				elems := make([]Value, len(ms))
+				for i, m := range ms {
+					elems[i] = m
+				}
+				return NewArray(elems...), nil
+			}
+			loc := re.FindStringSubmatchIndex(s)
+			if loc == nil {
+				return Null{}, nil
+			}
+			res := NewArray()
+			for i := 0; i*2 < len(loc); i++ {
+				if loc[i*2] < 0 {
+					res.Elems = append(res.Elems, Undefined{})
+				} else {
+					res.Elems = append(res.Elems, s[loc[i*2]:loc[i*2+1]])
+				}
+			}
+			res.Props["index"] = float64(loc[0])
+			res.Props["input"] = s
+			return res, nil
+		})
+	case "search":
+		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {
+			rr, ok := regexArg(arg(args, 0))
+			if !ok {
+				return float64(strings.Index(s, ToString(arg(args, 0)))), nil
+			}
+			re, ok := rr.re()
+			if !ok {
+				return float64(-1), nil
+			}
+			loc := re.FindStringIndex(s)
+			if loc == nil {
+				return float64(-1), nil
+			}
+			return float64(loc[0]), nil
 		})
 	case "concat":
 		return NewNative(name, func(_ *Interp, _ Value, args []Value) (Value, error) {

@@ -1,0 +1,164 @@
+package minijs
+
+// disasm.go renders compiled bytecode as a stable, human-reviewable listing.
+// The golden tests pin these listings per script so compiler changes show up
+// as reviewable diffs.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+var opNames = map[opcode]string{
+	opCost:          "cost",
+	opConst:         "const",
+	opPop:           "pop",
+	opDup:           "dup",
+	opSwap:          "swap",
+	opGetVar:        "getvar",
+	opAssignVar:     "assignvar",
+	opDefine:        "define",
+	opThis:          "this",
+	opTypeofVar:     "typeofvar",
+	opMakeFunc:      "makefunc",
+	opHoistFunc:     "hoistfunc",
+	opMakeArray:     "makearray",
+	opMakeObject:    "makeobject",
+	opMakeRegex:     "makeregex",
+	opGetMember:     "getmember",
+	opSetMember:     "setmember",
+	opDelMember:     "delmember",
+	opGetIndex:      "getindex",
+	opSetIndex:      "setindex",
+	opUnary:         "unary",
+	opBinary:        "binary",
+	opUpdateNum:     "updatenum",
+	opJump:          "jump",
+	opJumpFalse:     "jumpfalse",
+	opJumpTrue:      "jumptrue",
+	opCaseJump:      "casejump",
+	opCall:          "call",
+	opNew:           "new",
+	opReturn:        "return",
+	opThrow:         "throw",
+	opTry:           "try",
+	opBreak:         "break",
+	opContinue:      "continue",
+	opPushScope:     "pushscope",
+	opPopScope:      "popscope",
+	opForInInit:     "forininit",
+	opForInNext:     "forinnext",
+	opSetCompletion: "setcompletion",
+}
+
+// Disassemble returns a deterministic textual listing of a compiled
+// program: the top-level chunk followed by every nested function and
+// try-block chunk in definition order. The program must have been compiled.
+func Disassemble(prog *Program) string {
+	if prog.code == nil {
+		return "<not compiled>\n"
+	}
+	var b strings.Builder
+	disasmChunk(&b, prog.code, "program")
+	return b.String()
+}
+
+func disasmChunk(b *strings.Builder, ch *chunk, path string) {
+	fmt.Fprintf(b, "== %s (%s)\n", path, ch.name)
+	for pc, ins := range ch.code {
+		fmt.Fprintf(b, "%4d  %-13s", pc, opNames[ins.op])
+		disasmOperands(b, ch, ins)
+		if ins.cost > 0 {
+			fmt.Fprintf(b, "  ; cost=%d", ins.cost)
+		}
+		b.WriteByte('\n')
+	}
+	for i, fn := range ch.funcs {
+		disasmChunk(b, fn.code, fmt.Sprintf("%s/fn%d", path, i))
+	}
+	for i, td := range ch.trys {
+		disasmChunk(b, td.body, fmt.Sprintf("%s/try%d.body", path, i))
+		if td.catch != nil {
+			disasmChunk(b, td.catch, fmt.Sprintf("%s/try%d.catch", path, i))
+		}
+		if td.finally != nil {
+			disasmChunk(b, td.finally, fmt.Sprintf("%s/try%d.finally", path, i))
+		}
+	}
+}
+
+func disasmOperands(b *strings.Builder, ch *chunk, ins instr) {
+	switch ins.op {
+	case opConst:
+		fmt.Fprintf(b, " %s", disasmValue(ch.consts[ins.a]))
+	case opGetVar, opAssignVar, opDefine, opTypeofVar, opGetMember, opSetMember, opDelMember:
+		fmt.Fprintf(b, " %s", ch.atoms[ins.a])
+	case opMakeFunc:
+		fmt.Fprintf(b, " fn%d", ins.a)
+	case opHoistFunc:
+		fmt.Fprintf(b, " fn%d %s", ins.a, ch.atoms[ins.b])
+	case opMakeArray, opNew:
+		fmt.Fprintf(b, " %d", ins.a)
+	case opMakeObject:
+		fmt.Fprintf(b, " {%s}", strings.Join(ch.keys[ins.a], ","))
+	case opMakeRegex:
+		rx := ch.regexes[ins.a]
+		fmt.Fprintf(b, " /%s/%s", rx.Pattern, rx.Flags)
+	case opUnary:
+		fmt.Fprintf(b, " %s", unaryOps[ins.a])
+	case opBinary:
+		fmt.Fprintf(b, " %s", binaryOps[ins.a])
+	case opUpdateNum:
+		fmt.Fprintf(b, " %+d prefix=%d", ins.a, ins.b)
+	case opJump, opJumpFalse, opJumpTrue, opCaseJump, opForInNext:
+		fmt.Fprintf(b, " ->%d", ins.a)
+	case opCall:
+		fmt.Fprintf(b, " argc=%d callee=%s", ins.a, ch.atoms[ins.b])
+	case opTry:
+		td := ch.trys[ins.a]
+		fmt.Fprintf(b, " try%d", ins.a)
+		if td.catch != nil {
+			fmt.Fprintf(b, " catch=%s", ch.atoms[td.catchAtom])
+		}
+		if td.finally != nil {
+			b.WriteString(" finally")
+		}
+		if td.breakPC >= 0 {
+			fmt.Fprintf(b, " break->%d", td.breakPC)
+		}
+		if td.contPC >= 0 {
+			fmt.Fprintf(b, " cont->%d", td.contPC)
+		}
+	}
+}
+
+func disasmValue(v Value) string {
+	switch x := v.(type) {
+	case Undefined:
+		return "undefined"
+	case Null:
+		return "null"
+	case bool:
+		return strconv.FormatBool(x)
+	case float64:
+		return formatNumber(x)
+	case string:
+		return strconv.Quote(x)
+	case *Object:
+		if x.IsArray {
+			return "[array]"
+		}
+		if len(x.Props) > 0 {
+			keys := make([]string, 0, len(x.Props))
+			for k := range x.Props {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return "{" + strings.Join(keys, ",") + "}"
+		}
+		return "[object]"
+	}
+	return fmt.Sprintf("%v", v)
+}

@@ -1,6 +1,7 @@
 package minijs
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -87,6 +88,12 @@ type Interp struct {
 	// MaxDepth bounds recursion (call depth).
 	MaxDepth int
 	depth    int
+	// UseVM selects the bytecode VM over the tree-walker. Programs without
+	// compiled code (and functions created by a tree-walk) still run on the
+	// tree-walker; the two engines agree exactly (see FuzzCompileEval).
+	UseVM bool
+	// vm is the active pooled machine while a VM execution is in flight.
+	vm *machine
 }
 
 // DefaultBudget is the per-execution step allowance. Ads in the simulation
@@ -96,7 +103,7 @@ const DefaultBudget = 2_000_000
 // New returns an interpreter with a fresh global scope, the default budget,
 // and standard builtins (Math, String, parseInt, ...) installed.
 func New() *Interp {
-	in := &Interp{Global: NewEnv(nil), Budget: DefaultBudget, MaxDepth: 200}
+	in := &Interp{Global: NewEnv(nil), Budget: DefaultBudget, MaxDepth: 200, UseVM: true}
 	installBuiltins(in)
 	return in
 }
@@ -112,6 +119,16 @@ func (in *Interp) Run(src string) (Value, error) {
 
 // RunProgram executes an already-parsed program in the global scope.
 func (in *Interp) RunProgram(prog *Program) (Value, error) {
+	if in.UseVM {
+		if prog.code == nil {
+			// Compile on demand (eval, embedders without a code cache). A
+			// compile failure falls back to the tree-walker.
+			_ = CompileProgram(context.Background(), prog)
+		}
+		if prog.code != nil {
+			return in.runProgramVM(prog)
+		}
+	}
 	var last Value = Undefined{}
 	// Hoist function declarations, as JS does.
 	for _, s := range prog.Body {
@@ -488,6 +505,9 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 	case *FuncLit:
 		return in.makeFunction(x, env), nil
 
+	case *RegexLit:
+		return newRegexObject(x), nil
+
 	case *UnaryExpr:
 		return in.evalUnary(x, env)
 
@@ -790,12 +810,7 @@ func (in *Interp) assignTo(target Expr, val Value, env *Env) error {
 		if err != nil {
 			return err
 		}
-		obj, ok := objV.(*Object)
-		if !ok {
-			return &ThrowError{Value: "TypeError: cannot set property " + t.Name + " of non-object", Line: t.nodeLine()}
-		}
-		obj.Set(t.Name, val)
-		return nil
+		return in.setMemberValue(objV, t.Name, val, t.nodeLine())
 	case *IndexExpr:
 		objV, err := in.eval(t.Obj, env)
 		if err != nil {
@@ -805,26 +820,42 @@ func (in *Interp) assignTo(target Expr, val Value, env *Env) error {
 		if err != nil {
 			return err
 		}
-		obj, ok := objV.(*Object)
-		if !ok {
-			return &ThrowError{Value: "TypeError: cannot index non-object", Line: t.nodeLine()}
-		}
-		if obj.IsArray {
-			if idx, ok := arrayIndex(idxV); ok && idx >= 0 {
-				if idx >= maxArrayLen {
-					return &ThrowError{Value: "RangeError: invalid array length", Line: t.nodeLine()}
-				}
-				for len(obj.Elems) <= idx {
-					obj.Elems = append(obj.Elems, Undefined{})
-				}
-				obj.Elems[idx] = val
-				return nil
-			}
-		}
-		obj.Set(ToString(idxV), val)
-		return nil
+		return in.setIndexValue(objV, idxV, val, t.nodeLine())
 	}
 	return fmt.Errorf("minijs: invalid assignment target %T", target)
+}
+
+// setMemberValue stores obj.name = val; shared by the tree-walker's
+// assignTo and the VM's opSetMember so error values stay identical.
+func (in *Interp) setMemberValue(objV Value, name string, val Value, line int) error {
+	obj, ok := objV.(*Object)
+	if !ok {
+		return &ThrowError{Value: "TypeError: cannot set property " + name + " of non-object", Line: line}
+	}
+	obj.Set(name, val)
+	return nil
+}
+
+// setIndexValue stores obj[idx] = val; shared by assignTo and opSetIndex.
+func (in *Interp) setIndexValue(objV, idxV, val Value, line int) error {
+	obj, ok := objV.(*Object)
+	if !ok {
+		return &ThrowError{Value: "TypeError: cannot index non-object", Line: line}
+	}
+	if obj.IsArray {
+		if idx, ok := arrayIndex(idxV); ok && idx >= 0 {
+			if idx >= maxArrayLen {
+				return &ThrowError{Value: "RangeError: invalid array length", Line: line}
+			}
+			for len(obj.Elems) <= idx {
+				obj.Elems = append(obj.Elems, Undefined{})
+			}
+			obj.Elems[idx] = val
+			return nil
+		}
+	}
+	obj.Set(ToString(idxV), val)
+	return nil
 }
 
 func (in *Interp) evalCall(x *CallExpr, env *Env) (Value, error) {
@@ -908,6 +939,20 @@ func (in *Interp) callObject(fn *Object, this Value, args []Value, line int) (Va
 		} else {
 			callEnv.Define(p, Undefined{})
 		}
+	}
+	if in.UseVM && fn.Fn.code != nil {
+		_, acquired := in.ensureMachine()
+		v, c, err := in.runChunk(fn.Fn.code, callEnv)
+		if acquired {
+			in.releaseMachine()
+		}
+		if err != nil {
+			return nil, err
+		}
+		if c == ctlReturn {
+			return v, nil
+		}
+		return Undefined{}, nil
 	}
 	v, c, err := in.execBlock(fn.Fn.Body, callEnv)
 	if err != nil {

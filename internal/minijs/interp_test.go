@@ -610,3 +610,25 @@ func TestDeleteAndInOperators(t *testing.T) {
 		t.Fatal("'in' on number should throw")
 	}
 }
+
+// TestNegativeZeroSemantics pins the fuzz-found constant-pool bug: -0 == +0
+// in Go, so map-keyed interning collapsed the two into whichever the
+// compiler saw first ("-0A=0" assigned -0 to A on the VM, 0 on the
+// tree-walker). -0 must stay distinct (1/-0 is -Infinity) while its string
+// form drops the sign, as JS ToString does.
+func TestNegativeZeroSemantics(t *testing.T) {
+	if got := ToString(math.Copysign(0, -1)); got != "0" {
+		t.Fatalf("ToString(-0) = %q, want \"0\"", got)
+	}
+	for _, vm := range []bool{false, true} {
+		in := New()
+		in.UseVM = vm
+		v, err := in.Run(`var z = -0; var p = 0; "" + (1 / z) + "|" + (1 / p) + "|" + z;`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := ToString(v); got != "-Infinity|Infinity|0" {
+			t.Fatalf("UseVM=%v: got %q, want \"-Infinity|Infinity|0\"", vm, got)
+		}
+	}
+}

@@ -20,10 +20,106 @@ func Parse(src string) (*Program, error) {
 	return prog, nil
 }
 
+// maxParseErrors is the tolerant parser's error budget. Past it the parser
+// sets the abort flag and returns what it has: an input that broken is
+// noise, and a fixed budget bounds recovery work on adversarial garbage.
+const maxParseErrors = 50
+
+// ParseTolerant parses src, recovering from malformed input instead of
+// failing: each defect is recorded and the parser resynchronizes at the next
+// statement boundary, so a broken ad script degrades to the statements that
+// do parse rather than to nothing. The returned program is never nil; errs
+// lists every recovered defect (lexical and syntactic) in source order.
+// Recovery is a pure function of src, so execution of the partial program
+// stays deterministic.
+func ParseTolerant(src string) (*Program, []*SyntaxError) {
+	toks, lexErrs := LexTolerant(src)
+	p := &parser{toks: toks, tolerant: true, errs: lexErrs}
+	if len(p.errs) >= maxParseErrors {
+		p.errs = p.errs[:maxParseErrors]
+		p.abort = true
+	}
+	prog := &Program{pos: pos{Line: 1}}
+	for !p.atEOF() && !p.abort {
+		from := p.i
+		stmt, err := p.parseStmt()
+		if err != nil {
+			p.recordErr(err)
+			p.resync(from)
+			continue
+		}
+		prog.Body = append(prog.Body, stmt)
+	}
+	return prog, p.errs
+}
+
 type parser struct {
 	toks  []Token
 	i     int
 	depth int
+	// tolerant switches statement-level error recovery on; errs collects
+	// the recovered defects and abort stops the parse once the error
+	// budget is spent.
+	tolerant bool
+	errs     []*SyntaxError
+	abort    bool
+}
+
+// recordErr notes a recovered parse error and trips the abort flag when the
+// budget is exhausted. Errors past the budget are dropped, not recorded.
+func (p *parser) recordErr(err error) {
+	if p.abort {
+		return
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t := p.cur()
+		se = &SyntaxError{Line: t.Line, Col: t.Col, Msg: err.Error()}
+	}
+	p.errs = append(p.errs, se)
+	if len(p.errs) >= maxParseErrors {
+		p.abort = true
+	}
+}
+
+// resync skips tokens after a parse error until a plausible statement
+// boundary: just past a ';', or right before a '}', a statement keyword, or
+// EOF. It always consumes at least one token relative to from, so recovery
+// cannot loop.
+func (p *parser) resync(from int) {
+	if p.i == from {
+		// The parser consumed nothing; skip the offending token. A stray
+		// ';' or '}' is itself a statement boundary — scanning further
+		// would swallow the next (possibly intact) statement.
+		t := p.cur()
+		p.advance()
+		if t.Kind == TokPunct && (t.Text == ";" || t.Text == "}") {
+			return
+		}
+	}
+	for !p.atEOF() {
+		t := p.cur()
+		if t.Kind == TokPunct {
+			if t.Text == ";" {
+				p.advance()
+				return
+			}
+			if t.Text == "}" {
+				return
+			}
+		}
+		if t.Kind == TokKeyword {
+			switch t.Text {
+			case "var", "function", "if", "while", "do", "for", "return",
+				"break", "continue", "throw", "try", "switch",
+				"case", "default":
+				// case/default matter when resyncing inside a switch body:
+				// stopping before them keeps the remaining clauses.
+				return
+			}
+		}
+		p.advance()
+	}
 }
 
 // maxParseDepth bounds statement/expression nesting. Real ad scripts nest a
@@ -129,7 +225,10 @@ func (p *parser) parseStmt() (Stmt, error) {
 	case p.isKeyword("return"):
 		p.advance()
 		s := &ReturnStmt{pos: pos{t.Line}}
-		if !p.isPunct(";") && !p.isPunct("}") && !p.atEOF() {
+		// Restricted production: a line terminator after `return` inserts
+		// the semicolon, so `return\nexpr` returns undefined and the
+		// expression becomes its own statement — real JS ASI behaviour.
+		if !p.isPunct(";") && !p.isPunct("}") && !p.atEOF() && !p.cur().NewlineBefore {
 			v, err := p.parseExpr()
 			if err != nil {
 				return nil, err
@@ -148,6 +247,17 @@ func (p *parser) parseStmt() (Stmt, error) {
 		return &ContinueStmt{pos{t.Line}}, nil
 	case p.isKeyword("throw"):
 		p.advance()
+		// Restricted production: `throw\nexpr` is a SyntaxError in real JS
+		// (ASI would leave a bare throw). Tolerant mode records the defect
+		// and throws the expression anyway, which keeps more of the script
+		// observable.
+		if p.cur().NewlineBefore {
+			err := p.errf("illegal newline after throw")
+			if !p.tolerant {
+				return nil, err
+			}
+			p.recordErr(err)
+		}
 		v, err := p.parseExpr()
 		if err != nil {
 			return nil, err
@@ -176,11 +286,25 @@ func (p *parser) parseBlock() (*BlockStmt, error) {
 	b := &BlockStmt{pos: pos{t.Line}}
 	for !p.isPunct("}") {
 		if p.atEOF() {
+			if p.tolerant {
+				// Recover: a missing '}' closes the block at end of input.
+				p.recordErr(p.errf("unterminated block"))
+				return b, nil
+			}
 			return nil, p.errf("unterminated block")
 		}
+		if p.abort {
+			return b, nil
+		}
+		from := p.i
 		s, err := p.parseStmt()
 		if err != nil {
-			return nil, err
+			if !p.tolerant {
+				return nil, err
+			}
+			p.recordErr(err)
+			p.resync(from)
+			continue
 		}
 		b.Body = append(b.Body, s)
 	}
@@ -502,11 +626,26 @@ func (p *parser) parseSwitch() (Stmt, error) {
 		}
 		for !p.isPunct("}") && !p.isKeyword("case") && !p.isKeyword("default") {
 			if p.atEOF() {
+				if p.tolerant {
+					p.recordErr(p.errf("unterminated switch case"))
+					s.Cases = append(s.Cases, c)
+					return s, nil
+				}
 				return nil, p.errf("unterminated switch case")
 			}
+			if p.abort {
+				s.Cases = append(s.Cases, c)
+				return s, nil
+			}
+			from := p.i
 			stmt, err := p.parseStmt()
 			if err != nil {
-				return nil, err
+				if !p.tolerant {
+					return nil, err
+				}
+				p.recordErr(err)
+				p.resync(from)
+				continue
 			}
 			c.Body = append(c.Body, stmt)
 		}
@@ -780,6 +919,11 @@ func (p *parser) parsePostfixOps(x Expr) (Expr, error) {
 			}
 			x = &CallExpr{pos{t.Line}, x, args}
 		case p.isPunct("++") || p.isPunct("--"):
+			// Restricted production: a line terminator before ++/-- ends
+			// the expression, so `a\n++b` is `a; ++b`, not `a++; b`.
+			if t.NewlineBefore {
+				return x, nil
+			}
 			if !isAssignable(x) {
 				return x, nil // postfix ++ on non-assignable: leave for caller to fail
 			}
@@ -824,6 +968,11 @@ func (p *parser) parsePrimary() (Expr, error) {
 	case TokIdent:
 		p.advance()
 		return &Ident{pos{t.Line}, t.Text}, nil
+	case TokRegex:
+		p.advance()
+		// rx is allocated here, at parse time, so that concurrent executions
+		// of a shared (cached) AST race only on the sync.Once inside it.
+		return &RegexLit{pos: pos{t.Line}, Pattern: t.Text, Flags: t.Str, rx: &compiledRegex{}}, nil
 	case TokKeyword:
 		switch t.Text {
 		case "true":

@@ -1,0 +1,362 @@
+package minijs
+
+// Tests for the error-tolerant parse path and the ASI/regex lexer rules
+// (ISSUE 6): broken ad scripts must degrade to deterministic partial
+// execution, and the restricted productions real ad scripts trip over
+// (`return\nexpr`, newline-before-++, regex vs division) must match
+// JavaScript.
+
+import (
+	"strings"
+	"testing"
+)
+
+// runTolerant parses src tolerantly, executes the recovered program, and
+// returns the interpreter (for global inspection) plus the parse errors.
+func runTolerant(t *testing.T, src string) (*Interp, []*SyntaxError) {
+	t.Helper()
+	prog, errs := ParseTolerant(src)
+	if prog == nil {
+		t.Fatalf("ParseTolerant returned nil program for %q", src)
+	}
+	in := New()
+	in.Budget = fuzzEvalBudget
+	if _, err := in.RunProgram(prog); err != nil {
+		// Partial programs may still throw at run time; that is fine — the
+		// contract is recovery to *execution*, not error-free execution.
+		t.Logf("runtime error (allowed): %v", err)
+	}
+	return in, errs
+}
+
+func globalString(t *testing.T, in *Interp, name string) string {
+	t.Helper()
+	v, ok := in.Global.Lookup(name)
+	if !ok {
+		return "<unset>"
+	}
+	return ToString(v)
+}
+
+func TestASIRestrictedProductions(t *testing.T) {
+	tests := []struct {
+		name, src, want string
+	}{
+		// return\nexpr: the newline terminates the return statement.
+		{"return newline", "function f() { return\n42; }\n\"\" + f();", "undefined"},
+		{"return same line", "function f() { return 42; }\n\"\" + f();", "42"},
+		// a\n++b parses as two statements, not a postfix increment.
+		{"newline before ++", "var a = 1; var b = 10;\na\n++b;\na + \":\" + b;", "1:11"},
+		{"newline before --", "var a = 1; var b = 10;\na\n--b;\na + \":\" + b;", "1:9"},
+		{"postfix same line", "var a = 1; a++;\n\"\" + a;", "2"},
+		{"var init ends at newline", "var a = 5;\nvar b = a\n++a;\nb + \":\" + a;", "5:6"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			in := New()
+			v, err := in.Run(tc.src)
+			if err != nil {
+				t.Fatalf("run error: %v", err)
+			}
+			if got := ToString(v); got != tc.want {
+				t.Errorf("got %q, want %q", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestThrowNewlineIsError(t *testing.T) {
+	// `throw\nexpr` is a hard SyntaxError in JavaScript (no ASI rescue).
+	_, err := Parse("throw\n1;")
+	if err == nil {
+		t.Fatal("strict parse accepted newline after throw")
+	}
+	if !strings.Contains(err.Error(), "newline after throw") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// The tolerant parser records the defect but keeps the throw.
+	prog, errs := ParseTolerant("throw\n1;")
+	if len(errs) == 0 {
+		t.Error("tolerant parse recorded no error for newline after throw")
+	}
+	if len(prog.Body) == 0 {
+		t.Error("tolerant parse dropped the throw statement")
+	}
+}
+
+func TestRegexVsDivision(t *testing.T) {
+	hasRegex := func(src string) bool {
+		toks, err := Lex(src)
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		for _, tok := range toks {
+			if tok.Kind == TokRegex {
+				return true
+			}
+		}
+		return false
+	}
+	regexCases := []string{
+		`var r = /ab+c/;`,       // after '='
+		`f(/x/);`,               // after '('
+		`return /a/;`,           // after keyword
+		`1 + /a/.source;`,       // after operator
+		`typeof /x/;`,           // after typeof
+		`[/a/, /b/];`,           // inside array literal
+		`{} /x/.test("");`,      // '}' ends a block: regex position
+		`var ok = true && /y/;`, // after '&&'
+		`case /z/:`,             // after case
+	}
+	divisionCases := []string{
+		`var r = 4 / 2;`,     // after number
+		`var r = x / y;`,     // after identifier
+		`var r = (4) / 2;`,   // after ')'
+		`var r = a[0] / 2;`,  // after ']'
+		`var r = b++ / 2;`,   // after '++'
+		`var r = "s" / 2;`,   // after string
+		`var r = this / 2;`,  // after this
+		`var r = /a/ / /b/;`, // second '/' divides two regexes
+	}
+	for _, src := range regexCases {
+		if !hasRegex(src) {
+			t.Errorf("expected regex literal in %q", src)
+		}
+	}
+	for _, src := range divisionCases {
+		// Each division case must lex with the '/' as an operator. The
+		// regex-after-regex case legitimately contains regex tokens too, so
+		// assert by round-trip evaluation where possible instead of token
+		// absence for that one.
+		if src == `var r = /a/ / /b/;` {
+			continue
+		}
+		if hasRegex(src) {
+			t.Errorf("misread division as regex in %q", src)
+		}
+	}
+	// Dividing two regex literals: '/' after a regex token is division.
+	toks, err := Lex(`var r = /a/ / /b/;`)
+	if err != nil {
+		t.Fatalf("lex: %v", err)
+	}
+	n := 0
+	for _, tok := range toks {
+		if tok.Kind == TokRegex {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("got %d regex tokens, want 2 (middle '/' is division)", n)
+	}
+}
+
+func TestRegexLiteralRuntime(t *testing.T) {
+	in := New()
+	v, err := in.Run(`
+		var r = /a(b+)c/;
+		var s = "";
+		s += r.test("xxabbbcxx") + "|";
+		s += r.test("nope") + "|";
+		var m = r.exec("xxabbbcxx");
+		s += m[0] + "," + m[1] + "," + m.index + "|";
+		s += "a1b2c3".replace(/[0-9]/g, "_") + "|";
+		s += "a1b2c3".replace(/[0-9]/, "_") + "|";
+		s += /(?!unsupported)x/.test("x");
+		s;
+	`)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	want := "true|false|abbbc,bbb,2|a_b_c_|a_b2c3|false"
+	if got := ToString(v); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+// TestTolerantRecovery drives the deliberately-broken corpus from the
+// acceptance criteria: missing braces, unterminated strings, stray tokens.
+// Every script must parse to a partial program that executes the intact
+// statements, with identical results on every run.
+func TestTolerantRecovery(t *testing.T) {
+	tests := []struct {
+		name, src string
+		global    string // global to inspect after execution
+		want      string
+		minErrs   int
+	}{
+		{
+			name:    "missing closing brace",
+			src:     "var before = 1; if (before) { tracked = \"yes\";",
+			global:  "tracked",
+			want:    "yes",
+			minErrs: 1,
+		},
+		{
+			name:    "unterminated string",
+			src:     "var s = \"unterminated\nvar after = 2;",
+			global:  "after",
+			want:    "2",
+			minErrs: 1,
+		},
+		{
+			name:    "stray tokens between statements",
+			src:     "var a = 1; ] ) ; var b = a + 41;",
+			global:  "b",
+			want:    "42",
+			minErrs: 1,
+		},
+		{
+			name:    "bad byte in input",
+			src:     "var a = 1; \x01\x02 var b = a + 1;",
+			global:  "b",
+			want:    "2",
+			minErrs: 1,
+		},
+		{
+			name:    "broken condition parenthesis",
+			src:     "var a = 1; if (a { nope = 1; } fine = 2;",
+			global:  "fine",
+			want:    "2",
+			minErrs: 1,
+		},
+		{
+			name:    "unterminated block comment",
+			src:     "var a = 7; /* comment never ends\nvar b = 8;",
+			global:  "a",
+			want:    "7",
+			minErrs: 1,
+		},
+		{
+			name:    "garbage prefix, valid suffix",
+			src:     "%%%%;;;; function g() { return 9; } var out = g();",
+			global:  "out",
+			want:    "9",
+			minErrs: 1,
+		},
+		{
+			name:    "valid program has no errors",
+			src:     "var x = 1; x += 2;",
+			global:  "x",
+			want:    "3",
+			minErrs: 0,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			in, errs := runTolerant(t, tc.src)
+			if len(errs) < tc.minErrs {
+				t.Errorf("got %d parse errors, want at least %d", len(errs), tc.minErrs)
+			}
+			if tc.minErrs == 0 && len(errs) != 0 {
+				t.Errorf("valid program produced errors: %v", errs[0])
+			}
+			if got := globalString(t, in, tc.global); got != tc.want {
+				t.Errorf("global %s = %q, want %q", tc.global, got, tc.want)
+			}
+			// Determinism: a second tolerant parse and run must agree
+			// exactly — same errors, same globals.
+			in2, errs2 := runTolerant(t, tc.src)
+			if len(errs) != len(errs2) {
+				t.Fatalf("nondeterministic error count: %d vs %d", len(errs), len(errs2))
+			}
+			for i := range errs {
+				if errs[i].Error() != errs2[i].Error() {
+					t.Errorf("nondeterministic error %d: %q vs %q", i, errs[i].Error(), errs2[i].Error())
+				}
+			}
+			if g1, g2 := globalSnapshot(in), globalSnapshot(in2); g1 != g2 {
+				t.Errorf("nondeterministic execution:\n%s\nvs\n%s", g1, g2)
+			}
+		})
+	}
+}
+
+// TestTolerantErrorBudget checks the abort flag: adversarial garbage stops
+// after maxParseErrors recoveries instead of grinding through megabytes.
+func TestTolerantErrorBudget(t *testing.T) {
+	src := strings.Repeat("] ; ", maxParseErrors*3)
+	prog, errs := ParseTolerant(src)
+	if prog == nil {
+		t.Fatal("nil program")
+	}
+	if len(errs) > maxParseErrors {
+		t.Errorf("error budget exceeded: %d > %d", len(errs), maxParseErrors)
+	}
+	if len(errs) < maxParseErrors {
+		t.Errorf("expected a full error budget, got %d", len(errs))
+	}
+}
+
+func FuzzParseRecover(f *testing.F) {
+	addScriptSeeds(f)
+	brokenSeeds := []string{
+		"var a = 1; if (a) { tracked = \"yes\";",
+		"var s = \"unterminated\nvar after = 2;",
+		"var a = 1; ] ) ; var b = a + 41;",
+		"%%%%;;;; function g() { return 9; } var out = g();",
+		"throw\n1;",
+		"var s = 'x\\",
+		"a\n++\nb",
+	}
+	for _, s := range brokenSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<12 {
+			t.Skip("oversized input")
+		}
+		// Never panics, never loops, never nil.
+		prog, errs := ParseTolerant(src)
+		if prog == nil {
+			t.Fatal("ParseTolerant returned nil program")
+		}
+		// Superset of the strict grammar: anything the strict parser
+		// accepts must recover error-free with the same statement count.
+		if strict, err := Parse(src); err == nil {
+			if len(errs) != 0 {
+				t.Fatalf("strict-valid input produced %d tolerant errors; first: %v", len(errs), errs[0])
+			}
+			if len(prog.Body) != len(strict.Body) {
+				t.Fatalf("tolerant parse has %d statements, strict has %d", len(prog.Body), len(strict.Body))
+			}
+		}
+		// Deterministic: an independent parse yields identical errors and
+		// an identical program (compared structurally via disassembly).
+		prog2, errs2 := ParseTolerant(src)
+		if len(errs) != len(errs2) {
+			t.Fatalf("error count differs between parses: %d vs %d", len(errs), len(errs2))
+		}
+		for i := range errs {
+			if errs[i].Error() != errs2[i].Error() {
+				t.Fatalf("error %d differs: %q vs %q", i, errs[i].Error(), errs2[i].Error())
+			}
+		}
+		if CompileProgram(nil, prog) == nil && CompileProgram(nil, prog2) == nil {
+			if d1, d2 := Disassemble(prog), Disassemble(prog2); d1 != d2 {
+				t.Fatalf("recovered programs differ:\n%s\nvs\n%s", d1, d2)
+			}
+		}
+		// The recovered program must execute (to completion, a throw, or
+		// budget exhaustion) deterministically.
+		run := func(p *Program) (string, string) {
+			in := New()
+			in.Budget = fuzzEvalBudget
+			in.MaxDepth = 64
+			v, err := in.RunProgram(p)
+			if err != nil {
+				return "", err.Error()
+			}
+			out := ToString(v)
+			if len(out) > 1<<12 {
+				out = out[:1<<12]
+			}
+			return out, ""
+		}
+		r1, e1 := run(prog)
+		r2, e2 := run(prog2)
+		if r1 != r2 || e1 != e2 {
+			t.Fatalf("recovered execution nondeterministic:\n run1 = (%q, %q)\n run2 = (%q, %q)", r1, e1, r2, e2)
+		}
+	})
+}

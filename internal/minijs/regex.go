@@ -1,0 +1,180 @@
+package minijs
+
+// regex.go backs /pattern/flags literals. Patterns are translated to Go
+// regexp (RE2) with the i and m flags mapped to (?i)/(?m); constructs RE2
+// cannot express (lookaround, backreferences) make the regex inert — test
+// returns false and exec returns null, deterministically — rather than
+// aborting the script. lastIndex statefulness of the g flag is not
+// simulated; the flag only switches replace-all behaviour in
+// String.replace, which keeps execution deterministic under the step
+// budget.
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+)
+
+// compiledRegex is the lazily-compiled Go translation of one regex literal.
+// It lives on the AST node (allocated at parse time), so a cached program
+// shared across goroutines races only on the sync.Once.
+type compiledRegex struct {
+	once sync.Once
+	re   *regexp.Regexp
+	err  error
+}
+
+func (cr *compiledRegex) get(pattern, flags string) (*regexp.Regexp, error) {
+	cr.once.Do(func() {
+		pre := ""
+		if strings.ContainsRune(flags, 'i') {
+			pre += "i"
+		}
+		if strings.ContainsRune(flags, 'm') {
+			pre += "m"
+		}
+		if pre != "" {
+			pattern = "(?" + pre + ")" + pattern
+		}
+		cr.re, cr.err = regexp.Compile(pattern)
+	})
+	return cr.re, cr.err
+}
+
+// regexRuntime ties a regex-valued *Object back to its compiled pattern so
+// string methods (replace, match, search, split) can recognize regex
+// arguments.
+type regexRuntime struct {
+	cr     *compiledRegex
+	source string
+	flags  string
+	global bool
+}
+
+func (rr *regexRuntime) re() (*regexp.Regexp, bool) {
+	re, err := rr.cr.get(rr.source, rr.flags)
+	if err != nil || re == nil {
+		return nil, false
+	}
+	return re, true
+}
+
+// newRegexObject builds the script-visible object for a regex literal. Each
+// evaluation yields a fresh object (as in JS), all sharing one compiled
+// pattern.
+func newRegexObject(lit *RegexLit) *Object {
+	rr := &regexRuntime{
+		cr:     lit.rx,
+		source: lit.Pattern,
+		flags:  lit.Flags,
+		global: strings.ContainsRune(lit.Flags, 'g'),
+	}
+	obj := NewObject()
+	obj.Name = "RegExp"
+	obj.rx = rr
+	obj.Props["source"] = lit.Pattern
+	obj.Props["flags"] = lit.Flags
+	obj.Props["global"] = rr.global
+	obj.Props["ignoreCase"] = strings.ContainsRune(lit.Flags, 'i')
+	obj.Props["multiline"] = strings.ContainsRune(lit.Flags, 'm')
+	obj.Props["lastIndex"] = float64(0)
+	obj.Props["test"] = NewNative("test", func(in *Interp, this Value, args []Value) (Value, error) {
+		re, ok := rr.re()
+		if !ok {
+			return false, nil
+		}
+		return re.MatchString(ToString(arg(args, 0))), nil
+	})
+	obj.Props["exec"] = NewNative("exec", func(in *Interp, this Value, args []Value) (Value, error) {
+		s := ToString(arg(args, 0))
+		re, ok := rr.re()
+		if !ok {
+			return Null{}, nil
+		}
+		loc := re.FindStringSubmatchIndex(s)
+		if loc == nil {
+			return Null{}, nil
+		}
+		res := NewArray()
+		for i := 0; i*2 < len(loc); i++ {
+			if loc[i*2] < 0 {
+				res.Elems = append(res.Elems, Undefined{})
+			} else {
+				res.Elems = append(res.Elems, s[loc[i*2]:loc[i*2+1]])
+			}
+		}
+		res.Props["index"] = float64(loc[0])
+		res.Props["input"] = s
+		return res, nil
+	})
+	obj.Props["toString"] = NewNative("toString", func(in *Interp, this Value, args []Value) (Value, error) {
+		return "/" + lit.Pattern + "/" + lit.Flags, nil
+	})
+	return obj
+}
+
+// regexArg returns the regex runtime when v is a regex object.
+func regexArg(v Value) (*regexRuntime, bool) {
+	if obj, ok := v.(*Object); ok && obj.rx != nil {
+		return obj.rx, true
+	}
+	return nil, false
+}
+
+// regexReplace implements String.replace with a regex pattern: the g flag
+// selects replace-all, and $1..$9/$& in the replacement refer to capture
+// groups. An inert (untranslatable) pattern replaces nothing.
+func regexReplace(s string, rr *regexRuntime, repl string) string {
+	re, ok := rr.re()
+	if !ok {
+		return s
+	}
+	tmpl := replTemplate(repl)
+	if rr.global {
+		return re.ReplaceAllString(s, tmpl)
+	}
+	loc := re.FindStringSubmatchIndex(s)
+	if loc == nil {
+		return s
+	}
+	var b strings.Builder
+	b.WriteString(s[:loc[0]])
+	b.Write(re.ExpandString(nil, tmpl, s, loc))
+	b.WriteString(s[loc[1]:])
+	return b.String()
+}
+
+// replTemplate rewrites a JS replacement string ($&, $1..) into Go's Expand
+// syntax (${0}, ${1}..), escaping any other dollar sign.
+func replTemplate(repl string) string {
+	var b strings.Builder
+	for i := 0; i < len(repl); i++ {
+		c := repl[i]
+		if c != '$' {
+			b.WriteByte(c)
+			continue
+		}
+		if i+1 < len(repl) {
+			switch n := repl[i+1]; {
+			case n == '&':
+				b.WriteString("${0}")
+				i++
+				continue
+			case n == '$':
+				b.WriteString("$$")
+				i++
+				continue
+			case n >= '0' && n <= '9':
+				j := i + 1
+				for j < len(repl) && repl[j] >= '0' && repl[j] <= '9' {
+					j++
+				}
+				b.WriteString("${" + repl[i+1:j] + "}")
+				i = j - 1
+				continue
+			}
+		}
+		b.WriteString("$$")
+	}
+	return b.String()
+}

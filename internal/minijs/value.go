@@ -54,6 +54,10 @@ type Object struct {
 	// the browser observes `top.location = url` — the link-hijacking channel
 	// from the paper's §2.3.
 	SetTrap func(name string, v Value) bool
+
+	// rx is set on regex objects (see regex.go); string methods use it to
+	// recognize a regex argument.
+	rx *regexRuntime
 }
 
 // NewObject returns an empty plain object.
@@ -252,6 +256,9 @@ func formatNumber(f float64) string {
 		return "Infinity"
 	case math.IsInf(f, -1):
 		return "-Infinity"
+	case f == 0:
+		// Both zeros print "0": JS ToString(-0) drops the sign.
+		return "0"
 	case f == math.Trunc(f) && math.Abs(f) < 1e21:
 		return strconv.FormatFloat(f, 'f', -1, 64)
 	default:

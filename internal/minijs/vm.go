@@ -1,0 +1,418 @@
+package minijs
+
+// vm.go executes compiled chunks on a stack machine. The VM mirrors the
+// tree-walker instruction by instruction: identical side-effect order,
+// identical error values and lines, and identical step accounting (costs
+// attached by the compiler are charged before an instruction runs, exactly
+// where eval/execStmt would have called step). FuzzCompileEval holds the two
+// engines to that contract.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// machine is pooled per-execution VM state. The value stack is shared by
+// nested runChunk calls (each works above its own base), which makes
+// script→native→script reentrancy (timers, eval) cheap.
+type machine struct {
+	stack      []Value
+	completion Value
+}
+
+var machinePool = sync.Pool{
+	New: func() any { return &machine{stack: make([]Value, 0, 64)} },
+}
+
+func (m *machine) push(v Value) { m.stack = append(m.stack, v) }
+
+func (m *machine) pop() Value {
+	n := len(m.stack) - 1
+	v := m.stack[n]
+	m.stack[n] = nil
+	m.stack = m.stack[:n]
+	return v
+}
+
+func (m *machine) peek() Value { return m.stack[len(m.stack)-1] }
+
+// ensureMachine returns the interpreter's active machine, acquiring one from
+// the pool for the outermost invocation. The bool reports whether this call
+// acquired it (and must release it when done).
+func (in *Interp) ensureMachine() (*machine, bool) {
+	if in.vm != nil {
+		return in.vm, false
+	}
+	in.vm = machinePool.Get().(*machine)
+	return in.vm, true
+}
+
+func (in *Interp) releaseMachine() {
+	m := in.vm
+	in.vm = nil
+	m.completion = nil
+	m.stack = m.stack[:0]
+	machinePool.Put(m)
+}
+
+// forInIter is the VM's for-in state, held on the value stack. Keys are
+// snapshotted once before the first iteration, as the tree-walker does.
+type forInIter struct {
+	keys []string
+	i    int
+}
+
+// runProgramVM executes a compiled program chunk in the global scope. The
+// completion register plays the tree-walker's `last` role: it is updated
+// only by visible expression statements, and is the result whether the
+// program runs to the end or stops on a top-level return/break/continue.
+func (in *Interp) runProgramVM(prog *Program) (Value, error) {
+	m, acquired := in.ensureMachine()
+	saved := m.completion
+	m.completion = Undefined{}
+	_, _, err := in.runChunk(prog.code, in.Global)
+	res := m.completion
+	m.completion = saved
+	if acquired {
+		in.releaseMachine()
+	}
+	if err != nil {
+		return Undefined{}, err
+	}
+	return res, nil
+}
+
+// runChunk executes ch with env as the current scope. It returns the same
+// (value, control, error) triple the tree-walker's execBlock produces.
+func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
+	m := in.vm
+	base := len(m.stack)
+	defer func() {
+		for i := base; i < len(m.stack); i++ {
+			m.stack[i] = nil
+		}
+		m.stack = m.stack[:base]
+	}()
+
+	code := ch.code
+	for pc := 0; pc < len(code); pc++ {
+		ins := &code[pc]
+		if ins.cost != 0 {
+			in.Budget -= int(ins.cost)
+			if in.Budget < 0 {
+				return nil, ctlNone, ErrBudget
+			}
+		}
+		switch ins.op {
+		case opCost:
+			// charge-only no-op
+
+		case opConst:
+			m.push(ch.consts[ins.a])
+
+		case opPop:
+			m.pop()
+
+		case opDup:
+			m.push(m.peek())
+
+		case opSwap:
+			n := len(m.stack)
+			m.stack[n-1], m.stack[n-2] = m.stack[n-2], m.stack[n-1]
+
+		case opGetVar:
+			v, ok := env.Lookup(ch.atoms[ins.a])
+			if !ok {
+				return nil, ctlNone, &ThrowError{Value: "ReferenceError: " + ch.atoms[ins.a] + " is not defined", Line: int(ins.line)}
+			}
+			m.push(v)
+
+		case opAssignVar:
+			env.Assign(ch.atoms[ins.a], m.pop())
+
+		case opDefine:
+			env.Define(ch.atoms[ins.a], m.pop())
+
+		case opThis:
+			if v, ok := env.Lookup("this"); ok {
+				m.push(v)
+			} else {
+				m.push(Undefined{})
+			}
+
+		case opTypeofVar:
+			if v, ok := env.Lookup(ch.atoms[ins.a]); ok {
+				m.push(TypeOf(v))
+			} else {
+				m.push("undefined")
+			}
+
+		case opMakeFunc:
+			m.push(in.makeFunction(ch.funcs[ins.a], env))
+
+		case opHoistFunc:
+			env.Define(ch.atoms[ins.b], in.makeFunction(ch.funcs[ins.a], env))
+
+		case opMakeArray:
+			n := int(ins.a)
+			elems := make([]Value, n)
+			copy(elems, m.stack[len(m.stack)-n:])
+			for i := len(m.stack) - n; i < len(m.stack); i++ {
+				m.stack[i] = nil
+			}
+			m.stack = m.stack[:len(m.stack)-n]
+			m.push(&Object{Props: map[string]Value{}, Elems: elems, IsArray: true})
+
+		case opMakeObject:
+			ks := ch.keys[ins.a]
+			n := len(ks)
+			obj := NewObject()
+			start := len(m.stack) - n
+			for i, k := range ks {
+				obj.Props[k] = m.stack[start+i]
+				m.stack[start+i] = nil
+			}
+			m.stack = m.stack[:start]
+			m.push(obj)
+
+		case opMakeRegex:
+			m.push(newRegexObject(ch.regexes[ins.a]))
+
+		case opGetMember:
+			v, err := in.getMember(m.pop(), ch.atoms[ins.a], int(ins.line))
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			m.push(v)
+
+		case opSetMember:
+			objV := m.pop()
+			val := m.pop()
+			if err := in.setMemberValue(objV, ch.atoms[ins.a], val, int(ins.line)); err != nil {
+				return nil, ctlNone, err
+			}
+
+		case opDelMember:
+			if obj, ok := m.pop().(*Object); ok && obj.Props != nil {
+				delete(obj.Props, ch.atoms[ins.a])
+			}
+			m.push(true)
+
+		case opGetIndex:
+			idx := m.pop()
+			v, err := in.getIndex(m.pop(), idx, int(ins.line))
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			m.push(v)
+
+		case opSetIndex:
+			idx := m.pop()
+			objV := m.pop()
+			val := m.pop()
+			if err := in.setIndexValue(objV, idx, val, int(ins.line)); err != nil {
+				return nil, ctlNone, err
+			}
+
+		case opUnary:
+			x := m.pop()
+			switch ins.a {
+			case unOpNeg:
+				m.push(-ToNumber(x))
+			case unOpPlus:
+				m.push(ToNumber(x))
+			case unOpNot:
+				m.push(!Truthy(x))
+			case unOpBitNot:
+				m.push(float64(^toInt32(x)))
+			case unOpTypeof:
+				m.push(TypeOf(x))
+			}
+
+		case opBinary:
+			y := m.pop()
+			x := m.pop()
+			v, err := applyBinary(binaryOps[ins.a], x, y, int(ins.line))
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			m.push(v)
+
+		case opUpdateNum:
+			n := ToNumber(m.pop())
+			next := n + float64(ins.a)
+			if ins.b == 1 {
+				m.push(next)
+			} else {
+				m.push(n)
+			}
+			m.push(next)
+
+		case opJump:
+			pc = int(ins.a) - 1
+
+		case opJumpFalse:
+			if !Truthy(m.pop()) {
+				pc = int(ins.a) - 1
+			}
+
+		case opJumpTrue:
+			if Truthy(m.pop()) {
+				pc = int(ins.a) - 1
+			}
+
+		case opCaseJump:
+			t := m.pop()
+			if StrictEquals(m.peek(), t) {
+				pc = int(ins.a) - 1
+			}
+
+		case opCall:
+			argc := int(ins.a)
+			args := make([]Value, argc)
+			start := len(m.stack) - argc
+			copy(args, m.stack[start:])
+			for i := start; i < len(m.stack); i++ {
+				m.stack[i] = nil
+			}
+			m.stack = m.stack[:start]
+			fnV := m.pop()
+			thisV := m.pop()
+			fn, ok := fnV.(*Object)
+			if !ok || !fn.IsFunction() {
+				return nil, ctlNone, &ThrowError{Value: "TypeError: " + ch.atoms[ins.b] + " is not a function", Line: int(ins.line)}
+			}
+			v, err := in.callObject(fn, thisV, args, int(ins.line))
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			m.push(v)
+
+		case opNew:
+			argc := int(ins.a)
+			args := make([]Value, argc)
+			start := len(m.stack) - argc
+			copy(args, m.stack[start:])
+			for i := start; i < len(m.stack); i++ {
+				m.stack[i] = nil
+			}
+			m.stack = m.stack[:start]
+			fn, ok := m.pop().(*Object)
+			if !ok || !fn.IsFunction() {
+				return nil, ctlNone, &ThrowError{Value: "TypeError: not a constructor", Line: int(ins.line)}
+			}
+			this := NewObject()
+			ret, err := in.callObject(fn, this, args, int(ins.line))
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			if obj, ok := ret.(*Object); ok {
+				m.push(obj)
+			} else {
+				m.push(this)
+			}
+
+		case opReturn:
+			return m.pop(), ctlReturn, nil
+
+		case opThrow:
+			return nil, ctlNone, &ThrowError{Value: m.pop(), Line: int(ins.line)}
+
+		case opTry:
+			v, c, err := in.runTry(&ch.trys[ins.a], ch, env)
+			if err != nil {
+				return nil, ctlNone, err
+			}
+			switch c {
+			case ctlNone:
+				// fall through to the jump after opTry
+			case ctlReturn:
+				return v, ctlReturn, nil
+			case ctlBreak:
+				td := &ch.trys[ins.a]
+				if td.breakPC < 0 {
+					return nil, ctlBreak, nil
+				}
+				pc = int(td.breakPC) - 1
+			case ctlContinue:
+				td := &ch.trys[ins.a]
+				if td.contPC < 0 {
+					return nil, ctlContinue, nil
+				}
+				pc = int(td.contPC) - 1
+			}
+
+		case opBreak:
+			return nil, ctlBreak, nil
+
+		case opContinue:
+			return nil, ctlContinue, nil
+
+		case opPushScope:
+			env = NewEnv(env)
+
+		case opPopScope:
+			env = env.parent
+
+		case opForInInit:
+			it := &forInIter{}
+			if obj, ok := m.pop().(*Object); ok {
+				it.keys = obj.Keys()
+			}
+			m.push(it)
+
+		case opForInNext:
+			it, ok := m.peek().(*forInIter)
+			if !ok {
+				return nil, ctlNone, fmt.Errorf("minijs: vm: corrupt for-in iterator")
+			}
+			if it.i >= len(it.keys) {
+				pc = int(ins.a) - 1
+			} else {
+				m.push(it.keys[it.i])
+				it.i++
+			}
+
+		case opSetCompletion:
+			m.completion = m.pop()
+
+		default:
+			return nil, ctlNone, fmt.Errorf("minijs: vm: unknown opcode %d", ins.op)
+		}
+	}
+	return nil, ctlNone, nil
+}
+
+// runTry executes a try/catch/finally site with the exact control semantics
+// of the tree-walker's TryStmt case: catch handles only ThrowError, finally
+// always runs, a finally error replaces everything, and a finally control
+// signal overrides (and swallows) the body's outcome.
+func (in *Interp) runTry(td *tryDesc, ch *chunk, env *Env) (Value, ctl, error) {
+	v, c, err := in.runChunk(td.body, env)
+	var throwErr *ThrowError
+	if err != nil && errors.As(err, &throwErr) && td.catch != nil {
+		catchEnv := NewEnv(env)
+		catchEnv.Define(ch.atoms[td.catchAtom], throwErr.Value)
+		v, c, err = in.runChunk(td.catch, catchEnv)
+	}
+	if td.finally != nil {
+		fv, fc, ferr := in.runChunk(td.finally, env)
+		if ferr != nil {
+			return nil, ctlNone, ferr
+		}
+		if fc != ctlNone {
+			return fv, fc, nil
+		}
+	}
+	return v, c, err
+}
+
+// Indices into unaryOps, fixed by its declaration order in compile.go.
+const (
+	unOpNeg = int32(iota)
+	unOpPlus
+	unOpNot
+	unOpBitNot
+	unOpTypeof
+)
