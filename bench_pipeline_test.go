@@ -16,7 +16,9 @@ import (
 
 	"madave/internal/easylist"
 	"madave/internal/honeyclient"
+	"madave/internal/journal"
 	"madave/internal/stats"
+	"madave/internal/stream"
 )
 
 // BenchmarkPipelineCrawl measures the collection phase end to end and
@@ -139,6 +141,93 @@ func BenchmarkPipelineAnalyzeCached(b *testing.B) {
 	}
 }
 
+// benchStreamStudy builds the small fixed study the streaming benchmark
+// drives; study construction happens outside the timed region.
+func benchStreamStudy(tb testing.TB) *Study {
+	tb.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = 2014
+	cfg.CrawlSites = 60
+	cfg.Crawl.Refreshes = 2
+	cfg.Crawl.Parallelism = 4
+	s, err := NewStudy(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkPipelineStream measures the crash-safe streaming service end to
+// end — supervised stages, journal commits, online aggregation — and reports
+// throughput as visits/sec and ads/sec.
+func BenchmarkPipelineStream(b *testing.B) {
+	s := benchStreamStudy(b)
+	visits, ads := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		svc, err := stream.NewService(s, stream.ServiceConfig{
+			Journal: journal.NewMem(), CheckpointEvery: -1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := svc.Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.Visits == 0 {
+			b.Fatal("streamed no visits")
+		}
+		visits += res.Summary.Visits
+		ads += res.Summary.AdFrames
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(visits)/sec, "visits/sec")
+		b.ReportMetric(float64(ads)/sec, "ads/sec")
+	}
+}
+
+// benchStreamOverload runs one serve-mode service into a deliberately tiny
+// admission buffer and returns the shed accounting, so the bench artifact
+// records the overload counters (offered/delivered/shed) per commit.
+func benchStreamOverload(tb testing.TB) benchResult {
+	tb.Helper()
+	svc, err := stream.NewService(benchStreamStudy(tb), stream.ServiceConfig{
+		Journal:         journal.NewMem(),
+		CheckpointEvery: -1,
+		Serve:           true,
+		MaxImpressions:  600,
+		ShedCapacity:    4,
+		CrawlWorkers:    2,
+		AnalyzeWorkers:  2,
+		Stream:          stream.Config{Queue: 4},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	res, err := svc.Run(context.Background())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	st := res.Ops.Shed
+	if st.Shed+st.Delivered != st.Offered {
+		tb.Fatalf("shed accounting does not conserve: %+v", st)
+	}
+	return benchResult{
+		Name: "StreamOverloadShed",
+		N:    1,
+		Metrics: map[string]float64{
+			"offered":    float64(st.Offered),
+			"delivered":  float64(st.Delivered),
+			"shed":       float64(st.Shed),
+			"shed_ratio": float64(st.Shed) / float64(st.Offered),
+			"queue_cap":  4,
+			"restarts":   float64(res.Ops.Restarts),
+		},
+	}
+}
+
 // benchResult is one benchmark's row in BENCH_pipeline.json.
 type benchResult struct {
 	Name    string             `json:"name"`
@@ -193,6 +282,8 @@ func TestEmitBenchPipeline(t *testing.T) {
 			run("PipelineCrawl", BenchmarkPipelineCrawl),
 			run("PipelineMatch", BenchmarkPipelineMatch),
 			run("PipelineAnalyze", BenchmarkPipelineAnalyze),
+			run("PipelineStream", BenchmarkPipelineStream),
+			benchStreamOverload(t),
 			cacheOff,
 			cached,
 			jsCold,

@@ -2,12 +2,12 @@ package madave
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"testing"
 	"time"
 
+	"madave/internal/fuzzutil/leakcheck"
 	"madave/internal/memnet"
 	"madave/internal/resilient"
 )
@@ -72,7 +72,7 @@ func TestChaosSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos soak skipped in -short mode")
 	}
-	before := runtime.NumGoroutine()
+	snap := leakcheck.Before()
 
 	s1, h1, r1 := chaosRun(t, 777)
 	s2, h2, _ := chaosRun(t, 777)
@@ -97,19 +97,7 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("oracle scanned %d of %d", r1.Oracle.Scanned, r1.Corpus.Len())
 	}
 
-	// The pipeline must wind down completely: allow the runtime a moment to
-	// retire worker goroutines, then require we are back near the baseline.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		runtime.GC()
-		if n := runtime.NumGoroutine(); n <= before+2 {
-			break
-		}
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<20)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutine leak: %d -> %d\n%s", before, runtime.NumGoroutine(), buf[:n])
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	// The pipeline must wind down completely: back near the goroutine
+	// baseline once the run returns.
+	snap.Check(t)
 }

@@ -3,22 +3,35 @@
 // writes the deduplicated advertisement corpus as JSON lines, ready for
 // adoracle.
 //
+// With -serve or -checkpoint it runs the crash-safe streaming service
+// instead: visits commit to a journal as they finish, SIGINT/SIGTERM drains
+// gracefully, and a killed run resumes from the same checkpoint file. The
+// streaming service journals per-visit records, not full advertisements, so
+// -o is batch-mode only.
+//
 // Usage:
 //
 //	adcrawl -o corpus.jsonl [-seed N] [-sites N] [-days N] [-refreshes N]
 //	        [-chaos RATE] [-cache] [-metrics-out metrics.prom]
+//	        [-serve] [-checkpoint journal.wal] [-drain-timeout 30s]
 //	        [-spans-out trace.json] [-pprof ADDR]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"madave"
+	"madave/internal/journal"
 	"madave/internal/memnet"
+	"madave/internal/stream"
 	"madave/internal/telemetry"
 )
 
@@ -37,11 +50,20 @@ func main() {
 		interpJS  = flag.Bool("minijs-interp", false, "execute page scripts with the tree-walking interpreter instead of the bytecode VM (slower; identical results)")
 		cache     = flag.Bool("cache", false, "enable the oracle-side memoization caches in the assembled study (matches madstudy/adoracle -cache)")
 
+		serveMode    = flag.Bool("serve", false, "streaming service mode: Zipf-sampled impressions through the priority shedder instead of the finite schedule")
+		checkpoint   = flag.String("checkpoint", "", "journal file for crash-safe streaming (implies streaming mode); resuming from it skips already-committed visits")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, how long the streaming drain waits for in-flight visits before hard-cancelling")
+
 		metricsOut = flag.String("metrics-out", "", "write end-of-run metrics to this file (.prom = Prometheus text, else JSON)")
 		spansOut   = flag.String("spans-out", "", "record pipeline spans and write them to this file (.jsonl = JSON lines, else Chrome trace_event)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
+
+	// First SIGINT/SIGTERM cancels the run: streaming mode drains gracefully,
+	// batch mode stops scheduling visits but still writes the partial corpus.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	cfg := madave.DefaultConfig()
 	cfg.Seed = *seed
@@ -74,7 +96,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	corp, stats := study.Crawl()
+
+	if *serveMode || *checkpoint != "" {
+		if err := runStream(ctx, study, tel, *serveMode, *checkpoint, *drainTimeout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	corp, stats := study.CrawlContext(ctx)
+	if ctx.Err() != nil {
+		fmt.Println("interrupted — writing the partial corpus")
+	}
 	fmt.Printf("visited %d pages; %d ad frames; %d unique ads (%d duplicates)\n",
 		stats.PagesVisited, stats.AdFrames, corp.Len(), stats.Duplicates)
 	fmt.Printf("sandbox census: %d/%d ad iframes sandboxed\n",
@@ -124,6 +157,52 @@ func main() {
 		}
 		fmt.Printf("%d spans written to %s\n", tel.Tracer.Len(), *spansOut)
 	}
+}
+
+// runStream executes the crash-safe streaming crawl service and prints its
+// deterministic summary. Per-visit records commit to the journal (no corpus
+// file in this mode); a killed run resumed from the same -checkpoint file
+// finishes with byte-identical statistics.
+func runStream(ctx context.Context, study *madave.Study, tel *telemetry.Set,
+	serveMode bool, checkpointPath string, drainTimeout time.Duration) error {
+	var backend journal.Backend
+	if checkpointPath != "" {
+		fb, err := journal.OpenFile(checkpointPath)
+		if err != nil {
+			return err
+		}
+		defer fb.Close()
+		backend = fb
+	} else {
+		fmt.Println("streaming without -checkpoint: journal is in-memory, progress dies with the process")
+		backend = journal.NewMem()
+	}
+	svc, err := stream.NewService(study, stream.ServiceConfig{
+		Stream:  stream.Config{DrainTimeout: drainTimeout, Tel: tel},
+		Journal: backend,
+		Serve:   serveMode,
+	})
+	if err != nil {
+		return err
+	}
+	if rec := svc.Recovered(); rec > 0 {
+		fmt.Printf("recovered %d committed visits from %s — they will not re-execute\n", rec, checkpointPath)
+	}
+	res, err := svc.Run(ctx)
+	if err != nil {
+		return err
+	}
+	sum := res.Summary
+	fmt.Printf("stream: %d visits (%d page errors), %d ad frames, %d unique ads, %d malicious\n",
+		sum.Visits, sum.PageErrors, sum.AdFrames, sum.UniqueAds, sum.Malicious)
+	fmt.Printf("ops: recovered %d, committed %d, aborted %d, checkpoints %d, worker restarts %d\n",
+		res.Ops.Recovered, res.Ops.Committed, res.Ops.Aborted, res.Ops.Checkpoints, res.Ops.Restarts)
+	if serveMode {
+		st := res.Ops.Shed
+		fmt.Printf("admission: offered %d, delivered %d, shed %d\n", st.Offered, st.Delivered, st.Shed)
+	}
+	fmt.Printf("summary: %s\n", sum.JSON())
+	return nil
 }
 
 func writeFile(path string, write func(*os.File) error) error {

@@ -4,27 +4,38 @@
 // sandbox census), optionally followed by the §5 countermeasure
 // evaluations.
 //
+// With -serve or -checkpoint it instead runs the crash-safe streaming
+// service: visits flow through supervised stages, every completed visit is
+// journaled, SIGINT/SIGTERM drains gracefully, and a killed run resumed from
+// the same checkpoint file lands on byte-identical final statistics.
+//
 // Usage:
 //
 //	madstudy [-seed N] [-sites N] [-days N] [-refreshes N] [-workers N]
 //	         [-chaos RATE] [-cache] [-defenses] [-corpus out.jsonl] [-csv dir]
+//	         [-serve] [-checkpoint journal.wal] [-drain-timeout 30s]
 //	         [-metrics-out metrics.prom] [-spans-out trace.json]
 //	         [-pprof ADDR] [-cpuprofile cpu.pb.gz] [-memprofile heap.pb.gz]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"madave"
 	"madave/internal/analysis"
+	"madave/internal/journal"
 	"madave/internal/memnet"
 	"madave/internal/netcap"
+	"madave/internal/stream"
 	"madave/internal/telemetry"
 )
 
@@ -52,6 +63,11 @@ func main() {
 		cache        = flag.Bool("cache", false, "memoize honeyclient reports, blacklist verdicts, and AV scans (results stay byte-identical; repeated artefacts classify once)")
 		cacheEntries = flag.Int("cache-entries", 0, "per-cache capacity override (0 = per-cache defaults)")
 
+		serve        = flag.Bool("serve", false, "streaming service mode: Zipf-sampled impressions admitted through the priority shedder (overload sheds low-rank sites, counted, never silent)")
+		checkpoint   = flag.String("checkpoint", "", "journal file for crash-safe streaming (implies streaming mode); a killed run resumed from the same file yields byte-identical final statistics")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, how long the streaming drain waits for in-flight visits before hard-cancelling")
+		impressions  = flag.Int("impressions", 0, "serve mode: impressions to admit before draining (0 = default)")
+
 		metricsOut = flag.String("metrics-out", "", "write end-of-run metrics to this file (.prom = Prometheus text, else JSON)")
 		spansOut   = flag.String("spans-out", "", "record pipeline spans and write them to this file (.jsonl = JSON lines, else Chrome trace_event for chrome://tracing / Perfetto)")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -59,6 +75,13 @@ func main() {
 		memProfile = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
+
+	// A first SIGINT/SIGTERM cancels the run context: streaming mode drains
+	// gracefully, batch mode stops scheduling visits but still prints the
+	// end-of-run tables over whatever was collected. A second signal kills
+	// the process the usual way.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	cfg := madave.DefaultConfig()
 	cfg.Seed = *seed
@@ -116,6 +139,14 @@ func main() {
 		len(study.Web.Sites), len(study.Eco.Networks), len(study.Eco.Campaigns),
 		time.Since(start).Round(time.Millisecond))
 
+	if *serve || *checkpoint != "" {
+		if err := runStream(ctx, study, tel, *serve, *checkpoint, *drainTimeout, *impressions); err != nil {
+			log.Fatal(err)
+		}
+		flushTelemetry(study, tel, *metricsOut, *spansOut)
+		return
+	}
+
 	crawlStart := time.Now()
 	var corp *madave.Corpus
 	var stats *madave.CrawlStats
@@ -138,7 +169,10 @@ func main() {
 				hs.Host, hs.Transactions, hs.Bytes)
 		}
 	} else {
-		corp, stats = study.Crawl()
+		corp, stats = study.CrawlContext(ctx)
+	}
+	if ctx.Err() != nil {
+		fmt.Println("interrupted — reporting over the partial crawl")
 	}
 	fmt.Printf("crawl: %d pages, %d ad frames, %d unique ads (%v)\n",
 		stats.PagesVisited, stats.AdFrames, corp.Len(),
@@ -153,7 +187,7 @@ func main() {
 	}
 
 	oracleStart := time.Now()
-	verdicts := study.Classify(corp)
+	verdicts := study.ClassifyContext(ctx, corp)
 	fmt.Printf("oracle: %d incidents among %d ads — %.2f%% malicious (%v)\n",
 		verdicts.MaliciousCount(), verdicts.Scanned, 100*verdicts.MaliciousRate(),
 		time.Since(oracleStart).Round(time.Millisecond))
@@ -267,6 +301,62 @@ func main() {
 		}
 	}
 
+	flushTelemetry(study, tel, *metricsOut, *spansOut)
+}
+
+// runStream executes the crash-safe streaming service: a -checkpoint journal
+// file makes commits survive process death, -serve switches from the finite
+// schedule to a shedding impression stream, and the signal context drains the
+// pipeline gracefully.
+func runStream(ctx context.Context, study *madave.Study, tel *telemetry.Set,
+	serve bool, checkpointPath string, drainTimeout time.Duration, impressions int) error {
+	var backend journal.Backend
+	if checkpointPath != "" {
+		fb, err := journal.OpenFile(checkpointPath)
+		if err != nil {
+			return err
+		}
+		defer fb.Close()
+		backend = fb
+	} else {
+		fmt.Println("streaming without -checkpoint: journal is in-memory, progress dies with the process")
+		backend = journal.NewMem()
+	}
+	svc, err := stream.NewService(study, stream.ServiceConfig{
+		Stream:         stream.Config{DrainTimeout: drainTimeout, Tel: tel},
+		Journal:        backend,
+		Serve:          serve,
+		MaxImpressions: impressions,
+	})
+	if err != nil {
+		return err
+	}
+	if rec := svc.Recovered(); rec > 0 {
+		fmt.Printf("recovered %d committed visits from %s — they will not re-execute\n", rec, checkpointPath)
+	}
+	fmt.Printf("streaming: Ctrl-C drains in-flight visits (deadline %v); resume from the same journal to finish\n", drainTimeout)
+
+	res, err := svc.Run(ctx)
+	if err != nil {
+		return err
+	}
+	sum := res.Summary
+	fmt.Printf("stream: %d visits (%d page errors), %d ad frames, %d unique ads, %d malicious\n",
+		sum.Visits, sum.PageErrors, sum.AdFrames, sum.UniqueAds, sum.Malicious)
+	fmt.Printf("ops: recovered %d, committed %d, aborted %d, checkpoints %d, worker restarts %d\n",
+		res.Ops.Recovered, res.Ops.Committed, res.Ops.Aborted, res.Ops.Checkpoints, res.Ops.Restarts)
+	if serve {
+		st := res.Ops.Shed
+		fmt.Printf("admission: offered %d, delivered %d, shed %d (low-priority first, every shed counted)\n",
+			st.Offered, st.Delivered, st.Shed)
+	}
+	fmt.Printf("summary: %s\n", sum.JSON())
+	return nil
+}
+
+// flushTelemetry prints the latency/cache tables and writes the optional
+// metrics and span artifacts; shared by the batch and streaming paths.
+func flushTelemetry(study *madave.Study, tel *telemetry.Set, metricsOut, spansOut string) {
 	if table := tel.LatencyTable(); table != "" {
 		fmt.Println("\nPipeline stage latencies")
 		fmt.Print(table)
@@ -281,18 +371,18 @@ func main() {
 				st.Coalesced, st.Evictions, st.Size)
 		}
 	}
-	if *metricsOut != "" {
-		if err := writeMetrics(tel, *metricsOut); err != nil {
+	if metricsOut != "" {
+		if err := writeMetrics(tel, metricsOut); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("metrics written to %s\n", *metricsOut)
+		fmt.Printf("metrics written to %s\n", metricsOut)
 	}
-	if *spansOut != "" {
-		if err := writeSpans(tel, *spansOut); err != nil {
+	if spansOut != "" {
+		if err := writeSpans(tel, spansOut); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%d spans written to %s (%d dropped)\n",
-			tel.Tracer.Len(), *spansOut, tel.Tracer.Dropped())
+			tel.Tracer.Len(), spansOut, tel.Tracer.Dropped())
 	}
 }
 

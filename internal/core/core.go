@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"time"
@@ -203,6 +204,19 @@ func (s *Study) CrawlSubset(sites []*webgen.Site) (*corpus.Corpus, *crawler.Stat
 	return s.newCrawler().Run(sites)
 }
 
+// CrawlContext is Crawl under a caller-supplied context: cancelling it (e.g.
+// from a SIGINT handler) stops scheduling new visits and returns whatever
+// was collected so far.
+func (s *Study) CrawlContext(ctx context.Context) (*corpus.Corpus, *crawler.Stats) {
+	return s.newCrawler().RunContext(ctx, s.CrawlSites())
+}
+
+// StreamCrawler assembles the crawler the streaming service drives visit by
+// visit — the same transport and chaos wiring as the batch crawl phase.
+func (s *Study) StreamCrawler() *crawler.Crawler {
+	return s.newCrawler()
+}
+
 // CrawlTraced is Crawl with full HTTP traffic capture (§3.1: the paper
 // captured all traffic during crawling). The trace can be saved with
 // netcap's Save.
@@ -235,6 +249,11 @@ func chaosTransport(u *memnet.Universe, seed uint64, prof memnet.FaultProfile, t
 // Classify runs the oracle over a corpus.
 func (s *Study) Classify(corp *corpus.Corpus) *oracle.Result {
 	return s.Oracle.ClassifyCorpus(corp)
+}
+
+// ClassifyContext is Classify under a caller-supplied context.
+func (s *Study) ClassifyContext(ctx context.Context, corp *corpus.Corpus) *oracle.Result {
+	return s.Oracle.ClassifyCorpusContext(ctx, corp)
 }
 
 // CacheStats returns the counters of every enabled pipeline cache, in a
@@ -285,8 +304,16 @@ type Results struct {
 
 // Run executes crawl → classify → analyze.
 func (s *Study) Run() *Results {
-	corp, st := s.Crawl()
-	res := s.Classify(corp)
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run under a caller-supplied context. Cancellation stops
+// scheduling new work but still classifies and analyzes whatever the crawl
+// collected, so an interrupted run yields its partial tables instead of
+// nothing.
+func (s *Study) RunContext(ctx context.Context) *Results {
+	corp, st := s.CrawlContext(ctx)
+	res := s.ClassifyContext(ctx, corp)
 	rep := s.Analyze(corp, res, st)
 	return &Results{Corpus: corp, CrawlStats: st, Oracle: res, Report: rep}
 }

@@ -14,7 +14,6 @@ package crawler
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -129,8 +128,9 @@ type Crawler struct {
 	// steer the crawl.
 	Telemetry *telemetry.Set
 
-	mu      sync.Mutex
-	traffic []*netcap.Capture
+	mu       sync.Mutex
+	traffic  []*netcap.Capture
+	smetrics *crawlMetrics // lazy, CrawlOne's shared observational handle
 }
 
 // Traffic merges the per-worker captures of the last Run into one log.
@@ -162,18 +162,6 @@ func New(u *memnet.Universe, list *easylist.List, web *webgen.Web, cfg Config) *
 		cfg.Refreshes = 1
 	}
 	return &Crawler{Universe: u, List: list, Web: web, Config: cfg}
-}
-
-// visit is one unit of crawl work: a (site, day, refresh) triple.
-type visit struct {
-	site    *webgen.Site
-	day     int
-	refresh int
-}
-
-// key identifies the visit for telemetry (span IDs derive from it).
-func (v visit) key() string {
-	return fmt.Sprintf("%s|d%dr%d", v.site.Host, v.day, v.refresh)
 }
 
 // crawlMetrics holds the registry instruments the crawl hot path bumps.
@@ -263,14 +251,7 @@ func (c *Crawler) RunContext(ctx context.Context, sites []*webgen.Site) (*corpus
 	c.traffic = nil
 	c.mu.Unlock()
 
-	var visits []visit
-	for day := 1; day <= c.Config.Days; day++ {
-		for _, s := range sites {
-			for r := 0; r < c.Config.Refreshes; r++ {
-				visits = append(visits, visit{site: s, day: day, refresh: r})
-			}
-		}
-	}
+	visits := c.Visits(sites)
 	tel.Gauge("crawl_visits_planned").Set(int64(len(visits)))
 	tel.Gauge("crawl_workers").Set(int64(c.Config.Parallelism))
 
@@ -336,50 +317,44 @@ func (c *Crawler) newWorkerBrowser(worker int, counters *resilient.Counters) *br
 	return b
 }
 
-// crawlPage loads one page visit under the visit deadline and snapshots
-// its ad iframes. A failed or partial load is not discarded: whatever
-// frames survived are still classified and harvested (graceful
-// degradation), with the failure cause tallied.
-func (c *Crawler) crawlPage(ctx context.Context, b *browser.Browser, mctx *easylist.RequestCtx, v visit, corp *corpus.Corpus, m *crawlMetrics) {
-	pageURL := fmt.Sprintf("http://%s/?v=d%dr%d", v.site.Host, v.day, v.refresh)
-	vctx, vspan := m.tel.StartSpan(ctx, telemetry.StageCrawlVisit, v.key())
-	defer vspan.End()
-	if t := c.visitTimeout(); t > 0 {
-		var cancel context.CancelFunc
-		vctx, cancel = context.WithTimeout(vctx, t)
-		defer cancel()
+// crawlPage loads one page visit and folds the observation into the crawl
+// metrics and corpus. The observation itself (visitOnce) is shared with the
+// streaming service's hermetic CrawlOne, so both paths classify and harvest
+// identically.
+func (c *Crawler) crawlPage(ctx context.Context, b *browser.Browser, mctx *easylist.RequestCtx, v Visit, corp *corpus.Corpus, m *crawlMetrics) {
+	out := c.visitOnce(ctx, m.tel, b, mctx, v)
+	m.record(out)
+	for _, ha := range out.Ads {
+		corp.Add(ha.Ad)
 	}
-	page, err := b.LoadContext(vctx, pageURL, "")
+}
+
+// record tallies one visit outcome into the crawl counters.
+func (m *crawlMetrics) record(out *VisitOutcome) {
 	m.pages.Inc()
-	if err != nil {
+	if out.PageError {
 		m.pageErrors.Inc()
-		classifyPageError(m, err)
-	} else if page != nil && page.Status >= 400 {
-		m.pageErrors.Inc()
-		m.errHTTP.Inc()
+		switch out.ErrCause {
+		case "nxdomain":
+			m.errNX.Inc()
+		case "timeout":
+			m.errTimeout.Inc()
+		case "http":
+			m.errHTTP.Inc()
+		default:
+			m.errOther.Inc()
+		}
 	}
-	if page == nil {
-		return
-	}
-	if (err != nil || len(page.Errors) > 0) && len(page.Frames) > 0 {
+	if out.Degraded {
 		m.degraded.Inc()
 	}
-
-	for _, frame := range page.Frames {
-		_, msp := m.tel.StartSpan(vctx, telemetry.StageEasyList, frame.URL)
-		ad := c.isAdFrame(mctx, frame.URL, v.site.Host)
-		msp.End()
-		if !ad {
-			m.nonAd.Inc()
-			continue
-		}
+	m.nonAd.Add(int64(out.NonAd))
+	for _, ha := range out.Ads {
 		m.adFrames.Inc()
-		if frame.Sandboxed {
+		if ha.Sandboxed {
 			m.sandboxed.Inc()
 		}
-		snap := c.snapshot(frame, v)
 		m.snapshots.Inc()
-		corp.Add(snap)
 	}
 }
 
@@ -394,20 +369,6 @@ func (c *Crawler) visitTimeout() time.Duration {
 	return c.Config.VisitTimeout
 }
 
-// classifyPageError tallies a failed top-level visit into the split error
-// counters.
-func classifyPageError(m *crawlMetrics, err error) {
-	var nx *memnet.NXDomainError
-	switch {
-	case errors.As(err, &nx):
-		m.errNX.Inc()
-	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
-		m.errTimeout.Inc()
-	default:
-		m.errOther.Inc()
-	}
-}
-
 // isAdFrame applies EasyList the way the paper did: the iframe src is
 // matched as a subdocument request from the publisher's page.
 func (c *Crawler) isAdFrame(ctx *easylist.RequestCtx, frameURL, docHost string) bool {
@@ -420,19 +381,23 @@ func (c *Crawler) isAdFrame(ctx *easylist.RequestCtx, frameURL, docHost string) 
 }
 
 // snapshot converts a rendered ad frame into a corpus record.
-func (c *Crawler) snapshot(frame *browser.Page, v visit) *corpus.Ad {
+func (c *Crawler) snapshot(frame *browser.Page, v Visit) *corpus.Ad {
 	ad := &corpus.Ad{
 		HTML:       frame.HTML(),
 		FrameURL:   frame.URL,
 		FinalURL:   frame.FinalURL,
 		Impression: impressionFromURL(frame.URL),
-		PubHost:    v.site.Host,
-		PubRank:    v.site.Rank,
-		Category:   string(v.site.Category),
-		TLD:        v.site.TLD,
-		Day:        v.day,
-		Refresh:    v.refresh,
+		PubHost:    v.Site.Host,
+		PubRank:    v.Site.Rank,
+		Category:   string(v.Site.Category),
+		TLD:        v.Site.TLD,
+		Day:        v.Day,
+		Refresh:    v.Refresh,
 	}
+	// The corpus key is computed here, not lazily at corpus.Add time: the
+	// streaming service deduplicates and journals by hash without ever
+	// building a corpus.
+	ad.Hash = corpus.HashHTML(ad.HTML)
 	// The arbitration chain is the redirect chain's hosts, repeats
 	// preserved (§4.3: the same networks buy and sell the same slot).
 	for _, hop := range frame.RedirectHops {

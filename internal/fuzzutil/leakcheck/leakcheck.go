@@ -1,0 +1,60 @@
+// Package leakcheck is the shared goroutine-leak oracle for the repo's soak
+// and integration tests: snapshot the goroutine count before the scenario,
+// then require the runtime to wind back down to (near) that baseline after
+// it. Like fuzzutil, it imports nothing from the rest of the repo so any
+// package's tests can use it without import cycles.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// DefaultSlack is how many goroutines above the baseline still count as
+// clean: the runtime keeps a couple of service goroutines (GC workers, timer
+// scavenger) alive on its own schedule.
+const DefaultSlack = 2
+
+// DefaultDeadline bounds how long Check waits for workers to retire.
+const DefaultDeadline = 5 * time.Second
+
+// Snapshot is a goroutine-count baseline taken before the scenario runs.
+type Snapshot struct {
+	before   int
+	slack    int
+	deadline time.Duration
+}
+
+// Before records the current goroutine count with default slack and
+// deadline. Take it before starting the workload under test.
+func Before() Snapshot {
+	return Snapshot{before: runtime.NumGoroutine(), slack: DefaultSlack, deadline: DefaultDeadline}
+}
+
+// WithSlack returns a copy allowing n goroutines above the baseline.
+func (s Snapshot) WithSlack(n int) Snapshot { s.slack = n; return s }
+
+// WithDeadline returns a copy that waits at most d for wind-down.
+func (s Snapshot) WithDeadline(d time.Duration) Snapshot { s.deadline = d; return s }
+
+// Check requires the goroutine count to return to the baseline (plus slack)
+// before the deadline, retrying with GC pauses in between — worker
+// goroutines are allowed a moment to retire, but a true leak fails the test
+// with a full stack dump of everything still running.
+func (s Snapshot) Check(tb testing.TB) {
+	tb.Helper()
+	deadline := time.Now().Add(s.deadline)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= s.before+s.slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			tb.Fatalf("goroutine leak: %d -> %d\n%s", s.before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

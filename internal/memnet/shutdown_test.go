@@ -1,0 +1,136 @@
+package memnet
+
+import (
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"madave/internal/fuzzutil/leakcheck"
+)
+
+type getResult struct {
+	status int
+	body   string
+	err    error
+}
+
+func asyncGet(client *http.Client, url string) <-chan getResult {
+	ch := make(chan getResult, 1)
+	go func() {
+		resp, err := client.Get(url)
+		if err != nil {
+			ch <- getResult{err: err}
+			return
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ch <- getResult{status: resp.StatusCode, body: string(b)}
+	}()
+	return ch
+}
+
+// TestServerCloseWaitsForInFlight pins the graceful half of Server.Close: a
+// request already inside a handler must complete with its full response
+// before Close returns, and only then are new connections refused.
+func TestServerCloseWaitsForInFlight(t *testing.T) {
+	snap := leakcheck.Before()
+
+	u := NewUniverse()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	u.HandleFunc("slow.example.com", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "finished cleanly")
+	})
+
+	srv, err := StartServer(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := srv.TCPClient()
+
+	resCh := asyncGet(client, "http://slow.example.com/")
+	<-entered
+
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	// Close must block on the in-flight request, not reset it.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) while a request was still in its handler", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	res := <-resCh
+	if res.err != nil || res.status != http.StatusOK || res.body != "finished cleanly" {
+		t.Fatalf("in-flight request was cut off: %+v", res)
+	}
+
+	// The listener is gone: new requests fail at the transport.
+	if res := <-asyncGet(client, "http://slow.example.com/again"); res.err == nil {
+		t.Fatalf("request after Close succeeded with %d", res.status)
+	}
+
+	client.CloseIdleConnections()
+	snap.Check(t)
+}
+
+// TestServerCloseForceCutsStragglers pins the other half: a handler that
+// outlives the shutdown grace period is cut off instead of wedging Close
+// forever. Skipped in -short mode because it must actually sit out the
+// grace period.
+func TestServerCloseForceCutsStragglers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grace-period test skipped in -short mode")
+	}
+	snap := leakcheck.Before()
+
+	u := NewUniverse()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	u.HandleFunc("wedged.example.com", func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+	})
+
+	srv, err := StartServer(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := srv.TCPClient()
+
+	resCh := asyncGet(client, "http://wedged.example.com/")
+	<-entered
+
+	start := time.Now()
+	closeErr := srv.Close()
+	elapsed := time.Since(start)
+	if elapsed < shutdownGrace {
+		t.Fatalf("Close returned after %v, before the %v grace period", elapsed, shutdownGrace)
+	}
+	if elapsed > shutdownGrace+2*time.Second {
+		t.Fatalf("Close wedged for %v on a stuck handler", elapsed)
+	}
+	_ = closeErr // force-close may or may not surface an error; returning is the contract
+
+	// The client sees its connection die rather than hanging forever.
+	select {
+	case res := <-resCh:
+		if res.err == nil {
+			t.Fatalf("cut-off request reported success: %+v", res)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("client request still hanging after force-close")
+	}
+
+	close(release) // let the handler goroutine retire
+	client.CloseIdleConnections()
+	snap.Check(t)
+}

@@ -969,16 +969,19 @@ func (in *Interp) evalNew(x *NewExpr, env *Env) (Value, error) {
 	if err != nil {
 		return nil, err
 	}
-	fn, ok := fnV.(*Object)
-	if !ok || !fn.IsFunction() {
-		return nil, &ThrowError{Value: "TypeError: not a constructor", Line: x.nodeLine()}
-	}
+	// Arguments are evaluated before the constructor check (ES EvaluateNew
+	// order) — the VM necessarily does the same, and step parity between the
+	// engines depends on it.
 	args := make([]Value, len(x.Args))
 	for i, a := range x.Args {
 		args[i], err = in.eval(a, env)
 		if err != nil {
 			return nil, err
 		}
+	}
+	fn, ok := fnV.(*Object)
+	if !ok || !fn.IsFunction() {
+		return nil, &ThrowError{Value: "TypeError: not a constructor", Line: x.nodeLine()}
 	}
 	this := NewObject()
 	ret, err := in.callObject(fn, this, args, x.nodeLine())

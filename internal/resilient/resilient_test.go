@@ -310,6 +310,85 @@ func TestBreakerProbeSuccessCloses(t *testing.T) {
 	_ = c
 }
 
+func TestBreakerReopenCycleAndRecovery(t *testing.T) {
+	bs := NewBreakerSet(2, 3)
+	host := "flaky.example.com"
+
+	// Two failures open the circuit.
+	bs.Report(host, false)
+	if !bs.Report(host, false) {
+		t.Fatal("second failure should open")
+	}
+
+	// First open period: cooldown-1 requests shed, then a half-open probe.
+	for i := 0; i < 2; i++ {
+		if bs.Allow(host) {
+			t.Fatalf("request %d of the cooldown should be shed", i)
+		}
+	}
+	if !bs.Allow(host) {
+		t.Fatal("cooldown spent: probe should be allowed")
+	}
+	if bs.Open(host) {
+		t.Fatal("half-open must not report as open")
+	}
+
+	// Probe fails: straight back to open, and the reopen must count as a
+	// distinct open transition with a full fresh cooldown.
+	if !bs.Report(host, false) {
+		t.Fatal("failed probe should report a reopen transition")
+	}
+	if !bs.Open(host) {
+		t.Fatal("circuit should be open again after the failed probe")
+	}
+	for i := 0; i < 2; i++ {
+		if bs.Allow(host) {
+			t.Fatalf("request %d of the second cooldown should be shed", i)
+		}
+	}
+	if !bs.Allow(host) {
+		t.Fatal("second cooldown spent: probe should be allowed")
+	}
+
+	// This probe succeeds: the circuit closes and the failure streak resets,
+	// so re-opening needs the full threshold again, not one more failure.
+	if bs.Report(host, true) {
+		t.Fatal("successful probe is not an open transition")
+	}
+	if bs.Open(host) || !bs.Allow(host) {
+		t.Fatal("circuit should be closed after the successful probe")
+	}
+	if bs.Report(host, false) {
+		t.Fatal("one failure after recovery must not re-open a threshold-2 breaker")
+	}
+	if !bs.Report(host, false) {
+		t.Fatal("the full threshold of fresh failures should re-open")
+	}
+}
+
+func TestBreakerSuccessResetsFailureStreak(t *testing.T) {
+	bs := NewBreakerSet(3, 2)
+	host := "mostly-up.example.com"
+
+	// Failures below the threshold interleaved with successes never open:
+	// the breaker counts consecutive failures, not lifetime failures.
+	for round := 0; round < 5; round++ {
+		bs.Report(host, false)
+		if bs.Report(host, false) {
+			t.Fatalf("round %d: two failures opened a threshold-3 breaker", round)
+		}
+		bs.Report(host, true)
+		if bs.Open(host) {
+			t.Fatalf("round %d: breaker open despite success resets", round)
+		}
+	}
+	bs.Report(host, false)
+	bs.Report(host, false)
+	if !bs.Report(host, false) {
+		t.Fatal("three consecutive failures should finally open")
+	}
+}
+
 func TestNilCountersSafe(t *testing.T) {
 	// Transports built without a counter sink (honeyclient's) must still
 	// retry and trip breakers without panicking.

@@ -27,6 +27,14 @@ func (c *Counter) AddN(key string, n int) {
 	c.total += n
 }
 
+// Merge folds another counter in. Merging is commutative, so per-shard
+// counters folded in any order agree exactly.
+func (c *Counter) Merge(other *Counter) {
+	for k, n := range other.counts {
+		c.AddN(k, n)
+	}
+}
+
 // Get returns the count for key.
 func (c *Counter) Get(key string) int { return c.counts[key] }
 
@@ -87,17 +95,30 @@ type IntHist struct {
 
 // Add records one observation of value v (negative values panic: chain
 // lengths and auction counts are never negative).
-func (h *IntHist) Add(v int) {
+func (h *IntHist) Add(v int) { h.AddN(v, 1) }
+
+// AddN records n observations of value v.
+func (h *IntHist) AddN(v, n int) {
 	if v < 0 {
 		panic("stats: IntHist.Add with negative value")
+	}
+	if n <= 0 {
+		return
 	}
 	if h.counts == nil {
 		h.counts = make(map[int]int)
 	}
-	h.counts[v]++
-	h.total++
+	h.counts[v] += n
+	h.total += n
 	if v > h.max {
 		h.max = v
+	}
+}
+
+// Merge folds another histogram in (commutative, like Counter.Merge).
+func (h *IntHist) Merge(other *IntHist) {
+	for v, n := range other.counts {
+		h.AddN(v, n)
 	}
 }
 

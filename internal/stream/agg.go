@@ -1,0 +1,357 @@
+package stream
+
+import (
+	"encoding/json"
+	"sort"
+	"sync"
+
+	"madave/internal/corpus"
+	"madave/internal/crawler"
+	"madave/internal/oracle"
+	"madave/internal/stats"
+	"madave/internal/urlx"
+)
+
+// AdRecord is the journaled form of one harvested, classified ad.
+type AdRecord struct {
+	Hash      string `json:"h"`
+	Category  string `json:"c"`
+	Network   string `json:"n,omitempty"`
+	ChainLen  int    `json:"l"`
+	Day       int    `json:"d"`
+	Sandboxed bool   `json:"s,omitempty"`
+}
+
+// NewAdRecord builds the journal form of one classified ad.
+func NewAdRecord(ha crawler.HarvestedAd, inc oracle.Incident) AdRecord {
+	return AdRecord{
+		Hash:      ha.Ad.Hash,
+		Category:  string(inc.Category),
+		Network:   servingNetwork(ha.Ad),
+		ChainLen:  len(ha.Ad.Chain),
+		Day:       ha.Ad.Day,
+		Sandboxed: ha.Sandboxed,
+	}
+}
+
+// servingNetwork mirrors the analysis package's attribution: the last
+// arbitration hop served the ad; a chainless ad is attributed to its final
+// URL's host.
+func servingNetwork(ad *corpus.Ad) string {
+	if len(ad.Chain) == 0 {
+		return urlx.Host(ad.FinalURL)
+	}
+	return ad.Chain[len(ad.Chain)-1]
+}
+
+// VisitRecord is one journal entry: the complete, classified observation of
+// one visit. Records fold commutatively into the Agg, so any interleaving —
+// including a replay after a crash — reproduces the same aggregate state.
+type VisitRecord struct {
+	Seq      int64      `json:"seq"`
+	Key      string     `json:"key"`
+	ErrCause string     `json:"err,omitempty"`
+	Frames   int        `json:"frames"`
+	NonAd    int        `json:"nonad"`
+	Degraded bool       `json:"degraded,omitempty"`
+	Ads      []AdRecord `json:"ads,omitempty"`
+
+	// Aborted marks an outcome cut off mid-flight (drain deadline, panic,
+	// wedge). Aborted records keep the pipeline's item accounting complete
+	// but are never journaled: the visit stays pending and is re-executed —
+	// hermetically, hence identically — on the next run.
+	Aborted    bool   `json:"-"`
+	AbortCause string `json:"-"`
+}
+
+// RecordKind is the journal kind tag of VisitRecord entries;
+// CheckpointKind tags compacted aggregate state.
+const (
+	RecordKind     = "visit"
+	CheckpointKind = "checkpoint"
+)
+
+// Agg is the streaming aggregate: every study statistic the service reports,
+// folded record by record with commutative, integer-exact operations, plus
+// the done-set that recovery consults. Memory is flat in stream length —
+// bounded by distinct ad hashes, not by visits.
+type Agg struct {
+	mu   sync.Mutex
+	done map[int64]struct{}
+
+	visits, pageErrors, frames, adFrames, nonAd int
+	sandboxed, degraded                         int
+
+	errCauses  stats.Counter
+	categories stats.Counter
+	networks   stats.Counter
+
+	uniqueAds map[string]int // hash → impressions seen
+	chain     stats.IntMoments
+	chainHist stats.IntHist
+	dayAds    stats.IntHist
+}
+
+// NewAgg returns an empty aggregate.
+func NewAgg() *Agg {
+	return &Agg{done: make(map[int64]struct{}), uniqueAds: make(map[string]int)}
+}
+
+// Fold merges one record in. It returns false (and changes nothing) when the
+// record's sequence number was already folded — replaying a journal that
+// holds both a checkpoint and its tail is idempotent.
+func (a *Agg) Fold(r VisitRecord) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.done[r.Seq]; dup {
+		return false
+	}
+	a.done[r.Seq] = struct{}{}
+	a.visits++
+	if r.ErrCause != "" {
+		a.pageErrors++
+		a.errCauses.Add(r.ErrCause)
+	}
+	if r.Degraded {
+		a.degraded++
+	}
+	a.frames += r.Frames
+	a.nonAd += r.NonAd
+	a.adFrames += len(r.Ads)
+	for _, ad := range r.Ads {
+		if ad.Sandboxed {
+			a.sandboxed++
+		}
+		a.uniqueAds[ad.Hash]++
+		a.categories.Add(ad.Category)
+		if ad.Network != "" {
+			a.networks.Add(ad.Network)
+		}
+		a.chain.Add(ad.ChainLen)
+		a.chainHist.Add(ad.ChainLen)
+		a.dayAds.Add(ad.Day)
+	}
+	return true
+}
+
+// Done reports whether seq has been folded.
+func (a *Agg) Done(seq int64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_, ok := a.done[seq]
+	return ok
+}
+
+// DoneCount returns how many visits have been folded.
+func (a *Agg) DoneCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.done)
+}
+
+// StreamSummary is the deterministic study summary: every field derives from
+// integer accumulators or sorted views, so its JSON is byte-identical for a
+// given set of folded records regardless of fold order, worker scheduling,
+// or how many times the process died along the way. Operational counters
+// (restarts, sheds, queue depths) live in Ops, never here.
+type StreamSummary struct {
+	Visits         int        `json:"visits"`
+	PageErrors     int        `json:"page_errors"`
+	ErrCauses      []stats.KV `json:"err_causes,omitempty"`
+	Frames         int        `json:"frames"`
+	AdFrames       int        `json:"ad_frames"`
+	NonAdFrames    int        `json:"nonad_frames"`
+	SandboxedAds   int        `json:"sandboxed_ads"`
+	DegradedPages  int        `json:"degraded_pages"`
+	UniqueAds      int        `json:"unique_ads"`
+	DupImpressions int        `json:"dup_impressions"`
+	Categories     []stats.KV `json:"categories,omitempty"`
+	Malicious      int        `json:"malicious"`
+	Networks       []stats.KV `json:"networks,omitempty"`
+	ChainMean      float64    `json:"chain_mean"`
+	ChainP50       int        `json:"chain_p50"`
+	ChainP90       int        `json:"chain_p90"`
+	ChainMax       int        `json:"chain_max"`
+	AdsPerDay      []int      `json:"ads_per_day,omitempty"`
+}
+
+// JSON renders the summary in its canonical byte form — the artifact the
+// kill-recover soak compares across runs.
+func (s StreamSummary) JSON() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic("stream: summary marshal: " + err.Error()) // fixed struct, cannot fail
+	}
+	return b
+}
+
+// Summary materializes the deterministic summary of everything folded so
+// far.
+func (a *Agg) Summary() StreamSummary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := StreamSummary{
+		Visits:        a.visits,
+		PageErrors:    a.pageErrors,
+		ErrCauses:     a.errCauses.Sorted(),
+		Frames:        a.frames,
+		AdFrames:      a.adFrames,
+		NonAdFrames:   a.nonAd,
+		SandboxedAds:  a.sandboxed,
+		DegradedPages: a.degraded,
+		UniqueAds:     len(a.uniqueAds),
+		Categories:    a.categories.Sorted(),
+		Networks:      a.networks.Sorted(),
+		ChainMean:     a.chain.Mean(),
+		ChainP50:      a.chainHist.Quantile(0.5),
+		ChainP90:      a.chainHist.Quantile(0.9),
+		ChainMax:      a.chainHist.Max(),
+	}
+	for _, n := range a.uniqueAds {
+		s.DupImpressions += n - 1
+	}
+	for _, kv := range s.Categories {
+		if kv.Key != string(oracle.CatClean) {
+			s.Malicious += kv.Count
+		}
+	}
+	if a.dayAds.Total() > 0 {
+		s.AdsPerDay = a.dayAds.Series()
+	}
+	return s
+}
+
+// seqRange is an inclusive run of folded sequence numbers; the done-set
+// checkpoints as merged ranges (a healthy stream is one range, so the
+// checkpoint stays O(gaps), not O(visits)).
+type seqRange struct {
+	Lo int64 `json:"lo"`
+	Hi int64 `json:"hi"`
+}
+
+// adCount pairs an ad hash with its impression count for checkpointing.
+type adCount struct {
+	Hash string `json:"h"`
+	N    int    `json:"n"`
+}
+
+// kvInt is one histogram bucket in checkpoint form.
+type kvInt struct {
+	V int `json:"v"`
+	N int `json:"n"`
+}
+
+// aggState is the checkpoint serialization of an Agg: every map rendered as
+// a sorted slice so the payload (and hence its content hash) is canonical.
+type aggState struct {
+	Done       []seqRange       `json:"done,omitempty"`
+	Visits     int              `json:"visits"`
+	PageErrors int              `json:"page_errors"`
+	Frames     int              `json:"frames"`
+	AdFrames   int              `json:"ad_frames"`
+	NonAd      int              `json:"nonad"`
+	Sandboxed  int              `json:"sandboxed"`
+	Degraded   int              `json:"degraded"`
+	ErrCauses  []stats.KV       `json:"err_causes,omitempty"`
+	Categories []stats.KV       `json:"categories,omitempty"`
+	Networks   []stats.KV       `json:"networks,omitempty"`
+	UniqueAds  []adCount        `json:"unique_ads,omitempty"`
+	Chain      stats.IntMoments `json:"chain"`
+	ChainHist  []kvInt          `json:"chain_hist,omitempty"`
+	DayAds     []kvInt          `json:"day_ads,omitempty"`
+}
+
+// checkpoint snapshots the aggregate in canonical form.
+func (a *Agg) checkpoint() aggState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := aggState{
+		Visits:     a.visits,
+		PageErrors: a.pageErrors,
+		Frames:     a.frames,
+		AdFrames:   a.adFrames,
+		NonAd:      a.nonAd,
+		Sandboxed:  a.sandboxed,
+		Degraded:   a.degraded,
+		ErrCauses:  a.errCauses.Sorted(),
+		Categories: a.categories.Sorted(),
+		Networks:   a.networks.Sorted(),
+		Chain:      a.chain,
+	}
+	seqs := make([]int64, 0, len(a.done))
+	for s := range a.done {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	for _, s := range seqs {
+		if n := len(st.Done); n > 0 && st.Done[n-1].Hi == s-1 {
+			st.Done[n-1].Hi = s
+			continue
+		}
+		st.Done = append(st.Done, seqRange{Lo: s, Hi: s})
+	}
+	for h, n := range a.uniqueAds {
+		st.UniqueAds = append(st.UniqueAds, adCount{Hash: h, N: n})
+	}
+	sort.Slice(st.UniqueAds, func(i, j int) bool { return st.UniqueAds[i].Hash < st.UniqueAds[j].Hash })
+	st.ChainHist = histBuckets(&a.chainHist)
+	st.DayAds = histBuckets(&a.dayAds)
+	return st
+}
+
+func histBuckets(h *stats.IntHist) []kvInt {
+	if h.Total() == 0 {
+		return nil
+	}
+	var out []kvInt
+	for v, n := range h.Series() { // Series is value-indexed: canonical order
+		if n > 0 {
+			out = append(out, kvInt{V: v, N: n})
+		}
+	}
+	return out
+}
+
+// restore replaces the aggregate with a checkpoint's state.
+func (a *Agg) restore(st aggState) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.done = make(map[int64]struct{})
+	for _, r := range st.Done {
+		for s := r.Lo; s <= r.Hi; s++ {
+			a.done[s] = struct{}{}
+		}
+	}
+	a.visits = st.Visits
+	a.pageErrors = st.PageErrors
+	a.frames = st.Frames
+	a.adFrames = st.AdFrames
+	a.nonAd = st.NonAd
+	a.sandboxed = st.Sandboxed
+	a.degraded = st.Degraded
+	a.errCauses = stats.Counter{}
+	for _, kv := range st.ErrCauses {
+		a.errCauses.AddN(kv.Key, kv.Count)
+	}
+	a.categories = stats.Counter{}
+	for _, kv := range st.Categories {
+		a.categories.AddN(kv.Key, kv.Count)
+	}
+	a.networks = stats.Counter{}
+	for _, kv := range st.Networks {
+		a.networks.AddN(kv.Key, kv.Count)
+	}
+	a.uniqueAds = make(map[string]int, len(st.UniqueAds))
+	for _, ac := range st.UniqueAds {
+		a.uniqueAds[ac.Hash] = ac.N
+	}
+	a.chain = st.Chain
+	a.chainHist = stats.IntHist{}
+	for _, b := range st.ChainHist {
+		a.chainHist.AddN(b.V, b.N)
+	}
+	a.dayAds = stats.IntHist{}
+	for _, b := range st.DayAds {
+		a.dayAds.AddN(b.V, b.N)
+	}
+}

@@ -1,0 +1,204 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"madave/internal/core"
+	"madave/internal/journal"
+	"madave/internal/memnet"
+	"madave/internal/resilient"
+)
+
+// testStudyConfig mirrors the root chaos-soak configuration at unit-test
+// scale: a third of requests faulted, fast retries, no wall-clock visit
+// deadline (determinism must not depend on machine speed).
+func testStudyConfig(seed uint64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.CrawlSites = 30
+	cfg.Crawl.Days = 1
+	cfg.Crawl.Refreshes = 2
+	cfg.Crawl.Parallelism = 4
+	cfg.Crawl.VisitTimeout = -1
+	cfg.Crawl.Retry = resilient.Policy{
+		MaxAttempts:    3,
+		BaseDelay:      time.Microsecond,
+		MaxDelay:       20 * time.Microsecond,
+		AttemptTimeout: 250 * time.Millisecond,
+	}
+	cfg.AnalysisRetry = cfg.Crawl.Retry
+	cfg.OracleParallelism = 4
+	prof := memnet.UniformProfile(0.3)
+	cfg.Chaos = &prof
+	return cfg
+}
+
+func newTestService(t *testing.T, seed uint64, j journal.Backend, mut func(*ServiceConfig)) *Service {
+	t.Helper()
+	study, err := core.NewStudy(testStudyConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ServiceConfig{Journal: j, CheckpointEvery: -1}
+	if mut != nil {
+		mut(&cfg)
+	}
+	svc, err := NewService(study, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+func runToCompletion(t *testing.T, svc *Service) *RunResult {
+	t.Helper()
+	res, err := svc.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestServiceUninterruptedRunsAreByteIdentical(t *testing.T) {
+	a := runToCompletion(t, newTestService(t, 7, journal.NewMem(), nil))
+	b := runToCompletion(t, newTestService(t, 7, journal.NewMem(), nil))
+	if a.Summary.Visits == 0 || a.Summary.AdFrames == 0 {
+		t.Fatalf("degenerate run: %+v", a.Summary)
+	}
+	if !bytes.Equal(a.Summary.JSON(), b.Summary.JSON()) {
+		t.Fatalf("same-seed summaries differ:\n%s\n%s", a.Summary.JSON(), b.Summary.JSON())
+	}
+	if a.Ops.Committed != int64(a.Summary.Visits) || a.Ops.Aborted != 0 {
+		t.Fatalf("ops = %+v for %d visits", a.Ops, a.Summary.Visits)
+	}
+}
+
+func TestServiceKillRecoverByteIdentical(t *testing.T) {
+	baseline := runToCompletion(t, newTestService(t, 11, journal.NewMem(), nil))
+
+	// Crash at the journal commit point twice, recovering each time with a
+	// fresh service (a process restart), then finish.
+	mem := journal.NewMem()
+	mem.FailAfter = 17
+	svc := newTestService(t, 11, mem, nil)
+	if _, err := svc.Run(context.Background()); !errors.Is(err, journal.ErrCrashed) {
+		t.Fatalf("first leg: want ErrCrashed, got %v", err)
+	}
+
+	mem.Reopen(23)
+	svc = newTestService(t, 11, mem, nil)
+	if svc.Recovered() == 0 {
+		t.Fatal("second leg recovered nothing")
+	}
+	if _, err := svc.Run(context.Background()); !errors.Is(err, journal.ErrCrashed) {
+		t.Fatalf("second leg: want ErrCrashed, got %v", err)
+	}
+
+	mem.Reopen(0)
+	svc = newTestService(t, 11, mem, nil)
+	rec := svc.Recovered()
+	if rec == 0 {
+		t.Fatal("final leg recovered nothing")
+	}
+	final := runToCompletion(t, svc)
+	if final.Summary.Visits != baseline.Summary.Visits {
+		t.Fatalf("visits = %d, baseline %d", final.Summary.Visits, baseline.Summary.Visits)
+	}
+	if !bytes.Equal(final.Summary.JSON(), baseline.Summary.JSON()) {
+		t.Fatalf("killed-and-recovered summary differs from uninterrupted baseline:\n%s\n%s",
+			final.Summary.JSON(), baseline.Summary.JSON())
+	}
+	if final.Ops.Recovered != rec || final.Ops.Committed != int64(final.Summary.Visits)-rec {
+		t.Fatalf("final ops = %+v (recovered %d)", final.Ops, rec)
+	}
+}
+
+func TestServiceDrainThenRecoverByteIdentical(t *testing.T) {
+	baseline := runToCompletion(t, newTestService(t, 13, journal.NewMem(), nil))
+
+	// Request a graceful drain almost immediately: in-flight visits finish
+	// and commit, the rest stay pending. A recovered service finishes the
+	// stream and must land on the baseline bytes.
+	mem := journal.NewMem()
+	svc := newTestService(t, 13, mem, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	partial, err := svc.Run(ctx)
+	if err != nil {
+		t.Fatalf("drained run: %v", err)
+	}
+	if partial.Summary.Visits >= baseline.Summary.Visits {
+		t.Skip("drain landed after the stream finished; nothing left to recover")
+	}
+
+	svc = newTestService(t, 13, mem, nil)
+	final := runToCompletion(t, svc)
+	if !bytes.Equal(final.Summary.JSON(), baseline.Summary.JSON()) {
+		t.Fatalf("drained-and-recovered summary differs from baseline:\n%s\n%s",
+			final.Summary.JSON(), baseline.Summary.JSON())
+	}
+}
+
+func TestServiceCheckpointCompactionRoundTrip(t *testing.T) {
+	mem := journal.NewMem()
+	res := runToCompletion(t, newTestService(t, 17, mem, func(c *ServiceConfig) {
+		c.CheckpointEvery = 10
+	}))
+	if res.Ops.Checkpoints == 0 {
+		t.Fatal("no compactions despite CheckpointEvery=10")
+	}
+
+	// A service recovered from the compacted journal knows every visit is
+	// done and has nothing left to run.
+	svc := newTestService(t, 17, mem, func(c *ServiceConfig) { c.CheckpointEvery = 10 })
+	if got := svc.Recovered(); got != int64(res.Summary.Visits) {
+		t.Fatalf("recovered %d visits from checkpointed journal, want %d", got, res.Summary.Visits)
+	}
+	again := runToCompletion(t, svc)
+	if again.Ops.Committed != 0 {
+		t.Fatalf("recovered service re-executed %d visits", again.Ops.Committed)
+	}
+	if !bytes.Equal(again.Summary.JSON(), res.Summary.JSON()) {
+		t.Fatalf("checkpoint round-trip changed the summary:\n%s\n%s",
+			again.Summary.JSON(), res.Summary.JSON())
+	}
+}
+
+func TestServiceServeModeShedsCountedUnderOverload(t *testing.T) {
+	svc := newTestService(t, 19, journal.NewMem(), func(c *ServiceConfig) {
+		c.Serve = true
+		c.MaxImpressions = 150
+		c.ShedCapacity = 2
+		c.CrawlWorkers = 1
+		c.AnalyzeWorkers = 1
+		c.Stream.Queue = 2
+	})
+	res := runToCompletion(t, svc)
+	st := res.Ops.Shed
+	if st.Offered != 150 {
+		t.Fatalf("offered = %d, want 150", st.Offered)
+	}
+	if st.Buffered != 0 {
+		t.Fatalf("buffered = %d after drain", st.Buffered)
+	}
+	if st.Shed == 0 {
+		t.Fatal("no impressions shed despite a saturated 2-slot admission buffer")
+	}
+	if st.Shed+st.Delivered != st.Offered {
+		t.Fatalf("conservation violated: %+v", st)
+	}
+	if res.Ops.Committed != st.Delivered {
+		t.Fatalf("committed %d != delivered %d: delivered impressions must never vanish silently",
+			res.Ops.Committed, st.Delivered)
+	}
+	if int64(res.Summary.Visits) != st.Delivered {
+		t.Fatalf("summary visits %d != delivered %d", res.Summary.Visits, st.Delivered)
+	}
+}

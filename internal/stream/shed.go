@@ -1,0 +1,237 @@
+package stream
+
+import (
+	"container/heap"
+	"sync"
+
+	"madave/internal/telemetry"
+)
+
+// Shedder is the service's admission controller: a bounded priority buffer
+// between an unbounded impression source and the first pipeline stage.
+//
+// Offers never block the producer. While the buffer has room, every offer
+// is admitted; when it is full — the pipeline is saturated and backpressure
+// has propagated all the way to intake — the lowest-priority buffered
+// impression is dropped to make room (or the offer itself is dropped when
+// it is the least important thing in sight). Every drop is counted against
+// stream_shed_total{priority=…}: shedding is a measured, deliberate
+// degradation, never silent loss.
+//
+// A pump goroutine forwards buffered items, highest priority first, into
+// the bounded stage channel.
+type Shedder[T any] struct {
+	mu     sync.Mutex
+	buf    shedHeap[T]
+	cap    int
+	closed bool
+	wake   chan struct{}
+
+	offered   *telemetry.Counter
+	delivered *telemetry.Counter
+	shedLow   *telemetry.Counter
+	shedMid   *telemetry.Counter
+	shedHigh  *telemetry.Counter
+	shedAll   *telemetry.Counter
+	depth     *telemetry.Gauge
+
+	// order is a monotonic sequence breaking priority ties FIFO, so equal-
+	// priority impressions shed oldest-last and deliver in arrival order.
+	order uint64
+}
+
+// ShedStats is the admission controller's accounting. The conservation law
+// Offered = Shed + Delivered + Buffered holds at every instant, and after a
+// drain (Buffered = 0) it degenerates to Offered = Shed + Delivered — the
+// identity the overload soak asserts: every impression is either processed
+// or visibly, countedly dropped.
+type ShedStats struct {
+	Offered   int64
+	Delivered int64
+	Shed      int64
+	Buffered  int64
+}
+
+// NewShedder builds an admission buffer holding at most capacity items
+// (minimum 1). Priorities: higher values are more important; ties deliver
+// FIFO.
+func NewShedder[T any](capacity int, tel *telemetry.Set) *Shedder[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if tel == nil {
+		tel = telemetry.New(0)
+	}
+	pr := func(v string) telemetry.Label { return telemetry.L("priority", v) }
+	return &Shedder[T]{
+		cap:       capacity,
+		wake:      make(chan struct{}, 1),
+		offered:   tel.Counter("stream_offered_total"),
+		delivered: tel.Counter("stream_delivered_total"),
+		shedLow:   tel.Counter("stream_shed_by_priority_total", pr("low")),
+		shedMid:   tel.Counter("stream_shed_by_priority_total", pr("mid")),
+		shedHigh:  tel.Counter("stream_shed_by_priority_total", pr("high")),
+		shedAll:   tel.Counter("stream_shed_total"),
+		depth:     tel.Gauge("stream_queue_depth", telemetry.L("stage", "admission")),
+	}
+}
+
+// shedItem is one buffered impression.
+type shedItem[T any] struct {
+	v     T
+	pri   int
+	order uint64
+}
+
+// shedHeap is a min-heap by (priority, recency): the root is the least
+// important item — the next to shed.
+type shedHeap[T any] []shedItem[T]
+
+func (h shedHeap[T]) Len() int { return len(h) }
+func (h shedHeap[T]) Less(i, j int) bool {
+	if h[i].pri != h[j].pri {
+		return h[i].pri < h[j].pri
+	}
+	return h[i].order > h[j].order // same priority: newest sheds first
+}
+func (h shedHeap[T]) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *shedHeap[T]) Push(x any)   { *h = append(*h, x.(shedItem[T])) }
+func (h *shedHeap[T]) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h shedHeap[T]) peekBest() (int, int) { // index and priority of the best item
+	best, bestPri, bestOrd := -1, 0, uint64(0)
+	for i, it := range h {
+		if best == -1 || it.pri > bestPri || (it.pri == bestPri && it.order < bestOrd) {
+			best, bestPri, bestOrd = i, it.pri, it.order
+		}
+	}
+	return best, bestPri
+}
+
+// Offer submits one impression with the given priority (higher = more
+// important). It returns false when this impression was immediately shed
+// (it was the least important thing in sight while the buffer was full).
+// True means it entered the buffer — though a saturated buffer may still
+// shed it later in favor of higher-priority arrivals; the ShedStats
+// conservation law accounts for both paths.
+func (s *Shedder[T]) Offer(item T, priority int) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	s.offered.Inc()
+	s.order++
+	it := shedItem[T]{v: item, pri: priority, order: s.order}
+	admitted := true
+	if len(s.buf) >= s.cap {
+		// Saturated: shed the least important impression in sight.
+		victim := it
+		if s.buf[0].pri < priority {
+			victim = s.buf[0]
+			s.buf[0] = it
+			heap.Fix(&s.buf, 0)
+		} else {
+			admitted = false
+		}
+		s.countShed(victim.pri)
+	} else {
+		heap.Push(&s.buf, it)
+	}
+	s.depth.Set(int64(len(s.buf)))
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+	return admitted
+}
+
+func (s *Shedder[T]) countShed(pri int) {
+	s.shedAll.Inc()
+	switch {
+	case pri <= PriorityLow:
+		s.shedLow.Inc()
+	case pri >= PriorityHigh:
+		s.shedHigh.Inc()
+	default:
+		s.shedMid.Inc()
+	}
+}
+
+// Priority bands for the shed counters (the service maps site-rank tiers
+// onto these).
+const (
+	PriorityLow  = 0
+	PriorityMid  = 1
+	PriorityHigh = 2
+)
+
+// Close stops admission. Buffered items still drain via Pump.
+func (s *Shedder[T]) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// take removes the highest-priority buffered item.
+func (s *Shedder[T]) take() (T, bool, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zero T
+	if len(s.buf) == 0 {
+		return zero, false, s.closed
+	}
+	i, _ := s.buf.peekBest()
+	it := s.buf[i]
+	s.buf[i] = s.buf[len(s.buf)-1]
+	s.buf = s.buf[:len(s.buf)-1]
+	if i < len(s.buf) {
+		heap.Fix(&s.buf, i)
+	}
+	s.delivered.Inc()
+	s.depth.Set(int64(len(s.buf)))
+	return it.v, true, false
+}
+
+// Pump forwards buffered impressions into out, highest priority first,
+// until the shedder is closed and drained or the pipeline's work context
+// dies. It closes out on return; call it in its own goroutine.
+func (s *Shedder[T]) Pump(p *Pipeline, out chan<- T) {
+	defer close(out)
+	for {
+		item, ok, closed := s.take()
+		if !ok {
+			if closed {
+				return
+			}
+			select {
+			case <-s.wake:
+				continue
+			case <-p.workCtx.Done():
+				return
+			}
+		}
+		select {
+		case out <- item:
+		case <-p.workCtx.Done():
+			return
+		}
+	}
+}
+
+// Stats snapshots the admission accounting.
+func (s *Shedder[T]) Stats() ShedStats {
+	s.mu.Lock()
+	buffered := int64(len(s.buf))
+	s.mu.Unlock()
+	return ShedStats{
+		Offered:   s.offered.Value(),
+		Delivered: s.delivered.Value(),
+		Shed:      s.shedAll.Value(),
+		Buffered:  buffered,
+	}
+}

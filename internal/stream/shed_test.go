@@ -1,0 +1,183 @@
+package stream
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"madave/internal/telemetry"
+)
+
+func assertConservation(t *testing.T, st ShedStats) {
+	t.Helper()
+	if st.Offered != st.Shed+st.Delivered+st.Buffered {
+		t.Fatalf("conservation violated: offered %d != shed %d + delivered %d + buffered %d",
+			st.Offered, st.Shed, st.Delivered, st.Buffered)
+	}
+}
+
+func pumpAll[T any](t *testing.T, s *Shedder[T]) []T {
+	t.Helper()
+	p := NewPipeline(context.Background(), Config{})
+	out := make(chan T, 256)
+	go s.Pump(p, out)
+	var got []T
+	for v := range out {
+		got = append(got, v)
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	return got
+}
+
+func TestShedderAdmitsEverythingWithRoom(t *testing.T) {
+	tel := telemetry.New(1)
+	s := NewShedder[int](10, tel)
+	for i := 1; i <= 10; i++ {
+		if !s.Offer(i, PriorityLow) {
+			t.Fatalf("offer %d rejected with room to spare", i)
+		}
+	}
+	s.Close()
+	got := pumpAll(t, s)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d, want 10", len(got))
+	}
+	st := s.Stats()
+	assertConservation(t, st)
+	if st.Shed != 0 || st.Delivered != 10 || st.Buffered != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShedderEvictsLowestPriorityNewestFirst(t *testing.T) {
+	tel := telemetry.New(1)
+	s := NewShedder[string](2, tel)
+	s.Offer("low-old", PriorityLow)
+	s.Offer("low-new", PriorityLow)
+	// Full. A high-priority arrival evicts the newest low item (oldest-first
+	// survival within a band), then a mid arrival evicts the remaining low.
+	if !s.Offer("high", PriorityHigh) {
+		t.Fatal("high-priority offer rejected")
+	}
+	if !s.Offer("mid", PriorityMid) {
+		t.Fatal("mid-priority offer rejected")
+	}
+	s.Close()
+	got := pumpAll(t, s)
+	if len(got) != 2 || got[0] != "high" || got[1] != "mid" {
+		t.Fatalf("delivered = %v, want [high mid] (best-first)", got)
+	}
+	st := s.Stats()
+	assertConservation(t, st)
+	if st.Shed != 2 {
+		t.Fatalf("shed = %d, want 2", st.Shed)
+	}
+	if n := tel.Counter("stream_shed_by_priority_total", telemetry.L("priority", "low")).Value(); n != 2 {
+		t.Fatalf("low-priority sheds = %d, want 2", n)
+	}
+}
+
+func TestShedderDropsOfferWhenItIsTheLeastImportant(t *testing.T) {
+	s := NewShedder[string](1, nil)
+	s.Offer("high", PriorityHigh)
+	if s.Offer("low", PriorityLow) {
+		t.Fatal("low-priority offer admitted into a saturated buffer of higher priority")
+	}
+	s.Close()
+	got := pumpAll(t, s)
+	if len(got) != 1 || got[0] != "high" {
+		t.Fatalf("delivered = %v", got)
+	}
+	st := s.Stats()
+	assertConservation(t, st)
+	if st.Shed != 1 || st.Delivered != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestShedderDeliversFIFOWithinPriority(t *testing.T) {
+	s := NewShedder[int](16, nil)
+	for i := 1; i <= 8; i++ {
+		s.Offer(i, PriorityMid)
+	}
+	s.Close()
+	got := pumpAll(t, s)
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("delivery order = %v, want FIFO within one priority band", got)
+		}
+	}
+}
+
+func TestShedderOfferAfterCloseIsRejected(t *testing.T) {
+	s := NewShedder[int](4, nil)
+	s.Offer(1, PriorityMid)
+	s.Close()
+	if s.Offer(2, PriorityHigh) {
+		t.Fatal("offer admitted after Close")
+	}
+	st := s.Stats()
+	if st.Offered != 1 {
+		t.Fatalf("post-close offers must not count: offered = %d", st.Offered)
+	}
+}
+
+func TestShedderConservationUnderConcurrentOverload(t *testing.T) {
+	tel := telemetry.New(1)
+	s := NewShedder[int](8, tel)
+	p := NewPipeline(context.Background(), Config{Queue: 4, Tel: tel})
+	out := make(chan int, 4)
+	var consumed int64
+	var consumerWG sync.WaitGroup
+	consumerWG.Add(1)
+	go func() {
+		defer consumerWG.Done()
+		for range out {
+			consumed++
+		}
+	}()
+	go s.Pump(p, out)
+
+	const producers, perProducer = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				s.Offer(g*perProducer+i, (g+i)%3) // deterministic priority mix
+			}
+		}(g)
+	}
+	wg.Wait()
+	s.Close()
+	consumerWG.Wait()
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	st := s.Stats()
+	assertConservation(t, st)
+	if st.Offered != producers*perProducer {
+		t.Fatalf("offered = %d, want %d", st.Offered, producers*perProducer)
+	}
+	if st.Buffered != 0 {
+		t.Fatalf("buffered = %d after drain", st.Buffered)
+	}
+	if st.Delivered != consumed {
+		t.Fatalf("delivered %d != consumed %d", st.Delivered, consumed)
+	}
+	if st.Shed+st.Delivered != st.Offered {
+		t.Fatalf("post-drain identity violated: %+v", st)
+	}
+	// Per-band shed counters must sum to the total.
+	var sum int64
+	for _, band := range []string{"low", "mid", "high"} {
+		sum += tel.Counter("stream_shed_by_priority_total", telemetry.L("priority", band)).Value()
+	}
+	if sum != st.Shed {
+		t.Fatalf("per-band sheds sum to %d, total says %d", sum, st.Shed)
+	}
+}

@@ -1,0 +1,498 @@
+// Package stream turns the batch crawl→match→honeyclient→oracle chain into
+// a long-running, crash-safe streaming service. It provides:
+//
+//   - a supervised stage runtime: each pipeline stage is a pool of workers
+//     connected by bounded channels (explicit backpressure). A panicked
+//     worker is caught and respawned; a wedged worker (stuck past the
+//     watchdog deadline) is detached and replaced. Both are paid for out of
+//     a per-stage restart budget — a stage that keeps dying fails the run
+//     instead of flapping forever, the same philosophy as the per-host
+//     circuit breakers in internal/resilient.
+//   - accounting that is never silent: every admitted item produces exactly
+//     one downstream outcome. When a worker dies mid-item, the supervisor
+//     synthesizes a degraded fallback outcome for that item, so sequence
+//     accounting stays complete and the journal never has holes.
+//   - admission control with priority shedding (see shed.go): when the
+//     intake queue saturates, the lowest-priority impressions are dropped —
+//     counted, never silently.
+//   - graceful drain: cancelling the run context stops the source; in-flight
+//     items finish under a drain deadline, after which stragglers are cut
+//     off hard. Either way the commit stage checkpoints what completed.
+//
+// The service built on this runtime lives in service.go; the deterministic
+// checkpoint/recovery layer it commits to is internal/journal.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"madave/internal/telemetry"
+)
+
+// Defaults for Config zero fields.
+const (
+	DefaultQueue         = 64
+	DefaultRestartBudget = 8
+	DefaultDrainTimeout  = 30 * time.Second
+)
+
+// Config parameterizes the stage runtime.
+type Config struct {
+	// Queue is the capacity of each inter-stage channel (default 64). The
+	// bound is the backpressure mechanism: a stage whose consumer lags
+	// blocks instead of buffering without limit.
+	Queue int
+	// ItemTimeout bounds one item's processing via its context (0 = none).
+	// Work that honors its context degrades gracefully at the deadline.
+	ItemTimeout time.Duration
+	// WatchdogDeadline is how long a worker may be busy on one item before
+	// the supervisor declares it wedged, synthesizes a fallback outcome,
+	// and replaces it (0 = 4x ItemTimeout; never below ItemTimeout). A
+	// wedged worker that later returns finds its item already claimed and
+	// exits without emitting.
+	WatchdogDeadline time.Duration
+	// RestartBudget is how many supervised restarts (panics + watchdog
+	// replacements) each stage tolerates before the pipeline fails
+	// (default 8).
+	RestartBudget int
+	// DrainTimeout bounds the graceful drain after the run context is
+	// cancelled (default 30s). Items still in flight at the deadline are
+	// cancelled hard and surface as degraded outcomes.
+	DrainTimeout time.Duration
+	// Tel, when non-nil, receives queue-depth gauges, per-stage item/panic/
+	// restart counters, and drain spans. Purely observational.
+	Tel *telemetry.Set
+}
+
+func (c Config) withDefaults() Config {
+	if c.Queue <= 0 {
+		c.Queue = DefaultQueue
+	}
+	if c.RestartBudget <= 0 {
+		c.RestartBudget = DefaultRestartBudget
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = DefaultDrainTimeout
+	}
+	if c.WatchdogDeadline <= 0 && c.ItemTimeout > 0 {
+		c.WatchdogDeadline = 4 * c.ItemTimeout
+	}
+	if c.WatchdogDeadline > 0 && c.WatchdogDeadline < c.ItemTimeout {
+		c.WatchdogDeadline = c.ItemTimeout
+	}
+	if c.Tel == nil {
+		c.Tel = telemetry.New(0)
+	}
+	return c
+}
+
+// Sentinel causes attached to fallback outcomes and pipeline failures.
+var (
+	// ErrPanicked marks an item whose worker panicked mid-processing.
+	ErrPanicked = errors.New("stream: worker panicked")
+	// ErrWedged marks an item whose worker blew the watchdog deadline.
+	ErrWedged = errors.New("stream: worker wedged past watchdog deadline")
+	// ErrRestartBudget reports a stage that kept dying until its budget ran
+	// out.
+	ErrRestartBudget = errors.New("stream: stage restart budget exhausted")
+)
+
+// Pipeline coordinates a set of supervised stages. Lifecycle:
+//
+//	p := NewPipeline(ctx, cfg)
+//	Run stages with RunStage, feed the first channel, close it when the
+//	source ends, then p.Wait() after the last consumer finishes.
+//
+// Cancelling ctx requests a graceful drain: sources should stop producing
+// (watch p.Draining()), in-flight items keep running under WorkContext
+// until DrainTimeout, then everything is cancelled hard.
+type Pipeline struct {
+	cfg Config
+
+	// workCtx governs in-flight item processing. It is deliberately NOT a
+	// child of the run context: shutdown must let in-flight items finish
+	// (drain), not chop them mid-visit.
+	workCtx    context.Context
+	workCancel context.CancelFunc
+
+	draining chan struct{} // closed when the run ctx is cancelled
+	done     chan struct{} // closed by Wait when all stages finished
+
+	failOnce sync.Once
+	failErr  error
+
+	wg       sync.WaitGroup // one per stage supervisor
+	drainWG  sync.WaitGroup // drain watcher
+	restarts *telemetry.Counter
+}
+
+// NewPipeline builds a pipeline whose graceful-drain trigger is ctx's
+// cancellation.
+func NewPipeline(ctx context.Context, cfg Config) *Pipeline {
+	cfg = cfg.withDefaults()
+	workCtx, workCancel := context.WithCancel(context.Background())
+	p := &Pipeline{
+		cfg:        cfg,
+		workCtx:    workCtx,
+		workCancel: workCancel,
+		draining:   make(chan struct{}),
+		done:       make(chan struct{}),
+		restarts:   cfg.Tel.Counter("stream_restarts_total"),
+	}
+	p.drainWG.Add(1)
+	go p.watchDrain(ctx)
+	return p
+}
+
+// watchDrain arms the drain deadline when the run context ends: a span
+// brackets the drain window, and stragglers are cut off hard when it
+// expires.
+func (p *Pipeline) watchDrain(ctx context.Context) {
+	defer p.drainWG.Done()
+	select {
+	case <-ctx.Done():
+	case <-p.done:
+		return
+	}
+	close(p.draining)
+	_, sp := p.cfg.Tel.StartSpan(context.Background(), telemetry.StageStreamDrain, "drain")
+	defer sp.End()
+	timer := time.NewTimer(p.cfg.DrainTimeout)
+	defer timer.Stop()
+	select {
+	case <-p.done:
+	case <-timer.C:
+		p.cfg.Tel.Counter("stream_drain_deadline_total").Inc()
+		p.workCancel()
+		<-p.done
+	}
+}
+
+// Draining returns a channel closed once a graceful drain has been
+// requested. Sources select on it to stop producing.
+func (p *Pipeline) Draining() <-chan struct{} { return p.draining }
+
+// WorkContext is the context in-flight work runs under. It outlives the run
+// context through the drain window and dies at the drain deadline or on
+// pipeline failure.
+func (p *Pipeline) WorkContext() context.Context { return p.workCtx }
+
+// Fail aborts the pipeline with err (first error wins): all in-flight work
+// is cancelled and Wait returns the error.
+func (p *Pipeline) Fail(err error) {
+	p.failOnce.Do(func() {
+		p.failErr = err
+		p.workCancel()
+	})
+}
+
+// Wait blocks until every stage supervisor has finished, then releases the
+// drain machinery and reports the first failure, if any.
+func (p *Pipeline) Wait() error {
+	p.wg.Wait()
+	close(p.done)
+	p.drainWG.Wait()
+	p.workCancel()
+	return p.failErr
+}
+
+// Chan allocates one bounded inter-stage channel.
+func Chan[T any](p *Pipeline) chan T { return make(chan T, p.cfg.Queue) }
+
+// stageMetrics are the per-stage instruments the runtime bumps.
+type stageMetrics struct {
+	depthIn   *telemetry.Gauge
+	items     *telemetry.Counter
+	panics    *telemetry.Counter
+	wedged    *telemetry.Counter
+	restarts  *telemetry.Counter
+	fallbacks *telemetry.Counter
+}
+
+func newStageMetrics(tel *telemetry.Set, name string) *stageMetrics {
+	l := telemetry.L("stage", name)
+	return &stageMetrics{
+		depthIn:   tel.Gauge("stream_queue_depth", l),
+		items:     tel.Counter("stream_items_total", l),
+		panics:    tel.Counter("stream_worker_panics_total", l),
+		wedged:    tel.Counter("stream_worker_wedged_total", l),
+		restarts:  tel.Counter("stream_worker_restarts_total", l),
+		fallbacks: tel.Counter("stream_fallback_outcomes_total", l),
+	}
+}
+
+// workerSlot is the supervisor's view of one worker's current item.
+type workerSlot[I any] struct {
+	mu        sync.Mutex
+	item      I
+	hasItem   bool
+	busySince time.Time
+	claimed   bool // fallback already emitted for the current item
+	gen       uint64
+}
+
+// begin registers the item the worker is about to process and returns its
+// claim generation.
+func (s *workerSlot[I]) begin(item I) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.item = item
+	s.hasItem = true
+	s.busySince = time.Now()
+	s.claimed = false
+	s.gen++
+	return s.gen
+}
+
+// finish attempts to claim the item's outcome for the worker itself. It
+// returns false when the watchdog got there first (the worker was replaced
+// and must discard its result and exit).
+func (s *workerSlot[I]) finish(gen uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gen != gen || s.claimed {
+		return false
+	}
+	s.claimed = true
+	s.hasItem = false
+	var zero I
+	s.item = zero
+	return true
+}
+
+// steal attempts to claim the worker's current item for the watchdog,
+// returning it when the worker has been busy on it for longer than
+// deadline.
+func (s *workerSlot[I]) steal(deadline time.Duration) (I, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var zero I
+	if !s.hasItem || s.claimed || time.Since(s.busySince) < deadline {
+		return zero, false
+	}
+	s.claimed = true
+	item := s.item
+	s.hasItem = false
+	s.item = zero
+	return item, true
+}
+
+// RunStage runs a supervised worker pool named name that maps items from in
+// to out. The stage owns out and closes it when in is exhausted and every
+// live worker has finished.
+//
+// work must be a function of (ctx, item) alone; it reports failures inside
+// its outcome type rather than through an error (the pipeline has no
+// concept of retryable items — resilience lives inside the work, this layer
+// only guarantees the item count). fallback synthesizes the outcome for an
+// item whose worker panicked or wedged, keeping accounting complete.
+func RunStage[I, O any](p *Pipeline, name string, workers int, in <-chan I, out chan<- O,
+	work func(ctx context.Context, item I) O, fallback func(item I, cause error) O) {
+	if workers <= 0 {
+		workers = 1
+	}
+	m := newStageMetrics(p.cfg.Tel, name)
+	p.wg.Add(1)
+	go superviseStage(p, name, workers, in, out, work, fallback, m)
+}
+
+// stageExit is one worker's termination report.
+type stageExit struct {
+	slot     int
+	panicked any  // non-nil when the worker died to a panic
+	replaced bool // the watchdog already spawned this worker's successor
+}
+
+// superviseStage is the supervisor goroutine for one stage: it spawns the
+// worker pool, watches for panics and wedged workers, respawns them against
+// the restart budget, and closes out when the stage is done.
+func superviseStage[I, O any](p *Pipeline, name string, workers int, in <-chan I, out chan<- O,
+	work func(ctx context.Context, item I) O, fallback func(item I, cause error) O, m *stageMetrics) {
+	defer p.wg.Done()
+	defer close(out)
+
+	exits := make(chan stageExit, workers)
+	slots := make([]*workerSlot[I], workers)
+	var slotsMu sync.Mutex // guards the slots table (watchdog reads, supervisor swaps)
+
+	// emit delivers one outcome. The non-blocking attempt comes first so a
+	// straggler finishing right at the hard-cancel still hands its outcome
+	// to a live consumer instead of losing a select race against Done.
+	emit := func(v O) bool {
+		select {
+		case out <- v:
+			m.depthIn.Set(int64(len(in)))
+			return true
+		default:
+		}
+		select {
+		case out <- v:
+			m.depthIn.Set(int64(len(in)))
+			return true
+		case <-p.workCtx.Done():
+			return false
+		}
+	}
+	spawn := func(slot *workerSlot[I], id int) {
+		go runWorker(p, in, work, fallback, m, slot, id, emit, exits)
+	}
+	for i := 0; i < workers; i++ {
+		slot := &workerSlot[I]{}
+		slots[i] = slot
+		spawn(slot, i)
+	}
+
+	// The watchdog scans worker slots for items stuck past the deadline.
+	watchdogStop := make(chan struct{})
+	var watchdogWG sync.WaitGroup
+	if p.cfg.WatchdogDeadline > 0 {
+		watchdogWG.Add(1)
+		go func() {
+			defer watchdogWG.Done()
+			poll := p.cfg.WatchdogDeadline / 4
+			if poll < time.Millisecond {
+				poll = time.Millisecond
+			}
+			ticker := time.NewTicker(poll)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-watchdogStop:
+					return
+				case <-p.workCtx.Done():
+					return
+				case <-ticker.C:
+				}
+				slotsMu.Lock()
+				scan := make([]*workerSlot[I], len(slots))
+				copy(scan, slots)
+				slotsMu.Unlock()
+				for i, slot := range scan {
+					item, ok := slot.steal(p.cfg.WatchdogDeadline)
+					if !ok {
+						continue
+					}
+					// The worker is wedged: detach it (it will discard its
+					// result on return), account the item with a degraded
+					// fallback outcome, and put a replacement in its seat.
+					m.wedged.Inc()
+					m.fallbacks.Inc()
+					emit(fallback(item, ErrWedged))
+					exits <- stageExit{slot: i, replaced: true}
+				}
+			}
+		}()
+	}
+
+	// Reap worker exits until the pool winds down. A nil-panic, non-replaced
+	// exit means the input channel is exhausted — normal completion.
+	live := workers
+	restarts := 0
+	for live > 0 {
+		ex := <-exits
+		switch {
+		case ex.panicked != nil, ex.replaced:
+			restarts++
+			m.restarts.Inc()
+			p.restarts.Inc()
+			if restarts > p.cfg.RestartBudget {
+				p.Fail(fmt.Errorf("%w: stage %s restarted %d times (budget %d), last cause: %v",
+					ErrRestartBudget, name, restarts, p.cfg.RestartBudget, exitCause(ex)))
+				live--
+				continue
+			}
+			// Fresh slot: the old one may still be owned by a detached
+			// goroutine.
+			slot := &workerSlot[I]{}
+			slotsMu.Lock()
+			slots[ex.slot] = slot
+			slotsMu.Unlock()
+			spawn(slot, ex.slot)
+		default:
+			live--
+		}
+	}
+	// Every counted worker emits before sending its terminal exit, and the
+	// watchdog emits before reporting a replacement, so once live hits zero
+	// and the watchdog has stopped nothing can touch out again. Detached
+	// (wedged) goroutines never emit; they are deliberately NOT waited on so
+	// a hard-stuck worker cannot block shutdown.
+	close(watchdogStop)
+	watchdogWG.Wait()
+}
+
+func exitCause(ex stageExit) any {
+	if ex.panicked != nil {
+		return ex.panicked
+	}
+	return ErrWedged
+}
+
+// runWorker is one supervised worker's life: pull items, process each under
+// the item deadline, emit exactly one outcome per item, and report the exit
+// to the supervisor. A worker whose outcome was stolen by the watchdog is
+// detached — it exits silently because its replacement already reported.
+func runWorker[I, O any](p *Pipeline, in <-chan I,
+	work func(ctx context.Context, item I) O, fallback func(item I, cause error) O,
+	m *stageMetrics, slot *workerSlot[I], id int,
+	emit func(O) bool, exits chan<- stageExit) {
+	for {
+		var item I
+		var ok bool
+		select {
+		case item, ok = <-in:
+		case <-p.workCtx.Done():
+			ok = false
+		}
+		if !ok {
+			exits <- stageExit{slot: id}
+			return
+		}
+		m.depthIn.Set(int64(len(in)))
+		m.items.Inc()
+
+		gen := slot.begin(item)
+		res, panicked := runGuarded(p, work, item)
+		if panicked != nil {
+			// The worker dies to the panic; the supervisor respawns it. The
+			// item still gets an outcome (unless the watchdog raced us to
+			// it).
+			if slot.finish(gen) {
+				m.panics.Inc()
+				m.fallbacks.Inc()
+				emit(fallback(item, fmt.Errorf("%w: %v", ErrPanicked, panicked)))
+			}
+			exits <- stageExit{slot: id, panicked: panicked}
+			return
+		}
+		if !slot.finish(gen) {
+			// Watchdog claimed the item and spawned a successor: this
+			// worker is detached. Exit without reporting.
+			return
+		}
+		if !emit(res) {
+			exits <- stageExit{slot: id}
+			return
+		}
+	}
+}
+
+// runGuarded runs work under the per-item deadline with panic capture.
+func runGuarded[I, O any](p *Pipeline, work func(ctx context.Context, item I) O, item I) (res O, panicked any) {
+	ctx := p.workCtx
+	if p.cfg.ItemTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.ItemTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			panicked = r
+		}
+	}()
+	return work(ctx, item), nil
+}

@@ -1,0 +1,337 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"madave/internal/telemetry"
+)
+
+// collect drains out into a sorted slice, signaling done when out closes.
+func collect(out <-chan int, done chan<- []int) {
+	var got []int
+	for v := range out {
+		got = append(got, v)
+	}
+	sort.Ints(got)
+	done <- got
+}
+
+// feed pushes 1..n into in and closes it.
+func feed(in chan<- int, n int) {
+	for i := 1; i <= n; i++ {
+		in <- i
+	}
+	close(in)
+}
+
+func TestStageMapsEveryItemExactlyOnce(t *testing.T) {
+	tel := telemetry.New(1)
+	p := NewPipeline(context.Background(), Config{Queue: 4, Tel: tel})
+	in := Chan[int](p)
+	out := Chan[int](p)
+	RunStage(p, "double", 3, in, out,
+		func(ctx context.Context, v int) int { return 2 * v },
+		func(v int, cause error) int { return -v })
+	done := make(chan []int, 1)
+	go collect(out, done)
+	go feed(in, 50)
+	got := <-done
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if len(got) != 50 {
+		t.Fatalf("got %d outcomes, want 50", len(got))
+	}
+	for i, v := range got {
+		if v != 2*(i+1) {
+			t.Fatalf("outcome[%d] = %d, want %d", i, v, 2*(i+1))
+		}
+	}
+	if n := tel.Counter("stream_items_total", telemetry.L("stage", "double")).Value(); n != 50 {
+		t.Fatalf("stream_items_total = %d, want 50", n)
+	}
+}
+
+func TestStageChainingUnderTightBackpressure(t *testing.T) {
+	// Queue 1 forces every stage boundary to exercise blocking handoff; all
+	// items must still arrive exactly once through a two-stage chain.
+	p := NewPipeline(context.Background(), Config{Queue: 1})
+	in := Chan[int](p)
+	mid := Chan[int](p)
+	out := Chan[int](p)
+	if cap(in) != 1 {
+		t.Fatalf("Chan cap = %d, want 1", cap(in))
+	}
+	RunStage(p, "a", 2, in, mid,
+		func(ctx context.Context, v int) int { return v + 100 },
+		func(v int, cause error) int { return -v })
+	RunStage(p, "b", 2, mid, out,
+		func(ctx context.Context, v int) int { return v + 1000 },
+		func(v int, cause error) int { return -v })
+	done := make(chan []int, 1)
+	go collect(out, done)
+	go feed(in, 40)
+	got := <-done
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if len(got) != 40 || got[0] != 1101 || got[39] != 1140 {
+		t.Fatalf("chained outcomes = %v", got)
+	}
+}
+
+func TestPanickedWorkerIsRestartedAndItemGetsFallback(t *testing.T) {
+	tel := telemetry.New(1)
+	p := NewPipeline(context.Background(), Config{Queue: 4, RestartBudget: 10, Tel: tel})
+	in := Chan[int](p)
+	out := Chan[int](p)
+	RunStage(p, "flaky", 2, in, out,
+		func(ctx context.Context, v int) int {
+			if v%10 == 0 {
+				panic("boom")
+			}
+			return v
+		},
+		func(v int, cause error) int {
+			if !errors.Is(cause, ErrPanicked) {
+				return -1000000
+			}
+			return -v
+		})
+	done := make(chan []int, 1)
+	go collect(out, done)
+	go feed(in, 30)
+	got := <-done
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if len(got) != 30 {
+		t.Fatalf("got %d outcomes, want 30 (accounting must not drop panicked items)", len(got))
+	}
+	// Items 10, 20, 30 surface as fallbacks -10, -20, -30.
+	if got[0] != -30 || got[1] != -20 || got[2] != -10 {
+		t.Fatalf("fallback outcomes = %v", got[:3])
+	}
+	l := telemetry.L("stage", "flaky")
+	if n := tel.Counter("stream_worker_panics_total", l).Value(); n != 3 {
+		t.Fatalf("panics = %d, want 3", n)
+	}
+	if n := tel.Counter("stream_worker_restarts_total", l).Value(); n != 3 {
+		t.Fatalf("restarts = %d, want 3", n)
+	}
+	if n := tel.Counter("stream_fallback_outcomes_total", l).Value(); n != 3 {
+		t.Fatalf("fallbacks = %d, want 3", n)
+	}
+}
+
+func TestRestartBudgetExhaustionFailsPipeline(t *testing.T) {
+	p := NewPipeline(context.Background(), Config{Queue: 2, RestartBudget: 3})
+	in := Chan[int](p)
+	out := Chan[int](p)
+	RunStage(p, "doomed", 1, in, out,
+		func(ctx context.Context, v int) int { panic("always") },
+		func(v int, cause error) int { return -v })
+	done := make(chan []int, 1)
+	go collect(out, done)
+	go func() {
+		for i := 1; i <= 100; i++ {
+			select {
+			case in <- i:
+			case <-p.WorkContext().Done():
+				close(in)
+				return
+			}
+		}
+		close(in)
+	}()
+	<-done
+	err := p.Wait()
+	if !errors.Is(err, ErrRestartBudget) {
+		t.Fatalf("Wait = %v, want ErrRestartBudget", err)
+	}
+}
+
+func TestWatchdogReplacesWedgedWorker(t *testing.T) {
+	tel := telemetry.New(1)
+	block := make(chan struct{})
+	defer close(block) // release the detached goroutine
+	p := NewPipeline(context.Background(), Config{
+		Queue: 4, WatchdogDeadline: 20 * time.Millisecond, RestartBudget: 4, Tel: tel,
+	})
+	in := Chan[int](p)
+	out := Chan[int](p)
+	RunStage(p, "sticky", 2, in, out,
+		func(ctx context.Context, v int) int {
+			if v == 7 {
+				<-block // wedge: ignores ctx entirely
+			}
+			return v
+		},
+		func(v int, cause error) int {
+			if !errors.Is(cause, ErrWedged) {
+				return -1000000
+			}
+			return -v
+		})
+	done := make(chan []int, 1)
+	go collect(out, done)
+	go feed(in, 20)
+	got := <-done
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if len(got) != 20 {
+		t.Fatalf("got %d outcomes, want 20 (wedged item must get a fallback)", len(got))
+	}
+	if got[0] != -7 {
+		t.Fatalf("min outcome = %d, want -7 (fallback for the wedged item)", got[0])
+	}
+	l := telemetry.L("stage", "sticky")
+	if n := tel.Counter("stream_worker_wedged_total", l).Value(); n != 1 {
+		t.Fatalf("wedged = %d, want 1", n)
+	}
+	if n := tel.Counter("stream_worker_restarts_total", l).Value(); n != 1 {
+		t.Fatalf("restarts = %d, want 1", n)
+	}
+}
+
+func TestItemTimeoutBoundsWork(t *testing.T) {
+	p := NewPipeline(context.Background(), Config{Queue: 2, ItemTimeout: 15 * time.Millisecond})
+	in := Chan[int](p)
+	out := Chan[int](p)
+	RunStage(p, "slow", 1, in, out,
+		func(ctx context.Context, v int) int {
+			if v == 2 {
+				<-ctx.Done() // honors its deadline and degrades
+				return -v
+			}
+			return v
+		},
+		func(v int, cause error) int { return -1000000 })
+	done := make(chan []int, 1)
+	go collect(out, done)
+	go feed(in, 3)
+	got := <-done
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	want := []int{-2, 1, 3}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("outcomes = %v, want %v", got, want)
+	}
+}
+
+func TestGracefulDrainFinishesInFlightItems(t *testing.T) {
+	tel := telemetry.New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPipeline(ctx, Config{Queue: 4, DrainTimeout: 5 * time.Second, Tel: tel})
+	in := Chan[int](p)
+	out := Chan[int](p)
+	started := make(chan struct{}, 64)
+	RunStage(p, "work", 2, in, out,
+		func(ctx context.Context, v int) int {
+			started <- struct{}{}
+			time.Sleep(2 * time.Millisecond) // in flight while drain triggers
+			return v
+		},
+		func(v int, cause error) int { return -v })
+	done := make(chan []int, 1)
+	go collect(out, done)
+
+	var mu sync.Mutex
+	var offered int
+	go func() {
+		defer close(in)
+		for i := 1; ; i++ {
+			select {
+			case <-p.Draining():
+				return
+			case in <- i:
+				mu.Lock()
+				offered++
+				mu.Unlock()
+			}
+		}
+	}()
+	// Let a few items start, then request shutdown.
+	<-started
+	<-started
+	cancel()
+	got := <-done
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	mu.Lock()
+	n := offered
+	mu.Unlock()
+	if len(got) != n {
+		t.Fatalf("drained %d outcomes for %d offered items: graceful drain must finish in-flight work", len(got), n)
+	}
+	for _, v := range got {
+		if v < 0 {
+			t.Fatalf("graceful drain produced degraded outcome %d", v)
+		}
+	}
+	if d := tel.Counter("stream_drain_deadline_total").Value(); d != 0 {
+		t.Fatalf("drain deadline fired %d times during a graceful drain", d)
+	}
+}
+
+func TestDrainDeadlineCutsOffStragglers(t *testing.T) {
+	tel := telemetry.New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPipeline(ctx, Config{Queue: 2, DrainTimeout: 20 * time.Millisecond, Tel: tel})
+	in := Chan[int](p)
+	out := Chan[int](p)
+	entered := make(chan struct{})
+	RunStage(p, "straggler", 1, in, out,
+		func(ctx context.Context, v int) int {
+			close(entered)
+			<-ctx.Done() // only yields at the hard cancel
+			return -v
+		},
+		func(v int, cause error) int { return -1000000 })
+	done := make(chan []int, 1)
+	go collect(out, done)
+	in <- 1
+	close(in)
+	<-entered
+	cancel() // drain starts; the item never finishes gracefully
+	got := <-done
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if len(got) != 1 || got[0] != -1 {
+		t.Fatalf("outcomes = %v, want [-1] (degraded at hard cancel)", got)
+	}
+	if d := tel.Counter("stream_drain_deadline_total").Value(); d != 1 {
+		t.Fatalf("stream_drain_deadline_total = %d, want 1", d)
+	}
+}
+
+func TestFailCancelsWork(t *testing.T) {
+	p := NewPipeline(context.Background(), Config{Queue: 2})
+	in := Chan[int](p)
+	out := Chan[int](p)
+	RunStage(p, "held", 1, in, out,
+		func(ctx context.Context, v int) int {
+			<-ctx.Done()
+			return -v
+		},
+		func(v int, cause error) int { return -1000000 })
+	done := make(chan []int, 1)
+	go collect(out, done)
+	in <- 1
+	close(in)
+	boom := errors.New("operator abort")
+	p.Fail(boom)
+	<-done
+	if err := p.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want the injected failure", err)
+	}
+}

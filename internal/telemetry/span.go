@@ -29,9 +29,16 @@ const (
 	StageEasyList    = "easylist.match"
 	StageHoneyclient = "honeyclient.analyze"
 	StageOracle      = "oracle.classify"
+	// Streaming-service stages (internal/stream): one commit span per
+	// journaled record batch, and one drain span bracketing the graceful
+	// wind-down after a shutdown request.
+	StageStreamCommit = "stream.commit"
+	StageStreamDrain  = "stream.drain"
 )
 
-// Stages lists every pipeline stage in pipeline order.
+// Stages lists every batch-pipeline stage in pipeline order (the stages a
+// plain crawl→oracle run records; the stream.* stages appear only when the
+// streaming service runs and are reported separately).
 func Stages() []string {
 	return []string{
 		StageCrawlVisit, StageBrowserLoad, StageResilient, StageMemnet,

@@ -1,6 +1,10 @@
 package madave
 
-import "testing"
+import (
+	"testing"
+
+	"madave/internal/fuzzutil/leakcheck"
+)
 
 // TestSoakFidelityAtScale runs a larger study (about a tenth of the full
 // paper-style crawl set, five refreshes) and requires every paper-shape
@@ -10,6 +14,7 @@ func TestSoakFidelityAtScale(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
+	snap := leakcheck.Before()
 	cfg := DefaultConfig()
 	cfg.Seed = 3030
 	cfg.CrawlSites = 2500
@@ -36,4 +41,5 @@ func TestSoakFidelityAtScale(t *testing.T) {
 	if v.Precision() < 0.98 || v.Recall() < 0.95 {
 		t.Fatalf("oracle quality at scale: %s", v)
 	}
+	snap.Check(t)
 }

@@ -1,0 +1,160 @@
+package madave
+
+// The streaming soaks are the acceptance gate for the crash-safe service:
+// a chaotic streaming run repeatedly killed mid-stream and recovered from
+// its file journal must land on byte-identical statistics, wind down every
+// goroutine, and keep memory flat while shedding under overload.
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"runtime"
+	"testing"
+	"time"
+
+	"madave/internal/fuzzutil/leakcheck"
+	"madave/internal/journal"
+	"madave/internal/stream"
+)
+
+// streamSoakService builds a fresh study + streaming service over the given
+// backend — a new service per leg models a process restart.
+func streamSoakService(t *testing.T, seed uint64, b journal.Backend, mut func(*stream.ServiceConfig)) *stream.Service {
+	t.Helper()
+	study, err := NewStudy(chaosStudyConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stream.ServiceConfig{Journal: b, CheckpointEvery: 16}
+	if mut != nil {
+		mut(&cfg)
+	}
+	svc, err := stream.NewService(study, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// TestStreamKillRecoverSoak is the headline invariant under the chaos
+// profile and the file journal: a streaming run killed (drained) at several
+// staggered points, each time resumed by a brand-new service over the same
+// journal file — with checkpoint compaction active throughout — produces the
+// byte-identical summary of an uninterrupted same-seed run, and every leg
+// winds its goroutines down.
+func TestStreamKillRecoverSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream soak skipped in -short mode")
+	}
+	snap := leakcheck.Before()
+	const seed = 4040
+
+	baseline, err := streamSoakService(t, seed, journal.NewMem(), nil).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if baseline.Summary.Visits == 0 || baseline.Summary.AdFrames == 0 {
+		t.Fatalf("degenerate baseline: %+v", baseline.Summary)
+	}
+
+	path := filepath.Join(t.TempDir(), "study.wal")
+	// Kill points stagger across the run; later legs get longer before the
+	// axe so the soak always makes forward progress.
+	kills := []time.Duration{
+		10 * time.Millisecond, 25 * time.Millisecond, 40 * time.Millisecond,
+		80 * time.Millisecond, 160 * time.Millisecond, 320 * time.Millisecond,
+		640 * time.Millisecond, 1280 * time.Millisecond,
+	}
+	var final *stream.RunResult
+	recoveredLegs := 0
+	for leg := 0; final == nil; leg++ {
+		fb, err := journal.OpenFile(path)
+		if err != nil {
+			t.Fatalf("leg %d: reopen journal: %v", leg, err)
+		}
+		svc := streamSoakService(t, seed, fb, nil)
+		if svc.Recovered() > 0 {
+			recoveredLegs++
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		if leg < len(kills) {
+			timer := time.AfterFunc(kills[leg], cancel)
+			defer timer.Stop()
+		}
+		res, err := svc.Run(ctx)
+		cancel()
+		if cerr := fb.Close(); cerr != nil {
+			t.Fatalf("leg %d: close journal: %v", leg, cerr)
+		}
+		if err != nil {
+			t.Fatalf("leg %d: %v", leg, err)
+		}
+		if res.Summary.Visits > baseline.Summary.Visits {
+			t.Fatalf("leg %d overshot: %d visits, baseline %d", leg, res.Summary.Visits, baseline.Summary.Visits)
+		}
+		if res.Summary.Visits == baseline.Summary.Visits {
+			final = res
+		}
+	}
+	if recoveredLegs == 0 {
+		t.Fatal("no leg recovered journaled progress; the kill schedule never interrupted the run")
+	}
+	if !bytes.Equal(final.Summary.JSON(), baseline.Summary.JSON()) {
+		t.Fatalf("killed-and-recovered summary differs from uninterrupted baseline:\n%s\n%s",
+			final.Summary.JSON(), baseline.Summary.JSON())
+	}
+	snap.Check(t)
+}
+
+// TestStreamOverloadShed drives serve mode into sustained overload: a tiny
+// admission buffer and queues against a Zipf impression stream. Every shed
+// must be counted (conservation: offered = delivered + shed), everything
+// delivered must commit, and the heap must stay flat — streaming aggregation
+// means memory scales with distinct ads, not with impressions processed.
+func TestStreamOverloadShed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stream soak skipped in -short mode")
+	}
+	snap := leakcheck.Before()
+
+	var before runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	svc := streamSoakService(t, 5050, journal.NewMem(), func(c *stream.ServiceConfig) {
+		c.Serve = true
+		c.MaxImpressions = 1200
+		c.ShedCapacity = 4
+		c.CrawlWorkers = 2
+		c.AnalyzeWorkers = 2
+		c.Stream.Queue = 4
+	})
+	res, err := svc.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := res.Ops.Shed
+	if st.Offered != 1200 {
+		t.Fatalf("offered = %d, want 1200", st.Offered)
+	}
+	if st.Shed == 0 {
+		t.Fatal("sustained overload shed nothing; admission control is not engaging")
+	}
+	if st.Shed+st.Delivered != st.Offered || st.Buffered != 0 {
+		t.Fatalf("shed accounting does not conserve: %+v", st)
+	}
+	if res.Ops.Committed != st.Delivered {
+		t.Fatalf("committed %d != delivered %d: admitted impressions must never vanish silently",
+			res.Ops.Committed, st.Delivered)
+	}
+
+	var after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	if growth := int64(after.HeapAlloc) - int64(before.HeapAlloc); growth > 48<<20 {
+		t.Fatalf("heap grew %d bytes over the soak; streaming aggregation should keep it flat", growth)
+	}
+	snap.Check(t)
+}
