@@ -14,7 +14,12 @@
 //	adcrawl -o corpus.jsonl [-seed N] [-sites N] [-days N] [-refreshes N]
 //	        [-chaos RATE] [-cache] [-metrics-out metrics.prom]
 //	        [-serve] [-checkpoint journal.wal] [-drain-timeout 30s]
+//	        [-ops-addr ADDR] [-events-out events.jsonl]
 //	        [-spans-out trace.json] [-pprof ADDR]
+//
+// -ops-addr starts the live operations plane (internal/opsd) on one embedded
+// admin server; it is observe-only, so a run with it on is byte-identical to
+// one with it off.
 package main
 
 import (
@@ -31,6 +36,7 @@ import (
 	"madave"
 	"madave/internal/journal"
 	"madave/internal/memnet"
+	"madave/internal/opsd"
 	"madave/internal/stream"
 	"madave/internal/telemetry"
 )
@@ -53,6 +59,9 @@ func main() {
 		serveMode    = flag.Bool("serve", false, "streaming service mode: Zipf-sampled impressions through the priority shedder instead of the finite schedule")
 		checkpoint   = flag.String("checkpoint", "", "journal file for crash-safe streaming (implies streaming mode); resuming from it skips already-committed visits")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, how long the streaming drain waits for in-flight visits before hard-cancelling")
+
+		opsAddr   = flag.String("ops-addr", "", "serve the live operations plane (metrics, health, statusz, alerts, events, pprof) on this address (e.g. 127.0.0.1:9090)")
+		eventsOut = flag.String("events-out", "", "also append structured JSONL events to this file as they happen")
 
 		metricsOut = flag.String("metrics-out", "", "write end-of-run metrics to this file (.prom = Prometheus text, else JSON)")
 		spansOut   = flag.String("spans-out", "", "record pipeline spans and write them to this file (.jsonl = JSON lines, else Chrome trace_event)")
@@ -82,7 +91,31 @@ func main() {
 	if *spansOut != "" {
 		tel.EnableTracing()
 	}
+	tel.Events = telemetry.NewEventLog(0)
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tel.Events.SetSink(f)
+		defer func() {
+			tel.Events.Flush() //nolint:errcheck // best-effort final flush
+			f.Close()
+		}()
+	}
 	cfg.Telemetry = tel
+
+	var ops *opsd.Server
+	if *opsAddr != "" {
+		var err error
+		ops, err = opsd.Start(opsd.Config{Addr: *opsAddr, Tel: tel})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ops.Close()
+		fmt.Printf("ops plane: serving on http://%s/ (/metrics /healthz /readyz /statusz /alerts /events /debug/pprof/)\n", ops.Addr())
+	}
+
 	if *pprofAddr != "" {
 		addr, stopPprof, err := telemetry.StartPprof(*pprofAddr)
 		if err != nil {
@@ -98,7 +131,7 @@ func main() {
 	}
 
 	if *serveMode || *checkpoint != "" {
-		if err := runStream(ctx, study, tel, *serveMode, *checkpoint, *drainTimeout); err != nil {
+		if err := runStream(ctx, study, tel, ops, *serveMode, *checkpoint, *drainTimeout); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -163,7 +196,7 @@ func main() {
 // deterministic summary. Per-visit records commit to the journal (no corpus
 // file in this mode); a killed run resumed from the same -checkpoint file
 // finishes with byte-identical statistics.
-func runStream(ctx context.Context, study *madave.Study, tel *telemetry.Set,
+func runStream(ctx context.Context, study *madave.Study, tel *telemetry.Set, ops *opsd.Server,
 	serveMode bool, checkpointPath string, drainTimeout time.Duration) error {
 	var backend journal.Backend
 	if checkpointPath != "" {
@@ -184,6 +217,9 @@ func runStream(ctx context.Context, study *madave.Study, tel *telemetry.Set,
 	})
 	if err != nil {
 		return err
+	}
+	if ops != nil {
+		ops.AttachService(svc)
 	}
 	if rec := svc.Recovered(); rec > 0 {
 		fmt.Printf("recovered %d committed visits from %s — they will not re-execute\n", rec, checkpointPath)

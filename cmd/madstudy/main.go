@@ -14,8 +14,14 @@
 //	madstudy [-seed N] [-sites N] [-days N] [-refreshes N] [-workers N]
 //	         [-chaos RATE] [-cache] [-defenses] [-corpus out.jsonl] [-csv dir]
 //	         [-serve] [-checkpoint journal.wal] [-drain-timeout 30s]
+//	         [-serve-rate N] [-ops-addr ADDR] [-events-out events.jsonl]
 //	         [-metrics-out metrics.prom] [-spans-out trace.json]
 //	         [-pprof ADDR] [-cpuprofile cpu.pb.gz] [-memprofile heap.pb.gz]
+//
+// -ops-addr starts the live operations plane (internal/opsd): /metrics,
+// /healthz, /readyz, /statusz, /alerts, /events, and /debug/pprof/ on one
+// embedded admin server. The ops plane is observe-only: a run with it on is
+// byte-identical to one with it off.
 package main
 
 import (
@@ -35,6 +41,7 @@ import (
 	"madave/internal/journal"
 	"madave/internal/memnet"
 	"madave/internal/netcap"
+	"madave/internal/opsd"
 	"madave/internal/stream"
 	"madave/internal/telemetry"
 )
@@ -67,6 +74,10 @@ func main() {
 		checkpoint   = flag.String("checkpoint", "", "journal file for crash-safe streaming (implies streaming mode); a killed run resumed from the same file yields byte-identical final statistics")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "on SIGINT/SIGTERM, how long the streaming drain waits for in-flight visits before hard-cancelling")
 		impressions  = flag.Int("impressions", 0, "serve mode: impressions to admit before draining (0 = default)")
+		serveRate    = flag.Float64("serve-rate", 0, "serve mode: pace the impression source to roughly this many offers per second (0 = unpaced)")
+
+		opsAddr   = flag.String("ops-addr", "", "serve the live operations plane (metrics, health, statusz, alerts, events, pprof) on this address (e.g. 127.0.0.1:9090)")
+		eventsOut = flag.String("events-out", "", "also append structured JSONL events to this file as they happen")
 
 		metricsOut = flag.String("metrics-out", "", "write end-of-run metrics to this file (.prom = Prometheus text, else JSON)")
 		spansOut   = flag.String("spans-out", "", "record pipeline spans and write them to this file (.jsonl = JSON lines, else Chrome trace_event for chrome://tracing / Perfetto)")
@@ -108,7 +119,30 @@ func main() {
 	if *spansOut != "" {
 		tel.EnableTracing()
 	}
+	tel.Events = telemetry.NewEventLog(0)
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tel.Events.SetSink(f)
+		defer func() {
+			tel.Events.Flush() //nolint:errcheck // best-effort final flush
+			f.Close()
+		}()
+	}
 	cfg.Telemetry = tel
+
+	var ops *opsd.Server
+	if *opsAddr != "" {
+		var err error
+		ops, err = opsd.Start(opsd.Config{Addr: *opsAddr, Tel: tel})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ops.Close()
+		fmt.Printf("ops plane: serving on http://%s/ (/metrics /healthz /readyz /statusz /alerts /events /debug/pprof/)\n", ops.Addr())
+	}
 
 	if *pprofAddr != "" {
 		addr, stopPprof, err := telemetry.StartPprof(*pprofAddr)
@@ -140,7 +174,7 @@ func main() {
 		time.Since(start).Round(time.Millisecond))
 
 	if *serve || *checkpoint != "" {
-		if err := runStream(ctx, study, tel, *serve, *checkpoint, *drainTimeout, *impressions); err != nil {
+		if err := runStream(ctx, study, tel, ops, *serve, *checkpoint, *drainTimeout, *impressions, *serveRate); err != nil {
 			log.Fatal(err)
 		}
 		flushTelemetry(study, tel, *metricsOut, *spansOut)
@@ -308,8 +342,8 @@ func main() {
 // file makes commits survive process death, -serve switches from the finite
 // schedule to a shedding impression stream, and the signal context drains the
 // pipeline gracefully.
-func runStream(ctx context.Context, study *madave.Study, tel *telemetry.Set,
-	serve bool, checkpointPath string, drainTimeout time.Duration, impressions int) error {
+func runStream(ctx context.Context, study *madave.Study, tel *telemetry.Set, ops *opsd.Server,
+	serve bool, checkpointPath string, drainTimeout time.Duration, impressions int, serveRate float64) error {
 	var backend journal.Backend
 	if checkpointPath != "" {
 		fb, err := journal.OpenFile(checkpointPath)
@@ -327,9 +361,13 @@ func runStream(ctx context.Context, study *madave.Study, tel *telemetry.Set,
 		Journal:        backend,
 		Serve:          serve,
 		MaxImpressions: impressions,
+		ServeRate:      serveRate,
 	})
 	if err != nil {
 		return err
+	}
+	if ops != nil {
+		ops.AttachService(svc)
 	}
 	if rec := svc.Recovered(); rec > 0 {
 		fmt.Printf("recovered %d committed visits from %s — they will not re-execute\n", rec, checkpointPath)

@@ -1,0 +1,217 @@
+// Alert evaluation for the ops plane: declarative burn-rate rules evaluated
+// over successive metric snapshots. Rules never read wall-clock time beyond
+// the timestamps the collector hands them and never feed back into the
+// pipeline — an alert firing changes HTTP responses (/alerts, /healthz), not
+// control flow.
+package opsd
+
+import (
+	"time"
+
+	"madave/internal/telemetry"
+)
+
+// RuleKind selects how a rule interprets the metric deltas between two
+// consecutive samples.
+type RuleKind string
+
+const (
+	// KindRatio fires when delta(Metric)/delta(Denom) over the interval is
+	// at least Threshold. A zero denominator delta (no traffic) never
+	// breaches.
+	KindRatio RuleKind = "ratio"
+	// KindNoProgress fires when Metric made no progress across the interval
+	// while the service was busy (the collector's stream_busy gauge is
+	// non-zero) — the commit-stall shape.
+	KindNoProgress RuleKind = "no_progress"
+	// KindDeltaAbove fires when delta(Metric) over the interval exceeds
+	// Threshold — the restart-budget-burn and error-spike shape.
+	KindDeltaAbove RuleKind = "delta_above"
+)
+
+// busyMetric is the derived gauge the collector sets: non-zero while the
+// stream has queued or in-flight work. KindNoProgress rules consult it so an
+// idle-but-healthy service (empty queues, waiting on its source) is not
+// mistaken for a stalled one.
+const busyMetric = "stream_busy"
+
+// Rule is one declarative burn-rate alert.
+type Rule struct {
+	// Name identifies the rule in /alerts, events, and health reasons.
+	Name string `json:"name"`
+	// Desc is the human explanation rendered on /statusz and /alerts.
+	Desc string   `json:"desc,omitempty"`
+	Kind RuleKind `json:"kind"`
+	// Metric is the numerator (KindRatio) or the progress/burn metric.
+	// Values are summed across label sets, so labeled counter families
+	// (stream_commit_errors_total{cause=…}) evaluate as their total.
+	Metric string `json:"metric"`
+	// Denom is the denominator metric for KindRatio.
+	Denom string `json:"denom,omitempty"`
+	// Threshold is the ratio (KindRatio) or per-interval delta
+	// (KindDeltaAbove) that counts as a breach.
+	Threshold float64 `json:"threshold"`
+	// ForCount is how many consecutive breaching intervals are needed before
+	// the alert fires (minimum 1). Breach streaks reset on any clean
+	// interval, so transient blips don't page.
+	ForCount int `json:"for_count,omitempty"`
+	// Critical alerts degrade /healthz to 503 while firing.
+	Critical bool `json:"critical,omitempty"`
+}
+
+// DefaultRules returns the stock alert set for the streaming study service:
+//
+//   - shed-burn: ≥10% of offered impressions shed over an interval — the
+//     service is in sustained overload, not an isolated burst.
+//   - commit-stall: the commit sequence made no progress for 3 consecutive
+//     intervals while work was queued or in flight. Critical: a stalled
+//     journal writer means nothing is durable.
+//   - restart-burn: more than 2 supervised worker restarts in one interval —
+//     the restart budget is burning toward exhaustion.
+//   - error-spike: any journal commit error. Commit errors fail the run, so
+//     even one is alert-worthy.
+func DefaultRules() []Rule {
+	return []Rule{
+		{
+			Name: "shed-burn", Kind: KindRatio,
+			Desc:   "sustained overload: >=10% of offered impressions shed",
+			Metric: "stream_shed_total", Denom: "stream_offered_total",
+			Threshold: 0.10, ForCount: 1,
+		},
+		{
+			Name: "commit-stall", Kind: KindNoProgress,
+			Desc:   "commit sequence stalled while work is pending",
+			Metric: "stream_commit_seq", ForCount: 3, Critical: true,
+		},
+		{
+			Name: "restart-burn", Kind: KindDeltaAbove,
+			Desc:   "worker restarts burning the budget",
+			Metric: "stream_restarts_total", Threshold: 2, ForCount: 1,
+		},
+		{
+			Name: "error-spike", Kind: KindDeltaAbove,
+			Desc:   "journal commit errors observed",
+			Metric: "stream_commit_errors_total", Threshold: 0, ForCount: 1,
+		},
+	}
+}
+
+// AlertState is one rule's current evaluation state.
+type AlertState struct {
+	Rule   Rule `json:"rule"`
+	Firing bool `json:"firing"`
+	// Streak counts consecutive breaching intervals (resets on a clean one).
+	Streak int `json:"streak,omitempty"`
+	// Value is the last evaluated ratio/delta.
+	Value float64 `json:"value"`
+	// FiredAt/ResolvedAt are wall-clock nanoseconds of the last transitions
+	// (0 = never).
+	FiredAt    int64 `json:"fired_at_ns,omitempty"`
+	ResolvedAt int64 `json:"resolved_at_ns,omitempty"`
+	// Fires counts lifetime fire transitions.
+	Fires int64 `json:"fires,omitempty"`
+}
+
+// Evaluator evaluates a rule set over successive metric samples. It is not
+// itself goroutine-safe; the collector owns it and serializes Eval calls.
+// States() copies, so HTTP handlers may read concurrently with Eval only via
+// the Server's lock.
+type Evaluator struct {
+	rules  []Rule
+	states []AlertState
+	prev   map[string]float64
+	warmed bool
+	tel    *telemetry.Set
+}
+
+// NewEvaluator builds an evaluator over rules (nil = DefaultRules). Fire and
+// resolve transitions are mirrored into tel's event log when one is attached.
+func NewEvaluator(rules []Rule, tel *telemetry.Set) *Evaluator {
+	if rules == nil {
+		rules = DefaultRules()
+	}
+	e := &Evaluator{rules: rules, tel: tel}
+	for _, r := range rules {
+		if r.ForCount < 1 {
+			r.ForCount = 1
+		}
+		e.states = append(e.states, AlertState{Rule: r})
+	}
+	return e
+}
+
+// Eval folds one metric sample in. The first sample only warms the delta
+// baseline; evaluation starts with the second.
+func (e *Evaluator) Eval(sample map[string]float64, now time.Time) {
+	if !e.warmed {
+		e.prev = sample
+		e.warmed = true
+		return
+	}
+	for i := range e.states {
+		st := &e.states[i]
+		breach, value := e.judge(st.Rule, sample)
+		st.Value = value
+		if breach {
+			st.Streak++
+			if !st.Firing && st.Streak >= st.Rule.ForCount {
+				st.Firing = true
+				st.FiredAt = now.UnixNano()
+				st.Fires++
+				e.tel.Event(telemetry.LevelError, telemetry.EventAlertFire, "",
+					"alert firing: "+st.Rule.Name, "rule", st.Rule.Name)
+			}
+		} else {
+			st.Streak = 0
+			if st.Firing {
+				st.Firing = false
+				st.ResolvedAt = now.UnixNano()
+				e.tel.Event(telemetry.LevelInfo, telemetry.EventAlertResolve, "",
+					"alert resolved: "+st.Rule.Name, "rule", st.Rule.Name)
+			}
+		}
+	}
+	e.prev = sample
+}
+
+// judge evaluates one rule against (prev, sample).
+func (e *Evaluator) judge(r Rule, sample map[string]float64) (breach bool, value float64) {
+	delta := sample[r.Metric] - e.prev[r.Metric]
+	switch r.Kind {
+	case KindRatio:
+		dDen := sample[r.Denom] - e.prev[r.Denom]
+		if dDen <= 0 {
+			return false, 0
+		}
+		ratio := delta / dDen
+		return ratio >= r.Threshold, ratio
+	case KindNoProgress:
+		if sample[busyMetric] <= 0 {
+			return false, delta
+		}
+		return delta == 0, delta
+	case KindDeltaAbove:
+		return delta > r.Threshold, delta
+	default:
+		return false, 0
+	}
+}
+
+// States returns a copy of every rule's current state, in rule order.
+func (e *Evaluator) States() []AlertState {
+	out := make([]AlertState, len(e.states))
+	copy(out, e.states)
+	return out
+}
+
+// FiringCritical lists the names of critical rules currently firing — the
+// set that degrades /healthz.
+func (e *Evaluator) FiringCritical() []string {
+	var out []string
+	for _, st := range e.states {
+		if st.Firing && st.Rule.Critical {
+			out = append(out, st.Rule.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package opsd
+
+import (
+	"testing"
+	"time"
+
+	"madave/internal/telemetry"
+)
+
+func at(sec int64) time.Time { return time.Unix(sec, 0) }
+
+func TestEvaluatorShedBurnFireAndResolve(t *testing.T) {
+	tel := telemetry.New(1)
+	tel.Events = telemetry.NewEventLog(32)
+	e := NewEvaluator(DefaultRules(), tel)
+
+	// Warm the baseline.
+	e.Eval(map[string]float64{"stream_offered_total": 0, "stream_shed_total": 0}, at(0))
+	// 50% of offers shed this interval: fires.
+	e.Eval(map[string]float64{"stream_offered_total": 100, "stream_shed_total": 50}, at(1))
+	st := stateByName(t, e, "shed-burn")
+	if !st.Firing || st.Value < 0.49 || st.Value > 0.51 {
+		t.Fatalf("shed-burn after burst = %+v", st)
+	}
+	// Clean interval: resolves.
+	e.Eval(map[string]float64{"stream_offered_total": 200, "stream_shed_total": 50}, at(2))
+	st = stateByName(t, e, "shed-burn")
+	if st.Firing {
+		t.Fatalf("shed-burn did not resolve: %+v", st)
+	}
+	if st.Fires != 1 || st.FiredAt != at(1).UnixNano() || st.ResolvedAt != at(2).UnixNano() {
+		t.Fatalf("transition bookkeeping = %+v", st)
+	}
+
+	var fires, resolves int
+	for _, ev := range tel.Events.Snapshot(0) {
+		switch ev.Kind {
+		case telemetry.EventAlertFire:
+			fires++
+			if ev.Fields["rule"] != "shed-burn" {
+				t.Fatalf("fire event rule = %q", ev.Fields["rule"])
+			}
+		case telemetry.EventAlertResolve:
+			resolves++
+		}
+	}
+	if fires != 1 || resolves != 1 {
+		t.Fatalf("events: fires=%d resolves=%d", fires, resolves)
+	}
+}
+
+func TestEvaluatorNoTrafficNeverBreachesRatio(t *testing.T) {
+	e := NewEvaluator(DefaultRules(), nil)
+	e.Eval(map[string]float64{}, at(0))
+	for i := int64(1); i < 5; i++ {
+		e.Eval(map[string]float64{}, at(i))
+	}
+	if st := stateByName(t, e, "shed-burn"); st.Firing {
+		t.Fatalf("shed-burn fired with zero traffic: %+v", st)
+	}
+}
+
+func TestEvaluatorCommitStallNeedsBusyAndForCount(t *testing.T) {
+	e := NewEvaluator(DefaultRules(), nil)
+	sample := func(seq, busy float64) map[string]float64 {
+		return map[string]float64{"stream_commit_seq": seq, busyMetric: busy}
+	}
+	e.Eval(sample(10, 1), at(0))
+	// Stalled but idle: never fires.
+	for i := int64(1); i <= 4; i++ {
+		e.Eval(sample(10, 0), at(i))
+	}
+	if st := stateByName(t, e, "commit-stall"); st.Firing {
+		t.Fatal("commit-stall fired while idle")
+	}
+	// Stalled while busy: fires only after ForCount=3 consecutive intervals.
+	e.Eval(sample(10, 1), at(5))
+	e.Eval(sample(10, 1), at(6))
+	if st := stateByName(t, e, "commit-stall"); st.Firing {
+		t.Fatalf("fired before ForCount reached: %+v", st)
+	}
+	e.Eval(sample(10, 1), at(7))
+	st := stateByName(t, e, "commit-stall")
+	if !st.Firing {
+		t.Fatalf("commit-stall did not fire after 3 busy stalled intervals: %+v", st)
+	}
+	if fc := e.FiringCritical(); len(fc) != 1 || fc[0] != "commit-stall" {
+		t.Fatalf("FiringCritical = %v", fc)
+	}
+	// Progress resumes: resolves.
+	e.Eval(sample(11, 1), at(8))
+	if st := stateByName(t, e, "commit-stall"); st.Firing {
+		t.Fatal("commit-stall did not resolve on progress")
+	}
+	if len(e.FiringCritical()) != 0 {
+		t.Fatal("critical set not cleared")
+	}
+}
+
+func TestEvaluatorDeltaAboveAndStreakReset(t *testing.T) {
+	rules := []Rule{{
+		Name: "burn", Kind: KindDeltaAbove, Metric: "restarts",
+		Threshold: 2, ForCount: 2,
+	}}
+	e := NewEvaluator(rules, nil)
+	e.Eval(map[string]float64{"restarts": 0}, at(0))
+	e.Eval(map[string]float64{"restarts": 5}, at(1))  // breach 1
+	e.Eval(map[string]float64{"restarts": 6}, at(2))  // clean: streak resets
+	e.Eval(map[string]float64{"restarts": 10}, at(3)) // breach 1 again
+	if st := stateByName(t, e, "burn"); st.Firing {
+		t.Fatalf("fired despite streak reset: %+v", st)
+	}
+	e.Eval(map[string]float64{"restarts": 14}, at(4)) // breach 2: fires
+	if st := stateByName(t, e, "burn"); !st.Firing {
+		t.Fatalf("did not fire after 2 consecutive breaches: %+v", st)
+	}
+}
+
+func stateByName(t *testing.T, e *Evaluator, name string) AlertState {
+	t.Helper()
+	for _, st := range e.States() {
+		if st.Rule.Name == name {
+			return st
+		}
+	}
+	t.Fatalf("no alert state named %q", name)
+	return AlertState{}
+}

@@ -1,0 +1,79 @@
+package opsd
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"madave/internal/journal"
+	"madave/internal/telemetry"
+)
+
+// TestOpsObserveOnly is the ops plane's hard invariant: the same seed must
+// produce byte-identical final statistics whether the admin server, the event
+// log, the collector, and a client hammering every endpoint mid-run are all on
+// — or all off. The ops plane observes; it never steers.
+func TestOpsObserveOnly(t *testing.T) {
+	const seed = 47
+
+	// Leg A: plain run, no ops plane, no event log.
+	plain := func() string {
+		tel := telemetry.New(seed)
+		svc := newTestService(t, seed, tel, journal.NewMem(), nil)
+		res, err := svc.Run(context.Background())
+		if err != nil {
+			t.Fatalf("plain run: %v", err)
+		}
+		return string(res.Summary.JSON())
+	}()
+
+	// Leg B: event log attached, admin server up with a fast collector, and a
+	// goroutine hitting every endpoint for the whole run.
+	observed := func() string {
+		tel := telemetry.New(seed)
+		tel.Events = telemetry.NewEventLog(0)
+		s, err := Start(Config{Addr: "127.0.0.1:0", Tel: tel, Interval: 2 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+
+		svc := newTestService(t, seed, tel, journal.NewMem(), nil)
+		s.AttachService(svc)
+
+		client := &http.Client{}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			paths := []string{"/metrics", "/healthz", "/readyz", "/statusz", "/alerts", "/events?n=50"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := client.Get("http://" + s.Addr() + paths[i%len(paths)])
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+
+		res, err := svc.Run(context.Background())
+		close(stop)
+		wg.Wait()
+		client.CloseIdleConnections()
+		if err != nil {
+			t.Fatalf("observed run: %v", err)
+		}
+		return string(res.Summary.JSON())
+	}()
+
+	if plain != observed {
+		t.Fatalf("ops plane perturbed the run\nplain:    %s\nobserved: %s", plain, observed)
+	}
+}

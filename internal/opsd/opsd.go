@@ -1,0 +1,441 @@
+// Package opsd is the study service's live operations plane: an embedded
+// admin HTTP server exposing metrics, health/readiness, profiling, a live
+// status page, the structured event log, and burn-rate alerts, plus the
+// sampling collector that keeps stage watermarks and alert state fresh.
+//
+// The hard invariant is that the ops plane is observe-only. Every endpoint
+// and the collector read pipeline state through sampling accessors
+// (stream.Service.Status, telemetry.Registry.Snapshot, EventLog.Snapshot);
+// nothing here writes anything the pipeline reads back. A run with the ops
+// server on is byte-identical — in study stats and corpus — to one with it
+// off, and the repository's determinism tests assert exactly that.
+package opsd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"madave/internal/resilient"
+	"madave/internal/stream"
+	"madave/internal/telemetry"
+)
+
+// DefaultInterval is the collector's sample cadence when none is configured.
+const DefaultInterval = time.Second
+
+// Config parameterizes the ops server.
+type Config struct {
+	// Addr is the listen address ("127.0.0.1:0" picks a free port).
+	Addr string
+	// Tel is the run's telemetry set (required). Its registry backs
+	// /metrics, its event log (when attached) backs /events.
+	Tel *telemetry.Set
+	// Interval is the collector cadence (0 = DefaultInterval; negative
+	// disables the background collector — tests drive sampling manually via
+	// Tick).
+	Interval time.Duration
+	// Now is the clock the collector stamps samples with (nil = time.Now).
+	// Injectable so deterministic-clock tests can drive evaluation without
+	// sleeping.
+	Now func() time.Time
+	// Rules overrides the alert rule set (nil = DefaultRules).
+	Rules []Rule
+	// Breakers, when non-nil, is sampled for the /statusz circuit table.
+	Breakers func() []resilient.BreakerState
+}
+
+// Server is a running ops plane.
+type Server struct {
+	cfg  Config
+	now  func() time.Time
+	ln   net.Listener
+	srv  *http.Server
+	mux  *http.ServeMux
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	// mu guards svc, eval, and lastSample — everything shared between the
+	// collector and the handlers.
+	mu   sync.Mutex
+	svc  *stream.Service
+	eval *Evaluator
+
+	busy   *telemetry.Gauge
+	oldest *telemetry.Gauge
+
+	started time.Time
+}
+
+// Start builds the endpoint mux, binds cfg.Addr, and launches the HTTP
+// server plus (unless disabled) the sampling collector. Close shuts both
+// down.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Tel == nil {
+		return nil, fmt.Errorf("opsd: Config.Tel is required")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = DefaultInterval
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	s := &Server{
+		cfg:     cfg,
+		now:     now,
+		mux:     http.NewServeMux(),
+		stop:    make(chan struct{}),
+		eval:    NewEvaluator(cfg.Rules, cfg.Tel),
+		busy:    cfg.Tel.Gauge(busyMetric),
+		oldest:  cfg.Tel.Gauge("stream_oldest_inflight_ns"),
+		started: now(),
+	}
+	s.routes()
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("opsd: listen %s: %w", cfg.Addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	}()
+	if cfg.Interval > 0 {
+		s.wg.Add(1)
+		go s.collect()
+	}
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// AttachService points the ops plane at a stream service. Before a service
+// is attached /readyz reports 503; health and status endpoints degrade
+// gracefully either way. May be called again across kill-and-recover cycles.
+func (s *Server) AttachService(svc *stream.Service) {
+	s.mu.Lock()
+	s.svc = svc
+	s.mu.Unlock()
+}
+
+// Close stops the collector and the HTTP server and waits for both.
+func (s *Server) Close() error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	err := s.srv.Close()
+	s.wg.Wait()
+	return err
+}
+
+// collect is the background sampling loop.
+func (s *Server) collect() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.Tick()
+		}
+	}
+}
+
+// Tick takes one collector sample: derive the busy/oldest-in-flight gauges
+// from the service's sampled status, then feed the flattened registry to the
+// alert evaluator. Exported so deterministic-clock tests can drive sampling
+// without a ticker.
+func (s *Server) Tick() {
+	now := s.now()
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	if svc != nil {
+		st := svc.Status(now)
+		var pending, oldestNS int64
+		for _, sg := range st.Stages {
+			pending += sg.Queue + sg.Inflight
+			if sg.OldestInflightNS > oldestNS {
+				oldestNS = sg.OldestInflightNS
+			}
+		}
+		if st.Shed != nil {
+			pending += st.Shed.Buffered
+		}
+		busy := int64(0)
+		if st.Phase == stream.PhaseRunning && pending > 0 {
+			busy = 1
+		}
+		s.busy.Set(busy)
+		s.oldest.Set(oldestNS)
+	} else {
+		s.busy.Set(0)
+		s.oldest.Set(0)
+	}
+	sample := flatten(s.cfg.Tel.Registry)
+	s.mu.Lock()
+	s.eval.Eval(sample, now)
+	s.mu.Unlock()
+}
+
+// flatten sums every counter and gauge by family name, collapsing label
+// sets: the rule language talks about metric families, not series.
+func flatten(r *telemetry.Registry) map[string]float64 {
+	out := make(map[string]float64)
+	for _, p := range r.Snapshot() {
+		switch p.Kind {
+		case string(telemetry.KindCounter), string(telemetry.KindGauge):
+			out[p.Name] += float64(p.Value)
+		}
+	}
+	return out
+}
+
+// routes mounts every endpoint.
+func (s *Server) routes() {
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/statusz", s.handleStatusz)
+	s.mux.HandleFunc("/alerts", s.handleAlerts)
+	s.mux.HandleFunc("/events", s.handleEvents)
+	telemetry.RegisterPprof(s.mux)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Tel.Registry.WritePrometheus(w) //nolint:errcheck // client went away
+}
+
+// handleHealthz reports liveness: 503 once the service has failed (restart
+// budget exhausted, journal unable to persist) or while a critical alert is
+// firing; 200 otherwise — including before a service is attached, since a
+// process that is still wiring up is alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	svc := s.svc
+	critical := s.eval.FiringCritical()
+	s.mu.Unlock()
+	if svc != nil && !svc.Healthy() {
+		http.Error(w, "unhealthy: service phase "+svc.Phase(), http.StatusServiceUnavailable)
+		return
+	}
+	if len(critical) > 0 {
+		http.Error(w, "unhealthy: critical alerts firing: "+strings.Join(critical, ", "),
+			http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz reports readiness: 200 only while a service is attached,
+// journal replay is complete, and the stream is running (or built and about
+// to run).
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	svc := s.svc
+	s.mu.Unlock()
+	if svc == nil {
+		http.Error(w, "not ready: no service attached", http.StatusServiceUnavailable)
+		return
+	}
+	if !svc.Ready() {
+		http.Error(w, "not ready: service phase "+svc.Phase(), http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	states := s.eval.States()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(states) //nolint:errcheck // client went away
+}
+
+// handleEvents serves the bounded event ring as JSONL, newest-last. ?n=K
+// limits to the last K events.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	log := s.cfg.Tel.Events
+	w.Header().Set("Content-Type", "application/jsonl")
+	if log == nil {
+		return
+	}
+	last := 0
+	if v := r.URL.Query().Get("n"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			last = n
+		}
+	}
+	log.WriteJSONL(w, last) //nolint:errcheck // client went away
+}
+
+// handleStatusz renders the live text status page: service phase and commit
+// progress, per-stage watermark table, admission accounting, breaker states,
+// cache hit ratios, the running per-network malvertising table, and alert
+// state.
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	now := s.now()
+	s.mu.Lock()
+	svc := s.svc
+	states := s.eval.States()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	var b strings.Builder
+	fmt.Fprintf(&b, "madave ops plane — up %s\n\n", now.Sub(s.started).Round(time.Second))
+
+	if svc == nil {
+		b.WriteString("service: none attached\n")
+	} else {
+		st := svc.Status(now)
+		fmt.Fprintf(&b, "service: phase=%s recovered=%d committed=%d aborted=%d checkpoints=%d\n",
+			st.Phase, st.Recovered, st.Committed, st.Aborted, st.Checkpoints)
+		if len(st.Stages) > 0 {
+			fmt.Fprintf(&b, "\n%-12s %8s %8s %8s %8s %12s %10s %9s %7s %7s %9s\n",
+				"stage", "queue", "q.max", "infl", "infl.max", "oldest", "items", "restarts", "panics", "wedged", "fallbacks")
+			for _, sg := range st.Stages {
+				running := " (done)"
+				if sg.Running {
+					running = ""
+				}
+				fmt.Fprintf(&b, "%-12s %8d %8d %8d %8d %12s %10d %9d %7d %7d %9d%s\n",
+					sg.Stage, sg.Queue, sg.QueueMax, sg.Inflight, sg.InflightMax,
+					time.Duration(sg.OldestInflightNS).Round(time.Millisecond),
+					sg.Items, sg.Restarts, sg.Panics, sg.Wedged, sg.Fallbacks, running)
+			}
+		}
+		if st.Shed != nil {
+			fmt.Fprintf(&b, "\nadmission: offered=%d delivered=%d shed=%d buffered=%d",
+				st.Shed.Offered, st.Shed.Delivered, st.Shed.Shed, st.Shed.Buffered)
+			b.WriteString(shedByPriority(s.cfg.Tel.Registry))
+			b.WriteByte('\n')
+		}
+		if len(st.MalNets) > 0 {
+			b.WriteString("\nmalvertising by serving network (non-clean ads, live)\n")
+			for _, kv := range st.MalNets {
+				fmt.Fprintf(&b, "  %-40s %6d\n", kv.Key, kv.Count)
+			}
+		}
+	}
+
+	if s.cfg.Breakers != nil {
+		if bs := s.cfg.Breakers(); len(bs) > 0 {
+			open := 0
+			for _, st := range bs {
+				if st.State != "closed" {
+					open++
+				}
+			}
+			fmt.Fprintf(&b, "\ncircuit breakers: %d tracked, %d not closed\n", len(bs), open)
+			for _, st := range bs {
+				if st.State == "closed" {
+					continue
+				}
+				fmt.Fprintf(&b, "  %-40s %-9s failures=%d cooldown=%d\n",
+					st.Host, st.State, st.Failures, st.Cooldown)
+			}
+		}
+	}
+
+	b.WriteString(cacheRatios(s.cfg.Tel.Registry))
+
+	b.WriteString("\nalerts\n")
+	for _, st := range states {
+		mark := "ok     "
+		if st.Firing {
+			mark = "FIRING "
+			if st.Rule.Critical {
+				mark = "FIRING!"
+			}
+		}
+		fmt.Fprintf(&b, "  %s %-14s value=%.4g fires=%d  %s\n",
+			mark, st.Rule.Name, st.Value, st.Fires, st.Rule.Desc)
+	}
+
+	w.Write([]byte(b.String())) //nolint:errcheck // client went away
+}
+
+// shedByPriority renders the per-priority shed counters inline.
+func shedByPriority(r *telemetry.Registry) string {
+	var parts []string
+	for _, pri := range []string{"high", "mid", "low"} {
+		if v, ok := r.CounterValue("stream_shed_by_priority_total", telemetry.L("priority", pri)); ok && v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%d", pri, v))
+		}
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " (by priority: " + strings.Join(parts, " ") + ")"
+}
+
+// cacheRatios renders hit ratios for every cache that published its counters
+// (cache_hits_total{cache=…}/cache_misses_total{cache=…}).
+func cacheRatios(r *telemetry.Registry) string {
+	type cacheRow struct {
+		name         string
+		hits, misses int64
+	}
+	rows := map[string]*cacheRow{}
+	for _, p := range r.Snapshot() {
+		name := p.Labels["cache"]
+		if name == "" {
+			continue
+		}
+		switch p.Name {
+		case "cache_hits_total", "cache_misses_total":
+		default:
+			continue
+		}
+		row := rows[name]
+		if row == nil {
+			row = &cacheRow{name: name}
+			rows[name] = row
+		}
+		if p.Name == "cache_hits_total" {
+			row.hits = p.Value
+		} else {
+			row.misses = p.Value
+		}
+	}
+	if len(rows) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(rows))
+	for n := range rows {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("\ncaches\n")
+	for _, n := range names {
+		row := rows[n]
+		total := row.hits + row.misses
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(row.hits) / float64(total)
+		}
+		fmt.Fprintf(&b, "  %-20s hits=%-8d misses=%-8d ratio=%.1f%%\n",
+			n, row.hits, row.misses, 100*ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,340 @@
+package opsd
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"madave/internal/core"
+	"madave/internal/fuzzutil/leakcheck"
+	"madave/internal/journal"
+	"madave/internal/memnet"
+	"madave/internal/resilient"
+	"madave/internal/stream"
+	"madave/internal/telemetry"
+)
+
+// testStudyConfig mirrors the stream package's unit-scale chaos study.
+func testStudyConfig(seed uint64, tel *telemetry.Set) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Seed = seed
+	cfg.CrawlSites = 20
+	cfg.Crawl.Days = 1
+	cfg.Crawl.Refreshes = 2
+	cfg.Crawl.Parallelism = 4
+	cfg.Crawl.VisitTimeout = -1
+	cfg.Crawl.Retry = resilient.Policy{
+		MaxAttempts:    3,
+		BaseDelay:      time.Microsecond,
+		MaxDelay:       20 * time.Microsecond,
+		AttemptTimeout: 250 * time.Millisecond,
+	}
+	cfg.AnalysisRetry = cfg.Crawl.Retry
+	cfg.OracleParallelism = 4
+	prof := memnet.UniformProfile(0.2)
+	cfg.Chaos = &prof
+	cfg.Telemetry = tel
+	return cfg
+}
+
+func newTestService(t *testing.T, seed uint64, tel *telemetry.Set, j journal.Backend,
+	mut func(*stream.ServiceConfig)) *stream.Service {
+	t.Helper()
+	study, err := core.NewStudy(testStudyConfig(seed, tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stream.ServiceConfig{Journal: j, CheckpointEvery: -1}
+	cfg.Stream.Tel = tel
+	if mut != nil {
+		mut(&cfg)
+	}
+	svc, err := stream.NewService(study, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// get fetches path from the server, returning status and body. The body is
+// always drained and closed so keep-alive goroutines can retire.
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHealthReadyAcrossKillAndRecover(t *testing.T) {
+	defer http.DefaultClient.CloseIdleConnections()
+	tel := telemetry.New(1)
+	tel.Events = telemetry.NewEventLog(256)
+	s, err := Start(Config{Addr: "127.0.0.1:0", Tel: tel, Interval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// No service attached: alive but not ready.
+	if code, _ := get(t, s, "/healthz"); code != 200 {
+		t.Fatalf("healthz before attach = %d", code)
+	}
+	if code, body := get(t, s, "/readyz"); code != 503 || !strings.Contains(body, "no service") {
+		t.Fatalf("readyz before attach = %d %q", code, body)
+	}
+
+	// Attached, replay complete: ready.
+	mem := journal.NewMem()
+	svc := newTestService(t, 31, tel, mem, nil)
+	s.AttachService(svc)
+	if code, _ := get(t, s, "/readyz"); code != 200 {
+		t.Fatalf("readyz after attach = %d (phase %s)", code, svc.Phase())
+	}
+
+	// Kill mid-run: journal crash fails the pipeline, health degrades.
+	mem.FailAfter = 5
+	if _, err := svc.Run(context.Background()); !errors.Is(err, journal.ErrCrashed) {
+		t.Fatalf("want journal crash, got %v", err)
+	}
+	if svc.Phase() != stream.PhaseFailed {
+		t.Fatalf("phase after crash = %s", svc.Phase())
+	}
+	if code, body := get(t, s, "/healthz"); code != 503 || !strings.Contains(body, "failed") {
+		t.Fatalf("healthz after crash = %d %q", code, body)
+	}
+	if code, _ := get(t, s, "/readyz"); code != 503 {
+		t.Fatal("readyz should degrade with the failed service")
+	}
+
+	// Recover: a fresh service over the reopened journal re-attaches and the
+	// plane is ready and healthy again.
+	mem.Reopen(0)
+	svc = newTestService(t, 31, tel, mem, nil)
+	if svc.Recovered() == 0 {
+		t.Fatal("recovery replayed nothing")
+	}
+	s.AttachService(svc)
+	if code, _ := get(t, s, "/healthz"); code != 200 {
+		t.Fatal("healthz should recover with the new service")
+	}
+	if code, _ := get(t, s, "/readyz"); code != 200 {
+		t.Fatal("readyz should recover with the new service")
+	}
+
+	// Finish the run: a stopped service is healthy but no longer ready.
+	if _, err := svc.Run(context.Background()); err != nil {
+		t.Fatalf("final run: %v", err)
+	}
+	if code, _ := get(t, s, "/healthz"); code != 200 {
+		t.Fatal("healthz after graceful stop")
+	}
+	if code, body := get(t, s, "/readyz"); code != 503 || !strings.Contains(body, stream.PhaseStopped) {
+		t.Fatalf("readyz after stop = %d %q", code, body)
+	}
+
+	// The event log saw the whole story.
+	kinds := map[string]bool{}
+	for _, ev := range tel.Events.Snapshot(0) {
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{
+		telemetry.EventJournalRecovery, telemetry.EventRunStarted,
+		telemetry.EventJournalFailure, telemetry.EventRunFinished,
+	} {
+		if !kinds[want] {
+			t.Fatalf("event log missing kind %q (have %v)", want, kinds)
+		}
+	}
+}
+
+func TestHealthzDegradesOnRestartBudgetExhaustion(t *testing.T) {
+	defer http.DefaultClient.CloseIdleConnections()
+	tel := telemetry.New(1)
+	s, err := Start(Config{Addr: "127.0.0.1:0", Tel: tel, Interval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	svc := newTestService(t, 37, tel, journal.NewMem(), func(c *stream.ServiceConfig) {
+		// Every in-flight item blows the (absurd) watchdog deadline
+		// immediately, so the restart budget exhausts within milliseconds.
+		c.Stream.WatchdogDeadline = time.Nanosecond
+		c.Stream.RestartBudget = 1
+	})
+	s.AttachService(svc)
+	if _, err := svc.Run(context.Background()); !errors.Is(err, stream.ErrRestartBudget) {
+		t.Fatalf("want ErrRestartBudget, got %v", err)
+	}
+	if code, body := get(t, s, "/healthz"); code != 503 || !strings.Contains(body, stream.PhaseFailed) {
+		t.Fatalf("healthz after budget exhaustion = %d %q", code, body)
+	}
+}
+
+func TestEndpointsSurfaceRunState(t *testing.T) {
+	defer http.DefaultClient.CloseIdleConnections()
+	tel := telemetry.New(1)
+	tel.Events = telemetry.NewEventLog(256)
+	s, err := Start(Config{Addr: "127.0.0.1:0", Tel: tel, Interval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	svc := newTestService(t, 41, tel, journal.NewMem(), nil)
+	s.AttachService(svc)
+	if _, err := svc.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s.Tick()
+
+	if code, body := get(t, s, "/metrics"); code != 200 ||
+		!strings.Contains(body, "stream_items_total") ||
+		!strings.Contains(body, `stream_queue_depth_max{stage="crawl"}`) {
+		t.Fatalf("metrics = %d\n%s", code, body)
+	}
+	code, body := get(t, s, "/statusz")
+	if code != 200 {
+		t.Fatalf("statusz = %d", code)
+	}
+	for _, want := range []string{"phase=stopped", "crawl", "analyze", "alerts", "shed-burn"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("statusz missing %q:\n%s", want, body)
+		}
+	}
+	if code, body := get(t, s, "/alerts"); code != 200 || !strings.Contains(body, "commit-stall") {
+		t.Fatalf("alerts = %d %q", code, body)
+	}
+	if code, body := get(t, s, "/events?n=500"); code != 200 ||
+		!strings.Contains(body, telemetry.EventJournalRecovery) ||
+		!strings.Contains(body, telemetry.EventRunFinished) {
+		t.Fatalf("events = %d\n%s", code, body)
+	}
+	if code, _ := get(t, s, "/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline = %d", code)
+	}
+}
+
+func TestSyntheticShedBurstAlertFiresAndResolvesViaTick(t *testing.T) {
+	defer http.DefaultClient.CloseIdleConnections()
+	tel := telemetry.New(1)
+	tel.Events = telemetry.NewEventLog(64)
+	clock := time.Unix(100, 0)
+	s, err := Start(Config{
+		Addr: "127.0.0.1:0", Tel: tel, Interval: -1,
+		Now: func() time.Time { return clock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	offered := tel.Counter("stream_offered_total")
+	shed := tel.Counter("stream_shed_total")
+	s.Tick() // warm baseline
+
+	clock = clock.Add(time.Second)
+	offered.Add(100)
+	shed.Add(40)
+	s.Tick()
+	if st := stateByName(t, s.eval, "shed-burn"); !st.Firing {
+		t.Fatalf("shed-burn not firing after synthetic burst: %+v", st)
+	}
+	if code, body := get(t, s, "/alerts"); code != 200 || !strings.Contains(body, `"firing": true`) {
+		t.Fatalf("alerts during burst = %d\n%s", code, body)
+	}
+
+	clock = clock.Add(time.Second)
+	offered.Add(100)
+	s.Tick()
+	if st := stateByName(t, s.eval, "shed-burn"); st.Firing {
+		t.Fatalf("shed-burn did not resolve: %+v", st)
+	}
+	var fired, resolved bool
+	for _, ev := range tel.Events.Snapshot(0) {
+		if ev.Kind == telemetry.EventAlertFire && ev.Fields["rule"] == "shed-burn" {
+			fired = true
+		}
+		if ev.Kind == telemetry.EventAlertResolve && ev.Fields["rule"] == "shed-burn" {
+			resolved = true
+		}
+	}
+	if !fired || !resolved {
+		t.Fatalf("alert events fired=%v resolved=%v", fired, resolved)
+	}
+}
+
+func TestCriticalAlertDegradesHealthz(t *testing.T) {
+	defer http.DefaultClient.CloseIdleConnections()
+	tel := telemetry.New(1)
+	rules := []Rule{{
+		Name: "synthetic-critical", Kind: KindDeltaAbove,
+		Metric: "boom_total", Threshold: 0, ForCount: 1, Critical: true,
+	}}
+	s, err := Start(Config{Addr: "127.0.0.1:0", Tel: tel, Interval: -1, Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	boom := tel.Counter("boom_total")
+	s.Tick()
+	boom.Add(3)
+	s.Tick()
+	if code, body := get(t, s, "/healthz"); code != 503 || !strings.Contains(body, "synthetic-critical") {
+		t.Fatalf("healthz under critical alert = %d %q", code, body)
+	}
+	s.Tick() // clean interval: resolves
+	if code, _ := get(t, s, "/healthz"); code != 200 {
+		t.Fatal("healthz did not recover after resolve")
+	}
+}
+
+func TestServerShutdownLeaksNothing(t *testing.T) {
+	snap := leakcheck.Before()
+	tel := telemetry.New(1)
+	tel.Events = telemetry.NewEventLog(32)
+	s, err := Start(Config{Addr: "127.0.0.1:0", Tel: tel, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{"/healthz", "/metrics", "/statusz", "/events", "/alerts"} {
+		get(t, s, path)
+	}
+	time.Sleep(20 * time.Millisecond) // let the collector tick a few times
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	http.DefaultClient.CloseIdleConnections()
+	snap.Check(t)
+}
+
+func TestBreakerTableOnStatusz(t *testing.T) {
+	defer http.DefaultClient.CloseIdleConnections()
+	tel := telemetry.New(1)
+	bs := resilient.NewBreakerSet(1, 10)
+	bs.Report("dead.example.com", false)
+	s, err := Start(Config{
+		Addr: "127.0.0.1:0", Tel: tel, Interval: -1,
+		Breakers: bs.States,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, s, "/statusz")
+	if code != 200 || !strings.Contains(body, "dead.example.com") || !strings.Contains(body, "open") {
+		t.Fatalf("statusz breaker table = %d\n%s", code, body)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -197,33 +198,74 @@ func (s *BreakerSet) Allow(host string) bool {
 // this outcome opened the circuit (a closed->open or half-open->open
 // transition), so callers can count distinct opens.
 func (s *BreakerSet) Report(host string, ok bool) bool {
+	opened, _ := s.ReportOutcome(host, ok)
+	return opened
+}
+
+// ReportOutcome records the outcome of an allowed request and reports both
+// edge transitions: opened is a closed->open or half-open->open edge, closed
+// is a recovery edge (a successful probe closing a previously open or
+// half-open circuit). Callers that only care about opens can use Report.
+func (s *BreakerSet) ReportOutcome(host string, ok bool) (opened, closed bool) {
 	if s == nil {
-		return false
+		return false, false
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	th, cd := s.thresholds()
 	b := s.get(host)
 	if ok {
+		closed = b.state != stateClosed
 		b.state = stateClosed
 		b.failures = 0
-		return false
+		return false, closed
 	}
 	switch b.state {
 	case stateHalfOpen:
 		// Probe failed: straight back to open.
 		b.state = stateOpen
 		b.cooldown = cd
-		return true
+		return true, false
 	default:
 		b.failures++
 		if b.state == stateClosed && b.failures >= th {
 			b.state = stateOpen
 			b.cooldown = cd
-			return true
+			return true, false
 		}
 	}
-	return false
+	return false, false
+}
+
+// BreakerState is one host's circuit snapshot for the ops plane.
+type BreakerState struct {
+	Host     string `json:"host"`
+	State    string `json:"state"` // "closed", "open", or "half-open"
+	Failures int    `json:"failures,omitempty"`
+	Cooldown int    `json:"cooldown,omitempty"`
+}
+
+// States snapshots every tracked host's circuit, sorted by host name. It is
+// read-only: sampling never advances breaker state.
+func (s *BreakerSet) States() []BreakerState {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]BreakerState, 0, len(s.m))
+	for host, b := range s.m {
+		st := "closed"
+		switch b.state {
+		case stateOpen:
+			st = "open"
+		case stateHalfOpen:
+			st = "half-open"
+		}
+		out = append(out, BreakerState{Host: host, State: st, Failures: b.failures, Cooldown: b.cooldown})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
 }
 
 // Open reports whether host's circuit is currently open.
@@ -396,13 +438,21 @@ func (t *Transport) counters() *Counters {
 	return t.Counters
 }
 
-// report feeds the breaker and counts circuit opens.
+// report feeds the breaker, counts circuit opens, and mirrors both edge
+// transitions into the structured event log (when telemetry is wired).
 func (t *Transport) report(host string, ok bool) {
 	if t.Breakers == nil {
 		return
 	}
-	if t.Breakers.Report(host, ok) {
+	opened, closed := t.Breakers.ReportOutcome(host, ok)
+	if opened {
 		t.count(&t.counters().BreakerOpens, evBreakerOpen)
+		t.Tel.Event(telemetry.LevelWarn, telemetry.EventBreakerOpen, "crawl",
+			"circuit opened", "host", host)
+	}
+	if closed {
+		t.Tel.Event(telemetry.LevelInfo, telemetry.EventBreakerClose, "crawl",
+			"circuit closed after successful probe", "host", host)
 	}
 }
 

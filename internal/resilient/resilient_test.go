@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"madave/internal/memnet"
+	"madave/internal/telemetry"
 )
 
 // scriptedTripper returns canned outcomes in sequence, then repeats the
@@ -422,5 +423,87 @@ func TestBackoffDeterministicJitter(t *testing.T) {
 	}
 	if !tr.backoff(context.Background(), pol, "http://x/", 1) {
 		t.Fatal("backoff should complete")
+	}
+}
+
+func TestReportOutcomeEdgesAndStates(t *testing.T) {
+	bs := NewBreakerSet(2, 2)
+	host := "edgy.example.com"
+
+	if opened, closed := bs.ReportOutcome(host, false); opened || closed {
+		t.Fatalf("first failure: opened=%v closed=%v", opened, closed)
+	}
+	opened, closed := bs.ReportOutcome(host, false)
+	if !opened || closed {
+		t.Fatalf("threshold failure: opened=%v closed=%v", opened, closed)
+	}
+	// Burn the cooldown to reach half-open, then a successful probe must
+	// report exactly one close edge.
+	bs.Allow(host)
+	if !bs.Allow(host) {
+		t.Fatal("cooldown spent: probe should be allowed")
+	}
+	opened, closed = bs.ReportOutcome(host, true)
+	if opened || !closed {
+		t.Fatalf("successful probe: opened=%v closed=%v", opened, closed)
+	}
+	// A success on an already-closed circuit is not an edge.
+	if _, closed := bs.ReportOutcome(host, true); closed {
+		t.Fatal("steady-state success reported a close edge")
+	}
+
+	bs.ReportOutcome("another.example.com", false)
+	states := bs.States()
+	if len(states) != 2 {
+		t.Fatalf("States() = %d entries, want 2", len(states))
+	}
+	if states[0].Host != "another.example.com" || states[1].Host != "edgy.example.com" {
+		t.Fatalf("States() not sorted by host: %+v", states)
+	}
+	if states[1].State != "closed" {
+		t.Fatalf("recovered host state = %q", states[1].State)
+	}
+	var nilSet *BreakerSet
+	if nilSet.States() != nil {
+		t.Fatal("nil BreakerSet.States() should be nil")
+	}
+}
+
+func TestTransportEmitsBreakerEvents(t *testing.T) {
+	tel := telemetry.New(1)
+	tel.Events = telemetry.NewEventLog(32)
+	s := &scriptedTripper{outcomes: []func(*http.Request) (*http.Response, error){
+		errOut(&memnet.ResetError{Host: "ev.example.com"}),
+		okResp("recovered"),
+	}}
+	pol := fastPolicy()
+	pol.MaxAttempts = 1
+	tr := New(s, pol, nil)
+	tr.Tel = tel
+	tr.Breakers = NewBreakerSet(1, 1)
+
+	if _, err := get(t, tr, "http://ev.example.com/"); err == nil {
+		t.Fatal("first request should fail and open the circuit")
+	}
+	// Cooldown 1: the next Allow goes straight to half-open and the probe
+	// succeeds, closing the circuit.
+	if resp, err := get(t, tr, "http://ev.example.com/"); err != nil || resp.StatusCode != 200 {
+		t.Fatalf("probe resp=%v err=%v", resp, err)
+	}
+
+	var opens, closes int
+	for _, ev := range tel.Events.Snapshot(0) {
+		switch ev.Kind {
+		case telemetry.EventBreakerOpen:
+			opens++
+			if ev.Fields["host"] != "ev.example.com" {
+				t.Fatalf("open event host = %q", ev.Fields["host"])
+			}
+		case telemetry.EventBreakerClose:
+			closes++
+		}
+	}
+	if opens != 1 || closes != 1 {
+		t.Fatalf("events: opens=%d closes=%d, want 1/1", opens, closes)
 	}
 }

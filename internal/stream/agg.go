@@ -85,6 +85,7 @@ type Agg struct {
 	errCauses  stats.Counter
 	categories stats.Counter
 	networks   stats.Counter
+	malNets    stats.Counter // serving network → non-clean ad count
 
 	uniqueAds map[string]int // hash → impressions seen
 	chain     stats.IntMoments
@@ -126,12 +127,25 @@ func (a *Agg) Fold(r VisitRecord) bool {
 		a.categories.Add(ad.Category)
 		if ad.Network != "" {
 			a.networks.Add(ad.Network)
+			if ad.Category != string(oracle.CatClean) {
+				a.malNets.Add(ad.Network)
+			}
 		}
 		a.chain.Add(ad.ChainLen)
 		a.chainHist.Add(ad.ChainLen)
 		a.dayAds.Add(ad.Day)
 	}
 	return true
+}
+
+// MalNetworks returns the running per-network malvertising table: for each
+// serving ad network, how many non-clean ads it has served so far, sorted by
+// count. This is the live view /statusz renders; it never enters the
+// canonical StreamSummary artifact.
+func (a *Agg) MalNetworks() []stats.KV {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.malNets.Sorted()
 }
 
 // Done reports whether seq has been folded.
@@ -255,6 +269,7 @@ type aggState struct {
 	ErrCauses  []stats.KV       `json:"err_causes,omitempty"`
 	Categories []stats.KV       `json:"categories,omitempty"`
 	Networks   []stats.KV       `json:"networks,omitempty"`
+	MalNets    []stats.KV       `json:"mal_nets,omitempty"`
 	UniqueAds  []adCount        `json:"unique_ads,omitempty"`
 	Chain      stats.IntMoments `json:"chain"`
 	ChainHist  []kvInt          `json:"chain_hist,omitempty"`
@@ -276,6 +291,7 @@ func (a *Agg) checkpoint() aggState {
 		ErrCauses:  a.errCauses.Sorted(),
 		Categories: a.categories.Sorted(),
 		Networks:   a.networks.Sorted(),
+		MalNets:    a.malNets.Sorted(),
 		Chain:      a.chain,
 	}
 	seqs := make([]int64, 0, len(a.done))
@@ -340,6 +356,10 @@ func (a *Agg) restore(st aggState) {
 	a.networks = stats.Counter{}
 	for _, kv := range st.Networks {
 		a.networks.AddN(kv.Key, kv.Count)
+	}
+	a.malNets = stats.Counter{}
+	for _, kv := range st.MalNets {
+		a.malNets.AddN(kv.Key, kv.Count)
 	}
 	a.uniqueAds = make(map[string]int, len(st.UniqueAds))
 	for _, ac := range st.UniqueAds {

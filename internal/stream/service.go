@@ -4,6 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"madave/internal/core"
 	"madave/internal/crawler"
@@ -39,6 +43,12 @@ type ServiceConfig struct {
 	MaxImpressions int
 	// ShedCapacity is the serve-mode admission buffer (0 = 2× queue size).
 	ShedCapacity int
+	// ServeRate paces the serve-mode impression source to roughly this many
+	// offers per second (0 = as fast as the source loop runs). Serve mode is
+	// inherently timing-dependent — shedding depends on how fast the pipeline
+	// drains — so pacing the source is an operational knob, not a determinism
+	// hazard; the finite schedule mode ignores it.
+	ServeRate float64
 }
 
 // Defaults for ServiceConfig zero fields.
@@ -66,6 +76,19 @@ type RunResult struct {
 	Ops     Ops
 }
 
+// Service lifecycle phases, as exposed to the ops plane. The readiness and
+// health predicates derive from these: a service is ready while replay is
+// complete and the stream is (or is about to be) running, and unhealthy only
+// once it has failed (restart-budget exhaustion, journal failure).
+const (
+	PhaseInit      = "init"
+	PhaseReplaying = "replaying"
+	PhaseReady     = "ready"
+	PhaseRunning   = "running"
+	PhaseStopped   = "stopped"
+	PhaseFailed    = "failed"
+)
+
 // Service is the crash-safe streaming study: crawl → classify → commit over
 // supervised stages, journaling every completed visit so a killed process
 // resumes mid-stream with byte-identical final statistics.
@@ -78,6 +101,81 @@ type Service struct {
 	tel   *telemetry.Set
 
 	recovered int64
+
+	phase atomic.Value // string, one of the Phase* constants
+
+	// Live run state the ops plane samples; nil outside Run.
+	liveMu sync.Mutex
+	pipe   *Pipeline
+	shed   *Shedder[seqVisit]
+}
+
+func (s *Service) setPhase(ph string) { s.phase.Store(ph) }
+
+// Phase returns the service's current lifecycle phase.
+func (s *Service) Phase() string {
+	if ph, ok := s.phase.Load().(string); ok {
+		return ph
+	}
+	return PhaseInit
+}
+
+// Ready reports whether the service can do useful work: journal replay is
+// complete and the stream is running (or built and about to run). This is
+// the /readyz predicate.
+func (s *Service) Ready() bool {
+	ph := s.Phase()
+	return ph == PhaseReady || ph == PhaseRunning
+}
+
+// Healthy reports whether the service has not failed. A stopped service is
+// still healthy (it finished its work); a failed one — restart budget
+// exhausted, journal unable to persist — is not. This is the /healthz
+// predicate.
+func (s *Service) Healthy() bool { return s.Phase() != PhaseFailed }
+
+// ServiceStatus is the ops plane's sampled view of the whole service:
+// lifecycle phase, commit progress, per-stage watermarks, admission
+// accounting, and the running per-network malvertising table. Sampling it
+// never perturbs the stream.
+type ServiceStatus struct {
+	Phase       string        `json:"phase"`
+	Recovered   int64         `json:"recovered"`
+	Committed   int64         `json:"committed"`
+	Aborted     int64         `json:"aborted"`
+	Checkpoints int64         `json:"checkpoints"`
+	Stages      []StageStatus `json:"stages,omitempty"`
+	Shed        *ShedStats    `json:"shed,omitempty"`
+	MalNets     []stats.KV    `json:"mal_networks,omitempty"`
+}
+
+// Status samples the live service state at now.
+func (s *Service) Status(now time.Time) ServiceStatus {
+	st := ServiceStatus{
+		Phase:     s.Phase(),
+		Recovered: s.recovered,
+		MalNets:   s.agg.MalNetworks(),
+	}
+	if v, ok := s.tel.Registry.CounterValue("stream_committed_total"); ok {
+		st.Committed = v
+	}
+	if v, ok := s.tel.Registry.CounterValue("stream_aborted_total"); ok {
+		st.Aborted = v
+	}
+	if v, ok := s.tel.Registry.CounterValue("stream_checkpoints_total"); ok {
+		st.Checkpoints = v
+	}
+	s.liveMu.Lock()
+	pipe, shed := s.pipe, s.shed
+	s.liveMu.Unlock()
+	if pipe != nil {
+		st.Stages = pipe.StageStatuses(now)
+	}
+	if shed != nil {
+		sh := shed.Stats()
+		st.Shed = &sh
+	}
+	return st
 }
 
 // seqVisit is a scheduled visit with its journal sequence number.
@@ -137,14 +235,18 @@ func NewService(study *core.Study, cfg ServiceConfig) (*Service, error) {
 		log:   journal.NewLog(cfg.Journal),
 		tel:   tel,
 	}
+	s.setPhase(PhaseInit)
 	if err := s.recover(); err != nil {
+		s.setPhase(PhaseFailed)
 		return nil, err
 	}
+	s.setPhase(PhaseReady)
 	return s, nil
 }
 
 // recover replays the journal into the aggregate.
 func (s *Service) recover() error {
+	s.setPhase(PhaseReplaying)
 	err := journal.Replay(s.cfg.Journal, func(r journal.Record) error {
 		switch r.Kind {
 		case CheckpointKind:
@@ -168,9 +270,14 @@ func (s *Service) recover() error {
 		return nil
 	})
 	if err != nil {
+		s.tel.Event(telemetry.LevelError, telemetry.EventJournalFailure, "commit",
+			"journal replay failed", "err", err.Error())
 		return err
 	}
 	s.tel.Counter("stream_recovered_total").Add(s.recovered)
+	s.tel.Event(telemetry.LevelInfo, telemetry.EventJournalRecovery, "commit",
+		"journal replay complete",
+		"recovered", strconv.FormatInt(s.recovered, 10))
 	return nil
 }
 
@@ -198,6 +305,18 @@ func (s *Service) Run(ctx context.Context) (*RunResult, error) {
 		s.startScheduleSource(p, visitCh)
 	}
 
+	s.liveMu.Lock()
+	s.pipe, s.shed = p, shed
+	s.liveMu.Unlock()
+	s.setPhase(PhaseRunning)
+	mode := "schedule"
+	if s.cfg.Serve {
+		mode = "serve"
+	}
+	s.tel.Event(telemetry.LevelInfo, telemetry.EventRunStarted, "", "stream run started",
+		"mode", mode,
+		"recovered", strconv.FormatInt(s.recovered, 10))
+
 	RunStage(p, "crawl", s.cfg.CrawlWorkers, visitCh, outCh,
 		s.crawlWork, func(sv seqVisit, cause error) visitOut {
 			return visitOut{seq: sv.seq, key: sv.v.Key(), aborted: true, cause: cause.Error()}
@@ -219,8 +338,16 @@ func (s *Service) Run(ctx context.Context) (*RunResult, error) {
 	ops.Restarts = s.tel.Counter("stream_restarts_total").Value()
 	res := &RunResult{Summary: s.agg.Summary(), Ops: *ops}
 	if err != nil {
+		s.setPhase(PhaseFailed)
+		s.tel.Event(telemetry.LevelError, telemetry.EventRunFinished, "", "stream run failed",
+			"err", err.Error(),
+			"committed", strconv.FormatInt(ops.Committed, 10))
 		return res, err
 	}
+	s.setPhase(PhaseStopped)
+	s.tel.Event(telemetry.LevelInfo, telemetry.EventRunFinished, "", "stream run finished",
+		"committed", strconv.FormatInt(ops.Committed, 10),
+		"aborted", strconv.FormatInt(ops.Aborted, 10))
 	return res, nil
 }
 
@@ -262,9 +389,29 @@ func (s *Service) startServeSource(p *Pipeline, visitCh chan<- seqVisit) *Shedde
 	totalSites := len(s.study.Web.Sites)
 	zipf := stats.NewZipf(len(sites), 1.1)
 	rng := stats.NewRNG(s.study.Cfg.Seed).Fork("stream-serve")
+	var pace *time.Ticker
+	if s.cfg.ServeRate > 0 {
+		interval := time.Duration(float64(time.Second) / s.cfg.ServeRate)
+		if interval <= 0 {
+			interval = time.Nanosecond
+		}
+		pace = time.NewTicker(interval)
+	}
 	go func() {
 		defer shed.Close()
+		if pace != nil {
+			defer pace.Stop()
+		}
 		for i := 0; i < s.cfg.MaxImpressions; i++ {
+			if pace != nil {
+				select {
+				case <-pace.C:
+				case <-p.Draining():
+					return
+				case <-p.WorkContext().Done():
+					return
+				}
+			}
 			select {
 			case <-p.Draining():
 				return
@@ -343,6 +490,10 @@ func (s *Service) commitLoop(p *Pipeline, recCh <-chan VisitRecord, ops *Ops, do
 	abortCount := s.tel.Counter("stream_aborted_total")
 	skipCount := s.tel.Counter("stream_checkpoint_skipped_total")
 	ckptCount := s.tel.Counter("stream_checkpoints_total")
+	commitCount := s.tel.Counter("stream_committed_total")
+	commitSeq := s.tel.Gauge("stream_commit_seq")
+	errAppend := s.tel.Counter("stream_commit_errors_total", telemetry.L("cause", "append"))
+	errCompact := s.tel.Counter("stream_commit_errors_total", telemetry.L("cause", "compact"))
 	failed := false
 	for rec := range recCh {
 		if rec.Aborted {
@@ -357,21 +508,32 @@ func (s *Service) commitLoop(p *Pipeline, recCh <-chan VisitRecord, ops *Ops, do
 		if err := s.log.Append(RecordKind, rec); err != nil {
 			sp.End()
 			failed = true
+			errAppend.Inc()
+			s.tel.Event(telemetry.LevelError, telemetry.EventJournalFailure, "commit",
+				"journal append failed", "err", err.Error())
 			p.Fail(fmt.Errorf("stream: journal append: %w", err))
 			continue
 		}
 		s.agg.Fold(rec)
 		ops.Committed++
+		commitCount.Inc()
+		commitSeq.Set(ops.Committed)
 		if s.cfg.CheckpointEvery > 0 && ops.Committed%int64(s.cfg.CheckpointEvery) == 0 {
 			if c, ok := s.cfg.Journal.(journal.Compactor); ok {
 				if err := s.compact(c); err != nil {
 					sp.End()
 					failed = true
+					errCompact.Inc()
+					s.tel.Event(telemetry.LevelError, telemetry.EventJournalFailure, "commit",
+						"checkpoint compaction failed", "err", err.Error())
 					p.Fail(fmt.Errorf("stream: checkpoint compaction: %w", err))
 					continue
 				}
 				ops.Checkpoints++
 				ckptCount.Inc()
+				s.tel.Event(telemetry.LevelInfo, telemetry.EventCheckpoint, "commit",
+					"journal compacted to checkpoint",
+					"committed", strconv.FormatInt(ops.Committed, 10))
 			} else {
 				skipCount.Inc()
 			}

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"container/heap"
+	"strconv"
 	"sync"
 
 	"madave/internal/telemetry"
@@ -34,6 +35,14 @@ type Shedder[T any] struct {
 	shedHigh  *telemetry.Counter
 	shedAll   *telemetry.Counter
 	depth     *telemetry.Gauge
+	depthMax  *telemetry.Gauge
+	tel       *telemetry.Set
+
+	// burstActive/burstShed track a contiguous run of sheds for the event
+	// log: the first shed after a quiet period opens a burst, and the first
+	// offer admitted with buffer headroom closes it with the total count.
+	burstActive bool
+	burstShed   int64
 
 	// order is a monotonic sequence breaking priority ties FIFO, so equal-
 	// priority impressions shed oldest-last and deliver in arrival order.
@@ -73,6 +82,8 @@ func NewShedder[T any](capacity int, tel *telemetry.Set) *Shedder[T] {
 		shedHigh:  tel.Counter("stream_shed_by_priority_total", pr("high")),
 		shedAll:   tel.Counter("stream_shed_total"),
 		depth:     tel.Gauge("stream_queue_depth", telemetry.L("stage", "admission")),
+		depthMax:  tel.Gauge("stream_queue_depth_max", telemetry.L("stage", "admission")),
+		tel:       tel,
 	}
 }
 
@@ -123,6 +134,8 @@ func (s *Shedder[T]) Offer(item T, priority int) bool {
 	s.order++
 	it := shedItem[T]{v: item, pri: priority, order: s.order}
 	admitted := true
+	var burstStart bool
+	var burstEnd int64 // >0: a burst of that many sheds just closed
 	if len(s.buf) >= s.cap {
 		// Saturated: shed the least important impression in sight.
 		victim := it
@@ -134,11 +147,33 @@ func (s *Shedder[T]) Offer(item T, priority int) bool {
 			admitted = false
 		}
 		s.countShed(victim.pri)
+		if !s.burstActive {
+			s.burstActive = true
+			s.burstShed = 0
+			burstStart = true
+		}
+		s.burstShed++
 	} else {
 		heap.Push(&s.buf, it)
+		// Headroom again: the shed burst (if one was running) is over.
+		if s.burstActive {
+			s.burstActive = false
+			burstEnd = s.burstShed
+		}
 	}
 	s.depth.Set(int64(len(s.buf)))
+	s.depthMax.SetMax(int64(len(s.buf)))
 	s.mu.Unlock()
+	if burstStart {
+		s.tel.Event(telemetry.LevelWarn, telemetry.EventShedBurst, "admission",
+			"buffer saturated, shedding lowest-priority impressions",
+			"capacity", strconv.Itoa(s.cap))
+	}
+	if burstEnd > 0 {
+		s.tel.Event(telemetry.LevelInfo, telemetry.EventShedBurstEnd, "admission",
+			"buffer has headroom again",
+			"shed", strconv.FormatInt(burstEnd, 10))
+	}
 	select {
 	case s.wake <- struct{}{}:
 	default:

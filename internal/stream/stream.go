@@ -27,7 +27,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"madave/internal/telemetry"
@@ -128,6 +130,74 @@ type Pipeline struct {
 	wg       sync.WaitGroup // one per stage supervisor
 	drainWG  sync.WaitGroup // drain watcher
 	restarts *telemetry.Counter
+
+	probeMu sync.Mutex
+	probes  []*stageProbe
+}
+
+// stageProbe is the live, read-only view of one running stage that the ops
+// plane samples: buffered input, in-flight items, and the per-stage counters.
+// Probes are registered by RunStage and marked done when the stage winds
+// down; all accessors are safe while workers are running.
+type stageProbe struct {
+	name     string
+	m        *stageMetrics
+	buffered func() int
+	// oldest returns the age of the oldest unclaimed in-flight item, or 0
+	// when nothing is in flight.
+	oldest func(now time.Time) time.Duration
+	done   atomic.Bool
+}
+
+// StageStatus is one stage's sampled state: live levels (queue, in-flight,
+// oldest item age), high-water marks, and lifetime counters. All values are
+// observational — sampling them never perturbs the pipeline.
+type StageStatus struct {
+	Stage            string `json:"stage"`
+	Running          bool   `json:"running"`
+	Queue            int64  `json:"queue"`
+	QueueMax         int64  `json:"queue_max"`
+	Inflight         int64  `json:"inflight"`
+	InflightMax      int64  `json:"inflight_max"`
+	OldestInflightNS int64  `json:"oldest_inflight_ns"`
+	Items            int64  `json:"items"`
+	Restarts         int64  `json:"restarts"`
+	Panics           int64  `json:"panics"`
+	Wedged           int64  `json:"wedged"`
+	Fallbacks        int64  `json:"fallbacks"`
+}
+
+func (p *Pipeline) addProbe(pr *stageProbe) {
+	p.probeMu.Lock()
+	p.probes = append(p.probes, pr)
+	p.probeMu.Unlock()
+}
+
+// StageStatuses samples every registered stage in registration (pipeline)
+// order.
+func (p *Pipeline) StageStatuses(now time.Time) []StageStatus {
+	p.probeMu.Lock()
+	probes := make([]*stageProbe, len(p.probes))
+	copy(probes, p.probes)
+	p.probeMu.Unlock()
+	out := make([]StageStatus, 0, len(probes))
+	for _, pr := range probes {
+		out = append(out, StageStatus{
+			Stage:            pr.name,
+			Running:          !pr.done.Load(),
+			Queue:            int64(pr.buffered()),
+			QueueMax:         pr.m.depthMax.Value(),
+			Inflight:         pr.m.inflight.Value(),
+			InflightMax:      pr.m.inflightMax.Value(),
+			OldestInflightNS: pr.oldest(now).Nanoseconds(),
+			Items:            pr.m.items.Value(),
+			Restarts:         pr.m.restarts.Value(),
+			Panics:           pr.m.panics.Value(),
+			Wedged:           pr.m.wedged.Value(),
+			Fallbacks:        pr.m.fallbacks.Value(),
+		})
+	}
+	return out
 }
 
 // NewPipeline builds a pipeline whose graceful-drain trigger is ctx's
@@ -203,26 +273,46 @@ func (p *Pipeline) Wait() error {
 // Chan allocates one bounded inter-stage channel.
 func Chan[T any](p *Pipeline) chan T { return make(chan T, p.cfg.Queue) }
 
-// stageMetrics are the per-stage instruments the runtime bumps.
+// stageMetrics are the per-stage instruments the runtime bumps. Alongside
+// the lifetime counters it keeps live queue/in-flight gauges and their
+// high-water marks (stream_queue_depth_max, stream_inflight_max) — the
+// watermarks the ops plane's /statusz and the end-of-run latency table
+// surface — plus the per-item duration histogram
+// (pipeline_stage_duration_ns{stage="stream.<name>"}).
 type stageMetrics struct {
-	depthIn   *telemetry.Gauge
-	items     *telemetry.Counter
-	panics    *telemetry.Counter
-	wedged    *telemetry.Counter
-	restarts  *telemetry.Counter
-	fallbacks *telemetry.Counter
+	depthIn     *telemetry.Gauge
+	depthMax    *telemetry.Gauge
+	inflight    *telemetry.Gauge
+	inflightMax *telemetry.Gauge
+	items       *telemetry.Counter
+	panics      *telemetry.Counter
+	wedged      *telemetry.Counter
+	restarts    *telemetry.Counter
+	fallbacks   *telemetry.Counter
+	hist        *telemetry.Histogram
 }
 
 func newStageMetrics(tel *telemetry.Set, name string) *stageMetrics {
 	l := telemetry.L("stage", name)
 	return &stageMetrics{
-		depthIn:   tel.Gauge("stream_queue_depth", l),
-		items:     tel.Counter("stream_items_total", l),
-		panics:    tel.Counter("stream_worker_panics_total", l),
-		wedged:    tel.Counter("stream_worker_wedged_total", l),
-		restarts:  tel.Counter("stream_worker_restarts_total", l),
-		fallbacks: tel.Counter("stream_fallback_outcomes_total", l),
+		depthIn:     tel.Gauge("stream_queue_depth", l),
+		depthMax:    tel.Gauge("stream_queue_depth_max", l),
+		inflight:    tel.Gauge("stream_inflight", l),
+		inflightMax: tel.Gauge("stream_inflight_max", l),
+		items:       tel.Counter("stream_items_total", l),
+		panics:      tel.Counter("stream_worker_panics_total", l),
+		wedged:      tel.Counter("stream_worker_wedged_total", l),
+		restarts:    tel.Counter("stream_worker_restarts_total", l),
+		fallbacks:   tel.Counter("stream_fallback_outcomes_total", l),
+		hist:        tel.StageHist("stream." + name),
 	}
+}
+
+// setDepth records the instantaneous input-queue depth and its high-water
+// mark.
+func (m *stageMetrics) setDepth(n int) {
+	m.depthIn.Set(int64(n))
+	m.depthMax.SetMax(int64(n))
 }
 
 // workerSlot is the supervisor's view of one worker's current item.
@@ -262,6 +352,18 @@ func (s *workerSlot[I]) finish(gen uint64) bool {
 	var zero I
 	s.item = zero
 	return true
+}
+
+// busySinceUnclaimed reports when the worker started its current item, if it
+// is still unclaimed in flight. Used by the stage probe to compute the
+// oldest-in-flight age without perturbing claim state.
+func (s *workerSlot[I]) busySinceUnclaimed() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.hasItem || s.claimed {
+		return time.Time{}, false
+	}
+	return s.busySince, true
 }
 
 // steal attempts to claim the worker's current item for the watchdog,
@@ -319,19 +421,45 @@ func superviseStage[I, O any](p *Pipeline, name string, workers int, in <-chan I
 	slots := make([]*workerSlot[I], workers)
 	var slotsMu sync.Mutex // guards the slots table (watchdog reads, supervisor swaps)
 
+	// Register the live probe the ops plane samples. buffered/oldest read the
+	// channel level and slot table directly — observe-only, no claim state is
+	// touched.
+	probe := &stageProbe{
+		name:     name,
+		m:        m,
+		buffered: func() int { return len(in) },
+		oldest: func(now time.Time) time.Duration {
+			slotsMu.Lock()
+			scan := make([]*workerSlot[I], len(slots))
+			copy(scan, slots)
+			slotsMu.Unlock()
+			var oldest time.Duration
+			for _, slot := range scan {
+				if since, ok := slot.busySinceUnclaimed(); ok {
+					if age := now.Sub(since); age > oldest {
+						oldest = age
+					}
+				}
+			}
+			return oldest
+		},
+	}
+	p.addProbe(probe)
+	defer probe.done.Store(true)
+
 	// emit delivers one outcome. The non-blocking attempt comes first so a
 	// straggler finishing right at the hard-cancel still hands its outcome
 	// to a live consumer instead of losing a select race against Done.
 	emit := func(v O) bool {
 		select {
 		case out <- v:
-			m.depthIn.Set(int64(len(in)))
+			m.setDepth(len(in))
 			return true
 		default:
 		}
 		select {
 		case out <- v:
-			m.depthIn.Set(int64(len(in)))
+			m.setDepth(len(in))
 			return true
 		case <-p.workCtx.Done():
 			return false
@@ -340,11 +468,13 @@ func superviseStage[I, O any](p *Pipeline, name string, workers int, in <-chan I
 	spawn := func(slot *workerSlot[I], id int) {
 		go runWorker(p, in, work, fallback, m, slot, id, emit, exits)
 	}
+	slotsMu.Lock()
 	for i := 0; i < workers; i++ {
 		slot := &workerSlot[I]{}
 		slots[i] = slot
 		spawn(slot, i)
 	}
+	slotsMu.Unlock()
 
 	// The watchdog scans worker slots for items stuck past the deadline.
 	watchdogStop := make(chan struct{})
@@ -381,6 +511,11 @@ func superviseStage[I, O any](p *Pipeline, name string, workers int, in <-chan I
 					// fallback outcome, and put a replacement in its seat.
 					m.wedged.Inc()
 					m.fallbacks.Inc()
+					m.inflight.Add(-1)
+					p.cfg.Tel.Event(telemetry.LevelWarn, telemetry.EventWatchdogSteal, name,
+						"item stolen from wedged worker",
+						"slot", strconv.Itoa(i),
+						"deadline", p.cfg.WatchdogDeadline.String())
 					emit(fallback(item, ErrWedged))
 					exits <- stageExit{slot: i, replaced: true}
 				}
@@ -399,7 +534,16 @@ func superviseStage[I, O any](p *Pipeline, name string, workers int, in <-chan I
 			restarts++
 			m.restarts.Inc()
 			p.restarts.Inc()
+			p.cfg.Tel.Event(telemetry.LevelWarn, telemetry.EventStageRestart, name,
+				"worker restarted",
+				"restarts", strconv.Itoa(restarts),
+				"budget", strconv.Itoa(p.cfg.RestartBudget),
+				"cause", fmt.Sprint(exitCause(ex)))
 			if restarts > p.cfg.RestartBudget {
+				p.cfg.Tel.Event(telemetry.LevelError, telemetry.EventRestartBudget, name,
+					"restart budget exhausted, failing pipeline",
+					"restarts", strconv.Itoa(restarts),
+					"budget", strconv.Itoa(p.cfg.RestartBudget))
 				p.Fail(fmt.Errorf("%w: stage %s restarted %d times (budget %d), last cause: %v",
 					ErrRestartBudget, name, restarts, p.cfg.RestartBudget, exitCause(ex)))
 				live--
@@ -452,11 +596,14 @@ func runWorker[I, O any](p *Pipeline, in <-chan I,
 			exits <- stageExit{slot: id}
 			return
 		}
-		m.depthIn.Set(int64(len(in)))
+		m.setDepth(len(in))
 		m.items.Inc()
 
 		gen := slot.begin(item)
+		m.inflightMax.SetMax(m.inflight.Add(1))
+		start := time.Now()
 		res, panicked := runGuarded(p, work, item)
+		m.hist.ObserveDuration(time.Since(start))
 		if panicked != nil {
 			// The worker dies to the panic; the supervisor respawns it. The
 			// item still gets an outcome (unless the watchdog raced us to
@@ -464,6 +611,7 @@ func runWorker[I, O any](p *Pipeline, in <-chan I,
 			if slot.finish(gen) {
 				m.panics.Inc()
 				m.fallbacks.Inc()
+				m.inflight.Add(-1)
 				emit(fallback(item, fmt.Errorf("%w: %v", ErrPanicked, panicked)))
 			}
 			exits <- stageExit{slot: id, panicked: panicked}
@@ -471,9 +619,11 @@ func runWorker[I, O any](p *Pipeline, in <-chan I,
 		}
 		if !slot.finish(gen) {
 			// Watchdog claimed the item and spawned a successor: this
-			// worker is detached. Exit without reporting.
+			// worker is detached. The in-flight decrement happened at steal
+			// time. Exit without reporting.
 			return
 		}
+		m.inflight.Add(-1)
 		if !emit(res) {
 			exits <- stageExit{slot: id}
 			return

@@ -1,0 +1,189 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event levels. Events are operational annotations — they follow the same
+// cardinal rule as every other telemetry artifact: written out of the
+// pipeline, never read back in.
+const (
+	LevelInfo  = "info"
+	LevelWarn  = "warn"
+	LevelError = "error"
+)
+
+// Event kinds emitted by the pipeline's own layers. Higher layers (the ops
+// plane's alert evaluator, commands) add their own kinds; the ring does not
+// restrict the vocabulary.
+const (
+	EventStageRestart    = "stage_restart"
+	EventWatchdogSteal   = "watchdog_steal"
+	EventRestartBudget   = "restart_budget_exhausted"
+	EventShedBurst       = "shed_burst"
+	EventShedBurstEnd    = "shed_burst_end"
+	EventBreakerOpen     = "breaker_open"
+	EventBreakerClose    = "breaker_close"
+	EventCheckpoint      = "checkpoint_compacted"
+	EventJournalRecovery = "journal_recovered"
+	EventJournalFailure  = "journal_failure"
+	EventRunStarted      = "run_started"
+	EventRunFinished     = "run_finished"
+	EventAlertFire       = "alert_fire"
+	EventAlertResolve    = "alert_resolve"
+)
+
+// Event is one structured operational log entry. Seq is a monotonic per-log
+// sequence (never reused, so a reader can detect ring overwrites); WallNS is
+// the wall-clock emission time in Unix nanoseconds — events are operator
+// artifacts, so wall time is the honest clock for them.
+type Event struct {
+	Seq    int64             `json:"seq"`
+	WallNS int64             `json:"wall_ns"`
+	Level  string            `json:"level"`
+	Kind   string            `json:"kind"`
+	Stage  string            `json:"stage,omitempty"`
+	Msg    string            `json:"msg,omitempty"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// DefaultEventCapacity bounds the ring when NewEventLog is given 0.
+const DefaultEventCapacity = 1024
+
+// EventLog is a bounded ring of structured events plus an optional streaming
+// JSONL sink. The ring keeps the most recent Capacity events for the /events
+// endpoint; memory is flat no matter how long the service runs. Emission is
+// cheap (one mutex, no allocation beyond the event itself) and safe from any
+// goroutine.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event // ring storage, len == capacity
+	total int64   // events ever emitted == next seq
+	sink  *bufio.Writer
+	enc   *json.Encoder
+
+	// now is the clock; injectable for tests.
+	now func() time.Time
+}
+
+// NewEventLog returns an empty ring holding at most capacity events
+// (0 = DefaultEventCapacity).
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = DefaultEventCapacity
+	}
+	return &EventLog{buf: make([]Event, capacity), now: time.Now}
+}
+
+// SetClock replaces the wall clock (tests only; call before emitting).
+func (l *EventLog) SetClock(now func() time.Time) {
+	l.mu.Lock()
+	l.now = now
+	l.mu.Unlock()
+}
+
+// SetSink attaches a streaming sink: every subsequent event is also appended
+// to w as one JSON line. The caller owns w's lifetime; Flush before closing
+// it.
+func (l *EventLog) SetSink(w io.Writer) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sink = bufio.NewWriter(w)
+	l.enc = json.NewEncoder(l.sink)
+}
+
+// Flush forces buffered sink output to the underlying writer.
+func (l *EventLog) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.sink == nil {
+		return nil
+	}
+	return l.sink.Flush()
+}
+
+// Emit appends one event. fields are alternating key, value pairs; an odd
+// trailing key gets an empty value.
+func (l *EventLog) Emit(level, kind, stage, msg string, fields ...string) {
+	if l == nil {
+		return
+	}
+	ev := Event{Level: level, Kind: kind, Stage: stage, Msg: msg}
+	if len(fields) > 0 {
+		ev.Fields = make(map[string]string, (len(fields)+1)/2)
+		for i := 0; i < len(fields); i += 2 {
+			v := ""
+			if i+1 < len(fields) {
+				v = fields[i+1]
+			}
+			ev.Fields[fields[i]] = v
+		}
+	}
+	l.mu.Lock()
+	ev.Seq = l.total
+	ev.WallNS = l.now().UnixNano()
+	l.buf[ev.Seq%int64(len(l.buf))] = ev
+	l.total++
+	if l.enc != nil {
+		_ = l.enc.Encode(ev) // sink errors must never disturb the pipeline
+	}
+	l.mu.Unlock()
+}
+
+// Total returns how many events have ever been emitted (retained or not).
+func (l *EventLog) Total() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Snapshot returns the retained events oldest-first. With last > 0 only the
+// most recent last events are returned.
+func (l *EventLog) Snapshot(last int) []Event {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := l.total
+	if n > int64(len(l.buf)) {
+		n = int64(len(l.buf))
+	}
+	if last > 0 && int64(last) < n {
+		n = int64(last)
+	}
+	out := make([]Event, 0, n)
+	for i := l.total - n; i < l.total; i++ {
+		out = append(out, l.buf[i%int64(len(l.buf))])
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events (most recent last events when
+// last > 0) as JSON lines.
+func (l *EventLog) WriteJSONL(w io.Writer, last int) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range l.Snapshot(last) {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Event is the nil-safe emission helper: a Set without an event log (or a
+// nil Set) swallows the event, so instrumented code needs no branches.
+func (s *Set) Event(level, kind, stage, msg string, fields ...string) {
+	if s == nil || s.Events == nil {
+		return
+	}
+	s.Events.Emit(level, kind, stage, msg, fields...)
+}

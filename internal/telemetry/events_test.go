@@ -1,0 +1,121 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventLogRingBounded(t *testing.T) {
+	l := NewEventLog(16)
+	for i := 0; i < 1000; i++ {
+		l.Emit(LevelInfo, "tick", "stage", fmt.Sprintf("msg-%d", i))
+	}
+	if got := l.Total(); got != 1000 {
+		t.Fatalf("total = %d, want 1000", got)
+	}
+	snap := l.Snapshot(0)
+	if len(snap) != 16 {
+		t.Fatalf("retained %d events, want ring capacity 16", len(snap))
+	}
+	// The ring keeps the newest events, oldest-first, with contiguous seqs.
+	for i, ev := range snap {
+		if want := int64(984 + i); ev.Seq != want {
+			t.Fatalf("snap[%d].Seq = %d, want %d", i, ev.Seq, want)
+		}
+	}
+	if last := l.Snapshot(4); len(last) != 4 || last[3].Seq != 999 {
+		t.Fatalf("Snapshot(4) = %+v", last)
+	}
+}
+
+func TestEventLogFieldsAndSink(t *testing.T) {
+	var sink bytes.Buffer
+	l := NewEventLog(8)
+	l.SetClock(func() time.Time { return time.Unix(42, 7) })
+	l.SetSink(&sink)
+	l.Emit(LevelWarn, EventShedBurst, "admission", "buffer saturated", "offered", "10", "shed", "3", "odd")
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := l.Snapshot(0)
+	if len(snap) != 1 {
+		t.Fatalf("retained %d events", len(snap))
+	}
+	ev := snap[0]
+	if ev.Level != LevelWarn || ev.Kind != EventShedBurst || ev.Stage != "admission" {
+		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Fields["offered"] != "10" || ev.Fields["shed"] != "3" || ev.Fields["odd"] != "" {
+		t.Fatalf("fields = %+v", ev.Fields)
+	}
+	if ev.WallNS != time.Unix(42, 7).UnixNano() {
+		t.Fatalf("wall = %d", ev.WallNS)
+	}
+
+	// The sink got the same event as one JSON line.
+	var fromSink Event
+	if err := json.Unmarshal(sink.Bytes(), &fromSink); err != nil {
+		t.Fatalf("sink line not JSON: %v (%q)", err, sink.String())
+	}
+	if fromSink.Kind != EventShedBurst || fromSink.Seq != 0 {
+		t.Fatalf("sink event = %+v", fromSink)
+	}
+
+	var jsonl bytes.Buffer
+	if err := l.WriteJSONL(&jsonl, 0); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&jsonl)
+	lines := 0
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 1 {
+		t.Fatalf("WriteJSONL emitted %d lines", lines)
+	}
+}
+
+func TestEventLogConcurrentEmit(t *testing.T) {
+	l := NewEventLog(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				l.Emit(LevelInfo, "k", "", strings.Repeat("x", w))
+				if i%100 == 0 {
+					l.Snapshot(8)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Total() != 4000 {
+		t.Fatalf("total = %d, want 4000", l.Total())
+	}
+}
+
+func TestNilEventLogAndSetAreNoops(t *testing.T) {
+	var l *EventLog
+	l.Emit(LevelInfo, "k", "", "")
+	if l.Total() != 0 || l.Snapshot(0) != nil {
+		t.Fatal("nil EventLog not a no-op")
+	}
+	var s *Set
+	s.Event(LevelInfo, "k", "", "") // must not panic
+	withLog := New(1)
+	withLog.Event(LevelInfo, "k", "", "") // no Events attached: swallowed
+	withLog.Events = NewEventLog(4)
+	withLog.Event(LevelError, "boom", "stage", "msg")
+	if withLog.Events.Total() != 1 {
+		t.Fatal("Set.Event did not reach the attached log")
+	}
+}

@@ -11,17 +11,25 @@ import (
 	"time"
 )
 
+// RegisterPprof mounts the net/http/pprof handlers under /debug/pprof/ on
+// mux. Shared by StartPprof and the ops-plane server (internal/opsd), so
+// both expose identical profiling surfaces without touching the
+// process-global http.DefaultServeMux.
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // StartPprof serves net/http/pprof on addr (e.g. "localhost:6060";
 // ":0" picks a free port). It returns the bound address and a stop
 // function. The handlers live on a private mux, so the process-global
 // http.DefaultServeMux stays clean.
 func StartPprof(addr string) (boundAddr string, stop func() error, err error) {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	RegisterPprof(mux)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -63,8 +63,19 @@ type Gauge struct {
 // Set replaces the gauge's value.
 func (g *Gauge) Set(n int64) { atomic.StoreInt64(&g.v, n) }
 
-// Add adjusts the gauge by n (negative allowed).
-func (g *Gauge) Add(n int64) { atomic.AddInt64(&g.v, n) }
+// Add adjusts the gauge by n (negative allowed) and returns the new value.
+func (g *Gauge) Add(n int64) int64 { return atomic.AddInt64(&g.v, n) }
+
+// SetMax raises the gauge to n if n exceeds the current value — a high-water
+// mark that concurrent writers can bump without coordination.
+func (g *Gauge) SetMax(n int64) {
+	for {
+		cur := atomic.LoadInt64(&g.v)
+		if n <= cur || atomic.CompareAndSwapInt64(&g.v, cur, n) {
+			return
+		}
+	}
+}
 
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return atomic.LoadInt64(&g.v) }
@@ -257,6 +268,44 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	return r.lookup(name, labels, KindHistogram, func(m *metric) { m.hist = newHistogram(bounds) }).hist
 }
 
+// find returns the registered metric for (name, labels) without creating it.
+func (r *Registry) find(name string, labels []Label) *metric {
+	k, _ := key(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.metrics[k]
+}
+
+// GaugeValue reads the gauge for (name, labels) if one is registered. Unlike
+// Gauge it never creates the instrument, so read-only consumers (tables,
+// status pages) do not pollute the registry with zero-valued entries.
+func (r *Registry) GaugeValue(name string, labels ...Label) (int64, bool) {
+	m := r.find(name, labels)
+	if m == nil || m.kind != KindGauge {
+		return 0, false
+	}
+	return m.gauge.Value(), true
+}
+
+// CounterValue reads the counter for (name, labels) without creating it.
+func (r *Registry) CounterValue(name string, labels ...Label) (int64, bool) {
+	m := r.find(name, labels)
+	if m == nil || m.kind != KindCounter {
+		return 0, false
+	}
+	return m.counter.Value(), true
+}
+
+// HistogramIf returns the histogram for (name, labels) if one is registered,
+// without creating it.
+func (r *Registry) HistogramIf(name string, labels ...Label) (*Histogram, bool) {
+	m := r.find(name, labels)
+	if m == nil || m.kind != KindHistogram {
+		return nil, false
+	}
+	return m.hist, true
+}
+
 // MetricPoint is one instrument's state in a Snapshot.
 type MetricPoint struct {
 	Name   string            `json:"name"`
@@ -324,13 +373,39 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition
-// format (histograms as cumulative _bucket/_sum/_count series).
+// format (histograms as cumulative _bucket/_sum/_count series). Series are
+// grouped into contiguous metric families in sorted name order — the raw
+// snapshot order sorts by the internal identity key, which can interleave
+// families when one family's name is a prefix of another ("foo{l=…}" sorts
+// after "foo_bar") — and each family gets a # TYPE header, which scrapers
+// require to be adjacent to its samples.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	points := r.Snapshot()
+	type series struct {
+		p      MetricPoint
+		labels string
+	}
+	ss := make([]series, len(points))
+	for i, p := range points {
+		ss[i] = series{p: p, labels: promLabels(p.Labels, "", 0)}
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].p.Name != ss[j].p.Name {
+			return ss[i].p.Name < ss[j].p.Name
+		}
+		return ss[i].labels < ss[j].labels
+	})
 	bw := bufio.NewWriter(w)
-	for _, p := range r.Snapshot() {
+	prevFamily := ""
+	for _, s := range ss {
+		p := s.p
+		if p.Name != prevFamily {
+			prevFamily = p.Name
+			fmt.Fprintf(bw, "# TYPE %s %s\n", p.Name, p.Kind)
+		}
 		switch metricKind(p.Kind) {
 		case KindCounter, KindGauge:
-			fmt.Fprintf(bw, "%s%s %d\n", p.Name, promLabels(p.Labels, "", 0), p.Value)
+			fmt.Fprintf(bw, "%s%s %d\n", p.Name, s.labels, p.Value)
 		case KindHistogram:
 			cum := int64(0)
 			for i, n := range p.Buckets {
@@ -341,8 +416,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				}
 				fmt.Fprintf(bw, "%s_bucket%s %d\n", p.Name, promLabels(p.Labels, "le", le), cum)
 			}
-			fmt.Fprintf(bw, "%s_sum%s %g\n", p.Name, promLabels(p.Labels, "", 0), p.Sum)
-			fmt.Fprintf(bw, "%s_count%s %d\n", p.Name, promLabels(p.Labels, "", 0), p.Count)
+			fmt.Fprintf(bw, "%s_sum%s %g\n", p.Name, s.labels, p.Sum)
+			fmt.Fprintf(bw, "%s_count%s %d\n", p.Name, s.labels, p.Count)
 		}
 	}
 	return bw.Flush()
@@ -364,18 +439,47 @@ func promLabels(labels map[string]string, leKey string, le float64) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
 	}
 	if leKey != "" {
 		if len(keys) > 0 {
 			b.WriteByte(',')
 		}
-		if math.IsInf(le, 1) {
-			fmt.Fprintf(&b, "%s=%q", leKey, "+Inf")
-		} else {
-			fmt.Fprintf(&b, "%s=%q", leKey, fmt.Sprintf("%g", le))
+		leStr := "+Inf"
+		if !math.IsInf(le, 1) {
+			leStr = fmt.Sprintf("%g", le)
 		}
+		fmt.Fprintf(&b, "%s=%q", leKey, leStr)
 	}
 	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// format: exactly backslash, double quote, and newline are escaped, every
+// other byte passes through raw. (Go's %q would also invent escapes like \t
+// and \u…, which the exposition format treats as a literal backslash
+// followed by junk.)
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
 	return b.String()
 }

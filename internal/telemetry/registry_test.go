@@ -150,6 +150,133 @@ func TestSnapshotDeterministicOrderAndExports(t *testing.T) {
 	}
 }
 
+func TestPrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	hostile := "back\\slash \"quoted\"\nnewline\ttab"
+	r.Counter("hostile_total", L("v", hostile)).Inc()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Exposition format: backslash, double quote, and newline are escaped;
+	// everything else (the tab) passes through raw.
+	want := `hostile_total{v="back\\slash \"quoted\"\nnewline` + "\ttab" + `"} 1`
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped series missing.\nwant %q\ngot:\n%s", want, out)
+	}
+	// No sample line may contain a raw newline inside its label braces —
+	// each metric line must be exactly one line.
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.Count(line, `"`)%2 != 0 {
+			t.Fatalf("unbalanced quotes (raw newline leaked?): %q", line)
+		}
+	}
+}
+
+func TestPrometheusFamiliesContiguousAndSorted(t *testing.T) {
+	r := NewRegistry()
+	// "foo_bar" sorts between "foo" and "foo|l=…" under the raw identity-key
+	// order, which used to split the foo family in the exposition output.
+	r.Counter("foo").Inc()
+	r.Counter("foo", L("l", "1")).Add(2)
+	r.Counter("foo_bar").Add(3)
+	r.Gauge("a_gauge").Set(9)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var families []string
+	for _, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			families = append(families, strings.Fields(line)[2])
+			continue
+		}
+		if len(families) == 0 {
+			t.Fatalf("sample before any TYPE header: %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		if fam := families[len(families)-1]; name != fam {
+			t.Fatalf("series %q emitted under family %q: families are not contiguous\n%s",
+				line, fam, buf.String())
+		}
+	}
+	if want := []string{"a_gauge", "foo", "foo_bar"}; strings.Join(families, ",") != strings.Join(want, ",") {
+		t.Fatalf("family order = %v, want %v", families, want)
+	}
+}
+
+func TestSnapshotUnderConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("writes_total", L("w", string(rune('a'+w))))
+			h := r.Histogram("lat", []float64{1, 10, 100})
+			g := r.Gauge("level")
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Inc()
+				h.Observe(float64(i % 128))
+				g.Set(int64(i))
+				// New series appear while snapshots run.
+				if i%64 == 0 {
+					r.Counter("dyn_total", L("i", string(rune('a'+i%8)))).Inc()
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		for j := 1; j < len(snap); j++ {
+			if snap[j-1].Name > snap[j].Name {
+				t.Fatalf("snapshot unsorted under concurrency: %q > %q", snap[j-1].Name, snap[j].Name)
+			}
+		}
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestGaugeSetMaxAndReadOnlyLookups(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", L("stage", "crawl"))
+	g.SetMax(5)
+	g.SetMax(3) // lower: ignored
+	if g.Value() != 5 {
+		t.Fatalf("SetMax kept %d, want 5", g.Value())
+	}
+	if v, ok := r.GaugeValue("depth", L("stage", "crawl")); !ok || v != 5 {
+		t.Fatalf("GaugeValue = %d,%v", v, ok)
+	}
+	// Read-only lookups never create instruments.
+	if _, ok := r.GaugeValue("absent"); ok {
+		t.Fatal("GaugeValue invented a gauge")
+	}
+	if _, ok := r.HistogramIf("absent", L("x", "y")); ok {
+		t.Fatal("HistogramIf invented a histogram")
+	}
+	if _, ok := r.CounterValue("absent"); ok {
+		t.Fatal("CounterValue invented a counter")
+	}
+	if len(r.Snapshot()) != 1 {
+		t.Fatalf("registry grew to %d metrics after read-only lookups", len(r.Snapshot()))
+	}
+}
+
 func TestNilSetIsNoop(t *testing.T) {
 	var s *Set
 	if s.Counter("x") != nil || s.Gauge("y") != nil || s.StageHist(StageCrawlVisit) != nil {

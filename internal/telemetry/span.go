@@ -29,12 +29,21 @@ const (
 	StageEasyList    = "easylist.match"
 	StageHoneyclient = "honeyclient.analyze"
 	StageOracle      = "oracle.classify"
-	// Streaming-service stages (internal/stream): one commit span per
-	// journaled record batch, and one drain span bracketing the graceful
-	// wind-down after a shutdown request.
-	StageStreamCommit = "stream.commit"
-	StageStreamDrain  = "stream.drain"
+	// Streaming-service stages (internal/stream): per-item crawl/analyze
+	// durations observed by the supervised stage runtime, one commit span per
+	// journaled record, and one drain span bracketing the graceful wind-down
+	// after a shutdown request.
+	StageStreamCrawl   = "stream.crawl"
+	StageStreamAnalyze = "stream.analyze"
+	StageStreamCommit  = "stream.commit"
+	StageStreamDrain   = "stream.drain"
 )
+
+// StreamStages lists the streaming-service stages in pipeline order. They
+// appear in the latency table only when the streaming service ran.
+func StreamStages() []string {
+	return []string{StageStreamCrawl, StageStreamAnalyze, StageStreamCommit, StageStreamDrain}
+}
 
 // Stages lists every batch-pipeline stage in pipeline order (the stages a
 // plain crawl→oracle run records; the stream.* stages appear only when the
@@ -55,6 +64,9 @@ type Set struct {
 	Registry *Registry
 	// Tracer is nil until EnableTracing; metrics work either way.
 	Tracer *Tracer
+	// Events is nil until an event log is attached (see events.go); the
+	// Event helper is a no-op without one.
+	Events *EventLog
 	Seed   uint64
 }
 

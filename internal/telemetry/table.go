@@ -7,8 +7,12 @@ import (
 
 // LatencyTable renders the per-stage latency table (count, p50, p90, p99,
 // mean) from the set's stage histograms, in pipeline order, skipping stages
-// with no observations. It returns "" when nothing was observed — callers
-// can print the result unconditionally.
+// with no observations. Streaming-service stages follow the batch stages
+// when the stream ran, and stages instrumented with queue-depth/in-flight
+// high-water gauges (the stream runtime's stream_queue_depth_max /
+// stream_inflight_max) get those surfaced in two extra columns — batch
+// stages, which have no queues, show "-". It returns "" when nothing was
+// observed, so callers can print the result unconditionally.
 func (s *Set) LatencyTable() string {
 	if s == nil {
 		return ""
@@ -17,34 +21,64 @@ func (s *Set) LatencyTable() string {
 		stage               string
 		count               int64
 		p50, p90, p99, mean float64
+		qmax, inflmax       string
 	}
 	var rows []row
-	for _, stage := range Stages() {
-		h := s.StageHist(stage)
+	hasGauges := false
+	for _, stage := range append(Stages(), StreamStages()...) {
+		h, ok := s.Registry.HistogramIf(StageHistName, L("stage", stage))
+		if !ok {
+			continue
+		}
 		n := h.Count()
 		if n == 0 {
 			continue
 		}
-		rows = append(rows, row{
+		r := row{
 			stage: stage,
 			count: n,
 			p50:   h.Quantile(0.50),
 			p90:   h.Quantile(0.90),
 			p99:   h.Quantile(0.99),
 			mean:  h.Sum() / float64(n),
-		})
+			qmax:  "-", inflmax: "-",
+		}
+		// Stream stage gauges are labeled with the short stage name the
+		// runtime was given ("crawl", not "stream.crawl").
+		short := strings.TrimPrefix(stage, "stream.")
+		if v, ok := s.Registry.GaugeValue("stream_queue_depth_max", L("stage", short)); ok {
+			r.qmax = fmt.Sprintf("%d", v)
+			hasGauges = true
+		}
+		if v, ok := s.Registry.GaugeValue("stream_inflight_max", L("stage", short)); ok {
+			r.inflmax = fmt.Sprintf("%d", v)
+			hasGauges = true
+		}
+		rows = append(rows, r)
 	}
 	if len(rows) == 0 {
 		return ""
 	}
 	var b strings.Builder
 	b.WriteString("Per-stage latency (bucketed estimates)\n")
-	fmt.Fprintf(&b, "  %-20s %10s %10s %10s %10s %10s\n",
-		"stage", "count", "p50", "p90", "p99", "mean")
+	if hasGauges {
+		fmt.Fprintf(&b, "  %-20s %10s %10s %10s %10s %10s %7s %7s\n",
+			"stage", "count", "p50", "p90", "p99", "mean", "q.max", "inf.max")
+	} else {
+		fmt.Fprintf(&b, "  %-20s %10s %10s %10s %10s %10s\n",
+			"stage", "count", "p50", "p90", "p99", "mean")
+	}
 	for _, r := range rows {
-		fmt.Fprintf(&b, "  %-20s %10d %10s %10s %10s %10s\n",
-			r.stage, r.count,
-			fmtDuration(r.p50), fmtDuration(r.p90), fmtDuration(r.p99), fmtDuration(r.mean))
+		if hasGauges {
+			fmt.Fprintf(&b, "  %-20s %10d %10s %10s %10s %10s %7s %7s\n",
+				r.stage, r.count,
+				fmtDuration(r.p50), fmtDuration(r.p90), fmtDuration(r.p99), fmtDuration(r.mean),
+				r.qmax, r.inflmax)
+		} else {
+			fmt.Fprintf(&b, "  %-20s %10d %10s %10s %10s %10s\n",
+				r.stage, r.count,
+				fmtDuration(r.p50), fmtDuration(r.p90), fmtDuration(r.p99), fmtDuration(r.mean))
+		}
 	}
 	return b.String()
 }
