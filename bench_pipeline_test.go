@@ -27,6 +27,7 @@ func BenchmarkPipelineCrawl(b *testing.B) {
 	s, _ := benchWorld(b)
 	sites := s.Web.TopSlice(20)
 	pages, ads := int64(0), 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		corp, st := s.CrawlSubset(sites)
@@ -70,6 +71,7 @@ func BenchmarkPipelineAnalyze(b *testing.B) {
 	if len(ads) == 0 {
 		b.Fatal("empty corpus")
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep := s.Oracle.Honey.Analyze(ads[i%len(ads)].FrameURL)
@@ -106,6 +108,7 @@ func benchImpressionStream(b *testing.B, ads []*Ad) []*Ad {
 // benchAnalyzeStream drives one honeyclient over the impression stream and
 // reports ads/sec; shared by the cache-off and cached variants.
 func benchAnalyzeStream(b *testing.B, h *honeyclient.Honeyclient, stream []*Ad) {
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		ad := stream[i%len(stream)]
@@ -163,6 +166,7 @@ func benchStreamStudy(tb testing.TB) *Study {
 func BenchmarkPipelineStream(b *testing.B) {
 	s := benchStreamStudy(b)
 	visits, ads := 0, 0
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		svc, err := stream.NewService(s, stream.ServiceConfig{
@@ -228,12 +232,18 @@ func benchStreamOverload(tb testing.TB) benchResult {
 	}
 }
 
-// benchResult is one benchmark's row in BENCH_pipeline.json.
+// benchResult is one benchmark's row in BENCH_pipeline.json. The alloc
+// columns come from testing.BenchmarkResult's memory statistics (every
+// benchmark here calls b.ReportAllocs), so the committed artifact carries
+// an allocation baseline per benchmark and the CI bench-diff job can fail
+// on allocation regressions, not just wall-clock ones.
 type benchResult struct {
-	Name    string             `json:"name"`
-	N       int                `json:"n"`
-	NsPerOp int64              `json:"ns_per_op"`
-	Metrics map[string]float64 `json:"metrics,omitempty"`
+	Name        string             `json:"name"`
+	N           int                `json:"n"`
+	NsPerOp     int64              `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64              `json:"bytes_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchReport is the BENCH_pipeline.json document.
@@ -259,7 +269,13 @@ func TestEmitBenchPipeline(t *testing.T) {
 		if r.N == 0 {
 			t.Fatalf("benchmark %s did not run", name)
 		}
-		res := benchResult{Name: name, N: r.N, NsPerOp: r.NsPerOp()}
+		res := benchResult{
+			Name:        name,
+			N:           r.N,
+			NsPerOp:     r.NsPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
 		if len(r.Extra) > 0 {
 			res.Metrics = map[string]float64{}
 			for k, v := range r.Extra {
@@ -314,6 +330,34 @@ func TestEmitBenchPipeline(t *testing.T) {
 	} else {
 		t.Logf("minijs compile speedup: %.1fx (tree-walk %d -> warm %d ns/op, cold %d)",
 			float64(jsTree.NsPerOp)/float64(jsWarm.NsPerOp), jsTree.NsPerOp, jsWarm.NsPerOp, jsCold.NsPerOp)
+	}
+
+	// The zero-allocation-hot-paths gates. The ns ceilings are the
+	// pre-optimization committed baselines (121084 / 110176 ns/op on the
+	// reference runner) divided by the required 1.3x speedup; the alloc
+	// ceilings are hard counts — allocations per op are deterministic, so
+	// unlike wall clock they gate exactly, with headroom above the current
+	// measurements (171 / ~210 allocs/op) to absorb benign drift.
+	gates := []struct {
+		res       benchResult
+		maxNs     int64
+		maxAllocs int64
+	}{
+		{jsWarm, 121084 * 10 / 13, 391},   // >=1.3x over baseline; 40% below 652 allocs/op
+		{cacheOff, 110176 * 10 / 13, 256}, // >=1.3x over baseline; 40% below 427 allocs/op
+	}
+	for _, g := range gates {
+		switch {
+		case g.res.NsPerOp > g.maxNs:
+			t.Errorf("%s speedup gate failed: %d ns/op > ceiling %d ns/op (1.3x over committed baseline)",
+				g.res.Name, g.res.NsPerOp, g.maxNs)
+		case g.res.AllocsPerOp > g.maxAllocs:
+			t.Errorf("%s alloc gate failed: %d allocs/op > ceiling %d allocs/op",
+				g.res.Name, g.res.AllocsPerOp, g.maxAllocs)
+		default:
+			t.Logf("%s gates pass: %d ns/op (ceiling %d), %d allocs/op (ceiling %d), %d B/op",
+				g.res.Name, g.res.NsPerOp, g.maxNs, g.res.AllocsPerOp, g.maxAllocs, g.res.BytesPerOp)
+		}
 	}
 
 	write := func(path string, rep benchReport) {

@@ -1,0 +1,128 @@
+// Command benchdiff compares two BENCH_pipeline.json artifacts and fails
+// (exit 1) when the new run's allocations per op regress beyond a tolerance
+// over the old run's. Wall-clock (ns/op) drifts with runner load, so it is
+// reported but never gated here; allocation counts are deterministic for a
+// fixed workload, which makes them the reliable cross-machine regression
+// signal. CI runs this with the committed baseline as "old" and the
+// just-measured artifact as "new".
+//
+// Usage:
+//
+//	benchdiff [-max-alloc-regress 0.10] old.json new.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchResult struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+}
+
+type benchReport struct {
+	Results []benchResult `json:"results"`
+}
+
+func load(path string) (map[string]benchResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	m := make(map[string]benchResult, len(rep.Results))
+	for _, r := range rep.Results {
+		m[r.Name] = r
+	}
+	return m, nil
+}
+
+func main() {
+	maxRegress := flag.Float64("max-alloc-regress", 0.10,
+		"maximum tolerated fractional increase in allocs/op (0.10 = +10%)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-alloc-regress 0.10] old.json new.json")
+		os.Exit(2)
+	}
+	oldRes, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRes, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	// Walk the old report's benchmarks so a row silently dropped from the
+	// new artifact is caught rather than skipped.
+	names := make([]string, 0, len(oldRes))
+	for _, r := range readOrder(flag.Arg(0)) {
+		if _, ok := oldRes[r]; ok {
+			names = append(names, r)
+		}
+	}
+
+	failed := false
+	fmt.Printf("%-28s %14s %14s %8s\n", "benchmark", "old allocs/op", "new allocs/op", "delta")
+	for _, name := range names {
+		o := oldRes[name]
+		n, ok := newRes[name]
+		if !ok {
+			fmt.Printf("%-28s %14d %14s %8s  MISSING from new artifact\n", name, o.AllocsPerOp, "-", "-")
+			failed = true
+			continue
+		}
+		delta := "n/a"
+		status := ""
+		if o.AllocsPerOp > 0 {
+			frac := float64(n.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp)
+			delta = fmt.Sprintf("%+.1f%%", frac*100)
+			if frac > *maxRegress {
+				status = fmt.Sprintf("  FAIL (> +%.0f%%)", *maxRegress*100)
+				failed = true
+			}
+		} else if n.AllocsPerOp > 0 {
+			// Old row was alloc-free (or predates alloc columns with a
+			// genuinely zero count); any new allocation on a zero baseline
+			// is a regression.
+			delta = fmt.Sprintf("+%d", n.AllocsPerOp)
+			status = "  FAIL (was 0 allocs/op)"
+			failed = true
+		}
+		fmt.Printf("%-28s %14d %14d %8s%s\n", name, o.AllocsPerOp, n.AllocsPerOp, delta, status)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchdiff: allocation regression detected")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: no allocation regressions")
+}
+
+// readOrder returns benchmark names in the file's original order so the
+// diff table reads like the artifact.
+func readOrder(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var rep benchReport
+	if json.Unmarshal(data, &rep) != nil {
+		return nil
+	}
+	names := make([]string, 0, len(rep.Results))
+	for _, r := range rep.Results {
+		names = append(names, r.Name)
+	}
+	return names
+}

@@ -25,6 +25,7 @@ import (
 // creative without brute-forcing the auction.
 func CreativeHTML(c *adnet.Campaign, imp string, variant int) string {
 	var b strings.Builder
+	b.Grow(1024)
 	b.WriteString("<html><head><title>ad</title></head><body>")
 	switch c.Kind {
 	case adnet.KindBenign, adnet.KindBlacklisted:
@@ -166,6 +167,7 @@ document.write('<img src="http://%[3]s/banners/b3_%[4]s.png?imp=%[2]s" width="30
 // decoded program runs inside the same instrumented interpreter.
 func obfuscate(src string) string {
 	var b strings.Builder
+	b.Grow(len(`eval(unescape(""))`) + 3*len(src))
 	b.WriteString(`eval(unescape("`)
 	for i := 0; i < len(src); i++ {
 		fmt.Fprintf(&b, "%%%02x", src[i])

@@ -3,6 +3,7 @@ package adserver
 import (
 	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 
@@ -11,6 +12,40 @@ import (
 	"madave/internal/stats"
 	"madave/internal/webgen"
 )
+
+// queryGet returns the first value for key in a raw query string without
+// materialising the url.Values map that r.URL.Query() builds per call. The
+// serving hot path parses a handful of short keys per request, so a linear
+// scan wins; escaped values fall back to url.QueryUnescape.
+func queryGet(rawQuery, key string) string {
+	for len(rawQuery) > 0 {
+		pair := rawQuery
+		if i := strings.IndexByte(pair, '&'); i >= 0 {
+			pair, rawQuery = pair[:i], pair[i+1:]
+		} else {
+			rawQuery = ""
+		}
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			if pair == key {
+				return ""
+			}
+			continue
+		}
+		if pair[:eq] != key {
+			continue
+		}
+		v := pair[eq+1:]
+		if strings.IndexByte(v, '%') < 0 && strings.IndexByte(v, '+') < 0 {
+			return v
+		}
+		if dec, err := url.QueryUnescape(v); err == nil {
+			return dec
+		}
+		return v
+	}
+	return ""
+}
 
 // Server wires a generated web and ad ecosystem into a memnet universe.
 type Server struct {
@@ -64,10 +99,11 @@ func (s *Server) Install(u *memnet.Universe) {
 // the paper found that none of the crawled websites used it (§4.4).
 func (s *Server) publisherHandler(site *webgen.Site) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		nonce := r.URL.Query().Get("v")
+		nonce := queryGet(r.URL.RawQuery, "v")
 		primary := s.Eco.Networks[site.PrimaryNetwork%len(s.Eco.Networks)]
 
 		var b strings.Builder
+		b.Grow(2048)
 		fmt.Fprintf(&b, "<html><head><title>%s - %s</title></head><body>", site.Domain, site.Category)
 		fmt.Fprintf(&b, "<h1>%s</h1>", site.Domain)
 		fmt.Fprintf(&b, "<p>Welcome to %s, your %s destination.</p>", site.Domain, site.Category)
@@ -105,15 +141,15 @@ func (s *Server) networkHandler(n *adnet.Network) http.Handler {
 			http.NotFound(w, r)
 			return
 		}
-		q := r.URL.Query()
-		pub := q.Get("pub")
-		imp := q.Get("imp")
-		hop, err := strconv.Atoi(q.Get("hop"))
+		raw := r.URL.RawQuery
+		pub := queryGet(raw, "pub")
+		imp := queryGet(raw, "imp")
+		hop, err := strconv.Atoi(queryGet(raw, "hop"))
 		if err != nil || hop < 0 || hop >= adnet.MaxChain || pub == "" || imp == "" {
 			http.Error(w, "bad ad request", http.StatusBadRequest)
 			return
 		}
-		slot, _ := strconv.Atoi(q.Get("slot"))
+		slot, _ := strconv.Atoi(queryGet(raw, "slot"))
 
 		d, ok := s.decide(pub, imp)
 		if !ok {
@@ -194,7 +230,7 @@ func (s *Server) payloadHandler(c *adnet.Campaign) http.Handler {
 			w.Header().Set("Content-Type", "text/html")
 			fmt.Fprintf(w,
 				`<html><body><script>window.location = "http://%s/payload.exe?imp=%s";</script></body></html>`,
-				c.PayloadHost, r.URL.Query().Get("imp"))
+				c.PayloadHost, queryGet(r.URL.RawQuery, "imp"))
 		case strings.HasSuffix(r.URL.Path, ".exe"):
 			w.Header().Set("Content-Type", "application/octet-stream")
 			w.Write(payloadEXE(c))
@@ -212,7 +248,7 @@ func widgetHandler(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/html")
 	fmt.Fprintf(w,
 		"<html><body><div class=\"widget\">Trending on %s</div></body></html>",
-		r.URL.Query().Get("site"))
+		queryGet(r.URL.RawQuery, "site"))
 }
 
 // searchHandler serves the benign search-engine stand-ins.

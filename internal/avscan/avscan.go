@@ -145,18 +145,23 @@ var (
 // the same body coalesce into a single engine sweep.
 func (s *Scanner) Scan(data []byte) *Report {
 	sum := sha256.Sum256(data)
+	// Hex-encode once via a stack buffer; the one string allocated here is
+	// shared by the cache key and the report's SHA256 field.
+	var hexBuf [2 * sha256.Size]byte
+	hex.Encode(hexBuf[:], sum[:])
+	hexSum := string(hexBuf[:])
 	if s.cache == nil {
-		return s.scan(data, sum)
+		return s.scan(data, sum, hexSum)
 	}
-	r, _ := s.cache.GetOrLoad(hex.EncodeToString(sum[:]), func() (*Report, error) {
-		return s.scan(data, sum), nil
+	r, _ := s.cache.GetOrLoad(hexSum, func() (*Report, error) {
+		return s.scan(data, sum, hexSum), nil
 	})
 	return r
 }
 
-func (s *Scanner) scan(data []byte, sum [sha256.Size]byte) *Report {
+func (s *Scanner) scan(data []byte, sum [sha256.Size]byte, hexSum string) *Report {
 	r := &Report{
-		SHA256: hex.EncodeToString(sum[:]),
+		SHA256: hexSum,
 		Size:   len(data),
 		Kind:   classify(data),
 	}

@@ -1,0 +1,19 @@
+package avscan
+
+import "testing"
+
+// BenchmarkScanCached pins the cached re-scan path: one content hash, one
+// shared hex string, no per-verdict formatting.
+func BenchmarkScanCached(b *testing.B) {
+	s := New(0xfeed)
+	s.EnableCache(256, nil)
+	body := []byte("GIF89a benign creative body for the scanner to hash")
+	s.Scan(body) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := s.Scan(body); r == nil {
+			b.Fatal("nil report")
+		}
+	}
+}

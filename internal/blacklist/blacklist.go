@@ -225,7 +225,13 @@ func (t *Tracker) ListingsAsOf(host string, day int) int {
 	if memo == nil {
 		return t.countAsOf(host, day)
 	}
-	n, _ := memo.GetOrLoad(host+"|"+strconv.Itoa(day), func() (int, error) {
+	// Append-built day key ("host|day"): one allocation for the final
+	// string, with the bytes assembled in a stack buffer.
+	var buf [80]byte
+	b := append(buf[:0], host...)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(day), 10)
+	n, _ := memo.GetOrLoad(string(b), func() (int, error) {
 		return t.countAsOf(host, day), nil
 	})
 	return n

@@ -1,0 +1,16 @@
+package blacklist
+
+import "testing"
+
+// BenchmarkListingsAsOfMemo exercises the append-built "host|day" memo key
+// on a warm memo, the per-ad hot path of the lag tracker.
+func BenchmarkListingsAsOfMemo(b *testing.B) {
+	tr := New()
+	tr.EnableMemo(1024, nil)
+	tr.AddOn("malware.example.net", "bl-00", CatMalware, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.ListingsAsOf("www.malware.example.net", 5)
+	}
+}

@@ -237,6 +237,16 @@ type Browser struct {
 	// Blocker calls. A Browser serves one goroutine, so one context
 	// amortizes the per-request scratch across every fetch it checks.
 	blockCtx easylist.RequestCtx
+	// baseHeader is the shared header map for refererless requests and
+	// uaVal the cached User-Agent value slice, both built on first fetch.
+	// Sharing them across requests is safe because the transport stack
+	// treats request headers as read-only (see memnet.Transport).
+	baseHeader http.Header
+	uaVal      []string
+	// navObj/screenObj are the frozen shared navigator and screen host
+	// objects, pure functions of Profile, built on first script run.
+	navObj    *minijs.Object
+	screenObj *minijs.Object
 	// EnforceSandbox honors iframe sandbox attributes. Real browsers do;
 	// the study's finding is that no publisher used them.
 	EnforceSandbox bool
@@ -418,7 +428,7 @@ func (b *Browser) loadFrame(ctx context.Context, url, referer string, depth int,
 	page.RedirectHops = hops
 	page.Status = resp.StatusCode
 
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	body := readCapped(resp)
 	ct := mediaType(resp.Header.Get("Content-Type"))
 	if isDownloadType(ct) {
 		page.Downloads = append(page.Downloads, Download{URL: cur, ContentType: ct, Body: body})
@@ -473,9 +483,28 @@ func (b *Browser) get(ctx context.Context, url, referer string) (*http.Response,
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("User-Agent", b.Profile.UserAgent)
-	if referer != "" {
-		req.Header.Set("Referer", referer)
+	if b.uaVal == nil {
+		b.uaVal = []string{b.Profile.UserAgent}
+		b.baseHeader = http.Header{"User-Agent": b.uaVal}
+	}
+	if referer == "" {
+		req.Header = b.baseHeader
+	} else {
+		h := make(http.Header, 2)
+		h["User-Agent"] = b.uaVal
+		h["Referer"] = []string{referer}
+		req.Header = h
+	}
+	// The browser follows redirects itself (CheckRedirect returns
+	// ErrUseLastResponse), so with no cookie jar or client timeout Client.Do
+	// adds nothing but a deep header copy for a redirect chain that never
+	// happens; round-trip the transport directly in that common case.
+	if b.Client.Jar == nil && b.Client.Timeout == 0 {
+		rt := b.Client.Transport
+		if rt == nil {
+			rt = http.DefaultTransport
+		}
+		return rt.RoundTrip(req)
 	}
 	return b.Client.Do(req)
 }
@@ -531,7 +560,7 @@ func (b *Browser) loadResources(ctx context.Context, page *Page) {
 			page.Resources = append(page.Resources, res)
 			return
 		}
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		body := readCapped(resp)
 		resp.Body.Close()
 		res.Status = resp.StatusCode
 		res.ContentType = mediaType(resp.Header.Get("Content-Type"))
@@ -592,8 +621,31 @@ func (b *Browser) loadFrames(ctx context.Context, page *Page, depth int) {
 	}
 }
 
-// readCapped drains up to maxBodyBytes of a response body.
+// readCapped drains up to maxBodyBytes of a response body. When the
+// transport declares a credible Content-Length (the in-memory transport
+// always does), the buffer is sized exactly once instead of growing through
+// io.ReadAll's doubling schedule.
 func readCapped(resp *http.Response) []byte {
+	// ContentLength 0 is ambiguous (it can mean "unset"), so only a positive
+	// declared length takes the presized path.
+	if n := resp.ContentLength; n > 0 && n <= maxBodyBytes {
+		buf := make([]byte, n)
+		m, err := io.ReadFull(resp.Body, buf)
+		if err != nil && err != io.ErrUnexpectedEOF {
+			return buf[:m]
+		}
+		if err == nil {
+			// Trust but verify: probe one byte past the declared length
+			// (allocation-free when the length was honest) and only fall to
+			// the generic path when more bytes actually follow.
+			var probe [1]byte
+			if pn, _ := resp.Body.Read(probe[:]); pn > 0 {
+				rest, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes-n-1))
+				return append(append(buf, probe[0]), rest...)
+			}
+		}
+		return buf[:m]
+	}
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 	return body
 }

@@ -15,10 +15,17 @@ import (
 // produced are executed too (bounded). setTimeout callbacks run after the
 // synchronous pass, ordered by delay — the browser's logical event loop.
 func (b *Browser) runScripts(reqCtx context.Context, page *Page, sandboxed bool) {
+	// A page with no inline scripts can never execute anything (external
+	// scripts run only when an inline script appendChilds them), so skip
+	// building the interpreter and host environment entirely.
+	if !hasInlineScript(page.Doc) {
+		return
+	}
 	ctx := &scriptCtx{b: b, page: page, sandboxed: sandboxed, reqCtx: reqCtx}
 	interp := minijs.New()
 	interp.Budget = b.ScriptBudget
 	interp.UseVM = !b.TreeWalkJS
+	interp.Host = ctx
 	ctx.install(interp)
 
 	executed := map[*htmlparse.Node]bool{}
@@ -55,12 +62,27 @@ func (b *Browser) runScripts(reqCtx context.Context, page *Page, sandboxed bool)
 		ctx.timers = nil
 		sortTimers(timers)
 		for _, t := range timers {
-			if _, err := interp.CallFunction(t.fn, minijs.Undefined{}, nil); err != nil {
+			if _, err := interp.CallFunction(t.fn, minijs.Undefined(), nil); err != nil {
 				page.Errors = append(page.Errors, "timer: "+err.Error())
 			}
 			ctx.flushWrites()
 		}
 	}
+}
+
+// hasInlineScript reports whether the document holds at least one inline
+// (src-less, non-blank) script element.
+func hasInlineScript(doc *htmlparse.Node) bool {
+	found := false
+	doc.Walk(func(n *htmlparse.Node) bool {
+		if n.Type == htmlparse.ElementNode && n.Tag == "script" {
+			if _, external := n.Attr("src"); !external && strings.TrimSpace(n.InnerText()) != "" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // scriptCtx carries the per-document state the host bindings mutate.
@@ -162,51 +184,38 @@ const maxFollowedNavigations = 3
 // install defines the host objects: document, window, top, navigator,
 // screen, location, setTimeout — and overrides Math.random with the
 // browser's deterministic stream.
-func (ctx *scriptCtx) install(in *minijs.Interp) {
-	g := in.Global
 
-	// document ----------------------------------------------------------
-	doc := minijs.NewObject()
-	doc.Name = "document"
-	doc.Props["URL"] = ctx.page.FinalURL
-	doc.Props["referrer"] = ""
-	docHost := urlx.Host(ctx.page.FinalURL)
-	doc.GetTrap = func(name string) (minijs.Value, bool) {
-		if name == "cookie" {
-			return ctx.b.cookieHeader(docHost), true
-		}
-		return nil, false
-	}
-	doc.SetTrap = func(name string, v minijs.Value) bool {
-		if name == "cookie" {
-			ctx.b.setCookie(docHost, minijs.ToString(v))
-			return true
-		}
-		return false
-	}
-	doc.Props["write"] = minijs.NewNative("write", func(_ *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+// hostCtx recovers the script context from the interpreter's Host slot; the
+// shared host natives below use it instead of capturing ctx in per-frame
+// closures (one interpreter serves exactly one document, so Host is stable
+// for the natives' whole lifetime).
+func hostCtx(in *minijs.Interp) *scriptCtx { return in.Host.(*scriptCtx) }
+
+// Shared host natives: built once, installed into every document's
+// environment. Everything per-document they touch comes through hostCtx.
+var (
+	natDocWrite = minijs.NewSharedNative("write", func(in *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		ctx := hostCtx(in)
 		for _, a := range args {
 			ctx.writeBuf.WriteString(minijs.ToString(a))
 		}
-		return minijs.Undefined{}, nil
+		return minijs.Undefined(), nil
 	})
-	doc.Props["writeln"] = doc.Props["write"]
 	// createElement / appendChild: the asynchronous ad-loader pattern
 	// (`var s = document.createElement("script"); s.src = ...;
 	// document.body.appendChild(s);`). Appended images and iframes land in
 	// the DOM and are fetched by the post-script resource/frame passes;
 	// appended external scripts are fetched and executed immediately.
-	doc.Props["createElement"] = minijs.NewNative("createElement", func(_ *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+	natCreateElement = minijs.NewSharedNative("createElement", func(in *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
 		tag := strings.ToLower(minijs.ToString(argOr(args, 0)))
 		node := &htmlparse.Node{Type: htmlparse.ElementNode, Tag: tag}
-		return ctx.wrapElement(node), nil
+		return hostCtx(in).wrapElement(in, node).Value(), nil
 	})
-	body := minijs.NewObject()
-	body.Name = "document.body"
-	body.Props["appendChild"] = minijs.NewNative("appendChild", func(in *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
-		el, ok := argOr(args, 0).(*minijs.Object)
-		if !ok {
-			return minijs.Undefined{}, nil
+	natAppendChild = minijs.NewSharedNative("appendChild", func(in *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		ctx := hostCtx(in)
+		el := argOr(args, 0).Obj()
+		if el == nil {
+			return minijs.Undefined(), nil
 		}
 		node := ctx.nodeOf(el)
 		if node == nil {
@@ -226,8 +235,8 @@ func (ctx *scriptCtx) install(in *minijs.Interp) {
 		}
 		return argOr(args, 0), nil
 	})
-	doc.Props["body"] = body
-	doc.Props["getElementById"] = minijs.NewNative("getElementById", func(_ *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+	natGetElementByID = minijs.NewSharedNative("getElementById", func(in *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		ctx := hostCtx(in)
 		id := minijs.ToString(argOr(args, 0))
 		var found *htmlparse.Node
 		ctx.page.Doc.Walk(func(n *htmlparse.Node) bool {
@@ -238,46 +247,147 @@ func (ctx *scriptCtx) install(in *minijs.Interp) {
 			return found == nil
 		})
 		if found == nil {
-			return minijs.Null{}, nil
+			return minijs.Null(), nil
 		}
-		return ctx.wrapElement(found), nil
+		return ctx.wrapElement(in, found).Value(), nil
 	})
-	g.Define("document", doc)
+	natLocReplace = minijs.NewSharedNative("replace", func(in *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		hostCtx(in).navigate(NavLocation, minijs.ToString(argOr(args, 0)))
+		return minijs.Undefined(), nil
+	})
+	natLocToString = minijs.NewSharedNative("toString", func(in *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		return minijs.Str(hostCtx(in).page.FinalURL), nil
+	})
+	natSetTimeout = minijs.NewSharedNative("setTimeout", func(in *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
+		ctx := hostCtx(in)
+		if len(args) == 0 {
+			return minijs.Num(0), nil
+		}
+		delay := 0.0
+		if len(args) > 1 {
+			delay = minijs.ToNumber(args[1])
+		}
+		ctx.timerSeq++
+		ctx.timers = append(ctx.timers, timerEntry{delay: delay, seq: ctx.timerSeq, fn: args[0]})
+		return minijs.Num(float64(ctx.timerSeq)), nil
+	})
+	natClearTimeout = minijs.NewSharedNative("clearTimeout", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		return minijs.Undefined(), nil
+	})
 
-	// navigator ----------------------------------------------------------
-	nav := minijs.NewObject()
-	nav.Name = "navigator"
-	nav.Props["userAgent"] = ctx.b.Profile.UserAgent
-	plugins := minijs.NewArray()
-	for _, p := range ctx.b.Profile.Plugins {
-		po := minijs.NewObject()
-		po.Props["name"] = p.Name
-		po.Props["version"] = p.Version
-		plugins.Elems = append(plugins.Elems, po)
+	// Date: a logical, fixed clock (Browser.ClockMillis) so runs reproduce.
+	// Supports the idioms ad scripts use: Date.now(), new Date().getTime(),
+	// getHours(), getDay(), getMinutes().
+	natDateNow = minijs.NewSharedNative("now", func(in *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		return minijs.Num(float64(hostCtx(in).b.ClockMillis)), nil
+	})
+	natDateGetTime = minijs.NewSharedNative("getTime", func(in *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		return minijs.Num(float64(hostCtx(in).b.ClockMillis)), nil
+	})
+	natDateGetHours = minijs.NewSharedNative("getHours", func(in *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		return minijs.Num(float64(hostCtx(in).b.ClockMillis / 3_600_000 % 24)), nil
+	})
+	natDateGetDay = minijs.NewSharedNative("getDay", func(in *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		// Day 0 (1970-01-01) was a Thursday = weekday 4.
+		return minijs.Num(float64((hostCtx(in).b.ClockMillis/86_400_000 + 4) % 7)), nil
+	})
+	natDateGetMinutes = minijs.NewSharedNative("getMinutes", func(in *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+		return minijs.Num(float64(hostCtx(in).b.ClockMillis / 60_000 % 60)), nil
+	})
+	natDateCtor = func() *minijs.Object {
+		o := minijs.NewSharedNative("Date", func(in *minijs.Interp, this minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+			obj := this.Obj()
+			if obj == nil {
+				// Date() called as a function.
+				return minijs.Num(float64(hostCtx(in).b.ClockMillis)), nil
+			}
+			obj.Props["getTime"] = natDateGetTime.Value()
+			obj.Props["getHours"] = natDateGetHours.Value()
+			obj.Props["getDay"] = natDateGetDay.Value()
+			obj.Props["getMinutes"] = natDateGetMinutes.Value()
+			return minijs.Undefined(), nil
+		})
+		o.Props = map[string]minijs.Value{"now": natDateNow.Value()}
+		return o
+	}()
+)
+
+func (ctx *scriptCtx) install(in *minijs.Interp) {
+	g := in.Global
+
+	// document ----------------------------------------------------------
+	doc := in.NewObject()
+	doc.Name = "document"
+	doc.Props["URL"] = minijs.Str(ctx.page.FinalURL)
+	doc.Props["referrer"] = minijs.Str("")
+	docHost := urlx.Host(ctx.page.FinalURL)
+	doc.GetTrap = func(name string) (minijs.Value, bool) {
+		if name == "cookie" {
+			return minijs.Str(ctx.b.cookieHeader(docHost)), true
+		}
+		return minijs.Value{}, false
 	}
-	nav.Props["plugins"] = plugins
-	g.Define("navigator", nav)
+	doc.SetTrap = func(name string, v minijs.Value) bool {
+		if name == "cookie" {
+			ctx.b.setCookie(docHost, minijs.ToString(v))
+			return true
+		}
+		return false
+	}
+	doc.Props["write"] = natDocWrite.Value()
+	doc.Props["writeln"] = doc.Props["write"]
+	doc.Props["createElement"] = natCreateElement.Value()
+	body := in.NewObject()
+	body.Name = "document.body"
+	body.Props["appendChild"] = natAppendChild.Value()
+	doc.Props["body"] = body.Value()
+	doc.Props["getElementById"] = natGetElementByID.Value()
+	g.Define("document", doc.Value())
 
-	// screen --------------------------------------------------------------
-	screen := minijs.NewObject()
-	screen.Name = "screen"
-	screen.Props["width"] = float64(ctx.b.Profile.ScreenW)
-	screen.Props["height"] = float64(ctx.b.Profile.ScreenH)
-	g.Define("screen", screen)
+	// navigator / screen --------------------------------------------------
+	// Pure functions of the Profile, so they are built once per Browser as
+	// frozen shared objects rather than per frame (writes are silently
+	// ignored, like the shared builtin method objects).
+	if ctx.b.navObj == nil {
+		nav := minijs.NewObject()
+		nav.Name = "navigator"
+		nav.Props["userAgent"] = minijs.Str(ctx.b.Profile.UserAgent)
+		plugins := minijs.NewArray()
+		for _, p := range ctx.b.Profile.Plugins {
+			po := minijs.NewObject()
+			po.Props["name"] = minijs.Str(p.Name)
+			po.Props["version"] = minijs.Num(p.Version)
+			po.Freeze()
+			plugins.Elems = append(plugins.Elems, po.Value())
+		}
+		plugins.Freeze()
+		nav.Props["plugins"] = plugins.Value()
+		nav.Freeze()
+		ctx.b.navObj = nav
+
+		screen := minijs.NewObject()
+		screen.Name = "screen"
+		screen.Props["width"] = minijs.Num(float64(ctx.b.Profile.ScreenW))
+		screen.Props["height"] = minijs.Num(float64(ctx.b.Profile.ScreenH))
+		screen.Freeze()
+		ctx.b.screenObj = screen
+	}
+	g.Define("navigator", ctx.b.navObj.Value())
+	g.Define("screen", ctx.b.screenObj.Value())
 
 	// location -------------------------------------------------------------
-	loc := minijs.NewObject()
+	loc := in.NewObject()
 	loc.Name = "location"
 	loc.GetTrap = func(name string) (minijs.Value, bool) {
 		switch name {
 		case "href":
-			return ctx.page.FinalURL, true
+			return minijs.Str(ctx.page.FinalURL), true
 		case "host":
-			return urlx.Host(ctx.page.FinalURL), true
+			return minijs.Str(urlx.Host(ctx.page.FinalURL)), true
 		case "protocol":
-			return "http:", true
+			return minijs.Str("http:"), true
 		}
-		return nil, false
+		return minijs.Value{}, false
 	}
 	loc.SetTrap = func(name string, v minijs.Value) bool {
 		if name == "href" {
@@ -286,19 +396,14 @@ func (ctx *scriptCtx) install(in *minijs.Interp) {
 		}
 		return false
 	}
-	loc.Props["replace"] = minijs.NewNative("replace", func(_ *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
-		ctx.navigate(NavLocation, minijs.ToString(argOr(args, 0)))
-		return minijs.Undefined{}, nil
-	})
-	loc.Props["toString"] = minijs.NewNative("toString", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
-		return ctx.page.FinalURL, nil
-	})
-	g.Define("location", loc)
+	loc.Props["replace"] = natLocReplace.Value()
+	loc.Props["toString"] = natLocToString.Value()
+	g.Define("location", loc.Value())
 
 	// top ------------------------------------------------------------------
-	top := minijs.NewObject()
+	top := in.NewObject()
 	top.Name = "top"
-	topLoc := minijs.NewObject()
+	topLoc := in.NewObject()
 	topLoc.Name = "top.location"
 	topLoc.SetTrap = func(name string, v minijs.Value) bool {
 		if name == "href" {
@@ -307,7 +412,7 @@ func (ctx *scriptCtx) install(in *minijs.Interp) {
 		}
 		return false
 	}
-	top.Props["location"] = topLoc
+	top.Props["location"] = topLoc.Value()
 	top.SetTrap = func(name string, v minijs.Value) bool {
 		if name == "location" {
 			ctx.navigate(NavTop, minijs.ToString(v))
@@ -315,23 +420,23 @@ func (ctx *scriptCtx) install(in *minijs.Interp) {
 		}
 		return false
 	}
-	g.Define("top", top)
-	g.Define("parent", top)
+	g.Define("top", top.Value())
+	g.Define("parent", top.Value())
 
 	// window ----------------------------------------------------------------
-	win := minijs.NewObject()
+	win := in.NewObject()
 	win.Name = "window"
-	win.Props["document"] = doc
-	win.Props["navigator"] = nav
-	win.Props["screen"] = screen
-	win.Props["top"] = top
-	win.Props["innerWidth"] = float64(ctx.b.Profile.ScreenW)
-	win.Props["innerHeight"] = float64(ctx.b.Profile.ScreenH)
+	win.Props["document"] = doc.Value()
+	win.Props["navigator"] = ctx.b.navObj.Value()
+	win.Props["screen"] = ctx.b.screenObj.Value()
+	win.Props["top"] = top.Value()
+	win.Props["innerWidth"] = minijs.Num(float64(ctx.b.Profile.ScreenW))
+	win.Props["innerHeight"] = minijs.Num(float64(ctx.b.Profile.ScreenH))
 	win.GetTrap = func(name string) (minijs.Value, bool) {
 		if name == "location" {
-			return loc, true
+			return loc.Value(), true
 		}
-		return nil, false
+		return minijs.Value{}, false
 	}
 	win.SetTrap = func(name string, v minijs.Value) bool {
 		if name == "location" {
@@ -340,64 +445,25 @@ func (ctx *scriptCtx) install(in *minijs.Interp) {
 		}
 		return false
 	}
-	g.Define("window", win)
-	g.Define("self", win)
+	g.Define("window", win.Value())
+	g.Define("self", win.Value())
 
 	// setTimeout --------------------------------------------------------------
-	setTimeout := minijs.NewNative("setTimeout", func(_ *minijs.Interp, _ minijs.Value, args []minijs.Value) (minijs.Value, error) {
-		if len(args) == 0 {
-			return float64(0), nil
-		}
-		delay := 0.0
-		if len(args) > 1 {
-			delay = minijs.ToNumber(args[1])
-		}
-		ctx.timerSeq++
-		ctx.timers = append(ctx.timers, timerEntry{delay: delay, seq: ctx.timerSeq, fn: args[0]})
-		return float64(ctx.timerSeq), nil
-	})
-	g.Define("setTimeout", setTimeout)
-	win.Props["setTimeout"] = setTimeout
-	g.Define("clearTimeout", minijs.NewNative("clearTimeout", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
-		return minijs.Undefined{}, nil
-	}))
+	g.Define("setTimeout", natSetTimeout.Value())
+	win.Props["setTimeout"] = natSetTimeout.Value()
+	g.Define("clearTimeout", natClearTimeout.Value())
 
-	// Date: a logical, fixed clock so runs reproduce. Supports the idioms
-	// ad scripts use: Date.now(), new Date().getTime(), getHours(),
-	// getDay().
-	clock := ctx.b.ClockMillis
-	dateCtor := minijs.NewNative("Date", func(_ *minijs.Interp, this minijs.Value, _ []minijs.Value) (minijs.Value, error) {
-		obj, ok := this.(*minijs.Object)
-		if !ok {
-			return float64(clock), nil // Date() called as a function
-		}
-		obj.Props["getTime"] = minijs.NewNative("getTime", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
-			return float64(clock), nil
-		})
-		obj.Props["getHours"] = minijs.NewNative("getHours", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
-			return float64(clock / 3_600_000 % 24), nil
-		})
-		obj.Props["getDay"] = minijs.NewNative("getDay", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
-			// Day 0 (1970-01-01) was a Thursday = weekday 4.
-			return float64((clock/86_400_000 + 4) % 7), nil
-		})
-		obj.Props["getMinutes"] = minijs.NewNative("getMinutes", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
-			return float64(clock / 60_000 % 60), nil
-		})
-		return minijs.Undefined{}, nil
-	})
-	dateCtor.Props["now"] = minijs.NewNative("now", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
-		return float64(clock), nil
-	})
-	g.Define("Date", dateCtor)
+	// Date: a logical, fixed clock so runs reproduce (see the shared
+	// natDate* natives; the clock lives on the Browser).
+	g.Define("Date", natDateCtor.Value())
 
 	// Deterministic Math.random from the browser's RNG stream.
 	if mathV, ok := g.Lookup("Math"); ok {
-		if mathObj, ok := mathV.(*minijs.Object); ok {
+		if mathObj := mathV.Obj(); mathObj != nil {
 			rng := ctx.b.RNG.Fork("mathrandom:" + ctx.page.FinalURL)
-			mathObj.Props["random"] = minijs.NewNative("random", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
-				return rng.Float64(), nil
-			})
+			mathObj.Props["random"] = in.NewNative("random", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
+				return minijs.Num(rng.Float64()), nil
+			}).Value()
 		}
 	}
 }
@@ -411,22 +477,22 @@ var elementAttrs = map[string]bool{
 
 // wrapElement exposes a DOM node to scripts: innerHTML, attribute-backed
 // properties (src, href, width, ...), and identity for appendChild.
-func (ctx *scriptCtx) wrapElement(n *htmlparse.Node) *minijs.Object {
-	o := minijs.NewObject()
+func (ctx *scriptCtx) wrapElement(in *minijs.Interp, n *htmlparse.Node) *minijs.Object {
+	o := in.NewObject()
 	o.Name = "element:" + n.Tag
-	o.Props["tagName"] = strings.ToUpper(n.Tag)
+	o.Props["tagName"] = minijs.Str(strings.ToUpper(n.Tag))
 	o.GetTrap = func(name string) (minijs.Value, bool) {
 		if name == "innerHTML" {
 			inner := ""
 			for _, c := range n.Children {
 				inner += c.Render()
 			}
-			return inner, true
+			return minijs.Str(inner), true
 		}
 		if elementAttrs[name] {
-			return n.AttrOr(name, ""), true
+			return minijs.Str(n.AttrOr(name, "")), true
 		}
-		return nil, false
+		return minijs.Value{}, false
 	}
 	o.SetTrap = func(name string, v minijs.Value) bool {
 		if name == "innerHTML" {
@@ -521,5 +587,5 @@ func argOr(args []minijs.Value, i int) minijs.Value {
 	if i < len(args) {
 		return args[i]
 	}
-	return minijs.Undefined{}
+	return minijs.Undefined()
 }

@@ -166,7 +166,7 @@ func (c *Crawler) visitOnce(ctx context.Context, tel *telemetry.Set, b *browser.
 	}
 	out.Frames = len(page.Frames)
 	for _, frame := range page.Frames {
-		_, msp := tel.StartSpan(vctx, telemetry.StageEasyList, frame.URL)
+		msp := tel.StartStageTimer(vctx, telemetry.StageEasyList, frame.URL)
 		ad := c.isAdFrame(mctx, frame.URL, v.Site.Host)
 		msp.End()
 		if !ad {

@@ -71,6 +71,9 @@ func (ix *ruleIndex) match(c *RequestCtx) *Rule {
 	for _, tok := range c.tokens {
 		scan(ix.buckets[tok])
 	}
+	for _, sp := range c.foldSpans {
+		scan(ix.buckets[string(c.foldBuf[sp[0]:sp[1]])])
+	}
 	return best
 }
 
@@ -99,7 +102,7 @@ func (l *List) MatchCtx(c *RequestCtx, req Request) (bool, *Rule) {
 // matchCtx is the uninstrumented match path.
 func (l *List) matchCtx(c *RequestCtx, req Request) (bool, *Rule) {
 	c.reset(req)
-	c.tokens = tokenizeURL(req.URL, c.tokens)
+	c.tokenize(req.URL)
 	hit := l.blockIdx.match(c)
 	if hit == nil {
 		return false, nil
@@ -206,10 +209,11 @@ func (r *Rule) tokenSafe(i, j int) bool {
 	return leftOK && rightOK
 }
 
-// tokenizeURL appends u's lowercase alphanumeric runs to buf and returns
-// it. Runs that are already lowercase alias u's backing array, so the
-// common all-lowercase URL tokenizes without allocating.
-func tokenizeURL(u string, buf []string) []string {
+// tokenize records u's lowercase alphanumeric runs in the context. Runs
+// that are already lowercase alias u's backing array in c.tokens; runs with
+// uppercase are case-folded into the c.foldBuf scratch and recorded as
+// spans, so tokenizing never allocates once the scratch has warmed up.
+func (c *RequestCtx) tokenize(u string) {
 	for i := 0; i < len(u); {
 		if !isTokenByte(u[i]) {
 			i++
@@ -222,12 +226,19 @@ func tokenizeURL(u string, buf []string) []string {
 			}
 			j++
 		}
-		tok := u[i:j]
-		if upper {
-			tok = strings.ToLower(tok)
+		if !upper {
+			c.tokens = append(c.tokens, u[i:j])
+		} else {
+			lo := len(c.foldBuf)
+			for k := i; k < j; k++ {
+				ch := u[k]
+				if ch >= 'A' && ch <= 'Z' {
+					ch += 'a' - 'A'
+				}
+				c.foldBuf = append(c.foldBuf, ch)
+			}
+			c.foldSpans = append(c.foldSpans, [2]int32{int32(lo), int32(len(c.foldBuf))})
 		}
-		buf = append(buf, tok)
 		i = j
 	}
-	return buf
 }

@@ -3,6 +3,7 @@ package easylist
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -65,8 +66,16 @@ func TestIndexSpreadsSharedTokens(t *testing.T) {
 }
 
 func TestTokenizeURL(t *testing.T) {
-	got := tokenizeURL("http://Ads.Example.com:8080/a/BannerX?q=1%20x", nil)
-	want := []string{"http", "ads", "example", "com", "8080", "a", "bannerx", "q", "1", "20x"}
+	var c RequestCtx
+	c.tokenize("http://Ads.Example.com:8080/a/BannerX?q=1%20x")
+	// Lowercase runs land in tokens (aliasing the URL); runs with uppercase
+	// land in the fold scratch as spans. Together they must cover every run.
+	got := append([]string(nil), c.tokens...)
+	for _, sp := range c.foldSpans {
+		got = append(got, string(c.foldBuf[sp[0]:sp[1]]))
+	}
+	sort.Strings(got)
+	want := []string{"1", "20x", "8080", "a", "ads", "bannerx", "com", "example", "http", "q"}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("tokens = %v, want %v", got, want)
 	}

@@ -17,6 +17,13 @@ type RequestCtx struct {
 	reqHost string
 	hostOK  bool
 	tokens  []string
+	// foldBuf is the allocation-free case-fold scratch: URL tokens that
+	// contain uppercase are lowered into it and referenced by [lo,hi) spans
+	// in foldSpans, instead of each allocating a lowered string. The index
+	// probes them with a map[string(buf[lo:hi])] lookup, which Go compiles
+	// without a conversion allocation.
+	foldBuf   []byte
+	foldSpans [][2]int32
 }
 
 // NewRequestCtx returns a reusable match context.
@@ -28,6 +35,8 @@ func (c *RequestCtx) reset(req Request) {
 	c.reqHost = ""
 	c.hostOK = false
 	c.tokens = c.tokens[:0]
+	c.foldBuf = c.foldBuf[:0]
+	c.foldSpans = c.foldSpans[:0]
 }
 
 // requestHost returns urlx.Host(req.URL), computed at most once per request.

@@ -16,8 +16,9 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -205,11 +206,21 @@ func (h *Honeyclient) CacheStats() (st cachex.Stats, ok bool) {
 // day D must be re-executed as of day D, not as of whenever the cache was
 // warm.
 func (h *Honeyclient) cacheKey(kind string, day int, id string) string {
-	chaos := "-"
+	chaos := byte('-')
 	if h.Transport != nil {
-		chaos = "t"
+		chaos = 't'
 	}
-	return fmt.Sprintf("%d|%s|%d|%s|%s", h.Seed, chaos, day, kind, id)
+	// Append-built (no fmt) so the per-ad fast path costs one allocation:
+	// the final string. The layout matches the old Sprintf format verbatim.
+	var buf [96]byte
+	b := strconv.AppendUint(buf[:0], h.Seed, 10)
+	b = append(b, '|', chaos, '|')
+	b = strconv.AppendInt(b, int64(day), 10)
+	b = append(b, '|')
+	b = append(b, kind...)
+	b = append(b, '|')
+	b = append(b, id...)
+	return string(b)
 }
 
 // New returns a honeyclient over the universe.
@@ -342,9 +353,18 @@ func (h *Honeyclient) AnalyzeHTMLAdContext(ctx context.Context, html, baseURL st
 	if h.cache == nil {
 		return h.AnalyzeHTMLContext(ctx, html, baseURL)
 	}
-	sum := sha256.Sum256([]byte(html))
-	id := hex.EncodeToString(sum[:]) + "|" + baseURL
-	rep, _ := h.cache.GetOrLoad(h.cacheKey("html", day, id), func() (*Report, error) {
+	// Hash the snapshot without the []byte(html) copy and append-build the
+	// "hex|baseURL" id in one buffer — the document can be tens of
+	// kilobytes, and this path runs once per frame snapshot.
+	hasher := sha256.New()
+	io.WriteString(hasher, html)
+	var sum [sha256.Size]byte
+	hasher.Sum(sum[:0])
+	idBuf := make([]byte, 2*sha256.Size, 2*sha256.Size+1+len(baseURL))
+	hex.Encode(idBuf, sum[:])
+	idBuf = append(idBuf, '|')
+	idBuf = append(idBuf, baseURL...)
+	rep, _ := h.cache.GetOrLoad(h.cacheKey("html", day, string(idBuf)), func() (*Report, error) {
 		rep, reproducible := h.analyzeHTML(ctx, html, baseURL)
 		if !reproducible {
 			return rep, cachex.ErrSkipStore

@@ -1,0 +1,15 @@
+package honeyclient
+
+import "testing"
+
+// BenchmarkCacheKey pins the append-built per-ad cache key at one
+// allocation (the final string).
+func BenchmarkCacheKey(b *testing.B) {
+	h := &Honeyclient{Seed: 0xdeadbeef}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if k := h.cacheKey("ad", 42, "crv-00017|imp-deadbeef"); len(k) == 0 {
+			b.Fatal("empty key")
+		}
+	}
+}

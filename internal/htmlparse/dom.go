@@ -3,6 +3,7 @@ package htmlparse
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // NodeType identifies the kind of a DOM Node.
@@ -33,15 +34,93 @@ var voidTags = map[string]bool{
 	"param": true, "source": true, "track": true, "wbr": true,
 }
 
+// parseState is the per-Parse scratch that is worth keeping warm between
+// documents: the tokenizer (with its attribute scratch) and the open-element
+// stack. Node and attribute storage is NOT here — it escapes into the
+// returned tree and must never be pooled.
+type parseState struct {
+	z     Tokenizer
+	stack []*Node
+	// Arena tails. The chunks these point into are owned by previously
+	// returned trees once full; holding the tail only lets the next Parse
+	// keep filling spare capacity. They are reset, not reused across
+	// documents, in release().
+	nodeArena []Node
+	attrArena []Attr
+}
+
+var parsePool = sync.Pool{New: func() any {
+	return &parseState{stack: make([]*Node, 0, 16)}
+}}
+
+// newNode hands out tree nodes from a chunked arena: one allocation per
+// nodeChunk elements instead of one per element.
+const nodeChunk = 32
+
+func (st *parseState) newNode(n Node) *Node {
+	if len(st.nodeArena) == cap(st.nodeArena) {
+		// Chunks grow 8 → 16 → 32: tiny documents (ad creatives are often a
+		// dozen nodes) don't pay for a full chunk of waste.
+		c := cap(st.nodeArena) * 2
+		if c < 8 {
+			c = 8
+		}
+		if c > nodeChunk {
+			c = nodeChunk
+		}
+		st.nodeArena = make([]Node, 0, c)
+	}
+	st.nodeArena = append(st.nodeArena, n)
+	return &st.nodeArena[len(st.nodeArena)-1]
+}
+
+// copyAttrs copies the tokenizer's scratch attributes into arena-backed
+// storage. The returned slice is capacity-capped so a later SetAttr append
+// reallocates instead of clobbering a neighbour's attributes.
+func (st *parseState) copyAttrs(as []Attr) []Attr {
+	if len(as) == 0 {
+		return nil
+	}
+	if cap(st.attrArena)-len(st.attrArena) < len(as) {
+		c := cap(st.attrArena) * 2
+		if c < 8 {
+			c = 8
+		}
+		if c > nodeChunk {
+			c = nodeChunk
+		}
+		st.attrArena = make([]Attr, 0, c+len(as))
+	}
+	off := len(st.attrArena)
+	st.attrArena = append(st.attrArena, as...)
+	return st.attrArena[off:len(st.attrArena):len(st.attrArena)]
+}
+
+// release returns the scratch to the pool with every pointer cleared, so a
+// pooled state never pins a parsed tree (or the source string reachable
+// through it) in memory.
+func (st *parseState) release() {
+	clear(st.stack[:cap(st.stack)])
+	st.stack = st.stack[:0]
+	// Drop the arena tails entirely: their chunks belong to the returned
+	// tree. Keeping them would both pin the tree and risk a future Parse
+	// appending into memory the tree still reads.
+	st.nodeArena = nil
+	st.attrArena = nil
+	st.z.Reset("")
+	parsePool.Put(st)
+}
+
 // Parse builds a DOM tree from HTML source. It never fails: malformed
 // markup degrades gracefully the way browsers degrade (unmatched end tags
 // are dropped, unclosed elements are closed at end of input).
 func Parse(src string) *Node {
+	st := parsePool.Get().(*parseState)
+	st.z.Reset(src)
 	doc := &Node{Type: DocumentNode}
-	stack := []*Node{doc}
-	z := NewTokenizer(src)
+	stack := append(st.stack, doc)
 	for {
-		tok := z.Next()
+		tok := st.z.Next()
 		if tok.Type == ErrorToken {
 			break
 		}
@@ -53,15 +132,15 @@ func Parse(src string) *Node {
 			if strings.TrimSpace(tok.Text) == "" {
 				continue
 			}
-			top.appendChild(&Node{Type: TextNode, Text: tok.Text})
+			top.appendChild(st.newNode(Node{Type: TextNode, Text: tok.Text}))
 		case CommentToken:
-			top.appendChild(&Node{Type: CommentNode, Text: tok.Text})
+			top.appendChild(st.newNode(Node{Type: CommentNode, Text: tok.Text}))
 		case DoctypeToken:
 			// Doctypes are ignored in the tree.
 		case SelfClosingTagToken:
-			top.appendChild(&Node{Type: ElementNode, Tag: tok.Tag, Attrs: tok.Attrs})
+			top.appendChild(st.newNode(Node{Type: ElementNode, Tag: tok.Tag, Attrs: st.copyAttrs(tok.Attrs)}))
 		case StartTagToken:
-			n := &Node{Type: ElementNode, Tag: tok.Tag, Attrs: tok.Attrs}
+			n := st.newNode(Node{Type: ElementNode, Tag: tok.Tag, Attrs: st.copyAttrs(tok.Attrs)})
 			top.appendChild(n)
 			if !voidTags[tok.Tag] {
 				stack = append(stack, n)
@@ -77,6 +156,8 @@ func Parse(src string) *Node {
 			}
 		}
 	}
+	st.stack = stack
+	st.release()
 	return doc
 }
 

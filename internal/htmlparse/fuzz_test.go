@@ -37,6 +37,18 @@ func addHTMLSeeds(f *testing.F) {
 		`<em `, `</`, `<`, `<1>`, `&#x41;&bogus;&amp`,
 		`<textarea><b>raw</b></textarea><br/><div/>`,
 	)
+	// Pooled-scratch stressors: Parse now draws its tokenizer (attribute
+	// scratch) and node/attr arenas from a sync.Pool, so seed shapes that
+	// grow the scratch far past its default and land exactly on the
+	// progressive arena chunk boundaries (8/16/32) — the states a released
+	// parseState must fully reset before reuse.
+	manyAttrs := `<div a=1 b=2 c=3 d=4 e=5 f=6 g=7 h=8 i=9 j=10 k=11 l=12 m=13 n=14 o=15 p=16 q=17>x</div>`
+	longAttr := `<img src="` + strings.Repeat("A", 4096) + `">`
+	deepNest := strings.Repeat("<b>", 33) + "x" + strings.Repeat("</b>", 33)
+	fuzzutil.SeedStrings(f, manyAttrs, longAttr, deepNest,
+		manyAttrs+`<p>tiny</p>`, // grown scratch immediately reused on a tiny tail
+		`<div `+strings.Repeat(`data-x `, 50)+`>valueless</div>`,
+	)
 	fuzzutil.SeedStrings(f, fuzzutil.Pages(0x51ee, 24)...)
 }
 

@@ -57,6 +57,10 @@ type Attr struct {
 }
 
 // Token is one lexical unit of an HTML document.
+//
+// Attrs aliases the Tokenizer's internal scratch buffer and is only valid
+// until the next call to Next. Callers that retain tokens across Next calls
+// must copy the slice.
 type Token struct {
 	Type  TokenType
 	Tag   string // lowercased tag name for tag tokens
@@ -83,6 +87,15 @@ var rawTextTags = map[string]bool{
 	"title":    true,
 }
 
+// rawCloseTag precomputes the "</tag" needle for every raw-text element so
+// the raw-text scan never concatenates per call.
+var rawCloseTag = map[string]string{
+	"script":   "</script",
+	"style":    "</style",
+	"textarea": "</textarea",
+	"title":    "</title",
+}
+
 // Tokenizer turns HTML source into a stream of Tokens.
 type Tokenizer struct {
 	src string
@@ -90,11 +103,27 @@ type Tokenizer struct {
 	// rawTag, when non-empty, means the tokenizer is inside a raw-text
 	// element and must scan for its closing tag only.
 	rawTag string
+	// attrs is the reusable scratch that backs Token.Attrs; it is truncated
+	// at the start of every tag token, so attribute slices handed out by
+	// Next are valid only until the following Next call.
+	attrs []Attr
 }
 
 // NewTokenizer returns a Tokenizer over src.
 func NewTokenizer(src string) *Tokenizer {
 	return &Tokenizer{src: src}
+}
+
+// Reset rewinds the tokenizer onto a new input, reusing its internal
+// buffers. It clears the attribute scratch (including the string pointers in
+// its spare capacity) so a pooled tokenizer never pins a previous document's
+// memory — the reset-hygiene contract the pool race test hammers.
+func (z *Tokenizer) Reset(src string) {
+	z.src = src
+	z.pos = 0
+	z.rawTag = ""
+	clear(z.attrs[:cap(z.attrs)])
+	z.attrs = z.attrs[:0]
 }
 
 // Next returns the next token. After the input is exhausted it returns
@@ -125,7 +154,7 @@ func (z *Tokenizer) nextText() Token {
 // its closing tag, returning the content as a TextToken. The closing tag is
 // emitted by a subsequent call.
 func (z *Tokenizer) nextRawText() Token {
-	closing := "</" + z.rawTag
+	closing := rawCloseTag[z.rawTag]
 	idx := findRawClose(z.src[z.pos:], closing)
 	if idx < 0 {
 		// Unterminated raw text: consume the rest of the input.
@@ -169,7 +198,7 @@ func (z *Tokenizer) nextTag() Token {
 		z.pos++
 		return Token{Type: TextToken, Text: "<"}
 	}
-	tag := strings.ToLower(z.src[nameStart:p])
+	tag := lowerASCII(z.src[nameStart:p])
 
 	tok := Token{Tag: tag}
 	if end {
@@ -186,7 +215,8 @@ func (z *Tokenizer) nextTag() Token {
 	}
 
 	tok.Type = StartTagToken
-	// Parse attributes.
+	// Parse attributes into the reusable scratch; Token.Attrs aliases it.
+	z.attrs = z.attrs[:0]
 	for {
 		p = skipSpace(z.src, p)
 		if p >= len(z.src) {
@@ -208,12 +238,15 @@ func (z *Tokenizer) nextTag() Token {
 		var attr Attr
 		attr, p = parseAttr(z.src, p)
 		if attr.Name != "" {
-			tok.Attrs = append(tok.Attrs, attr)
+			z.attrs = append(z.attrs, attr)
 		} else {
 			// Could not make progress on a malformed byte; skip it so the
 			// tokenizer always terminates.
 			p++
 		}
+	}
+	if len(z.attrs) > 0 {
+		tok.Attrs = z.attrs
 	}
 	z.pos = p
 	if tok.Type == StartTagToken && rawTextTags[tag] {
@@ -295,7 +328,7 @@ func parseAttr(src string, p int) (Attr, int) {
 	if p == nameStart {
 		return Attr{}, p
 	}
-	name := strings.ToLower(src[nameStart:p])
+	name := lowerASCII(src[nameStart:p])
 	p = skipSpace(src, p)
 	if p >= len(src) || src[p] != '=' {
 		return Attr{Name: name}, p // boolean attribute, e.g. <iframe sandbox>
@@ -329,6 +362,19 @@ func parseAttr(src string, p int) (Attr, int) {
 		value = src[valStart:p]
 	}
 	return Attr{Name: name, Value: unescape(value)}, p
+}
+
+// lowerASCII lowercases s, returning s itself (no allocation) when it is
+// already lowercase ASCII — the overwhelmingly common case for tag and
+// attribute names in real markup. Uppercase or non-ASCII bytes defer to
+// strings.ToLower so behaviour matches the pre-fast-path code exactly.
+func lowerASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' || c >= 0x80 {
+			return strings.ToLower(s)
+		}
+	}
+	return s
 }
 
 func isTagNameByte(c byte) bool {

@@ -12,6 +12,9 @@ func collect(src string) []Token {
 		if tok.Type == ErrorToken {
 			return toks
 		}
+		// Token.Attrs aliases the tokenizer's scratch; retained tokens must
+		// copy it (the documented contract).
+		tok.Attrs = append([]Attr(nil), tok.Attrs...)
 		toks = append(toks, tok)
 	}
 }

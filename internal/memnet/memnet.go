@@ -17,7 +17,6 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"io"
 	"net"
 	"net/http"
 	"strings"
@@ -124,7 +123,13 @@ type Transport struct {
 // whose caller stopped listening).
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if t.Tel != nil {
-		_, sp := t.Tel.StartSpan(req.Context(), telemetry.StageMemnet, req.URL.String())
+		// The URL key only surfaces in trace output, so it is rendered
+		// (one allocation) only when a tracer is actually attached.
+		key := ""
+		if t.Tel.Tracer != nil {
+			key = req.URL.String()
+		}
+		sp := t.Tel.StartStageTimer(req.Context(), telemetry.StageMemnet, key)
 		defer sp.End()
 	}
 	if err := req.Context().Err(); err != nil {
@@ -139,8 +144,11 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 		return nil, &NXDomainError{Host: host}
 	}
 
-	// Clone the request the way a server would see it.
-	inner := req.Clone(req.Context())
+	// Hand the handler a server-side view of the request. A shallow copy is
+	// enough — universe handlers treat the request as read-only (they route
+	// on URL fields and never mutate headers), so sharing the URL and header
+	// map skips the deep Header.Clone a real server would pay for.
+	inner := *req
 	inner.Host = req.URL.Host
 	inner.RequestURI = req.URL.RequestURI()
 	if inner.Body == nil {
@@ -148,23 +156,35 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 
 	rec := newRecorder()
-	h.ServeHTTP(rec, inner)
+	h.ServeHTTP(rec, &inner)
 	if err := req.Context().Err(); err != nil {
 		return nil, err
 	}
 	return rec.response(req), nil
 }
 
-// recorder is a minimal in-memory http.ResponseWriter.
+// recorder is a minimal in-memory http.ResponseWriter. The reader and
+// response it hands out are embedded so one recorder allocation covers the
+// whole request round trip; they share the recorder's lifetime because the
+// response body aliases the recorder's buffer anyway.
 type recorder struct {
 	status int
 	header http.Header
 	body   bytes.Buffer
 	wrote  bool
+
+	reader bodyReader
+	resp   http.Response
 }
 
+// bodyReader is a bytes.Reader that satisfies io.ReadCloser without the
+// io.NopCloser wrapper allocation.
+type bodyReader struct{ bytes.Reader }
+
+func (*bodyReader) Close() error { return nil }
+
 func newRecorder() *recorder {
-	return &recorder{header: make(http.Header)}
+	return &recorder{header: make(http.Header, 2)}
 }
 
 func (r *recorder) Header() http.Header { return r.header }
@@ -188,17 +208,34 @@ func (r *recorder) response(req *http.Request) *http.Response {
 	if !r.wrote {
 		r.status = http.StatusOK
 	}
-	return &http.Response{
-		Status:        fmt.Sprintf("%d %s", r.status, http.StatusText(r.status)),
+	r.reader.Reset(r.body.Bytes())
+	r.resp = http.Response{
+		Status:        statusLine(r.status),
 		StatusCode:    r.status,
 		Proto:         "HTTP/1.1",
 		ProtoMajor:    1,
 		ProtoMinor:    1,
 		Header:        r.header,
-		Body:          io.NopCloser(bytes.NewReader(r.body.Bytes())),
+		Body:          &r.reader,
 		ContentLength: int64(r.body.Len()),
 		Request:       req,
 	}
+	return &r.resp
+}
+
+// statusLine renders "code text" with the hot codes precomposed.
+func statusLine(code int) string {
+	switch code {
+	case http.StatusOK:
+		return "200 OK"
+	case http.StatusFound:
+		return "302 Found"
+	case http.StatusBadRequest:
+		return "400 Bad Request"
+	case http.StatusNotFound:
+		return "404 Not Found"
+	}
+	return fmt.Sprintf("%d %s", code, http.StatusText(code))
 }
 
 // Client returns an *http.Client backed by the in-memory transport that

@@ -196,6 +196,12 @@ type FuncLit struct {
 	Name   string // optional, for named function expressions
 	Params []string
 	Body   *BlockStmt
+	// UsesArguments reports whether the identifier `arguments` appears
+	// anywhere in the function's source (conservatively including nested
+	// functions). Call sites materialize the `arguments` array object only
+	// when set — the sole way a script can observe the binding is by naming
+	// it, so eliding it otherwise is invisible.
+	UsesArguments bool
 	// code is the function body compiled to bytecode (see Program.code for
 	// the publication discipline). Nil when the program was never compiled;
 	// the tree-walker then executes Body directly.

@@ -55,7 +55,7 @@ func BenchmarkRunObfuscated(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if v != float64(42) {
+		if !v.IsNumber() || v.Num() != 42 {
 			b.Fatalf("v = %v", v)
 		}
 	}
@@ -70,15 +70,15 @@ func BenchmarkClosureCalls(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	args := []Value{float64(32)}
+	args := []Value{Num(32)}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		in.Budget = DefaultBudget
-		out, err := in.CallFunction(v, Undefined{}, args)
+		out, err := in.CallFunction(v, Undefined(), args)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if out != float64(42) {
+		if !out.IsNumber() || out.Num() != 42 {
 			b.Fatal("wrong result")
 		}
 	}

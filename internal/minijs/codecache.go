@@ -15,6 +15,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"io"
 
 	"madave/internal/cachex"
 	"madave/internal/telemetry"
@@ -70,12 +71,21 @@ func NewCodeCache(capacity int, tel *telemetry.Set) *CodeCache {
 // mode a syntax error is returned as err. ctx bounds compilation: a
 // cancelled compile returns ctx's error and caches nothing.
 func (cc *CodeCache) Load(ctx context.Context, src string, tolerant bool) (*Program, []*SyntaxError, error) {
-	mode := "s:"
+	mode := byte('s')
 	if tolerant {
-		mode = "t:"
+		mode = 't'
 	}
-	sum := sha256.Sum256([]byte(src))
-	key := mode + hex.EncodeToString(sum[:])
+	// Hash the source without the []byte(src) copy, and assemble the
+	// "m:hex" key in a stack buffer: one allocation (the key string) per
+	// lookup regardless of script size.
+	h := sha256.New()
+	io.WriteString(h, src)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	var keyBuf [2 + 2*sha256.Size]byte
+	keyBuf[0], keyBuf[1] = mode, ':'
+	hex.Encode(keyBuf[2:], sum[:])
+	key := string(keyBuf[:])
 	cs, err := cc.c.GetOrLoad(key, func() (*cachedScript, error) {
 		return cc.compile(ctx, src, tolerant)
 	})

@@ -198,7 +198,7 @@ type comp struct {
 	pending  int   // steps charged but not yet attached to an instruction
 	labels   []int // label id -> pc, -1 while unbound
 	atomIdx  map[string]int32
-	constIdx map[Value]int32
+	constIdx map[constKey]int32
 	depth    int // current lexical scope depth
 	holds    int // value-stack slots held across statements (for-in iterators)
 	loops    []loopEntry
@@ -209,7 +209,7 @@ func newComp(st *compileState, name string) *comp {
 		st:       st,
 		ch:       &chunk{name: name},
 		atomIdx:  map[string]int32{},
-		constIdx: map[Value]int32{},
+		constIdx: map[constKey]int32{},
 	}
 }
 
@@ -259,23 +259,31 @@ func (c *comp) atom(s string) int32 {
 	return i
 }
 
-// negZeroKey interns float64 -0 separately: -0 == +0 as a map key, but the
-// two are distinct JS values (1/-0 is -Infinity), so sharing a pool slot
-// would silently rewrite one into the other (found by FuzzCompileEval).
-type negZeroKey struct{}
+// constKey is the interning key for the constant pool. negZero interns
+// float64 -0 separately: -0 == +0 under Go's == (so the struct fields alone
+// would collide), but the two are distinct JS values (1/-0 is -Infinity), so
+// sharing a pool slot would silently rewrite one into the other (found by
+// FuzzCompileEval).
+type constKey struct {
+	kind    Kind
+	num     float64
+	str     string
+	negZero bool
+}
 
 func (c *comp) constant(v Value) int32 {
-	var key Value = v
-	if f, ok := v.(float64); ok && f == 0 && math.Signbit(f) {
-		key = negZeroKey{}
+	key := constKey{kind: v.Kind(), num: v.num, str: v.str}
+	if v.kind == KindNumber && v.num == 0 && math.Signbit(v.num) {
+		key.negZero = true
 	}
-	// NaN never equals itself as a map key; it just interns once per use.
+	// NaN never equals itself as a map key; it just interns once per use
+	// (and is never inserted, so the map cannot grow unboundedly).
 	if i, ok := c.constIdx[key]; ok {
 		return i
 	}
 	i := int32(len(c.ch.consts))
 	c.ch.consts = append(c.ch.consts, v)
-	if _, ok := v.(float64); !ok || v == v {
+	if !(v.kind == KindNumber && v.num != v.num) {
 		c.constIdx[key] = i
 	}
 	return i
@@ -327,10 +335,13 @@ func (c *comp) funcIdx(fn *FuncLit) int32 {
 	}
 	sub := newComp(c.st, name)
 	// callObject builds the call env (this/arguments/params) in Go; the
-	// chunk starts at execBlock's block scope.
-	sub.emit(opPushScope, 0, 0, fn.nodeLine())
-	sub.depth++
-	sub.hoist(fn.Body.Body)
+	// chunk starts at execBlock's block scope — which execBlock elides when
+	// the body declares nothing, so the compiler elides it identically.
+	if blockNeedsScope(fn.Body.Body) {
+		sub.emit(opPushScope, 0, 0, fn.nodeLine())
+		sub.depth++
+		sub.hoist(fn.Body.Body)
+	}
 	for _, s := range fn.Body.Body {
 		sub.stmt(s, false)
 	}
@@ -346,9 +357,11 @@ func (c *comp) funcIdx(fn *FuncLit) int32 {
 // execBlock would.
 func (c *comp) subChunk(name string, b *BlockStmt) *chunk {
 	sub := newComp(c.st, name)
-	sub.emit(opPushScope, 0, 0, b.nodeLine())
-	sub.depth++
-	sub.hoist(b.Body)
+	if blockNeedsScope(b.Body) {
+		sub.emit(opPushScope, 0, 0, b.nodeLine())
+		sub.depth++
+		sub.hoist(b.Body)
+	}
 	for _, s := range b.Body {
 		sub.stmt(s, false)
 	}
@@ -406,7 +419,7 @@ func (c *comp) stmt(s Stmt, visible bool) {
 			if st.Inits[i] != nil {
 				c.expr(st.Inits[i])
 			} else {
-				c.emit(opConst, c.constant(Undefined{}), 0, st.nodeLine())
+				c.emit(opConst, c.constant(Undefined()), 0, st.nodeLine())
 			}
 			c.emit(opDefine, c.atom(name), 0, st.nodeLine())
 		}
@@ -423,14 +436,21 @@ func (c *comp) stmt(s Stmt, visible bool) {
 		}
 
 	case *BlockStmt:
-		c.emit(opPushScope, 0, 0, st.nodeLine())
-		c.depth++
-		c.hoist(st.Body)
+		// Blocks that declare nothing run in the enclosing scope, exactly as
+		// execBlock elides its Env (same blockNeedsScope predicate).
+		scoped := blockNeedsScope(st.Body)
+		if scoped {
+			c.emit(opPushScope, 0, 0, st.nodeLine())
+			c.depth++
+			c.hoist(st.Body)
+		}
 		for _, s2 := range st.Body {
 			c.stmt(s2, false)
 		}
-		c.depth--
-		c.emit(opPopScope, 0, 0, st.nodeLine())
+		if scoped {
+			c.depth--
+			c.emit(opPopScope, 0, 0, st.nodeLine())
+		}
 
 	case *IfStmt:
 		c.expr(st.Cond)
@@ -483,8 +503,11 @@ func (c *comp) stmt(s Stmt, visible bool) {
 
 	case *ForStmt:
 		outerDepth := c.depth
-		c.emit(opPushScope, 0, 0, st.nodeLine()) // loopEnv, created before init
-		c.depth++
+		scoped := forNeedsScope(st)
+		if scoped {
+			c.emit(opPushScope, 0, 0, st.nodeLine()) // loopEnv, created before init
+			c.depth++
+		}
 		if st.Init != nil {
 			c.stmt(st.Init, false)
 		}
@@ -511,8 +534,10 @@ func (c *comp) stmt(s Stmt, visible bool) {
 		}
 		c.emit(opJump, int32(condL), 0, st.nodeLine())
 		c.bind(endPopL)
-		c.emit(opPopScope, 0, 0, st.nodeLine())
-		c.depth--
+		if scoped {
+			c.emit(opPopScope, 0, 0, st.nodeLine())
+			c.depth--
+		}
 		c.bind(afterL)
 
 	case *ForInStmt:
@@ -520,10 +545,13 @@ func (c *comp) stmt(s Stmt, visible bool) {
 		outerDepth, outerHolds := c.depth, c.holds
 		c.emit(opForInInit, 0, 0, st.nodeLine())
 		c.holds++
-		c.emit(opPushScope, 0, 0, st.nodeLine())
-		c.depth++
+		scoped := forInNeedsScope(st)
+		if scoped {
+			c.emit(opPushScope, 0, 0, st.nodeLine())
+			c.depth++
+		}
 		if st.Decl {
-			c.emit(opConst, c.constant(Undefined{}), 0, st.nodeLine())
+			c.emit(opConst, c.constant(Undefined()), 0, st.nodeLine())
 			c.emit(opDefine, c.atom(st.VarName), 0, st.nodeLine())
 		}
 		nextL := c.newLabel()
@@ -545,8 +573,10 @@ func (c *comp) stmt(s Stmt, visible bool) {
 		c.popLoop()
 		c.emit(opJump, int32(nextL), 0, st.nodeLine())
 		c.bind(endL)
-		c.emit(opPopScope, 0, 0, st.nodeLine())
-		c.depth--
+		if scoped {
+			c.emit(opPopScope, 0, 0, st.nodeLine())
+			c.depth--
+		}
 		c.emit(opPop, 0, 0, st.nodeLine()) // iterator
 		c.holds--
 		c.bind(afterL)
@@ -555,7 +585,7 @@ func (c *comp) stmt(s Stmt, visible bool) {
 		if st.Value != nil {
 			c.expr(st.Value)
 		} else {
-			c.emit(opConst, c.constant(Undefined{}), 0, st.nodeLine())
+			c.emit(opConst, c.constant(Undefined()), 0, st.nodeLine())
 		}
 		c.emit(opReturn, 0, 0, st.nodeLine())
 
@@ -706,15 +736,15 @@ func (c *comp) expr(e Expr) {
 	c.charge(1) // eval entry step
 	switch x := e.(type) {
 	case *NumberLit:
-		c.emit(opConst, c.constant(x.Value), 0, x.nodeLine())
+		c.emit(opConst, c.constant(Num(x.Value)), 0, x.nodeLine())
 	case *StringLit:
-		c.emit(opConst, c.constant(x.Value), 0, x.nodeLine())
+		c.emit(opConst, c.constant(Str(x.Value)), 0, x.nodeLine())
 	case *BoolLit:
-		c.emit(opConst, c.constant(x.Value), 0, x.nodeLine())
+		c.emit(opConst, c.constant(Bool(x.Value)), 0, x.nodeLine())
 	case *NullLit:
-		c.emit(opConst, c.constant(Null{}), 0, x.nodeLine())
+		c.emit(opConst, c.constant(Null()), 0, x.nodeLine())
 	case *UndefinedLit:
-		c.emit(opConst, c.constant(Undefined{}), 0, x.nodeLine())
+		c.emit(opConst, c.constant(Undefined()), 0, x.nodeLine())
 	case *ThisExpr:
 		c.emit(opThis, 0, 0, x.nodeLine())
 	case *Ident:
@@ -828,7 +858,7 @@ func (c *comp) compileUnary(x *UnaryExpr) {
 			c.emit(opDelMember, c.atom(m.Name), 0, m.nodeLine())
 			return
 		}
-		c.emit(opConst, c.constant(true), 0, x.nodeLine())
+		c.emit(opConst, c.constant(Bool(true)), 0, x.nodeLine())
 		return
 	}
 	i, ok := unaryOpIdx[x.Op]
@@ -933,7 +963,7 @@ func (c *comp) compileCall(x *CallExpr) {
 		c.expr(callee.Index)
 		c.emit(opGetIndex, 0, 0, callee.nodeLine())
 	default:
-		c.emit(opConst, c.constant(Undefined{}), 0, x.nodeLine()) // this
+		c.emit(opConst, c.constant(Undefined()), 0, x.nodeLine()) // this
 		c.expr(x.Callee)
 	}
 	for _, a := range x.Args {
@@ -950,54 +980,54 @@ func (c *comp) compileCall(x *CallExpr) {
 func foldExpr(e Expr) (Value, int, bool) {
 	switch x := e.(type) {
 	case *NumberLit:
-		return x.Value, 1, true
+		return Num(x.Value), 1, true
 	case *StringLit:
-		return x.Value, 1, true
+		return Str(x.Value), 1, true
 	case *BoolLit:
-		return x.Value, 1, true
+		return Bool(x.Value), 1, true
 	case *NullLit:
-		return Null{}, 1, true
+		return Null(), 1, true
 	case *UndefinedLit:
-		return Undefined{}, 1, true
+		return Undefined(), 1, true
 	case *UnaryExpr:
 		if _, isIdent := x.X.(*Ident); isIdent && x.Op == "typeof" {
-			return nil, 0, false
+			return Value{}, 0, false
 		}
 		v, steps, ok := foldExpr(x.X)
 		if !ok {
-			return nil, 0, false
+			return Value{}, 0, false
 		}
 		switch x.Op {
 		case "-":
-			return -ToNumber(v), steps + 1, true
+			return Num(-ToNumber(v)), steps + 1, true
 		case "+":
-			return ToNumber(v), steps + 1, true
+			return Num(ToNumber(v)), steps + 1, true
 		case "!":
-			return !Truthy(v), steps + 1, true
+			return Bool(!Truthy(v)), steps + 1, true
 		case "~":
-			return float64(^toInt32(v)), steps + 1, true
+			return Num(float64(^toInt32(v))), steps + 1, true
 		case "typeof":
-			return TypeOf(v), steps + 1, true
+			return Str(TypeOf(v)), steps + 1, true
 		}
-		return nil, 0, false
+		return Value{}, 0, false
 	case *BinaryExpr:
 		a, sa, ok := foldExpr(x.X)
 		if !ok {
-			return nil, 0, false
+			return Value{}, 0, false
 		}
 		b, sb, ok := foldExpr(x.Y)
 		if !ok {
-			return nil, 0, false
+			return Value{}, 0, false
 		}
 		v, err := applyBinary(x.Op, a, b, x.nodeLine())
 		if err != nil {
-			return nil, 0, false
+			return Value{}, 0, false
 		}
 		return v, sa + sb + 1, true
 	case *LogicalExpr:
 		a, sa, ok := foldExpr(x.X)
 		if !ok {
-			return nil, 0, false
+			return Value{}, 0, false
 		}
 		take := Truthy(a)
 		if x.Op == "||" {
@@ -1010,13 +1040,13 @@ func foldExpr(e Expr) (Value, int, bool) {
 		}
 		b, sb, ok := foldExpr(x.Y)
 		if !ok {
-			return nil, 0, false
+			return Value{}, 0, false
 		}
 		return b, sa + sb + 1, true
 	case *CondExpr:
 		cv, sc, ok := foldExpr(x.Cond)
 		if !ok {
-			return nil, 0, false
+			return Value{}, 0, false
 		}
 		branch := x.Then
 		if !Truthy(cv) {
@@ -1024,9 +1054,9 @@ func foldExpr(e Expr) (Value, int, bool) {
 		}
 		v, sb, ok := foldExpr(branch)
 		if !ok {
-			return nil, 0, false
+			return Value{}, 0, false
 		}
 		return v, sc + sb + 1, true
 	}
-	return nil, 0, false
+	return Value{}, 0, false
 }

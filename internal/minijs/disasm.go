@@ -135,18 +135,19 @@ func disasmOperands(b *strings.Builder, ch *chunk, ins instr) {
 }
 
 func disasmValue(v Value) string {
-	switch x := v.(type) {
-	case Undefined:
+	switch v.Kind() {
+	case KindUndefined:
 		return "undefined"
-	case Null:
+	case KindNull:
 		return "null"
-	case bool:
-		return strconv.FormatBool(x)
-	case float64:
-		return formatNumber(x)
-	case string:
-		return strconv.Quote(x)
-	case *Object:
+	case KindBool:
+		return strconv.FormatBool(v.Bool())
+	case KindNumber:
+		return formatNumber(v.Num())
+	case KindString:
+		return strconv.Quote(v.Str())
+	case KindObject:
+		x := v.Obj()
 		if x.IsArray {
 			return "[array]"
 		}

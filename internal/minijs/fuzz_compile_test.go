@@ -38,14 +38,16 @@ func runEngineForFuzz(prog *Program, useVM bool) (string, string, int, string) {
 // globalSnapshot serializes the global scope's bindings in sorted order with
 // bounded value rendering, capturing the side effects a run left behind.
 func globalSnapshot(in *Interp) string {
-	keys := make([]string, 0, len(in.Global.vars))
-	for k := range in.Global.vars {
+	bindings := map[string]Value{}
+	in.Global.Each(func(name string, v Value) { bindings[name] = v })
+	keys := make([]string, 0, len(bindings))
+	for k := range bindings {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	var b strings.Builder
 	for _, k := range keys {
-		s := ToString(in.Global.vars[k])
+		s := ToString(bindings[k])
 		if len(s) > 256 {
 			s = s[:256]
 		}

@@ -36,44 +36,127 @@ func (e *ThrowError) Error() string {
 	return fmt.Sprintf("minijs: uncaught exception at line %d: %s", e.Line, ToString(e.Value))
 }
 
-// Env is a lexical scope: a map of bindings with a pointer to the enclosing
-// scope.
+// throwStr builds a ThrowError carrying a string value (the interpreter's
+// TypeError/RangeError/ReferenceError payloads).
+func throwStr(msg string, line int) *ThrowError {
+	return &ThrowError{Value: Str(msg), Line: line}
+}
+
+// envInline is the number of bindings an Env stores inline before spilling
+// to a map. Call scopes (this + a few params) and block scopes almost always
+// fit, which makes scope creation a single allocation with no map.
+const envInline = 6
+
+// Env is a lexical scope: a small inline set of bindings with a map
+// overflow, plus a pointer to the enclosing scope.
 type Env struct {
-	vars   map[string]Value
 	parent *Env
+	n      int8
+	// frozen marks the shared builtins scope every interpreter chains to.
+	// Assignments never land in a frozen scope (they shadow in the nearest
+	// mutable global instead), so concurrent interpreters can read it safely.
+	frozen bool
+	names  [envInline]string
+	vals   [envInline]Value
+	more   map[string]Value
 }
 
 // NewEnv returns a scope nested in parent (parent may be nil for globals).
 func NewEnv(parent *Env) *Env {
-	return &Env{vars: map[string]Value{}, parent: parent}
+	return &Env{parent: parent}
+}
+
+func (e *Env) lookupLocal(name string) (Value, bool) {
+	for i := int8(0); i < e.n; i++ {
+		if e.names[i] == name {
+			return e.vals[i], true
+		}
+	}
+	if e.more != nil {
+		v, ok := e.more[name]
+		return v, ok
+	}
+	return Value{}, false
 }
 
 // Lookup finds name in this scope chain.
 func (e *Env) Lookup(name string) (Value, bool) {
 	for s := e; s != nil; s = s.parent {
-		if v, ok := s.vars[name]; ok {
+		if v, ok := s.lookupLocal(name); ok {
 			return v, true
 		}
 	}
-	return Undefined{}, false
+	return Undefined(), false
 }
 
 // Define creates or overwrites name in this exact scope.
-func (e *Env) Define(name string, v Value) { e.vars[name] = v }
+func (e *Env) Define(name string, v Value) {
+	for i := int8(0); i < e.n; i++ {
+		if e.names[i] == name {
+			e.vals[i] = v
+			return
+		}
+	}
+	if e.more != nil {
+		e.more[name] = v
+		return
+	}
+	if int(e.n) < envInline {
+		e.names[e.n] = name
+		e.vals[e.n] = v
+		e.n++
+		return
+	}
+	// A scope that spills past the inline slots is almost always the global
+	// scope (builtins plus host bindings), so size the map for that case.
+	e.more = make(map[string]Value, 16)
+	e.more[name] = v
+}
+
+func (e *Env) assignLocal(name string, v Value) bool {
+	for i := int8(0); i < e.n; i++ {
+		if e.names[i] == name {
+			e.vals[i] = v
+			return true
+		}
+	}
+	if e.more != nil {
+		if _, ok := e.more[name]; ok {
+			e.more[name] = v
+			return true
+		}
+	}
+	return false
+}
 
 // Assign sets name in the nearest scope that defines it; if none does, the
 // value lands in the global (outermost) scope — JavaScript's implicit-global
 // behaviour, which obfuscated ad scripts rely on.
 func (e *Env) Assign(name string, v Value) {
+	var outer *Env
 	for s := e; s != nil; s = s.parent {
-		if _, ok := s.vars[name]; ok {
-			s.vars[name] = v
+		if s.frozen {
+			// A binding in the frozen builtins scope (e.g. `Array = shim`)
+			// is shadowed in the interpreter's own global instead of
+			// mutating state shared across interpreters.
+			continue
+		}
+		if s.assignLocal(name, v) {
 			return
 		}
-		if s.parent == nil {
-			s.vars[name] = v
-			return
-		}
+		outer = s
+	}
+	outer.Define(name, v)
+}
+
+// Each calls f for every binding in this exact scope (no parent traversal),
+// in unspecified order.
+func (e *Env) Each(f func(name string, v Value)) {
+	for i := int8(0); i < e.n; i++ {
+		f(e.names[i], e.vals[i])
+	}
+	for k, v := range e.more {
+		f(k, v)
 	}
 }
 
@@ -92,8 +175,15 @@ type Interp struct {
 	// compiled code (and functions created by a tree-walk) still run on the
 	// tree-walker; the two engines agree exactly (see FuzzCompileEval).
 	UseVM bool
+	// Host is an opaque embedder slot. Shared frozen host natives (see
+	// NewSharedNative) reach per-document state through it instead of
+	// capturing that state in per-interpreter closures.
+	Host any
 	// vm is the active pooled machine while a VM execution is in flight.
 	vm *machine
+	// objArena is the current chunk of the interp-owned object arena (see
+	// Interp.alloc in value.go).
+	objArena []Object
 }
 
 // DefaultBudget is the per-execution step allowance. Ads in the simulation
@@ -103,7 +193,7 @@ const DefaultBudget = 2_000_000
 // New returns an interpreter with a fresh global scope, the default budget,
 // and standard builtins (Math, String, parseInt, ...) installed.
 func New() *Interp {
-	in := &Interp{Global: NewEnv(nil), Budget: DefaultBudget, MaxDepth: 200, UseVM: true}
+	in := &Interp{Global: NewEnv(sharedGlobals), Budget: DefaultBudget, MaxDepth: 200, UseVM: true}
 	installBuiltins(in)
 	return in
 }
@@ -112,7 +202,7 @@ func New() *Interp {
 func (in *Interp) Run(src string) (Value, error) {
 	prog, err := Parse(src)
 	if err != nil {
-		return Undefined{}, err
+		return Undefined(), err
 	}
 	return in.RunProgram(prog)
 }
@@ -129,23 +219,23 @@ func (in *Interp) RunProgram(prog *Program) (Value, error) {
 			return in.runProgramVM(prog)
 		}
 	}
-	var last Value = Undefined{}
+	last := Undefined()
 	// Hoist function declarations, as JS does.
 	for _, s := range prog.Body {
 		if fd, ok := s.(*FuncDecl); ok {
-			in.Global.Define(fd.Name, in.makeFunction(fd.Fn, in.Global))
+			in.Global.Define(fd.Name, in.makeFunction(fd.Fn, in.Global).Value())
 		}
 	}
 	for _, s := range prog.Body {
 		v, ctl, err := in.execStmt(s, in.Global)
 		if err != nil {
-			return Undefined{}, err
+			return Undefined(), err
 		}
 		if ctl != ctlNone {
 			// return/break/continue at top level: stop quietly.
 			return last, nil
 		}
-		if v != nil {
+		if v.kind != KindEmpty {
 			last = v
 		}
 	}
@@ -155,9 +245,9 @@ func (in *Interp) RunProgram(prog *Program) (Value, error) {
 // CallFunction invokes a script function value from Go, e.g. the browser
 // firing a setTimeout callback or an onclick handler.
 func (in *Interp) CallFunction(fn Value, this Value, args []Value) (Value, error) {
-	obj, ok := fn.(*Object)
-	if !ok || !obj.IsFunction() {
-		return Undefined{}, &ThrowError{Value: "TypeError: not a function"}
+	obj := fn.Obj()
+	if obj == nil || !obj.IsFunction() {
+		return Undefined(), &ThrowError{Value: Str("TypeError: not a function")}
 	}
 	return in.callObject(obj, this, args, 0)
 }
@@ -181,33 +271,71 @@ func (in *Interp) step(line int) error {
 	return nil
 }
 
+// stmtDeclares reports whether s, executed directly in a scope (not inside
+// its own block), would Define a binding there.
+func stmtDeclares(s Stmt) bool {
+	switch s.(type) {
+	case *VarDecl, *FuncDecl:
+		return true
+	}
+	return false
+}
+
+// blockNeedsScope reports whether a block's direct statements declare
+// bindings. Blocks that declare nothing share the enclosing scope: no
+// binding can land in them (Assign never creates intermediate-scope
+// bindings), so eliding the Env is invisible to scripts. The compiler uses
+// the same predicate, keeping the two engines in lockstep.
+func blockNeedsScope(body []Stmt) bool {
+	for _, s := range body {
+		if stmtDeclares(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// forNeedsScope mirrors blockNeedsScope for a for statement's loop scope.
+func forNeedsScope(st *ForStmt) bool {
+	if st.Init != nil && stmtDeclares(st.Init) {
+		return true
+	}
+	return stmtDeclares(st.Body)
+}
+
+// forInNeedsScope mirrors blockNeedsScope for a for-in loop scope.
+func forInNeedsScope(st *ForInStmt) bool {
+	return st.Decl || stmtDeclares(st.Body)
+}
+
 // execStmt executes a statement. The Value return is the statement's
-// completion value (used for return statements and top-level expressions).
+// completion value (used for return statements and top-level expressions);
+// the zero Value means "no completion value".
 func (in *Interp) execStmt(s Stmt, env *Env) (Value, ctl, error) {
 	if err := in.step(s.nodeLine()); err != nil {
-		return nil, ctlNone, err
+		return Value{}, ctlNone, err
 	}
 	switch st := s.(type) {
 	case *EmptyStmt:
-		return nil, ctlNone, nil
+		return Value{}, ctlNone, nil
 
 	case *VarDecl:
 		for i, name := range st.Names {
-			var v Value = Undefined{}
+			v := Undefined()
 			if st.Inits[i] != nil {
 				var err error
 				v, err = in.eval(st.Inits[i], env)
 				if err != nil {
-					return nil, ctlNone, err
+					return Value{}, ctlNone, err
 				}
 			}
 			env.Define(name, v)
 		}
-		return nil, ctlNone, nil
+		return Value{}, ctlNone, nil
 
 	case *FuncDecl:
-		env.Define(st.Name, in.makeFunction(st.Fn, env))
-		return nil, ctlNone, nil
+		env.Define(st.Name, in.makeFunction(st.Fn, env).Value())
+		return Value{}, ctlNone, nil
 
 	case *ExprStmt:
 		v, err := in.eval(st.X, env)
@@ -219,7 +347,7 @@ func (in *Interp) execStmt(s Stmt, env *Env) (Value, ctl, error) {
 	case *IfStmt:
 		cond, err := in.eval(st.Cond, env)
 		if err != nil {
-			return nil, ctlNone, err
+			return Value{}, ctlNone, err
 		}
 		if Truthy(cond) {
 			return in.execStmt(st.Then, env)
@@ -227,24 +355,24 @@ func (in *Interp) execStmt(s Stmt, env *Env) (Value, ctl, error) {
 		if st.Else != nil {
 			return in.execStmt(st.Else, env)
 		}
-		return nil, ctlNone, nil
+		return Value{}, ctlNone, nil
 
 	case *WhileStmt:
 		for {
 			cond, err := in.eval(st.Cond, env)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			if !Truthy(cond) {
-				return nil, ctlNone, nil
+				return Value{}, ctlNone, nil
 			}
 			v, c, err := in.execStmt(st.Body, env)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			switch c {
 			case ctlBreak:
-				return nil, ctlNone, nil
+				return Value{}, ctlNone, nil
 			case ctlReturn:
 				return v, ctlReturn, nil
 			}
@@ -254,53 +382,56 @@ func (in *Interp) execStmt(s Stmt, env *Env) (Value, ctl, error) {
 		for {
 			v, c, err := in.execStmt(st.Body, env)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			switch c {
 			case ctlBreak:
-				return nil, ctlNone, nil
+				return Value{}, ctlNone, nil
 			case ctlReturn:
 				return v, ctlReturn, nil
 			}
 			cond, err := in.eval(st.Cond, env)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			if !Truthy(cond) {
-				return nil, ctlNone, nil
+				return Value{}, ctlNone, nil
 			}
 		}
 
 	case *ForStmt:
-		loopEnv := NewEnv(env)
+		loopEnv := env
+		if forNeedsScope(st) {
+			loopEnv = NewEnv(env)
+		}
 		if st.Init != nil {
 			if _, _, err := in.execStmt(st.Init, loopEnv); err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 		}
 		for {
 			if st.Cond != nil {
 				cond, err := in.eval(st.Cond, loopEnv)
 				if err != nil {
-					return nil, ctlNone, err
+					return Value{}, ctlNone, err
 				}
 				if !Truthy(cond) {
-					return nil, ctlNone, nil
+					return Value{}, ctlNone, nil
 				}
 			}
 			v, c, err := in.execStmt(st.Body, loopEnv)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			if c == ctlBreak {
-				return nil, ctlNone, nil
+				return Value{}, ctlNone, nil
 			}
 			if c == ctlReturn {
 				return v, ctlReturn, nil
 			}
 			if st.Post != nil {
 				if _, err := in.eval(st.Post, loopEnv); err != nil {
-					return nil, ctlNone, err
+					return Value{}, ctlNone, err
 				}
 			}
 		}
@@ -308,63 +439,66 @@ func (in *Interp) execStmt(s Stmt, env *Env) (Value, ctl, error) {
 	case *ForInStmt:
 		objV, err := in.eval(st.Obj, env)
 		if err != nil {
-			return nil, ctlNone, err
+			return Value{}, ctlNone, err
 		}
-		obj, ok := objV.(*Object)
-		if !ok {
-			return nil, ctlNone, nil // for-in over non-object iterates nothing
+		obj := objV.Obj()
+		if obj == nil {
+			return Value{}, ctlNone, nil // for-in over non-object iterates nothing
 		}
-		loopEnv := NewEnv(env)
+		loopEnv := env
+		if forInNeedsScope(st) {
+			loopEnv = NewEnv(env)
+		}
 		if st.Decl {
-			loopEnv.Define(st.VarName, Undefined{})
+			loopEnv.Define(st.VarName, Undefined())
 		}
 		for _, key := range obj.Keys() {
 			if st.Decl {
-				loopEnv.Define(st.VarName, key)
+				loopEnv.Define(st.VarName, Str(key))
 			} else {
-				loopEnv.Assign(st.VarName, key)
+				loopEnv.Assign(st.VarName, Str(key))
 			}
 			v, c, err := in.execStmt(st.Body, loopEnv)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			if c == ctlBreak {
-				return nil, ctlNone, nil
+				return Value{}, ctlNone, nil
 			}
 			if c == ctlReturn {
 				return v, ctlReturn, nil
 			}
 		}
-		return nil, ctlNone, nil
+		return Value{}, ctlNone, nil
 
 	case *ReturnStmt:
-		var v Value = Undefined{}
+		v := Undefined()
 		if st.Value != nil {
 			var err error
 			v, err = in.eval(st.Value, env)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 		}
 		return v, ctlReturn, nil
 
 	case *BreakStmt:
-		return nil, ctlBreak, nil
+		return Value{}, ctlBreak, nil
 
 	case *ContinueStmt:
-		return nil, ctlContinue, nil
+		return Value{}, ctlContinue, nil
 
 	case *ThrowStmt:
 		v, err := in.eval(st.Value, env)
 		if err != nil {
-			return nil, ctlNone, err
+			return Value{}, ctlNone, err
 		}
-		return nil, ctlNone, &ThrowError{Value: v, Line: st.nodeLine()}
+		return Value{}, ctlNone, &ThrowError{Value: v, Line: st.nodeLine()}
 
 	case *SwitchStmt:
 		tag, err := in.eval(st.Tag, env)
 		if err != nil {
-			return nil, ctlNone, err
+			return Value{}, ctlNone, err
 		}
 		// Find the matching clause (or default), then execute from there,
 		// falling through until a break.
@@ -377,7 +511,7 @@ func (in *Interp) execStmt(s Stmt, env *Env) (Value, ctl, error) {
 			}
 			tv, err := in.eval(c.Test, env)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			if StrictEquals(tag, tv) {
 				start = i
@@ -388,24 +522,24 @@ func (in *Interp) execStmt(s Stmt, env *Env) (Value, ctl, error) {
 			start = defaultIdx
 		}
 		if start < 0 {
-			return nil, ctlNone, nil
+			return Value{}, ctlNone, nil
 		}
 		switchEnv := NewEnv(env)
 		for i := start; i < len(st.Cases); i++ {
 			for _, s2 := range st.Cases[i].Body {
 				v, c, err := in.execStmt(s2, switchEnv)
 				if err != nil {
-					return nil, ctlNone, err
+					return Value{}, ctlNone, err
 				}
 				switch c {
 				case ctlBreak:
-					return nil, ctlNone, nil
+					return Value{}, ctlNone, nil
 				case ctlReturn, ctlContinue:
 					return v, c, nil
 				}
 			}
 		}
-		return nil, ctlNone, nil
+		return Value{}, ctlNone, nil
 
 	case *TryStmt:
 		v, c, err := in.execBlock(st.Body, env)
@@ -418,7 +552,7 @@ func (in *Interp) execStmt(s Stmt, env *Env) (Value, ctl, error) {
 		if st.Finally != nil {
 			fv, fc, ferr := in.execBlock(st.Finally, env)
 			if ferr != nil {
-				return nil, ctlNone, ferr
+				return Value{}, ctlNone, ferr
 			}
 			if fc != ctlNone {
 				return fv, fc, nil
@@ -426,87 +560,93 @@ func (in *Interp) execStmt(s Stmt, env *Env) (Value, ctl, error) {
 		}
 		return v, c, err
 	}
-	return nil, ctlNone, fmt.Errorf("minijs: unknown statement %T", s)
+	return Value{}, ctlNone, fmt.Errorf("minijs: unknown statement %T", s)
 }
 
 func (in *Interp) execBlock(b *BlockStmt, env *Env) (Value, ctl, error) {
-	blockEnv := NewEnv(env)
-	// Hoist function declarations within the block.
-	for _, s := range b.Body {
-		if fd, ok := s.(*FuncDecl); ok {
-			blockEnv.Define(fd.Name, in.makeFunction(fd.Fn, blockEnv))
+	blockEnv := env
+	if blockNeedsScope(b.Body) {
+		blockEnv = NewEnv(env)
+		// Hoist function declarations within the block.
+		for _, s := range b.Body {
+			if fd, ok := s.(*FuncDecl); ok {
+				blockEnv.Define(fd.Name, in.makeFunction(fd.Fn, blockEnv).Value())
+			}
 		}
 	}
 	for _, s := range b.Body {
 		v, c, err := in.execStmt(s, blockEnv)
 		if err != nil {
-			return nil, ctlNone, err
+			return Value{}, ctlNone, err
 		}
 		if c != ctlNone {
 			return v, c, nil
 		}
 	}
-	return nil, ctlNone, nil
+	return Value{}, ctlNone, nil
 }
 
 func (in *Interp) makeFunction(fn *FuncLit, env *Env) *Object {
-	return &Object{Props: map[string]Value{}, Fn: fn, Env: env, Name: fn.Name}
+	return &Object{Fn: fn, Env: env, Name: fn.Name}
 }
 
 // eval evaluates an expression.
 func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 	if err := in.step(e.nodeLine()); err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	switch x := e.(type) {
 	case *NumberLit:
-		return x.Value, nil
+		return Num(x.Value), nil
 	case *StringLit:
-		return x.Value, nil
+		return Str(x.Value), nil
 	case *BoolLit:
-		return x.Value, nil
+		return Bool(x.Value), nil
 	case *NullLit:
-		return Null{}, nil
+		return Null(), nil
 	case *UndefinedLit:
-		return Undefined{}, nil
+		return Undefined(), nil
 	case *ThisExpr:
 		if v, ok := env.Lookup("this"); ok {
 			return v, nil
 		}
-		return Undefined{}, nil
+		return Undefined(), nil
 	case *Ident:
 		if v, ok := env.Lookup(x.Name); ok {
 			return v, nil
 		}
-		return nil, &ThrowError{Value: "ReferenceError: " + x.Name + " is not defined", Line: x.nodeLine()}
+		return Value{}, throwStr("ReferenceError: "+x.Name+" is not defined", x.nodeLine())
 
 	case *ArrayLit:
-		arr := NewArray()
+		arr := in.NewArray()
+		if len(x.Elems) > 0 {
+			arr.Elems = make([]Value, 0, len(x.Elems))
+		}
 		for _, el := range x.Elems {
 			v, err := in.eval(el, env)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
 			arr.Elems = append(arr.Elems, v)
 		}
-		return arr, nil
+		return arr.Value(), nil
 
 	case *ObjectLit:
-		obj := NewObject()
+		obj := in.NewObject()
 		for i, k := range x.Keys {
 			v, err := in.eval(x.Values[i], env)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
 			obj.Props[k] = v
 		}
-		return obj, nil
+		return obj.Value(), nil
 
 	case *FuncLit:
-		return in.makeFunction(x, env), nil
+		return in.makeFunction(x, env).Value(), nil
 
 	case *RegexLit:
-		return newRegexObject(x), nil
+		return newRegexObject(x).Value(), nil
 
 	case *UnaryExpr:
 		return in.evalUnary(x, env)
@@ -520,7 +660,7 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 	case *LogicalExpr:
 		left, err := in.eval(x.X, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if x.Op == "&&" {
 			if !Truthy(left) {
@@ -536,7 +676,7 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 	case *CondExpr:
 		cond, err := in.eval(x.Cond, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if Truthy(cond) {
 			return in.eval(x.Then, env)
@@ -555,22 +695,22 @@ func (in *Interp) eval(e Expr, env *Env) (Value, error) {
 	case *MemberExpr:
 		obj, err := in.eval(x.Obj, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return in.getMember(obj, x.Name, x.nodeLine())
 
 	case *IndexExpr:
 		obj, err := in.eval(x.Obj, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		idx, err := in.eval(x.Index, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		return in.getIndex(obj, idx, x.nodeLine())
 	}
-	return nil, fmt.Errorf("minijs: unknown expression %T", e)
+	return Value{}, fmt.Errorf("minijs: unknown expression %T", e)
 }
 
 func (in *Interp) evalUnary(x *UnaryExpr, env *Env) (Value, error) {
@@ -578,47 +718,47 @@ func (in *Interp) evalUnary(x *UnaryExpr, env *Env) (Value, error) {
 		// typeof tolerates undefined identifiers.
 		if id, ok := x.X.(*Ident); ok {
 			if v, found := env.Lookup(id.Name); found {
-				return TypeOf(v), nil
+				return Str(TypeOf(v)), nil
 			}
-			return "undefined", nil
+			return Str("undefined"), nil
 		}
 	}
 	if x.Op == "delete" {
 		if m, ok := x.X.(*MemberExpr); ok {
 			objV, err := in.eval(m.Obj, env)
 			if err != nil {
-				return nil, err
+				return Value{}, err
 			}
-			if obj, ok := objV.(*Object); ok && obj.Props != nil {
-				delete(obj.Props, m.Name)
+			if obj := objV.Obj(); obj != nil {
+				obj.Delete(m.Name)
 			}
-			return true, nil
+			return Bool(true), nil
 		}
-		return true, nil
+		return Bool(true), nil
 	}
 	v, err := in.eval(x.X, env)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	switch x.Op {
 	case "-":
-		return -ToNumber(v), nil
+		return Num(-ToNumber(v)), nil
 	case "+":
-		return ToNumber(v), nil
+		return Num(ToNumber(v)), nil
 	case "!":
-		return !Truthy(v), nil
+		return Bool(!Truthy(v)), nil
 	case "~":
-		return float64(^toInt32(v)), nil
+		return Num(float64(^toInt32(v))), nil
 	case "typeof":
-		return TypeOf(v), nil
+		return Str(TypeOf(v)), nil
 	}
-	return nil, fmt.Errorf("minijs: unknown unary op %q", x.Op)
+	return Value{}, fmt.Errorf("minijs: unknown unary op %q", x.Op)
 }
 
 func (in *Interp) evalUpdate(x *UpdateExpr, env *Env) (Value, error) {
 	old, err := in.eval(x.X, env)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	n := ToNumber(old)
 	var next float64
@@ -627,23 +767,23 @@ func (in *Interp) evalUpdate(x *UpdateExpr, env *Env) (Value, error) {
 	} else {
 		next = n - 1
 	}
-	if err := in.assignTo(x.X, next, env); err != nil {
-		return nil, err
+	if err := in.assignTo(x.X, Num(next), env); err != nil {
+		return Value{}, err
 	}
 	if x.Prefix {
-		return next, nil
+		return Num(next), nil
 	}
-	return n, nil
+	return Num(n), nil
 }
 
 func (in *Interp) evalBinary(x *BinaryExpr, env *Env) (Value, error) {
 	a, err := in.eval(x.X, env)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	b, err := in.eval(x.Y, env)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	return applyBinary(x.Op, a, b, x.nodeLine())
 }
@@ -651,89 +791,92 @@ func (in *Interp) evalBinary(x *BinaryExpr, env *Env) (Value, error) {
 func applyBinary(op string, a, b Value, line int) (Value, error) {
 	switch op {
 	case "+":
+		// Numeric fast path: both sides already numbers.
+		if a.kind == KindNumber && b.kind == KindNumber {
+			return Num(a.num + b.num), nil
+		}
 		// String concatenation if either side is a string or a non-array
 		// object (which stringifies).
 		if isStringy(a) || isStringy(b) {
 			sa, sb := ToString(a), ToString(b)
 			if len(sa)+len(sb) > maxStringLen {
-				return nil, &ThrowError{Value: "RangeError: invalid string length", Line: line}
+				return Value{}, throwStr("RangeError: invalid string length", line)
 			}
-			return sa + sb, nil
+			return Str(sa + sb), nil
 		}
-		return ToNumber(a) + ToNumber(b), nil
+		return Num(ToNumber(a) + ToNumber(b)), nil
 	case "-":
-		return ToNumber(a) - ToNumber(b), nil
+		return Num(ToNumber(a) - ToNumber(b)), nil
 	case "*":
-		return ToNumber(a) * ToNumber(b), nil
+		return Num(ToNumber(a) * ToNumber(b)), nil
 	case "/":
-		return ToNumber(a) / ToNumber(b), nil
+		return Num(ToNumber(a) / ToNumber(b)), nil
 	case "%":
-		return math.Mod(ToNumber(a), ToNumber(b)), nil
+		return Num(math.Mod(ToNumber(a), ToNumber(b))), nil
 	case "==":
-		return LooseEquals(a, b), nil
+		return Bool(LooseEquals(a, b)), nil
 	case "!=":
-		return !LooseEquals(a, b), nil
+		return Bool(!LooseEquals(a, b)), nil
 	case "===":
-		return StrictEquals(a, b), nil
+		return Bool(StrictEquals(a, b)), nil
 	case "!==":
-		return !StrictEquals(a, b), nil
+		return Bool(!StrictEquals(a, b)), nil
 	case "<", ">", "<=", ">=":
-		return compare(op, a, b), nil
+		return Bool(compare(op, a, b)), nil
 	case "&":
-		return float64(toInt32(a) & toInt32(b)), nil
+		return Num(float64(toInt32(a) & toInt32(b))), nil
 	case "|":
-		return float64(toInt32(a) | toInt32(b)), nil
+		return Num(float64(toInt32(a) | toInt32(b))), nil
 	case "^":
-		return float64(toInt32(a) ^ toInt32(b)), nil
+		return Num(float64(toInt32(a) ^ toInt32(b))), nil
 	case "<<":
-		return float64(toInt32(a) << (toUint32(b) & 31)), nil
+		return Num(float64(toInt32(a) << (toUint32(b) & 31))), nil
 	case ">>":
-		return float64(toInt32(a) >> (toUint32(b) & 31)), nil
+		return Num(float64(toInt32(a) >> (toUint32(b) & 31))), nil
 	case ">>>":
-		return float64(toUint32(a) >> (toUint32(b) & 31)), nil
+		return Num(float64(toUint32(a) >> (toUint32(b) & 31))), nil
 	case "in":
-		obj, ok := b.(*Object)
-		if !ok {
-			return nil, &ThrowError{Value: "TypeError: 'in' on non-object", Line: line}
+		obj := b.Obj()
+		if obj == nil {
+			return Value{}, throwStr("TypeError: 'in' on non-object", line)
 		}
 		_, found := obj.Get(ToString(a))
-		return found, nil
+		return Bool(found), nil
 	case "instanceof":
 		// The dialect has no prototype chains; instanceof is a pragmatic
 		// check: array instanceof Array, function instanceof Function.
-		obj, ok := a.(*Object)
-		if !ok {
-			return false, nil
+		obj := a.Obj()
+		if obj == nil {
+			return Bool(false), nil
 		}
 		name := ""
-		if fb, ok := b.(*Object); ok {
+		if fb := b.Obj(); fb != nil {
 			name = fb.Name
 		}
 		switch name {
 		case "Array":
-			return obj.IsArray, nil
+			return Bool(obj.IsArray), nil
 		case "Function":
-			return obj.IsFunction(), nil
+			return Bool(obj.IsFunction()), nil
 		}
-		return false, nil
+		return Bool(false), nil
 	}
-	return nil, fmt.Errorf("minijs: unknown binary op %q", op)
+	return Value{}, fmt.Errorf("minijs: unknown binary op %q", op)
 }
 
 func isStringy(v Value) bool {
-	switch x := v.(type) {
-	case string:
+	switch v.kind {
+	case KindString:
 		return true
-	case *Object:
-		return !x.IsFunction() // objects and arrays concatenate as strings with +
+	case KindObject:
+		return !v.obj.IsFunction() // objects and arrays concatenate as strings with +
 	}
 	return false
 }
 
 func compare(op string, a, b Value) bool {
-	as, aIsStr := a.(string)
-	bs, bIsStr := b.(string)
-	if aIsStr && bIsStr {
+	if a.kind == KindString && b.kind == KindString {
+		as, bs := a.str, b.str
 		switch op {
 		case "<":
 			return as < bs
@@ -781,21 +924,21 @@ func toUint32(v Value) uint32 {
 func (in *Interp) evalAssign(x *AssignExpr, env *Env) (Value, error) {
 	val, err := in.eval(x.Value, env)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	if x.Op != "=" {
 		old, err := in.eval(x.Target, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		binOp := x.Op[:len(x.Op)-1] // "+=" -> "+"
 		val, err = applyBinary(binOp, old, val, x.nodeLine())
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 	}
 	if err := in.assignTo(x.Target, val, env); err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	return val, nil
 }
@@ -828,9 +971,9 @@ func (in *Interp) assignTo(target Expr, val Value, env *Env) error {
 // setMemberValue stores obj.name = val; shared by the tree-walker's
 // assignTo and the VM's opSetMember so error values stay identical.
 func (in *Interp) setMemberValue(objV Value, name string, val Value, line int) error {
-	obj, ok := objV.(*Object)
-	if !ok {
-		return &ThrowError{Value: "TypeError: cannot set property " + name + " of non-object", Line: line}
+	obj := objV.Obj()
+	if obj == nil {
+		return throwStr("TypeError: cannot set property "+name+" of non-object", line)
 	}
 	obj.Set(name, val)
 	return nil
@@ -838,17 +981,17 @@ func (in *Interp) setMemberValue(objV Value, name string, val Value, line int) e
 
 // setIndexValue stores obj[idx] = val; shared by assignTo and opSetIndex.
 func (in *Interp) setIndexValue(objV, idxV, val Value, line int) error {
-	obj, ok := objV.(*Object)
-	if !ok {
-		return &ThrowError{Value: "TypeError: cannot index non-object", Line: line}
+	obj := objV.Obj()
+	if obj == nil {
+		return throwStr("TypeError: cannot index non-object", line)
 	}
 	if obj.IsArray {
 		if idx, ok := arrayIndex(idxV); ok && idx >= 0 {
 			if idx >= maxArrayLen {
-				return &ThrowError{Value: "RangeError: invalid array length", Line: line}
+				return throwStr("RangeError: invalid array length", line)
 			}
 			for len(obj.Elems) <= idx {
-				obj.Elems = append(obj.Elems, Undefined{})
+				obj.Elems = append(obj.Elems, Undefined())
 			}
 			obj.Elems[idx] = val
 			return nil
@@ -859,7 +1002,7 @@ func (in *Interp) setIndexValue(objV, idxV, val Value, line int) error {
 }
 
 func (in *Interp) evalCall(x *CallExpr, env *Env) (Value, error) {
-	var this Value = Undefined{}
+	this := Undefined()
 	var fnV Value
 	var err error
 
@@ -867,43 +1010,46 @@ func (in *Interp) evalCall(x *CallExpr, env *Env) (Value, error) {
 	case *MemberExpr:
 		this, err = in.eval(callee.Obj, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		fnV, err = in.getMember(this, callee.Name, callee.nodeLine())
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 	case *IndexExpr:
 		this, err = in.eval(callee.Obj, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		idx, err2 := in.eval(callee.Index, env)
 		if err2 != nil {
-			return nil, err2
+			return Value{}, err2
 		}
 		fnV, err = in.getIndex(this, idx, callee.nodeLine())
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 	default:
 		fnV, err = in.eval(x.Callee, env)
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 	}
 
-	args := make([]Value, len(x.Args))
-	for i, a := range x.Args {
-		args[i], err = in.eval(a, env)
-		if err != nil {
-			return nil, err
+	var args []Value
+	if len(x.Args) > 0 {
+		args = make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			args[i], err = in.eval(a, env)
+			if err != nil {
+				return Value{}, err
+			}
 		}
 	}
 
-	fn, ok := fnV.(*Object)
-	if !ok || !fn.IsFunction() {
-		return nil, &ThrowError{Value: "TypeError: " + calleeName(x.Callee) + " is not a function", Line: x.nodeLine()}
+	fn := fnV.Obj()
+	if fn == nil || !fn.IsFunction() {
+		return Value{}, throwStr("TypeError: "+calleeName(x.Callee)+" is not a function", x.nodeLine())
 	}
 	return in.callObject(fn, this, args, x.nodeLine())
 }
@@ -921,7 +1067,7 @@ func calleeName(e Expr) string {
 
 func (in *Interp) callObject(fn *Object, this Value, args []Value, line int) (Value, error) {
 	if in.depth >= in.MaxDepth {
-		return nil, &ThrowError{Value: "RangeError: maximum call depth exceeded", Line: line}
+		return Value{}, throwStr("RangeError: maximum call depth exceeded", line)
 	}
 	in.depth++
 	defer func() { in.depth-- }()
@@ -931,13 +1077,17 @@ func (in *Interp) callObject(fn *Object, this Value, args []Value, line int) (Va
 	}
 	callEnv := NewEnv(fn.Env)
 	callEnv.Define("this", this)
-	argsArr := NewArray(args...)
-	callEnv.Define("arguments", argsArr)
+	if fn.Fn.UsesArguments {
+		// Copy args: the VM hands out slices of its reusable call arena, so
+		// anything that outlives the call must own its backing array.
+		argsArr := in.NewArray(append([]Value(nil), args...)...)
+		callEnv.Define("arguments", argsArr.Value())
+	}
 	for i, p := range fn.Fn.Params {
 		if i < len(args) {
 			callEnv.Define(p, args[i])
 		} else {
-			callEnv.Define(p, Undefined{})
+			callEnv.Define(p, Undefined())
 		}
 	}
 	if in.UseVM && fn.Fn.code != nil {
@@ -947,116 +1097,123 @@ func (in *Interp) callObject(fn *Object, this Value, args []Value, line int) (Va
 			in.releaseMachine()
 		}
 		if err != nil {
-			return nil, err
+			return Value{}, err
 		}
 		if c == ctlReturn {
 			return v, nil
 		}
-		return Undefined{}, nil
+		return Undefined(), nil
 	}
 	v, c, err := in.execBlock(fn.Fn.Body, callEnv)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	if c == ctlReturn {
 		return v, nil
 	}
-	return Undefined{}, nil
+	return Undefined(), nil
 }
 
 func (in *Interp) evalNew(x *NewExpr, env *Env) (Value, error) {
 	fnV, err := in.eval(x.Callee, env)
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	// Arguments are evaluated before the constructor check (ES EvaluateNew
 	// order) — the VM necessarily does the same, and step parity between the
 	// engines depends on it.
-	args := make([]Value, len(x.Args))
-	for i, a := range x.Args {
-		args[i], err = in.eval(a, env)
-		if err != nil {
-			return nil, err
+	var args []Value
+	if len(x.Args) > 0 {
+		args = make([]Value, len(x.Args))
+		for i, a := range x.Args {
+			args[i], err = in.eval(a, env)
+			if err != nil {
+				return Value{}, err
+			}
 		}
 	}
-	fn, ok := fnV.(*Object)
-	if !ok || !fn.IsFunction() {
-		return nil, &ThrowError{Value: "TypeError: not a constructor", Line: x.nodeLine()}
+	fn := fnV.Obj()
+	if fn == nil || !fn.IsFunction() {
+		return Value{}, throwStr("TypeError: not a constructor", x.nodeLine())
 	}
-	this := NewObject()
-	ret, err := in.callObject(fn, this, args, x.nodeLine())
+	this := in.NewObject()
+	ret, err := in.callObject(fn, this.Value(), args, x.nodeLine())
 	if err != nil {
-		return nil, err
+		return Value{}, err
 	}
 	// If the constructor returned an object, that wins; otherwise `this`.
-	if obj, ok := ret.(*Object); ok {
-		return obj, nil
+	if obj := ret.Obj(); obj != nil {
+		return obj.Value(), nil
 	}
-	return this, nil
+	return this.Value(), nil
 }
 
 // getMember resolves obj.name including primitive methods on strings,
 // numbers, and arrays.
 func (in *Interp) getMember(objV Value, name string, line int) (Value, error) {
-	switch o := objV.(type) {
-	case string:
-		return stringMember(o, name), nil
-	case float64:
-		return numberMember(o, name), nil
-	case *Object:
+	switch objV.kind {
+	case KindString:
+		return stringMember(objV.str, name), nil
+	case KindNumber:
+		return numberMember(objV.num, name), nil
+	case KindObject:
+		o := objV.obj
 		if o.IsArray {
-			if m := arrayMember(o, name); m != nil {
-				return m, nil
+			if m := arrayMember(name); m != nil {
+				return m.Value(), nil
 			}
 		}
 		v, _ := o.Get(name)
 		return v, nil
-	case nil, Undefined, Null:
-		return nil, &ThrowError{Value: "TypeError: cannot read property '" + name + "' of " + ToString(objV), Line: line}
+	case KindEmpty, KindUndefined, KindNull:
+		return Value{}, throwStr("TypeError: cannot read property '"+name+"' of "+ToString(objV), line)
 	}
-	return Undefined{}, nil
+	return Undefined(), nil
 }
 
 func (in *Interp) getIndex(objV Value, idx Value, line int) (Value, error) {
-	switch o := objV.(type) {
-	case string:
-		if i, ok := idx.(float64); ok {
-			n := int(i)
+	switch objV.kind {
+	case KindString:
+		o := objV.str
+		if idx.kind == KindNumber {
+			n := int(idx.num)
 			if n >= 0 && n < len(o) {
-				return string(o[n]), nil
+				return Str(o[n : n+1]), nil
 			}
-			return Undefined{}, nil
+			return Undefined(), nil
 		}
 		return stringMember(o, ToString(idx)), nil
-	case *Object:
+	case KindObject:
+		o := objV.obj
 		if o.IsArray {
 			if n, ok := arrayIndex(idx); ok {
 				if n >= 0 && n < len(o.Elems) {
 					return o.Elems[n], nil
 				}
-				return Undefined{}, nil
+				return Undefined(), nil
 			}
-			if m := arrayMember(o, ToString(idx)); m != nil {
-				return m, nil
+			if m := arrayMember(ToString(idx)); m != nil {
+				return m.Value(), nil
 			}
 		}
 		return in.getMember(objV, ToString(idx), line)
-	case nil, Undefined, Null:
-		return nil, &ThrowError{Value: "TypeError: cannot index " + ToString(objV), Line: line}
+	case KindEmpty, KindUndefined, KindNull:
+		return Value{}, throwStr("TypeError: cannot index "+ToString(objV), line)
 	}
-	return Undefined{}, nil
+	return Undefined(), nil
 }
 
 // arrayIndex interprets v as an integer array index. Numeric strings count,
 // because for-in yields string keys ("0", "1", ...) that scripts use to
 // index back into the array.
 func arrayIndex(v Value) (int, bool) {
-	switch x := v.(type) {
-	case float64:
-		if x == math.Trunc(x) && !math.IsInf(x, 0) {
-			return int(x), true
+	switch v.kind {
+	case KindNumber:
+		if v.num == math.Trunc(v.num) && !math.IsInf(v.num, 0) {
+			return int(v.num), true
 		}
-	case string:
+	case KindString:
+		x := v.str
 		if x == "" {
 			return 0, false
 		}

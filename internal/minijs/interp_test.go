@@ -23,10 +23,10 @@ func run(t *testing.T, src string) Value {
 func expectNum(t *testing.T, src string, want float64) {
 	t.Helper()
 	v := run(t, src)
-	got, ok := v.(float64)
-	if !ok {
+	if !v.IsNumber() {
 		t.Fatalf("Run(%q) = %#v (%s), want number", src, v, TypeOf(v))
 	}
+	got := v.Num()
 	if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
 		t.Fatalf("Run(%q) = %v, want %v", src, got, want)
 	}
@@ -35,10 +35,10 @@ func expectNum(t *testing.T, src string, want float64) {
 func expectStr(t *testing.T, src string, want string) {
 	t.Helper()
 	v := run(t, src)
-	got, ok := v.(string)
-	if !ok {
+	if !v.IsString() {
 		t.Fatalf("Run(%q) = %#v (%s), want string", src, v, TypeOf(v))
 	}
+	got := v.Str()
 	if got != want {
 		t.Fatalf("Run(%q) = %q, want %q", src, got, want)
 	}
@@ -47,10 +47,10 @@ func expectStr(t *testing.T, src string, want string) {
 func expectBool(t *testing.T, src string, want bool) {
 	t.Helper()
 	v := run(t, src)
-	got, ok := v.(bool)
-	if !ok {
+	if !v.IsBool() {
 		t.Fatalf("Run(%q) = %#v, want bool", src, v)
 	}
+	got := v.Bool()
 	if got != want {
 		t.Fatalf("Run(%q) = %v, want %v", src, got, want)
 	}
@@ -363,11 +363,11 @@ func TestHostObjectTraps(t *testing.T) {
 	}
 	host.GetTrap = func(name string) (Value, bool) {
 		if name == "href" {
-			return "http://initial.example.com/", true
+			return Str("http://initial.example.com/"), true
 		}
-		return nil, false
+		return Value{}, false
 	}
-	in.Global.Define("location", host)
+	in.Global.Define("location", host.Value())
 
 	if _, err := in.Run(`location.href = "http://evil.example.net/land";`); err != nil {
 		t.Fatal(err)
@@ -390,14 +390,14 @@ func TestCallFunctionFromGo(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := in.CallFunction(v, Undefined{}, []Value{float64(21)})
+	out, err := in.CallFunction(v, Undefined(), []Value{Num(21)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if out != float64(42) {
+	if !out.IsNumber() || out.Num() != 42 {
 		t.Fatalf("CallFunction = %v", out)
 	}
-	if _, err := in.CallFunction("not fn", Undefined{}, nil); err == nil {
+	if _, err := in.CallFunction(Str("not fn"), Undefined(), nil); err == nil {
 		t.Fatal("calling non-function should fail")
 	}
 }
@@ -407,12 +407,12 @@ func TestNativeFunctionBinding(t *testing.T) {
 	var captured []Value
 	in.Global.Define("capture", NewNative("capture", func(_ *Interp, _ Value, args []Value) (Value, error) {
 		captured = append(captured, args...)
-		return Undefined{}, nil
-	}))
+		return Undefined(), nil
+	}).Value())
 	if _, err := in.Run(`capture(1, "two", true);`); err != nil {
 		t.Fatal(err)
 	}
-	if len(captured) != 3 || captured[0] != float64(1) || captured[1] != "two" || captured[2] != true {
+	if len(captured) != 3 || !StrictEquals(captured[0], Num(1)) || !StrictEquals(captured[1], Str("two")) || !StrictEquals(captured[2], Bool(true)) {
 		t.Fatalf("captured = %v", captured)
 	}
 }
@@ -438,7 +438,7 @@ func TestArithmeticProperty(t *testing.T) {
 		case "*":
 			want = float64(a) * float64(b)
 		}
-		return v == want
+		return v.IsNumber() && v.Num() == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
@@ -459,28 +459,29 @@ func TestRunFuzzProperty(t *testing.T) {
 }
 
 func TestValueConversions(t *testing.T) {
-	if ToString(float64(3)) != "3" {
-		t.Errorf("ToString(3) = %q", ToString(float64(3)))
+	if ToString(Num(3)) != "3" {
+		t.Errorf("ToString(3) = %q", ToString(Num(3)))
 	}
-	if ToString(float64(3.5)) != "3.5" {
-		t.Errorf("ToString(3.5) = %q", ToString(float64(3.5)))
+	if ToString(Num(3.5)) != "3.5" {
+		t.Errorf("ToString(3.5) = %q", ToString(Num(3.5)))
 	}
-	if ToString(NewArray(float64(1), "a", Null{})) != "1,a," {
-		t.Errorf("array ToString = %q", ToString(NewArray(float64(1), "a", Null{})))
+	arr := NewArray(Num(1), Str("a"), Null()).Value()
+	if ToString(arr) != "1,a," {
+		t.Errorf("array ToString = %q", ToString(arr))
 	}
-	if !math.IsNaN(ToNumber("abc")) {
+	if !math.IsNaN(ToNumber(Str("abc"))) {
 		t.Error("ToNumber(abc) should be NaN")
 	}
-	if ToNumber("0x10") != 16 {
+	if ToNumber(Str("0x10")) != 16 {
 		t.Error("ToNumber hex failed")
 	}
-	if ToNumber("") != 0 {
+	if ToNumber(Str("")) != 0 {
 		t.Error("ToNumber empty string should be 0")
 	}
-	if Truthy("") || Truthy(float64(0)) || Truthy(Null{}) || Truthy(Undefined{}) {
+	if Truthy(Str("")) || Truthy(Num(0)) || Truthy(Null()) || Truthy(Undefined()) {
 		t.Error("falsy values misjudged")
 	}
-	if !Truthy("x") || !Truthy(float64(1)) || !Truthy(NewObject()) {
+	if !Truthy(Str("x")) || !Truthy(Num(1)) || !Truthy(NewObject().Value()) {
 		t.Error("truthy values misjudged")
 	}
 }
@@ -617,7 +618,7 @@ func TestDeleteAndInOperators(t *testing.T) {
 // tree-walker). -0 must stay distinct (1/-0 is -Infinity) while its string
 // form drops the sign, as JS ToString does.
 func TestNegativeZeroSemantics(t *testing.T) {
-	if got := ToString(math.Copysign(0, -1)); got != "0" {
+	if got := ToString(Num(math.Copysign(0, -1))); got != "0" {
 		t.Fatalf("ToString(-0) = %q, want \"0\"", got)
 	}
 	for _, vm := range []bool{false, true} {
@@ -629,6 +630,51 @@ func TestNegativeZeroSemantics(t *testing.T) {
 		}
 		if got := ToString(v); got != "-Infinity|Infinity|0" {
 			t.Fatalf("UseVM=%v: got %q, want \"-Infinity|Infinity|0\"", vm, got)
+		}
+	}
+}
+
+// TestNaNConstantSemantics is the mirror image of the -0 interning bug: in
+// Go, NaN != NaN, so a map-keyed constant pool can never coalesce NaN
+// entries — but however many pool slots NaN occupies, the loaded value must
+// still behave like JS NaN on both engines (self-inequal, contagious
+// through comparison, "NaN" when stringified).
+func TestNaNConstantSemantics(t *testing.T) {
+	for _, vm := range []bool{false, true} {
+		in := New()
+		in.UseVM = vm
+		v, err := in.Run(`var a = NaN; var b = 0 / 0;
+			"" + (a == a) + "|" + (a == b) + "|" + (a != a) + "|" + a + "|" + (1 < NaN) + "|" + (NaN <= NaN);`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ToString(v), "false|false|true|NaN|false|false"; got != want {
+			t.Fatalf("UseVM=%v: got %q, want %q", vm, got, want)
+		}
+	}
+}
+
+// TestStringInterningSemantics guards the string-scratch optimizations:
+// identical literals may share one interned pool constant, and runtime
+// concatenation builds through a reused scratch buffer — but a string that
+// has escaped must be immutable. If the scratch were handed out by
+// reference, the later `built + "X"` append would corrupt `built` after it
+// already compared equal to the interned literal.
+func TestStringInterningSemantics(t *testing.T) {
+	for _, vm := range []bool{false, true} {
+		in := New()
+		in.UseVM = vm
+		v, err := in.Run(`var lit1 = "intern-me"; var lit2 = "intern-me";
+			var parts = ["in", "tern", "-", "me"];
+			var built = "";
+			for (var i = 0; i < parts.length; i++) { built += parts[i]; }
+			var other = built + "X";
+			"" + (lit1 == lit2) + "|" + (built == lit1) + "|" + built + "|" + other;`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := ToString(v), "true|true|intern-me|intern-meX"; got != want {
+			t.Fatalf("UseVM=%v: got %q, want %q", vm, got, want)
 		}
 	}
 }

@@ -375,11 +375,18 @@ func (p *parser) parseFuncLit() (*FuncLit, error) {
 	if err := p.expectPunct(")"); err != nil {
 		return nil, err
 	}
+	bodyStart := p.i
 	body, err := p.parseBlock()
 	if err != nil {
 		return nil, err
 	}
 	fn.Body = body
+	for j := bodyStart; j < p.i && j < len(p.toks); j++ {
+		if p.toks[j].Kind == TokIdent && p.toks[j].Text == "arguments" {
+			fn.UsesArguments = true
+			break
+		}
+	}
 	return fn, nil
 }
 

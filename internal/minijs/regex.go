@@ -72,50 +72,77 @@ func newRegexObject(lit *RegexLit) *Object {
 	obj := NewObject()
 	obj.Name = "RegExp"
 	obj.rx = rr
-	obj.Props["source"] = lit.Pattern
-	obj.Props["flags"] = lit.Flags
-	obj.Props["global"] = rr.global
-	obj.Props["ignoreCase"] = strings.ContainsRune(lit.Flags, 'i')
-	obj.Props["multiline"] = strings.ContainsRune(lit.Flags, 'm')
-	obj.Props["lastIndex"] = float64(0)
-	obj.Props["test"] = NewNative("test", func(in *Interp, this Value, args []Value) (Value, error) {
-		re, ok := rr.re()
-		if !ok {
-			return false, nil
-		}
-		return re.MatchString(ToString(arg(args, 0))), nil
-	})
-	obj.Props["exec"] = NewNative("exec", func(in *Interp, this Value, args []Value) (Value, error) {
-		s := ToString(arg(args, 0))
-		re, ok := rr.re()
-		if !ok {
-			return Null{}, nil
-		}
-		loc := re.FindStringSubmatchIndex(s)
-		if loc == nil {
-			return Null{}, nil
-		}
-		res := NewArray()
-		for i := 0; i*2 < len(loc); i++ {
-			if loc[i*2] < 0 {
-				res.Elems = append(res.Elems, Undefined{})
-			} else {
-				res.Elems = append(res.Elems, s[loc[i*2]:loc[i*2+1]])
-			}
-		}
-		res.Props["index"] = float64(loc[0])
-		res.Props["input"] = s
-		return res, nil
-	})
-	obj.Props["toString"] = NewNative("toString", func(in *Interp, this Value, args []Value) (Value, error) {
-		return "/" + lit.Pattern + "/" + lit.Flags, nil
-	})
+	obj.Props["source"] = Str(lit.Pattern)
+	obj.Props["flags"] = Str(lit.Flags)
+	obj.Props["global"] = Bool(rr.global)
+	obj.Props["ignoreCase"] = Bool(strings.ContainsRune(lit.Flags, 'i'))
+	obj.Props["multiline"] = Bool(strings.ContainsRune(lit.Flags, 'm'))
+	obj.Props["lastIndex"] = Num(0)
+	obj.Props["test"] = regexTest.Value()
+	obj.Props["exec"] = regexExec.Value()
+	obj.Props["toString"] = regexToString.Value()
 	return obj
 }
 
+// thisRegex extracts the regex runtime from a method receiver.
+func thisRegex(this Value) (*regexRuntime, bool) {
+	if obj := this.Obj(); obj != nil && obj.rx != nil {
+		return obj.rx, true
+	}
+	return nil, false
+}
+
+// Shared regex method objects; the regex they operate on arrives as `this`.
+var regexTest = newFrozenNative("test", func(_ *Interp, this Value, args []Value) (Value, error) {
+	rr, ok := thisRegex(this)
+	if !ok {
+		return Bool(false), nil
+	}
+	re, ok := rr.re()
+	if !ok {
+		return Bool(false), nil
+	}
+	return Bool(re.MatchString(ToString(arg(args, 0)))), nil
+})
+
+var regexExec = newFrozenNative("exec", func(_ *Interp, this Value, args []Value) (Value, error) {
+	rr, ok := thisRegex(this)
+	if !ok {
+		return Null(), nil
+	}
+	s := ToString(arg(args, 0))
+	re, ok := rr.re()
+	if !ok {
+		return Null(), nil
+	}
+	loc := re.FindStringSubmatchIndex(s)
+	if loc == nil {
+		return Null(), nil
+	}
+	res := NewArray()
+	for i := 0; i*2 < len(loc); i++ {
+		if loc[i*2] < 0 {
+			res.Elems = append(res.Elems, Undefined())
+		} else {
+			res.Elems = append(res.Elems, Str(s[loc[i*2]:loc[i*2+1]]))
+		}
+	}
+	res.Set("index", Num(float64(loc[0])))
+	res.Set("input", Str(s))
+	return res.Value(), nil
+})
+
+var regexToString = newFrozenNative("toString", func(_ *Interp, this Value, _ []Value) (Value, error) {
+	obj := this.Obj()
+	if obj == nil || obj.rx == nil {
+		return Str(""), nil
+	}
+	return Str("/" + obj.rx.source + "/" + obj.rx.flags), nil
+})
+
 // regexArg returns the regex runtime when v is a regex object.
 func regexArg(v Value) (*regexRuntime, bool) {
-	if obj, ok := v.(*Object); ok && obj.rx != nil {
+	if obj := v.Obj(); obj != nil && obj.rx != nil {
 		return obj.rx, true
 	}
 	return nil, false

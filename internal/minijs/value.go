@@ -1,40 +1,144 @@
 package minijs
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
 
-// Value is a runtime value of the interpreter. The concrete types are:
+// Kind discriminates the tagged Value representation.
+type Kind uint8
+
+const (
+	// KindEmpty is the zero Value: "no completion value" inside the
+	// engines. It is never observable from scripts; every conversion and
+	// comparison treats it exactly like undefined, so an accidental leak is
+	// behaviour-preserving.
+	KindEmpty Kind = iota
+	KindUndefined
+	KindNull
+	KindBool
+	KindNumber
+	KindString
+	KindObject
+	// kindIter marks the VM's for-in placeholder slot on the value stack;
+	// the iterator state itself lives on the machine's side stack.
+	kindIter
+)
+
+// Value is a runtime value of the interpreter: a tagged struct instead of an
+// interface, so numbers, booleans and strings move through the VM stack,
+// property maps and native-call boundaries without boxing allocations.
 //
-//	Undefined  — the undefined value
-//	Null       — the null value
-//	bool       — booleans
-//	float64    — numbers
-//	string     — strings
-//	*Object    — objects, arrays, and functions (native or user-defined)
-type Value any
+// The representation is: kind tag, float64 payload (numbers; booleans as
+// 0/1), string payload, and an *Object payload for heap values. Value is
+// comparable (used as a constant-pool key), but note NaN: a Value holding
+// NaN does not == itself, mirroring the float it carries.
+type Value struct {
+	kind Kind
+	num  float64
+	str  string
+	obj  *Object
+}
 
-// Undefined is the runtime undefined value.
-type Undefined struct{}
+// Undefined returns the undefined value. (In earlier revisions Undefined was
+// a struct type; the constructor keeps call sites reading the same.)
+func Undefined() Value { return Value{kind: KindUndefined} }
 
-// Null is the runtime null value.
-type Null struct{}
+// Null returns the null value.
+func Null() Value { return Value{kind: KindNull} }
+
+// Bool wraps a Go bool.
+func Bool(b bool) Value {
+	if b {
+		return Value{kind: KindBool, num: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// Num wraps a Go float64.
+func Num(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// Str wraps a Go string.
+func Str(s string) Value { return Value{kind: KindString, str: s} }
+
+// ObjValue wraps an *Object (nil becomes undefined).
+func ObjValue(o *Object) Value {
+	if o == nil {
+		return Value{kind: KindUndefined}
+	}
+	return Value{kind: KindObject, obj: o}
+}
+
+// Value wraps o as a Value, so construction sites read naturally.
+func (o *Object) Value() Value { return ObjValue(o) }
+
+// Kind returns the value's kind; KindEmpty reads as KindUndefined.
+func (v Value) Kind() Kind {
+	if v.kind == KindEmpty {
+		return KindUndefined
+	}
+	return v.kind
+}
+
+// IsUndefined reports whether v is undefined (or the internal empty value).
+func (v Value) IsUndefined() bool { return v.kind == KindEmpty || v.kind == KindUndefined }
+
+// IsNull reports whether v is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsBool reports whether v is a boolean.
+func (v Value) IsBool() bool { return v.kind == KindBool }
+
+// IsNumber reports whether v is a number.
+func (v Value) IsNumber() bool { return v.kind == KindNumber }
+
+// IsString reports whether v is a string.
+func (v Value) IsString() bool { return v.kind == KindString }
+
+// IsObject reports whether v is an object.
+func (v Value) IsObject() bool { return v.kind == KindObject }
+
+// Num returns the raw float64 payload (0 unless IsNumber/IsBool).
+func (v Value) Num() float64 { return v.num }
+
+// Str returns the raw string payload ("" unless IsString).
+func (v Value) Str() string { return v.str }
+
+// Bool returns the raw boolean payload.
+func (v Value) Bool() bool { return v.num != 0 }
+
+// Obj returns the object payload, or nil when v is not an object.
+func (v Value) Obj() *Object {
+	if v.kind != KindObject {
+		return nil
+	}
+	return v.obj
+}
+
+// isNullish reports undefined/null (and the internal empty value).
+func (v Value) isNullish() bool { return v.kind <= KindNull }
 
 // NativeFunc is a Go function exposed to scripts. this is the receiver for
-// method calls (Undefined{} for plain calls).
+// method calls (Undefined() for plain calls).
 type NativeFunc func(interp *Interp, this Value, args []Value) (Value, error)
 
 // Object is the heap object type: plain objects, arrays, and functions.
 type Object struct {
-	// Props holds named properties.
+	// Props holds named properties. It is allocated lazily by Set; readers
+	// must tolerate nil (Get does).
 	Props map[string]Value
 	// Elems holds array elements when IsArray is true.
 	Elems   []Value
 	IsArray bool
+
+	// frozen marks shared singleton objects (primitive method natives,
+	// shared builtins). Set and delete are silently ignored, which keeps
+	// the old per-call-closure observable behaviour (writes to a method
+	// object were never visible on the next property access) while letting
+	// concurrent interpreters share one instance without data races.
+	frozen bool
 
 	// Fn is set for user-defined functions.
 	Fn *FuncLit
@@ -60,20 +164,95 @@ type Object struct {
 	rx *regexRuntime
 }
 
-// NewObject returns an empty plain object.
+// NewObject returns an empty plain object with an eager Props map (object
+// literals and constructors write properties immediately).
 func NewObject() *Object {
 	return &Object{Props: map[string]Value{}}
 }
 
-// NewArray returns an array object with the given elements.
-func NewArray(elems ...Value) *Object {
-	return &Object{Props: map[string]Value{}, Elems: elems, IsArray: true}
+// objChunk is the granularity of the interpreter's object arena. Object
+// headers are allocated in blocks of this many; one live object keeps its
+// whole block reachable, which is fine because every object an interpreter
+// makes shares the interpreter's lifetime anyway.
+const objChunk = 64
+
+// alloc carves one object header out of the interpreter's chunked arena.
+// A page script allocates a few dozen objects (host environment, literals,
+// constructor instances); the arena turns those into one-ish heap
+// allocation per chunk instead of one per object. Arena chunks are never
+// reused or reset — pointer stability and GC do the rest.
+func (in *Interp) alloc() *Object {
+	if len(in.objArena) == cap(in.objArena) {
+		// Chunks grow 8 → 16 → 32 → 64 so short scripts (the common case in
+		// ad creatives) don't strand most of a full-size chunk.
+		c := cap(in.objArena) * 2
+		if c < 8 {
+			c = 8
+		}
+		if c > objChunk {
+			c = objChunk
+		}
+		in.objArena = make([]Object, 0, c)
+	}
+	in.objArena = append(in.objArena, Object{})
+	return &in.objArena[len(in.objArena)-1]
 }
 
-// NewNative wraps a Go function as a callable object.
-func NewNative(name string, fn NativeFunc) *Object {
-	return &Object{Props: map[string]Value{}, Native: fn, Name: name}
+// NewObject is the arena-backed NewObject for objects whose lifetime is
+// bounded by the interpreter (which is all of them in practice).
+func (in *Interp) NewObject() *Object {
+	o := in.alloc()
+	o.Props = map[string]Value{}
+	return o
 }
+
+// NewArray is the arena-backed NewArray. The elems slice is retained.
+func (in *Interp) NewArray(elems ...Value) *Object {
+	o := in.alloc()
+	o.Elems = elems
+	o.IsArray = true
+	return o
+}
+
+// NewNative is the arena-backed NewNative (lazy Props, like NewNative).
+func (in *Interp) NewNative(name string, fn NativeFunc) *Object {
+	o := in.alloc()
+	o.Native = fn
+	o.Name = name
+	return o
+}
+
+// NewArray returns an array object with the given elements. The Props map is
+// lazy; the elems slice is retained, not copied.
+func NewArray(elems ...Value) *Object {
+	return &Object{Elems: elems, IsArray: true}
+}
+
+// NewNative wraps a Go function as a callable object. The Props map is lazy.
+func NewNative(name string, fn NativeFunc) *Object {
+	return &Object{Native: fn, Name: name}
+}
+
+// newFrozenNative wraps a Go function as a shared, frozen callable; safe for
+// concurrent use from many interpreters because writes are ignored.
+func newFrozenNative(name string, fn NativeFunc) *Object {
+	return &Object{Native: fn, Name: name, frozen: true}
+}
+
+// NewSharedNative wraps a Go function as a frozen callable meant to be built
+// once (package-level) and installed into many interpreters. The function
+// reaches per-interpreter state through in.Host rather than a closure, which
+// is what makes the sharing allocation-free and race-free.
+func NewSharedNative(name string, fn NativeFunc) *Object {
+	return newFrozenNative(name, fn)
+}
+
+// Freeze marks the object as shared and immutable: property writes and
+// deletes become silent no-ops, which makes the object safe to share across
+// concurrent interpreters. Host embedders use it for read-only host objects
+// (e.g. the browser's navigator) built once and installed into every
+// interpreter. Freezing is irreversible.
+func (o *Object) Freeze() { o.frozen = true }
 
 // IsFunction reports whether the object is callable.
 func (o *Object) IsFunction() bool { return o.Fn != nil || o.Native != nil }
@@ -86,19 +265,23 @@ func (o *Object) Get(name string) (Value, bool) {
 		}
 	}
 	if o.IsArray && name == "length" {
-		return float64(len(o.Elems)), true
+		return Num(float64(len(o.Elems))), true
 	}
 	if o.Props != nil {
 		if v, ok := o.Props[name]; ok {
 			return v, true
 		}
 	}
-	return Undefined{}, false
+	return Undefined(), false
 }
 
-// Set writes a property, honoring the SetTrap.
+// Set writes a property, honoring the SetTrap. Writes to frozen objects are
+// silently dropped (see frozen).
 func (o *Object) Set(name string, v Value) {
 	if o.SetTrap != nil && o.SetTrap(name, v) {
+		return
+	}
+	if o.frozen {
 		return
 	}
 	if o.Props == nil {
@@ -107,14 +290,28 @@ func (o *Object) Set(name string, v Value) {
 	o.Props[name] = v
 }
 
+// Delete removes a named property (no-op on frozen objects).
+func (o *Object) Delete(name string) {
+	if o.frozen || o.Props == nil {
+		return
+	}
+	delete(o.Props, name)
+}
+
 // Keys returns property names in sorted order (plus array indices in order),
-// used by for-in. Sorting keeps iteration deterministic.
+// used by for-in. Sorting keeps iteration deterministic. Array index strings
+// come from the shared small-int cache, so dense-array iteration does not
+// allocate per key.
 func (o *Object) Keys() []string {
 	var keys []string
 	if o.IsArray {
+		keys = make([]string, 0, len(o.Elems)+len(o.Props))
 		for i := range o.Elems {
-			keys = append(keys, strconv.Itoa(i))
+			keys = append(keys, itoaCached(i))
 		}
+	}
+	if len(o.Props) == 0 {
+		return keys
 	}
 	named := make([]string, 0, len(o.Props))
 	for k := range o.Props {
@@ -124,41 +321,59 @@ func (o *Object) Keys() []string {
 	return append(keys, named...)
 }
 
+// ---- Small-integer string cache ----
+
+// smallInts caches the decimal strings for 0..smallIntMax. Number→string
+// conversion of loop counters and array indices is the dominant ToString
+// load in ad scripts; the cache makes those conversions allocation-free.
+const smallIntMax = 1023
+
+var smallInts = func() [smallIntMax + 1]string {
+	var a [smallIntMax + 1]string
+	for i := range a {
+		a[i] = strconv.Itoa(i)
+	}
+	return a
+}()
+
+// itoaCached is strconv.Itoa backed by the small-int cache.
+func itoaCached(i int) string {
+	if i >= 0 && i <= smallIntMax {
+		return smallInts[i]
+	}
+	return strconv.Itoa(i)
+}
+
 // ---- Conversions ----
 
 // Truthy implements JavaScript ToBoolean.
 func Truthy(v Value) bool {
-	switch x := v.(type) {
-	case nil, Undefined, Null:
+	switch v.kind {
+	case KindEmpty, KindUndefined, KindNull:
 		return false
-	case bool:
-		return x
-	case float64:
-		return x != 0 && !math.IsNaN(x)
-	case string:
-		return x != ""
-	case *Object:
-		return true
+	case KindBool:
+		return v.num != 0
+	case KindNumber:
+		return v.num != 0 && !math.IsNaN(v.num)
+	case KindString:
+		return v.str != ""
 	}
 	return true
 }
 
 // ToNumber implements JavaScript ToNumber (with NaN for non-numeric input).
 func ToNumber(v Value) float64 {
-	switch x := v.(type) {
-	case nil, Undefined:
+	switch v.kind {
+	case KindEmpty, KindUndefined:
 		return math.NaN()
-	case Null:
+	case KindNull:
 		return 0
-	case bool:
-		if x {
-			return 1
-		}
-		return 0
-	case float64:
-		return x
-	case string:
-		s := strings.TrimSpace(x)
+	case KindBool:
+		return v.num
+	case KindNumber:
+		return v.num
+	case KindString:
+		s := strings.TrimSpace(v.str)
 		if s == "" {
 			return 0
 		}
@@ -174,40 +389,42 @@ func ToNumber(v Value) float64 {
 			return math.NaN()
 		}
 		return n
-	case *Object:
-		if x.IsArray {
+	case KindObject:
+		if v.obj.IsArray {
 			// ToPrimitive on an array is its join; converting the joined
 			// string keeps [x] ≡ x numerically and stays finite on cyclic
 			// arrays (which a direct element recursion would not).
-			return ToNumber(ToString(x))
+			return ToNumber(Str(ToString(v)))
 		}
 		return math.NaN()
 	}
 	return math.NaN()
 }
 
-// ToString implements JavaScript ToString.
+// ToString implements JavaScript ToString. String inputs return their
+// payload unchanged (no allocation); small integers hit a shared cache.
 func ToString(v Value) string { return toStringVisiting(v, nil) }
 
 // toStringVisiting is ToString with cycle detection: an array reached again
 // while it is being stringified yields "" (the same result Array join gives
 // for cyclic references in JS engines) instead of recursing forever.
 func toStringVisiting(v Value, visiting map[*Object]bool) string {
-	switch x := v.(type) {
-	case nil, Undefined:
+	switch v.kind {
+	case KindEmpty, KindUndefined:
 		return "undefined"
-	case Null:
+	case KindNull:
 		return "null"
-	case bool:
-		if x {
+	case KindBool:
+		if v.num != 0 {
 			return "true"
 		}
 		return "false"
-	case float64:
-		return formatNumber(x)
-	case string:
-		return x
-	case *Object:
+	case KindNumber:
+		return formatNumber(v.num)
+	case KindString:
+		return v.str
+	case KindObject:
+		x := v.obj
 		if x.IsFunction() {
 			if x.Name != "" {
 				return "function " + x.Name + "() { [code] }"
@@ -233,7 +450,7 @@ func toStringVisiting(v Value, visiting map[*Object]bool) string {
 				if b.Len() > maxStringLen {
 					break
 				}
-				if isNullish(e) {
+				if e.isNullish() {
 					continue
 				}
 				b.WriteString(toStringVisiting(e, visiting))
@@ -243,11 +460,12 @@ func toStringVisiting(v Value, visiting map[*Object]bool) string {
 		}
 		return "[object Object]"
 	}
-	return fmt.Sprintf("%v", v)
+	return "undefined"
 }
 
 // formatNumber renders a float64 the way JavaScript does for the common
-// cases: integers without a decimal point, NaN/Infinity by name.
+// cases: integers without a decimal point, NaN/Infinity by name. Small
+// non-negative integers return cached strings.
 func formatNumber(f float64) string {
 	switch {
 	case math.IsNaN(f):
@@ -259,6 +477,8 @@ func formatNumber(f float64) string {
 	case f == 0:
 		// Both zeros print "0": JS ToString(-0) drops the sign.
 		return "0"
+	case f == math.Trunc(f) && f > 0 && f <= smallIntMax:
+		return smallInts[int(f)]
 	case f == math.Trunc(f) && math.Abs(f) < 1e21:
 		return strconv.FormatFloat(f, 'f', -1, 64)
 	default:
@@ -268,19 +488,19 @@ func formatNumber(f float64) string {
 
 // TypeOf implements the typeof operator.
 func TypeOf(v Value) string {
-	switch x := v.(type) {
-	case nil, Undefined:
+	switch v.kind {
+	case KindEmpty, KindUndefined:
 		return "undefined"
-	case Null:
+	case KindNull:
 		return "object"
-	case bool:
+	case KindBool:
 		return "boolean"
-	case float64:
+	case KindNumber:
 		return "number"
-	case string:
+	case KindString:
 		return "string"
-	case *Object:
-		if x.IsFunction() {
+	case KindObject:
+		if v.obj.IsFunction() {
 			return "function"
 		}
 		return "object"
@@ -290,25 +510,21 @@ func TypeOf(v Value) string {
 
 // StrictEquals implements ===.
 func StrictEquals(a, b Value) bool {
-	switch x := a.(type) {
-	case nil, Undefined:
-		_, u1 := b.(Undefined)
-		return u1 || b == nil
-	case Null:
-		_, n1 := b.(Null)
-		return n1
-	case bool:
-		y, ok := b.(bool)
-		return ok && x == y
-	case float64:
-		y, ok := b.(float64)
-		return ok && x == y
-	case string:
-		y, ok := b.(string)
-		return ok && x == y
-	case *Object:
-		y, ok := b.(*Object)
-		return ok && x == y
+	ak, bk := a.Kind(), b.Kind()
+	if ak != bk {
+		return false
+	}
+	switch ak {
+	case KindUndefined, KindNull:
+		return true
+	case KindBool:
+		return (a.num != 0) == (b.num != 0)
+	case KindNumber:
+		return a.num == b.num
+	case KindString:
+		return a.str == b.str
+	case KindObject:
+		return a.obj == b.obj
 	}
 	return false
 }
@@ -318,38 +534,30 @@ func LooseEquals(a, b Value) bool {
 	if StrictEquals(a, b) {
 		return true
 	}
-	aU := isNullish(a)
-	bU := isNullish(b)
+	aU := a.isNullish()
+	bU := b.isNullish()
 	if aU || bU {
 		return aU && bU
 	}
 	// number/string/bool cross comparisons go through ToNumber, except
 	// object-to-primitive which goes through ToString first for strings.
-	switch a.(type) {
-	case float64, bool:
+	switch a.Kind() {
+	case KindNumber, KindBool:
 		return ToNumber(a) == ToNumber(b)
-	case string:
-		switch b.(type) {
-		case float64, bool:
+	case KindString:
+		switch b.Kind() {
+		case KindNumber, KindBool:
 			return ToNumber(a) == ToNumber(b)
-		case *Object:
+		case KindObject:
 			return ToString(a) == ToString(b)
 		}
-	case *Object:
-		switch b.(type) {
-		case string:
+	case KindObject:
+		switch b.Kind() {
+		case KindString:
 			return ToString(a) == ToString(b)
-		case float64, bool:
+		case KindNumber, KindBool:
 			return ToNumber(a) == ToNumber(b)
 		}
-	}
-	return false
-}
-
-func isNullish(v Value) bool {
-	switch v.(type) {
-	case nil, Undefined, Null:
-		return true
 	}
 	return false
 }

@@ -15,10 +15,22 @@ import (
 
 // machine is pooled per-execution VM state. The value stack is shared by
 // nested runChunk calls (each works above its own base), which makes
-// script→native→script reentrancy (timers, eval) cheap.
+// script→native→script reentrancy (timers, eval) cheap. Call arguments are
+// carved out of the args arena: calls strictly nest, so each opCall claims a
+// region and releases it when the call returns, making warm argument passing
+// allocation-free.
 type machine struct {
 	stack      []Value
 	completion Value
+	// iters holds for-in iterator state. The value stack carries only a
+	// kindIter placeholder (for depth bookkeeping and unwind pops); the keys
+	// live here so Value stays a small flat struct.
+	iters []forInIter
+	// args is the call-argument arena; argTop is the high-water mark of
+	// claimed slots. len(args) tracks the historical high water so claims
+	// rarely append.
+	args   []Value
+	argTop int
 }
 
 var machinePool = sync.Pool{
@@ -30,12 +42,41 @@ func (m *machine) push(v Value) { m.stack = append(m.stack, v) }
 func (m *machine) pop() Value {
 	n := len(m.stack) - 1
 	v := m.stack[n]
-	m.stack[n] = nil
+	m.stack[n] = Value{}
 	m.stack = m.stack[:n]
+	if v.kind == kindIter {
+		// The placeholder's iterator state lives on the side stack; drop it
+		// in lockstep (loop exits and break/continue unwinds pop here).
+		last := len(m.iters) - 1
+		m.iters[last] = forInIter{}
+		m.iters = m.iters[:last]
+	}
 	return v
 }
 
 func (m *machine) peek() Value { return m.stack[len(m.stack)-1] }
+
+// claimArgs reserves n contiguous slots in the args arena and returns them.
+// The returned slice has capacity exactly n, so a callee that appends gets
+// its own copy rather than clobbering neighbouring claims.
+func (m *machine) claimArgs(n int) []Value {
+	base := m.argTop
+	need := base + n
+	for len(m.args) < need {
+		m.args = append(m.args, Value{})
+	}
+	m.argTop = need
+	return m.args[base:need:need]
+}
+
+// releaseArgs returns the arena to base, clearing the released region so
+// pooled machines don't pin objects between executions.
+func (m *machine) releaseArgs(base int) {
+	for i := base; i < m.argTop; i++ {
+		m.args[i] = Value{}
+	}
+	m.argTop = base
+}
 
 // ensureMachine returns the interpreter's active machine, acquiring one from
 // the pool for the outermost invocation. The bool reports whether this call
@@ -51,13 +92,21 @@ func (in *Interp) ensureMachine() (*machine, bool) {
 func (in *Interp) releaseMachine() {
 	m := in.vm
 	in.vm = nil
-	m.completion = nil
+	m.completion = Value{}
 	m.stack = m.stack[:0]
+	for i := range m.iters {
+		m.iters[i] = forInIter{}
+	}
+	m.iters = m.iters[:0]
+	for i := range m.args {
+		m.args[i] = Value{}
+	}
+	m.argTop = 0
 	machinePool.Put(m)
 }
 
-// forInIter is the VM's for-in state, held on the value stack. Keys are
-// snapshotted once before the first iteration, as the tree-walker does.
+// forInIter is the VM's for-in state. Keys are snapshotted once before the
+// first iteration, as the tree-walker does.
 type forInIter struct {
 	keys []string
 	i    int
@@ -70,7 +119,7 @@ type forInIter struct {
 func (in *Interp) runProgramVM(prog *Program) (Value, error) {
 	m, acquired := in.ensureMachine()
 	saved := m.completion
-	m.completion = Undefined{}
+	m.completion = Undefined()
 	_, _, err := in.runChunk(prog.code, in.Global)
 	res := m.completion
 	m.completion = saved
@@ -78,7 +127,7 @@ func (in *Interp) runProgramVM(prog *Program) (Value, error) {
 		in.releaseMachine()
 	}
 	if err != nil {
-		return Undefined{}, err
+		return Undefined(), err
 	}
 	return res, nil
 }
@@ -88,11 +137,16 @@ func (in *Interp) runProgramVM(prog *Program) (Value, error) {
 func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 	m := in.vm
 	base := len(m.stack)
+	iterBase := len(m.iters)
 	defer func() {
 		for i := base; i < len(m.stack); i++ {
-			m.stack[i] = nil
+			m.stack[i] = Value{}
 		}
 		m.stack = m.stack[:base]
+		for i := iterBase; i < len(m.iters); i++ {
+			m.iters[i] = forInIter{}
+		}
+		m.iters = m.iters[:iterBase]
 	}()
 
 	code := ch.code
@@ -101,7 +155,7 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 		if ins.cost != 0 {
 			in.Budget -= int(ins.cost)
 			if in.Budget < 0 {
-				return nil, ctlNone, ErrBudget
+				return Value{}, ctlNone, ErrBudget
 			}
 		}
 		switch ins.op {
@@ -124,7 +178,7 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 		case opGetVar:
 			v, ok := env.Lookup(ch.atoms[ins.a])
 			if !ok {
-				return nil, ctlNone, &ThrowError{Value: "ReferenceError: " + ch.atoms[ins.a] + " is not defined", Line: int(ins.line)}
+				return Value{}, ctlNone, &ThrowError{Value: Str("ReferenceError: " + ch.atoms[ins.a] + " is not defined"), Line: int(ins.line)}
 			}
 			m.push(v)
 
@@ -138,51 +192,54 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 			if v, ok := env.Lookup("this"); ok {
 				m.push(v)
 			} else {
-				m.push(Undefined{})
+				m.push(Undefined())
 			}
 
 		case opTypeofVar:
 			if v, ok := env.Lookup(ch.atoms[ins.a]); ok {
-				m.push(TypeOf(v))
+				m.push(Str(TypeOf(v)))
 			} else {
-				m.push("undefined")
+				m.push(Str("undefined"))
 			}
 
 		case opMakeFunc:
-			m.push(in.makeFunction(ch.funcs[ins.a], env))
+			m.push(in.makeFunction(ch.funcs[ins.a], env).Value())
 
 		case opHoistFunc:
-			env.Define(ch.atoms[ins.b], in.makeFunction(ch.funcs[ins.a], env))
+			env.Define(ch.atoms[ins.b], in.makeFunction(ch.funcs[ins.a], env).Value())
 
 		case opMakeArray:
 			n := int(ins.a)
-			elems := make([]Value, n)
-			copy(elems, m.stack[len(m.stack)-n:])
-			for i := len(m.stack) - n; i < len(m.stack); i++ {
-				m.stack[i] = nil
+			var elems []Value
+			if n > 0 {
+				elems = make([]Value, n)
+				copy(elems, m.stack[len(m.stack)-n:])
+				for i := len(m.stack) - n; i < len(m.stack); i++ {
+					m.stack[i] = Value{}
+				}
+				m.stack = m.stack[:len(m.stack)-n]
 			}
-			m.stack = m.stack[:len(m.stack)-n]
-			m.push(&Object{Props: map[string]Value{}, Elems: elems, IsArray: true})
+			m.push(in.NewArray(elems...).Value())
 
 		case opMakeObject:
 			ks := ch.keys[ins.a]
 			n := len(ks)
-			obj := NewObject()
+			obj := in.NewObject()
 			start := len(m.stack) - n
 			for i, k := range ks {
 				obj.Props[k] = m.stack[start+i]
-				m.stack[start+i] = nil
+				m.stack[start+i] = Value{}
 			}
 			m.stack = m.stack[:start]
-			m.push(obj)
+			m.push(obj.Value())
 
 		case opMakeRegex:
-			m.push(newRegexObject(ch.regexes[ins.a]))
+			m.push(newRegexObject(ch.regexes[ins.a]).Value())
 
 		case opGetMember:
 			v, err := in.getMember(m.pop(), ch.atoms[ins.a], int(ins.line))
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			m.push(v)
 
@@ -190,20 +247,20 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 			objV := m.pop()
 			val := m.pop()
 			if err := in.setMemberValue(objV, ch.atoms[ins.a], val, int(ins.line)); err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 
 		case opDelMember:
-			if obj, ok := m.pop().(*Object); ok && obj.Props != nil {
-				delete(obj.Props, ch.atoms[ins.a])
+			if obj := m.pop().Obj(); obj != nil {
+				obj.Delete(ch.atoms[ins.a])
 			}
-			m.push(true)
+			m.push(Bool(true))
 
 		case opGetIndex:
 			idx := m.pop()
 			v, err := in.getIndex(m.pop(), idx, int(ins.line))
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			m.push(v)
 
@@ -212,22 +269,22 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 			objV := m.pop()
 			val := m.pop()
 			if err := in.setIndexValue(objV, idx, val, int(ins.line)); err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 
 		case opUnary:
 			x := m.pop()
 			switch ins.a {
 			case unOpNeg:
-				m.push(-ToNumber(x))
+				m.push(Num(-ToNumber(x)))
 			case unOpPlus:
-				m.push(ToNumber(x))
+				m.push(Num(ToNumber(x)))
 			case unOpNot:
-				m.push(!Truthy(x))
+				m.push(Bool(!Truthy(x)))
 			case unOpBitNot:
-				m.push(float64(^toInt32(x)))
+				m.push(Num(float64(^toInt32(x))))
 			case unOpTypeof:
-				m.push(TypeOf(x))
+				m.push(Str(TypeOf(x)))
 			}
 
 		case opBinary:
@@ -235,7 +292,7 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 			x := m.pop()
 			v, err := applyBinary(binaryOps[ins.a], x, y, int(ins.line))
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			m.push(v)
 
@@ -243,11 +300,11 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 			n := ToNumber(m.pop())
 			next := n + float64(ins.a)
 			if ins.b == 1 {
-				m.push(next)
+				m.push(Num(next))
 			} else {
-				m.push(n)
+				m.push(Num(n))
 			}
-			m.push(next)
+			m.push(Num(next))
 
 		case opJump:
 			pc = int(ins.a) - 1
@@ -270,59 +327,65 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 
 		case opCall:
 			argc := int(ins.a)
-			args := make([]Value, argc)
+			argBase := m.argTop
+			args := m.claimArgs(argc)
 			start := len(m.stack) - argc
 			copy(args, m.stack[start:])
 			for i := start; i < len(m.stack); i++ {
-				m.stack[i] = nil
+				m.stack[i] = Value{}
 			}
 			m.stack = m.stack[:start]
 			fnV := m.pop()
 			thisV := m.pop()
-			fn, ok := fnV.(*Object)
-			if !ok || !fn.IsFunction() {
-				return nil, ctlNone, &ThrowError{Value: "TypeError: " + ch.atoms[ins.b] + " is not a function", Line: int(ins.line)}
+			fn := fnV.Obj()
+			if fn == nil || !fn.IsFunction() {
+				m.releaseArgs(argBase)
+				return Value{}, ctlNone, &ThrowError{Value: Str("TypeError: " + ch.atoms[ins.b] + " is not a function"), Line: int(ins.line)}
 			}
 			v, err := in.callObject(fn, thisV, args, int(ins.line))
+			m.releaseArgs(argBase)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			m.push(v)
 
 		case opNew:
 			argc := int(ins.a)
-			args := make([]Value, argc)
+			argBase := m.argTop
+			args := m.claimArgs(argc)
 			start := len(m.stack) - argc
 			copy(args, m.stack[start:])
 			for i := start; i < len(m.stack); i++ {
-				m.stack[i] = nil
+				m.stack[i] = Value{}
 			}
 			m.stack = m.stack[:start]
-			fn, ok := m.pop().(*Object)
-			if !ok || !fn.IsFunction() {
-				return nil, ctlNone, &ThrowError{Value: "TypeError: not a constructor", Line: int(ins.line)}
+			fn := m.pop().Obj()
+			if fn == nil || !fn.IsFunction() {
+				m.releaseArgs(argBase)
+				return Value{}, ctlNone, &ThrowError{Value: Str("TypeError: not a constructor"), Line: int(ins.line)}
 			}
-			this := NewObject()
-			ret, err := in.callObject(fn, this, args, int(ins.line))
+			this := in.NewObject()
+			ret, err := in.callObject(fn, this.Value(), args, int(ins.line))
+			m.releaseArgs(argBase)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
-			if obj, ok := ret.(*Object); ok {
-				m.push(obj)
+			if obj := ret.Obj(); obj != nil {
+				m.push(obj.Value())
 			} else {
-				m.push(this)
+				m.push(this.Value())
 			}
 
 		case opReturn:
 			return m.pop(), ctlReturn, nil
 
 		case opThrow:
-			return nil, ctlNone, &ThrowError{Value: m.pop(), Line: int(ins.line)}
+			return Value{}, ctlNone, &ThrowError{Value: m.pop(), Line: int(ins.line)}
 
 		case opTry:
 			v, c, err := in.runTry(&ch.trys[ins.a], ch, env)
 			if err != nil {
-				return nil, ctlNone, err
+				return Value{}, ctlNone, err
 			}
 			switch c {
 			case ctlNone:
@@ -332,22 +395,22 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 			case ctlBreak:
 				td := &ch.trys[ins.a]
 				if td.breakPC < 0 {
-					return nil, ctlBreak, nil
+					return Value{}, ctlBreak, nil
 				}
 				pc = int(td.breakPC) - 1
 			case ctlContinue:
 				td := &ch.trys[ins.a]
 				if td.contPC < 0 {
-					return nil, ctlContinue, nil
+					return Value{}, ctlContinue, nil
 				}
 				pc = int(td.contPC) - 1
 			}
 
 		case opBreak:
-			return nil, ctlBreak, nil
+			return Value{}, ctlBreak, nil
 
 		case opContinue:
-			return nil, ctlContinue, nil
+			return Value{}, ctlContinue, nil
 
 		case opPushScope:
 			env = NewEnv(env)
@@ -356,21 +419,22 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 			env = env.parent
 
 		case opForInInit:
-			it := &forInIter{}
-			if obj, ok := m.pop().(*Object); ok {
+			var it forInIter
+			if obj := m.pop().Obj(); obj != nil {
 				it.keys = obj.Keys()
 			}
-			m.push(it)
+			m.iters = append(m.iters, it)
+			m.push(Value{kind: kindIter})
 
 		case opForInNext:
-			it, ok := m.peek().(*forInIter)
-			if !ok {
-				return nil, ctlNone, fmt.Errorf("minijs: vm: corrupt for-in iterator")
+			if m.peek().kind != kindIter || len(m.iters) == 0 {
+				return Value{}, ctlNone, fmt.Errorf("minijs: vm: corrupt for-in iterator")
 			}
+			it := &m.iters[len(m.iters)-1]
 			if it.i >= len(it.keys) {
 				pc = int(ins.a) - 1
 			} else {
-				m.push(it.keys[it.i])
+				m.push(Str(it.keys[it.i]))
 				it.i++
 			}
 
@@ -378,10 +442,10 @@ func (in *Interp) runChunk(ch *chunk, env *Env) (Value, ctl, error) {
 			m.completion = m.pop()
 
 		default:
-			return nil, ctlNone, fmt.Errorf("minijs: vm: unknown opcode %d", ins.op)
+			return Value{}, ctlNone, fmt.Errorf("minijs: vm: unknown opcode %d", ins.op)
 		}
 	}
-	return nil, ctlNone, nil
+	return Value{}, ctlNone, nil
 }
 
 // runTry executes a try/catch/finally site with the exact control semantics
@@ -399,7 +463,7 @@ func (in *Interp) runTry(td *tryDesc, ch *chunk, env *Env) (Value, ctl, error) {
 	if td.finally != nil {
 		fv, fc, ferr := in.runChunk(td.finally, env)
 		if ferr != nil {
-			return nil, ctlNone, ferr
+			return Value{}, ctlNone, ferr
 		}
 		if fc != ctlNone {
 			return fv, fc, nil

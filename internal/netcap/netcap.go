@@ -65,7 +65,9 @@ func New(next http.RoundTripper) *Capture {
 	if next == nil {
 		next = http.DefaultTransport
 	}
-	return &Capture{next: next}
+	// Transaction is a large value; a small presize skips the first append
+	// regrowth copies without stranding memory on short captures.
+	return &Capture{next: next, log: make([]Transaction, 0, 4)}
 }
 
 // WithTag returns a RoundTripper view of c that tags every transaction it

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -69,8 +70,83 @@ type Server struct {
 
 	busy   *telemetry.Gauge
 	oldest *telemetry.Gauge
+	rt     runtimeSampler
 
 	started time.Time
+}
+
+// runtimeSampler publishes sampled runtime.MemStats into the registry so
+// /metrics and /statusz can watch the process's memory discipline live:
+// heap in use, object count, GC cycle count, and pause quantiles over the
+// runtime's recent-pause ring. Like everything else on the ops plane it is
+// observe-only — the gauges are written out of the pipeline, never read
+// back in, so sampling cannot perturb study results.
+type runtimeSampler struct {
+	heapAlloc   *telemetry.Gauge
+	heapSys     *telemetry.Gauge
+	heapObjects *telemetry.Gauge
+	nextGC      *telemetry.Gauge
+	goroutines  *telemetry.Gauge
+	gcCycles    *telemetry.Gauge
+	pauseTotal  *telemetry.Gauge
+	pauseP50    *telemetry.Gauge
+	pauseP99    *telemetry.Gauge
+	pauseMax    *telemetry.Gauge
+
+	pauses []uint64 // sort scratch, reused across samples
+}
+
+func newRuntimeSampler(tel *telemetry.Set) runtimeSampler {
+	return runtimeSampler{
+		heapAlloc:   tel.Gauge("runtime_heap_alloc_bytes"),
+		heapSys:     tel.Gauge("runtime_heap_sys_bytes"),
+		heapObjects: tel.Gauge("runtime_heap_objects"),
+		nextGC:      tel.Gauge("runtime_heap_next_gc_bytes"),
+		goroutines:  tel.Gauge("runtime_goroutines"),
+		gcCycles:    tel.Gauge("runtime_gc_cycles"),
+		pauseTotal:  tel.Gauge("runtime_gc_pause_total_ns"),
+		pauseP50:    tel.Gauge("runtime_gc_pause_p50_ns"),
+		pauseP99:    tel.Gauge("runtime_gc_pause_p99_ns"),
+		pauseMax:    tel.Gauge("runtime_gc_pause_max_ns"),
+	}
+}
+
+// sample reads MemStats once and refreshes every runtime gauge. ReadMemStats
+// stops the world briefly, which is why it rides the collector cadence
+// (~1/s) instead of any per-item path.
+func (rt *runtimeSampler) sample() {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rt.heapAlloc.Set(int64(ms.HeapAlloc))
+	rt.heapSys.Set(int64(ms.HeapSys))
+	rt.heapObjects.Set(int64(ms.HeapObjects))
+	rt.nextGC.Set(int64(ms.NextGC))
+	rt.goroutines.Set(int64(runtime.NumGoroutine()))
+	rt.gcCycles.Set(int64(ms.NumGC))
+	rt.pauseTotal.Set(int64(ms.PauseTotalNs))
+
+	// PauseNs is a ring of the most recent GC pauses (up to 256). Quantiles
+	// over that window are what an operator actually wants to see: "is GC
+	// getting slower *now*", not a since-process-start average.
+	n := int(ms.NumGC)
+	if n == 0 {
+		return
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	rt.pauses = rt.pauses[:0]
+	for i := 0; i < n; i++ {
+		rt.pauses = append(rt.pauses, ms.PauseNs[(int(ms.NumGC)-1-i+len(ms.PauseNs))%len(ms.PauseNs)])
+	}
+	sort.Slice(rt.pauses, func(i, j int) bool { return rt.pauses[i] < rt.pauses[j] })
+	q := func(f float64) int64 {
+		i := int(f * float64(len(rt.pauses)-1))
+		return int64(rt.pauses[i])
+	}
+	rt.pauseP50.Set(q(0.50))
+	rt.pauseP99.Set(q(0.99))
+	rt.pauseMax.Set(int64(rt.pauses[len(rt.pauses)-1]))
 }
 
 // Start builds the endpoint mux, binds cfg.Addr, and launches the HTTP
@@ -95,6 +171,7 @@ func Start(cfg Config) (*Server, error) {
 		eval:    NewEvaluator(cfg.Rules, cfg.Tel),
 		busy:    cfg.Tel.Gauge(busyMetric),
 		oldest:  cfg.Tel.Gauge("stream_oldest_inflight_ns"),
+		rt:      newRuntimeSampler(cfg.Tel),
 		started: now(),
 	}
 	s.routes()
@@ -187,6 +264,7 @@ func (s *Server) Tick() {
 		s.busy.Set(0)
 		s.oldest.Set(0)
 	}
+	s.rt.sample()
 	sample := flatten(s.cfg.Tel.Registry)
 	s.mu.Lock()
 	s.eval.Eval(sample, now)
@@ -357,6 +435,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	b.WriteString(cacheRatios(s.cfg.Tel.Registry))
+	b.WriteString(runtimeStatus(s.cfg.Tel.Registry))
 
 	b.WriteString("\nalerts\n")
 	for _, st := range states {
@@ -372,6 +451,27 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	w.Write([]byte(b.String())) //nolint:errcheck // client went away
+}
+
+// runtimeStatus renders the sampled heap/GC gauges as one status block. It
+// reads only what the collector's last Tick published, so rendering a status
+// page never stops the world itself.
+func runtimeStatus(r *telemetry.Registry) string {
+	heap, ok := r.GaugeValue("runtime_heap_alloc_bytes")
+	if !ok {
+		return ""
+	}
+	objects, _ := r.GaugeValue("runtime_heap_objects")
+	gor, _ := r.GaugeValue("runtime_goroutines")
+	cycles, _ := r.GaugeValue("runtime_gc_cycles")
+	p50, _ := r.GaugeValue("runtime_gc_pause_p50_ns")
+	p99, _ := r.GaugeValue("runtime_gc_pause_p99_ns")
+	var b strings.Builder
+	b.WriteString("\nruntime (sampled each collector tick)\n")
+	fmt.Fprintf(&b, "  heap=%.1fMiB objects=%d goroutines=%d gc_cycles=%d pause_p50=%s pause_p99=%s\n",
+		float64(heap)/(1<<20), objects, gor, cycles,
+		time.Duration(p50).Round(time.Microsecond), time.Duration(p99).Round(time.Microsecond))
+	return b.String()
 }
 
 // shedByPriority renders the per-priority shed counters inline.

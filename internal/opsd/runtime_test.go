@@ -1,0 +1,57 @@
+package opsd
+
+import (
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+
+	"madave/internal/telemetry"
+)
+
+// TestRuntimeGaugesPublished drives one collector tick and checks that the
+// sampled heap/GC gauges land on /metrics and render on /statusz.
+func TestRuntimeGaugesPublished(t *testing.T) {
+	defer http.DefaultClient.CloseIdleConnections()
+	tel := telemetry.New(1)
+	s, err := Start(Config{Addr: "127.0.0.1:0", Tel: tel, Interval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //nolint:errcheck
+
+	runtime.GC() // guarantee at least one pause sample for the quantiles
+	s.Tick()
+
+	if v, ok := tel.Registry.GaugeValue("runtime_heap_alloc_bytes"); !ok || v <= 0 {
+		t.Fatalf("runtime_heap_alloc_bytes = %d (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := tel.Registry.GaugeValue("runtime_gc_cycles"); !ok || v <= 0 {
+		t.Fatalf("runtime_gc_cycles = %d (ok=%v), want > 0", v, ok)
+	}
+	if _, ok := tel.Registry.GaugeValue("runtime_gc_pause_p99_ns"); !ok {
+		t.Fatal("runtime_gc_pause_p99_ns not registered")
+	}
+
+	code, body := get(t, s, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, name := range []string{
+		"runtime_heap_alloc_bytes", "runtime_heap_objects", "runtime_goroutines",
+		"runtime_gc_cycles", "runtime_gc_pause_p50_ns", "runtime_gc_pause_p99_ns",
+	} {
+		if !strings.Contains(body, name) {
+			t.Fatalf("/metrics missing %s:\n%s", name, body)
+		}
+	}
+
+	code, body = get(t, s, "/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("/statusz status %d", code)
+	}
+	if !strings.Contains(body, "runtime (sampled each collector tick)") ||
+		!strings.Contains(body, "gc_cycles=") {
+		t.Fatalf("/statusz missing runtime block:\n%s", body)
+	}
+}

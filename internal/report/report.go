@@ -6,6 +6,7 @@ package report
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"madave/internal/analysis"
@@ -271,5 +272,10 @@ func shareStr(n, total int) string {
 	if total == 0 {
 		return "-"
 	}
-	return fmt.Sprintf("%.1f%%", 100*float64(n)/float64(total))
+	// Append-built "NN.N%" label: strconv formats straight into a stack
+	// buffer, no fmt state machine.
+	var buf [24]byte
+	b := strconv.AppendFloat(buf[:0], 100*float64(n)/float64(total), 'f', 1, 64)
+	b = append(b, '%')
+	return string(b)
 }

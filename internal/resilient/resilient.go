@@ -408,26 +408,64 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 // attempt issues one try: clone the request with the attempt tag and
 // per-attempt deadline, round-trip it, and buffer the body.
 func (t *Transport) attempt(req *http.Request, pol Policy, attempt int) (*http.Response, []byte, error) {
-	actx := memnet.WithAttempt(req.Context(), attempt)
-	cancel := context.CancelFunc(func() {})
-	if pol.AttemptTimeout > 0 {
-		actx, cancel = context.WithTimeout(actx, pol.AttemptTimeout)
+	actx := req.Context()
+	if attempt > 1 {
+		// AttemptFrom defaults to 1 when the tag is absent, so the common
+		// first attempt skips the context-value allocation entirely.
+		actx = memnet.WithAttempt(actx, attempt)
 	}
-	defer cancel()
+	if pol.AttemptTimeout > 0 {
+		// A parent deadline that already fires sooner makes the per-attempt
+		// timer redundant; skipping it avoids a timer + context per attempt.
+		if d, ok := actx.Deadline(); !ok || time.Until(d) > pol.AttemptTimeout {
+			var cancel context.CancelFunc
+			actx, cancel = context.WithTimeout(actx, pol.AttemptTimeout)
+			defer cancel()
+		}
+	}
 	if t.Tel != nil {
-		var sp *telemetry.Span
-		actx, sp = t.Tel.StartSpan(actx, telemetry.StageResilient,
-			fmt.Sprintf("%s|attempt=%d", req.URL.String(), attempt))
+		// A leaf StageTimer instead of a full Span: the attempt needs a
+		// latency sample and a trace row, not a context of its own. The key
+		// only surfaces in trace output; render it only when a tracer is
+		// attached.
+		key := ""
+		if t.Tel.Tracer != nil {
+			key = fmt.Sprintf("%s|attempt=%d", req.URL.String(), attempt)
+		}
+		sp := t.Tel.StartStageTimer(actx, telemetry.StageResilient, key)
 		defer sp.End()
 	}
 
-	resp, err := t.Next.RoundTrip(req.Clone(actx))
+	// WithContext is a shallow copy: downstream transports (memnet, or a
+	// stock net/http transport) must not mutate the request, and attempts run
+	// strictly sequentially, so sharing the URL and header map is safe and
+	// skips Clone's deep header/URL copies.
+	resp, err := t.Next.RoundTrip(req.WithContext(actx))
 	if err != nil {
 		return nil, nil, err
 	}
-	body, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBufferedBody))
+	body, rerr := readBody(resp)
 	resp.Body.Close()
 	return resp, body, rerr
+}
+
+// readBody buffers up to maxBufferedBody bytes of a response, sizing the
+// buffer from Content-Length when the transport declares one (the in-memory
+// transport always does) instead of growing through io.ReadAll.
+func readBody(resp *http.Response) ([]byte, error) {
+	// ContentLength 0 is ambiguous (hand-built responses leave it unset), so
+	// only a positive declared length takes the presized path.
+	if n := resp.ContentLength; n > 0 && n <= maxBufferedBody {
+		buf := make([]byte, n)
+		m, err := io.ReadFull(resp.Body, buf)
+		if err == io.ErrUnexpectedEOF || err == io.EOF {
+			// Short body: surface the truncation the same way the generic
+			// path would (partial bytes, ErrUnexpectedEOF from the reader).
+			return buf[:m], io.ErrUnexpectedEOF
+		}
+		return buf[:m], err
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxBufferedBody))
 }
 
 // counters returns the transport's counter sink, never nil.

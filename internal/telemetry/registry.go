@@ -232,10 +232,53 @@ func key(name string, labels []Label) (string, []Label) {
 	return b.String(), ls
 }
 
+// get probes for an existing metric without allocating: up to four labels
+// are insertion-sorted into a stack array and the identity key is assembled
+// in a stack buffer, so a repeated lookup of a registered instrument costs
+// only the mutex. More labels than that fall back to the allocating key
+// builder — no caller is anywhere near it.
+func (r *Registry) get(name string, labels []Label) *metric {
+	if len(labels) > 4 {
+		k, _ := key(name, labels)
+		r.mu.Lock()
+		m := r.metrics[k]
+		r.mu.Unlock()
+		return m
+	}
+	var la [4]Label
+	ls := la[:len(labels)]
+	copy(ls, labels)
+	for i := 1; i < len(ls); i++ {
+		for j := i; j > 0 && ls[j].Key < ls[j-1].Key; j-- {
+			ls[j], ls[j-1] = ls[j-1], ls[j]
+		}
+	}
+	var ka [96]byte
+	b := append(ka[:0], name...)
+	for _, l := range ls {
+		b = append(b, '|')
+		b = append(b, l.Key...)
+		b = append(b, '=')
+		b = append(b, l.Value...)
+	}
+	r.mu.Lock()
+	m := r.metrics[string(b)] // map access with string(b) — no allocation
+	r.mu.Unlock()
+	return m
+}
+
 // lookup returns the metric for (name, labels), creating it with mk when
 // absent. It panics if the existing metric has a different kind — mixing
 // kinds under one name is a programming error worth failing loudly on.
+// The hit path is allocation-free (see get); only first registration pays
+// for the canonical key string and label copy.
 func (r *Registry) lookup(name string, labels []Label, kind metricKind, mk func(*metric)) *metric {
+	if m := r.get(name, labels); m != nil {
+		if m.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q registered as %s, requested as %s", name, m.kind, kind))
+		}
+		return m
+	}
 	k, ls := key(name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -270,10 +313,7 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 
 // find returns the registered metric for (name, labels) without creating it.
 func (r *Registry) find(name string, labels []Label) *metric {
-	k, _ := key(name, labels)
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.metrics[k]
+	return r.get(name, labels)
 }
 
 // GaugeValue reads the gauge for (name, labels) if one is registered. Unlike

@@ -68,6 +68,12 @@ type Set struct {
 	// Event helper is a no-op without one.
 	Events *EventLog
 	Seed   uint64
+
+	// stageHists is a copy-on-write stage→histogram cache so every span
+	// start after the first for a stage resolves its histogram lock-free
+	// and allocation-free. The stage vocabulary is tiny and fixed, so the
+	// occasional full-map copy on first sight of a stage is irrelevant.
+	stageHists atomic.Pointer[map[string]*Histogram]
 }
 
 // New returns a Set with a fresh registry and no tracer.
@@ -98,12 +104,31 @@ func (s *Set) Gauge(name string, labels ...Label) *Gauge {
 	return s.Registry.Gauge(name, labels...)
 }
 
-// StageHist returns the latency histogram for a pipeline stage.
+// StageHist returns the latency histogram for a pipeline stage. After the
+// first call for a stage the lookup is lock-free and allocation-free.
 func (s *Set) StageHist(stage string) *Histogram {
 	if s == nil {
 		return nil
 	}
-	return s.Registry.Histogram(StageHistName, nil, L("stage", stage))
+	if m := s.stageHists.Load(); m != nil {
+		if h, ok := (*m)[stage]; ok {
+			return h
+		}
+	}
+	h := s.Registry.Histogram(StageHistName, nil, L("stage", stage))
+	for {
+		old := s.stageHists.Load()
+		next := make(map[string]*Histogram, 8)
+		if old != nil {
+			for k, v := range *old {
+				next[k] = v
+			}
+		}
+		next[stage] = h
+		if s.stageHists.CompareAndSwap(old, &next) {
+			return h
+		}
+	}
 }
 
 // fnv1a folds data into an FNV-1a 64-bit hash.
@@ -118,11 +143,25 @@ func fnv1a(h uint64, data string) uint64 {
 	return h
 }
 
+// fnv1aU64 folds v's eight bytes (little-endian) into the hash without
+// formatting it as text first, keeping ID derivation allocation-free.
+func fnv1aU64(h, v uint64) uint64 {
+	if h == 0 {
+		h = 14695981039346656037 // FNV offset basis
+	}
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211 // FNV prime
+		v >>= 8
+	}
+	return h
+}
+
 // RootID derives the deterministic span ID of a pipeline root from
 // (seed, stage, key). Two same-seed runs produce identical IDs for the
 // same work unit, so traces are diffable across runs.
 func RootID(seed uint64, stage, key string) uint64 {
-	h := fnv1a(0, fmt.Sprintf("%016x", seed))
+	h := fnv1aU64(0, seed)
 	h = fnv1a(h, stage)
 	h = fnv1a(h, key)
 	return h
@@ -132,7 +171,8 @@ func RootID(seed uint64, stage, key string) uint64 {
 // key, and the child's ordinal under that parent. The ordinal is assigned
 // by the parent's goroutine, so it is deterministic run to run.
 func childID(parent uint64, stage, key string, seq int64) uint64 {
-	h := fnv1a(0, fmt.Sprintf("%016x|%d", parent, seq))
+	h := fnv1aU64(0, parent)
+	h = fnv1aU64(h, uint64(seq))
 	h = fnv1a(h, stage)
 	h = fnv1a(h, key)
 	return h
@@ -203,6 +243,64 @@ func (sp *Span) End() {
 			Stage:    sp.stage,
 			Key:      sp.key,
 			StartNS:  sp.start.Sub(tr.epoch).Nanoseconds(),
+			DurNS:    dur.Nanoseconds(),
+		})
+	}
+}
+
+// StageTimer is the allocation-free alternative to StartSpan for leaf
+// stages: a value type that observes the stage histogram (and, when tracing
+// is on, emits a span record with the same parent/ordinal-derived ID a Span
+// would have had) without heap-allocating a Span or deriving a child
+// context. Use it where the stage has no children — the two hottest sites
+// are the per-request memnet dispatch and the per-frame easylist match.
+// The zero StageTimer (and any timer from a nil Set) is a no-op.
+type StageTimer struct {
+	set      *Set
+	hist     *Histogram
+	stage    string
+	key      string
+	id       uint64
+	parentID uint64
+	start    time.Time
+}
+
+// StartStageTimer opens a leaf-stage timer parented to the span on ctx (if
+// any). It participates in the parent's child-ordinal sequence, so sibling
+// Spans keep the same deterministic IDs whether or not a leaf between them
+// used a timer instead.
+func (s *Set) StartStageTimer(ctx context.Context, stage, key string) StageTimer {
+	if s == nil {
+		return StageTimer{}
+	}
+	t := StageTimer{set: s, stage: stage, key: key, start: time.Now(), hist: s.StageHist(stage)}
+	if parent := SpanFromContext(ctx); parent != nil {
+		t.parentID = parent.id
+		seq := atomic.AddInt64(&parent.childSeq, 1)
+		t.id = childID(parent.id, stage, key, seq)
+	} else {
+		t.id = RootID(s.Seed, stage, key)
+	}
+	return t
+}
+
+// End closes the timer: duration into the stage histogram, span record into
+// the tracer when tracing is enabled.
+func (t StageTimer) End() {
+	if t.set == nil {
+		return
+	}
+	dur := time.Since(t.start)
+	if t.hist != nil {
+		t.hist.ObserveDuration(dur)
+	}
+	if tr := t.set.Tracer; tr != nil {
+		tr.add(SpanRecord{
+			ID:       t.id,
+			ParentID: t.parentID,
+			Stage:    t.stage,
+			Key:      t.key,
+			StartNS:  t.start.Sub(tr.epoch).Nanoseconds(),
 			DurNS:    dur.Nanoseconds(),
 		})
 	}

@@ -67,11 +67,97 @@ var genericTLDs = map[string]bool{
 // Host extracts the lowercase host name (without port) from rawURL.
 // It returns "" if the URL cannot be parsed or has no host.
 func Host(rawURL string) string {
+	// Fast path: plain absolute URL with an unreserved-character host. Hosts
+	// with userinfo, brackets, percent-escapes, or anything unusual fall
+	// back to net/url so behaviour is byte-identical with the parse-based
+	// implementation (the property the urlx fuzz diff pins).
+	if h, ok := fastHost(rawURL); ok {
+		return lowerASCII(h)
+	}
 	u, err := url.Parse(rawURL)
 	if err != nil {
 		return ""
 	}
-	return strings.ToLower(u.Hostname())
+	return lowerASCII(u.Hostname())
+}
+
+// fastHost scans the authority out of a well-formed scheme://host[:port]
+// URL without allocating. ok is false whenever any byte makes the outcome
+// less than obvious, sending the caller to the net/url slow path.
+func fastHost(rawURL string) (string, bool) {
+	// url.Parse can reject a URL for bytes far away from the authority
+	// (control characters anywhere, malformed %-escapes in the fragment), in
+	// which case Host must return "". Keep the fast path honest by taking it
+	// only for printable-ASCII URLs with no escapes at all.
+	for k := 0; k < len(rawURL); k++ {
+		if c := rawURL[k]; c <= 0x20 || c >= 0x7F || c == '%' {
+			return "", false
+		}
+	}
+	i := strings.Index(rawURL, "://")
+	if i < 1 {
+		return "", false
+	}
+	// Scheme must be ALPHA *(ALPHA / DIGIT / "+" / "-" / "."), or url.Parse
+	// would have failed (and Host returned "").
+	if !isAlpha(rawURL[0]) {
+		return "", false
+	}
+	for k := 1; k < i; k++ {
+		c := rawURL[k]
+		if !isAlpha(c) && !(c >= '0' && c <= '9') && c != '+' && c != '-' && c != '.' {
+			return "", false
+		}
+	}
+	rest := rawURL[i+3:]
+	end := len(rest)
+	for k := 0; k < len(rest); k++ {
+		if c := rest[k]; c == '/' || c == '?' || c == '#' {
+			end = k
+			break
+		}
+	}
+	auth := rest[:end]
+	if auth == "" {
+		return "", false
+	}
+	host := auth
+	// Strip one numeric port; anything else after ':' is not the fast path.
+	if j := strings.LastIndexByte(auth, ':'); j >= 0 {
+		for k := j + 1; k < len(auth); k++ {
+			if c := auth[k]; c < '0' || c > '9' {
+				return "", false
+			}
+		}
+		host = auth[:j]
+	}
+	if host == "" {
+		return "", false
+	}
+	for k := 0; k < len(host); k++ {
+		c := host[k]
+		if !isAlpha(c) && !(c >= '0' && c <= '9') && c != '.' && c != '-' && c != '_' {
+			return "", false
+		}
+	}
+	return host, true
+}
+
+func isAlpha(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// lowerASCII lowercases s, returning s unchanged (and unallocated) when it
+// is pure lowercase ASCII — the common case for hosts. Any uppercase or
+// non-ASCII byte defers to strings.ToLower so behaviour (including its
+// invalid-UTF-8 replacement) is identical to the pre-fast-path code.
+func lowerASCII(s string) string {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c >= 'A' && c <= 'Z' || c >= 0x80 {
+			return strings.ToLower(s)
+		}
+	}
+	return s
 }
 
 // TLD returns the public suffix of host: "co.uk" for "www.bbc.co.uk",
@@ -82,17 +168,20 @@ func TLD(host string) string {
 	if host == "" {
 		return ""
 	}
-	labels := strings.Split(host, ".")
-	if len(labels) < 2 {
+	last := strings.LastIndexByte(host, '.')
+	if last < 0 {
 		return ""
 	}
-	if len(labels) >= 2 {
-		two := labels[len(labels)-2] + "." + labels[len(labels)-1]
-		if multiLabelSuffixes[two] {
+	// The last two labels are a contiguous substring of host, so the
+	// multi-label check needs no concatenation.
+	if prev := strings.LastIndexByte(host[:last], '.'); prev >= 0 {
+		if two := host[prev+1:]; multiLabelSuffixes[two] {
 			return two
 		}
+	} else if multiLabelSuffixes[host] {
+		return host
 	}
-	return labels[len(labels)-1]
+	return host[last+1:]
 }
 
 // RegisteredDomain returns the registrable domain of host — the public
@@ -111,25 +200,27 @@ func RegisteredDomain(host string) string {
 	if host == suffix {
 		return ""
 	}
-	rest := strings.TrimSuffix(host, "."+suffix)
-	if rest == host {
+	cut := len(host) - len(suffix) - 1
+	if cut < 0 || host[cut] != '.' || host[cut+1:] != suffix {
 		return "" // host did not actually end with ".suffix"
 	}
-	labels := strings.Split(rest, ".")
-	if labels[len(labels)-1] == "" {
+	// The registrable domain is the suffix plus the label just before it —
+	// a contiguous tail of host, so it is returned as a substring.
+	j := strings.LastIndexByte(host[:cut], '.')
+	if j == cut-1 {
 		// Empty label just before the suffix ("a..com"): not a registrable
 		// domain. Without this, every such host mapped to ".com" and
 		// SameRegisteredDomain lumped them all together.
 		return ""
 	}
-	return labels[len(labels)-1] + "." + suffix
+	return host[j+1:]
 }
 
 // IsGenericTLD reports whether tld (e.g. "com", "co.uk") is a generic TLD.
 // Multi-label country suffixes such as "co.uk" are country-code by
 // definition.
 func IsGenericTLD(tld string) bool {
-	return genericTLDs[strings.ToLower(tld)]
+	return genericTLDs[lowerASCII(tld)]
 }
 
 // SameRegisteredDomain reports whether two hosts share a registrable domain.
@@ -149,7 +240,12 @@ func IsSubdomainOf(host, domain string) bool {
 	if host == "" || domain == "" {
 		return false
 	}
-	return host == domain || strings.HasSuffix(host, "."+domain)
+	if host == domain {
+		return true
+	}
+	return len(host) > len(domain) &&
+		host[len(host)-len(domain)-1] == '.' &&
+		strings.HasSuffix(host, domain)
 }
 
 // normalizeHost lowercases host and strips any port and trailing dot. Hosts
@@ -157,7 +253,7 @@ func IsSubdomainOf(host, domain string) bool {
 // space survive inside a label broke RegisteredDomain's idempotence, because
 // re-normalizing the result trimmed the space and shifted label boundaries.
 func normalizeHost(host string) string {
-	host = strings.ToLower(strings.TrimSpace(host))
+	host = lowerASCII(strings.TrimSpace(host))
 	if strings.ContainsAny(host, " \t\r\n\f\v") {
 		return ""
 	}
