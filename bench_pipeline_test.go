@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"madave/internal/easylist"
+	"madave/internal/flowgraph"
 	"madave/internal/honeyclient"
 	"madave/internal/journal"
 	"madave/internal/stats"
@@ -129,6 +130,18 @@ func BenchmarkPipelineAnalyzeCacheOff(b *testing.B) {
 	s, r := benchWorld(b)
 	stream := benchImpressionStream(b, r.Corpus.All())
 	benchAnalyzeStream(b, honeyclient.New(s.Universe, s.Cfg.Seed), stream)
+}
+
+// BenchmarkPipelineAnalyzeGraph is the cache-off stream with the flow-graph
+// oracle enabled: every impression additionally builds the per-page flow
+// graph and classifies its structural features. Its delta over
+// PipelineAnalyzeCacheOff is the graph component's per-ad cost.
+func BenchmarkPipelineAnalyzeGraph(b *testing.B) {
+	s, r := benchWorld(b)
+	stream := benchImpressionStream(b, r.Corpus.All())
+	h := honeyclient.New(s.Universe, s.Cfg.Seed)
+	h.EnableGraph(flowgraph.DefaultPolicy())
+	benchAnalyzeStream(b, h, stream)
 }
 
 // BenchmarkPipelineAnalyzeCached is the same stream through the report
@@ -285,6 +298,7 @@ func TestEmitBenchPipeline(t *testing.T) {
 		return res
 	}
 	cacheOff := run("PipelineAnalyzeCacheOff", BenchmarkPipelineAnalyzeCacheOff)
+	graphOn := run("PipelineAnalyzeGraph", BenchmarkPipelineAnalyzeGraph)
 	cached := run("PipelineAnalyzeCached", BenchmarkPipelineAnalyzeCached)
 	jsCold := run("MinijsCompiledCold", BenchmarkMinijsCompiledCold)
 	jsWarm := run("MinijsCompiledWarm", BenchmarkMinijsCompiledWarm)
@@ -301,6 +315,7 @@ func TestEmitBenchPipeline(t *testing.T) {
 			run("PipelineStream", BenchmarkPipelineStream),
 			benchStreamOverload(t),
 			cacheOff,
+			graphOn,
 			cached,
 			jsCold,
 			jsWarm,
@@ -330,6 +345,22 @@ func TestEmitBenchPipeline(t *testing.T) {
 	} else {
 		t.Logf("minijs compile speedup: %.1fx (tree-walk %d -> warm %d ns/op, cold %d)",
 			float64(jsTree.NsPerOp)/float64(jsWarm.NsPerOp), jsTree.NsPerOp, jsWarm.NsPerOp, jsCold.NsPerOp)
+	}
+
+	// The graph-oracle overhead gate: building and classifying the flow graph
+	// must stay a bounded per-ad surcharge — under 2.5x the plain analyzer in
+	// wall clock, and within a hard alloc ceiling (measured 275 allocs/op;
+	// the ceiling leaves headroom for benign drift, and the committed
+	// BENCH_pipeline.json row lets cmd/benchdiff catch creeping regressions).
+	if cacheOff.NsPerOp > 0 && graphOn.NsPerOp >= cacheOff.NsPerOp*5/2 {
+		t.Errorf("graph oracle overhead gate failed: %d ns/op with graph vs %d plain (>2.5x)",
+			graphOn.NsPerOp, cacheOff.NsPerOp)
+	} else {
+		t.Logf("graph oracle overhead: %.2fx (%d -> %d ns/op)",
+			float64(graphOn.NsPerOp)/float64(cacheOff.NsPerOp), cacheOff.NsPerOp, graphOn.NsPerOp)
+	}
+	if graphOn.AllocsPerOp > 320 {
+		t.Errorf("PipelineAnalyzeGraph alloc gate failed: %d allocs/op > ceiling 320", graphOn.AllocsPerOp)
 	}
 
 	// The zero-allocation-hot-paths gates. The ns ceilings are the

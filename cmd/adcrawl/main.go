@@ -12,7 +12,7 @@
 // Usage:
 //
 //	adcrawl -o corpus.jsonl [-seed N] [-sites N] [-days N] [-refreshes N]
-//	        [-chaos RATE] [-cache] [-metrics-out metrics.prom]
+//	        [-chaos RATE] [-cache] [-graph] [-metrics-out metrics.prom]
 //	        [-serve] [-checkpoint journal.wal] [-drain-timeout 30s]
 //	        [-ops-addr ADDR] [-events-out events.jsonl]
 //	        [-spans-out trace.json] [-pprof ADDR]
@@ -55,6 +55,7 @@ func main() {
 		chaos     = flag.Float64("chaos", 0, "injected network fault rate in [0,1] (0 = off); faults are seeded, so crawls stay reproducible")
 		interpJS  = flag.Bool("minijs-interp", false, "execute page scripts with the tree-walking interpreter instead of the bytecode VM (slower; identical results)")
 		cache     = flag.Bool("cache", false, "enable the oracle-side memoization caches in the assembled study (matches madstudy/adoracle -cache)")
+		graph     = flag.Bool("graph", false, "enable the flow-graph oracle in the assembled study (streaming mode journals its per-ad verdicts; base stats stay byte-identical)")
 
 		serveMode    = flag.Bool("serve", false, "streaming service mode: Zipf-sampled impressions through the priority shedder instead of the finite schedule")
 		checkpoint   = flag.String("checkpoint", "", "journal file for crash-safe streaming (implies streaming mode); resuming from it skips already-committed visits")
@@ -86,6 +87,7 @@ func main() {
 		cfg.Chaos = &prof
 	}
 	cfg.Cache.Enabled = *cache
+	cfg.GraphOracle = *graph
 
 	tel := telemetry.New(*seed)
 	if *spansOut != "" {
@@ -236,6 +238,11 @@ func runStream(ctx context.Context, study *madave.Study, tel *telemetry.Set, ops
 	if serveMode {
 		st := res.Ops.Shed
 		fmt.Printf("admission: offered %d, delivered %d, shed %d\n", st.Offered, st.Delivered, st.Shed)
+	}
+	if res.Graph.Scanned > 0 {
+		fmt.Printf("graph oracle: %d of %d ads flagged (chain max %d, p90 %d)\n",
+			res.Graph.Flagged, res.Graph.Scanned, res.Graph.ChainMax, res.Graph.ChainP90)
+		fmt.Printf("graph summary: %s\n", res.Graph.JSON())
 	}
 	fmt.Printf("summary: %s\n", sum.JSON())
 	return nil

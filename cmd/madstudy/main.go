@@ -12,7 +12,7 @@
 // Usage:
 //
 //	madstudy [-seed N] [-sites N] [-days N] [-refreshes N] [-workers N]
-//	         [-chaos RATE] [-cache] [-defenses] [-corpus out.jsonl] [-csv dir]
+//	         [-chaos RATE] [-cache] [-graph] [-defenses] [-corpus out.jsonl] [-csv dir]
 //	         [-serve] [-checkpoint journal.wal] [-drain-timeout 30s]
 //	         [-serve-rate N] [-ops-addr ADDR] [-events-out events.jsonl]
 //	         [-metrics-out metrics.prom] [-spans-out trace.json]
@@ -66,6 +66,7 @@ func main() {
 		traceOut  = flag.String("trace", "", "capture all crawl HTTP traffic and write it (JSON lines) to this file")
 		chaos     = flag.Float64("chaos", 0, "injected network fault rate in [0,1] (0 = off); faults are seeded, so the study stays reproducible")
 		interpJS  = flag.Bool("minijs-interp", false, "execute page scripts with the tree-walking interpreter instead of the bytecode VM (slower; identical results)")
+		graph     = flag.Bool("graph", false, "enable the flow-graph oracle: structural per-page graphs with a fourth classifier component (additive; base stats stay byte-identical)")
 
 		cache        = flag.Bool("cache", false, "memoize honeyclient reports, blacklist verdicts, and AV scans (results stay byte-identical; repeated artefacts classify once)")
 		cacheEntries = flag.Int("cache-entries", 0, "per-cache capacity override (0 = per-cache defaults)")
@@ -102,6 +103,7 @@ func main() {
 	cfg.Crawl.Parallelism = *workers
 	cfg.OracleParallelism = *workers
 	cfg.MinijsInterp = *interpJS
+	cfg.GraphOracle = *graph
 	if *chaos > 0 {
 		prof := memnet.UniformProfile(*chaos)
 		cfg.Chaos = &prof
@@ -232,6 +234,9 @@ func main() {
 
 	report := study.Analyze(corp, verdicts, stats)
 	fmt.Println(report.RenderText())
+	if report.Graph != nil {
+		fmt.Println(report.Graph.RenderText())
+	}
 
 	conc := madave.Concentrate(report)
 	fmt.Printf("Malvertising concentration: Gini %.2f, worst network holds %.1f%%, top 3 hold %.1f%%\n",
@@ -387,6 +392,11 @@ func runStream(ctx context.Context, study *madave.Study, tel *telemetry.Set, ops
 		st := res.Ops.Shed
 		fmt.Printf("admission: offered %d, delivered %d, shed %d (low-priority first, every shed counted)\n",
 			st.Offered, st.Delivered, st.Shed)
+	}
+	if res.Graph.Scanned > 0 {
+		fmt.Printf("graph oracle: %d of %d ads flagged (chain max %d, p90 %d)\n",
+			res.Graph.Flagged, res.Graph.Scanned, res.Graph.ChainMax, res.Graph.ChainP90)
+		fmt.Printf("graph summary: %s\n", res.Graph.JSON())
 	}
 	fmt.Printf("summary: %s\n", sum.JSON())
 	return nil

@@ -1,0 +1,209 @@
+package madave
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"madave/internal/journal"
+	"madave/internal/stream"
+)
+
+// graphRun executes crawl + classification for one configuration and returns
+// the same three fingerprints as cacheRun plus the rendered base report —
+// the artifacts the graph-on/off gate compares byte-for-byte.
+func graphRun(t *testing.T, cfg Config) (stats, hashes, incidents, rendered string, res *OracleResult) {
+	t.Helper()
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corp, st := s.Crawl()
+	res = s.Classify(corp)
+	rep := s.Analyze(corp, res, st)
+
+	hs := make([]string, 0, corp.Len())
+	for _, ad := range corp.All() {
+		hs = append(hs, ad.Hash)
+	}
+	sort.Strings(hs)
+
+	incs := make([]string, 0, len(res.Incidents))
+	for _, inc := range res.Incidents {
+		incs = append(incs, fmt.Sprintf("%s|%s|%s", inc.AdHash, inc.Category, inc.Evidence))
+	}
+	sort.Strings(incs)
+
+	stats = fmt.Sprintf("%+v|scanned=%d|malicious=%d|degraded=%d", *st, res.Scanned, res.MaliciousCount(), res.Degraded)
+	return stats, strings.Join(hs, "\n"), strings.Join(incs, "\n"), rep.RenderText(), res
+}
+
+// TestGraphOracleDeterminism is the acceptance gate for the flow-graph
+// oracle's observe-only contract: a study with the graph oracle enabled must
+// produce byte-identical base statistics — crawl stats, corpus, incidents,
+// and the rendered report — to the same seed with it off, serial or
+// parallel, cached or not. The graph's own verdicts land only in the
+// additive Result fields.
+func TestGraphOracleDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("graph determinism skipped in -short mode")
+	}
+	const seed = 3131
+
+	base := telemetryStudyConfig(seed)
+	on := base
+	on.GraphOracle = true
+
+	sOff, hOff, iOff, rOff, _ := graphRun(t, base)
+	sOn, hOn, iOn, rOn, resOn := graphRun(t, on)
+	if resOn.GraphScanned == 0 {
+		t.Fatal("graph oracle enabled but no ad carried a graph summary")
+	}
+	if sOn != sOff {
+		t.Fatalf("stats diverged graph-on vs graph-off:\n on: %s\noff: %s", sOn, sOff)
+	}
+	if hOn != hOff {
+		t.Fatal("corpus diverged graph-on vs graph-off")
+	}
+	if iOn != iOff {
+		t.Fatalf("incidents diverged graph-on vs graph-off:\n on: %s\noff: %s", iOn, iOff)
+	}
+	if rOn != rOff {
+		t.Fatal("rendered base report diverged graph-on vs graph-off")
+	}
+
+	// Worker-interleaving independence: the graph verdicts themselves (not
+	// just the base stats) must match between serial and parallel runs.
+	serial := on
+	serial.Crawl.Parallelism = 1
+	serial.OracleParallelism = 1
+	sSer, hSer, iSer, _, resSer := graphRun(t, serial)
+	if sSer != sOn || hSer != hOn || iSer != iOn {
+		t.Fatal("graph-on study depends on worker interleaving")
+	}
+	if gs, gp := graphDigest(resSer), graphDigest(resOn); gs != gp {
+		t.Fatalf("graph findings depend on worker interleaving:\nserial: %s\nparallel: %s", gs, gp)
+	}
+
+	// Cache transparency: a cached graph-on run replays the same graph
+	// verdicts (reports are pure functions of their keys, graph included).
+	cached := on
+	cached.Cache.Enabled = true
+	sC, hC, iC, _, resC := graphRun(t, cached)
+	if sC != sOn || hC != hOn || iC != iOn {
+		t.Fatal("graph-on study depends on the report cache")
+	}
+	if gc, gp := graphDigest(resC), graphDigest(resOn); gc != gp {
+		t.Fatalf("graph findings depend on the report cache:\ncached: %s\nuncached: %s", gc, gp)
+	}
+}
+
+// graphDigest renders a Result's graph findings in canonical sorted form.
+func graphDigest(res *OracleResult) string {
+	out := make([]string, 0, len(res.GraphFindings))
+	for _, gf := range res.GraphFindings {
+		out = append(out, fmt.Sprintf("%s|%s|chain=%d", gf.AdHash, strings.Join(gf.Signals, ","), gf.Features.ChainDepth))
+	}
+	sort.Strings(out)
+	return fmt.Sprintf("scanned=%d\n%s", res.GraphScanned, strings.Join(out, "\n"))
+}
+
+// TestGraphStreamDeterminism proves the graph features survive the streaming
+// commit path without perturbing it: the canonical StreamSummary JSON is
+// byte-identical with the graph oracle on or off, while the separate
+// GraphSummary artifact carries the folded graph verdicts.
+func TestGraphStreamDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("graph stream determinism skipped in -short mode")
+	}
+	const seed = 3132
+
+	run := func(graphOn bool) *stream.RunResult {
+		cfg := telemetryStudyConfig(seed)
+		cfg.GraphOracle = graphOn
+		study, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := stream.NewService(study, stream.ServiceConfig{Journal: journal.NewMem()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := svc.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	off := run(false)
+	on := run(true)
+	if !bytes.Equal(on.Summary.JSON(), off.Summary.JSON()) {
+		t.Fatalf("StreamSummary diverged graph-on vs graph-off:\n on: %s\noff: %s",
+			on.Summary.JSON(), off.Summary.JSON())
+	}
+	if off.Graph.Scanned != 0 {
+		t.Fatalf("graph-off run reported graph aggregates: %+v", off.Graph)
+	}
+	if on.Graph.Scanned == 0 {
+		t.Fatal("graph-on streaming run folded no graph records")
+	}
+	if on.Graph.Scanned < on.Summary.AdFrames {
+		t.Fatalf("graph summaries lost in the commit path: scanned %d of %d ad frames",
+			on.Graph.Scanned, on.Summary.AdFrames)
+	}
+	// Replays are deterministic: a second graph-on run folds to the same
+	// graph aggregate bytes.
+	if again := run(true); !bytes.Equal(again.Graph.JSON(), on.Graph.JSON()) {
+		t.Fatalf("graph aggregate not deterministic:\n 1: %s\n 2: %s", on.Graph.JSON(), again.Graph.JSON())
+	}
+}
+
+// TestGraphOracleRecoversEvasion is the measurable-improvement gate: with
+// the honeyclient's string-level detectors blinded (the DESIGN.md ablation
+// toggles — no hijack detection, no redirect heuristics, no behavioural
+// model), the base oracle misses campaigns it normally catches. The
+// structural graph component keeps firing — an attack that hides its strings
+// still has to move requests through frames and scripts — so folding it in
+// must recover recall without giving up precision.
+func TestGraphOracleRecoversEvasion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("graph evasion ablation skipped in -short mode")
+	}
+	cfg := telemetryStudyConfig(3133)
+	cfg.CrawlSites = 120
+	cfg.GraphOracle = true
+	s, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Oracle.Honey.DisableHijackDetection = true
+	s.Oracle.Honey.DisableRedirectHeuristics = true
+	s.Oracle.Honey.DisableModel = true
+
+	corp, _ := s.Crawl()
+	res := s.Classify(corp)
+	v, err := s.Validate(corp, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.GraphEnabled {
+		t.Fatal("validation did not see graph verdicts")
+	}
+	if v.FalseNegatives == 0 {
+		t.Fatalf("ablation did not blind the base oracle (FN=0): %s", v.String())
+	}
+	if v.CombinedRecall() <= v.Recall() {
+		t.Fatalf("graph component did not recover recall: base %.3f vs combined %.3f\n%s",
+			v.Recall(), v.CombinedRecall(), v.String())
+	}
+	if v.CombinedPrecision() < v.Precision() {
+		t.Fatalf("graph component cost precision: base %.3f vs combined %.3f\n%s",
+			v.Precision(), v.CombinedPrecision(), v.String())
+	}
+	t.Logf("ablated base: precision %.3f recall %.3f; with graph: precision %.3f recall %.3f",
+		v.Precision(), v.Recall(), v.CombinedPrecision(), v.CombinedRecall())
+}

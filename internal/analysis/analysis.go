@@ -107,6 +107,10 @@ type Report struct {
 	GenericTLDMalShare float64
 	Figure5            ChainDist
 	Sandbox            SandboxCensus
+	// Graph is the flow-graph oracle's section — nil when the graph oracle
+	// was off. RenderText never reads it (render via Graph.RenderText), so
+	// the base rendering is byte-identical graph-on or graph-off.
+	Graph *GraphStats
 }
 
 // Analyze computes the report.
@@ -237,6 +241,9 @@ func Analyze(in Input) *Report {
 			SandboxedAds: in.CrawlStats.SandboxedAds,
 		}
 	}
+
+	// Flow-graph section (additive; nil when the graph oracle was off).
+	rep.Graph = AnalyzeGraph(in.Corpus, in.Result)
 	return rep
 }
 

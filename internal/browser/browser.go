@@ -20,6 +20,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
 	"madave/internal/easylist"
@@ -123,6 +124,18 @@ type Resource struct {
 	Err         string
 }
 
+// DOMWrite records one flush of script-generated markup into the document —
+// the writes-DOM provenance the flowgraph turns into script→frame edges.
+type DOMWrite struct {
+	// Writer identifies the script that produced the markup: the resolved
+	// src URL for external scripts, or "inline:<frameID>:<n>" for the n-th
+	// inline script executed in the frame.
+	Writer string
+	// Tags lists the top-level element tags the write introduced, in
+	// document order ("img", "iframe", "a", ...).
+	Tags []string
+}
+
 // Page is the result of loading one document (the top page or one iframe).
 type Page struct {
 	// URL is the requested URL; FinalURL reflects HTTP redirects.
@@ -152,6 +165,13 @@ type Page struct {
 	// RedirectHops is the HTTP redirect chain that led to FinalURL,
 	// starting with URL.
 	RedirectHops []string
+	// FrameID is the frame's position in the frame tree: "0" for the top
+	// document, "0.1" for its second iframe, and so on. Every transaction
+	// this frame's load captured carries the same ID.
+	FrameID string
+	// DOMWrites records each script-driven markup flush (document.write and
+	// timer writes), attributed to the writing script.
+	DOMWrites []DOMWrite
 
 	// sandboxTokens is the raw sandbox attribute value for sandboxed
 	// frames ("" when absent or empty).
@@ -193,6 +213,14 @@ func (p *Page) AllResources() []Resource {
 		out = append(out, f.AllResources()...)
 	}
 	return out
+}
+
+// WalkFrames visits the page and every descendant frame, parents first.
+func (p *Page) WalkFrames(fn func(*Page)) {
+	fn(p)
+	for _, f := range p.Frames {
+		f.WalkFrames(fn)
+	}
 }
 
 // Browser is the emulated browser. Construct with New.
@@ -356,7 +384,7 @@ func (b *Browser) LoadContext(ctx context.Context, url, referer string) (*Page, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return b.loadFrame(ctx, url, referer, 0, false, "")
+	return b.loadFrame(ctx, url, referer, 0, false, "", rootFrameID)
 }
 
 // LoadHTML renders an HTML document without fetching it — the honeyclient
@@ -376,20 +404,36 @@ func (b *Browser) LoadHTMLContext(ctx context.Context, html, baseURL string) *Pa
 		ctx, sp = b.Tel.StartSpan(ctx, telemetry.StageBrowserLoad, baseURL)
 		defer sp.End()
 	}
-	page := &Page{URL: baseURL, FinalURL: baseURL, Status: 200, RedirectHops: []string{baseURL}}
+	page := &Page{URL: baseURL, FinalURL: baseURL, Status: 200, RedirectHops: []string{baseURL}, FrameID: rootFrameID}
 	page.Doc = htmlparse.Parse(html)
 	b.processDocument(ctx, page, 0, false)
 	return page
 }
 
+// rootFrameID is the frame-tree path of the top document.
+const rootFrameID = "0"
+
+// stampOrigin sets the provenance the capture (when present) stamps onto
+// subsequently recorded transactions. Every fetch site stamps right before
+// it issues the request, so no restore step is needed.
+func (b *Browser) stampOrigin(frameID, initiator, via string) {
+	if b.Capture != nil {
+		b.Capture.SetOrigin(frameID, initiator, via)
+	}
+}
+
 // loadFrame fetches one document, following HTTP redirects, then renders it.
-func (b *Browser) loadFrame(ctx context.Context, url, referer string, depth int, sandboxed bool, sandboxTokens string) (*Page, error) {
+func (b *Browser) loadFrame(ctx context.Context, url, referer string, depth int, sandboxed bool, sandboxTokens, frameID string) (*Page, error) {
 	if b.Tel != nil {
 		var sp *telemetry.Span
 		ctx, sp = b.Tel.StartSpan(ctx, telemetry.StageBrowserLoad, url)
 		defer sp.End()
 	}
-	page := &Page{URL: url, Sandboxed: sandboxed, sandboxTokens: sandboxTokens}
+	page := &Page{URL: url, Sandboxed: sandboxed, sandboxTokens: sandboxTokens, FrameID: frameID}
+	via := "document"
+	if depth > 0 {
+		via = "iframe"
+	}
 	cur := url
 	hops := []string{url}
 	var resp *http.Response
@@ -397,6 +441,7 @@ func (b *Browser) loadFrame(ctx context.Context, url, referer string, depth int,
 		if i > b.MaxRedirects {
 			return page, fmt.Errorf("browser: redirect limit exceeded at %s", cur)
 		}
+		b.stampOrigin(frameID, referer, via)
 		var err error
 		resp, err = b.get(ctx, cur, referer)
 		if err != nil {
@@ -419,6 +464,7 @@ func (b *Browser) loadFrame(ctx context.Context, url, referer string, depth int,
 			referer = cur
 			cur = next
 			hops = append(hops, next)
+			via = "redirect" // later hops are initiated by the redirecting URL
 			continue
 		}
 		break
@@ -554,6 +600,7 @@ func (b *Browser) loadResources(ctx context.Context, page *Page) {
 			}
 		}
 		res := Resource{URL: abs, Tag: tag}
+		b.stampOrigin(page.FrameID, page.FinalURL, tag)
 		resp, err := b.get(ctx, abs, page.FinalURL)
 		if err != nil {
 			res.Err = err.Error()
@@ -596,7 +643,7 @@ func (b *Browser) loadFrames(ctx context.Context, page *Page, depth int) {
 	if b.Blocker != nil {
 		docHost = urlx.Host(page.FinalURL)
 	}
-	for _, f := range frames {
+	for i, f := range frames {
 		src, ok := f.Attr("src")
 		if !ok || src == "" {
 			continue
@@ -611,7 +658,10 @@ func (b *Browser) loadFrames(ctx context.Context, page *Page, depth int) {
 		}
 		sandboxed := b.EnforceSandbox && f.HasAttr("sandbox")
 		tokens, _ := f.Attr("sandbox")
-		child, err := b.loadFrame(ctx, abs, page.FinalURL, depth+1, sandboxed, tokens)
+		// The child's frame ID indexes the iframe's position among the
+		// document's iframe elements, so IDs are stable across runs.
+		childID := page.FrameID + "." + strconv.Itoa(i)
+		child, err := b.loadFrame(ctx, abs, page.FinalURL, depth+1, sandboxed, tokens, childID)
 		if err != nil {
 			page.Errors = append(page.Errors, fmt.Sprintf("iframe %s: %v", abs, err))
 		}
@@ -665,11 +715,13 @@ func mediaType(ct string) string {
 	return strings.TrimSpace(ct)
 }
 
-// timerEntry is one queued setTimeout callback.
+// timerEntry is one queued setTimeout callback. writer is the script that
+// queued it, so deferred writes and navigations keep their provenance.
 type timerEntry struct {
-	delay float64
-	seq   int
-	fn    minijs.Value
+	delay  float64
+	seq    int
+	fn     minijs.Value
+	writer string
 }
 
 // sortTimers orders callbacks by delay then queue order.

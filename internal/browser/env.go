@@ -2,6 +2,7 @@ package browser
 
 import (
 	"context"
+	"strconv"
 	"strings"
 
 	"madave/internal/htmlparse"
@@ -29,6 +30,7 @@ func (b *Browser) runScripts(reqCtx context.Context, page *Page, sandboxed bool)
 	ctx.install(interp)
 
 	executed := map[*htmlparse.Node]bool{}
+	inlineSeq := 0
 	// Rounds: each round executes scripts not yet run (including ones that
 	// document.write introduced in the previous round).
 	for round := 0; round < 5; round++ {
@@ -48,6 +50,8 @@ func (b *Browser) runScripts(reqCtx context.Context, page *Page, sandboxed bool)
 			}
 			ran = true
 			page.Scripts = append(page.Scripts, src)
+			ctx.curScript = inlineScriptID(page.FrameID, inlineSeq)
+			inlineSeq++
 			ctx.runScript(interp, src, "script: ")
 			ctx.flushWrites()
 		}
@@ -62,12 +66,20 @@ func (b *Browser) runScripts(reqCtx context.Context, page *Page, sandboxed bool)
 		ctx.timers = nil
 		sortTimers(timers)
 		for _, t := range timers {
+			ctx.curScript = t.writer
 			if _, err := interp.CallFunction(t.fn, minijs.Undefined(), nil); err != nil {
 				page.Errors = append(page.Errors, "timer: "+err.Error())
 			}
 			ctx.flushWrites()
 		}
 	}
+}
+
+// inlineScriptID names the n-th inline script executed in a frame; the
+// frame-qualified form keeps script identities distinct across frames in
+// the flowgraph.
+func inlineScriptID(frameID string, n int) string {
+	return "inline:" + frameID + ":" + strconv.Itoa(n)
 }
 
 // hasInlineScript reports whether the document holds at least one inline
@@ -102,6 +114,10 @@ type scriptCtx struct {
 	elements map[*minijs.Object]*htmlparse.Node
 	// externalRan guards against re-running the same external script URL.
 	externalRan map[string]bool
+	// curScript identifies the script currently executing (an inline script
+	// ID or an external script URL), the provenance stamped onto DOM writes
+	// and script-driven fetches.
+	curScript string
 }
 
 // nodeOf resolves a wrapped element object to its DOM node.
@@ -125,6 +141,7 @@ func (ctx *scriptCtx) runExternalScript(in *minijs.Interp, src string) {
 	ctx.externalRan[abs] = true
 
 	res := Resource{URL: abs, Tag: "script"}
+	ctx.b.stampOrigin(ctx.page.FrameID, ctx.curScript, "script")
 	resp, err := ctx.b.get(ctx.reqCtx, abs, ctx.page.FinalURL)
 	if err != nil {
 		res.Err = err.Error()
@@ -141,8 +158,11 @@ func (ctx *scriptCtx) runExternalScript(in *minijs.Interp, src string) {
 	}
 	src2 := string(body)
 	ctx.page.Scripts = append(ctx.page.Scripts, src2)
+	prev := ctx.curScript
+	ctx.curScript = abs
 	ctx.runScript(in, src2, "external script: ")
 	ctx.flushWrites()
+	ctx.curScript = prev
 }
 
 // runScript parses (through the shared code cache when one is configured)
@@ -227,6 +247,8 @@ var (
 		}
 		node.Parent = target
 		target.Children = append(target.Children, node)
+		// appendChild is a DOM write like document.write, just element-wise.
+		ctx.page.DOMWrites = append(ctx.page.DOMWrites, DOMWrite{Writer: ctx.curScript, Tags: []string{node.Tag}})
 		// Script elements with a src execute on insertion.
 		if node.Tag == "script" {
 			if src, has := node.Attr("src"); has && src != "" {
@@ -268,7 +290,7 @@ var (
 			delay = minijs.ToNumber(args[1])
 		}
 		ctx.timerSeq++
-		ctx.timers = append(ctx.timers, timerEntry{delay: delay, seq: ctx.timerSeq, fn: args[0]})
+		ctx.timers = append(ctx.timers, timerEntry{delay: delay, seq: ctx.timerSeq, fn: args[0], writer: ctx.curScript})
 		return minijs.Num(float64(ctx.timerSeq)), nil
 	})
 	natClearTimeout = minijs.NewSharedNative("clearTimeout", func(_ *minijs.Interp, _ minijs.Value, _ []minijs.Value) (minijs.Value, error) {
@@ -531,6 +553,9 @@ func (ctx *scriptCtx) navigate(kind NavigationKind, target string) {
 
 	if ctx.b.FollowNavigations && ctx.navCount < maxFollowedNavigations {
 		ctx.navCount++
+		// "nav-top" vs "nav-location" in the trace lets the flowgraph
+		// separate §2.3 top-hijacks from same-frame script navigations.
+		ctx.b.stampOrigin(ctx.page.FrameID, ctx.curScript, "nav-"+string(kind))
 		resp, err := ctx.b.get(ctx.reqCtx, abs, ctx.page.FinalURL)
 		if err != nil {
 			nav.NXDomain = IsNXDomain(err)
@@ -548,6 +573,7 @@ func (ctx *scriptCtx) navigate(kind NavigationKind, target string) {
 			if resp.StatusCode >= 300 && resp.StatusCode < 400 {
 				if loc := resp.Header.Get("Location"); loc != "" {
 					next := urlx.Resolve(abs, loc)
+					ctx.b.stampOrigin(ctx.page.FrameID, abs, "redirect")
 					if resp2, err2 := ctx.b.get(ctx.reqCtx, next, abs); err2 == nil {
 						ct2 := mediaType(resp2.Header.Get("Content-Type"))
 						body2 := readCapped(resp2)
@@ -566,7 +592,8 @@ func (ctx *scriptCtx) navigate(kind NavigationKind, target string) {
 }
 
 // flushWrites parses accumulated document.write output and appends it to
-// the document body (or root).
+// the document body (or root), recording the flush against the writing
+// script for the flowgraph's writes-DOM edges.
 func (ctx *scriptCtx) flushWrites() {
 	if ctx.writeBuf.Len() == 0 {
 		return
@@ -577,10 +604,15 @@ func (ctx *scriptCtx) flushWrites() {
 	if target == nil {
 		target = ctx.page.Doc
 	}
+	var tags []string
 	for _, c := range frag.Children {
 		target.Children = append(target.Children, c)
 		c.Parent = target
+		if c.Type == htmlparse.ElementNode {
+			tags = append(tags, c.Tag)
+		}
 	}
+	ctx.page.DOMWrites = append(ctx.page.DOMWrites, DOMWrite{Writer: ctx.curScript, Tags: tags})
 }
 
 func argOr(args []minijs.Value, i int) minijs.Value {

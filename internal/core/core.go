@@ -21,6 +21,7 @@ import (
 	"madave/internal/corpus"
 	"madave/internal/crawler"
 	"madave/internal/easylist"
+	"madave/internal/flowgraph"
 	"madave/internal/honeyclient"
 	"madave/internal/memnet"
 	"madave/internal/netcap"
@@ -73,6 +74,12 @@ type Config struct {
 	// tree-walking interpreter (the -minijs-interp escape hatch); the
 	// default is the bytecode VM. Verdicts are identical either way.
 	MinijsInterp bool
+	// GraphOracle enables the flow-graph fourth oracle component: every
+	// honeyclient report carries a structural flowgraph.Summary and the
+	// oracle Result gains GraphScanned/GraphFindings. Strictly additive —
+	// base stats, incidents, and the analysis report are byte-identical
+	// with it on or off.
+	GraphOracle bool
 }
 
 // CacheConfig holds the memoization knobs for the three hot oracle layers.
@@ -163,6 +170,9 @@ func NewStudy(cfg Config) (*Study, error) {
 		hc.EnableCache(cfg.Cache.HoneyclientEntries)
 		ora.Lists.EnableMemo(cfg.Cache.BlacklistEntries, cfg.Telemetry)
 		ora.Scanner.EnableCache(cfg.Cache.AVScanEntries, cfg.Telemetry)
+	}
+	if cfg.GraphOracle {
+		hc.EnableGraph(flowgraph.DefaultPolicy())
 	}
 	return &Study{
 		Cfg:      cfg,

@@ -23,6 +23,16 @@ type Validation struct {
 	// PerKind maps ground-truth campaign kinds to how their ads were
 	// classified.
 	PerKind map[adnet.Kind]*KindOutcome
+
+	// GraphEnabled is true when the classified result carried flow-graph
+	// verdicts; the Combined* confusion then scores the four-component
+	// oracle (an ad counts as flagged when the base oracle OR the graph
+	// classifier flagged it). All zero when the graph oracle is off.
+	GraphEnabled           bool
+	CombinedTruePositives  int
+	CombinedFalsePositives int
+	CombinedFalseNegatives int
+	CombinedTrueNegatives  int
 }
 
 // KindOutcome is the oracle's handling of one ground-truth kind.
@@ -52,13 +62,38 @@ func (v *Validation) Recall() float64 {
 	return float64(v.TruePositives) / float64(d)
 }
 
+// CombinedPrecision is Precision over the base-OR-graph confusion.
+func (v *Validation) CombinedPrecision() float64 {
+	d := v.CombinedTruePositives + v.CombinedFalsePositives
+	if d == 0 {
+		return 0
+	}
+	return float64(v.CombinedTruePositives) / float64(d)
+}
+
+// CombinedRecall is Recall over the base-OR-graph confusion.
+func (v *Validation) CombinedRecall() float64 {
+	d := v.CombinedTruePositives + v.CombinedFalseNegatives
+	if d == 0 {
+		return 0
+	}
+	return float64(v.CombinedTruePositives) / float64(d)
+}
+
 // Validate computes the validation for a classified corpus.
 func (s *Study) Validate(corp *corpus.Corpus, res *oracle.Result) (*Validation, error) {
 	byHash := map[string]oracle.Category{}
 	for _, inc := range res.Incidents {
 		byHash[inc.AdHash] = inc.Category
 	}
-	v := &Validation{PerKind: map[adnet.Kind]*KindOutcome{}}
+	graphFlagged := map[string]bool{}
+	for _, gf := range res.GraphFindings {
+		graphFlagged[gf.AdHash] = true
+	}
+	v := &Validation{
+		PerKind:      map[adnet.Kind]*KindOutcome{},
+		GraphEnabled: res.GraphScanned > 0,
+	}
 	for _, ad := range corp.All() {
 		c, ok := s.GroundTruth(ad)
 		if !ok {
@@ -85,6 +120,17 @@ func (s *Study) Validate(corp *corpus.Corpus, res *oracle.Result) (*Validation, 
 		default:
 			v.TrueNegatives++
 		}
+		combined := flagged || graphFlagged[ad.Hash]
+		switch {
+		case c.IsMalicious() && combined:
+			v.CombinedTruePositives++
+		case c.IsMalicious() && !combined:
+			v.CombinedFalseNegatives++
+		case !c.IsMalicious() && combined:
+			v.CombinedFalsePositives++
+		default:
+			v.CombinedTrueNegatives++
+		}
 	}
 	return v, nil
 }
@@ -95,6 +141,12 @@ func (v *Validation) String() string {
 	fmt.Fprintf(&b, "oracle validation: precision %.3f, recall %.3f (TP=%d FP=%d FN=%d TN=%d)\n",
 		v.Precision(), v.Recall(),
 		v.TruePositives, v.FalsePositives, v.FalseNegatives, v.TrueNegatives)
+	if v.GraphEnabled {
+		fmt.Fprintf(&b, "  with graph oracle: precision %.3f, recall %.3f (TP=%d FP=%d FN=%d TN=%d)\n",
+			v.CombinedPrecision(), v.CombinedRecall(),
+			v.CombinedTruePositives, v.CombinedFalsePositives,
+			v.CombinedFalseNegatives, v.CombinedTrueNegatives)
+	}
 	kinds := make([]adnet.Kind, 0, len(v.PerKind))
 	for k := range v.PerKind {
 		kinds = append(kinds, k)

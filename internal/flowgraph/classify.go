@@ -1,0 +1,110 @@
+package flowgraph
+
+// Policy holds the graph classifier's thresholds. The zero value is not
+// meaningful; use DefaultPolicy. Thresholds are deliberately structural —
+// they score how requests move through frames and scripts, not URLs or
+// signatures, which is why the classifier keeps firing when string-level
+// heuristics are evaded (the WebGraph argument).
+type Policy struct {
+	// BeaconDomainMin is the distinct cross-origin image-beacon domain
+	// count at which a creative looks like tracking/malware infrastructure
+	// (the model-only campaigns spray pixels across unrelated domains).
+	BeaconDomainMin int
+	// ChainDepthMax flags arbitration chains deeper than the paper's
+	// observed legitimate maximum — drawn-out hand-offs correlate with
+	// dark pools of arbitrators.
+	ChainDepthMax int
+}
+
+// DefaultPolicy returns the stock thresholds.
+func DefaultPolicy() Policy {
+	return Policy{
+		BeaconDomainMin: 3,
+		// The paper's Table 4 shows legitimate arbitration chains up to ~8
+		// hops; beyond that only suspicious chains appeared.
+		ChainDepthMax: 8,
+	}
+}
+
+// Verdict is the graph classifier's output for one page.
+type Verdict struct {
+	// Malicious is the classifier's overall call.
+	Malicious bool `json:"malicious"`
+	// Signals lists the structural signals that fired, sorted (the order
+	// below is already sorted, so append order is canonical).
+	Signals []string `json:"signals,omitempty"`
+}
+
+// Classify scores one page's structural features. Signals, in the fixed
+// order they are tested (alphabetical, so the output is canonical):
+//
+//   - beacon-fanout: images beaconing to ≥ BeaconDomainMin distinct
+//     third-party domains (model-only infrastructure).
+//   - deep-chain: arbitration chain deeper than ChainDepthMax.
+//   - exe-download: a request answered with executable content
+//     (deceptive downloads, §2.2).
+//   - flash-embed: a Shockwave Flash embed (malicious-Flash channel).
+//   - forced-top-nav: a script navigated the top page from inside the ad
+//     frame (link hijacking, §2.3).
+//   - nx-script-target: a script-driven request hit a non-resolving host
+//     (cloaking bail-outs, §3.2.1).
+//   - redirect-cycle: the redirect graph loops.
+//   - script-nav-offsite: a script navigated the frame to another
+//     registered domain (cloaking and forced-redirect shapes).
+//   - written-cross-iframe: a script wrote an iframe and the frame pulled
+//     a cross-origin subdocument (drive-by planting, §2.1).
+func (p Policy) Classify(f Features) Verdict {
+	var v Verdict
+	if f.BeaconDomains >= p.BeaconDomainMin {
+		v.Signals = append(v.Signals, "beacon-fanout")
+	}
+	if p.ChainDepthMax > 0 && f.ChainDepth > p.ChainDepthMax {
+		v.Signals = append(v.Signals, "deep-chain")
+	}
+	if f.ExeDownloads > 0 {
+		v.Signals = append(v.Signals, "exe-download")
+	}
+	if f.FlashEmbeds > 0 {
+		v.Signals = append(v.Signals, "flash-embed")
+	}
+	if f.TopNavs > 0 {
+		v.Signals = append(v.Signals, "forced-top-nav")
+	}
+	if f.NXTargets > 0 {
+		v.Signals = append(v.Signals, "nx-script-target")
+	}
+	if f.RedirectCycleLen > 0 {
+		v.Signals = append(v.Signals, "redirect-cycle")
+	}
+	if f.OffsiteNavs > 0 {
+		v.Signals = append(v.Signals, "script-nav-offsite")
+	}
+	if f.WrittenIframes > 0 && f.CrossFrameReqs > 0 {
+		v.Signals = append(v.Signals, "written-cross-iframe")
+	}
+	v.Malicious = len(v.Signals) > 0
+	return v
+}
+
+// Summary bundles one page's features and verdict — the artifact the
+// honeyclient attaches to its Report when the graph oracle is enabled.
+type Summary struct {
+	Features Features `json:"features"`
+	Verdict  Verdict  `json:"verdict"`
+}
+
+// Evidence renders the fired signals as one comma-joined string for
+// incident evidence fields. Empty when the verdict is benign.
+func (s *Summary) Evidence() string {
+	if s == nil || !s.Verdict.Malicious {
+		return ""
+	}
+	out := ""
+	for i, sig := range s.Verdict.Signals {
+		if i > 0 {
+			out += ","
+		}
+		out += sig
+	}
+	return out
+}

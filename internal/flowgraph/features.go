@@ -1,0 +1,174 @@
+package flowgraph
+
+import "sort"
+
+// Features are the structural features derived from one page's flow graph.
+// Every field is computed from sorted node/edge orders, so features are a
+// pure function of the canonical graph. Integer fields fold exactly across
+// the streaming commit path; the single ratio is derived from its integer
+// numerator/denominator.
+type Features struct {
+	// Size counts.
+	Frames   int `json:"frames"`
+	Scripts  int `json:"scripts,omitempty"`
+	Requests int `json:"requests,omitempty"`
+	Domains  int `json:"domains,omitempty"`
+	Edges    int `json:"edges,omitempty"`
+
+	// ChainDepth is the arbitration-chain depth: the longest simple path
+	// through redirects-to edges, in hops (0 = no redirects).
+	ChainDepth int `json:"chain_depth,omitempty"`
+	// MaxFanout is the largest out-degree over all nodes — ad arbitration
+	// hubs and beacon sprays both show up here.
+	MaxFanout int `json:"max_fanout,omitempty"`
+	// CrossOriginEdges / OriginEdges: edges whose endpoints resolve to
+	// different registered domains, over edges where both are known.
+	CrossOriginEdges int     `json:"cross_origin_edges,omitempty"`
+	OriginEdges      int     `json:"origin_edges,omitempty"`
+	CrossOriginRatio float64 `json:"cross_origin_ratio,omitempty"`
+	// RedirectCycleLen is the length of the shortest redirect cycle found
+	// (0 = acyclic): the redirect-cycle shape netcap's chain API reports,
+	// seen graph-side.
+	RedirectCycleLen int `json:"redirect_cycle_len,omitempty"`
+	// ScriptPathLen is the longest path (in edges) from any script node —
+	// how far script influence flows through writes and fetches.
+	ScriptPathLen int `json:"script_path_len,omitempty"`
+
+	// Flow observations the classifier scores.
+	DOMWrites      int `json:"dom_writes,omitempty"`
+	WrittenIframes int `json:"written_iframes,omitempty"`
+	TopNavs        int `json:"top_navs,omitempty"`
+	OffsiteNavs    int `json:"offsite_navs,omitempty"`
+	NXTargets      int `json:"nx_targets,omitempty"`
+	ExeDownloads   int `json:"exe_downloads,omitempty"`
+	FlashEmbeds    int `json:"flash_embeds,omitempty"`
+	CrossFrameReqs int `json:"cross_frame_reqs,omitempty"`
+	BeaconDomains  int `json:"beacon_domains,omitempty"`
+}
+
+// computeFeatures derives the feature set once at build time.
+func (g *Graph) computeFeatures(c *counters) {
+	f := Features{
+		Edges:          len(g.edges),
+		DOMWrites:      c.domWrites,
+		WrittenIframes: c.writtenIframes,
+		TopNavs:        c.topNavs,
+		OffsiteNavs:    c.offsiteNavs,
+		NXTargets:      c.nxTargets,
+		ExeDownloads:   c.exeDownloads,
+		FlashEmbeds:    c.flashEmbeds,
+		CrossFrameReqs: c.crossFrameReqs,
+		BeaconDomains:  len(c.beaconDomains),
+	}
+	for _, kind := range g.nodes {
+		switch kind {
+		case FrameNode:
+			f.Frames++
+		case ScriptNode:
+			f.Scripts++
+		case RequestNode:
+			f.Requests++
+		case DomainNode:
+			f.Domains++
+		}
+	}
+
+	// Adjacency in sorted order for the path walks.
+	adj := map[string][]string{}
+	redirectAdj := map[string][]string{}
+	outDeg := map[string]int{}
+	for e := range g.edges {
+		adj[e.From] = append(adj[e.From], e.To)
+		outDeg[e.From]++
+		if e.Kind == EdgeRedirectsTo {
+			redirectAdj[e.From] = append(redirectAdj[e.From], e.To)
+		}
+	}
+	for _, ts := range adj {
+		sort.Strings(ts)
+	}
+	for _, ts := range redirectAdj {
+		sort.Strings(ts)
+	}
+	for _, d := range outDeg {
+		if d > f.MaxFanout {
+			f.MaxFanout = d
+		}
+	}
+
+	for e := range g.edges {
+		fd, td := g.domain[e.From], g.domain[e.To]
+		if fd == "" || td == "" {
+			continue
+		}
+		f.OriginEdges++
+		if fd != td {
+			f.CrossOriginEdges++
+		}
+	}
+	if f.OriginEdges > 0 {
+		f.CrossOriginRatio = float64(f.CrossOriginEdges) / float64(f.OriginEdges)
+	}
+
+	// Longest simple redirect path and shortest redirect cycle. Page
+	// graphs are small (tens of nodes), so a bounded DFS per node is fine.
+	for _, id := range g.Nodes() {
+		if len(redirectAdj[id]) == 0 {
+			continue
+		}
+		depth, cyc := longestPath(id, redirectAdj, maxPathDepth)
+		if depth > f.ChainDepth {
+			f.ChainDepth = depth
+		}
+		if cyc > 0 && (f.RedirectCycleLen == 0 || cyc < f.RedirectCycleLen) {
+			f.RedirectCycleLen = cyc
+		}
+	}
+
+	// Longest path from any script node over all edge kinds.
+	for id, kind := range g.nodes {
+		if kind != ScriptNode {
+			continue
+		}
+		depth, _ := longestPath(id, adj, maxPathDepth)
+		if depth > f.ScriptPathLen {
+			f.ScriptPathLen = depth
+		}
+	}
+
+	g.feats = f
+}
+
+// maxPathDepth bounds the DFS walks; it matches netcap's chain bound.
+const maxPathDepth = 128
+
+// longestPath returns the longest simple path (in edges) from start and the
+// length of the shortest cycle reachable from it (0 when none). The on-path
+// set keeps the walk simple; depth is bounded defensively.
+func longestPath(start string, adj map[string][]string, bound int) (depth, cycle int) {
+	onPath := map[string]int{start: 0}
+	var dfs func(node string, d int) int
+	dfs = func(node string, d int) int {
+		if d >= bound {
+			return d
+		}
+		best := d
+		for _, next := range adj[node] {
+			if at, ok := onPath[next]; ok {
+				// A cycle: its length is the distance from the re-entered
+				// node to here, plus the closing edge.
+				if l := d - at + 1; cycle == 0 || l < cycle {
+					cycle = l
+				}
+				continue
+			}
+			onPath[next] = d + 1
+			if got := dfs(next, d+1); got > best {
+				best = got
+			}
+			delete(onPath, next)
+		}
+		return best
+	}
+	return dfs(start, 0), cycle
+}

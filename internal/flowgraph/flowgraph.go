@@ -1,0 +1,423 @@
+// Package flowgraph assembles a deterministic per-page information-flow
+// graph from what the browser and netcap already record: nodes for frames,
+// scripts, requests, and registered domains; edges for initiates,
+// redirects-to, embeds, and writes-DOM. The paper's core analyses —
+// arbitration-chain depth, per-network malvertising rates, redirect
+// cloaking — are graph questions asked of crawl traces; this package makes
+// the graph explicit and derives the structural features the fourth oracle
+// component (see classify.go) scores. WebGraph-style flow representations
+// resist evasion better than URL or list features because an attack that
+// hides its strings still has to move requests through frames and scripts.
+package flowgraph
+
+import (
+	"sort"
+	"strings"
+
+	"madave/internal/netcap"
+	"madave/internal/urlx"
+)
+
+// NodeKind classifies a graph node.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	FrameNode NodeKind = iota
+	ScriptNode
+	RequestNode
+	DomainNode
+)
+
+func (k NodeKind) String() string {
+	switch k {
+	case FrameNode:
+		return "frame"
+	case ScriptNode:
+		return "script"
+	case RequestNode:
+		return "request"
+	case DomainNode:
+		return "domain"
+	}
+	return "?"
+}
+
+// EdgeKind classifies a graph edge.
+type EdgeKind uint8
+
+// Edge kinds and their provenance rules (see DESIGN.md §17):
+//
+//   - EdgeInitiates: the frame or script whose load/execution issued a
+//     request, from netcap Transaction FrameID/Initiator/Via stamps.
+//   - EdgeRedirectsTo: request → request, from redirect transactions'
+//     resolved Location targets (fragment-stripped).
+//   - EdgeEmbeds: frame → child frame (the frame tree) and frame →
+//     registered domain (content from that domain appeared in the frame).
+//   - EdgeWritesDOM: script → frame, from recorded document.write flushes
+//     and appendChild insertions.
+const (
+	EdgeInitiates EdgeKind = iota
+	EdgeRedirectsTo
+	EdgeEmbeds
+	EdgeWritesDOM
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeInitiates:
+		return "initiates"
+	case EdgeRedirectsTo:
+		return "redirects-to"
+	case EdgeEmbeds:
+		return "embeds"
+	case EdgeWritesDOM:
+		return "writes-dom"
+	}
+	return "?"
+}
+
+// Edge is one directed, typed edge. The graph deduplicates edges, so an
+// image fetched twice contributes one initiates edge.
+type Edge struct {
+	Kind     EdgeKind
+	From, To string
+}
+
+// Frame describes one browser frame for graph assembly.
+type Frame struct {
+	// ID is the frame-tree path ("0", "0.1", ...).
+	ID string
+	// URL is the frame's final URL, the origin baseline for its requests.
+	URL string
+}
+
+// Write describes one script-driven DOM mutation (document.write flush or
+// appendChild) attributed to its writing script.
+type Write struct {
+	FrameID string
+	// Writer is the script identity: an absolute URL for external scripts
+	// or "inline:<frameID>:<n>" for inline ones.
+	Writer string
+	// Tags lists the element tags the write introduced.
+	Tags []string
+}
+
+// Input is everything graph assembly consumes. Transactions may arrive in
+// any order: Build sorts them by capture sequence, so construction is
+// order-insensitive (the property the shuffle test pins down).
+type Input struct {
+	// PageURL is the analyzed document's URL (the ad frame URL).
+	PageURL string
+	// Transactions is the page's captured traffic.
+	Transactions []netcap.Transaction
+	// Frames is the rendered frame tree; when empty a root frame is
+	// inferred from PageURL.
+	Frames []Frame
+	// Writes is the DOM-write provenance recorded during rendering.
+	Writes []Write
+}
+
+// Graph is the assembled per-page flow graph plus the request metadata the
+// classifier consumes. Construct with Build; a Graph is immutable after.
+type Graph struct {
+	nodes  map[string]NodeKind
+	edges  map[Edge]struct{}
+	domain map[string]string // node id → registered domain ("" unknown)
+	feats  Features
+}
+
+// node ids are kind-prefixed so the namespaces cannot collide.
+func frameNodeID(id string) string    { return "frame:" + id }
+func scriptNodeID(id string) string   { return "script:" + id }
+func requestNodeID(url string) string { return "req:" + url }
+func domainNodeID(d string) string    { return "dom:" + d }
+
+// rootFrameID mirrors the browser's frame-tree root.
+const rootFrameID = "0"
+
+// Build assembles the graph. It is a pure function of its input: same
+// input (up to transaction order) ⇒ identical graph, identical canonical
+// serialization, identical features.
+func Build(in Input) *Graph {
+	g := &Graph{
+		nodes:  make(map[string]NodeKind, 16),
+		edges:  make(map[Edge]struct{}, 16),
+		domain: make(map[string]string, 16),
+	}
+
+	// Canonicalize transaction order by capture sequence so shuffled
+	// inserts build the same graph.
+	txs := make([]netcap.Transaction, len(in.Transactions))
+	copy(txs, in.Transactions)
+	sort.Slice(txs, func(i, j int) bool { return txs[i].Seq < txs[j].Seq })
+
+	pageDomain := urlx.RegisteredDomain(urlx.Host(in.PageURL))
+
+	// Frame nodes and the frame tree (embeds edges parent → child).
+	frameDomain := map[string]string{rootFrameID: pageDomain}
+	g.addNode(frameNodeID(rootFrameID), FrameNode, pageDomain)
+	for _, f := range in.Frames {
+		d := urlx.RegisteredDomain(urlx.Host(f.URL))
+		if f.ID == "" {
+			continue
+		}
+		frameDomain[f.ID] = d
+		g.addNode(frameNodeID(f.ID), FrameNode, d)
+		if dot := strings.LastIndexByte(f.ID, '.'); dot > 0 {
+			parent := f.ID[:dot]
+			g.addNode(frameNodeID(parent), FrameNode, frameDomain[parent])
+			g.addEdge(Edge{Kind: EdgeEmbeds, From: frameNodeID(parent), To: frameNodeID(f.ID)})
+		}
+	}
+	// Frames mentioned only by transactions still become nodes.
+	for i := range txs {
+		if id := txs[i].FrameID; id != "" {
+			if _, ok := frameDomain[id]; !ok {
+				frameDomain[id] = pageDomain
+				g.addNode(frameNodeID(id), FrameNode, pageDomain)
+			}
+		}
+	}
+
+	c := &counters{beaconDomains: map[string]struct{}{}}
+	for i := range txs {
+		g.addTransaction(&txs[i], frameDomain, pageDomain, c)
+	}
+
+	for _, w := range in.Writes {
+		if w.Writer == "" {
+			continue
+		}
+		frame := w.FrameID
+		if frame == "" {
+			frame = rootFrameID
+		}
+		sid := scriptNodeID(w.Writer)
+		g.addNode(sid, ScriptNode, g.scriptDomain(w.Writer, frameDomain[frame]))
+		fid := frameNodeID(frame)
+		g.addNode(fid, FrameNode, frameDomain[frame])
+		g.addEdge(Edge{Kind: EdgeWritesDOM, From: sid, To: fid})
+		c.domWrites++
+		for _, tag := range w.Tags {
+			if tag == "iframe" {
+				c.writtenIframes++
+			}
+		}
+	}
+
+	g.computeFeatures(c)
+	return g
+}
+
+// counters accumulates the classification-relevant observations made while
+// walking the transaction list.
+type counters struct {
+	domWrites      int
+	writtenIframes int
+	topNavs        int
+	offsiteNavs    int
+	nxTargets      int
+	exeDownloads   int
+	flashEmbeds    int
+	crossFrameReqs int
+	beaconDomains  map[string]struct{}
+}
+
+// addTransaction folds one captured transaction into the graph.
+func (g *Graph) addTransaction(tx *netcap.Transaction, frameDomain map[string]string, pageDomain string, c *counters) {
+	url := stripFragment(tx.URL)
+	if url == "" {
+		return
+	}
+	frame := tx.FrameID
+	if frame == "" {
+		frame = rootFrameID
+	}
+	frameDom := frameDomain[frame]
+	if frameDom == "" {
+		frameDom = pageDomain
+	}
+	reqDom := urlx.RegisteredDomain(tx.Host)
+	if reqDom == "" {
+		reqDom = urlx.RegisteredDomain(urlx.Host(url))
+	}
+
+	rid := requestNodeID(url)
+	g.addNode(rid, RequestNode, reqDom)
+	if reqDom != "" {
+		did := domainNodeID(reqDom)
+		g.addNode(did, DomainNode, reqDom)
+		fid := frameNodeID(frame)
+		g.addNode(fid, FrameNode, frameDomain[frame])
+		g.addEdge(Edge{Kind: EdgeEmbeds, From: fid, To: did})
+	}
+
+	// The initiator edge: scripts initiate their fetches; everything else
+	// is initiated by the frame whose load produced it. Redirect hops hang
+	// off the redirecting request instead.
+	switch {
+	case tx.Via == "redirect" && tx.Initiator != "":
+		from := requestNodeID(stripFragment(tx.Initiator))
+		g.addNode(from, RequestNode, urlx.RegisteredDomain(urlx.Host(tx.Initiator)))
+		g.addEdge(Edge{Kind: EdgeRedirectsTo, From: from, To: rid})
+	case isScriptVia(tx.Via) && tx.Initiator != "":
+		sid := scriptNodeID(tx.Initiator)
+		g.addNode(sid, ScriptNode, g.scriptDomain(tx.Initiator, frameDom))
+		g.addEdge(Edge{Kind: EdgeInitiates, From: sid, To: rid})
+	default:
+		fid := frameNodeID(frame)
+		g.addNode(fid, FrameNode, frameDomain[frame])
+		g.addEdge(Edge{Kind: EdgeInitiates, From: fid, To: rid})
+	}
+
+	// A redirect's resolved target joins the graph even when the browser
+	// never fetched it (the unfetched-tail case from netcap's chain API).
+	if tx.IsRedirect() {
+		if next := stripFragment(urlx.Resolve(tx.URL, tx.Location)); next != "" && next != url {
+			nid := requestNodeID(next)
+			g.addNode(nid, RequestNode, urlx.RegisteredDomain(urlx.Host(next)))
+			g.addEdge(Edge{Kind: EdgeRedirectsTo, From: rid, To: nid})
+		}
+	}
+
+	// Classification counters.
+	cross := reqDom != "" && frameDom != "" && reqDom != frameDom
+	switch tx.Via {
+	case "nav-top":
+		c.topNavs++
+	case "nav-location":
+		if cross {
+			c.offsiteNavs++
+		}
+	case "img":
+		if cross {
+			c.beaconDomains[reqDom] = struct{}{}
+		}
+	case "iframe":
+		// A subframe document is stamped with the child frame's ID, whose
+		// domain is the request's own — compare against the embedding
+		// parent frame instead.
+		parentDom := pageDomain
+		if dot := strings.LastIndexByte(frame, '.'); dot > 0 {
+			if d := frameDomain[frame[:dot]]; d != "" {
+				parentDom = d
+			}
+		}
+		if reqDom != "" && parentDom != "" && reqDom != parentDom {
+			c.crossFrameReqs++
+		}
+	}
+	if tx.Err != "" && (isScriptVia(tx.Via) || tx.Via == "nav-top" || tx.Via == "nav-location") {
+		c.nxTargets++
+	}
+	switch tx.ContentType {
+	case "application/octet-stream", "application/x-msdownload", "application/x-msdos-program":
+		c.exeDownloads++
+	case "application/x-shockwave-flash":
+		c.flashEmbeds++
+	}
+}
+
+// isScriptVia reports whether the via label marks a script-initiated fetch.
+func isScriptVia(via string) bool {
+	return via == "script" || via == "nav-top" || via == "nav-location"
+}
+
+// scriptDomain resolves a script identity to its registered domain:
+// external scripts carry their host, inline scripts belong to their frame.
+func (g *Graph) scriptDomain(writer, frameDom string) string {
+	if strings.HasPrefix(writer, "inline:") {
+		return frameDom
+	}
+	if d := urlx.RegisteredDomain(urlx.Host(writer)); d != "" {
+		return d
+	}
+	return frameDom
+}
+
+func (g *Graph) addNode(id string, kind NodeKind, domain string) {
+	if _, ok := g.nodes[id]; !ok {
+		g.nodes[id] = kind
+	}
+	if domain != "" && g.domain[id] == "" {
+		g.domain[id] = domain
+	}
+}
+
+func (g *Graph) addEdge(e Edge) {
+	if e.From == e.To {
+		return
+	}
+	g.edges[e] = struct{}{}
+}
+
+// Nodes returns the node ids in sorted order.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for id := range g.nodes {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Edges returns the edges sorted by (kind, from, to).
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	return out
+}
+
+// Canonical renders the graph as its canonical serialization: sorted node
+// lines then sorted edge lines. Two graphs are equal iff their canonical
+// forms are byte-identical — the determinism and order-insensitivity gates
+// compare exactly this string.
+func (g *Graph) Canonical() string {
+	var b strings.Builder
+	b.Grow(64 * (len(g.nodes) + len(g.edges)))
+	for _, id := range g.Nodes() {
+		b.WriteString("node ")
+		b.WriteString(g.nodes[id].String())
+		b.WriteByte(' ')
+		b.WriteString(id)
+		if d := g.domain[id]; d != "" {
+			b.WriteString(" @")
+			b.WriteString(d)
+		}
+		b.WriteByte('\n')
+	}
+	for _, e := range g.Edges() {
+		b.WriteString("edge ")
+		b.WriteString(e.Kind.String())
+		b.WriteByte(' ')
+		b.WriteString(e.From)
+		b.WriteString(" -> ")
+		b.WriteString(e.To)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Features returns the structural features derived at build time.
+func (g *Graph) Features() Features { return g.feats }
+
+// stripFragment removes a URL fragment, mirroring what browsers request.
+func stripFragment(u string) string {
+	if i := strings.IndexByte(u, '#'); i >= 0 {
+		return u[:i]
+	}
+	return u
+}

@@ -1,0 +1,193 @@
+package flowgraph
+
+import (
+	"strings"
+	"testing"
+
+	"madave/internal/netcap"
+	"madave/internal/stats"
+)
+
+// adTrace lays down a representative ad-frame trace: the frame URL 302s
+// through an arbitration hop to the creative host, an inline script writes
+// a banner image and plants a cross-origin iframe, and a script navigation
+// hits an NX host.
+func adTrace() Input {
+	txs := []netcap.Transaction{
+		{Seq: 0, URL: "http://serve.adnet.com/ad?imp=1", Host: "serve.adnet.com",
+			Status: 302, Location: "http://arb.pool.com/r", FrameID: "0", Via: "document"},
+		{Seq: 1, URL: "http://arb.pool.com/r", Host: "arb.pool.com",
+			Status: 302, Location: "http://creative.cdn.com/c1", FrameID: "0", Via: "redirect",
+			Initiator: "http://serve.adnet.com/ad?imp=1"},
+		{Seq: 2, URL: "http://creative.cdn.com/c1", Host: "creative.cdn.com",
+			Status: 200, ContentType: "text/html", FrameID: "0", Via: "redirect",
+			Initiator: "http://arb.pool.com/r"},
+		{Seq: 3, URL: "http://creative.cdn.com/banners/b0.png", Host: "creative.cdn.com",
+			Status: 200, ContentType: "image/png", FrameID: "0", Via: "img",
+			Initiator: "http://creative.cdn.com/c1"},
+		{Seq: 4, URL: "http://exploit.evil.com/e", Host: "exploit.evil.com",
+			Status: 200, ContentType: "text/html", FrameID: "0.0", Via: "iframe",
+			Initiator: "http://creative.cdn.com/c1"},
+		{Seq: 5, URL: "http://nxbail.com/", Host: "nxbail.com",
+			Err: "no such host", FrameID: "0", Via: "nav-location",
+			Initiator: "inline:0:0"},
+	}
+	return Input{
+		PageURL:      "http://serve.adnet.com/ad?imp=1",
+		Transactions: txs,
+		Frames: []Frame{
+			{ID: "0", URL: "http://creative.cdn.com/c1"},
+			{ID: "0.0", URL: "http://exploit.evil.com/e"},
+		},
+		Writes: []Write{
+			{FrameID: "0", Writer: "inline:0:0", Tags: []string{"img", "iframe"}},
+		},
+	}
+}
+
+// TestOrderInsensitivity is the property test the ISSUE pins down: graph
+// construction is order-insensitive — shuffled transaction insert yields a
+// byte-identical canonical serialization across many shuffles.
+func TestOrderInsensitivity(t *testing.T) {
+	in := adTrace()
+	want := Build(in).Canonical()
+	if want == "" {
+		t.Fatal("empty canonical form")
+	}
+	rng := stats.NewRNG(2014).Fork("flowgraph-shuffle")
+	for trial := 0; trial < 100; trial++ {
+		shuffled := Input{
+			PageURL: in.PageURL,
+			Frames:  in.Frames,
+			Writes:  in.Writes,
+		}
+		perm := rng.Perm(len(in.Transactions))
+		shuffled.Transactions = make([]netcap.Transaction, len(in.Transactions))
+		for i, p := range perm {
+			shuffled.Transactions[i] = in.Transactions[p]
+		}
+		if got := Build(shuffled).Canonical(); got != want {
+			t.Fatalf("trial %d: shuffled insert changed the canonical graph:\n--- want ---\n%s--- got ---\n%s", trial, want, got)
+		}
+	}
+}
+
+func TestGraphShape(t *testing.T) {
+	g := Build(adTrace())
+	f := g.Features()
+	if f.Frames != 2 {
+		t.Errorf("frames = %d, want 2", f.Frames)
+	}
+	if f.Scripts != 1 {
+		t.Errorf("scripts = %d, want 1", f.Scripts)
+	}
+	// Chain: serve → arb → creative = 2 redirect hops.
+	if f.ChainDepth != 2 {
+		t.Errorf("chain depth = %d, want 2", f.ChainDepth)
+	}
+	if f.RedirectCycleLen != 0 {
+		t.Errorf("cycle = %d, want 0", f.RedirectCycleLen)
+	}
+	if f.NXTargets != 1 {
+		t.Errorf("nx targets = %d, want 1", f.NXTargets)
+	}
+	if f.WrittenIframes != 1 || f.CrossFrameReqs != 1 {
+		t.Errorf("written iframes = %d, cross frame reqs = %d, want 1/1", f.WrittenIframes, f.CrossFrameReqs)
+	}
+	if f.DOMWrites != 1 {
+		t.Errorf("dom writes = %d, want 1", f.DOMWrites)
+	}
+	canon := g.Canonical()
+	for _, want := range []string{
+		"edge redirects-to req:http://serve.adnet.com/ad?imp=1 -> req:http://arb.pool.com/r",
+		"edge writes-dom script:inline:0:0 -> frame:0",
+		"edge embeds frame:0 -> frame:0.0",
+		"node domain dom:evil.com @evil.com",
+	} {
+		if !strings.Contains(canon, want) {
+			t.Errorf("canonical form missing %q:\n%s", want, canon)
+		}
+	}
+}
+
+func TestRedirectCycleFeature(t *testing.T) {
+	in := Input{
+		PageURL: "http://a.com/",
+		Transactions: []netcap.Transaction{
+			{Seq: 0, URL: "http://a.com/", Host: "a.com", Status: 302, Location: "http://b.com/"},
+			{Seq: 1, URL: "http://b.com/", Host: "b.com", Status: 302, Location: "http://a.com/"},
+		},
+	}
+	f := Build(in).Features()
+	if f.RedirectCycleLen != 2 {
+		t.Fatalf("cycle len = %d, want 2", f.RedirectCycleLen)
+	}
+	v := DefaultPolicy().Classify(f)
+	if !v.Malicious || !hasSignal(v, "redirect-cycle") {
+		t.Fatalf("verdict = %+v, want redirect-cycle", v)
+	}
+}
+
+func TestClassifySignals(t *testing.T) {
+	p := DefaultPolicy()
+	for _, tc := range []struct {
+		name   string
+		f      Features
+		signal string
+	}{
+		{"hijack", Features{TopNavs: 1}, "forced-top-nav"},
+		{"cloak-nx", Features{NXTargets: 1}, "nx-script-target"},
+		{"cloak-offsite", Features{OffsiteNavs: 1}, "script-nav-offsite"},
+		{"deceptive", Features{ExeDownloads: 1}, "exe-download"},
+		{"driveby", Features{WrittenIframes: 1, CrossFrameReqs: 1}, "written-cross-iframe"},
+		{"flash", Features{FlashEmbeds: 1}, "flash-embed"},
+		{"modelonly", Features{BeaconDomains: 3}, "beacon-fanout"},
+		{"deep-chain", Features{ChainDepth: 9}, "deep-chain"},
+	} {
+		v := p.Classify(tc.f)
+		if !v.Malicious || !hasSignal(v, tc.signal) {
+			t.Errorf("%s: verdict = %+v, want signal %q", tc.name, v, tc.signal)
+		}
+	}
+	benign := p.Classify(Features{Frames: 1, Scripts: 1, Requests: 2, DOMWrites: 1, BeaconDomains: 1, ChainDepth: 3})
+	if benign.Malicious {
+		t.Errorf("benign features misclassified: %+v", benign)
+	}
+	// A written iframe alone (same-origin, e.g. a house ad) is not enough.
+	if v := p.Classify(Features{WrittenIframes: 1}); v.Malicious {
+		t.Errorf("same-origin written iframe misclassified: %+v", v)
+	}
+}
+
+func hasSignal(v Verdict, sig string) bool {
+	for _, s := range v.Signals {
+		if s == sig {
+			return true
+		}
+	}
+	return false
+}
+
+// TestFeaturesPureFunctionOfGraph: building twice from the same input gives
+// identical features and canonical forms (no map-iteration leakage).
+func TestFeaturesPureFunctionOfGraph(t *testing.T) {
+	in := adTrace()
+	a, b := Build(in), Build(in)
+	if a.Canonical() != b.Canonical() {
+		t.Fatal("canonical forms differ across identical builds")
+	}
+	if a.Features() != b.Features() {
+		t.Fatalf("features differ: %+v vs %+v", a.Features(), b.Features())
+	}
+}
+
+func TestEvidenceString(t *testing.T) {
+	s := &Summary{Verdict: Verdict{Malicious: true, Signals: []string{"exe-download", "script-nav-offsite"}}}
+	if got := s.Evidence(); got != "exe-download,script-nav-offsite" {
+		t.Fatalf("evidence = %q", got)
+	}
+	var nilSum *Summary
+	if nilSum.Evidence() != "" {
+		t.Fatal("nil summary evidence must be empty")
+	}
+}

@@ -25,6 +25,7 @@ import (
 
 	"madave/internal/browser"
 	"madave/internal/cachex"
+	"madave/internal/flowgraph"
 	"madave/internal/memnet"
 	"madave/internal/minijs"
 	"madave/internal/netcap"
@@ -70,6 +71,11 @@ type Report struct {
 	Features Features
 	// ModelHit is true when the behavioural model flagged the ad.
 	ModelHit bool
+
+	// Graph is the flow-graph oracle's structural summary — nil unless
+	// EnableGraph was called. It is additive: no other report field depends
+	// on it, so enabling the graph cannot perturb the base verdict.
+	Graph *flowgraph.Summary
 }
 
 // Features is the behavioural feature vector the model scores (the
@@ -167,6 +173,11 @@ type Honeyclient struct {
 	// sharing a creative execute once (DESIGN.md §11). Reports are pure
 	// functions of their key, so hits are byte-identical to recomputation.
 	cache *cachex.Cache[string, *Report]
+
+	// graphPolicy, when non-nil, enables the flow-graph summary on every
+	// report. Graph assembly is a pure function of (page, capture), so a
+	// cached report computed graph-on replays byte-identically.
+	graphPolicy *flowgraph.Policy
 }
 
 // DefaultCacheEntries bounds the report cache when EnableCache gets 0.
@@ -186,6 +197,16 @@ func (h *Honeyclient) EnableCache(entries int) {
 		Name:     "honeyclient",
 		Tel:      h.Tel,
 	})
+}
+
+// EnableGraph turns on the flow-graph oracle: every report gains a Graph
+// summary (structural features + the policy's verdict) assembled from the
+// instrumented browser's frame tree, DOM-write provenance, and the capture's
+// stamped transactions. Off by default — graph assembly walks the whole
+// trace, and the hot-path allocation gates assume it only runs when asked
+// for. Enable before analysis starts.
+func (h *Honeyclient) EnableGraph(p flowgraph.Policy) {
+	h.graphPolicy = &p
 }
 
 // CacheStats snapshots the report cache's counters; ok is false when the
@@ -418,7 +439,29 @@ func (h *Honeyclient) buildReport(url string, page *browser.Page, cap *netcap.Ca
 	// Behavioural features.
 	rep.Features = extractFeatures(page, adDomain)
 	rep.ModelHit = !h.DisableModel && rep.Features.Score() >= h.ModelThreshold
+
+	if h.graphPolicy != nil {
+		rep.Graph = buildGraphSummary(url, page, cap, *h.graphPolicy)
+	}
 	return rep
+}
+
+// buildGraphSummary assembles the flow graph from the rendered frame tree
+// and the capture's provenance-stamped transactions, then scores it.
+func buildGraphSummary(url string, page *browser.Page, cap *netcap.Capture, pol flowgraph.Policy) *flowgraph.Summary {
+	in := flowgraph.Input{PageURL: url}
+	if cap != nil {
+		in.Transactions = cap.All()
+	}
+	page.WalkFrames(func(p *browser.Page) {
+		in.Frames = append(in.Frames, flowgraph.Frame{ID: p.FrameID, URL: p.FinalURL})
+		for _, w := range p.DOMWrites {
+			in.Writes = append(in.Writes, flowgraph.Write{FrameID: p.FrameID, Writer: w.Writer, Tags: w.Tags})
+		}
+	})
+	g := flowgraph.Build(in)
+	f := g.Features()
+	return &flowgraph.Summary{Features: f, Verdict: pol.Classify(f)}
 }
 
 // extractFeatures mines the rendered page (and its frames) for the model's

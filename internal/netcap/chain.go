@@ -1,0 +1,142 @@
+package netcap
+
+import "madave/internal/urlx"
+
+// chainMaxHops bounds reconstruction against pathological logs. Real
+// arbitration chains in the paper top out around a dozen hops; anything
+// near the bound is reported as Truncated rather than silently cut.
+const chainMaxHops = 128
+
+// RedirectChain is a reconstructed redirect chain. Hops are the URLs
+// visited in order (fragment-stripped, since browsers drop fragments before
+// requesting the next hop). When the chain re-enters an earlier hop,
+// reconstruction stops at the first re-entry and reports the cycle shape
+// instead of walking the loop until the log runs out.
+type RedirectChain struct {
+	Hops []string
+	// CycleStart is the index in Hops of the hop the chain re-entered, or
+	// -1 when the chain is acyclic. The re-entered URL appears twice: at
+	// CycleStart and again as the final hop.
+	CycleStart int
+	// Truncated reports that reconstruction hit the defensive hop bound.
+	Truncated bool
+}
+
+// HasCycle reports whether the chain re-entered an earlier hop.
+func (ch *RedirectChain) HasCycle() bool { return ch.CycleStart >= 0 }
+
+// Cycle returns the repeating shape of a cyclic chain (the hops from the
+// re-entered URL up to, but not including, its repeat): A→B→A yields
+// [A, B]. Nil for acyclic chains.
+func (ch *RedirectChain) Cycle() []string {
+	if !ch.HasCycle() {
+		return nil
+	}
+	return ch.Hops[ch.CycleStart : len(ch.Hops)-1]
+}
+
+// Len returns the hop count.
+func (ch *RedirectChain) Len() int { return len(ch.Hops) }
+
+// ChainFrom reconstructs the redirect chain that starts at the first
+// transaction whose URL matches start (fragment-stripped). Hops is empty
+// when no transaction matches. Use ChainAt to reconstruct a specific visit
+// when the same URL was crawled more than once.
+func (c *Capture) ChainFrom(start string) RedirectChain {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	want := stripFragment(start)
+	for i := range c.log {
+		if stripFragment(c.log[i].URL) == want {
+			return c.chainLocked(i)
+		}
+	}
+	return RedirectChain{CycleStart: -1}
+}
+
+// ChainAt reconstructs the redirect chain that starts at the transaction
+// with the given sequence number. Two visits through the same URL leave two
+// start transactions in the log; ChainAt keeps their chains separate where
+// ChainFrom can only see the first.
+func (c *Capture) ChainAt(seq int) RedirectChain {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.log {
+		if c.log[i].Seq == seq {
+			return c.chainLocked(i)
+		}
+	}
+	return RedirectChain{CycleStart: -1}
+}
+
+// chainLocked walks the chain beginning at log index idx. Unlike the old
+// first-match-from-the-top scan, every hop advances strictly forward in
+// sequence order from the previous hop's transaction, and when both sides
+// carry frame provenance a hop only matches transactions from the same
+// frame — so two interleaved visits through a shared URL reconstruct as two
+// distinct chains instead of splicing into each other.
+func (c *Capture) chainLocked(idx int) RedirectChain {
+	ch := RedirectChain{CycleStart: -1}
+	if idx < 0 || idx >= len(c.log) {
+		return ch
+	}
+	tx := &c.log[idx]
+	frame := tx.FrameID
+	cur := stripFragment(tx.URL)
+	ch.Hops = append(ch.Hops, cur)
+	seen := map[string]int{cur: 0}
+	for {
+		if !tx.IsRedirect() {
+			return ch
+		}
+		next := stripFragment(urlx.Resolve(tx.URL, tx.Location))
+		if next == "" {
+			return ch
+		}
+		if at, ok := seen[next]; ok {
+			// The chain re-entered an earlier hop: record the repeat so the
+			// cycle is visible, report its shape, and stop.
+			ch.Hops = append(ch.Hops, next)
+			ch.CycleStart = at
+			return ch
+		}
+		ch.Hops = append(ch.Hops, next)
+		seen[next] = len(ch.Hops) - 1
+		if len(ch.Hops) >= chainMaxHops {
+			ch.Truncated = true
+			return ch
+		}
+		// Advance to the earliest later transaction for the next hop.
+		found := -1
+		for i := idx + 1; i < len(c.log); i++ {
+			cand := &c.log[i]
+			if stripFragment(cand.URL) != next {
+				continue
+			}
+			if frame != "" && cand.FrameID != "" && cand.FrameID != frame {
+				continue
+			}
+			found = i
+			break
+		}
+		if found < 0 {
+			// The Location target was never fetched (browser stopped, or
+			// the hop errored before capture); the resolved hop still
+			// belongs to the chain.
+			return ch
+		}
+		idx = found
+		tx = &c.log[idx]
+	}
+}
+
+// stripFragment removes a URL's fragment, matching what a browser actually
+// requests when it follows a Location header.
+func stripFragment(u string) string {
+	for i := 0; i < len(u); i++ {
+		if u[i] == '#' {
+			return u[:i]
+		}
+	}
+	return u
+}

@@ -1,0 +1,219 @@
+package netcap
+
+import (
+	"reflect"
+	"testing"
+)
+
+// record appends a synthetic transaction, the cheapest way to lay down an
+// exact trace shape for chain-reconstruction tests.
+func record(c *Capture, url string, status int, location string) {
+	c.Record(Transaction{Method: "GET", URL: url, Status: status, Location: location})
+}
+
+// TestRedirectChainCycleShape is the A→B→A regression: a redirect loop that
+// re-enters an earlier hop must be detected as a cycle, not walked again
+// and again until the log (or the 128-hop defensive bound) runs out. The
+// browser's own redirect limit means loops leave several A/B pairs in the
+// trace; reconstruction must stop at the first re-entry.
+func TestRedirectChainCycleShape(t *testing.T) {
+	c := New(nil)
+	for i := 0; i < 2; i++ { // the browser retried the loop twice
+		record(c, "http://a.example.com/", 302, "http://b.example.com/")
+		record(c, "http://b.example.com/", 302, "http://a.example.com/")
+	}
+	want := []string{"http://a.example.com/", "http://b.example.com/", "http://a.example.com/"}
+	if got := c.RedirectChainFrom("http://a.example.com/"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("chain = %v, want stop at first re-entry %v", got, want)
+	}
+}
+
+// TestRedirectChainFragmentLocation: servers emit fragment-bearing Location
+// values, but the browser strips the fragment before requesting the next
+// hop, so the follow-up transaction's URL has no fragment. Matching the
+// resolved Location verbatim against transaction URLs silently drops every
+// hop past the fragment; hops must be compared fragment-stripped.
+func TestRedirectChainFragmentLocation(t *testing.T) {
+	c := New(nil)
+	record(c, "http://a.example.com/", 302, "http://b.example.com/x#middle")
+	record(c, "http://b.example.com/x", 302, "http://c.example.com/land")
+	record(c, "http://c.example.com/land", 200, "")
+	want := []string{"http://a.example.com/", "http://b.example.com/x", "http://c.example.com/land"}
+	if got := c.RedirectChainFrom("http://a.example.com/"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("chain = %v, want %v", got, want)
+	}
+}
+
+// TestChainAtRepeatedURL is the repeated-URL regression: two visits pass
+// through the same ad-serve URL whose redirect target changed between
+// them. Reconstruction by first URL match splices the second visit onto the
+// first's hops; ChainAt reconstructs each visit from its own transaction,
+// advancing strictly forward in sequence order.
+func TestChainAtRepeatedURL(t *testing.T) {
+	c := New(nil)
+	// Visit 1: serve → netA → land1 (seqs 0,1,2).
+	record(c, "http://serve.example.com/ad", 302, "http://neta.example.com/arb")
+	record(c, "http://neta.example.com/arb", 302, "http://land1.example.com/")
+	record(c, "http://land1.example.com/", 200, "")
+	// Visit 2: the same serve URL now arbitrates elsewhere (seqs 3,4,5).
+	record(c, "http://serve.example.com/ad", 302, "http://netb.example.com/arb")
+	record(c, "http://netb.example.com/arb", 302, "http://land2.example.com/")
+	record(c, "http://land2.example.com/", 200, "")
+
+	first := c.ChainAt(0)
+	want1 := []string{"http://serve.example.com/ad", "http://neta.example.com/arb", "http://land1.example.com/"}
+	if !reflect.DeepEqual(first.Hops, want1) || first.HasCycle() {
+		t.Fatalf("visit 1 chain = %+v, want hops %v", first, want1)
+	}
+	second := c.ChainAt(3)
+	want2 := []string{"http://serve.example.com/ad", "http://netb.example.com/arb", "http://land2.example.com/"}
+	if !reflect.DeepEqual(second.Hops, want2) || second.HasCycle() {
+		t.Fatalf("visit 2 chain = %+v, want hops %v", second, want2)
+	}
+	// The legacy entry point resolves to the first visit.
+	if got := c.RedirectChainFrom("http://serve.example.com/ad"); !reflect.DeepEqual(got, want1) {
+		t.Fatalf("RedirectChainFrom = %v, want %v", got, want1)
+	}
+}
+
+// TestChainAtSharedHopSequence: a later chain re-uses an intermediate hop
+// URL an earlier chain also passed through, but with a different onward
+// target. Sequence-forward matching must bind each visit to its own
+// transaction for the shared hop.
+func TestChainAtSharedHopSequence(t *testing.T) {
+	c := New(nil)
+	record(c, "http://a.example.com/", 302, "http://hub.example.com/r") // 0
+	record(c, "http://hub.example.com/r", 302, "http://x.example.com/") // 1
+	record(c, "http://x.example.com/", 200, "")                         // 2
+	record(c, "http://b.example.com/", 302, "http://hub.example.com/r") // 3
+	record(c, "http://hub.example.com/r", 302, "http://y.example.com/") // 4
+	record(c, "http://y.example.com/", 200, "")                         // 5
+
+	got := c.ChainAt(3)
+	want := []string{"http://b.example.com/", "http://hub.example.com/r", "http://y.example.com/"}
+	if !reflect.DeepEqual(got.Hops, want) {
+		t.Fatalf("chain = %v, want %v (second visit must bind hub's second transaction)", got.Hops, want)
+	}
+}
+
+// TestChainFrameProvenance: two frames fetch the same hop URL with their
+// transactions interleaved in capture order. Frame provenance keeps each
+// chain inside its own frame when both sides are stamped.
+func TestChainFrameProvenance(t *testing.T) {
+	c := New(nil)
+	c.Record(Transaction{URL: "http://serve.example.com/ad", Status: 302,
+		Location: "http://hop.example.com/", FrameID: "0.0"}) // 0
+	c.Record(Transaction{URL: "http://serve2.example.com/ad", Status: 302,
+		Location: "http://hop.example.com/", FrameID: "0.1"}) // 1
+	// Frame 0.1's hop lands first in the log; frame 0.0's follows.
+	c.Record(Transaction{URL: "http://hop.example.com/", Status: 302,
+		Location: "http://land-b.example.com/", FrameID: "0.1"}) // 2
+	c.Record(Transaction{URL: "http://hop.example.com/", Status: 302,
+		Location: "http://land-a.example.com/", FrameID: "0.0"}) // 3
+
+	a := c.ChainAt(0)
+	wantA := []string{"http://serve.example.com/ad", "http://hop.example.com/", "http://land-a.example.com/"}
+	if !reflect.DeepEqual(a.Hops, wantA) {
+		t.Fatalf("frame 0.0 chain = %v, want %v", a.Hops, wantA)
+	}
+	b := c.ChainAt(1)
+	wantB := []string{"http://serve2.example.com/ad", "http://hop.example.com/", "http://land-b.example.com/"}
+	if !reflect.DeepEqual(b.Hops, wantB) {
+		t.Fatalf("frame 0.1 chain = %v, want %v", b.Hops, wantB)
+	}
+}
+
+// TestChainCycleShapeExplicit exercises the cycle accessors on an A→B→C→B
+// loop: the shape is [B, C], starting at index 1.
+func TestChainCycleShapeExplicit(t *testing.T) {
+	c := New(nil)
+	record(c, "http://a.example.com/", 302, "http://b.example.com/")
+	record(c, "http://b.example.com/", 302, "http://c.example.com/")
+	record(c, "http://c.example.com/", 302, "http://b.example.com/")
+
+	ch := c.ChainFrom("http://a.example.com/")
+	if !ch.HasCycle() || ch.CycleStart != 1 {
+		t.Fatalf("chain = %+v, want cycle starting at 1", ch)
+	}
+	wantCycle := []string{"http://b.example.com/", "http://c.example.com/"}
+	if !reflect.DeepEqual(ch.Cycle(), wantCycle) {
+		t.Fatalf("cycle = %v, want %v", ch.Cycle(), wantCycle)
+	}
+	wantHops := []string{"http://a.example.com/", "http://b.example.com/", "http://c.example.com/", "http://b.example.com/"}
+	if !reflect.DeepEqual(ch.Hops, wantHops) {
+		t.Fatalf("hops = %v, want %v", ch.Hops, wantHops)
+	}
+	if ch.Truncated {
+		t.Fatal("cycle must be reported as a cycle, not a truncation")
+	}
+}
+
+// TestChainTruncationBound: an acyclic chain longer than the defensive
+// bound reports Truncated instead of being silently cut.
+func TestChainTruncationBound(t *testing.T) {
+	c := New(nil)
+	n := chainMaxHops + 10
+	for i := 0; i < n; i++ {
+		record(c, hopURL(i), 302, hopURL(i+1))
+	}
+	ch := c.ChainFrom(hopURL(0))
+	if !ch.Truncated {
+		t.Fatalf("chain of %d hops not marked truncated: len=%d", n, ch.Len())
+	}
+	if ch.HasCycle() {
+		t.Fatalf("acyclic chain reported a cycle: %+v", ch)
+	}
+	if ch.Len() != chainMaxHops {
+		t.Fatalf("len = %d, want %d", ch.Len(), chainMaxHops)
+	}
+}
+
+func hopURL(i int) string {
+	return "http://hop" + string(rune('a'+i%26)) + "-" + itoa(i) + ".example.com/"
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// TestChainUnfetchedTail: when the browser stopped before fetching the
+// final Location target, the resolved hop still belongs to the chain.
+func TestChainUnfetchedTail(t *testing.T) {
+	c := New(nil)
+	record(c, "http://a.example.com/", 302, "http://never-fetched.example.com/")
+	ch := c.ChainFrom("http://a.example.com/")
+	want := []string{"http://a.example.com/", "http://never-fetched.example.com/"}
+	if !reflect.DeepEqual(ch.Hops, want) {
+		t.Fatalf("hops = %v, want %v", ch.Hops, want)
+	}
+}
+
+// TestRedirectChainRelativeLocation covers relative, dot-relative, and
+// protocol-relative Location values: each must be resolved against the
+// redirecting URL before the next hop is matched.
+func TestRedirectChainRelativeLocation(t *testing.T) {
+	c := New(nil)
+	record(c, "http://a.example.com/ads/serve", 302, "/landing")
+	record(c, "http://a.example.com/landing", 302, "../promo/x")
+	record(c, "http://a.example.com/promo/x", 302, "//b.example.com/final")
+	record(c, "http://b.example.com/final", 200, "")
+	want := []string{
+		"http://a.example.com/ads/serve",
+		"http://a.example.com/landing",
+		"http://a.example.com/promo/x",
+		"http://b.example.com/final",
+	}
+	if got := c.RedirectChainFrom("http://a.example.com/ads/serve"); !reflect.DeepEqual(got, want) {
+		t.Fatalf("chain = %v, want %v", got, want)
+	}
+}

@@ -43,11 +43,31 @@ type Transaction struct {
 	// Tag is a free-form label the initiator attaches (e.g. "iframe",
 	// "script", "adchain") so analyses can filter by cause.
 	Tag string
+	// FrameID identifies the browser frame whose load issued the request,
+	// as a frame-tree path ("0" for the root document, "0.1" for its second
+	// subframe, ...). Empty when the issuer did not stamp provenance.
+	FrameID string `json:",omitempty"`
+	// Initiator is the URL of the document or script that caused the
+	// request (the redirecting URL for chain hops, the script src for
+	// script-driven fetches). Empty when unknown.
+	Initiator string `json:",omitempty"`
+	// Via records how the request came to be: "document", "redirect",
+	// "script", "iframe", "img", "embed", "object", "nav", ... Empty when
+	// the issuer did not stamp provenance.
+	Via string `json:",omitempty"`
 }
 
-// IsRedirect reports whether the transaction is an HTTP redirect.
+// IsRedirect reports whether the transaction is an HTTP redirect that
+// actually moves a browser to a new URL. 301/302/303 and the
+// method-preserving 307/308 count; 304 Not Modified is a cache
+// revalidation, and the deprecated 305 Use Proxy / reserved 306 never
+// navigate, so none of those are chain hops even with a Location header.
 func (t *Transaction) IsRedirect() bool {
-	return t.Status >= 300 && t.Status < 400 && t.Location != ""
+	switch t.Status {
+	case 301, 302, 303, 307, 308:
+		return t.Location != ""
+	}
+	return false
 }
 
 // Capture is a thread-safe HTTP transaction log that wraps a RoundTripper.
@@ -57,6 +77,13 @@ type Capture struct {
 	next http.RoundTripper
 	// tag applied to transactions issued through this capture's transport.
 	tag string
+	// origin is the provenance stamp applied to subsequently captured
+	// transactions; see SetOrigin.
+	origin struct {
+		frameID   string
+		initiator string
+		via       string
+	}
 }
 
 // New wraps next with a fresh capture. A nil next uses
@@ -90,6 +117,28 @@ func (c *Capture) RoundTrip(req *http.Request) (*http.Response, error) {
 	return c.roundTrip(req, c.tag)
 }
 
+// SetOrigin sets the provenance stamped onto transactions captured from
+// now on: the issuing frame's tree path, the initiator URL (document or
+// script), and a via label naming the cause. The browser drives one capture
+// from a single goroutine and restamps before every fetch; concurrent users
+// of a shared capture should leave the origin unset.
+func (c *Capture) SetOrigin(frameID, initiator, via string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.origin.frameID, c.origin.initiator, c.origin.via = frameID, initiator, via
+}
+
+// ClearOrigin removes the provenance stamp.
+func (c *Capture) ClearOrigin() { c.SetOrigin("", "", "") }
+
+func (c *Capture) stampOrigin(tx *Transaction) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tx.FrameID = c.origin.frameID
+	tx.Initiator = c.origin.initiator
+	tx.Via = c.origin.via
+}
+
 func (c *Capture) roundTrip(req *http.Request, tag string) (*http.Response, error) {
 	tx := Transaction{
 		Time:    time.Now(),
@@ -99,6 +148,7 @@ func (c *Capture) roundTrip(req *http.Request, tag string) (*http.Response, erro
 		Referer: req.Header.Get("Referer"),
 		Tag:     tag,
 	}
+	c.stampOrigin(&tx)
 	resp, err := c.next.RoundTrip(req)
 	if err != nil {
 		tx.Err = err.Error()
@@ -182,33 +232,16 @@ func (c *Capture) Hosts() []string {
 	return out
 }
 
-// RedirectChainFrom reconstructs the redirect chain starting at the
-// transaction with the given URL: it follows Location targets through the
-// log in sequence order. It returns the URLs visited, starting with start.
+// RedirectChainFrom reconstructs the redirect chain starting at the first
+// transaction whose URL matches start and returns the URLs visited,
+// starting with start. It is a compatibility wrapper over ChainFrom; use
+// ChainFrom/ChainAt when the cycle shape or a specific visit matters.
 func (c *Capture) RedirectChainFrom(start string) []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	chain := []string{start}
-	cur := start
-	for i := 0; i < len(c.log); i++ {
-		tx := &c.log[i]
-		if tx.URL != cur {
-			continue
-		}
-		if !tx.IsRedirect() {
-			break
-		}
-		next := urlx.Resolve(tx.URL, tx.Location)
-		if next == "" || next == cur {
-			break
-		}
-		chain = append(chain, next)
-		cur = next
-		if len(chain) > 128 {
-			break // defensive bound against pathological logs
-		}
+	ch := c.ChainFrom(start)
+	if len(ch.Hops) == 0 {
+		return []string{stripFragment(start)}
 	}
-	return chain
+	return ch.Hops
 }
 
 // mediaType strips parameters from a Content-Type value.
@@ -221,13 +254,15 @@ func mediaType(ct string) string {
 	return trimSpace(ct)
 }
 
+// trimSpace strips the optional whitespace RFC 7230 allows around header
+// values: spaces and horizontal tabs.
 func trimSpace(s string) string {
 	start := 0
-	for start < len(s) && s[start] == ' ' {
+	for start < len(s) && (s[start] == ' ' || s[start] == '\t') {
 		start++
 	}
 	end := len(s)
-	for end > start && s[end-1] == ' ' {
+	for end > start && (s[end-1] == ' ' || s[end-1] == '\t') {
 		end--
 	}
 	return s[start:end]

@@ -215,6 +215,57 @@ func TestMediaType(t *testing.T) {
 	}
 }
 
+// TestMediaTypeWhitespaceAndParams audits mediaType/trimSpace against
+// parameterized and whitespace-padded Content-Type values: RFC 7230 allows
+// optional whitespace (space OR horizontal tab) around the media type and
+// before parameters, and real servers emit both.
+func TestMediaTypeWhitespaceAndParams(t *testing.T) {
+	for in, want := range map[string]string{
+		"\ttext/html\t":                          "text/html",
+		"\t application/json ; charset=utf-8":    "application/json",
+		"text/html\t;\tcharset=utf-8":            "text/html",
+		"application/x-shockwave-flash ;q=0.9":   "application/x-shockwave-flash",
+		" text/plain;charset=us-ascii;format=x ": "text/plain",
+		";charset=utf-8":                         "",
+		"\t \t":                                  "",
+	} {
+		if got := mediaType(in); got != want {
+			t.Errorf("mediaType(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestIsRedirectStatusTable cross-checks IsRedirect against the status
+// codes that actually move a browser: 301/302/303 and the method-preserving
+// 307/308 are chain hops; 304 Not Modified is a cache revalidation and
+// 305/306 are deprecated/reserved — none of those three navigate, even when
+// a Location header is present.
+func TestIsRedirectStatusTable(t *testing.T) {
+	for _, tc := range []struct {
+		status   int
+		location string
+		want     bool
+	}{
+		{301, "http://x.example.com/", true},
+		{302, "http://x.example.com/", true},
+		{303, "http://x.example.com/", true},
+		{304, "http://x.example.com/", false},
+		{305, "http://proxy.example.com/", false},
+		{306, "http://proxy.example.com/", false},
+		{307, "http://x.example.com/", true},
+		{308, "http://x.example.com/", true},
+		{302, "", false},
+		{200, "http://x.example.com/", false},
+		{404, "", false},
+	} {
+		tx := Transaction{Status: tc.status, Location: tc.location}
+		if got := tx.IsRedirect(); got != tc.want {
+			t.Errorf("IsRedirect(status=%d, location=%q) = %v, want %v",
+				tc.status, tc.location, got, tc.want)
+		}
+	}
+}
+
 func TestTraceSaveLoad(t *testing.T) {
 	cap, client := newCapturedClient()
 	get(t, client, "http://a.example.com/1")

@@ -1,7 +1,11 @@
-// Package oracle combines the three detection components of §3.2 —
+// Package oracle combines the detection components of §3.2 —
 // the honeyclient (Wepawet), the 49-list blacklist tracker, and the
 // 51-engine AV scanner (VirusTotal) — into the classifier that turns an
-// advertisement into a Table-1 incident (or a clean verdict).
+// advertisement into a Table-1 incident (or a clean verdict). A fourth,
+// structural component rides alongside when the honeyclient's flow-graph
+// oracle is enabled: its verdicts land in separate Result fields and never
+// perturb the Table-1 attribution, so graph-on and graph-off runs produce
+// byte-identical base statistics.
 //
 // An advertisement can trigger several detectors at once; like the paper's
 // Table 1, each ad is attributed to exactly one category, in the table's
@@ -16,6 +20,7 @@ import (
 	"madave/internal/avscan"
 	"madave/internal/blacklist"
 	"madave/internal/corpus"
+	"madave/internal/flowgraph"
 	"madave/internal/honeyclient"
 	"madave/internal/telemetry"
 )
@@ -54,6 +59,12 @@ type Incident struct {
 
 // Malicious reports whether the verdict is an incident.
 func (i *Incident) Malicious() bool { return i.Category != CatClean }
+
+// GraphMalicious reports whether the flow-graph classifier flagged the ad.
+// Always false when the graph oracle is disabled; never affects Category.
+func (i *Incident) GraphMalicious() bool {
+	return i.Report != nil && i.Report.Graph != nil && i.Report.Graph.Verdict.Malicious
+}
 
 // Oracle is the combined classifier.
 type Oracle struct {
@@ -201,6 +212,16 @@ func firstSignature(r *avscan.Report) string {
 	return "unknown"
 }
 
+// GraphFinding is one flow-graph verdict — the fourth oracle component's
+// per-ad output, kept beside (never inside) the Table-1 incident.
+type GraphFinding struct {
+	AdHash string
+	// Signals are the structural signals that fired (flowgraph.Verdict).
+	Signals []string
+	// Features is the ad's structural feature vector.
+	Features flowgraph.Features
+}
+
 // Result aggregates a corpus classification.
 type Result struct {
 	Incidents []Incident
@@ -211,6 +232,13 @@ type Result struct {
 	// Degraded counts classifications that ran on partial evidence (the
 	// honeyclient's execution hit faults or deadlines but still reported).
 	Degraded int
+
+	// GraphScanned counts ads that carried a flow-graph summary (0 when the
+	// graph oracle is off). GraphFindings lists the ads the graph classifier
+	// flagged, in corpus order. Both are additive: base fields above are
+	// byte-identical with the graph oracle on or off.
+	GraphScanned  int
+	GraphFindings []GraphFinding
 }
 
 // MaliciousCount returns the total number of incidents.
@@ -289,6 +317,16 @@ func (o *Oracle) ClassifyCorpusContext(ctx context.Context, c *corpus.Corpus) *R
 		if inc.Malicious() {
 			res.Incidents = append(res.Incidents, inc)
 			res.ByCategory[inc.Category]++
+		}
+		if inc.Report != nil && inc.Report.Graph != nil {
+			res.GraphScanned++
+			if inc.Report.Graph.Verdict.Malicious {
+				res.GraphFindings = append(res.GraphFindings, GraphFinding{
+					AdHash:   inc.AdHash,
+					Signals:  inc.Report.Graph.Verdict.Signals,
+					Features: inc.Report.Graph.Features,
+				})
+			}
 		}
 	}
 	return res

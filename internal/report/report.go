@@ -236,12 +236,37 @@ func Markdown(in Input) string {
 	fmt.Fprintf(&b, "## Secure environment (§4.4)\n\n%d of %d ad iframes carried the sandbox attribute.\n\n",
 		rep.Sandbox.SandboxedAds, rep.Sandbox.AdFrames)
 
+	// Flow-graph oracle (only present when it ran).
+	if g := rep.Graph; g != nil {
+		fmt.Fprintf(&b, "## Flow-graph oracle\n\n%d of %d ads flagged by structural signals.\n\n", g.Flagged, g.Scanned)
+		b.WriteString("| Signal | Count |\n|---|---:|\n")
+		for _, row := range g.Signals {
+			fmt.Fprintf(&b, "| %s | %d |\n", row.Signal, row.Count)
+		}
+		b.WriteString("\n| Network | Ads | Flagged | Chain max | Chain mean |\n|---|---:|---:|---:|---:|\n")
+		for i, row := range g.Networks {
+			if i >= 12 {
+				fmt.Fprintf(&b, "| _%d more networks_ | | | | |\n", len(g.Networks)-i)
+				break
+			}
+			fmt.Fprintf(&b, "| %s | %d | %d | %d | %.2f |\n",
+				row.Network, row.Ads, row.Flagged, row.MaxChain, row.MeanChain)
+		}
+		b.WriteString("\n")
+	}
+
 	// Validation.
 	if in.Validation != nil {
 		fmt.Fprintf(&b, "## Oracle validation\n\nPrecision %.3f, recall %.3f (TP=%d FP=%d FN=%d TN=%d).\n\n",
 			in.Validation.Precision(), in.Validation.Recall(),
 			in.Validation.TruePositives, in.Validation.FalsePositives,
 			in.Validation.FalseNegatives, in.Validation.TrueNegatives)
+		if in.Validation.GraphEnabled {
+			fmt.Fprintf(&b, "With the flow-graph component folded in: precision %.3f, recall %.3f (TP=%d FP=%d FN=%d TN=%d).\n\n",
+				in.Validation.CombinedPrecision(), in.Validation.CombinedRecall(),
+				in.Validation.CombinedTruePositives, in.Validation.CombinedFalsePositives,
+				in.Validation.CombinedFalseNegatives, in.Validation.CombinedTrueNegatives)
+		}
 	}
 
 	// Defenses.

@@ -20,11 +20,27 @@ type AdRecord struct {
 	ChainLen  int    `json:"l"`
 	Day       int    `json:"d"`
 	Sandboxed bool   `json:"s,omitempty"`
+	// Graph carries the flow-graph oracle's slice of the verdict; absent
+	// when the graph oracle is off, so graph-off journals are byte-identical
+	// to pre-graph ones.
+	Graph *AdGraphRecord `json:"g,omitempty"`
+}
+
+// AdGraphRecord is the journaled flow-graph verdict of one classified ad —
+// the integer projection of flowgraph.Summary that folds exactly across the
+// streaming commit path.
+type AdGraphRecord struct {
+	Flagged bool `json:"f,omitempty"`
+	// Chain is the graph-measured arbitration-chain depth (redirect hops).
+	Chain int `json:"c,omitempty"`
+	// XOrigin / Edges are the cross-origin and total edge counts.
+	XOrigin int `json:"x,omitempty"`
+	Edges   int `json:"e,omitempty"`
 }
 
 // NewAdRecord builds the journal form of one classified ad.
 func NewAdRecord(ha crawler.HarvestedAd, inc oracle.Incident) AdRecord {
-	return AdRecord{
+	rec := AdRecord{
 		Hash:      ha.Ad.Hash,
 		Category:  string(inc.Category),
 		Network:   servingNetwork(ha.Ad),
@@ -32,6 +48,16 @@ func NewAdRecord(ha crawler.HarvestedAd, inc oracle.Incident) AdRecord {
 		Day:       ha.Ad.Day,
 		Sandboxed: ha.Sandboxed,
 	}
+	if inc.Report != nil && inc.Report.Graph != nil {
+		g := inc.Report.Graph
+		rec.Graph = &AdGraphRecord{
+			Flagged: g.Verdict.Malicious,
+			Chain:   g.Features.ChainDepth,
+			XOrigin: g.Features.CrossOriginEdges,
+			Edges:   g.Features.Edges,
+		}
+	}
+	return rec
 }
 
 // servingNetwork mirrors the analysis package's attribution: the last
@@ -91,6 +117,15 @@ type Agg struct {
 	chain     stats.IntMoments
 	chainHist stats.IntHist
 	dayAds    stats.IntHist
+
+	// Flow-graph accumulators, folded from AdRecord.Graph. They live beside
+	// (never inside) the StreamSummary fields: the canonical summary JSON is
+	// byte-identical with the graph oracle on or off.
+	graphScanned   int
+	graphFlagged   int
+	graphXOrigin   int
+	graphEdges     int
+	graphChainHist stats.IntHist
 }
 
 // NewAgg returns an empty aggregate.
@@ -134,6 +169,15 @@ func (a *Agg) Fold(r VisitRecord) bool {
 		a.chain.Add(ad.ChainLen)
 		a.chainHist.Add(ad.ChainLen)
 		a.dayAds.Add(ad.Day)
+		if g := ad.Graph; g != nil {
+			a.graphScanned++
+			if g.Flagged {
+				a.graphFlagged++
+			}
+			a.graphXOrigin += g.XOrigin
+			a.graphEdges += g.Edges
+			a.graphChainHist.Add(g.Chain)
+		}
 	}
 	return true
 }
@@ -235,6 +279,43 @@ func (a *Agg) Summary() StreamSummary {
 	return s
 }
 
+// GraphSummary is the flow-graph oracle's deterministic streaming aggregate.
+// It is a separate artifact from StreamSummary — its JSON stands beside the
+// canonical summary, never inside it — so enabling the graph oracle leaves
+// StreamSummary.JSON byte-identical.
+type GraphSummary struct {
+	Scanned          int `json:"scanned"`
+	Flagged          int `json:"flagged"`
+	ChainMax         int `json:"chain_max"`
+	ChainP90         int `json:"chain_p90"`
+	CrossOriginEdges int `json:"cross_origin_edges"`
+	Edges            int `json:"edges"`
+}
+
+// JSON renders the graph summary in canonical byte form.
+func (s GraphSummary) JSON() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		panic("stream: graph summary marshal: " + err.Error()) // fixed struct, cannot fail
+	}
+	return b
+}
+
+// GraphSummary materializes the flow-graph aggregate folded so far; Scanned
+// is 0 when the graph oracle never ran.
+func (a *Agg) GraphSummary() GraphSummary {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return GraphSummary{
+		Scanned:          a.graphScanned,
+		Flagged:          a.graphFlagged,
+		ChainMax:         a.graphChainHist.Max(),
+		ChainP90:         a.graphChainHist.Quantile(0.9),
+		CrossOriginEdges: a.graphXOrigin,
+		Edges:            a.graphEdges,
+	}
+}
+
 // seqRange is an inclusive run of folded sequence numbers; the done-set
 // checkpoints as merged ranges (a healthy stream is one range, so the
 // checkpoint stays O(gaps), not O(visits)).
@@ -274,6 +355,13 @@ type aggState struct {
 	Chain      stats.IntMoments `json:"chain"`
 	ChainHist  []kvInt          `json:"chain_hist,omitempty"`
 	DayAds     []kvInt          `json:"day_ads,omitempty"`
+	// Flow-graph accumulators; all omitempty, so graph-off checkpoints are
+	// byte-identical to pre-graph ones (and old checkpoints restore cleanly).
+	GraphScanned   int     `json:"graph_scanned,omitempty"`
+	GraphFlagged   int     `json:"graph_flagged,omitempty"`
+	GraphXOrigin   int     `json:"graph_xorigin,omitempty"`
+	GraphEdges     int     `json:"graph_edges,omitempty"`
+	GraphChainHist []kvInt `json:"graph_chain_hist,omitempty"`
 }
 
 // checkpoint snapshots the aggregate in canonical form.
@@ -312,6 +400,11 @@ func (a *Agg) checkpoint() aggState {
 	sort.Slice(st.UniqueAds, func(i, j int) bool { return st.UniqueAds[i].Hash < st.UniqueAds[j].Hash })
 	st.ChainHist = histBuckets(&a.chainHist)
 	st.DayAds = histBuckets(&a.dayAds)
+	st.GraphScanned = a.graphScanned
+	st.GraphFlagged = a.graphFlagged
+	st.GraphXOrigin = a.graphXOrigin
+	st.GraphEdges = a.graphEdges
+	st.GraphChainHist = histBuckets(&a.graphChainHist)
 	return st
 }
 
@@ -373,5 +466,13 @@ func (a *Agg) restore(st aggState) {
 	a.dayAds = stats.IntHist{}
 	for _, b := range st.DayAds {
 		a.dayAds.AddN(b.V, b.N)
+	}
+	a.graphScanned = st.GraphScanned
+	a.graphFlagged = st.GraphFlagged
+	a.graphXOrigin = st.GraphXOrigin
+	a.graphEdges = st.GraphEdges
+	a.graphChainHist = stats.IntHist{}
+	for _, b := range st.GraphChainHist {
+		a.graphChainHist.AddN(b.V, b.N)
 	}
 }

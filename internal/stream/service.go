@@ -70,9 +70,12 @@ type Ops struct {
 }
 
 // RunResult bundles one Run's deterministic summary with its operational
-// story.
+// story. Graph is the flow-graph oracle's separate aggregate (all zero when
+// the graph oracle is off); keeping it beside Summary preserves the
+// canonical StreamSummary bytes graph-on or graph-off.
 type RunResult struct {
 	Summary StreamSummary
+	Graph   GraphSummary
 	Ops     Ops
 }
 
@@ -288,6 +291,10 @@ func (s *Service) Recovered() int64 { return s.recovered }
 // Summary returns the deterministic summary of everything committed so far.
 func (s *Service) Summary() StreamSummary { return s.agg.Summary() }
 
+// GraphSummary returns the flow-graph aggregate committed so far; zero when
+// the graph oracle is off.
+func (s *Service) GraphSummary() GraphSummary { return s.agg.GraphSummary() }
+
 // Run executes the stream until the schedule is exhausted, the run context
 // is cancelled (graceful drain), or the pipeline fails (journal crash,
 // restart budget). A drained or completed run returns its results with a nil
@@ -336,7 +343,7 @@ func (s *Service) Run(ctx context.Context) (*RunResult, error) {
 		ops.Shed = shed.Stats()
 	}
 	ops.Restarts = s.tel.Counter("stream_restarts_total").Value()
-	res := &RunResult{Summary: s.agg.Summary(), Ops: *ops}
+	res := &RunResult{Summary: s.agg.Summary(), Graph: s.agg.GraphSummary(), Ops: *ops}
 	if err != nil {
 		s.setPhase(PhaseFailed)
 		s.tel.Event(telemetry.LevelError, telemetry.EventRunFinished, "", "stream run failed",

@@ -59,6 +59,14 @@ type (
 	Incident     = oracle.Incident
 )
 
+// GraphFinding is one flow-graph verdict (the fourth oracle component,
+// enabled by Config.GraphOracle); GraphStats is the per-network flow-graph
+// section of the analysis report (Report.Graph, nil when the oracle is off).
+type (
+	GraphFinding = oracle.GraphFinding
+	GraphStats   = analysis.GraphStats
+)
+
 // Incident categories, in Table 1 order.
 const (
 	CatBlacklists   = oracle.CatBlacklists
